@@ -1,0 +1,69 @@
+//! Per-stage micro-benchmarks of the Cooper pipeline: wire codec,
+//! alignment transform, voxelization, VFE, sparse convolution, BEV
+//! collapse. Useful for tracking where detection time goes (context for
+//! Figure 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cooper_core::alignment_transform;
+use cooper_core::report::EvaluationConfig;
+use cooper_lidar_sim::scenario::tj_scenario_1;
+use cooper_lidar_sim::{LidarScanner, PoseEstimate};
+use cooper_pointcloud::{decode_cloud, encode_cloud, VoxelGrid};
+use cooper_spod::bev::BevMap;
+use cooper_spod::sparse_conv::SparseConv3;
+use cooper_spod::vfe::VoxelFeatureEncoder;
+use cooper_spod::SpodConfig;
+
+fn bench_stages(c: &mut Criterion) {
+    let scenario = tj_scenario_1();
+    let scanner = LidarScanner::new(scenario.kind.beam_model());
+    let scan = scanner.scan(&scenario.world, &scenario.observers[0], 1);
+    let config = SpodConfig::default();
+    let eval_config = EvaluationConfig::default();
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(20);
+
+    group.bench_function("codec_encode_scan", |b| {
+        b.iter(|| black_box(encode_cloud(&scan).expect("encodes")))
+    });
+    let encoded = encode_cloud(&scan).expect("encodes");
+    group.bench_function("codec_decode_scan", |b| {
+        b.iter(|| black_box(decode_cloud(&encoded).expect("decodes")))
+    });
+
+    let est_a = PoseEstimate::from_pose(&scenario.observers[0], &eval_config.origin);
+    let est_b = PoseEstimate::from_pose(&scenario.observers[1], &eval_config.origin);
+    group.bench_function("alignment_transform", |b| {
+        b.iter(|| black_box(alignment_transform(&est_b, &est_a, &eval_config.origin)))
+    });
+    let transform = alignment_transform(&est_b, &est_a, &eval_config.origin);
+    group.bench_function("cloud_transform", |b| {
+        b.iter(|| black_box(scan.transformed(&transform)))
+    });
+
+    group.bench_function("voxelize_scan", |b| {
+        b.iter(|| black_box(VoxelGrid::from_cloud(&scan, config.voxel_grid)))
+    });
+    let grid = VoxelGrid::from_cloud(&scan, config.voxel_grid);
+    let vfe = VoxelFeatureEncoder::seeded(config.channels, config.seed);
+    group.bench_function("voxel_feature_encode", |b| {
+        b.iter(|| black_box(vfe.encode(&grid)))
+    });
+    let embedded = vfe.encode(&grid);
+    let conv = SparseConv3::seeded(config.channels, config.channels, 1);
+    group.bench_function("sparse_conv_3x3x3", |b| {
+        b.iter(|| black_box(conv.forward(&embedded)))
+    });
+    let deep = conv.forward(&embedded);
+    group.bench_function("bev_collapse", |b| {
+        b.iter(|| black_box(BevMap::collapse(&deep)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

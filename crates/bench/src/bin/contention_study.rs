@@ -1,0 +1,66 @@
+//! Extension experiment: DSRC contention vs fleet size.
+//!
+//! The paper's feasibility study accounts a two-vehicle exchange on an
+//! uncontended channel; its vision has whole fleets cooperating. This
+//! binary asks the next question: with N vehicles broadcasting a
+//! full-frame ROI on the same 1 Hz tick (worst-case synchronization),
+//! how do CSMA/CA collisions, delivery and delay scale — and where does
+//! the paper's 1 Hz / full-frame operating point stop working?
+
+use cooper_bench::{output_dir, render_csv, render_table, write_artifact};
+use cooper_lidar_sim::scenario::tj_scenario_2;
+use cooper_lidar_sim::LidarScanner;
+use cooper_pointcloud::roi::{extract_roi, RoiCategory};
+use cooper_v2x::{CsmaConfig, CsmaMedium, DsrcChannel, DsrcConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scenario = tj_scenario_2();
+    let scanner = LidarScanner::new(scenario.kind.beam_model());
+    let scan = scanner.scan(&scenario.world, &scenario.observers[0], 1);
+    let medium = CsmaMedium::new(
+        DsrcChannel::new(DsrcConfig::default()),
+        CsmaConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+
+    println!("=== Extension: CSMA/CA contention vs fleet size ===\n");
+    let mut rows = Vec::new();
+    for category in [RoiCategory::FullFrame, RoiCategory::FrontFov120] {
+        let frame = extract_roi(&scan, category);
+        let payload = frame.len() * cooper_pointcloud::WIRE_BYTES_PER_POINT;
+        for n in [2usize, 4, 8, 16, 32] {
+            let report = medium.simulate_rounds(&vec![payload; n], 20, &mut rng);
+            rows.push(vec![
+                category.to_string(),
+                n.to_string(),
+                format!("{:.0}", payload as f64 / 1024.0),
+                format!("{:.0}", report.delivery_ratio() * 100.0),
+                report.collisions.to_string(),
+                format!("{:.0}", report.round_time_s * 1e3),
+                format!("{:.0}", report.mean_delay_s * 1e3),
+            ]);
+        }
+    }
+    let headers = [
+        "category",
+        "vehicles",
+        "frame_KiB",
+        "delivered_%",
+        "collisions_20rounds",
+        "round_ms",
+        "mean_delay_ms",
+    ];
+    println!("{}", render_table(&headers, &rows));
+    println!("Shape check: the paper's two-vehicle case is trivially safe; delivery");
+    println!("stays high but per-frame delay grows linearly with fleet size, and a");
+    println!("full-frame round stops fitting the 1 Hz budget once the cumulative");
+    println!("round time approaches 1000 ms — the bandwidth argument for ROI");
+    println!("filtering gets stronger with every added cooperator.");
+    write_artifact(
+        output_dir().as_deref(),
+        "contention_study.csv",
+        &render_csv(&headers, &rows),
+    );
+}

@@ -1,0 +1,125 @@
+//! Figure 10 — cooperative perception under GPS reading drift.
+//!
+//! Reproduces the paper's skew protocol: the transmitter's GPS fix is
+//! skewed (both axes to max drift / one axis / double drift) before
+//! alignment, and the per-car detection scores on the fused cloud are
+//! compared against the unskewed baseline.
+
+use cooper_bench::{output_dir, render_csv, render_table, standard_pipeline, write_artifact};
+use cooper_core::report::{match_by_center_distance, EvaluationConfig};
+use cooper_core::ExchangePacket;
+use cooper_geometry::{Obb3, RigidTransform};
+use cooper_lidar_sim::scenario::tj_scenarios;
+use cooper_lidar_sim::{GpsImuModel, LidarScanner, SkewMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    eprintln!("training SPOD detector…");
+    let pipeline = standard_pipeline();
+    let config = EvaluationConfig::default();
+    let model = GpsImuModel::realistic();
+
+    // Pool per-car scores over the T&J scenarios (the paper's Figure 10
+    // plots ~18 detected car IDs).
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut car_id = 0usize;
+    let mut failures = 0usize;
+    let mut improved = 0usize;
+    let mut total = 0usize;
+
+    for scenario in tj_scenarios() {
+        let scanner = LidarScanner::new(scenario.kind.beam_model());
+        let (ia, ib) = scenario.pairs[0];
+        let pose_a = scenario.observers[ia];
+        let pose_b = scenario.observers[ib];
+        let scan_a = scanner.scan(&scenario.world, &pose_a, 11);
+        let scan_b = scanner.scan(&scenario.world, &pose_b, 12);
+        let mut rng = StdRng::seed_from_u64(99);
+        let est_a = model.measure(&pose_a, &config.origin, &mut rng);
+
+        let world_to_a = RigidTransform::from_pose(&pose_a).inverse();
+        let gt_in_a: Vec<Obb3> = scenario
+            .ground_truth_cars()
+            .iter()
+            .map(|g| g.transformed(&world_to_a))
+            .collect();
+
+        // Baseline: realistic (unskewed) measurement.
+        let est_b = model.measure(&pose_b, &config.origin, &mut rng);
+        let packet = ExchangePacket::build(1, 0, &scan_b, est_b).expect("encodes");
+        let base = pipeline
+            .perceive_cooperative(&scan_a, &est_a, &[packet], &config.origin)
+            .expect("decodes");
+        let base_scores =
+            match_by_center_distance(&base.detections, &gt_in_a, config.match_distance);
+
+        // The three skew modes.
+        let mut skewed_scores = Vec::new();
+        for mode in SkewMode::ALL {
+            let est_skew = model.measure_skewed(&pose_b, &config.origin, mode, &mut rng);
+            let packet = ExchangePacket::build(1, 0, &scan_b, est_skew).expect("encodes");
+            let result = pipeline
+                .perceive_cooperative(&scan_a, &est_a, &[packet], &config.origin)
+                .expect("decodes");
+            skewed_scores.push(match_by_center_distance(
+                &result.detections,
+                &gt_in_a,
+                config.match_distance,
+            ));
+        }
+
+        for (gt_idx, base_score) in base_scores.iter().enumerate() {
+            let any_score =
+                base_score.is_some() || skewed_scores.iter().any(|s| s[gt_idx].is_some());
+            if !any_score {
+                continue; // never detected — not a Figure-10 car ID
+            }
+            car_id += 1;
+            let fmt = |s: Option<f32>| s.map_or("X".to_string(), |v| format!("{v:.2}"));
+            rows.push(vec![
+                car_id.to_string(),
+                fmt(*base_score),
+                fmt(skewed_scores[0][gt_idx]),
+                fmt(skewed_scores[1][gt_idx]),
+                fmt(skewed_scores[2][gt_idx]),
+            ]);
+            csv_rows.push(vec![
+                car_id.to_string(),
+                base_score.map_or(f32::NAN, |v| v).to_string(),
+                skewed_scores[0][gt_idx].map_or(f32::NAN, |v| v).to_string(),
+                skewed_scores[1][gt_idx].map_or(f32::NAN, |v| v).to_string(),
+                skewed_scores[2][gt_idx].map_or(f32::NAN, |v| v).to_string(),
+            ]);
+            for s in &skewed_scores {
+                total += 1;
+                match (base_score, s[gt_idx]) {
+                    (Some(b), Some(v)) if v > *b => improved += 1,
+                    (Some(_), None) => failures += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let headers = [
+        "car_id",
+        "baseline",
+        "both_axes_max",
+        "one_axis_max",
+        "double_drift",
+    ];
+    println!("=== Figure 10: detection scores under GPS drift ===\n");
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "{improved}/{total} skewed readings improved the score; {failures} caused a detection to fail."
+    );
+    println!("Shape check (paper): skewed scores cluster near the baseline, a few");
+    println!("improve (masking inherent drift), and a small number fail.");
+    write_artifact(
+        output_dir().as_deref(),
+        "fig10_gps_drift.csv",
+        &render_csv(&headers, &csv_rows),
+    );
+}

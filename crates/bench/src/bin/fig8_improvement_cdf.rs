@@ -1,0 +1,71 @@
+//! Figure 8 — CDF of the detection-score improvement from cooperative
+//! perception, split by the paper's easy/moderate/hard difficulty.
+//!
+//! Pools the per-car improvements from all 19 cooperative cases (4
+//! KITTI + 15 T&J pairings as in the paper's experiment design; here 4
+//! KITTI + 13 T&J pairs) and prints one CDF line per difficulty class.
+
+use cooper_bench::{
+    evaluate_scenarios_parallel, output_dir, render_csv, render_table, standard_pipeline,
+    write_artifact,
+};
+use cooper_core::report::EvaluationConfig;
+use cooper_core::stats::Cdf;
+use cooper_core::CooperDifficulty;
+use cooper_lidar_sim::scenario::all_scenarios;
+
+fn main() {
+    eprintln!("training SPOD detector…");
+    let pipeline = standard_pipeline();
+    let scenarios = all_scenarios();
+    let config = EvaluationConfig::default();
+    eprintln!("evaluating all {} scenarios…", scenarios.len());
+    let evaluations = evaluate_scenarios_parallel(&pipeline, &scenarios, &config);
+
+    let mut samples: Vec<(CooperDifficulty, f64)> = Vec::new();
+    for eval in evaluations.iter().flatten() {
+        for imp in eval.improvements() {
+            samples.push((imp.difficulty, imp.increase_percent));
+        }
+    }
+
+    println!("=== Figure 8: detection-score improvement CDF ===\n");
+    let grid: Vec<f64> = (0..=9).map(|i| i as f64 * 10.0).collect();
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for difficulty in CooperDifficulty::ALL {
+        let cdf = Cdf::from_samples(
+            samples
+                .iter()
+                .filter(|(d, _)| *d == difficulty)
+                .map(|(_, v)| *v)
+                .collect(),
+        );
+        let mut cells = vec![difficulty.to_string(), cdf.len().to_string()];
+        for &x in &grid {
+            let frac = cdf.fraction_at_or_below(x);
+            cells.push(format!("{frac:.2}"));
+            csv_rows.push(vec![
+                difficulty.to_string(),
+                format!("{x:.0}"),
+                format!("{frac:.4}"),
+            ]);
+        }
+        if let Some(min) = cdf.min() {
+            eprintln!("{difficulty}: minimum improvement {min:.1} %");
+        }
+        rows.push(cells);
+    }
+    let mut headers: Vec<String> = vec!["difficulty".into(), "n".into()];
+    headers.extend(grid.iter().map(|x| format!("≤{x:.0}%")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", render_table(&header_refs, &rows));
+    println!("Shape check (paper): easy/moderate gains mostly within ~10 %;");
+    println!("hard objects (detected by neither single shot) gain a large raw score.");
+
+    write_artifact(
+        output_dir().as_deref(),
+        "fig8_improvement_cdf.csv",
+        &render_csv(&["difficulty", "increase_percent", "cdf"], &csv_rows),
+    );
+}

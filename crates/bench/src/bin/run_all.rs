@@ -1,0 +1,74 @@
+//! Runs every experiment binary in sequence and collects their stdout
+//! into one report — the convenient way to regenerate everything in
+//! `EXPERIMENTS.md`.
+//!
+//! `cargo run -p cooper-bench --release --bin run_all -- --out results`
+
+use std::process::Command;
+
+use cooper_bench::{output_dir, write_artifact};
+
+const EXPERIMENTS: &[&str] = &[
+    "fig3_kitti_matrix",
+    "fig4_kitti_summary",
+    "fig6_tj_matrix",
+    "fig7_tj_summary",
+    "fig8_improvement_cdf",
+    "fig9_latency",
+    "fig10_gps_drift",
+    "fig11_roi_volume",
+    "table1_detector_ap",
+    "ablations",
+    "heterogeneous_fusion",
+    "contention_study",
+    "multiclass_cooperation",
+    "temporal_fusion",
+    "staleness_study",
+    "tracking_study",
+];
+
+fn main() {
+    let out = output_dir();
+    let exe_dir = std::env::current_exe()
+        .expect("current executable path")
+        .parent()
+        .expect("executable directory")
+        .to_path_buf();
+
+    let mut report = String::from("# Cooper experiment report\n");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        eprintln!("── running {name} …");
+        let mut cmd = Command::new(exe_dir.join(name));
+        if let Some(dir) = &out {
+            cmd.arg("--out").arg(dir);
+        }
+        match cmd.output() {
+            Ok(output) if output.status.success() => {
+                report.push_str(&format!("\n\n## {name}\n\n```text\n"));
+                report.push_str(&String::from_utf8_lossy(&output.stdout));
+                report.push_str("```\n");
+            }
+            Ok(output) => {
+                eprintln!("{name} failed: {}", output.status);
+                eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "cannot launch {name}: {e} (build all binaries first: \
+                     cargo build -p cooper-bench --release --bins)"
+                );
+                failures.push(*name);
+            }
+        }
+    }
+    print!("{report}");
+    write_artifact(out.as_deref(), "full_report.md", &report);
+    if failures.is_empty() {
+        eprintln!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

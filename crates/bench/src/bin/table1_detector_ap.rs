@@ -1,0 +1,89 @@
+//! Table 1 — SPOD detector average precision per class and difficulty.
+//!
+//! §III-A of the paper motivates SPOD with VoxelNet's KITTI numbers
+//! (car 89.6 % easy / 78.6 % hard; pedestrian 66.0/57.0; cyclist
+//! 74.4/50.5). This harness evaluates the reproduction's detector the
+//! same way on held-out synthetic scenes: AP per class, split by
+//! difficulty (range bands standing in for KITTI's visibility levels).
+//! The shape to check: car AP is highest, small objects are harder, and
+//! every class degrades from easy to hard.
+
+use cooper_bench::{output_dir, render_csv, render_table, standard_pipeline, write_artifact};
+use cooper_lidar_sim::dataset::{generate_scene, SceneConfig};
+use cooper_lidar_sim::{BeamModel, ObjectClass};
+use cooper_spod::eval::{average_precision, precision_recall_curve_by_center, RangeDifficulty};
+use cooper_spod::Detection;
+
+fn main() {
+    eprintln!("training SPOD detector…");
+    let pipeline = standard_pipeline();
+    let detector = pipeline.detector();
+
+    let scene_config = SceneConfig {
+        pedestrians: (1, 4),
+        cyclists: (1, 3),
+        ..SceneConfig::default()
+    };
+    let beams = [
+        BeamModel::vlp16(),
+        BeamModel::hdl64().with_azimuth_steps(900),
+    ];
+    eprintln!("evaluating on 30 held-out scenes…");
+    let scenes: Vec<_> = (0..30)
+        .map(|i| generate_scene(50_000 + i, &scene_config, &beams[i as usize % 2]))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for class in ObjectClass::TARGETS {
+        let mut cells = vec![class.to_string()];
+        for difficulty in RangeDifficulty::ALL {
+            // Frames: per scene, detections (low threshold for the PR
+            // sweep) and same-class ground truth in the difficulty band
+            // with at least a handful of points (KITTI also only counts
+            // annotatable objects).
+            let frames: Vec<(Vec<Detection>, Vec<cooper_geometry::Obb3>)> = scenes
+                .iter()
+                .map(|scene| {
+                    let dets: Vec<Detection> = detector
+                        .detect_class(&scene.cloud, class, 0.05)
+                        .into_iter()
+                        .filter(|d| RangeDifficulty::of(&d.obb) == difficulty)
+                        .collect();
+                    let gts: Vec<cooper_geometry::Obb3> = scene
+                        .labels
+                        .iter()
+                        .filter(|l| {
+                            l.class == class
+                                && RangeDifficulty::of(&l.obb) == difficulty
+                                && scene.cloud.count_in_box(&l.obb) >= 5
+                        })
+                        .map(|l| l.obb)
+                        .collect();
+                    (dets, gts)
+                })
+                .collect();
+            // Size-relative matching (centers within half the object
+            // length) keeps the criterion equally strict across classes.
+            let ap = average_precision(&precision_recall_curve_by_center(&frames, 0.5)) * 100.0;
+            cells.push(format!("{ap:.1}"));
+            csv_rows.push(vec![
+                class.to_string(),
+                difficulty.to_string(),
+                format!("{ap:.2}"),
+            ]);
+        }
+        rows.push(cells);
+    }
+
+    let headers = ["class", "AP_easy_%", "AP_moderate_%", "AP_hard_%"];
+    println!("=== Table 1: SPOD average precision by class and difficulty ===\n");
+    println!("{}", render_table(&headers, &rows));
+    println!("Shape check (paper §III-A, VoxelNet): cars easiest, pedestrians and");
+    println!("cyclists markedly harder, and AP drops from easy to hard for every class.");
+    write_artifact(
+        output_dir().as_deref(),
+        "table1_detector_ap.csv",
+        &render_csv(&["class", "difficulty", "ap_percent"], &csv_rows),
+    );
+}

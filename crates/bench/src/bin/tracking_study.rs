@@ -1,0 +1,117 @@
+//! Extension experiment: tracking moving traffic, single vs
+//! cooperative.
+//!
+//! §II-A says CAVs "monitor the motion \[of\] surrounding vehicles"; the
+//! paper itself stops at per-frame detection. This binary closes the
+//! loop: a two-vehicle convoy on the highway scenario runs a
+//! nearest-neighbour tracker over its detections, once on single-shot
+//! frames and once on fused frames, and compares confirmed-track yield
+//! and velocity-estimate quality against the known 25 m/s ground truth.
+
+use cooper_bench::{output_dir, render_csv, render_table, standard_pipeline, write_artifact};
+use cooper_core::report::EvaluationConfig;
+use cooper_core::tracking::{Tracker, TrackerConfig};
+use cooper_core::{CooperPipeline, ExchangePacket};
+use cooper_lidar_sim::scenario::highway;
+use cooper_lidar_sim::{LidarScanner, PoseEstimate};
+
+struct RunStats {
+    confirmed: usize,
+    moving: usize,
+    velocity_errors: Vec<f64>,
+}
+
+fn run_tracking(pipeline: &CooperPipeline, cooperative: bool) -> RunStats {
+    let scene = highway();
+    let config = EvaluationConfig::default();
+    let scanner = LidarScanner::new(scene.kind.beam_model());
+    let (rx, tx) = scene.pairs[0];
+    let dt = 0.5f64;
+    // The tracker gate must admit a 25 m/s car moving 12.5 m per frame:
+    // prediction covers the motion once velocity converges, but the
+    // first re-association needs a generous gate.
+    let mut tracker = Tracker::new(TrackerConfig {
+        gate_distance: 14.0,
+        // Fast gains: at 25 m/s and 0.5 s frames the velocity estimate
+        // must converge within ~2 associations or the gate loses the
+        // track.
+        alpha: 0.8,
+        beta: 0.7,
+        ..TrackerConfig::default()
+    });
+
+    let mut world = scene.world.clone();
+    for step in 0..8u64 {
+        let scan_rx = scanner.scan(&world, &scene.observers[rx], 100 + step);
+        let detections = if cooperative {
+            let scan_tx = scanner.scan(&world, &scene.observers[tx], 200 + step);
+            let est_rx = PoseEstimate::from_pose(&scene.observers[rx], &config.origin);
+            let est_tx = PoseEstimate::from_pose(&scene.observers[tx], &config.origin);
+            let packet = ExchangePacket::build(1, step as u32, &scan_tx, est_tx).expect("encodes");
+            pipeline
+                .perceive_cooperative(&scan_rx, &est_rx, &[packet], &config.origin)
+                .expect("decodes")
+                .detections
+        } else {
+            pipeline.perceive_single(&scan_rx)
+        };
+        tracker.update(&detections, dt);
+        world = world.advanced(dt);
+    }
+
+    // Ground-truth speeds are 25 m/s east or 22 m/s west. Static
+    // confirmed tracks are false positives (walls, barriers); the
+    // velocity metric is scored on the moving tracks only.
+    let moving: Vec<f64> = tracker
+        .confirmed_tracks()
+        .iter()
+        .map(|t| t.velocity.norm())
+        .filter(|speed| *speed > 10.0)
+        .collect();
+    let velocity_errors = moving
+        .iter()
+        .map(|speed| (speed - 25.0).abs().min((speed - 22.0).abs()))
+        .collect::<Vec<f64>>();
+    RunStats {
+        confirmed: tracker.confirmed_tracks().len(),
+        moving: moving.len(),
+        velocity_errors,
+    }
+}
+
+fn main() {
+    eprintln!("training SPOD detector…");
+    let pipeline = standard_pipeline();
+
+    println!("=== Extension: tracking moving traffic (highway, 8 frames) ===\n");
+    let mut rows = Vec::new();
+    for (label, cooperative) in [("single shot", false), ("cooperative", true)] {
+        let stats = run_tracking(&pipeline, cooperative);
+        let mean_err = if stats.velocity_errors.is_empty() {
+            f64::NAN
+        } else {
+            stats.velocity_errors.iter().sum::<f64>() / stats.velocity_errors.len() as f64
+        };
+        rows.push(vec![
+            label.to_string(),
+            stats.confirmed.to_string(),
+            stats.moving.to_string(),
+            format!("{mean_err:.1}"),
+        ]);
+    }
+    let headers = [
+        "input",
+        "confirmed_tracks",
+        "moving_tracks",
+        "speed_error_m_s",
+    ];
+    println!("{}", render_table(&headers, &rows));
+    println!("Shape check: fused frames confirm more tracks (the cooperator sees");
+    println!("traffic the ego vehicle's own returns are too thin to hold), closing");
+    println!("the paper's §II-A motion-monitoring loop on top of raw fusion.");
+    write_artifact(
+        output_dir().as_deref(),
+        "tracking_study.csv",
+        &render_csv(&headers, &rows),
+    );
+}

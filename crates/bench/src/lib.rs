@@ -1,0 +1,192 @@
+//! Shared harness code for the Cooper experiment binaries.
+//!
+//! Each `src/bin/fig*.rs` binary regenerates one figure or table of the
+//! paper; this library holds the pieces they share: a standard trained
+//! pipeline, parallel scenario evaluation and plain-text table
+//! rendering. Results are printed to stdout and, when `--out <dir>` is
+//! passed, also written as CSV files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cooper_core::report::{evaluate_scenario, EvaluationConfig, PairEvaluation};
+use cooper_core::CooperPipeline;
+use cooper_lidar_sim::scenario::Scenario;
+use cooper_spod::train::TrainingConfig;
+use cooper_spod::SpodDetector;
+
+/// Trains the standard detector used by all experiment binaries and
+/// wraps it into a pipeline.
+///
+/// Training is deterministic (seeded), so every binary evaluates the
+/// identical model; trained weights are cached under `target/` (keyed
+/// by the configuration) so only the first binary pays the training
+/// cost.
+pub fn standard_pipeline() -> CooperPipeline {
+    let training = TrainingConfig::standard();
+    let cache_key =
+        fnv64(format!("{:?}|{:?}", cooper_spod::SpodConfig::default(), training).as_bytes());
+    let cache_path = std::env::temp_dir().join(format!("cooper-spod-weights-{cache_key:016x}.bin"));
+    if let Ok(bytes) = fs::read(&cache_path) {
+        if let Ok(detector) = SpodDetector::from_bytes(&bytes) {
+            eprintln!("loaded cached weights from {}", cache_path.display());
+            return CooperPipeline::new(detector);
+        }
+        eprintln!("stale weight cache at {}, retraining", cache_path.display());
+    }
+    let detector = SpodDetector::train_default(&training);
+    if let Err(e) = fs::write(&cache_path, detector.to_bytes()) {
+        eprintln!("warning: cannot cache weights: {e}");
+    }
+    CooperPipeline::new(detector)
+}
+
+/// FNV-1a over `data` — stable cache keying without extra dependencies.
+fn fnv64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Evaluates a list of scenarios in parallel (one thread per scenario,
+/// via `crossbeam::scope`), preserving input order.
+pub fn evaluate_scenarios_parallel(
+    pipeline: &CooperPipeline,
+    scenarios: &[Scenario],
+    config: &EvaluationConfig,
+) -> Vec<Vec<PairEvaluation>> {
+    let mut results: Vec<Option<Vec<PairEvaluation>>> = Vec::new();
+    results.resize_with(scenarios.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for scenario in scenarios {
+            handles.push(scope.spawn(move |_| evaluate_scenario(pipeline, scenario, config)));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("scenario evaluation panicked"));
+        }
+    })
+    .expect("evaluation scope panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("slot filled"))
+        .collect()
+}
+
+/// Parses an optional `--out <dir>` argument from the process args.
+pub fn output_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Writes `content` to `<dir>/<name>` when an output dir is configured,
+/// creating the directory as needed. Errors are reported, not fatal —
+/// the stdout copy is the primary output.
+pub fn write_artifact(dir: Option<&Path>, name: &str, content: &str) {
+    let Some(dir) = dir else { return };
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    if let Err(e) = fs::write(&path, content) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Renders a simple aligned text table. `rows` must all have
+/// `headers.len()` columns.
+///
+/// # Panics
+///
+/// Panics when a row has the wrong number of columns.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|h| h.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV (no quoting — cells are numeric or simple
+/// labels).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("name"));
+        assert!(t.contains("longer"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_renders_rows() {
+        let c = render_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_checks_width() {
+        let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn write_artifact_none_is_noop() {
+        write_artifact(None, "x.csv", "data");
+    }
+}

@@ -1,0 +1,477 @@
+//! Implementation of the `cooper` command-line tool.
+//!
+//! The binary (`src/main.rs`) is a thin shell around [`run`]; all
+//! parsing and dispatch lives here so it is unit-testable. Commands:
+//!
+//! ```text
+//! cooper train     --out weights.bin [--scenes N] [--epochs N] [--seed N]
+//! cooper scan      --scenario NAME --observer N --out scan.ply [--beams vlp16|hdl32|hdl64]
+//! cooper detect    --input cloud.ply|cloud.xyz [--weights weights.bin] [--threshold T] [--bev]
+//! cooper evaluate  --scenario NAME [--pair N] [--weights weights.bin]
+//! cooper convert   --input a.xyz --out b.ply
+//! cooper scenarios
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use cooper_core::report::{evaluate_pair, EvaluationConfig};
+use cooper_core::viz::{render_bev, BevViewConfig};
+use cooper_core::CooperPipeline;
+use cooper_lidar_sim::scenario::{self, Scenario};
+use cooper_lidar_sim::{BeamModel, LidarScanner};
+use cooper_pointcloud::io::{read_pcd, read_ply, read_xyz, write_pcd, write_ply, write_xyz};
+use cooper_pointcloud::PointCloud;
+use cooper_spod::train::{train, TrainingConfig};
+use cooper_spod::{SpodConfig, SpodDetector};
+
+/// A CLI failure: the message shown to the user (exit code 1 or 2).
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// `true` for usage errors (exit 2), `false` for runtime failures
+    /// (exit 1).
+    pub usage: bool,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            usage: true,
+        }
+    }
+    fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            usage: false,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed `--flag value` options plus positional arguments.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional).
+    pub command: String,
+    /// `--flag value` pairs; bare flags map to `"true"`.
+    pub options: HashMap<String, String>,
+}
+
+/// Bare flags (no value).
+const BARE_FLAGS: &[&str] = &["--bev", "--help"];
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage error for missing command, unknown bare-flag usage or
+/// a flag without a value.
+pub fn parse_args(args: &[String]) -> Result<ParsedArgs, CliError> {
+    let mut parsed = ParsedArgs::default();
+    let mut it = args.iter().peekable();
+    match it.next() {
+        Some(cmd) if !cmd.starts_with("--") => parsed.command = cmd.clone(),
+        Some(flag) if flag == "--help" => {
+            parsed.command = "help".into();
+            return Ok(parsed);
+        }
+        _ => return Err(CliError::usage(usage())),
+    }
+    while let Some(arg) = it.next() {
+        if !arg.starts_with("--") {
+            return Err(CliError::usage(format!(
+                "unexpected positional argument {arg:?}"
+            )));
+        }
+        if BARE_FLAGS.contains(&arg.as_str()) {
+            parsed.options.insert(arg.clone(), "true".into());
+            continue;
+        }
+        match it.next() {
+            Some(value) => {
+                parsed.options.insert(arg.clone(), value.clone());
+            }
+            None => return Err(CliError::usage(format!("flag {arg} requires a value"))),
+        }
+    }
+    Ok(parsed)
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "cooper — cooperative perception for connected autonomous vehicles
+
+USAGE:
+  cooper train     --out weights.bin [--scenes N] [--epochs N] [--seed N]
+  cooper scan      --scenario NAME --observer N --out scan.ply [--beams vlp16|hdl32|hdl64] [--seed N]
+  cooper detect    --input cloud.ply|cloud.xyz [--weights weights.bin] [--threshold T] [--bev]
+  cooper evaluate  --scenario NAME [--pair N] [--weights weights.bin]
+  cooper convert   --input a.xyz|a.ply|a.pcd --out b.xyz|b.ply|b.pcd
+  cooper scenarios
+
+Scenario names: kitti1 kitti2 kitti3 kitti4 tj1 tj2 tj3 tj4"
+        .to_string()
+}
+
+fn scenario_by_name(name: &str) -> Result<Scenario, CliError> {
+    Ok(match name {
+        "kitti1" => scenario::t_junction(),
+        "kitti2" => scenario::stop_sign(),
+        "kitti3" => scenario::left_turn(),
+        "kitti4" => scenario::curve(),
+        "tj1" => scenario::tj_scenario_1(),
+        "tj2" => scenario::tj_scenario_2(),
+        "tj3" => scenario::tj_scenario_3(),
+        "tj4" => scenario::tj_scenario_4(),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown scenario {other:?} (run `cooper scenarios`)"
+            )))
+        }
+    })
+}
+
+fn beams_by_name(name: &str) -> Result<BeamModel, CliError> {
+    Ok(match name {
+        "vlp16" => BeamModel::vlp16(),
+        "hdl32" => BeamModel::hdl32(),
+        "hdl64" => BeamModel::hdl64(),
+        other => return Err(CliError::usage(format!("unknown beam model {other:?}"))),
+    })
+}
+
+fn read_cloud(path: &str) -> Result<PointCloud, CliError> {
+    let file =
+        File::open(path).map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?;
+    let reader = BufReader::new(file);
+    let result = if path.ends_with(".ply") {
+        read_ply(reader)
+    } else if path.ends_with(".pcd") {
+        read_pcd(reader)
+    } else {
+        read_xyz(reader)
+    };
+    result.map_err(|e| CliError::runtime(format!("cannot parse {path}: {e}")))
+}
+
+fn write_cloud(cloud: &PointCloud, path: &str) -> Result<(), CliError> {
+    let file =
+        File::create(path).map_err(|e| CliError::runtime(format!("cannot create {path}: {e}")))?;
+    let writer = BufWriter::new(file);
+    let result = if path.ends_with(".ply") {
+        write_ply(cloud, writer)
+    } else if path.ends_with(".pcd") {
+        write_pcd(cloud, writer)
+    } else {
+        write_xyz(cloud, writer)
+    };
+    result.map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))
+}
+
+fn load_or_train_detector(options: &HashMap<String, String>) -> Result<SpodDetector, CliError> {
+    match options.get("--weights") {
+        Some(path) if Path::new(path).exists() => {
+            let bytes = std::fs::read(path)
+                .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+            SpodDetector::from_bytes(&bytes)
+                .map_err(|e| CliError::runtime(format!("cannot load {path}: {e}")))
+        }
+        Some(path) => Err(CliError::runtime(format!(
+            "weight file {path} does not exist"
+        ))),
+        None => {
+            eprintln!("no --weights given; training a detector (fast config)…");
+            Ok(SpodDetector::train_default(&TrainingConfig::fast()))
+        }
+    }
+}
+
+fn get_parse<T: std::str::FromStr>(
+    options: &HashMap<String, String>,
+    flag: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match options.get(flag) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid value for {flag}: {raw:?}"))),
+        None => Ok(default),
+    }
+}
+
+fn require<'a>(options: &'a HashMap<String, String>, flag: &str) -> Result<&'a str, CliError> {
+    options
+        .get(flag)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::usage(format!("{flag} is required")))
+}
+
+/// Executes a parsed command, printing results to stdout.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on any failure.
+pub fn run(parsed: &ParsedArgs) -> Result<(), CliError> {
+    match parsed.command.as_str() {
+        "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        "scenarios" => {
+            println!("name     description");
+            for (name, scene) in [
+                ("kitti1", scenario::t_junction()),
+                ("kitti2", scenario::stop_sign()),
+                ("kitti3", scenario::left_turn()),
+                ("kitti4", scenario::curve()),
+                ("tj1", scenario::tj_scenario_1()),
+                ("tj2", scenario::tj_scenario_2()),
+                ("tj3", scenario::tj_scenario_3()),
+                ("tj4", scenario::tj_scenario_4()),
+            ] {
+                println!(
+                    "{name:8} {} — {} observers, {} pairs, {} cars",
+                    scene.name,
+                    scene.observers.len(),
+                    scene.pairs.len(),
+                    scene.ground_truth_cars().len()
+                );
+            }
+            Ok(())
+        }
+        "train" => {
+            let out = require(&parsed.options, "--out")?;
+            let training = TrainingConfig {
+                scenes: get_parse(&parsed.options, "--scenes", 120usize)?,
+                epochs: get_parse(&parsed.options, "--epochs", 4usize)?,
+                seed: get_parse(&parsed.options, "--seed", 42u64)?,
+                ..TrainingConfig::standard()
+            };
+            eprintln!(
+                "training on {} scenes × {} epochs…",
+                training.scenes, training.epochs
+            );
+            let detector = train(SpodConfig::default(), &training);
+            let bytes = detector.to_bytes();
+            std::fs::write(out, &bytes)
+                .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
+            println!("wrote {} ({} bytes)", out, bytes.len());
+            Ok(())
+        }
+        "scan" => {
+            let scene = scenario_by_name(require(&parsed.options, "--scenario")?)?;
+            let out = require(&parsed.options, "--out")?;
+            let observer: usize = get_parse(&parsed.options, "--observer", 0)?;
+            let seed: u64 = get_parse(&parsed.options, "--seed", 1)?;
+            let beams = match parsed.options.get("--beams") {
+                Some(name) => beams_by_name(name)?,
+                None => scene.kind.beam_model(),
+            };
+            let pose = *scene.observers.get(observer).ok_or_else(|| {
+                CliError::usage(format!(
+                    "observer {observer} out of range (scenario has {})",
+                    scene.observers.len()
+                ))
+            })?;
+            let scan = LidarScanner::new(beams).scan(&scene.world, &pose, seed);
+            write_cloud(&scan, out)?;
+            println!("wrote {} points to {}", scan.len(), out);
+            Ok(())
+        }
+        "detect" => {
+            let cloud = read_cloud(require(&parsed.options, "--input")?)?;
+            let detector = load_or_train_detector(&parsed.options)?;
+            let threshold: f32 = get_parse(&parsed.options, "--threshold", 0.5)?;
+            let detections = detector.detect_with_threshold(&cloud, threshold);
+            println!("{} detections on {} points:", detections.len(), cloud.len());
+            for d in &detections {
+                println!("  {d}");
+            }
+            if parsed.options.contains_key("--bev") {
+                println!(
+                    "{}",
+                    render_bev(
+                        &cloud.downsampled(1 + cloud.len() / 4000),
+                        &detections,
+                        &[],
+                        &BevViewConfig::default()
+                    )
+                );
+            }
+            Ok(())
+        }
+        "evaluate" => {
+            let scene = scenario_by_name(require(&parsed.options, "--scenario")?)?;
+            let pair: usize = get_parse(&parsed.options, "--pair", 0)?;
+            if pair >= scene.pairs.len() {
+                return Err(CliError::usage(format!(
+                    "pair {pair} out of range (scenario has {})",
+                    scene.pairs.len()
+                )));
+            }
+            let detector = load_or_train_detector(&parsed.options)?;
+            let pipeline = CooperPipeline::new(detector);
+            let eval = evaluate_pair(&pipeline, &scene, pair, &EvaluationConfig::default());
+            println!("{}", eval.render_matrix());
+            println!(
+                "single A: {} cars ({:.0} %), single B: {} cars ({:.0} %), Cooper: {} cars ({:.0} %)",
+                eval.detected_a(),
+                eval.accuracy_a(),
+                eval.detected_b(),
+                eval.accuracy_b(),
+                eval.detected_coop(),
+                eval.accuracy_coop()
+            );
+            Ok(())
+        }
+        "convert" => {
+            let cloud = read_cloud(require(&parsed.options, "--input")?)?;
+            let out = require(&parsed.options, "--out")?;
+            write_cloud(&cloud, out)?;
+            println!("wrote {} points to {}", cloud.len(), out);
+            Ok(())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = parse_args(&args(&["scan", "--scenario", "tj1", "--out", "x.ply"])).unwrap();
+        assert_eq!(p.command, "scan");
+        assert_eq!(p.options["--scenario"], "tj1");
+        assert_eq!(p.options["--out"], "x.ply");
+    }
+
+    #[test]
+    fn bare_flags_need_no_value() {
+        let p = parse_args(&args(&["detect", "--input", "a.xyz", "--bev"])).unwrap();
+        assert_eq!(p.options["--bev"], "true");
+    }
+
+    #[test]
+    fn missing_value_is_usage_error() {
+        let e = parse_args(&args(&["scan", "--scenario"])).unwrap_err();
+        assert!(e.usage);
+        assert!(e.message.contains("--scenario"));
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert!(parse_args(&[]).unwrap_err().usage);
+        let p = parse_args(&args(&["--help"])).unwrap();
+        assert_eq!(p.command, "help");
+        run(&p).unwrap();
+    }
+
+    #[test]
+    fn unexpected_positional_rejected() {
+        let e = parse_args(&args(&["scan", "oops"])).unwrap_err();
+        assert!(e.usage);
+    }
+
+    #[test]
+    fn unknown_command_and_scenario() {
+        let e = run(&parse_args(&args(&["frobnicate"])).unwrap()).unwrap_err();
+        assert!(e.usage);
+        let e2 = run(&parse_args(&args(&["scan", "--scenario", "nope", "--out", "x"])).unwrap())
+            .unwrap_err();
+        assert!(e2.message.contains("unknown scenario"));
+    }
+
+    #[test]
+    fn scenarios_listing_runs() {
+        run(&parse_args(&args(&["scenarios"])).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn scan_convert_round_trip() {
+        let dir = std::env::temp_dir().join("cooper-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ply = dir.join("scan.ply");
+        let xyz = dir.join("scan.xyz");
+        run(&parse_args(&args(&[
+            "scan",
+            "--scenario",
+            "tj1",
+            "--observer",
+            "0",
+            "--out",
+            ply.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse_args(&args(&[
+            "convert",
+            "--input",
+            ply.to_str().unwrap(),
+            "--out",
+            xyz.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        let a = read_cloud(ply.to_str().unwrap()).unwrap();
+        let b = read_cloud(xyz.to_str().unwrap()).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn scan_rejects_bad_observer() {
+        let e = run(&parse_args(&args(&[
+            "scan",
+            "--scenario",
+            "tj1",
+            "--observer",
+            "99",
+            "--out",
+            "/tmp/x.ply",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn detect_requires_existing_weights_when_given() {
+        let e =
+            run(&parse_args(&args(&["detect", "--input", "/definitely/not/here.xyz"])).unwrap())
+                .unwrap_err();
+        assert!(!e.usage);
+    }
+
+    #[test]
+    fn invalid_numeric_flag() {
+        let e =
+            run(&parse_args(&args(&["evaluate", "--scenario", "tj1", "--pair", "abc"])).unwrap())
+                .unwrap_err();
+        assert!(e.usage);
+        assert!(e.message.contains("--pair"));
+    }
+}

@@ -1,0 +1,16 @@
+//! The `cooper` binary — see [`cooper_cli`] for the implementation.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match cooper_cli::parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = cooper_cli::run(&parsed) {
+        eprintln!("error: {e}");
+        std::process::exit(if e.usage { 2 } else { 1 });
+    }
+}

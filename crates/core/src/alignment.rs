@@ -1,0 +1,86 @@
+//! Alignment of received clouds into the receiver's frame — the paper's
+//! Equations 1–3 assembled end-to-end.
+
+use cooper_geometry::{GpsFix, RigidTransform};
+use cooper_lidar_sim::PoseEstimate;
+
+/// Builds the rigid transform that maps points from the transmitter's
+/// sensor frame into the receiver's sensor frame.
+///
+/// This is the paper's data-reconstruction step: the rotation comes from
+/// "the IMU value difference between the transmitter and the receiver"
+/// (Equation 1 applied to both attitudes) and the translation `Δd` from
+/// the difference of the two GPS readings (Equation 3), both evaluated
+/// in the local east-north-up frame anchored at `origin`.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_core::alignment_transform;
+/// use cooper_geometry::{Attitude, GpsFix, Vec3};
+/// use cooper_lidar_sim::PoseEstimate;
+///
+/// let origin = GpsFix::new(33.2075, -97.1526, 190.0);
+/// let tx = PoseEstimate { gps: origin.offset_by(Vec3::new(10.0, 0.0, 0.0)), attitude: Attitude::level() };
+/// let rx = PoseEstimate { gps: origin, attitude: Attitude::level() };
+/// let t = alignment_transform(&tx, &rx, &origin);
+/// // The transmitter's origin lands 10 m east of the receiver.
+/// assert!((t.apply(Vec3::ZERO) - Vec3::new(10.0, 0.0, 0.0)).norm() < 1e-4);
+/// ```
+pub fn alignment_transform(
+    transmitter: &PoseEstimate,
+    receiver: &PoseEstimate,
+    origin: &GpsFix,
+) -> RigidTransform {
+    let tx_pose = transmitter.to_pose(origin);
+    let rx_pose = receiver.to_pose(origin);
+    RigidTransform::between(&tx_pose, &rx_pose)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooper_geometry::{Attitude, Pose, Vec3};
+
+    fn origin() -> GpsFix {
+        GpsFix::new(33.2075, -97.1526, 190.0)
+    }
+
+    fn estimate(pose: &Pose) -> PoseEstimate {
+        PoseEstimate::from_pose(pose, &origin())
+    }
+
+    #[test]
+    fn identity_for_identical_poses() {
+        let pose = Pose::new(Vec3::new(5.0, -3.0, 1.8), Attitude::from_yaw(0.7));
+        let t = alignment_transform(&estimate(&pose), &estimate(&pose), &origin());
+        let p = Vec3::new(12.0, 4.0, 0.5);
+        assert!((t.apply(p) - p).norm() < 1e-4);
+    }
+
+    #[test]
+    fn matches_direct_pose_transform() {
+        let tx = Pose::new(Vec3::new(20.0, 10.0, 1.9), Attitude::new(0.8, 0.01, -0.02));
+        let rx = Pose::new(Vec3::new(-5.0, 3.0, 1.73), Attitude::new(-0.4, 0.0, 0.03));
+        let via_gps = alignment_transform(&estimate(&tx), &estimate(&rx), &origin());
+        let direct = RigidTransform::between(&tx, &rx);
+        let p = Vec3::new(7.0, -2.0, 0.4);
+        assert!(
+            (via_gps.apply(p) - direct.apply(p)).norm() < 1e-3,
+            "GPS path {} vs direct {}",
+            via_gps.apply(p),
+            direct.apply(p)
+        );
+    }
+
+    #[test]
+    fn pure_rotation_case() {
+        let tx = Pose::new(Vec3::ZERO, Attitude::from_yaw(std::f64::consts::FRAC_PI_2));
+        let rx = Pose::new(Vec3::ZERO, Attitude::level());
+        let t = alignment_transform(&estimate(&tx), &estimate(&rx), &origin());
+        // A point ahead of the rotated transmitter appears to the
+        // receiver's left.
+        let p = t.apply(Vec3::new(5.0, 0.0, 0.0));
+        assert!((p - Vec3::new(0.0, 5.0, 0.0)).norm() < 1e-4, "{p}");
+    }
+}

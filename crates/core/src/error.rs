@@ -1,0 +1,85 @@
+//! Error type of the Cooper pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use cooper_pointcloud::CodecError;
+
+/// Errors produced while building, encoding, decoding or fusing
+/// exchange packets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CooperError {
+    /// The embedded point-cloud payload failed to encode or decode.
+    Codec(CodecError),
+    /// The packet buffer ended before the declared payload was complete.
+    Truncated {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes available.
+        actual: usize,
+    },
+    /// The packet did not start with the expected magic bytes.
+    BadMagic,
+    /// The packet version is unsupported.
+    UnsupportedVersion(u8),
+    /// A received pose contained non-finite values — alignment would
+    /// produce garbage, so the packet is rejected.
+    InvalidPose,
+}
+
+impl fmt::Display for CooperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CooperError::Codec(e) => write!(f, "point cloud payload: {e}"),
+            CooperError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "packet truncated: expected {expected} bytes, got {actual}"
+                )
+            }
+            CooperError::BadMagic => write!(f, "packet does not start with COOP magic"),
+            CooperError::UnsupportedVersion(v) => write!(f, "unsupported packet version {v}"),
+            CooperError::InvalidPose => write!(f, "received pose contains non-finite values"),
+        }
+    }
+}
+
+impl Error for CooperError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CooperError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for CooperError {
+    fn from(e: CodecError) -> Self {
+        CooperError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_sources_chain() {
+        let errs: Vec<CooperError> = vec![
+            CooperError::Codec(CodecError::BadMagic),
+            CooperError::Truncated {
+                expected: 10,
+                actual: 2,
+            },
+            CooperError::BadMagic,
+            CooperError::UnsupportedVersion(9),
+            CooperError::InvalidPose,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+        let wrapped = CooperError::from(CodecError::BadMagic);
+        assert!(wrapped.source().is_some());
+        assert!(CooperError::BadMagic.source().is_none());
+    }
+}

@@ -1,0 +1,410 @@
+//! Multi-vehicle fleet simulation.
+//!
+//! The paper frames Cooper as "an entry to a broader platform for CAV"
+//! where "vehicles on adjacent districts or crowded zones can keep
+//! connection for a longer duration, thereby enhancing cooperative
+//! sensing" (§II-A). This module provides the time-stepped multi-vehicle
+//! loop behind that vision: every step, each vehicle scans, broadcasts
+//! an ROI-filtered exchange packet to every cooperator within radio
+//! range, fuses what it received and runs detection — while the
+//! simulation tracks per-pair connection durations and exchanged bytes.
+
+use std::collections::HashMap;
+
+use cooper_geometry::{GpsFix, Pose};
+use cooper_lidar_sim::{BeamModel, GpsImuModel, LidarScanner, World};
+use cooper_pointcloud::roi::{extract_roi, RoiCategory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{CooperPipeline, ExchangePacket};
+
+/// One vehicle in the fleet: an id, a pose trajectory (one pose per
+/// step) and its LiDAR unit.
+#[derive(Debug, Clone)]
+pub struct FleetVehicle {
+    /// Vehicle identifier, unique in the fleet.
+    pub id: u32,
+    /// Pose per simulation step; the vehicle holds its last pose when
+    /// the trajectory is shorter than the run.
+    pub trajectory: Vec<Pose>,
+    /// The vehicle's LiDAR.
+    pub beams: BeamModel,
+}
+
+impl FleetVehicle {
+    /// The pose at `step` (clamped to the trajectory end).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trajectory is empty.
+    pub fn pose_at(&self, step: usize) -> Pose {
+        assert!(
+            !self.trajectory.is_empty(),
+            "vehicle {} has no trajectory",
+            self.id
+        );
+        self.trajectory[step.min(self.trajectory.len() - 1)]
+    }
+}
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Vehicles exchange only when within this planar distance.
+    pub comms_range_m: f64,
+    /// ROI category applied to broadcast frames.
+    pub roi: RoiCategory,
+    /// GPS/IMU model producing the exchanged pose estimates.
+    pub sensor_model: GpsImuModel,
+    /// GPS anchor of the shared frame.
+    pub origin: GpsFix,
+    /// Base seed for scan noise.
+    pub seed: u64,
+    /// Wall-clock duration of one step, seconds; dynamic entities
+    /// (non-zero [`cooper_lidar_sim::Entity::velocity`]) advance by this
+    /// much between steps.
+    pub step_duration_s: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            comms_range_m: 150.0,
+            roi: RoiCategory::FullFrame,
+            sensor_model: GpsImuModel::realistic(),
+            origin: GpsFix::new(33.2075, -97.1526, 190.0),
+            seed: 0,
+            step_duration_s: 1.0,
+        }
+    }
+}
+
+/// Per-vehicle outcome of one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VehicleStepReport {
+    /// The vehicle.
+    pub vehicle_id: u32,
+    /// Cars detected from the vehicle's own scan alone.
+    pub single_detections: usize,
+    /// Cars detected after fusing all received packets.
+    pub cooperative_detections: usize,
+    /// Packets fused this step.
+    pub packets_received: usize,
+    /// Exchange bytes received this step.
+    pub bytes_received: usize,
+}
+
+/// The outcome of one simulation step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetStepReport {
+    /// Step index.
+    pub step: usize,
+    /// One entry per vehicle, in fleet order.
+    pub per_vehicle: Vec<VehicleStepReport>,
+}
+
+/// Aggregate statistics of a completed run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Steps during which each (low id, high id) pair was in radio
+    /// range — the paper's "connection duration".
+    pub connection_steps: HashMap<(u32, u32), usize>,
+    /// Total exchange bytes moved over the whole run.
+    pub total_bytes: u64,
+}
+
+impl FleetStats {
+    /// The longest-lived connection, if any pair ever connected.
+    pub fn longest_connection(&self) -> Option<((u32, u32), usize)> {
+        self.connection_steps
+            .iter()
+            .max_by_key(|(_, &steps)| steps)
+            .map(|(&pair, &steps)| (pair, steps))
+    }
+}
+
+/// A time-stepped multi-vehicle cooperative-perception simulation.
+#[derive(Debug, Clone)]
+pub struct FleetSimulation {
+    world: World,
+    vehicles: Vec<FleetVehicle>,
+    config: FleetConfig,
+}
+
+impl FleetSimulation {
+    /// Creates a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vehicles` is empty, any trajectory is empty, or ids
+    /// collide.
+    pub fn new(world: World, vehicles: Vec<FleetVehicle>, config: FleetConfig) -> Self {
+        assert!(!vehicles.is_empty(), "fleet must have at least one vehicle");
+        for v in &vehicles {
+            assert!(
+                !v.trajectory.is_empty(),
+                "vehicle {} has no trajectory",
+                v.id
+            );
+        }
+        let mut ids: Vec<u32> = vehicles.iter().map(|v| v.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), vehicles.len(), "duplicate vehicle ids");
+        FleetSimulation {
+            world,
+            vehicles,
+            config,
+        }
+    }
+
+    /// The fleet.
+    pub fn vehicles(&self) -> &[FleetVehicle] {
+        &self.vehicles
+    }
+
+    /// Runs `steps` simulation steps, returning per-step reports and
+    /// aggregate statistics. Every exchange is delivered (an ideal
+    /// channel); use [`FleetSimulation::run_with_packet_filter`] to
+    /// model a lossy or contended medium.
+    pub fn run(
+        &self,
+        pipeline: &CooperPipeline,
+        steps: usize,
+    ) -> (Vec<FleetStepReport>, FleetStats) {
+        self.run_with_packet_filter(pipeline, steps, |_, _, _, _| true)
+    }
+
+    /// Like [`FleetSimulation::run`], with a delivery filter: for each
+    /// directed transfer the callback receives `(step, from_id, to_id,
+    /// wire_bytes)` and returns whether the packet arrives. This is the
+    /// hook a channel model (loss, contention, budget) plugs into —
+    /// see `cooper-v2x` for implementations.
+    pub fn run_with_packet_filter<F>(
+        &self,
+        pipeline: &CooperPipeline,
+        steps: usize,
+        mut deliver: F,
+    ) -> (Vec<FleetStepReport>, FleetStats)
+    where
+        F: FnMut(usize, u32, u32, usize) -> bool,
+    {
+        let mut reports = Vec::with_capacity(steps);
+        let mut stats = FleetStats::default();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF1EE7);
+        let mut world = self.world.clone();
+
+        for step in 0..steps {
+            // Phase 1: every vehicle scans and broadcasts.
+            struct Broadcast {
+                scan: cooper_pointcloud::PointCloud,
+                pose: Pose,
+                packet: ExchangePacket,
+            }
+            let broadcasts: Vec<Broadcast> = self
+                .vehicles
+                .iter()
+                .enumerate()
+                .map(|(idx, v)| {
+                    let pose = v.pose_at(step);
+                    let scanner = LidarScanner::new(v.beams.clone());
+                    let scan = scanner.scan(
+                        &world,
+                        &pose,
+                        self.config.seed ^ ((step as u64) << 24) ^ idx as u64,
+                    );
+                    let estimate =
+                        self.config
+                            .sensor_model
+                            .measure(&pose, &self.config.origin, &mut rng);
+                    let roi_scan = extract_roi(&scan, self.config.roi);
+                    let packet = ExchangePacket::build(v.id, step as u32, &roi_scan, estimate)
+                        .expect("sensor-frame scans always encode");
+                    Broadcast { scan, pose, packet }
+                })
+                .collect();
+
+            // Phase 2: track connections.
+            for i in 0..self.vehicles.len() {
+                for j in (i + 1)..self.vehicles.len() {
+                    let d = broadcasts[i].pose.delta_d(&broadcasts[j].pose);
+                    if d <= self.config.comms_range_m {
+                        let key = (
+                            self.vehicles[i].id.min(self.vehicles[j].id),
+                            self.vehicles[i].id.max(self.vehicles[j].id),
+                        );
+                        *stats.connection_steps.entry(key).or_insert(0) += 1;
+                    }
+                }
+            }
+
+            // Phase 3: every vehicle fuses what it can hear and detects.
+            let mut per_vehicle = Vec::with_capacity(self.vehicles.len());
+            for (i, me) in broadcasts.iter().enumerate() {
+                let my_estimate =
+                    self.config
+                        .sensor_model
+                        .measure(&me.pose, &self.config.origin, &mut rng);
+                let mut packets = Vec::new();
+                let mut bytes_received = 0usize;
+                for (j, other) in broadcasts.iter().enumerate() {
+                    if i == j || me.pose.delta_d(&other.pose) > self.config.comms_range_m {
+                        continue;
+                    }
+                    if !deliver(
+                        step,
+                        self.vehicles[j].id,
+                        self.vehicles[i].id,
+                        other.packet.wire_size(),
+                    ) {
+                        continue;
+                    }
+                    bytes_received += other.packet.wire_size();
+                    packets.push(other.packet.clone());
+                }
+                stats.total_bytes += bytes_received as u64;
+                let single = pipeline.perceive_single(&me.scan).len();
+                let cooperative = pipeline
+                    .perceive_cooperative(&me.scan, &my_estimate, &packets, &self.config.origin)
+                    .expect("freshly built packets always decode")
+                    .detections
+                    .len();
+                per_vehicle.push(VehicleStepReport {
+                    vehicle_id: self.vehicles[i].id,
+                    single_detections: single,
+                    cooperative_detections: cooperative,
+                    packets_received: packets.len(),
+                    bytes_received,
+                });
+            }
+            reports.push(FleetStepReport { step, per_vehicle });
+            world = world.advanced(self.config.step_duration_s);
+        }
+        (reports, stats)
+    }
+}
+
+/// Builds a straight constant-speed trajectory: `steps` poses advancing
+/// `speed_m_per_step` along the heading of `start`.
+pub fn straight_trajectory(start: Pose, speed_m_per_step: f64, steps: usize) -> Vec<Pose> {
+    let dir = cooper_geometry::Vec3::new(start.attitude.yaw.cos(), start.attitude.yaw.sin(), 0.0);
+    (0..steps)
+        .map(|s| {
+            Pose::new(
+                start.position + dir * (speed_m_per_step * s as f64),
+                start.attitude,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooper_geometry::{Attitude, Vec3};
+    use cooper_lidar_sim::scenario;
+    use cooper_spod::{SpodConfig, SpodDetector};
+
+    fn pipeline() -> CooperPipeline {
+        CooperPipeline::new(SpodDetector::new(SpodConfig::default()))
+    }
+
+    fn small_fleet() -> FleetSimulation {
+        let scene = scenario::tj_scenario_1();
+        let vehicles = vec![
+            FleetVehicle {
+                id: 1,
+                trajectory: straight_trajectory(scene.observers[0], 1.0, 4),
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+            FleetVehicle {
+                id: 2,
+                trajectory: straight_trajectory(scene.observers[1], 1.0, 4),
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+        ];
+        FleetSimulation::new(scene.world, vehicles, FleetConfig::default())
+    }
+
+    #[test]
+    fn run_produces_reports_per_step_and_vehicle() {
+        let sim = small_fleet();
+        let (reports, stats) = sim.run(&pipeline(), 3);
+        assert_eq!(reports.len(), 3);
+        for (step, report) in reports.iter().enumerate() {
+            assert_eq!(report.step, step);
+            assert_eq!(report.per_vehicle.len(), 2);
+            for v in &report.per_vehicle {
+                assert_eq!(v.packets_received, 1, "both vehicles are in range");
+                assert!(v.bytes_received > 0);
+            }
+        }
+        assert_eq!(stats.connection_steps.get(&(1, 2)), Some(&3));
+        assert!(stats.total_bytes > 0);
+        assert_eq!(stats.longest_connection().unwrap().0, (1, 2));
+    }
+
+    #[test]
+    fn out_of_range_vehicles_do_not_exchange() {
+        let scene = scenario::tj_scenario_1();
+        let far_pose = Pose::new(Vec3::new(500.0, 500.0, 1.9), Attitude::level());
+        let vehicles = vec![
+            FleetVehicle {
+                id: 1,
+                trajectory: vec![scene.observers[0]],
+                beams: BeamModel::vlp16().with_azimuth_steps(200),
+            },
+            FleetVehicle {
+                id: 2,
+                trajectory: vec![far_pose],
+                beams: BeamModel::vlp16().with_azimuth_steps(200),
+            },
+        ];
+        let sim = FleetSimulation::new(scene.world, vehicles, FleetConfig::default());
+        let (reports, stats) = sim.run(&pipeline(), 1);
+        for v in &reports[0].per_vehicle {
+            assert_eq!(v.packets_received, 0);
+            assert_eq!(v.bytes_received, 0);
+        }
+        assert!(stats.connection_steps.is_empty());
+    }
+
+    #[test]
+    fn trajectory_clamps_at_end() {
+        let v = FleetVehicle {
+            id: 1,
+            trajectory: straight_trajectory(Pose::origin(), 2.0, 3),
+            beams: BeamModel::vlp16(),
+        };
+        assert_eq!(v.pose_at(2), v.pose_at(99));
+        assert!((v.pose_at(1).position.x - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straight_trajectory_follows_heading() {
+        let start = Pose::new(Vec3::ZERO, Attitude::from_yaw(std::f64::consts::FRAC_PI_2));
+        let t = straight_trajectory(start, 3.0, 3);
+        assert!((t[2].position.y - 6.0).abs() < 1e-12);
+        assert!(t[2].position.x.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vehicle ids")]
+    fn duplicate_ids_rejected() {
+        let scene = scenario::tj_scenario_1();
+        let v = FleetVehicle {
+            id: 1,
+            trajectory: vec![scene.observers[0]],
+            beams: BeamModel::vlp16(),
+        };
+        let _ = FleetSimulation::new(scene.world, vec![v.clone(), v], FleetConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vehicle")]
+    fn empty_fleet_rejected() {
+        let _ = FleetSimulation::new(World::new(), vec![], FleetConfig::default());
+    }
+}

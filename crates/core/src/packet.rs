@@ -1,0 +1,303 @@
+//! The Cooper exchange package.
+//!
+//! §II-D: "additional information is encapsulated into the exchange
+//! package. Said package should be constituted from LiDAR sensor
+//! installation information and its GPS reading … Vehicle's IMU reading
+//! is also required because it records the offset information of the
+//! vehicle during driving." The packet therefore carries the compact
+//! point-cloud payload plus the transmitting vehicle's [`PoseEstimate`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cooper_geometry::{Attitude, GpsFix};
+use cooper_lidar_sim::PoseEstimate;
+use cooper_pointcloud::{decode_cloud, encode_cloud, PointCloud};
+
+use crate::CooperError;
+
+const MAGIC: &[u8; 4] = b"COOP";
+const VERSION: u8 = 1;
+/// Fixed header: magic (4) + version (1) + vehicle id (4) + sequence (4)
+/// + gps lat/lon/alt (24) + yaw/pitch/roll (24) + payload length (4).
+const HEADER_BYTES: usize = 4 + 1 + 4 + 4 + 24 + 24 + 4;
+
+/// One cooperative-perception message: a (possibly ROI-filtered) point
+/// cloud in the transmitter's sensor frame plus the pose estimate needed
+/// to align it.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_core::ExchangePacket;
+/// use cooper_geometry::{Attitude, GpsFix, Vec3};
+/// use cooper_lidar_sim::PoseEstimate;
+/// use cooper_pointcloud::{Point, PointCloud};
+///
+/// # fn main() -> Result<(), cooper_core::CooperError> {
+/// let mut cloud = PointCloud::new();
+/// cloud.push(Point::new(Vec3::new(10.0, 0.0, -1.5), 0.4));
+/// let pose = PoseEstimate {
+///     gps: GpsFix::new(33.2075, -97.1526, 190.0),
+///     attitude: Attitude::from_yaw(0.3),
+/// };
+/// let packet = ExchangePacket::build(7, 1, &cloud, pose)?;
+/// let bytes = packet.to_bytes();
+/// let decoded = ExchangePacket::from_bytes(&bytes)?;
+/// assert_eq!(decoded.vehicle_id(), 7);
+/// assert_eq!(decoded.cloud()?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangePacket {
+    vehicle_id: u32,
+    sequence: u32,
+    pose: PoseEstimate,
+    payload: Bytes,
+}
+
+impl ExchangePacket {
+    /// Builds a packet by encoding `cloud` into the compact wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CooperError::Codec`] when the cloud has out-of-range
+    /// coordinates and [`CooperError::InvalidPose`] when the pose is not
+    /// finite.
+    pub fn build(
+        vehicle_id: u32,
+        sequence: u32,
+        cloud: &PointCloud,
+        pose: PoseEstimate,
+    ) -> Result<Self, CooperError> {
+        if !pose_is_finite(&pose) {
+            return Err(CooperError::InvalidPose);
+        }
+        Ok(ExchangePacket {
+            vehicle_id,
+            sequence,
+            pose,
+            payload: encode_cloud(cloud)?,
+        })
+    }
+
+    /// The transmitting vehicle's identifier.
+    pub fn vehicle_id(&self) -> u32 {
+        self.vehicle_id
+    }
+
+    /// The frame sequence number.
+    pub fn sequence(&self) -> u32 {
+        self.sequence
+    }
+
+    /// The transmitter's measured pose.
+    pub fn pose(&self) -> &PoseEstimate {
+        &self.pose
+    }
+
+    /// Decodes the embedded point cloud (transmitter's sensor frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CooperError::Codec`] for a corrupt payload.
+    pub fn cloud(&self) -> Result<PointCloud, CooperError> {
+        Ok(decode_cloud(&self.payload)?)
+    }
+
+    /// Size of the encoded cloud payload, bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Total size on the wire, bytes — what the DSRC feasibility study
+    /// (Figure 12) accounts.
+    pub fn wire_size(&self) -> usize {
+        HEADER_BYTES + self.payload.len()
+    }
+
+    /// Serializes the packet for transmission.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32(self.vehicle_id);
+        buf.put_u32(self.sequence);
+        buf.put_f64(self.pose.gps.latitude);
+        buf.put_f64(self.pose.gps.longitude);
+        buf.put_f64(self.pose.gps.altitude);
+        buf.put_f64(self.pose.attitude.yaw);
+        buf.put_f64(self.pose.attitude.pitch);
+        buf.put_f64(self.pose.attitude.roll);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Deserializes a packet received from the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CooperError::Truncated`], [`CooperError::BadMagic`],
+    /// [`CooperError::UnsupportedVersion`] or [`CooperError::InvalidPose`]
+    /// for malformed input.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, CooperError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(CooperError::Truncated {
+                expected: HEADER_BYTES,
+                actual: bytes.len(),
+            });
+        }
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CooperError::BadMagic);
+        }
+        let version = bytes.get_u8();
+        if version != VERSION {
+            return Err(CooperError::UnsupportedVersion(version));
+        }
+        let vehicle_id = bytes.get_u32();
+        let sequence = bytes.get_u32();
+        let latitude = bytes.get_f64();
+        let longitude = bytes.get_f64();
+        let altitude = bytes.get_f64();
+        let yaw = bytes.get_f64();
+        let pitch = bytes.get_f64();
+        let roll = bytes.get_f64();
+        let payload_len = bytes.get_u32() as usize;
+        if bytes.remaining() < payload_len {
+            return Err(CooperError::Truncated {
+                expected: HEADER_BYTES + payload_len,
+                actual: HEADER_BYTES + bytes.remaining(),
+            });
+        }
+        let pose = PoseEstimate {
+            gps: GpsFix::new(
+                latitude.clamp(-90.0, 90.0),
+                longitude.clamp(-180.0, 180.0),
+                altitude,
+            ),
+            attitude: Attitude::new(yaw, pitch, roll),
+        };
+        if !pose_is_finite(&pose) {
+            return Err(CooperError::InvalidPose);
+        }
+        Ok(ExchangePacket {
+            vehicle_id,
+            sequence,
+            pose,
+            payload: Bytes::copy_from_slice(&bytes[..payload_len]),
+        })
+    }
+}
+
+fn pose_is_finite(pose: &PoseEstimate) -> bool {
+    pose.gps.latitude.is_finite()
+        && pose.gps.longitude.is_finite()
+        && pose.gps.altitude.is_finite()
+        && pose.attitude.yaw.is_finite()
+        && pose.attitude.pitch.is_finite()
+        && pose.attitude.roll.is_finite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooper_geometry::Vec3;
+    use cooper_pointcloud::Point;
+
+    fn sample_pose() -> PoseEstimate {
+        PoseEstimate {
+            gps: GpsFix::new(33.2075, -97.1526, 190.0),
+            attitude: Attitude::new(0.3, 0.01, -0.02),
+        }
+    }
+
+    fn sample_cloud(n: usize) -> PointCloud {
+        (0..n)
+            .map(|i| Point::new(Vec3::new(i as f64 * 0.1, -1.0, 0.5), 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let packet = ExchangePacket::build(42, 7, &sample_cloud(100), sample_pose()).unwrap();
+        let bytes = packet.to_bytes();
+        assert_eq!(bytes.len(), packet.wire_size());
+        let back = ExchangePacket::from_bytes(&bytes).unwrap();
+        assert_eq!(back.vehicle_id(), 42);
+        assert_eq!(back.sequence(), 7);
+        assert_eq!(back.pose(), packet.pose());
+        assert_eq!(back.cloud().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn truncated_packet_rejected() {
+        let packet = ExchangePacket::build(1, 1, &sample_cloud(10), sample_pose()).unwrap();
+        let bytes = packet.to_bytes();
+        for cut in [3, HEADER_BYTES - 1, bytes.len() - 1] {
+            let err = ExchangePacket::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CooperError::Truncated { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let packet = ExchangePacket::build(1, 1, &sample_cloud(1), sample_pose()).unwrap();
+        let mut bytes = packet.to_bytes().to_vec();
+        bytes[0] = b'X';
+        assert_eq!(
+            ExchangePacket::from_bytes(&bytes).unwrap_err(),
+            CooperError::BadMagic
+        );
+        let mut bytes2 = packet.to_bytes().to_vec();
+        bytes2[4] = 200;
+        assert_eq!(
+            ExchangePacket::from_bytes(&bytes2).unwrap_err(),
+            CooperError::UnsupportedVersion(200)
+        );
+    }
+
+    #[test]
+    fn non_finite_pose_rejected_at_build() {
+        let mut pose = sample_pose();
+        pose.attitude.yaw = f64::NAN;
+        assert_eq!(
+            ExchangePacket::build(1, 1, &sample_cloud(1), pose).unwrap_err(),
+            CooperError::InvalidPose
+        );
+    }
+
+    #[test]
+    fn non_finite_pose_rejected_at_decode() {
+        let packet = ExchangePacket::build(1, 1, &sample_cloud(1), sample_pose()).unwrap();
+        let mut bytes = packet.to_bytes().to_vec();
+        // Overwrite the yaw field (offset 13 + 24 = 37) with NaN bits.
+        bytes[37..45].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert_eq!(
+            ExchangePacket::from_bytes(&bytes).unwrap_err(),
+            CooperError::InvalidPose
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_surfaces_codec_error() {
+        let packet = ExchangePacket::build(1, 1, &sample_cloud(5), sample_pose()).unwrap();
+        let mut bytes = packet.to_bytes().to_vec();
+        // Corrupt the payload's CPPC magic.
+        bytes[HEADER_BYTES] = b'Z';
+        let decoded = ExchangePacket::from_bytes(&bytes).unwrap();
+        assert!(matches!(decoded.cloud(), Err(CooperError::Codec(_))));
+    }
+
+    #[test]
+    fn wire_size_tracks_roi_payload() {
+        let full = ExchangePacket::build(1, 1, &sample_cloud(1000), sample_pose()).unwrap();
+        let roi = ExchangePacket::build(1, 1, &sample_cloud(100), sample_pose()).unwrap();
+        assert!(roi.wire_size() < full.wire_size());
+        assert_eq!(full.wire_size() - roi.wire_size(), 900 * 7);
+    }
+}

@@ -1,0 +1,332 @@
+//! Demand-driven ROI requests.
+//!
+//! The paper's exchange strategy is demand-driven: "For object detection
+//! purpose, ROI data will be extracted whenever failure detection
+//! happened on this area" (§IV-G), and "when utilized with cooperative
+//! perception, we are still able to locate the plates in point clouds
+//! and ask for its [sensor] data from connected vehicles" (§II-C).
+//!
+//! A vehicle that finds a blocked region in its own scan (via
+//! [`cooper_pointcloud::roi::blind_sectors`]) broadcasts a [`RoiRequest`]
+//! naming the wedge it cannot see; a cooperator answers with only the
+//! points that fall inside that wedge *as seen from the requester* —
+//! typically a small fraction of a full frame.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cooper_geometry::{normalize_angle, GpsFix};
+use cooper_lidar_sim::PoseEstimate;
+use cooper_pointcloud::roi::BlindSector;
+use cooper_pointcloud::PointCloud;
+
+use crate::{alignment_transform, CooperError};
+
+const MAGIC: &[u8; 4] = b"CORQ";
+const VERSION: u8 = 1;
+/// magic (4) + version (1) + requester id (4) + gps (24) + attitude (24)
+/// + center/width/max range (24).
+const WIRE_BYTES: usize = 4 + 1 + 4 + 24 + 24 + 24;
+
+/// A request for the point-cloud contents of one wedge of space around
+/// the requesting vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoiRequest {
+    /// The requesting vehicle.
+    pub requester_id: u32,
+    /// The requester's measured pose (so responders can evaluate the
+    /// wedge in the requester's frame).
+    pub requester_pose: PoseEstimate,
+    /// Wedge center azimuth in the requester's sensor frame, radians.
+    pub center_azimuth: f64,
+    /// Wedge angular width, radians.
+    pub width: f64,
+    /// Maximum range of interest from the requester, metres.
+    pub max_range: f64,
+}
+
+impl RoiRequest {
+    /// Builds a request covering one blocked sector of the requester's
+    /// view.
+    pub fn for_blind_sector(
+        requester_id: u32,
+        requester_pose: PoseEstimate,
+        sector: &BlindSector,
+        max_range: f64,
+    ) -> Self {
+        RoiRequest {
+            requester_id,
+            requester_pose,
+            // Pad the wedge slightly so objects straddling the edge are
+            // fully covered.
+            center_azimuth: sector.center(),
+            width: sector.width() + 5f64.to_radians(),
+            max_range,
+        }
+    }
+
+    /// Serializes the request.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(WIRE_BYTES);
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32(self.requester_id);
+        buf.put_f64(self.requester_pose.gps.latitude);
+        buf.put_f64(self.requester_pose.gps.longitude);
+        buf.put_f64(self.requester_pose.gps.altitude);
+        buf.put_f64(self.requester_pose.attitude.yaw);
+        buf.put_f64(self.requester_pose.attitude.pitch);
+        buf.put_f64(self.requester_pose.attitude.roll);
+        buf.put_f64(self.center_azimuth);
+        buf.put_f64(self.width);
+        buf.put_f64(self.max_range);
+        buf.freeze()
+    }
+
+    /// Deserializes a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CooperError::Truncated`], [`CooperError::BadMagic`],
+    /// [`CooperError::UnsupportedVersion`] or [`CooperError::InvalidPose`]
+    /// for malformed input.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, CooperError> {
+        if bytes.len() < WIRE_BYTES {
+            return Err(CooperError::Truncated {
+                expected: WIRE_BYTES,
+                actual: bytes.len(),
+            });
+        }
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CooperError::BadMagic);
+        }
+        let version = bytes.get_u8();
+        if version != VERSION {
+            return Err(CooperError::UnsupportedVersion(version));
+        }
+        let requester_id = bytes.get_u32();
+        let latitude = bytes.get_f64();
+        let longitude = bytes.get_f64();
+        let altitude = bytes.get_f64();
+        let yaw = bytes.get_f64();
+        let pitch = bytes.get_f64();
+        let roll = bytes.get_f64();
+        let center_azimuth = bytes.get_f64();
+        let width = bytes.get_f64();
+        let max_range = bytes.get_f64();
+        let fields = [
+            latitude,
+            longitude,
+            altitude,
+            yaw,
+            pitch,
+            roll,
+            center_azimuth,
+            width,
+            max_range,
+        ];
+        if fields.iter().any(|f| !f.is_finite()) {
+            return Err(CooperError::InvalidPose);
+        }
+        Ok(RoiRequest {
+            requester_id,
+            requester_pose: PoseEstimate {
+                gps: GpsFix::new(
+                    latitude.clamp(-90.0, 90.0),
+                    longitude.clamp(-180.0, 180.0),
+                    altitude,
+                ),
+                attitude: cooper_geometry::Attitude::new(yaw, pitch, roll),
+            },
+            center_azimuth,
+            width,
+            max_range,
+        })
+    }
+}
+
+/// Builds one request per blocked sector of `scan` (see
+/// [`cooper_pointcloud::roi::blind_sectors`]): sectors whose nearest
+/// above-ground return is closer than `occluder_range` and at least
+/// `min_width` radians wide, asking for content out to `max_range`.
+pub fn requests_from_blind_zones(
+    requester_id: u32,
+    scan: &PointCloud,
+    requester_pose: PoseEstimate,
+    occluder_range: f64,
+    min_width: f64,
+    max_range: f64,
+    mount_height: f64,
+) -> Vec<RoiRequest> {
+    cooper_pointcloud::roi::blind_sectors(scan, 360, occluder_range, min_width, -mount_height + 0.3)
+        .iter()
+        .map(|sector| RoiRequest::for_blind_sector(requester_id, requester_pose, sector, max_range))
+        .collect()
+}
+
+/// Answers a request: the subset of `own_scan` (responder's sensor
+/// frame) that falls inside the requested wedge when viewed from the
+/// requester. The returned cloud stays in the responder's frame, ready
+/// to be wrapped in an ordinary [`crate::ExchangePacket`].
+pub fn respond_to_roi_request(
+    own_scan: &PointCloud,
+    own_pose: &PoseEstimate,
+    request: &RoiRequest,
+    origin: &GpsFix,
+) -> PointCloud {
+    let to_requester = alignment_transform(own_pose, &request.requester_pose, origin);
+    let half_width = request.width * 0.5;
+    own_scan.filtered(|p| {
+        let in_requester = to_requester.apply(p.position);
+        let range = in_requester.range_xy();
+        if range > request.max_range {
+            return false;
+        }
+        let azimuth = in_requester.azimuth();
+        normalize_angle(azimuth - request.center_azimuth).abs() <= half_width
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooper_geometry::{Attitude, Pose, Vec3};
+    use cooper_pointcloud::Point;
+
+    fn origin() -> GpsFix {
+        GpsFix::new(33.2075, -97.1526, 190.0)
+    }
+
+    fn estimate(x: f64, y: f64, yaw: f64) -> PoseEstimate {
+        PoseEstimate::from_pose(
+            &Pose::new(Vec3::new(x, y, 1.8), Attitude::from_yaw(yaw)),
+            &origin(),
+        )
+    }
+
+    #[test]
+    fn request_wire_round_trip() {
+        let req = RoiRequest {
+            requester_id: 9,
+            requester_pose: estimate(3.0, -2.0, 0.4),
+            center_azimuth: 0.7,
+            width: 0.3,
+            max_range: 40.0,
+        };
+        let parsed = RoiRequest::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(parsed.requester_id, 9);
+        assert!((parsed.center_azimuth - 0.7).abs() < 1e-12);
+        assert!((parsed.width - 0.3).abs() < 1e-12);
+        assert!((parsed.max_range - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        let req = RoiRequest {
+            requester_id: 1,
+            requester_pose: estimate(0.0, 0.0, 0.0),
+            center_azimuth: 0.0,
+            width: 0.5,
+            max_range: 30.0,
+        };
+        let bytes = req.to_bytes();
+        assert!(matches!(
+            RoiRequest::from_bytes(&bytes[..10]),
+            Err(CooperError::Truncated { .. })
+        ));
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert_eq!(
+            RoiRequest::from_bytes(&bad).unwrap_err(),
+            CooperError::BadMagic
+        );
+        let mut nan = bytes.to_vec();
+        let len = nan.len();
+        nan[len - 8..].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert_eq!(
+            RoiRequest::from_bytes(&nan).unwrap_err(),
+            CooperError::InvalidPose
+        );
+    }
+
+    #[test]
+    fn response_keeps_only_wedge_content() {
+        // Responder sits 20 m east of the requester; both face east.
+        let requester = estimate(0.0, 0.0, 0.0);
+        let responder = estimate(20.0, 0.0, 0.0);
+        // Responder's scan: one point ahead of it (east, at x=30 world,
+        // azimuth 0 from requester), one behind it (x=10 world, also
+        // azimuth ~0 from requester), one far north (azimuth ~π/2 from
+        // requester).
+        let mut scan = PointCloud::new();
+        scan.push(Point::new(Vec3::new(10.0, 0.0, -1.0), 0.5)); // world x=30
+        scan.push(Point::new(Vec3::new(-10.0, 0.0, -1.0), 0.5)); // world x=10
+        scan.push(Point::new(Vec3::new(0.0, 30.0, -1.0), 0.5)); // world (20, 30)
+        let request = RoiRequest {
+            requester_id: 0,
+            requester_pose: requester,
+            center_azimuth: 0.0,
+            width: 20f64.to_radians(),
+            max_range: 50.0,
+        };
+        let response = respond_to_roi_request(&scan, &responder, &request, &origin());
+        assert_eq!(response.len(), 2, "east-wedge points only");
+        // The northern point (azimuth ~56° from requester) is excluded.
+        assert!(response.iter().all(|p| p.position.y.abs() < 1.0));
+    }
+
+    #[test]
+    fn response_respects_max_range() {
+        let requester = estimate(0.0, 0.0, 0.0);
+        let responder = estimate(0.0, 0.0, 0.0);
+        let mut scan = PointCloud::new();
+        scan.push(Point::new(Vec3::new(10.0, 0.0, -1.0), 0.5));
+        scan.push(Point::new(Vec3::new(60.0, 0.0, -1.0), 0.5));
+        let request = RoiRequest {
+            requester_id: 0,
+            requester_pose: requester,
+            center_azimuth: 0.0,
+            width: 1.0,
+            max_range: 30.0,
+        };
+        let response = respond_to_roi_request(&scan, &responder, &request, &origin());
+        assert_eq!(response.len(), 1);
+    }
+
+    #[test]
+    fn blind_zone_requests_cover_occluded_wedges() {
+        // A wall of close returns ahead (5 m) and open space elsewhere:
+        // one request covering the forward wedge.
+        let mut scan = PointCloud::new();
+        for i in -40..=40 {
+            let az = (i as f64) * 0.5f64.to_radians();
+            scan.push(Point::new(
+                Vec3::new(5.0 * az.cos(), 5.0 * az.sin(), 0.0),
+                0.5,
+            ));
+            // Far background everywhere else.
+            let far_az = az + std::f64::consts::PI;
+            scan.push(Point::new(
+                Vec3::new(60.0 * far_az.cos(), 60.0 * far_az.sin(), 0.0),
+                0.5,
+            ));
+        }
+        let requests = requests_from_blind_zones(
+            1,
+            &scan,
+            estimate(0.0, 0.0, 0.0),
+            15.0,
+            10f64.to_radians(),
+            50.0,
+            1.8,
+        );
+        assert_eq!(requests.len(), 1, "expected one forward blind wedge");
+        let req = &requests[0];
+        assert!(
+            req.center_azimuth.abs() < 0.1,
+            "center {}",
+            req.center_azimuth
+        );
+        assert!(req.width > 35f64.to_radians());
+    }
+}

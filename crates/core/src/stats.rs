@@ -1,0 +1,292 @@
+//! Cooper's statistical analysis: distance bands, the easy/moderate/hard
+//! difficulty classification, and detection-score improvement CDFs
+//! (the paper's §IV-E and Figure 8).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's distance bands: "According to the actual detection
+/// distance of LiDAR, we divide it into three scales of near (<10m),
+/// medium (10-25m) and far (>25m), which are represented in the
+/// illustration by white, gray and black" (Figure 3 caption context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DistanceBand {
+    /// Less than 10 m from the observer.
+    Near,
+    /// 10–25 m from the observer.
+    Medium,
+    /// More than 25 m from the observer.
+    Far,
+}
+
+impl DistanceBand {
+    /// Classifies a planar distance in metres.
+    pub fn of(distance_m: f64) -> Self {
+        if distance_m < 10.0 {
+            DistanceBand::Near
+        } else if distance_m <= 25.0 {
+            DistanceBand::Medium
+        } else {
+            DistanceBand::Far
+        }
+    }
+}
+
+impl std::fmt::Display for DistanceBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DistanceBand::Near => "near",
+            DistanceBand::Medium => "medium",
+            DistanceBand::Far => "far",
+        })
+    }
+}
+
+/// The paper's per-object difficulty, defined by *who* detected it in
+/// the single shots (§IV-E): "easy refers to when one or more vehicles
+/// are able to detect the same object. Moderate refers to when only one
+/// vehicle is able to clearly detect this object. Finally, hard is given
+/// when no cars are able to detect this object."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CooperDifficulty {
+    /// Detected by both single shots.
+    Easy,
+    /// Detected by exactly one single shot.
+    Moderate,
+    /// Detected by neither single shot.
+    Hard,
+}
+
+impl CooperDifficulty {
+    /// All difficulties in Figure-8 order.
+    pub const ALL: [CooperDifficulty; 3] = [
+        CooperDifficulty::Easy,
+        CooperDifficulty::Moderate,
+        CooperDifficulty::Hard,
+    ];
+
+    /// Classifies one object from its two single-shot detection scores.
+    pub fn classify(score_a: Option<f32>, score_b: Option<f32>) -> Self {
+        match (score_a, score_b) {
+            (Some(_), Some(_)) => CooperDifficulty::Easy,
+            (Some(_), None) | (None, Some(_)) => CooperDifficulty::Moderate,
+            (None, None) => CooperDifficulty::Hard,
+        }
+    }
+}
+
+impl std::fmt::Display for CooperDifficulty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CooperDifficulty::Easy => "easy",
+            CooperDifficulty::Moderate => "moderate",
+            CooperDifficulty::Hard => "hard",
+        })
+    }
+}
+
+/// One object's detection-score improvement from cooperative
+/// perception, as plotted in Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreImprovement {
+    /// The difficulty class of the object.
+    pub difficulty: CooperDifficulty,
+    /// Increase in detection score, percent.
+    ///
+    /// For easy/moderate objects this is the relative gain over the best
+    /// single-shot score; for hard objects (no single-shot baseline) it
+    /// is the raw cooperative score × 100 — the paper's "flat increase
+    /// … in raw detection score".
+    pub increase_percent: f64,
+}
+
+impl ScoreImprovement {
+    /// Computes the improvement for one object, or `None` when the
+    /// object is not detected cooperatively either.
+    pub fn compute(
+        score_a: Option<f32>,
+        score_b: Option<f32>,
+        score_coop: Option<f32>,
+    ) -> Option<Self> {
+        let coop = score_coop?;
+        let difficulty = CooperDifficulty::classify(score_a, score_b);
+        let increase_percent = match difficulty {
+            CooperDifficulty::Hard => f64::from(coop) * 100.0,
+            _ => {
+                let best = f64::from(score_a.unwrap_or(0.0).max(score_b.unwrap_or(0.0)));
+                if best <= 0.0 {
+                    f64::from(coop) * 100.0
+                } else {
+                    (f64::from(coop) - best) / best * 100.0
+                }
+            }
+        };
+        Some(ScoreImprovement {
+            difficulty,
+            increase_percent,
+        })
+    }
+}
+
+/// An empirical CDF over improvement percentages — one Figure-8 line.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_core::stats::Cdf;
+///
+/// let cdf = Cdf::from_samples(vec![5.0, 10.0, 20.0]);
+/// assert_eq!(cdf.fraction_at_or_below(10.0), 2.0 / 3.0);
+/// assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples. Non-finite samples are dropped.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|s| s.is_finite());
+        samples.sort_by(f64::total_cmp);
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`, in `[0, 1]`; 0 for an empty CDF.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Minimum sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// The samples, ascending.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_bands_match_paper() {
+        assert_eq!(DistanceBand::of(0.0), DistanceBand::Near);
+        assert_eq!(DistanceBand::of(9.99), DistanceBand::Near);
+        assert_eq!(DistanceBand::of(10.0), DistanceBand::Medium);
+        assert_eq!(DistanceBand::of(25.0), DistanceBand::Medium);
+        assert_eq!(DistanceBand::of(25.01), DistanceBand::Far);
+    }
+
+    #[test]
+    fn difficulty_classification() {
+        assert_eq!(
+            CooperDifficulty::classify(Some(0.7), Some(0.6)),
+            CooperDifficulty::Easy
+        );
+        assert_eq!(
+            CooperDifficulty::classify(Some(0.7), None),
+            CooperDifficulty::Moderate
+        );
+        assert_eq!(
+            CooperDifficulty::classify(None, Some(0.6)),
+            CooperDifficulty::Moderate
+        );
+        assert_eq!(
+            CooperDifficulty::classify(None, None),
+            CooperDifficulty::Hard
+        );
+    }
+
+    #[test]
+    fn improvement_easy_is_relative() {
+        let imp = ScoreImprovement::compute(Some(0.76), Some(0.70), Some(0.86)).unwrap();
+        assert_eq!(imp.difficulty, CooperDifficulty::Easy);
+        // (0.86 − 0.76)/0.76 ≈ 13 % — the paper's Figure-2 example.
+        assert!(
+            (imp.increase_percent - 13.16).abs() < 0.1,
+            "{}",
+            imp.increase_percent
+        );
+    }
+
+    #[test]
+    fn improvement_hard_is_raw_score() {
+        let imp = ScoreImprovement::compute(None, None, Some(0.55)).unwrap();
+        assert_eq!(imp.difficulty, CooperDifficulty::Hard);
+        assert!((imp.increase_percent - 55.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn undetected_cooperative_gives_none() {
+        assert!(ScoreImprovement::compute(Some(0.5), None, None).is_none());
+    }
+
+    #[test]
+    fn cdf_basics() {
+        let cdf = Cdf::from_samples(vec![3.0, 1.0, 2.0, f64::NAN]);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 1.0 / 3.0);
+        assert_eq!(cdf.fraction_at_or_below(2.5), 2.0 / 3.0);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.quantile(0.5), Some(2.0));
+        assert_eq!(cdf.quantile(1.0), Some(3.0));
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::from_samples(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.min(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        let _ = Cdf::from_samples(vec![1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(format!("{}", DistanceBand::Near), "near");
+        assert_eq!(format!("{}", CooperDifficulty::Hard), "hard");
+    }
+}

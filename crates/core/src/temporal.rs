@@ -1,0 +1,211 @@
+//! Temporal aggregation: fusing a vehicle's *own* recent frames.
+//!
+//! The paper's Figure 2 is produced exactly this way: "At beginning time
+//! t1, one single shot frame … is collected. As the testing vehicle is
+//! moving forward after two seconds, another single shot frame … is
+//! collected at time t2. By merging t1 and t2's point clouds, we emulate
+//! the cooperative sensing process between two vehicles" (§IV-B). The
+//! same machinery gives a single vehicle ego-motion-compensated temporal
+//! densification for free: past frames are aligned into the current
+//! sensor frame with the identical Equations 1–3 used for V2V fusion.
+
+use std::collections::VecDeque;
+
+use cooper_geometry::{Pose, RigidTransform};
+use cooper_pointcloud::PointCloud;
+
+/// A sliding window of a vehicle's recent scans, each with the pose it
+/// was taken from, fused on demand into any later frame.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_core::temporal::TemporalAggregator;
+/// use cooper_geometry::{Attitude, Pose, Vec3};
+/// use cooper_pointcloud::{Point, PointCloud};
+///
+/// let mut agg = TemporalAggregator::new(3);
+/// let pose1 = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
+/// let mut scan1 = PointCloud::new();
+/// scan1.push(Point::new(Vec3::new(10.0, 0.0, -1.0), 0.5));
+/// agg.push(pose1, scan1);
+///
+/// // The vehicle moved 5 m forward; the old point appears 5 m closer.
+/// let pose2 = Pose::new(Vec3::new(5.0, 0.0, 1.8), Attitude::level());
+/// let fused = agg.fused_in(&pose2, &PointCloud::new());
+/// assert!((fused.as_slice()[0].position.x - 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TemporalAggregator {
+    capacity: usize,
+    frames: VecDeque<(Pose, PointCloud)>,
+}
+
+impl TemporalAggregator {
+    /// Creates an aggregator retaining up to `capacity` past frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        TemporalAggregator {
+            capacity,
+            frames: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Number of frames currently retained.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when no frames are retained.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Records a frame taken from `pose`, evicting the oldest when the
+    /// window is full.
+    pub fn push(&mut self, pose: Pose, scan: PointCloud) {
+        if self.frames.len() == self.capacity {
+            self.frames.pop_front();
+        }
+        self.frames.push_back((pose, scan));
+    }
+
+    /// Clears the window (e.g. after a localization reset, when old
+    /// poses can no longer be trusted).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Aligns every retained frame into `current_pose`'s sensor frame
+    /// (Equations 1–3, with the vehicle's own past poses as the
+    /// "transmitters") and merges them with `current_scan`.
+    pub fn fused_in(&self, current_pose: &Pose, current_scan: &PointCloud) -> PointCloud {
+        let mut fused = current_scan.clone();
+        for (past_pose, past_scan) in &self.frames {
+            let align = RigidTransform::between(past_pose, current_pose);
+            fused.merge(&past_scan.transformed(&align));
+        }
+        fused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooper_geometry::{Attitude, Vec3};
+    use cooper_lidar_sim::{scenario, LidarScanner};
+    use cooper_pointcloud::Point;
+
+    fn single_point_cloud(x: f64) -> PointCloud {
+        let mut c = PointCloud::new();
+        c.push(Point::new(Vec3::new(x, 0.0, -1.0), 0.5));
+        c
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut agg = TemporalAggregator::new(2);
+        for i in 0..4 {
+            agg.push(Pose::origin(), single_point_cloud(i as f64));
+        }
+        assert_eq!(agg.len(), 2);
+        let fused = agg.fused_in(&Pose::origin(), &PointCloud::new());
+        let xs: Vec<f64> = fused.iter().map(|p| p.position.x).collect();
+        assert_eq!(xs, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn ego_motion_compensation() {
+        let mut agg = TemporalAggregator::new(4);
+        // A static world point at x = 20, seen from x = 0.
+        let pose_t1 = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
+        agg.push(pose_t1, single_point_cloud(20.0));
+        // Two seconds later the vehicle is at x = 10; the same world
+        // point must appear at local x = 10.
+        let pose_t2 = Pose::new(Vec3::new(10.0, 0.0, 1.8), Attitude::level());
+        let fused = agg.fused_in(&pose_t2, &single_point_cloud(10.0));
+        assert_eq!(fused.len(), 2);
+        for p in fused.iter() {
+            assert!(
+                (p.position.x - 10.0).abs() < 1e-9,
+                "point at {}",
+                p.position
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_compensated_too() {
+        let mut agg = TemporalAggregator::new(1);
+        let pose_t1 = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
+        agg.push(pose_t1, single_point_cloud(10.0));
+        // The vehicle turned 90° left in place: the point ahead at t1 is
+        // now to the right (local -y).
+        let pose_t2 = Pose::new(
+            Vec3::new(0.0, 0.0, 1.8),
+            Attitude::from_yaw(std::f64::consts::FRAC_PI_2),
+        );
+        let fused = agg.fused_in(&pose_t2, &PointCloud::new());
+        let p = fused.as_slice()[0].position;
+        assert!((p.y + 10.0).abs() < 1e-9, "point at {p}");
+        assert!(p.x.abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure_two_emulation_increases_coverage() {
+        // The paper's Figure-2 procedure: one vehicle, two shots 14.7 m
+        // apart, merged — temporal fusion covers strictly more surface
+        // than either shot.
+        let scene = scenario::t_junction();
+        let scanner =
+            LidarScanner::new(scene.kind.beam_model().noiseless().with_azimuth_steps(600));
+        let pose_t1 = scene.observers[0];
+        let pose_t2 = scene.observers[1];
+        let scan_t1 = scanner.scan(&scene.world, &pose_t1, 1);
+        let scan_t2 = scanner.scan(&scene.world, &pose_t2, 2);
+
+        let mut agg = TemporalAggregator::new(4);
+        agg.push(pose_t1, scan_t1.clone());
+        let fused = agg.fused_in(&pose_t2, &scan_t2);
+        assert_eq!(fused.len(), scan_t1.len() + scan_t2.len());
+
+        // Count cars with points in the fused frame vs the single shot.
+        let covered = |cloud: &PointCloud, pose: &Pose| {
+            scene
+                .ground_truth_cars()
+                .iter()
+                .filter(|car| {
+                    cloud
+                        .iter()
+                        .any(|p| car.contains(pose.local_to_world(p.position)))
+                })
+                .count()
+        };
+        let single_coverage = covered(&scan_t2, &pose_t2);
+        let fused_coverage = covered(&fused, &pose_t2);
+        assert!(
+            fused_coverage > single_coverage,
+            "fused {fused_coverage} vs single {single_coverage}"
+        );
+    }
+
+    #[test]
+    fn clear_resets_window() {
+        let mut agg = TemporalAggregator::new(2);
+        agg.push(Pose::origin(), single_point_cloud(1.0));
+        assert!(!agg.is_empty());
+        agg.clear();
+        assert!(agg.is_empty());
+        assert_eq!(agg.fused_in(&Pose::origin(), &PointCloud::new()).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = TemporalAggregator::new(0);
+    }
+}

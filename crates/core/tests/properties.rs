@@ -1,0 +1,92 @@
+//! Property-based tests for the Cooper core: packet codec and
+//! alignment.
+
+use cooper_core::{alignment_transform, ExchangePacket};
+use cooper_geometry::{Attitude, GpsFix, Pose, RigidTransform, Vec3};
+use cooper_lidar_sim::PoseEstimate;
+use cooper_pointcloud::{Point, PointCloud};
+use proptest::prelude::*;
+
+fn origin() -> GpsFix {
+    GpsFix::new(33.2075, -97.1526, 190.0)
+}
+
+fn cloud(max: usize) -> impl Strategy<Value = PointCloud> {
+    prop::collection::vec(
+        (-90.0..90.0f64, -90.0..90.0f64, -4.0..4.0f64, 0.0..1.0f32),
+        0..max,
+    )
+    .prop_map(|pts| {
+        pts.into_iter()
+            .map(|(x, y, z, r)| Point::new(Vec3::new(x, y, z), r))
+            .collect()
+    })
+}
+
+fn pose() -> impl Strategy<Value = Pose> {
+    (
+        -200.0..200.0f64,
+        -200.0..200.0f64,
+        0.5..3.0f64,
+        -3.0..3.0f64,
+        -0.1..0.1f64,
+        -0.1..0.1f64,
+    )
+        .prop_map(|(x, y, z, yaw, pitch, roll)| {
+            Pose::new(Vec3::new(x, y, z), Attitude::new(yaw, pitch, roll))
+        })
+}
+
+proptest! {
+    #[test]
+    fn packet_round_trip(c in cloud(200), p in pose(), id in 0u32..1000, seq in 0u32..1000) {
+        let est = PoseEstimate::from_pose(&p, &origin());
+        let packet = ExchangePacket::build(id, seq, &c, est).unwrap();
+        let parsed = ExchangePacket::from_bytes(&packet.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.vehicle_id(), id);
+        prop_assert_eq!(parsed.sequence(), seq);
+        let decoded = parsed.cloud().unwrap();
+        prop_assert_eq!(decoded.len(), c.len());
+        for (a, b) in c.iter().zip(decoded.iter()) {
+            prop_assert!((a.position - b.position).norm() <= 0.009);
+        }
+        // The pose survives byte-exactly (f64 fields are copied, not
+        // quantized).
+        prop_assert!((parsed.pose().gps.latitude - est.gps.latitude).abs() < 1e-12);
+        prop_assert!((parsed.pose().attitude.yaw - est.attitude.yaw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_matches_ground_truth_transform(tx in pose(), rx in pose(), px in -50.0..50.0f64, py in -50.0..50.0f64) {
+        let est_tx = PoseEstimate::from_pose(&tx, &origin());
+        let est_rx = PoseEstimate::from_pose(&rx, &origin());
+        let via_gps = alignment_transform(&est_tx, &est_rx, &origin());
+        let direct = RigidTransform::between(&tx, &rx);
+        let p = Vec3::new(px, py, -1.0);
+        // The equirectangular GPS approximation introduces sub-mm error
+        // at V2V ranges.
+        prop_assert!((via_gps.apply(p) - direct.apply(p)).norm() < 5e-3);
+    }
+
+    #[test]
+    fn truncation_never_panics(c in cloud(50), p in pose(), cut_fraction in 0.0..1.0f64) {
+        let est = PoseEstimate::from_pose(&p, &origin());
+        let packet = ExchangePacket::build(0, 0, &c, est).unwrap();
+        let bytes = packet.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        // Must return an error or a valid packet, never panic.
+        let _ = ExchangePacket::from_bytes(&bytes[..cut.min(bytes.len().saturating_sub(1))]);
+    }
+}
+
+proptest! {
+    #[test]
+    fn packet_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = ExchangePacket::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn roi_request_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = cooper_core::RoiRequest::from_bytes(&bytes);
+    }
+}

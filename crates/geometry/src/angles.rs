@@ -1,0 +1,222 @@
+//! Angle newtypes and normalization helpers.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Normalizes an angle in radians to the half-open interval `(-π, π]`.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_geometry::normalize_angle;
+/// use std::f64::consts::PI;
+///
+/// assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((normalize_angle(-PI) - PI).abs() < 1e-12);
+/// assert_eq!(normalize_angle(0.25), 0.25);
+/// ```
+pub fn normalize_angle(theta: f64) -> f64 {
+    use std::f64::consts::PI;
+    let two_pi = 2.0 * PI;
+    let mut t = theta % two_pi;
+    if t <= -PI {
+        t += two_pi;
+    } else if t > PI {
+        t -= two_pi;
+    }
+    t
+}
+
+/// An angle measured in radians.
+///
+/// A newtype that keeps radians and degrees statically distinct (C-NEWTYPE);
+/// conversions are explicit via [`Radians::to_degrees`] and
+/// [`Degrees::to_radians`].
+///
+/// # Examples
+///
+/// ```
+/// use cooper_geometry::{Degrees, Radians};
+///
+/// let quarter = Degrees::new(90.0).to_radians();
+/// assert!((quarter.get() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Radians(f64);
+
+impl Radians {
+    /// Wraps a raw radian value.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Radians(value)
+    }
+
+    /// Returns the raw radian value.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to degrees.
+    #[inline]
+    pub fn to_degrees(self) -> Degrees {
+        Degrees(self.0.to_degrees())
+    }
+
+    /// Returns the angle normalized to `(-π, π]`.
+    #[inline]
+    pub fn normalized(self) -> Radians {
+        Radians(normalize_angle(self.0))
+    }
+}
+
+/// An angle measured in degrees.
+///
+/// See [`Radians`] for the rationale.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Degrees(f64);
+
+impl Degrees {
+    /// Wraps a raw degree value.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Degrees(value)
+    }
+
+    /// Returns the raw degree value.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to radians.
+    #[inline]
+    pub fn to_radians(self) -> Radians {
+        Radians(self.0.to_radians())
+    }
+}
+
+impl From<Degrees> for Radians {
+    fn from(d: Degrees) -> Radians {
+        d.to_radians()
+    }
+}
+
+impl From<Radians> for Degrees {
+    fn from(r: Radians) -> Degrees {
+        r.to_degrees()
+    }
+}
+
+impl fmt::Display for Radians {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} rad", self.0)
+    }
+}
+
+impl fmt::Display for Degrees {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}°", self.0)
+    }
+}
+
+impl Add for Radians {
+    type Output = Radians;
+    fn add(self, rhs: Radians) -> Radians {
+        Radians(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Radians {
+    type Output = Radians;
+    fn sub(self, rhs: Radians) -> Radians {
+        Radians(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Radians {
+    type Output = Radians;
+    fn neg(self) -> Radians {
+        Radians(-self.0)
+    }
+}
+
+impl Add for Degrees {
+    type Output = Degrees;
+    fn add(self, rhs: Degrees) -> Degrees {
+        Degrees(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Degrees {
+    type Output = Degrees;
+    fn sub(self, rhs: Degrees) -> Degrees {
+        Degrees(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Degrees {
+    type Output = Degrees;
+    fn neg(self) -> Degrees {
+        Degrees(-self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn normalize_wraps_into_range() {
+        assert!((normalize_angle(2.0 * PI)).abs() < 1e-12);
+        assert!((normalize_angle(-3.0 * FRAC_PI_2) - FRAC_PI_2).abs() < 1e-12);
+        assert!((normalize_angle(5.0 * PI) - PI).abs() < 1e-12);
+        // Boundary: -π maps to +π, keeping the interval half-open.
+        assert!(normalize_angle(-PI) > 0.0);
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for k in -10..=10 {
+            let t = 0.37 + k as f64 * 1.1;
+            let n = normalize_angle(t);
+            assert!((normalize_angle(n) - n).abs() < 1e-12);
+            assert!(n > -PI - 1e-12 && n <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn degree_radian_round_trip() {
+        let d = Degrees::new(123.456);
+        let back: Degrees = Radians::from(d).into();
+        assert!((back.get() - d.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_arithmetic() {
+        let a = Radians::new(1.0);
+        let b = Radians::new(0.25);
+        assert_eq!((a + b).get(), 1.25);
+        assert_eq!((a - b).get(), 0.75);
+        assert_eq!((-a).get(), -1.0);
+        let d = Degrees::new(90.0) + Degrees::new(45.0);
+        assert_eq!(d.get(), 135.0);
+        assert_eq!((-Degrees::new(10.0)).get(), -10.0);
+        assert_eq!((Degrees::new(30.0) - Degrees::new(10.0)).get(), 20.0);
+    }
+
+    #[test]
+    fn normalized_method() {
+        let r = Radians::new(3.0 * PI).normalized();
+        assert!((r.get() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Degrees::new(90.0)), "90.00°");
+        assert!(format!("{}", Radians::new(1.0)).contains("rad"));
+    }
+}

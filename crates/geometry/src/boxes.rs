@@ -1,0 +1,507 @@
+//! Axis-aligned and oriented 3-D bounding boxes with IoU computation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{normalize_angle, Vec3};
+
+/// An axis-aligned 3-D box described by its minimum and maximum corners.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_geometry::{Aabb3, Vec3};
+///
+/// let b = Aabb3::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0));
+/// assert!(b.contains(Vec3::new(1.0, 1.0, 1.0)));
+/// assert_eq!(b.volume(), 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb3 {
+    min: Vec3,
+    max: Vec3,
+}
+
+impl Aabb3 {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb3 {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// The smallest box containing all `points`, or `None` when empty.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let (min, max) = it.fold((first, first), |(lo, hi), p| (lo.min(p), hi.max(p)));
+        Some(Aabb3 { min, max })
+    }
+
+    /// Minimum corner.
+    pub fn min(&self) -> Vec3 {
+        self.min
+    }
+
+    /// Maximum corner.
+    pub fn max(&self) -> Vec3 {
+        self.max
+    }
+
+    /// Box center.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Box extents (max - min).
+    pub fn size(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Volume in cubic metres.
+    pub fn volume(&self) -> f64 {
+        let s = self.size();
+        s.x * s.y * s.z
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// `true` when the two boxes overlap (closed intervals).
+    pub fn intersects(&self, other: &Aabb3) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// The intersection box, or `None` when disjoint.
+    pub fn intersection(&self, other: &Aabb3) -> Option<Aabb3> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Aabb3 {
+            min: self.min.max(other.min),
+            max: self.max.min(other.max),
+        })
+    }
+
+    /// The smallest box containing both.
+    pub fn union(&self, other: &Aabb3) -> Aabb3 {
+        Aabb3 {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Grows the box by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Aabb3 {
+        Aabb3::new(
+            self.min - Vec3::splat(margin),
+            self.max + Vec3::splat(margin),
+        )
+    }
+}
+
+impl fmt::Display for Aabb3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+/// An oriented (yaw-rotated) 3-D bounding box — the standard 7-parameter
+/// box used by LiDAR detectors: center `(x, y, z)`, size `(length, width,
+/// height)` and heading `yaw`.
+///
+/// `length` runs along the heading direction, `width` across it, `height`
+/// along `z`. Ground vehicles only rotate about `z`, which is the
+/// convention of VoxelNet/SECOND that SPOD follows.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_geometry::{Obb3, Vec3};
+///
+/// let car = Obb3::new(Vec3::new(10.0, 0.0, 0.8), Vec3::new(4.5, 1.8, 1.6), 0.0);
+/// assert!(car.contains(Vec3::new(11.0, 0.5, 1.0)));
+/// assert!((car.iou_bev(&car) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Obb3 {
+    /// Box center in metres.
+    pub center: Vec3,
+    /// Box size: `x = length` (along heading), `y = width`, `z = height`.
+    pub size: Vec3,
+    /// Heading about the z-axis, radians, normalized to `(-π, π]`.
+    pub yaw: f64,
+}
+
+impl Obb3 {
+    /// Creates an oriented box. Negative sizes are clamped to zero and the
+    /// yaw is normalized.
+    pub fn new(center: Vec3, size: Vec3, yaw: f64) -> Self {
+        Obb3 {
+            center,
+            size: size.max(Vec3::ZERO),
+            yaw: normalize_angle(yaw),
+        }
+    }
+
+    /// Volume in cubic metres.
+    pub fn volume(&self) -> f64 {
+        self.size.x * self.size.y * self.size.z
+    }
+
+    /// The four bird's-eye-view corners, counter-clockwise.
+    pub fn bev_corners(&self) -> [(f64, f64); 4] {
+        let (s, c) = self.yaw.sin_cos();
+        let hl = self.size.x * 0.5;
+        let hw = self.size.y * 0.5;
+        let rot = |dx: f64, dy: f64| {
+            (
+                self.center.x + c * dx - s * dy,
+                self.center.y + s * dx + c * dy,
+            )
+        };
+        [rot(hl, hw), rot(-hl, hw), rot(-hl, -hw), rot(hl, -hw)]
+    }
+
+    /// Vertical extent `[z_min, z_max]`.
+    pub fn z_range(&self) -> (f64, f64) {
+        let hz = self.size.z * 0.5;
+        (self.center.z - hz, self.center.z + hz)
+    }
+
+    /// `true` when `p` lies inside the box (boundary inclusive).
+    pub fn contains(&self, p: Vec3) -> bool {
+        let d = p - self.center;
+        let (s, c) = self.yaw.sin_cos();
+        // Rotate the offset into the box frame.
+        let local_x = c * d.x + s * d.y;
+        let local_y = -s * d.x + c * d.y;
+        local_x.abs() <= self.size.x * 0.5 + 1e-12
+            && local_y.abs() <= self.size.y * 0.5 + 1e-12
+            && d.z.abs() <= self.size.z * 0.5 + 1e-12
+    }
+
+    /// The axis-aligned box that bounds this oriented box.
+    pub fn bounding_aabb(&self) -> Aabb3 {
+        let corners = self.bev_corners();
+        let (z0, z1) = self.z_range();
+        let mut min = Vec3::new(f64::INFINITY, f64::INFINITY, z0);
+        let mut max = Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, z1);
+        for (x, y) in corners {
+            min.x = min.x.min(x);
+            min.y = min.y.min(y);
+            max.x = max.x.max(x);
+            max.y = max.y.max(y);
+        }
+        Aabb3::new(min, max)
+    }
+
+    /// Bird's-eye-view intersection area with another box, via
+    /// Sutherland–Hodgman convex polygon clipping.
+    pub fn bev_intersection_area(&self, other: &Obb3) -> f64 {
+        let subject: Vec<(f64, f64)> = self.bev_corners().to_vec();
+        let clip = other.bev_corners();
+        let clipped = clip_polygon(&subject, &clip);
+        polygon_area(&clipped)
+    }
+
+    /// Bird's-eye-view area of this box.
+    pub fn bev_area(&self) -> f64 {
+        self.size.x * self.size.y
+    }
+
+    /// Bird's-eye-view intersection-over-union, in `[0, 1]`.
+    pub fn iou_bev(&self, other: &Obb3) -> f64 {
+        let inter = self.bev_intersection_area(other);
+        let union = self.bev_area() + other.bev_area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            (inter / union).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Full 3-D intersection-over-union: BEV polygon overlap × vertical
+    /// interval overlap, in `[0, 1]`.
+    pub fn iou_3d(&self, other: &Obb3) -> f64 {
+        let inter_area = self.bev_intersection_area(other);
+        let (a0, a1) = self.z_range();
+        let (b0, b1) = other.z_range();
+        let inter_h = (a1.min(b1) - a0.max(b0)).max(0.0);
+        let inter_vol = inter_area * inter_h;
+        let union = self.volume() + other.volume() - inter_vol;
+        if union <= 0.0 {
+            0.0
+        } else {
+            (inter_vol / union).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Distance between box centers in the ground plane.
+    pub fn center_distance_bev(&self, other: &Obb3) -> f64 {
+        self.center.distance_xy(other.center)
+    }
+
+    /// Returns this box transformed by a rigid transform that only rotates
+    /// about `z` (yaw). Pitch/roll components of the rotation are applied
+    /// to the center but only the yaw is folded into the heading, which is
+    /// the standard approximation for ground-vehicle boxes.
+    pub fn transformed(&self, t: &crate::RigidTransform) -> Obb3 {
+        let center = t.apply(self.center);
+        let (yaw_delta, _, _) = t.rotation().to_yaw_pitch_roll();
+        Obb3::new(center, self.size, self.yaw + yaw_delta)
+    }
+}
+
+impl fmt::Display for Obb3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "obb(center {}, size {}, yaw {:.3})",
+            self.center, self.size, self.yaw
+        )
+    }
+}
+
+/// Clips convex polygon `subject` against convex polygon `clip`
+/// (Sutherland–Hodgman). Both must be wound counter-clockwise.
+fn clip_polygon(subject: &[(f64, f64)], clip: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut output = subject.to_vec();
+    for i in 0..clip.len() {
+        if output.is_empty() {
+            break;
+        }
+        let a = clip[i];
+        let b = clip[(i + 1) % clip.len()];
+        let input = std::mem::take(&mut output);
+        for j in 0..input.len() {
+            let p = input[j];
+            let q = input[(j + 1) % input.len()];
+            let p_in = inside(a, b, p);
+            let q_in = inside(a, b, q);
+            if p_in {
+                output.push(p);
+                if !q_in {
+                    if let Some(x) = line_intersection(a, b, p, q) {
+                        output.push(x);
+                    }
+                }
+            } else if q_in {
+                if let Some(x) = line_intersection(a, b, p, q) {
+                    output.push(x);
+                }
+            }
+        }
+    }
+    output
+}
+
+/// `true` when point `p` is on the left side of (or on) the directed edge
+/// `a -> b`.
+fn inside(a: (f64, f64), b: (f64, f64), p: (f64, f64)) -> bool {
+    (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0) >= -1e-12
+}
+
+/// Intersection of the infinite line through `a, b` with the segment-line
+/// through `p, q`. Returns `None` for (near-)parallel lines.
+fn line_intersection(
+    a: (f64, f64),
+    b: (f64, f64),
+    p: (f64, f64),
+    q: (f64, f64),
+) -> Option<(f64, f64)> {
+    let r = (b.0 - a.0, b.1 - a.1);
+    let s = (q.0 - p.0, q.1 - p.1);
+    let denom = r.0 * s.1 - r.1 * s.0;
+    if denom.abs() < 1e-15 {
+        return None;
+    }
+    let t = ((p.0 - a.0) * s.1 - (p.1 - a.1) * s.0) / denom;
+    Some((a.0 + t * r.0, a.1 + t * r.1))
+}
+
+/// Signed shoelace area of a polygon; returns the absolute value.
+fn polygon_area(poly: &[(f64, f64)]) -> f64 {
+    if poly.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..poly.len() {
+        let (x0, y0) = poly[i];
+        let (x1, y1) = poly[(i + 1) % poly.len()];
+        acc += x0 * y1 - x1 * y0;
+    }
+    acc.abs() * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    #[test]
+    fn aabb_basics() {
+        let b = Aabb3::new(Vec3::new(2.0, 2.0, 2.0), Vec3::ZERO);
+        assert_eq!(b.min(), Vec3::ZERO);
+        assert_eq!(b.max(), Vec3::new(2.0, 2.0, 2.0));
+        assert_eq!(b.center(), Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(b.size(), Vec3::new(2.0, 2.0, 2.0));
+        assert_eq!(b.volume(), 8.0);
+        assert!(b.contains(Vec3::new(2.0, 0.0, 1.0)));
+        assert!(!b.contains(Vec3::new(2.1, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn aabb_from_points() {
+        assert!(Aabb3::from_points(std::iter::empty()).is_none());
+        let b = Aabb3::from_points([
+            Vec3::new(1.0, 5.0, -1.0),
+            Vec3::new(-2.0, 0.0, 3.0),
+            Vec3::new(0.0, 2.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(b.min(), Vec3::new(-2.0, 0.0, -1.0));
+        assert_eq!(b.max(), Vec3::new(1.0, 5.0, 3.0));
+    }
+
+    #[test]
+    fn aabb_set_operations() {
+        let a = Aabb3::new(Vec3::ZERO, Vec3::splat(2.0));
+        let b = Aabb3::new(Vec3::splat(1.0), Vec3::splat(3.0));
+        let c = Aabb3::new(Vec3::splat(5.0), Vec3::splat(6.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.min(), Vec3::splat(1.0));
+        assert_eq!(i.max(), Vec3::splat(2.0));
+        assert!(a.intersection(&c).is_none());
+        let u = a.union(&c);
+        assert_eq!(u.min(), Vec3::ZERO);
+        assert_eq!(u.max(), Vec3::splat(6.0));
+        let big = a.inflated(0.5);
+        assert_eq!(big.min(), Vec3::splat(-0.5));
+        assert_eq!(big.max(), Vec3::splat(2.5));
+    }
+
+    #[test]
+    fn obb_contains_rotated() {
+        let b = Obb3::new(Vec3::ZERO, Vec3::new(4.0, 2.0, 2.0), FRAC_PI_2);
+        // After a 90° yaw the length runs along y.
+        assert!(b.contains(Vec3::new(0.0, 1.9, 0.0)));
+        assert!(!b.contains(Vec3::new(1.9, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn identical_boxes_iou_is_one() {
+        let b = Obb3::new(Vec3::new(3.0, 4.0, 1.0), Vec3::new(4.5, 1.8, 1.5), 0.7);
+        assert!((b.iou_bev(&b) - 1.0).abs() < 1e-9);
+        assert!((b.iou_3d(&b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_boxes_iou_is_zero() {
+        let a = Obb3::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0), 0.0);
+        let b = Obb3::new(Vec3::new(10.0, 0.0, 0.0), Vec3::new(2.0, 2.0, 2.0), 1.0);
+        assert_eq!(a.iou_bev(&b), 0.0);
+        assert_eq!(a.iou_3d(&b), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_axis_aligned() {
+        let a = Obb3::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0), 0.0);
+        let b = Obb3::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 2.0, 2.0), 0.0);
+        // Intersection 1x2=2, union 4+4-2=6.
+        assert!((a.iou_bev(&b) - 2.0 / 6.0).abs() < 1e-9);
+        // 3-D: intersection 1*2*2=4, union 8+8-4=12.
+        assert!((a.iou_3d(&b) - 4.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vertical_offset_reduces_3d_iou_only() {
+        let a = Obb3::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0), 0.0);
+        let b = Obb3::new(Vec3::new(0.0, 0.0, 1.0), Vec3::new(2.0, 2.0, 2.0), 0.0);
+        assert!((a.iou_bev(&b) - 1.0).abs() < 1e-9);
+        // Vertical overlap 1 of 2: inter 4, union 8+8-4=12.
+        assert!((a.iou_3d(&b) - 4.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotated_square_iou() {
+        // A unit square vs itself rotated 45°: intersection is a regular
+        // octagon with area 2(√2 − 1) ≈ 0.8284.
+        let a = Obb3::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), 0.0);
+        let b = Obb3::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), FRAC_PI_4);
+        let inter = a.bev_intersection_area(&b);
+        let expect = 2.0 * (2.0_f64.sqrt() - 1.0);
+        assert!((inter - expect).abs() < 1e-9, "inter={inter}");
+        let iou = a.iou_bev(&b);
+        assert!((iou - expect / (2.0 - expect)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = Obb3::new(Vec3::new(1.0, 2.0, 0.0), Vec3::new(4.0, 2.0, 1.5), 0.3);
+        let b = Obb3::new(Vec3::new(2.0, 1.5, 0.2), Vec3::new(3.5, 1.8, 1.4), -0.5);
+        assert!((a.iou_bev(&b) - b.iou_bev(&a)).abs() < 1e-9);
+        assert!((a.iou_3d(&b) - b.iou_3d(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_aabb_contains_corners() {
+        let b = Obb3::new(Vec3::new(5.0, -3.0, 1.0), Vec3::new(4.0, 2.0, 1.6), 0.9);
+        let aabb = b.bounding_aabb();
+        for (x, y) in b.bev_corners() {
+            assert!(aabb.contains(Vec3::new(x, y, 1.0)));
+        }
+    }
+
+    #[test]
+    fn transformed_box_moves_with_frame() {
+        use crate::{Mat3, RigidTransform};
+        let b = Obb3::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(4.0, 2.0, 1.5), 0.0);
+        let t = RigidTransform::new(Mat3::rotation_z(FRAC_PI_2), Vec3::new(0.0, 0.0, 1.0));
+        let moved = b.transformed(&t);
+        assert!((moved.center - Vec3::new(0.0, 1.0, 1.0)).norm() < 1e-12);
+        assert!((moved.yaw - FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(moved.size, b.size);
+    }
+
+    #[test]
+    fn negative_size_clamped() {
+        let b = Obb3::new(Vec3::ZERO, Vec3::new(-1.0, 2.0, 3.0), 0.0);
+        assert_eq!(b.size.x, 0.0);
+        assert_eq!(b.volume(), 0.0);
+    }
+
+    #[test]
+    fn polygon_area_shoelace() {
+        // Unit square.
+        let sq = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
+        assert!((polygon_area(&sq) - 1.0).abs() < 1e-12);
+        assert_eq!(polygon_area(&sq[..2]), 0.0);
+    }
+
+    #[test]
+    fn contained_box_iou() {
+        let outer = Obb3::new(Vec3::ZERO, Vec3::new(4.0, 4.0, 4.0), 0.0);
+        let inner = Obb3::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0), 0.3);
+        let iou = outer.iou_bev(&inner);
+        assert!((iou - 4.0 / 16.0).abs() < 1e-9);
+        let iou3 = outer.iou_3d(&inner);
+        assert!((iou3 - 8.0 / 64.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! GPS fixes and their conversion to the local east-north-up frame.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Vec3;
+
+/// Mean Earth radius in metres, used by the equirectangular local
+/// approximation. Over V2V ranges (≤ a few hundred metres) the
+/// approximation error is far below GPS noise.
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// A GPS fix: geodetic latitude/longitude in degrees plus altitude in
+/// metres.
+///
+/// The Cooper exchange package carries the transmitter's GPS reading so the
+/// receiver can compute the translation `Δd` of Equation 3. [`enu_offset`]
+/// performs that computation.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_geometry::{enu_offset, GpsFix};
+///
+/// let a = GpsFix::new(33.2075, -97.1526, 190.0); // UNT campus
+/// let b = GpsFix::new(33.2076, -97.1526, 190.0); // ~11 m north
+/// let enu = enu_offset(&a, &b);
+/// assert!((enu.y - 11.1).abs() < 0.2); // north ≈ +y
+/// assert!(enu.x.abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GpsFix {
+    /// Geodetic latitude, degrees, positive north.
+    pub latitude: f64,
+    /// Geodetic longitude, degrees, positive east.
+    pub longitude: f64,
+    /// Altitude above the reference ellipsoid, metres.
+    pub altitude: f64,
+}
+
+impl GpsFix {
+    /// Creates a fix.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when latitude is outside `[-90, 90]` or
+    /// longitude outside `[-180, 180]`.
+    pub fn new(latitude: f64, longitude: f64, altitude: f64) -> Self {
+        debug_assert!((-90.0..=90.0).contains(&latitude), "latitude {latitude}");
+        debug_assert!(
+            (-180.0..=180.0).contains(&longitude),
+            "longitude {longitude}"
+        );
+        GpsFix {
+            latitude,
+            longitude,
+            altitude,
+        }
+    }
+
+    /// Returns a fix displaced by an east-north-up offset in metres.
+    ///
+    /// Inverse of [`enu_offset`] (to within the flat-earth approximation).
+    pub fn offset_by(&self, enu: Vec3) -> GpsFix {
+        let lat_rad = self.latitude.to_radians();
+        let dlat = enu.y / EARTH_RADIUS_M;
+        let dlon = enu.x / (EARTH_RADIUS_M * lat_rad.cos());
+        GpsFix {
+            latitude: self.latitude + dlat.to_degrees(),
+            longitude: self.longitude + dlon.to_degrees(),
+            altitude: self.altitude + enu.z,
+        }
+    }
+}
+
+impl fmt::Display for GpsFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:.6}°, {:.6}°, {:.1} m)",
+            self.latitude, self.longitude, self.altitude
+        )
+    }
+}
+
+/// The east-north-up offset (metres) of `to` relative to `from`, using an
+/// equirectangular approximation centered at `from`.
+///
+/// `x` is east, `y` is north, `z` is up — matching the world frame used by
+/// the simulator and the fusion pipeline.
+pub fn enu_offset(from: &GpsFix, to: &GpsFix) -> Vec3 {
+    let lat0 = from.latitude.to_radians();
+    let dlat = (to.latitude - from.latitude).to_radians();
+    let dlon = (to.longitude - from.longitude).to_radians();
+    Vec3::new(
+        EARTH_RADIUS_M * dlon * lat0.cos(),
+        EARTH_RADIUS_M * dlat,
+        to.altitude - from.altitude,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_offset_for_same_fix() {
+        let fix = GpsFix::new(40.0, -100.0, 200.0);
+        assert!(enu_offset(&fix, &fix).norm() < 1e-12);
+    }
+
+    #[test]
+    fn northward_offset_is_positive_y() {
+        let a = GpsFix::new(40.0, -100.0, 0.0);
+        let b = GpsFix::new(40.001, -100.0, 0.0);
+        let enu = enu_offset(&a, &b);
+        assert!(enu.y > 100.0 && enu.y < 120.0, "y = {}", enu.y);
+        assert!(enu.x.abs() < 1e-9);
+    }
+
+    #[test]
+    fn eastward_offset_scales_with_latitude() {
+        let equator_a = GpsFix::new(0.0, 10.0, 0.0);
+        let equator_b = GpsFix::new(0.0, 10.001, 0.0);
+        let high_a = GpsFix::new(60.0, 10.0, 0.0);
+        let high_b = GpsFix::new(60.0, 10.001, 0.0);
+        let e0 = enu_offset(&equator_a, &equator_b).x;
+        let e60 = enu_offset(&high_a, &high_b).x;
+        // cos(60°) = 0.5, so the same longitude step is half the distance.
+        assert!((e60 / e0 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn offset_by_round_trip() {
+        let origin = GpsFix::new(33.2075, -97.1526, 190.0);
+        let delta = Vec3::new(25.0, -14.0, 2.0);
+        let moved = origin.offset_by(delta);
+        let back = enu_offset(&origin, &moved);
+        assert!(
+            (back - delta).norm() < 1e-6,
+            "round trip error {}",
+            (back - delta).norm()
+        );
+    }
+
+    #[test]
+    fn altitude_maps_to_z() {
+        let a = GpsFix::new(10.0, 10.0, 100.0);
+        let b = GpsFix::new(10.0, 10.0, 130.0);
+        assert_eq!(enu_offset(&a, &b).z, 30.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = format!("{}", GpsFix::new(1.0, 2.0, 3.0));
+        assert!(s.contains("1.000000"));
+    }
+}

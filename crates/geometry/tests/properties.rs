@@ -1,0 +1,136 @@
+//! Property-based tests for the geometry substrate.
+
+use cooper_geometry::{
+    enu_offset, normalize_angle, Aabb3, Attitude, GpsFix, Mat3, Obb3, Pose, RigidTransform, Vec3,
+};
+use proptest::prelude::*;
+use std::f64::consts::PI;
+
+fn angle() -> impl Strategy<Value = f64> {
+    -PI..PI
+}
+
+fn coord() -> impl Strategy<Value = f64> {
+    -100.0..100.0f64
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (coord(), coord(), coord()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn attitude() -> impl Strategy<Value = Attitude> {
+    (angle(), -1.4..1.4f64, angle()).prop_map(|(y, p, r)| Attitude::new(y, p, r))
+}
+
+fn pose() -> impl Strategy<Value = Pose> {
+    (vec3(), attitude()).prop_map(|(p, a)| Pose::new(p, a))
+}
+
+fn obb() -> impl Strategy<Value = Obb3> {
+    (vec3(), (0.5..10.0f64, 0.5..10.0f64, 0.5..10.0f64), angle())
+        .prop_map(|(c, (l, w, h), yaw)| Obb3::new(c, Vec3::new(l, w, h), yaw))
+}
+
+proptest! {
+    #[test]
+    fn rotation_matrices_are_proper(yaw in angle(), pitch in angle(), roll in angle()) {
+        let r = Mat3::from_yaw_pitch_roll(yaw, pitch, roll);
+        prop_assert!(r.is_rotation(1e-9));
+    }
+
+    #[test]
+    fn rotation_transpose_is_inverse(yaw in angle(), pitch in angle(), roll in angle(), v in vec3()) {
+        let r = Mat3::from_yaw_pitch_roll(yaw, pitch, roll);
+        let back = r.transpose() * (r * v);
+        prop_assert!((back - v).norm() < 1e-8);
+    }
+
+    #[test]
+    fn rotation_preserves_norm(yaw in angle(), pitch in angle(), roll in angle(), v in vec3()) {
+        let r = Mat3::from_yaw_pitch_roll(yaw, pitch, roll);
+        prop_assert!(((r * v).norm() - v.norm()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normalize_angle_in_range(theta in -1e4..1e4f64) {
+        let n = normalize_angle(theta);
+        prop_assert!(n > -PI - 1e-9 && n <= PI + 1e-9);
+        // Same direction: sin/cos must match.
+        prop_assert!((n.sin() - theta.sin()).abs() < 1e-6);
+        prop_assert!((n.cos() - theta.cos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rigid_transform_round_trip(p1 in pose(), p2 in pose(), v in vec3()) {
+        let t = RigidTransform::between(&p1, &p2);
+        let back = t.inverse().apply(t.apply(v));
+        prop_assert!((back - v).norm() < 1e-7);
+    }
+
+    #[test]
+    fn between_composes_with_world(p1 in pose(), p2 in pose(), v in vec3()) {
+        let t = RigidTransform::between(&p1, &p2);
+        let via_world = p2.world_to_local(p1.local_to_world(v));
+        prop_assert!((t.apply(v) - via_world).norm() < 1e-7);
+    }
+
+    #[test]
+    fn between_inverse_is_swapped(p1 in pose(), p2 in pose(), v in vec3()) {
+        let forward = RigidTransform::between(&p1, &p2);
+        let backward = RigidTransform::between(&p2, &p1);
+        prop_assert!((backward.apply(forward.apply(v)) - v).norm() < 1e-7);
+    }
+
+    #[test]
+    fn iou_bounds_and_symmetry(a in obb(), b in obb()) {
+        let ab = a.iou_bev(&b);
+        let ba = b.iou_bev(&a);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-6, "asymmetric: {ab} vs {ba}");
+        let ab3 = a.iou_3d(&b);
+        prop_assert!((0.0..=1.0).contains(&ab3));
+        prop_assert!((ab3 - b.iou_3d(&a)).abs() < 1e-6);
+        // 3-D IoU can never exceed BEV IoU... not strictly true in general,
+        // but self-IoU must be exactly 1.
+        prop_assert!((a.iou_bev(&a) - 1.0).abs() < 1e-9);
+        prop_assert!((a.iou_3d(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obb_bounding_aabb_contains_box_points(b in obb(), fx in 0.0..1.0f64, fy in 0.0..1.0f64, fz in 0.0..1.0f64) {
+        // A random point inside the OBB must be inside its bounding AABB.
+        let local = Vec3::new(
+            (fx - 0.5) * b.size.x,
+            (fy - 0.5) * b.size.y,
+            (fz - 0.5) * b.size.z,
+        );
+        let r = Mat3::rotation_z(b.yaw);
+        let world = r * local + b.center;
+        prop_assert!(b.contains(world));
+        prop_assert!(b.bounding_aabb().inflated(1e-9).contains(world));
+    }
+
+    #[test]
+    fn aabb_from_points_contains_all(pts in prop::collection::vec(vec3(), 1..50)) {
+        let b = Aabb3::from_points(pts.iter().copied()).unwrap();
+        for p in pts {
+            prop_assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn gps_offset_round_trip(lat in -70.0..70.0f64, lon in -170.0..170.0f64,
+                             dx in -500.0..500.0f64, dy in -500.0..500.0f64, dz in -50.0..50.0f64) {
+        let origin = GpsFix::new(lat, lon, 100.0);
+        let delta = Vec3::new(dx, dy, dz);
+        let moved = origin.offset_by(delta);
+        let back = enu_offset(&origin, &moved);
+        prop_assert!((back - delta).norm() < 1e-4, "error {}", (back - delta).norm());
+    }
+
+    #[test]
+    fn attitude_difference_zero_for_self(a in attitude()) {
+        let d = a.difference(&a);
+        prop_assert!(d.yaw.abs() < 1e-12 && d.pitch.abs() < 1e-12 && d.roll.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! Beam tables of the Velodyne units named in the paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The firing geometry and noise envelope of one LiDAR unit.
+///
+/// §III-B: "Velodyne produces 64-beam, 32-beam and 16-beam LiDAR devices,
+/// which provide different density point clouds." The three presets below
+/// match those products' vertical beam tables closely enough to reproduce
+/// the density contrast the paper builds SPOD around (the T&J point cloud
+/// is "4X more sparse" than KITTI's).
+///
+/// # Examples
+///
+/// ```
+/// use cooper_lidar_sim::BeamModel;
+///
+/// let dense = BeamModel::hdl64();
+/// let sparse = BeamModel::vlp16();
+/// assert_eq!(dense.beam_count() / sparse.beam_count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeamModel {
+    name: String,
+    /// Elevation angle of each beam, radians, ascending.
+    vertical_angles: Vec<f64>,
+    /// Number of azimuth steps per revolution.
+    azimuth_steps: usize,
+    /// Maximum usable range, metres.
+    max_range: f64,
+    /// 1-σ range noise, metres.
+    range_noise_sigma: f64,
+    /// Probability that a valid return is dropped.
+    dropout_probability: f64,
+}
+
+impl BeamModel {
+    /// Builds a custom beam model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the beam table is empty, `azimuth_steps` is zero,
+    /// `max_range` is non-positive, or `dropout_probability` is outside
+    /// `[0, 1)`.
+    pub fn new(
+        name: impl Into<String>,
+        vertical_angles: Vec<f64>,
+        azimuth_steps: usize,
+        max_range: f64,
+        range_noise_sigma: f64,
+        dropout_probability: f64,
+    ) -> Self {
+        assert!(!vertical_angles.is_empty(), "beam table must not be empty");
+        assert!(azimuth_steps > 0, "azimuth steps must be positive");
+        assert!(max_range > 0.0, "max range must be positive");
+        assert!(
+            (0.0..1.0).contains(&dropout_probability),
+            "dropout probability must be in [0, 1)"
+        );
+        BeamModel {
+            name: name.into(),
+            vertical_angles,
+            azimuth_steps,
+            max_range,
+            range_noise_sigma,
+            dropout_probability,
+        }
+    }
+
+    /// Velodyne VLP-16: 16 beams, ±15° at 2° spacing — the T&J dataset's
+    /// sensor ("1 X Velodyne VLP-16 360° LiDAR").
+    pub fn vlp16() -> Self {
+        let angles = (0..16)
+            .map(|i| (-15.0 + 2.0 * i as f64).to_radians())
+            .collect();
+        BeamModel::new("VLP-16", angles, 1800, 100.0, 0.02, 0.03)
+    }
+
+    /// Velodyne HDL-32E: 32 beams from −30.67° to +10.67°.
+    pub fn hdl32() -> Self {
+        let angles = (0..32)
+            .map(|i| (-30.67 + 41.34 / 31.0 * i as f64).to_radians())
+            .collect();
+        BeamModel::new("HDL-32E", angles, 1440, 100.0, 0.02, 0.03)
+    }
+
+    /// Velodyne HDL-64E: 64 beams from −24.8° to +2° — the KITTI sensor.
+    pub fn hdl64() -> Self {
+        let angles = (0..64)
+            .map(|i| (-24.8 + 26.8 / 63.0 * i as f64).to_radians())
+            .collect();
+        BeamModel::new("HDL-64E", angles, 1800, 120.0, 0.02, 0.03)
+    }
+
+    /// Unit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of beams (rows of the scan).
+    pub fn beam_count(&self) -> usize {
+        self.vertical_angles.len()
+    }
+
+    /// The elevation table, radians, ascending.
+    pub fn vertical_angles(&self) -> &[f64] {
+        &self.vertical_angles
+    }
+
+    /// Azimuth steps per revolution (columns of the scan).
+    pub fn azimuth_steps(&self) -> usize {
+        self.azimuth_steps
+    }
+
+    /// Maximum usable range, metres.
+    pub fn max_range(&self) -> f64 {
+        self.max_range
+    }
+
+    /// 1-σ range noise, metres.
+    pub fn range_noise_sigma(&self) -> f64 {
+        self.range_noise_sigma
+    }
+
+    /// Probability that a valid return is dropped.
+    pub fn dropout_probability(&self) -> f64 {
+        self.dropout_probability
+    }
+
+    /// Rays fired per revolution.
+    pub fn rays_per_scan(&self) -> usize {
+        self.beam_count() * self.azimuth_steps
+    }
+
+    /// Returns a copy with a different azimuth resolution — used by the
+    /// benches to trade scan fidelity for speed.
+    pub fn with_azimuth_steps(mut self, steps: usize) -> Self {
+        assert!(steps > 0, "azimuth steps must be positive");
+        self.azimuth_steps = steps;
+        self
+    }
+
+    /// Returns a copy with all noise disabled (deterministic geometry).
+    pub fn noiseless(mut self) -> Self {
+        self.range_noise_sigma = 0.0;
+        self.dropout_probability = 0.0;
+        self
+    }
+}
+
+impl fmt::Display for BeamModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} beams × {} steps, ≤{} m)",
+            self.name,
+            self.vertical_angles.len(),
+            self.azimuth_steps,
+            self.max_range
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_beam_counts() {
+        assert_eq!(BeamModel::vlp16().beam_count(), 16);
+        assert_eq!(BeamModel::hdl32().beam_count(), 32);
+        assert_eq!(BeamModel::hdl64().beam_count(), 64);
+    }
+
+    #[test]
+    fn vlp16_covers_plus_minus_fifteen_degrees() {
+        let m = BeamModel::vlp16();
+        let lo = m.vertical_angles()[0].to_degrees();
+        let hi = m.vertical_angles()[15].to_degrees();
+        assert!((lo + 15.0).abs() < 1e-9);
+        assert!((hi - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hdl64_covers_kitti_fov() {
+        let m = BeamModel::hdl64();
+        assert!((m.vertical_angles()[0].to_degrees() + 24.8).abs() < 1e-9);
+        assert!((m.vertical_angles()[63].to_degrees() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angles_are_ascending() {
+        for m in [BeamModel::vlp16(), BeamModel::hdl32(), BeamModel::hdl64()] {
+            let a = m.vertical_angles();
+            assert!(
+                a.windows(2).all(|w| w[0] < w[1]),
+                "{} not ascending",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rays_per_scan() {
+        assert_eq!(BeamModel::vlp16().rays_per_scan(), 16 * 1800);
+    }
+
+    #[test]
+    fn builders() {
+        let m = BeamModel::hdl64().with_azimuth_steps(100).noiseless();
+        assert_eq!(m.azimuth_steps(), 100);
+        assert_eq!(m.range_noise_sigma(), 0.0);
+        assert_eq!(m.dropout_probability(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_beam_table_panics() {
+        let _ = BeamModel::new("bad", vec![], 10, 100.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout")]
+    fn bad_dropout_panics() {
+        let _ = BeamModel::new("bad", vec![0.0], 10, 100.0, 0.0, 1.5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Scene entities: the objects a LiDAR scan can hit.
+
+use std::fmt;
+
+use cooper_geometry::{Obb3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an entity within one [`crate::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Semantic class of a scene entity.
+///
+/// `Car`, `Pedestrian` and `Cyclist` are the detection targets the paper
+/// (following KITTI/VoxelNet) evaluates; `Background` covers buildings,
+/// walls, parked trailers, trees — geometry that occludes but is not a
+/// detection target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectClass {
+    /// A passenger vehicle (typical box 4.5 × 1.8 × 1.5 m).
+    Car,
+    /// A pedestrian (typical box 0.6 × 0.6 × 1.7 m).
+    Pedestrian,
+    /// A cyclist (typical box 1.8 × 0.6 × 1.7 m).
+    Cyclist,
+    /// Static occluding geometry — never a detection target.
+    Background,
+}
+
+impl ObjectClass {
+    /// The detection-target classes, in KITTI order.
+    pub const TARGETS: [ObjectClass; 3] = [
+        ObjectClass::Car,
+        ObjectClass::Pedestrian,
+        ObjectClass::Cyclist,
+    ];
+
+    /// `true` for classes the detector is trained to find.
+    pub fn is_target(self) -> bool {
+        !matches!(self, ObjectClass::Background)
+    }
+
+    /// Canonical box size for the class (metres), used by scene
+    /// generators and anchor design.
+    pub fn canonical_size(self) -> Vec3 {
+        match self {
+            ObjectClass::Car => Vec3::new(4.5, 1.8, 1.5),
+            ObjectClass::Pedestrian => Vec3::new(0.6, 0.6, 1.7),
+            ObjectClass::Cyclist => Vec3::new(1.8, 0.6, 1.7),
+            ObjectClass::Background => Vec3::new(1.0, 1.0, 1.0),
+        }
+    }
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ObjectClass::Car => "car",
+            ObjectClass::Pedestrian => "pedestrian",
+            ObjectClass::Cyclist => "cyclist",
+            ObjectClass::Background => "background",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One object in the simulated world: an oriented box with a semantic
+/// class and a surface reflectance.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_geometry::{Obb3, Vec3};
+/// use cooper_lidar_sim::{Entity, EntityId, ObjectClass};
+///
+/// let car = Entity::car(EntityId(1), Vec3::new(10.0, 2.0, 0.0), 0.3);
+/// assert_eq!(car.class, ObjectClass::Car);
+/// assert!((car.shape.center.z - 0.75).abs() < 1e-12); // sits on the ground
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entity {
+    /// Identifier, unique within its world.
+    pub id: EntityId,
+    /// Semantic class.
+    pub class: ObjectClass,
+    /// Geometry: an oriented box in world coordinates.
+    pub shape: Obb3,
+    /// Surface reflectance in `[0, 1]`.
+    pub reflectance: f32,
+    /// World-frame velocity, m/s (zero for parked/static geometry).
+    /// Used by [`crate::World::advanced`] to evolve dynamic scenes.
+    pub velocity: Vec3,
+}
+
+impl Entity {
+    /// Creates an entity from explicit geometry.
+    pub fn new(id: EntityId, class: ObjectClass, shape: Obb3, reflectance: f32) -> Self {
+        Entity {
+            id,
+            class,
+            shape,
+            reflectance: reflectance.clamp(0.0, 1.0),
+            velocity: Vec3::ZERO,
+        }
+    }
+
+    /// Returns this entity with a world-frame velocity (m/s).
+    pub fn with_velocity(mut self, velocity: Vec3) -> Self {
+        self.velocity = velocity;
+        self
+    }
+
+    /// Returns this entity displaced by `velocity × dt` seconds.
+    pub fn advanced(&self, dt: f64) -> Entity {
+        let mut moved = self.clone();
+        moved.shape = Obb3::new(
+            self.shape.center + self.velocity * dt,
+            self.shape.size,
+            self.shape.yaw,
+        );
+        moved
+    }
+
+    /// Convenience constructor for a class-canonical entity resting on
+    /// the ground plane (`z = 0`) at `ground_xy` with heading `yaw`.
+    pub fn standing(id: EntityId, class: ObjectClass, ground_xy: Vec3, yaw: f64) -> Self {
+        let size = class.canonical_size();
+        let center = Vec3::new(ground_xy.x, ground_xy.y, size.z * 0.5);
+        let reflectance = match class {
+            ObjectClass::Car => 0.45,
+            ObjectClass::Pedestrian => 0.30,
+            ObjectClass::Cyclist => 0.35,
+            ObjectClass::Background => 0.20,
+        };
+        Entity::new(id, class, Obb3::new(center, size, yaw), reflectance)
+    }
+
+    /// A canonical car resting on the ground at `(x, y)` with heading
+    /// `yaw`.
+    pub fn car(id: EntityId, ground_xy: Vec3, yaw: f64) -> Self {
+        Entity::standing(id, ObjectClass::Car, ground_xy, yaw)
+    }
+
+    /// A wall segment: a thin, tall background box from `start` to `end`
+    /// (ground-plane endpoints), `height` metres tall and `thickness`
+    /// metres thick.
+    pub fn wall(id: EntityId, start: Vec3, end: Vec3, height: f64, thickness: f64) -> Self {
+        let mid = (start + end) * 0.5;
+        let length = start.distance_xy(end);
+        let yaw = (end - start).azimuth();
+        let center = Vec3::new(mid.x, mid.y, height * 0.5);
+        Entity::new(
+            id,
+            ObjectClass::Background,
+            Obb3::new(center, Vec3::new(length, thickness, height), yaw),
+            0.25,
+        )
+    }
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} at {}", self.class, self.id, self.shape.center)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_targets() {
+        assert!(ObjectClass::Car.is_target());
+        assert!(ObjectClass::Pedestrian.is_target());
+        assert!(ObjectClass::Cyclist.is_target());
+        assert!(!ObjectClass::Background.is_target());
+        assert_eq!(ObjectClass::TARGETS.len(), 3);
+    }
+
+    #[test]
+    fn standing_entity_rests_on_ground() {
+        for class in ObjectClass::TARGETS {
+            let e = Entity::standing(EntityId(0), class, Vec3::new(5.0, 5.0, 0.0), 0.3);
+            let (z0, z1) = e.shape.z_range();
+            assert!(z0.abs() < 1e-12, "{class} floats: z0 = {z0}");
+            assert!((z1 - class.canonical_size().z).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wall_spans_endpoints() {
+        let w = Entity::wall(
+            EntityId(9),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(10.0, 0.0, 0.0),
+            3.0,
+            0.4,
+        );
+        assert_eq!(w.class, ObjectClass::Background);
+        assert!(w.shape.contains(Vec3::new(0.1, 0.0, 1.0)));
+        assert!(w.shape.contains(Vec3::new(9.9, 0.0, 2.9)));
+        assert!(!w.shape.contains(Vec3::new(5.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn diagonal_wall_orientation() {
+        let w = Entity::wall(
+            EntityId(9),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(10.0, 10.0, 0.0),
+            2.0,
+            0.2,
+        );
+        assert!(w.shape.contains(Vec3::new(5.0, 5.0, 1.0)));
+        assert!(!w.shape.contains(Vec3::new(5.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn reflectance_clamped() {
+        let e = Entity::new(
+            EntityId(1),
+            ObjectClass::Car,
+            Obb3::new(Vec3::ZERO, Vec3::splat(1.0), 0.0),
+            7.0,
+        );
+        assert_eq!(e.reflectance, 1.0);
+    }
+
+    #[test]
+    fn display_impls() {
+        let e = Entity::car(EntityId(3), Vec3::ZERO, 0.0);
+        let s = format!("{e}");
+        assert!(s.contains("car") && s.contains("#3"));
+    }
+}

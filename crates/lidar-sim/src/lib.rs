@@ -1,0 +1,53 @@
+//! Synthetic LiDAR world simulator for the Cooper reproduction.
+//!
+//! The Cooper paper evaluates on two real datasets: KITTI (64-beam
+//! Velodyne HDL-64E, road scenes) and the authors' T&J dataset (16-beam
+//! VLP-16, parking lots). Neither the raw recordings nor the golf cart
+//! are available here, so this crate provides the closest synthetic
+//! equivalent that exercises the same code paths:
+//!
+//! * [`World`] — a static scene of oriented-box entities (cars,
+//!   pedestrians, cyclists, walls/buildings) over a ground plane.
+//! * [`LidarScanner`] + [`BeamModel`] — a ray-cast scanner with the beam
+//!   tables of real Velodyne units (16/32/64 beams), occlusion, range
+//!   noise and dropout. Scans reproduce the geometric properties Cooper's
+//!   claims rest on: occluded objects yield no points, distant objects
+//!   yield few, and two viewpoints see complementary surfaces.
+//! * [`GpsImuModel`] — GPS/IMU measurement with configurable drift, plus
+//!   the paper's Figure-10 skew protocol ([`SkewMode`]).
+//! * [`scenario`] — the scenario library: four KITTI-style road scenes
+//!   (T-junction, stop sign, left turn, curve) and four T&J-style parking
+//!   lots, each with multiple observer poses at the paper's Δd spacings.
+//! * [`dataset`] — labelled random scenes for training and evaluating the
+//!   SPOD detector.
+//!
+//! # Examples
+//!
+//! ```
+//! use cooper_lidar_sim::{scenario, BeamModel, LidarScanner};
+//!
+//! let scene = scenario::t_junction();
+//! let scanner = LidarScanner::new(BeamModel::hdl64());
+//! let scan = scanner.scan(&scene.world, &scene.observers[0], 7);
+//! assert!(scan.len() > 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod beam;
+pub mod dataset;
+mod entity;
+mod noise;
+mod ray;
+mod scanner;
+pub mod scenario;
+mod sensors;
+mod world;
+
+pub use beam::BeamModel;
+pub use entity::{Entity, EntityId, ObjectClass};
+pub use noise::GaussianNoise;
+pub use scanner::LidarScanner;
+pub use sensors::{GpsImuModel, PoseEstimate, SkewMode};
+pub use world::World;

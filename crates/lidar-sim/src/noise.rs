@@ -1,0 +1,97 @@
+//! Gaussian noise sampling (Box–Muller over `rand`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A zero-mean Gaussian noise source parameterized by its standard
+/// deviation.
+///
+/// Implemented with the Box–Muller transform so the workspace does not
+/// need a distribution crate beyond `rand` itself.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_lidar_sim::GaussianNoise;
+/// use rand::SeedableRng;
+///
+/// let noise = GaussianNoise::new(0.02);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let sample = noise.sample(&mut rng);
+/// assert!(sample.abs() < 0.2); // within 10 sigma, overwhelmingly likely
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GaussianNoise {
+    sigma: f64,
+}
+
+impl GaussianNoise {
+    /// Creates a noise source with the given standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative, got {sigma}"
+        );
+        GaussianNoise { sigma }
+    }
+
+    /// The standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return 0.0;
+        }
+        // Box–Muller: u1 in (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        mag * (2.0 * std::f64::consts::PI * u2).cos() * self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_deterministic_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = GaussianNoise::new(0.0);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = GaussianNoise::new(2.0);
+        let count = 20_000;
+        let samples: Vec<f64> = (0..count).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let _ = GaussianNoise::new(-1.0);
+    }
+
+    #[test]
+    fn sigma_accessor() {
+        assert_eq!(GaussianNoise::new(0.5).sigma(), 0.5);
+    }
+}

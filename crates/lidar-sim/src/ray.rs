@@ -1,0 +1,156 @@
+//! Ray intersection primitives used by the scanner.
+
+use cooper_geometry::{Obb3, Vec3};
+
+/// A ray: origin plus unit direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Ray {
+    pub origin: Vec3,
+    pub direction: Vec3,
+}
+
+impl Ray {
+    pub(crate) fn new(origin: Vec3, direction: Vec3) -> Self {
+        Ray { origin, direction }
+    }
+
+    pub(crate) fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.direction * t
+    }
+}
+
+/// Distance along the ray to the first intersection with an oriented box,
+/// or `None` when the ray misses (or starts past the box).
+///
+/// Slab method in the box's local frame (the box only rotates about `z`).
+pub(crate) fn ray_obb_intersection(ray: &Ray, obb: &Obb3) -> Option<f64> {
+    // Move the ray into the box frame.
+    let (s, c) = obb.yaw.sin_cos();
+    let rel = ray.origin - obb.center;
+    let local_origin = Vec3::new(c * rel.x + s * rel.y, -s * rel.x + c * rel.y, rel.z);
+    let d = ray.direction;
+    let local_dir = Vec3::new(c * d.x + s * d.y, -s * d.x + c * d.y, d.z);
+    let half = obb.size * 0.5;
+
+    let mut t_min = 0.0f64;
+    let mut t_max = f64::INFINITY;
+    for axis in 0..3 {
+        let o = local_origin[axis];
+        let v = local_dir[axis];
+        let h = half[axis];
+        if v.abs() < 1e-12 {
+            if o.abs() > h {
+                return None;
+            }
+            continue;
+        }
+        let inv = 1.0 / v;
+        let mut t0 = (-h - o) * inv;
+        let mut t1 = (h - o) * inv;
+        if t0 > t1 {
+            std::mem::swap(&mut t0, &mut t1);
+        }
+        t_min = t_min.max(t0);
+        t_max = t_max.min(t1);
+        if t_min > t_max {
+            return None;
+        }
+    }
+    // The sensor may sit inside a box's bounding volume (e.g. scanning
+    // from the roof of the ego car); report the exit face then.
+    Some(if t_min > 1e-9 { t_min } else { t_max })
+}
+
+/// Distance along the ray to the ground plane `z = ground_z`, or `None`
+/// when the ray points away from it.
+pub(crate) fn ray_ground_intersection(ray: &Ray, ground_z: f64) -> Option<f64> {
+    if ray.direction.z.abs() < 1e-12 {
+        return None;
+    }
+    let t = (ground_z - ray.origin.z) / ray.direction.z;
+    (t > 1e-9).then_some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ray_hits_axis_aligned_box() {
+        let ray = Ray::new(Vec3::new(-10.0, 0.0, 0.0), Vec3::X);
+        let obb = Obb3::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0), 0.0);
+        let t = ray_obb_intersection(&ray, &obb).unwrap();
+        assert!((t - 9.0).abs() < 1e-12);
+        assert!((ray.at(t) - Vec3::new(-1.0, 0.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn ray_misses_offset_box() {
+        let ray = Ray::new(Vec3::new(-10.0, 5.0, 0.0), Vec3::X);
+        let obb = Obb3::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0), 0.0);
+        assert!(ray_obb_intersection(&ray, &obb).is_none());
+    }
+
+    #[test]
+    fn ray_hits_rotated_box() {
+        // A 45°-rotated 10×1 box only reaches |x| ≈ 3.9, so a ray along
+        // +y at x = 4.5 misses it but hits the unrotated variant
+        // (which spans |x| ≤ 5).
+        let rot = Obb3::new(
+            Vec3::ZERO,
+            Vec3::new(10.0, 1.0, 2.0),
+            std::f64::consts::FRAC_PI_4,
+        );
+        let unrot = Obb3::new(Vec3::ZERO, Vec3::new(10.0, 1.0, 2.0), 0.0);
+        let ray = Ray::new(Vec3::new(4.5, -10.0, 0.0), Vec3::Y);
+        assert!(ray_obb_intersection(&ray, &unrot).is_some());
+        assert!(ray_obb_intersection(&ray, &rot).is_none());
+        // A ray at x = 2 does strike the rotated box, on its surface.
+        let ray2 = Ray::new(Vec3::new(2.0, -10.0, 0.0), Vec3::Y);
+        let t = ray_obb_intersection(&ray2, &rot).unwrap();
+        assert!(rot.contains(ray2.at(t)), "hit {} not on box", ray2.at(t));
+    }
+
+    #[test]
+    fn ray_behind_box_misses() {
+        let ray = Ray::new(Vec3::new(10.0, 0.0, 0.0), Vec3::X);
+        let obb = Obb3::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0), 0.0);
+        assert!(ray_obb_intersection(&ray, &obb).is_none());
+    }
+
+    #[test]
+    fn ray_from_inside_reports_exit() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        let obb = Obb3::new(Vec3::ZERO, Vec3::new(4.0, 4.0, 4.0), 0.0);
+        let t = ray_obb_intersection(&ray, &obb).unwrap();
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_ray_outside_slab_misses() {
+        let ray = Ray::new(Vec3::new(-10.0, 0.0, 5.0), Vec3::X);
+        let obb = Obb3::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0), 0.0);
+        assert!(ray_obb_intersection(&ray, &obb).is_none());
+    }
+
+    #[test]
+    fn ground_intersection() {
+        let down = Ray::new(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(1.0, 0.0, -1.0).normalized().unwrap(),
+        );
+        let t = ray_ground_intersection(&down, 0.0).unwrap();
+        let hit = down.at(t);
+        assert!(hit.z.abs() < 1e-9);
+        assert!((hit.x - 2.0).abs() < 1e-9);
+        // Upward ray never lands.
+        let up = Ray::new(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(1.0, 0.0, 0.5).normalized().unwrap(),
+        );
+        assert!(ray_ground_intersection(&up, 0.0).is_none());
+        // Horizontal ray never lands.
+        let flat = Ray::new(Vec3::new(0.0, 0.0, 2.0), Vec3::X);
+        assert!(ray_ground_intersection(&flat, 0.0).is_none());
+    }
+}

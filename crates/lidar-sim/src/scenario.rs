@@ -1,0 +1,920 @@
+//! The scenario library: synthetic stand-ins for the paper's evaluation
+//! scenes.
+//!
+//! The paper evaluates 4 KITTI road scenarios (T-junction, stop sign,
+//! left turn, curve — Figure 3) and 4 T&J parking-lot scenarios
+//! (Figure 6), each pairing two observer positions `Δd` metres apart.
+//! The raw recordings are unavailable, so each function here builds a
+//! procedural scene with the same *structure*: the same Δd spacings, a
+//! comparable car count, and occluders arranged so that each single shot
+//! misses objects the other can see — the property every Cooper figure
+//! rests on.
+
+use cooper_geometry::{Attitude, Obb3, Pose, Vec3};
+use serde::{Deserialize, Serialize};
+
+use crate::{BeamModel, Entity, EntityId, ObjectClass, World};
+
+/// Sensor mount height used for KITTI-style scenes (HDL-64E on a station
+/// wagon roof).
+pub const KITTI_MOUNT_HEIGHT: f64 = 1.73;
+/// Sensor mount height used for T&J-style scenes (VLP-16 on a golf
+/// cart).
+pub const TJ_MOUNT_HEIGHT: f64 = 1.9;
+
+/// Which dataset family a scenario emulates, selecting the beam model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// KITTI-style: dense 64-beam scans of road scenes.
+    Kitti,
+    /// T&J-style: sparse 16-beam scans of parking lots.
+    TJ,
+}
+
+impl DatasetKind {
+    /// The beam model the paper used for this dataset family.
+    pub fn beam_model(self) -> BeamModel {
+        match self {
+            DatasetKind::Kitti => BeamModel::hdl64(),
+            DatasetKind::TJ => BeamModel::vlp16(),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DatasetKind::Kitti => "KITTI",
+            DatasetKind::TJ => "T&J",
+        })
+    }
+}
+
+/// One evaluation scene: a world, a set of candidate observer poses and
+/// the cooperative pairs evaluated in the corresponding figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name ("KITTI scenario 1 (T-junction)").
+    pub name: String,
+    /// Which dataset family this emulates.
+    pub kind: DatasetKind,
+    /// The static world.
+    pub world: World,
+    /// Candidate sensor poses (mount height included).
+    pub observers: Vec<Pose>,
+    /// Index pairs `(i, j)` into `observers` forming the cooperative
+    /// cases of the paper's figure, in column order.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl Scenario {
+    /// The world-frame boxes of all cars — the ground truth.
+    pub fn ground_truth_cars(&self) -> Vec<Obb3> {
+        self.world.ground_truth_boxes(ObjectClass::Car)
+    }
+
+    /// The `Δd` between the two observers of `pair` (planar metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn delta_d(&self, pair: (usize, usize)) -> f64 {
+        self.observers[pair.0].delta_d(&self.observers[pair.1])
+    }
+
+    /// Validates internal consistency (pair indices in range, observers
+    /// above ground, at least one car).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        for &(a, b) in &self.pairs {
+            if a >= self.observers.len() || b >= self.observers.len() {
+                return Err(format!("pair ({a}, {b}) out of range in {}", self.name));
+            }
+            if a == b {
+                return Err(format!("degenerate pair ({a}, {b}) in {}", self.name));
+            }
+        }
+        if self.observers.iter().any(|o| o.position.z <= 0.0) {
+            return Err(format!("observer below ground in {}", self.name));
+        }
+        if self.ground_truth_cars().is_empty() {
+            return Err(format!("no cars in {}", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// An id allocator so scenario builders never collide.
+struct Ids(u32);
+
+impl Ids {
+    fn next(&mut self) -> EntityId {
+        self.0 += 1;
+        EntityId(self.0)
+    }
+}
+
+fn observer(x: f64, y: f64, yaw: f64, mount: f64) -> Pose {
+    Pose::new(Vec3::new(x, y, mount), Attitude::from_yaw(yaw))
+}
+
+/// KITTI scenario 1: a T-junction (Δd ≈ 14.7 m between the two shots).
+///
+/// An east-west road meets a north-south road; buildings on the junction
+/// corners occlude the crossing traffic until the observer is close.
+pub fn t_junction() -> Scenario {
+    let mut ids = Ids(0);
+    let mut world = World::new();
+
+    // Corner buildings flanking the junction (the occluders).
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(18.0, 8.0, 0.0),
+        Vec3::new(38.0, 8.0, 0.0),
+        6.0,
+        1.0,
+    ));
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(18.0, -8.0, 0.0),
+        Vec3::new(38.0, -8.0, 0.0),
+        6.0,
+        1.0,
+    ));
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(52.0, 8.0, 0.0),
+        Vec3::new(70.0, 8.0, 0.0),
+        6.0,
+        1.0,
+    ));
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(52.0, -8.0, 0.0),
+        Vec3::new(70.0, -8.0, 0.0),
+        6.0,
+        1.0,
+    ));
+
+    // Crossing traffic on the north-south road (x ≈ 45), hidden behind
+    // the corner buildings from far away.
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(45.0, 14.0, 0.0),
+        std::f64::consts::FRAC_PI_2,
+    ));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(45.0, 22.0, 0.0),
+        -std::f64::consts::FRAC_PI_2,
+    ));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(44.0, -13.0, 0.0),
+        std::f64::consts::FRAC_PI_2,
+    ));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(46.0, -21.0, 0.0),
+        std::f64::consts::FRAC_PI_2,
+    ));
+
+    // Oncoming and parked cars along the east-west approach road.
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(24.0, 3.0, 0.0),
+        std::f64::consts::PI,
+    ));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(33.0, 3.2, 0.0),
+        std::f64::consts::PI,
+    ));
+    world.add(Entity::car(ids.next(), Vec3::new(15.0, -3.4, 0.0), 0.0));
+    // A car immediately behind the lead parked one: occluded from the
+    // first shot, visible from the second.
+    world.add(Entity::car(ids.next(), Vec3::new(21.0, -3.4, 0.0), 0.0));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(56.0, 3.0, 0.0),
+        std::f64::consts::PI,
+    ));
+
+    let observers = vec![
+        observer(-6.7, 0.0, 0.0, KITTI_MOUNT_HEIGHT),
+        observer(8.0, 0.0, 0.0, KITTI_MOUNT_HEIGHT),
+    ];
+    Scenario {
+        name: "KITTI scenario 1 (T-junction)".into(),
+        kind: DatasetKind::Kitti,
+        world,
+        observers,
+        pairs: vec![(0, 1)],
+    }
+}
+
+/// KITTI scenario 2: a stop-sign street (Δd ≈ 13.3 m).
+///
+/// Parked cars line both curbs; a van-sized occluder hides two vehicles
+/// from the first shot.
+pub fn stop_sign() -> Scenario {
+    let mut ids = Ids(100);
+    let mut world = World::new();
+
+    // Roadside buildings.
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(0.0, 9.0, 0.0),
+        Vec3::new(60.0, 9.0, 0.0),
+        5.0,
+        1.0,
+    ));
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(0.0, -9.0, 0.0),
+        Vec3::new(60.0, -9.0, 0.0),
+        5.0,
+        1.0,
+    ));
+
+    // A tall van-sized occluder parked mid-block.
+    let van = Entity::new(
+        ids.next(),
+        ObjectClass::Background,
+        Obb3::new(Vec3::new(22.0, -5.0, 1.25), Vec3::new(7.0, 2.4, 2.5), 0.0),
+        0.35,
+    );
+    world.add(van);
+
+    // Parked cars along the curbs; two sit in the van's shadow.
+    world.add(Entity::car(ids.next(), Vec3::new(12.0, -5.5, 0.0), 0.0));
+    world.add(Entity::car(ids.next(), Vec3::new(30.0, -5.5, 0.0), 0.0)); // shadowed from shot 1
+    world.add(Entity::car(ids.next(), Vec3::new(36.0, -5.5, 0.0), 0.0)); // shadowed from shot 1
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(16.0, 5.5, 0.0),
+        std::f64::consts::PI,
+    ));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(27.0, 5.5, 0.0),
+        std::f64::consts::PI,
+    ));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(44.0, 5.5, 0.0),
+        std::f64::consts::PI,
+    ));
+    // Stopped traffic near the sign, far out.
+    world.add(Entity::car(ids.next(), Vec3::new(52.0, 1.8, 0.0), 0.0));
+
+    let observers = vec![
+        observer(-5.0, -1.8, 0.0, KITTI_MOUNT_HEIGHT),
+        observer(8.3, -1.8, 0.0, KITTI_MOUNT_HEIGHT),
+    ];
+    Scenario {
+        name: "KITTI scenario 2 (stop sign)".into(),
+        kind: DatasetKind::Kitti,
+        world,
+        observers,
+        pairs: vec![(0, 1)],
+    }
+}
+
+/// KITTI scenario 3: a left turn (Δd = 0 m — the same position, rotated).
+///
+/// The two shots share a position but different headings, so each sees a
+/// different 120°-relevant sector of the junction.
+pub fn left_turn() -> Scenario {
+    let mut ids = Ids(200);
+    let mut world = World::new();
+
+    // Buildings boxing the junction.
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(12.0, 10.0, 0.0),
+        Vec3::new(40.0, 10.0, 0.0),
+        6.0,
+        1.0,
+    ));
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(-12.0, -10.0, 0.0),
+        Vec3::new(-12.0, -40.0, 0.0),
+        6.0,
+        1.0,
+    ));
+
+    // Traffic ahead (seen by the pre-turn heading).
+    world.add(Entity::car(ids.next(), Vec3::new(18.0, -2.5, 0.0), 0.0));
+    world.add(Entity::car(ids.next(), Vec3::new(26.0, -2.5, 0.0), 0.0));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(24.0, 3.0, 0.0),
+        std::f64::consts::PI,
+    ));
+    // Traffic on the target road (seen after turning left / north).
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(-2.5, 18.0, 0.0),
+        std::f64::consts::FRAC_PI_2,
+    ));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(-2.8, 27.0, 0.0),
+        std::f64::consts::FRAC_PI_2,
+    ));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(3.0, 23.0, 0.0),
+        -std::f64::consts::FRAC_PI_2,
+    ));
+    // One car in the rear-left blind spot of both headings... visible to the second.
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(-14.0, 6.0, 0.0),
+        std::f64::consts::FRAC_PI_2,
+    ));
+
+    let observers = vec![
+        observer(0.0, 0.0, 0.0, KITTI_MOUNT_HEIGHT),
+        observer(
+            0.0,
+            0.0,
+            std::f64::consts::FRAC_PI_2 * 0.9,
+            KITTI_MOUNT_HEIGHT,
+        ),
+    ];
+    Scenario {
+        name: "KITTI scenario 3 (left turn)".into(),
+        kind: DatasetKind::Kitti,
+        world,
+        observers,
+        pairs: vec![(0, 1)],
+    }
+}
+
+/// KITTI scenario 4: a curve (Δd ≈ 48.1 m — the farthest pairing).
+///
+/// A long bend with an inner-curve embankment wall; each shot covers one
+/// end of the bend.
+pub fn curve() -> Scenario {
+    let mut ids = Ids(300);
+    let mut world = World::new();
+
+    // Inner-curve wall: a chord of segments approximating the bend.
+    let mut prev = Vec3::new(0.0, 12.0, 0.0);
+    for i in 1..=6 {
+        let angle = i as f64 / 6.0 * 0.9;
+        let next = Vec3::new(
+            60.0 * angle.sin() / 0.9,
+            12.0 + 30.0 * (1.0 - angle.cos()) / 0.9,
+            0.0,
+        );
+        world.add(Entity::wall(ids.next(), prev, next, 4.0, 1.0));
+        prev = next;
+    }
+
+    // Cars strung along the curve (y drifts with x).
+    let curve_y = |x: f64| 0.004 * x * x;
+    for (i, x) in [10.0f64, 20.0, 30.0, 42.0, 55.0, 65.0].iter().enumerate() {
+        let yaw = (0.008 * x).atan();
+        let y = curve_y(*x) + if i % 2 == 0 { -2.5 } else { 2.8 };
+        world.add(Entity::car(ids.next(), Vec3::new(*x, y, 0.0), yaw));
+    }
+    // Two cars past the bend, invisible from the first shot.
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(76.0, curve_y(76.0) - 2.5, 0.0),
+        0.55,
+    ));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(84.0, curve_y(84.0) + 2.8, 0.0),
+        0.6,
+    ));
+
+    let observers = vec![
+        observer(-10.0, 0.0, 0.0, KITTI_MOUNT_HEIGHT),
+        observer(
+            38.0,
+            curve_y(38.0) + 0.3,
+            (0.008 * 38.0f64).atan(),
+            KITTI_MOUNT_HEIGHT,
+        ),
+    ];
+    Scenario {
+        name: "KITTI scenario 4 (curve)".into(),
+        kind: DatasetKind::Kitti,
+        world,
+        observers,
+        pairs: vec![(0, 1)],
+    }
+}
+
+/// All four KITTI-style scenarios in Figure-3 order.
+pub fn kitti_scenarios() -> Vec<Scenario> {
+    vec![t_junction(), stop_sign(), left_turn(), curve()]
+}
+
+/// Builds a T&J-style parking lot: `rows × cols` stalls with `occupancy`
+/// of them holding parked cars (deterministic pattern), plus a perimeter
+/// fence.
+fn parking_lot(
+    ids: &mut Ids,
+    world: &mut World,
+    origin: Vec3,
+    rows: usize,
+    cols: usize,
+    skip: &[usize],
+) {
+    let stall_w = 3.0;
+    let aisle = 7.0;
+    let mut index = 0;
+    for row in 0..rows {
+        for col in 0..cols {
+            let here = index;
+            index += 1;
+            if skip.contains(&here) {
+                continue;
+            }
+            let x = origin.x + col as f64 * stall_w;
+            let y = origin.y + row as f64 * (5.0 + aisle);
+            // Parked nose-in: heading perpendicular to the aisle.
+            world.add(Entity::car(
+                ids.next(),
+                Vec3::new(x, y, 0.0),
+                std::f64::consts::FRAC_PI_2,
+            ));
+        }
+    }
+}
+
+/// T&J scenario 1: one parking row plus scattered visitors
+/// (pairs at Δd ≈ 5.5 / 14.5 / 26.9 m — Figure 6a).
+pub fn tj_scenario_1() -> Scenario {
+    let mut ids = Ids(400);
+    let mut world = World::new();
+
+    parking_lot(
+        &mut ids,
+        &mut world,
+        Vec3::new(8.0, 10.0, 0.0),
+        1,
+        8,
+        &[2, 5],
+    );
+    // A second, farther row partially shadowed by the first.
+    parking_lot(
+        &mut ids,
+        &mut world,
+        Vec3::new(9.5, 22.0, 0.0),
+        1,
+        6,
+        &[1, 4],
+    );
+    // Perimeter fence behind everything.
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(0.0, 30.0, 0.0),
+        Vec3::new(40.0, 30.0, 0.0),
+        2.5,
+        0.3,
+    ));
+
+    let observers = vec![
+        observer(4.0, 0.0, 1.1, TJ_MOUNT_HEIGHT),  // car1
+        observer(9.5, 0.5, 1.3, TJ_MOUNT_HEIGHT),  // car2 (Δd ≈ 5.5)
+        observer(18.4, 2.0, 1.6, TJ_MOUNT_HEIGHT), // car3 (Δd ≈ 14.5)
+        observer(30.5, 3.0, 1.9, TJ_MOUNT_HEIGHT), // car4 (Δd ≈ 26.9)
+    ];
+    Scenario {
+        name: "T&J scenario 1 (parking row)".into(),
+        kind: DatasetKind::TJ,
+        world,
+        observers,
+        pairs: vec![(0, 1), (0, 2), (0, 3)],
+    }
+}
+
+/// T&J scenario 2: a crowded double lot (pairs at Δd ≈ 15.0 / 33.1 /
+/// 20.0 / 15.7 m between five carts — Figure 6b).
+pub fn tj_scenario_2() -> Scenario {
+    let mut ids = Ids(500);
+    let mut world = World::new();
+
+    parking_lot(
+        &mut ids,
+        &mut world,
+        Vec3::new(6.0, 12.0, 0.0),
+        2,
+        6,
+        &[3, 8],
+    );
+    // A maintenance shed in the middle of the lot — a hard occluder.
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(20.0, 4.0, 0.0),
+        Vec3::new(28.0, 4.0, 0.0),
+        3.0,
+        2.0,
+    ));
+
+    let observers = vec![
+        observer(0.0, 0.0, 0.9, TJ_MOUNT_HEIGHT),    // car1
+        observer(15.0, -1.0, 1.2, TJ_MOUNT_HEIGHT),  // car2 (Δd ≈ 15.0 from car1)
+        observer(33.0, 2.5, 1.9, TJ_MOUNT_HEIGHT),   // car3 (Δd ≈ 33.1 from car1)
+        observer(44.0, -14.0, 2.4, TJ_MOUNT_HEIGHT), // car4 (Δd ≈ 20.0 from car3)
+        observer(48.0, 1.0, 2.2, TJ_MOUNT_HEIGHT),   // car5 (Δd ≈ 15.7 from car4)
+    ];
+    Scenario {
+        name: "T&J scenario 2 (crowded lot)".into(),
+        kind: DatasetKind::TJ,
+        world,
+        observers,
+        pairs: vec![(0, 1), (0, 2), (2, 3), (3, 4)],
+    }
+}
+
+/// T&J scenario 3: campus road beside a lot (Δd ≈ 4.8 / 16.6 / 21.8 /
+/// 18.7 m — Figure 6c).
+pub fn tj_scenario_3() -> Scenario {
+    let mut ids = Ids(600);
+    let mut world = World::new();
+
+    parking_lot(&mut ids, &mut world, Vec3::new(10.0, 14.0, 0.0), 1, 7, &[3]);
+    // Cars moving on the campus road.
+    world.add(Entity::car(ids.next(), Vec3::new(18.0, -4.0, 0.0), 0.0));
+    world.add(Entity::car(ids.next(), Vec3::new(30.0, -4.2, 0.0), 0.0));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(26.0, 4.0, 0.0),
+        std::f64::consts::PI,
+    ));
+    // A delivery truck blocking the lot entrance.
+    world.add(Entity::new(
+        ids.next(),
+        ObjectClass::Background,
+        Obb3::new(Vec3::new(12.0, 5.0, 1.5), Vec3::new(8.0, 2.5, 3.0), 0.1),
+        0.35,
+    ));
+
+    let observers = vec![
+        observer(2.0, 0.0, 0.6, TJ_MOUNT_HEIGHT),   // car1
+        observer(6.8, 0.5, 0.8, TJ_MOUNT_HEIGHT),   // car2 (Δd ≈ 4.8)
+        observer(18.5, 1.5, 1.1, TJ_MOUNT_HEIGHT),  // car3 (Δd ≈ 16.6)
+        observer(24.0, -2.0, 1.4, TJ_MOUNT_HEIGHT), // car4 (Δd ≈ 21.8 from car1)
+        observer(42.0, 2.5, 1.7, TJ_MOUNT_HEIGHT),  // car5 (Δd ≈ 18.7 from car4)
+    ];
+    Scenario {
+        name: "T&J scenario 3 (campus road)".into(),
+        kind: DatasetKind::TJ,
+        world,
+        observers,
+        pairs: vec![(0, 1), (0, 2), (0, 3), (3, 4)],
+    }
+}
+
+/// T&J scenario 4: the densest lot (rows up to 17 detected cars; Δd ≈
+/// 3.9 / 9.9 / 15.7 / 23.1 m — Figure 6d).
+pub fn tj_scenario_4() -> Scenario {
+    let mut ids = Ids(700);
+    let mut world = World::new();
+
+    parking_lot(
+        &mut ids,
+        &mut world,
+        Vec3::new(6.0, 10.0, 0.0),
+        2,
+        9,
+        &[4, 10, 13],
+    );
+    // A second lot across the aisle behind a hedge.
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(4.0, -8.0, 0.0),
+        Vec3::new(34.0, -8.0, 0.0),
+        1.6,
+        0.8,
+    ));
+    parking_lot(&mut ids, &mut world, Vec3::new(8.0, -14.0, 0.0), 1, 5, &[2]);
+
+    let observers = vec![
+        observer(0.0, 0.0, 0.7, TJ_MOUNT_HEIGHT),   // car1
+        observer(3.9, 0.0, 0.8, TJ_MOUNT_HEIGHT),   // car2 (Δd ≈ 3.9)
+        observer(9.6, 2.5, 1.0, TJ_MOUNT_HEIGHT),   // car3 (Δd ≈ 9.9)
+        observer(15.4, -3.0, 1.3, TJ_MOUNT_HEIGHT), // car4 (Δd ≈ 15.7)
+        observer(22.6, 4.5, 1.6, TJ_MOUNT_HEIGHT),  // car5 (Δd ≈ 23.1)
+    ];
+    Scenario {
+        name: "T&J scenario 4 (dense lot)".into(),
+        kind: DatasetKind::TJ,
+        world,
+        observers,
+        pairs: vec![(0, 1), (0, 2), (0, 3), (0, 4)],
+    }
+}
+
+/// All four T&J-style scenarios in Figure-6 order.
+pub fn tj_scenarios() -> Vec<Scenario> {
+    vec![
+        tj_scenario_1(),
+        tj_scenario_2(),
+        tj_scenario_3(),
+        tj_scenario_4(),
+    ]
+}
+
+/// Extended scenario (beyond the paper's eight): a divided highway with
+/// *moving* traffic in both directions. Entities carry velocities, so
+/// [`crate::World::advanced`] evolves the scene — the substrate for the
+/// exchange-staleness experiments.
+pub fn highway() -> Scenario {
+    let mut ids = Ids(800);
+    let mut world = World::new();
+
+    // Median barrier.
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(-60.0, 0.0, 0.0),
+        Vec3::new(90.0, 0.0, 0.0),
+        1.0,
+        0.5,
+    ));
+    // Sound walls flanking the carriageways.
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(-60.0, 12.0, 0.0),
+        Vec3::new(90.0, 12.0, 0.0),
+        4.0,
+        0.6,
+    ));
+    world.add(Entity::wall(
+        ids.next(),
+        Vec3::new(-60.0, -12.0, 0.0),
+        Vec3::new(90.0, -12.0, 0.0),
+        4.0,
+        0.6,
+    ));
+
+    // Eastbound traffic (y < 0) at 25 m/s, westbound (y > 0) at 22 m/s.
+    for (i, x) in [-40.0f64, -15.0, 5.0, 30.0, 55.0].iter().enumerate() {
+        let lane = if i % 2 == 0 { -3.0 } else { -7.0 };
+        world.add(
+            Entity::car(ids.next(), Vec3::new(*x, lane, 0.0), 0.0)
+                .with_velocity(Vec3::new(25.0, 0.0, 0.0)),
+        );
+    }
+    for (i, x) in [-30.0f64, 0.0, 20.0, 45.0].iter().enumerate() {
+        let lane = if i % 2 == 0 { 3.0 } else { 7.0 };
+        world.add(
+            Entity::car(ids.next(), Vec3::new(*x, lane, 0.0), std::f64::consts::PI)
+                .with_velocity(Vec3::new(-22.0, 0.0, 0.0)),
+        );
+    }
+
+    // Two cooperating vehicles in the eastbound slow lane, 40 m apart.
+    let observers = vec![
+        observer(-25.0, -3.0, 0.0, KITTI_MOUNT_HEIGHT),
+        observer(15.0, -3.0, 0.0, KITTI_MOUNT_HEIGHT),
+    ];
+    Scenario {
+        name: "Extended scenario (highway, moving traffic)".into(),
+        kind: DatasetKind::Kitti,
+        world,
+        observers,
+        pairs: vec![(0, 1)],
+    }
+}
+
+/// Extended scenario (beyond the paper's eight): a crosswalk crowded
+/// with pedestrians and cyclists — the small classes the paper's
+/// introduction motivates. A stopped bus hides half the crossing from
+/// the first observer.
+pub fn crosswalk() -> Scenario {
+    let mut ids = Ids(900);
+    let mut world = World::new();
+
+    // The stopped bus (a tall occluder) just before the crossing.
+    world.add(Entity::new(
+        ids.next(),
+        ObjectClass::Background,
+        Obb3::new(Vec3::new(14.0, 3.2, 1.6), Vec3::new(11.0, 2.5, 3.2), 0.0),
+        0.4,
+    ));
+    // Pedestrians on the crossing (x ≈ 22), walking.
+    for (i, y) in [-4.0f64, -1.5, 0.5, 2.0, 5.0].iter().enumerate() {
+        world.add(
+            Entity::standing(
+                ids.next(),
+                ObjectClass::Pedestrian,
+                Vec3::new(22.0 + 0.4 * i as f64, *y, 0.0),
+                1.5,
+            )
+            .with_velocity(Vec3::new(0.0, 1.4, 0.0)),
+        );
+    }
+    // Cyclists in the bike lane.
+    world.add(
+        Entity::standing(
+            ids.next(),
+            ObjectClass::Cyclist,
+            Vec3::new(19.0, -6.5, 0.0),
+            0.0,
+        )
+        .with_velocity(Vec3::new(5.0, 0.0, 0.0)),
+    );
+    world.add(
+        Entity::standing(
+            ids.next(),
+            ObjectClass::Cyclist,
+            Vec3::new(28.0, 6.5, 0.0),
+            std::f64::consts::PI,
+        )
+        .with_velocity(Vec3::new(-5.0, 0.0, 0.0)),
+    );
+    // Queued cars on both sides of the crossing.
+    world.add(Entity::car(ids.next(), Vec3::new(8.0, -2.8, 0.0), 0.0));
+    world.add(Entity::car(ids.next(), Vec3::new(2.0, -2.8, 0.0), 0.0));
+    world.add(Entity::car(
+        ids.next(),
+        Vec3::new(30.0, 2.8, 0.0),
+        std::f64::consts::PI,
+    ));
+
+    let observers = vec![
+        observer(0.0, -2.8, 0.0, KITTI_MOUNT_HEIGHT),
+        // The oncoming vehicle sees behind the bus.
+        observer(38.0, 2.8, std::f64::consts::PI, KITTI_MOUNT_HEIGHT),
+    ];
+    Scenario {
+        name: "Extended scenario (crosswalk, small objects)".into(),
+        kind: DatasetKind::Kitti,
+        world,
+        observers,
+        pairs: vec![(0, 1)],
+    }
+}
+
+/// The extended scenarios that go beyond the paper's evaluation set.
+pub fn extended_scenarios() -> Vec<Scenario> {
+    vec![highway(), crosswalk()]
+}
+
+/// Every scenario in the evaluation (4 KITTI + 4 T&J).
+pub fn all_scenarios() -> Vec<Scenario> {
+    let mut v = kitti_scenarios();
+    v.extend(tj_scenarios());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_validate() {
+        for s in all_scenarios() {
+            s.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn kitti_delta_d_matches_paper() {
+        let expected = [14.7, 13.3, 0.0, 48.1];
+        for (s, want) in kitti_scenarios().iter().zip(expected) {
+            let got = s.delta_d(s.pairs[0]);
+            assert!(
+                (got - want).abs() < 1.0,
+                "{}: Δd {got:.1} wanted ≈{want}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn tj_delta_d_matches_paper() {
+        let expected: [&[f64]; 4] = [
+            &[5.5, 14.5, 26.9],
+            &[15.03, 33.1, 20.02, 15.7],
+            &[4.82, 16.6, 21.8, 18.7],
+            &[3.9, 9.9, 15.7, 23.1],
+        ];
+        for (s, wants) in tj_scenarios().iter().zip(expected) {
+            assert_eq!(s.pairs.len(), wants.len(), "{}", s.name);
+            for (&pair, &want) in s.pairs.iter().zip(wants) {
+                let got = s.delta_d(pair);
+                assert!(
+                    (got - want).abs() < 1.5,
+                    "{}: pair {pair:?} Δd {got:.2} wanted ≈{want}",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_car_counts_are_plausible() {
+        for s in kitti_scenarios() {
+            let n = s.ground_truth_cars().len();
+            assert!((5..=12).contains(&n), "{}: {n} cars", s.name);
+        }
+        for s in tj_scenarios() {
+            let n = s.ground_truth_cars().len();
+            assert!((6..=20).contains(&n), "{}: {n} cars", s.name);
+        }
+    }
+
+    #[test]
+    fn kinds_select_beam_models() {
+        assert_eq!(DatasetKind::Kitti.beam_model().beam_count(), 64);
+        assert_eq!(DatasetKind::TJ.beam_model().beam_count(), 16);
+        for s in kitti_scenarios() {
+            assert_eq!(s.kind, DatasetKind::Kitti);
+        }
+        for s in tj_scenarios() {
+            assert_eq!(s.kind, DatasetKind::TJ);
+        }
+    }
+
+    #[test]
+    fn left_turn_shares_position() {
+        let s = left_turn();
+        assert!(s.delta_d((0, 1)) < 1e-9);
+        // But the headings differ substantially.
+        let d_yaw = (s.observers[0].attitude.yaw - s.observers[1].attitude.yaw).abs();
+        assert!(d_yaw > 1.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_pairs() {
+        let mut s = t_junction();
+        s.pairs.push((0, 9));
+        assert!(s.validate().is_err());
+        let mut s2 = t_junction();
+        s2.pairs = vec![(1, 1)];
+        assert!(s2.validate().is_err());
+    }
+
+    #[test]
+    fn extended_scenarios_are_consistent() {
+        for s in extended_scenarios() {
+            // `validate` requires at least one car; the crosswalk holds
+            // cars too, so both pass.
+            s.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+        // The highway's traffic actually moves.
+        let hw = highway();
+        let moving = hw
+            .world
+            .entities()
+            .iter()
+            .filter(|e| e.velocity.norm() > 0.0)
+            .count();
+        assert!(moving >= 9, "only {moving} moving entities");
+        // Advancing the world shifts the moving cars.
+        let later = hw.world.advanced(1.0);
+        let before = hw.world.ground_truth_boxes(ObjectClass::Car);
+        let after = later.ground_truth_boxes(ObjectClass::Car);
+        assert!(before
+            .iter()
+            .zip(&after)
+            .any(|(b, a)| b.center.distance(a.center) > 10.0));
+        // The crosswalk carries the small classes.
+        let cw = crosswalk();
+        assert!(cw.world.ground_truth_boxes(ObjectClass::Pedestrian).len() >= 5);
+        assert!(cw.world.ground_truth_boxes(ObjectClass::Cyclist).len() >= 2);
+    }
+
+    #[test]
+    fn occlusion_structure_exists_in_t_junction() {
+        // At least one car must be invisible (zero returns) from observer
+        // 0 but visible from observer 1 — the premise of Figure 2.
+        use crate::LidarScanner;
+        let s = t_junction();
+        let scanner = LidarScanner::new(BeamModel::hdl64().noiseless().with_azimuth_steps(900));
+        let scan0 = scanner.scan(&s.world, &s.observers[0], 0);
+        let scan1 = scanner.scan(&s.world, &s.observers[1], 0);
+        let mut complementary = 0;
+        for car in s.ground_truth_cars() {
+            let c0 = scan0
+                .iter()
+                .filter(|p| car.contains(s.observers[0].local_to_world(p.position)))
+                .count();
+            let c1 = scan1
+                .iter()
+                .filter(|p| car.contains(s.observers[1].local_to_world(p.position)))
+                .count();
+            if (c0 < 5) != (c1 < 5) {
+                complementary += 1;
+            }
+        }
+        assert!(
+            complementary >= 1,
+            "no complementary visibility in T-junction"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! GPS/IMU measurement models, including the paper's Figure-10 skew
+//! protocol.
+
+use cooper_geometry::{enu_offset, Attitude, GpsFix, Pose, Vec3};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::GaussianNoise;
+
+/// The pose measurement a vehicle would attach to an exchange package:
+/// a GPS fix plus the IMU attitude (§II-D: the package "should be
+/// constituted from LiDAR sensor installation information and its GPS
+/// reading … Vehicle's IMU reading is also required").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoseEstimate {
+    /// Measured GPS fix.
+    pub gps: GpsFix,
+    /// Measured IMU attitude.
+    pub attitude: Attitude,
+}
+
+impl PoseEstimate {
+    /// Converts a true pose (in the local ENU world frame anchored at
+    /// `origin`) into the equivalent noiseless measurement.
+    pub fn from_pose(pose: &Pose, origin: &GpsFix) -> Self {
+        PoseEstimate {
+            gps: origin.offset_by(pose.position),
+            attitude: pose.attitude,
+        }
+    }
+
+    /// Reconstructs the pose in the ENU world frame anchored at `origin`.
+    pub fn to_pose(&self, origin: &GpsFix) -> Pose {
+        Pose::new(enu_offset(origin, &self.gps), self.attitude)
+    }
+}
+
+/// The Figure-10 GPS skew protocol.
+///
+/// "We skew the GPS data as follows: skewing both x and y coordinates to
+/// the maximum bounds of known GPS drifting; skewing just one axis to the
+/// limit of GPS drifting; pushing past that boundary by doubling the
+/// maximum GPS drifting to simulate abnormal instances."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SkewMode {
+    /// Both x and y skewed to the maximum drift bound.
+    BothAxesMax,
+    /// A single axis (x) skewed to the maximum drift bound.
+    SingleAxisMax,
+    /// Both axes skewed to twice the maximum drift bound (abnormal).
+    DoubleDrift,
+}
+
+impl SkewMode {
+    /// All modes in Figure-10 order.
+    pub const ALL: [SkewMode; 3] = [
+        SkewMode::BothAxesMax,
+        SkewMode::SingleAxisMax,
+        SkewMode::DoubleDrift,
+    ];
+
+    /// The planar offset this mode applies, given the maximum drift bound
+    /// in metres.
+    pub fn offset(self, max_drift_m: f64) -> Vec3 {
+        match self {
+            SkewMode::BothAxesMax => Vec3::new(max_drift_m, max_drift_m, 0.0),
+            SkewMode::SingleAxisMax => Vec3::new(max_drift_m, 0.0, 0.0),
+            SkewMode::DoubleDrift => Vec3::new(2.0 * max_drift_m, 2.0 * max_drift_m, 0.0),
+        }
+    }
+}
+
+impl std::fmt::Display for SkewMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SkewMode::BothAxesMax => "both axes at max drift",
+            SkewMode::SingleAxisMax => "one axis at max drift",
+            SkewMode::DoubleDrift => "double max drift",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An integrated GPS/IMU measurement model.
+///
+/// The paper cites integrated INS/GPS yielding "less than 10 cm in
+/// positional errors" \[6\]; [`GpsImuModel::realistic`] reproduces that
+/// envelope. [`GpsImuModel::measure_skewed`] applies the Figure-10
+/// protocol on top of a measurement.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_geometry::{GpsFix, Pose};
+/// use cooper_lidar_sim::GpsImuModel;
+/// use rand::SeedableRng;
+///
+/// let model = GpsImuModel::realistic();
+/// let origin = GpsFix::new(33.2075, -97.1526, 190.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let est = model.measure(&Pose::origin(), &origin, &mut rng);
+/// let err = est.to_pose(&origin).position.norm();
+/// assert!(err < 0.5); // well within a few sigma of the 10 cm envelope
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsImuModel {
+    position_noise: GaussianNoise,
+    attitude_noise: GaussianNoise,
+    /// The "maximum bounds of known GPS drifting" used by the skew modes.
+    max_drift_m: f64,
+}
+
+impl GpsImuModel {
+    /// A perfect sensor: zero noise. Useful for isolating other effects.
+    pub fn ideal() -> Self {
+        GpsImuModel {
+            position_noise: GaussianNoise::new(0.0),
+            attitude_noise: GaussianNoise::new(0.0),
+            max_drift_m: 0.10,
+        }
+    }
+
+    /// The paper's cited envelope: ~10 cm integrated positional error
+    /// (1-σ ≈ 3.3 cm so that 3σ ≈ 10 cm) and 0.2° attitude noise.
+    pub fn realistic() -> Self {
+        GpsImuModel {
+            position_noise: GaussianNoise::new(0.033),
+            attitude_noise: GaussianNoise::new(0.2f64.to_radians()),
+            max_drift_m: 0.10,
+        }
+    }
+
+    /// Builds a custom model.
+    pub fn new(position_sigma_m: f64, attitude_sigma_rad: f64, max_drift_m: f64) -> Self {
+        GpsImuModel {
+            position_noise: GaussianNoise::new(position_sigma_m),
+            attitude_noise: GaussianNoise::new(attitude_sigma_rad),
+            max_drift_m,
+        }
+    }
+
+    /// The drift bound used by the skew modes, metres.
+    pub fn max_drift_m(&self) -> f64 {
+        self.max_drift_m
+    }
+
+    /// Measures a true pose, producing the GPS+IMU estimate a vehicle
+    /// would transmit.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        true_pose: &Pose,
+        origin: &GpsFix,
+        rng: &mut R,
+    ) -> PoseEstimate {
+        let noisy_position = true_pose.position
+            + Vec3::new(
+                self.position_noise.sample(rng),
+                self.position_noise.sample(rng),
+                self.position_noise.sample(rng) * 0.5,
+            );
+        let noisy_attitude = Attitude::new(
+            true_pose.attitude.yaw + self.attitude_noise.sample(rng),
+            true_pose.attitude.pitch + self.attitude_noise.sample(rng),
+            true_pose.attitude.roll + self.attitude_noise.sample(rng),
+        );
+        PoseEstimate::from_pose(&Pose::new(noisy_position, noisy_attitude), origin)
+    }
+
+    /// Measures a pose and then applies a Figure-10 skew to the GPS fix.
+    pub fn measure_skewed<R: Rng + ?Sized>(
+        &self,
+        true_pose: &Pose,
+        origin: &GpsFix,
+        mode: SkewMode,
+        rng: &mut R,
+    ) -> PoseEstimate {
+        let mut estimate = self.measure(true_pose, origin, rng);
+        estimate.gps = estimate.gps.offset_by(mode.offset(self.max_drift_m));
+        estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn origin() -> GpsFix {
+        GpsFix::new(33.2075, -97.1526, 190.0)
+    }
+
+    #[test]
+    fn pose_estimate_round_trip() {
+        let pose = Pose::new(Vec3::new(12.0, -7.0, 0.5), Attitude::new(0.4, 0.02, -0.01));
+        let est = PoseEstimate::from_pose(&pose, &origin());
+        let back = est.to_pose(&origin());
+        assert!((back.position - pose.position).norm() < 1e-5);
+        assert_eq!(back.attitude, pose.attitude);
+    }
+
+    #[test]
+    fn ideal_model_is_exact() {
+        let model = GpsImuModel::ideal();
+        let pose = Pose::new(Vec3::new(5.0, 5.0, 0.0), Attitude::from_yaw(1.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let est = model.measure(&pose, &origin(), &mut rng);
+        let back = est.to_pose(&origin());
+        assert!((back.position - pose.position).norm() < 1e-5);
+        assert!((back.attitude.yaw - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn realistic_model_errors_are_bounded() {
+        let model = GpsImuModel::realistic();
+        let pose = Pose::origin();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut worst: f64 = 0.0;
+        for _ in 0..200 {
+            let est = model.measure(&pose, &origin(), &mut rng);
+            worst = worst.max(est.to_pose(&origin()).position.distance_xy(Vec3::ZERO));
+        }
+        // 200 draws at σ=3.3 cm: all should sit well inside 25 cm.
+        assert!(worst < 0.25, "worst error {worst}");
+        assert!(worst > 0.01, "suspiciously perfect: {worst}");
+    }
+
+    #[test]
+    fn skew_modes_offset_magnitudes() {
+        let d = 0.10;
+        assert!((SkewMode::BothAxesMax.offset(d).norm() - d * 2f64.sqrt()).abs() < 1e-12);
+        assert!((SkewMode::SingleAxisMax.offset(d).norm() - d).abs() < 1e-12);
+        assert!((SkewMode::DoubleDrift.offset(d).norm() - 2.0 * d * 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_measurement_shifts_by_mode_offset() {
+        let model = GpsImuModel::ideal();
+        let pose = Pose::new(Vec3::new(10.0, 20.0, 0.0), Attitude::level());
+        let mut rng = StdRng::seed_from_u64(0);
+        for mode in SkewMode::ALL {
+            let plain = model.measure(&pose, &origin(), &mut rng);
+            let skewed = model.measure_skewed(&pose, &origin(), mode, &mut rng);
+            let delta = skewed.to_pose(&origin()).position - plain.to_pose(&origin()).position;
+            assert!(
+                (delta - mode.offset(0.10)).norm() < 1e-4,
+                "{mode}: delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_modes() {
+        for mode in SkewMode::ALL {
+            assert!(!format!("{mode}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the LiDAR simulator.
+
+use cooper_geometry::{Attitude, Pose, RigidTransform, Vec3};
+use cooper_lidar_sim::{BeamModel, Entity, EntityId, GpsImuModel, LidarScanner, World};
+use proptest::prelude::*;
+
+fn small_beams() -> BeamModel {
+    BeamModel::vlp16().noiseless().with_azimuth_steps(90)
+}
+
+fn car_layout() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    prop::collection::vec((8.0..45.0f64, -3.0..3.0f64, -3.0..3.0f64), 1..6).prop_map(|mut cars| {
+        // Spread cars radially so they never overlap the sensor or each
+        // other: car i sits at radius r_i on its own bearing.
+        for (i, car) in cars.iter_mut().enumerate() {
+            car.1 = i as f64 * 1.1 - 2.5; // distinct bearings (radians)
+        }
+        cars
+    })
+}
+
+fn world_with(cars: &[(f64, f64, f64)]) -> World {
+    let mut world = World::new();
+    for (i, &(r, bearing, yaw)) in cars.iter().enumerate() {
+        let pos = Vec3::new(r * bearing.cos(), r * bearing.sin(), 0.0);
+        world.add(Entity::car(EntityId(i as u32 + 1), pos, yaw));
+    }
+    world
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_return_lies_on_a_surface(cars in car_layout(), yaw in -3.0..3.0f64) {
+        let world = world_with(&cars);
+        let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::from_yaw(yaw));
+        let scan = LidarScanner::new(small_beams()).scan(&world, &pose, 0);
+        let to_world = RigidTransform::from_pose(&pose);
+        for p in scan.iter() {
+            let w = to_world.apply(p.position);
+            let on_ground = w.z.abs() < 0.05;
+            let on_car = world
+                .entities()
+                .iter()
+                .any(|e| e.shape.bounding_aabb().inflated(0.05).contains(w));
+            prop_assert!(on_ground || on_car, "stray return at {w}");
+        }
+    }
+
+    #[test]
+    fn ranges_never_exceed_max(cars in car_layout()) {
+        let world = world_with(&cars);
+        let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
+        let beams = small_beams();
+        let scan = LidarScanner::new(beams.clone()).scan(&world, &pose, 1);
+        for p in scan.iter() {
+            prop_assert!(p.range() <= beams.max_range() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn scans_are_reproducible(cars in car_layout(), seed in 0u64..1000) {
+        let world = world_with(&cars);
+        let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
+        let scanner = LidarScanner::new(BeamModel::vlp16().with_azimuth_steps(90));
+        prop_assert_eq!(
+            scanner.scan(&world, &pose, seed),
+            scanner.scan(&world, &pose, seed)
+        );
+    }
+
+    #[test]
+    fn gps_measurement_error_is_bounded(x in -100.0..100.0f64, y in -100.0..100.0f64,
+                                        yaw in -3.0..3.0f64, seed in 0u64..100) {
+        use cooper_geometry::GpsFix;
+        use rand::SeedableRng;
+        let origin = GpsFix::new(33.2075, -97.1526, 190.0);
+        let model = GpsImuModel::realistic();
+        let pose = Pose::new(Vec3::new(x, y, 1.8), Attitude::from_yaw(yaw));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let est = model.measure(&pose, &origin, &mut rng);
+        let err = est.to_pose(&origin).position.distance_xy(pose.position);
+        // σ = 3.3 cm ⇒ anything past 30 cm (≈6σ per axis) is a bug.
+        prop_assert!(err < 0.3, "GPS error {err}");
+    }
+
+    #[test]
+    fn more_beams_never_fewer_points(cars in car_layout()) {
+        let world = world_with(&cars);
+        let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
+        let sparse = LidarScanner::new(BeamModel::vlp16().noiseless().with_azimuth_steps(90))
+            .scan(&world, &pose, 0);
+        let dense = LidarScanner::new(BeamModel::hdl64().noiseless().with_azimuth_steps(90))
+            .scan(&world, &pose, 0);
+        // 64 beams over a narrower vertical FoV still see everything the
+        // 16-beam unit sees of the scene below the horizon, plus more.
+        prop_assert!(dense.len() >= sparse.len() / 2, "dense {} sparse {}", dense.len(), sparse.len());
+    }
+}

@@ -1,0 +1,285 @@
+//! Compact wire format for exchanged point clouds.
+//!
+//! §II-C of the paper: "By only extracting positional coordinates and
+//! reflection value, point clouds can be compressed into 200 KB per
+//! scan." This codec realizes that budget: each point is quantized to
+//! centimetre-resolution `i16` coordinates plus one reflectance byte —
+//! [`WIRE_BYTES_PER_POINT`] = 7 bytes/point, so a ~30 k-point VLP-16 scan
+//! encodes to ~210 KB (≈ 1.7 Mbit, matching the ≈1.8 Mbit/frame of
+//! Figure 12).
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cooper_geometry::Vec3;
+
+use crate::{Point, PointCloud};
+
+/// Bytes used per encoded point: three `i16` centimetre coordinates plus
+/// one reflectance byte.
+pub const WIRE_BYTES_PER_POINT: usize = 7;
+
+/// Bytes used by the frame header (magic, version, reserved, point count).
+pub const WIRE_HEADER_BYTES: usize = 10;
+
+const MAGIC: &[u8; 4] = b"CPPC";
+const VERSION: u8 = 1;
+/// Quantization step: 1 cm, giving a ±327.67 m representable range —
+/// beyond any LiDAR's reach.
+const SCALE: f64 = 100.0;
+const COORD_LIMIT_M: f64 = i16::MAX as f64 / SCALE;
+
+/// Errors produced while encoding or decoding wire frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A coordinate exceeded the representable ±327.67 m range.
+    CoordinateOutOfRange {
+        /// Index of the offending point in the cloud.
+        index: usize,
+    },
+    /// The buffer ended before the declared payload was complete.
+    Truncated {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes available.
+        actual: usize,
+    },
+    /// The frame did not start with the `CPPC` magic.
+    BadMagic,
+    /// The frame version is not supported by this decoder.
+    UnsupportedVersion(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::CoordinateOutOfRange { index } => {
+                write!(f, "point {index} exceeds the representable ±327.67 m range")
+            }
+            CodecError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "frame truncated: expected {expected} bytes, got {actual}"
+                )
+            }
+            CodecError::BadMagic => write!(f, "frame does not start with CPPC magic"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported frame version {v}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Encodes a cloud into the wire format.
+///
+/// # Errors
+///
+/// Returns [`CodecError::CoordinateOutOfRange`] when any coordinate falls
+/// outside ±327.67 m. Callers exchanging sensor-frame clouds never hit
+/// this; clouds already moved into a distant world frame must be
+/// re-centered first.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_geometry::Vec3;
+/// use cooper_pointcloud::{decode_cloud, encode_cloud, Point, PointCloud};
+///
+/// # fn main() -> Result<(), cooper_pointcloud::CodecError> {
+/// let mut cloud = PointCloud::new();
+/// cloud.push(Point::new(Vec3::new(12.34, -5.67, 0.89), 0.5));
+/// let bytes = encode_cloud(&cloud)?;
+/// let decoded = decode_cloud(&bytes)?;
+/// assert_eq!(decoded.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_cloud(cloud: &PointCloud) -> Result<Bytes, CodecError> {
+    let mut buf = BytesMut::with_capacity(WIRE_HEADER_BYTES + cloud.len() * WIRE_BYTES_PER_POINT);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(0); // reserved flags
+    buf.put_u32(cloud.len() as u32);
+    for (index, point) in cloud.iter().enumerate() {
+        let p = point.position;
+        if p.x.abs() > COORD_LIMIT_M || p.y.abs() > COORD_LIMIT_M || p.z.abs() > COORD_LIMIT_M {
+            return Err(CodecError::CoordinateOutOfRange { index });
+        }
+        buf.put_i16((p.x * SCALE).round() as i16);
+        buf.put_i16((p.y * SCALE).round() as i16);
+        buf.put_i16((p.z * SCALE).round() as i16);
+        buf.put_u8((point.reflectance * 255.0).round() as u8);
+    }
+    Ok(buf.freeze())
+}
+
+/// Decodes a wire frame back into a point cloud.
+///
+/// Positions are recovered to within 5 mm (half the quantization step),
+/// reflectance to within 1/510.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadMagic`], [`CodecError::UnsupportedVersion`] or
+/// [`CodecError::Truncated`] for malformed input.
+pub fn decode_cloud(mut bytes: &[u8]) -> Result<PointCloud, CodecError> {
+    if bytes.len() < WIRE_HEADER_BYTES {
+        return Err(CodecError::Truncated {
+            expected: WIRE_HEADER_BYTES,
+            actual: bytes.len(),
+        });
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = bytes.get_u8();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let _flags = bytes.get_u8();
+    let count = bytes.get_u32() as usize;
+    let expected = count * WIRE_BYTES_PER_POINT;
+    if bytes.remaining() < expected {
+        return Err(CodecError::Truncated {
+            expected: WIRE_HEADER_BYTES + expected,
+            actual: WIRE_HEADER_BYTES + bytes.remaining(),
+        });
+    }
+    let mut cloud = PointCloud::with_capacity(count);
+    for _ in 0..count {
+        let x = f64::from(bytes.get_i16()) / SCALE;
+        let y = f64::from(bytes.get_i16()) / SCALE;
+        let z = f64::from(bytes.get_i16()) / SCALE;
+        let reflectance = f32::from(bytes.get_u8()) / 255.0;
+        cloud.push(Point::new(Vec3::new(x, y, z), reflectance));
+    }
+    Ok(cloud)
+}
+
+/// Size in bytes of the wire frame for a cloud of `n` points.
+pub fn encoded_size(n: usize) -> usize {
+    WIRE_HEADER_BYTES + n * WIRE_BYTES_PER_POINT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cloud(n: usize) -> PointCloud {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(
+                    Vec3::new(f * 0.37 - 30.0, f * -0.11 + 5.0, (f * 0.05) % 3.0),
+                    (i % 256) as f32 / 255.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_within_quantization() {
+        let cloud = sample_cloud(500);
+        let bytes = encode_cloud(&cloud).unwrap();
+        assert_eq!(bytes.len(), encoded_size(500));
+        let decoded = decode_cloud(&bytes).unwrap();
+        assert_eq!(decoded.len(), cloud.len());
+        for (a, b) in cloud.iter().zip(decoded.iter()) {
+            assert!((a.position - b.position).norm() < 0.01, "{} vs {}", a, b);
+            assert!((a.reflectance - b.reflectance).abs() < 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_cloud_round_trip() {
+        let bytes = encode_cloud(&PointCloud::new()).unwrap();
+        assert_eq!(bytes.len(), WIRE_HEADER_BYTES);
+        assert!(decode_cloud(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scan_fits_paper_budget() {
+        // A ~30k-point VLP-16 scan must encode to roughly 200 KB (§II-C).
+        let size = encoded_size(30_000);
+        assert!(size < 250_000, "scan too large: {size}");
+        assert!(size > 150_000, "scan suspiciously small: {size}");
+    }
+
+    #[test]
+    fn out_of_range_coordinate_rejected() {
+        let mut cloud = sample_cloud(3);
+        cloud.push(Point::new(Vec3::new(400.0, 0.0, 0.0), 0.5));
+        match encode_cloud(&cloud) {
+            Err(CodecError::CoordinateOutOfRange { index }) => assert_eq!(index, 3),
+            other => panic!("expected out-of-range error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let err = decode_cloud(&[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let cloud = sample_cloud(10);
+        let bytes = encode_cloud(&cloud).unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        match decode_cloud(cut) {
+            Err(CodecError::Truncated { expected, actual }) => {
+                assert_eq!(expected, bytes.len());
+                assert_eq!(actual, cut.len());
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let cloud = sample_cloud(1);
+        let mut bytes = encode_cloud(&cloud).unwrap().to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode_cloud(&bytes).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let cloud = sample_cloud(1);
+        let mut bytes = encode_cloud(&cloud).unwrap().to_vec();
+        bytes[4] = 99;
+        assert_eq!(
+            decode_cloud(&bytes).unwrap_err(),
+            CodecError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn errors_display_and_are_std_errors() {
+        let errs: Vec<Box<dyn Error>> = vec![
+            Box::new(CodecError::BadMagic),
+            Box::new(CodecError::UnsupportedVersion(2)),
+            Box::new(CodecError::Truncated {
+                expected: 10,
+                actual: 5,
+            }),
+            Box::new(CodecError::CoordinateOutOfRange { index: 7 }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        // Frames may arrive padded (e.g. out of a fixed-size transport
+        // packet); the declared count governs.
+        let cloud = sample_cloud(4);
+        let mut bytes = encode_cloud(&cloud).unwrap().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert_eq!(decode_cloud(&bytes).unwrap().len(), 4);
+    }
+}

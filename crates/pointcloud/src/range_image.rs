@@ -1,0 +1,452 @@
+//! Spherical (range-image) projection of point clouds.
+//!
+//! SPOD's preprocessing stage: "point clouds are projected onto a sphere
+//! … to generate a dense representation" (§III-C, following SqueezeSeg).
+//! A range image indexes returns by (elevation row, azimuth column); the
+//! dense grid makes hole-filling (densification) cheap, which is what lets
+//! SPOD operate on sparse 16-beam data.
+
+use std::fmt;
+
+use cooper_geometry::Vec3;
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, PointCloud};
+
+/// Configuration of a spherical projection grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangeImageConfig {
+    /// Number of elevation rows (typically the beam count).
+    pub rows: usize,
+    /// Number of azimuth columns.
+    pub cols: usize,
+    /// Minimum elevation angle, radians (bottom row).
+    pub elevation_min: f64,
+    /// Maximum elevation angle, radians (top row).
+    pub elevation_max: f64,
+    /// Minimum azimuth angle, radians (left column).
+    pub azimuth_min: f64,
+    /// Maximum azimuth angle, radians (right column).
+    pub azimuth_max: f64,
+}
+
+impl RangeImageConfig {
+    /// A VLP-16-shaped grid: 16 rows over ±15° elevation, 360° azimuth at
+    /// 0.4° resolution.
+    pub fn vlp16() -> Self {
+        RangeImageConfig {
+            rows: 16,
+            cols: 900,
+            elevation_min: (-15.0f64).to_radians(),
+            elevation_max: 15.0f64.to_radians(),
+            azimuth_min: -std::f64::consts::PI,
+            azimuth_max: std::f64::consts::PI,
+        }
+    }
+
+    /// An HDL-64-shaped grid: 64 rows from −24.8° to +2°, 360° azimuth.
+    pub fn hdl64() -> Self {
+        RangeImageConfig {
+            rows: 64,
+            cols: 2048,
+            elevation_min: (-24.8f64).to_radians(),
+            elevation_max: 2.0f64.to_radians(),
+            azimuth_min: -std::f64::consts::PI,
+            azimuth_max: std::f64::consts::PI,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when dimensions are zero or angle ranges empty.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err("range image must have non-zero dimensions".into());
+        }
+        if self.elevation_max <= self.elevation_min {
+            return Err("elevation range is empty".into());
+        }
+        if self.azimuth_max <= self.azimuth_min {
+            return Err("azimuth range is empty".into());
+        }
+        Ok(())
+    }
+
+    /// Maps a direction to `(row, col)`, or `None` when outside the grid.
+    pub fn cell_of(&self, position: Vec3) -> Option<(usize, usize)> {
+        let az = position.azimuth();
+        let el = position.elevation();
+        if az < self.azimuth_min || az > self.azimuth_max {
+            return None;
+        }
+        if el < self.elevation_min || el > self.elevation_max {
+            return None;
+        }
+        let row_f = (el - self.elevation_min) / (self.elevation_max - self.elevation_min)
+            * self.rows as f64;
+        let col_f =
+            (az - self.azimuth_min) / (self.azimuth_max - self.azimuth_min) * self.cols as f64;
+        let row = (row_f as usize).min(self.rows - 1);
+        let col = (col_f as usize).min(self.cols - 1);
+        Some((row, col))
+    }
+
+    /// The direction unit-vector at the center of a cell.
+    pub fn direction_of(&self, row: usize, col: usize) -> Vec3 {
+        let el = self.elevation_min
+            + (row as f64 + 0.5) / self.rows as f64 * (self.elevation_max - self.elevation_min);
+        let az = self.azimuth_min
+            + (col as f64 + 0.5) / self.cols as f64 * (self.azimuth_max - self.azimuth_min);
+        Vec3::new(el.cos() * az.cos(), el.cos() * az.sin(), el.sin())
+    }
+}
+
+/// One cell of a range image: the closest return projected into it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+struct Cell {
+    /// Range in metres; `0.0` means empty.
+    range: f32,
+    /// Reflectance of the stored return.
+    reflectance: f32,
+}
+
+/// A dense spherical projection of a point cloud.
+///
+/// Cells keep the *closest* return mapped into them, matching how a real
+/// scanner reports the first surface per beam direction.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_geometry::Vec3;
+/// use cooper_pointcloud::{Point, PointCloud, RangeImage, RangeImageConfig};
+///
+/// let mut cloud = PointCloud::new();
+/// cloud.push(Point::new(Vec3::new(10.0, 0.0, 0.0), 0.8));
+/// let img = RangeImage::project(&cloud, RangeImageConfig::vlp16());
+/// assert_eq!(img.occupied_cells(), 1);
+/// let back = img.to_cloud();
+/// assert_eq!(back.len(), 1);
+/// assert!((back.as_slice()[0].position.norm() - 10.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeImage {
+    config: RangeImageConfig,
+    cells: Vec<Cell>,
+}
+
+impl RangeImage {
+    /// Projects a cloud onto the spherical grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`RangeImageConfig::validate`].
+    pub fn project(cloud: &PointCloud, config: RangeImageConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid range image config: {msg}");
+        }
+        let mut cells = vec![Cell::default(); config.rows * config.cols];
+        for point in cloud.iter() {
+            let range = point.range();
+            if range < 1e-6 {
+                continue;
+            }
+            let Some((row, col)) = config.cell_of(point.position) else {
+                continue;
+            };
+            let cell = &mut cells[row * config.cols + col];
+            if cell.range == 0.0 || f64::from(cell.range) > range {
+                cell.range = range as f32;
+                cell.reflectance = point.reflectance;
+            }
+        }
+        RangeImage { config, cells }
+    }
+
+    /// The projection configuration.
+    pub fn config(&self) -> &RangeImageConfig {
+        &self.config
+    }
+
+    /// The range stored at `(row, col)`, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row`/`col` are out of bounds.
+    pub fn range_at(&self, row: usize, col: usize) -> Option<f64> {
+        assert!(
+            row < self.config.rows && col < self.config.cols,
+            "cell out of bounds"
+        );
+        let cell = self.cells[row * self.config.cols + col];
+        (cell.range > 0.0).then_some(f64::from(cell.range))
+    }
+
+    /// The back-projected point stored at `(row, col)`, or `None` when
+    /// the cell is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row`/`col` are out of bounds.
+    pub fn point_at(&self, row: usize, col: usize) -> Option<Point> {
+        assert!(
+            row < self.config.rows && col < self.config.cols,
+            "cell out of bounds"
+        );
+        let cell = self.cells[row * self.config.cols + col];
+        (cell.range > 0.0).then(|| {
+            let dir = self.config.direction_of(row, col);
+            Point::new(dir * f64::from(cell.range), cell.reflectance)
+        })
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.range > 0.0).count()
+    }
+
+    /// Fraction of cells holding a return.
+    pub fn fill_ratio(&self) -> f64 {
+        self.occupied_cells() as f64 / self.cells.len() as f64
+    }
+
+    /// Fills empty cells whose horizontal neighbours are both occupied
+    /// with the mean of those neighbours — one pass of the densification
+    /// SPOD applies to make sparse (16-beam) input usable by the detector.
+    ///
+    /// Returns the number of cells filled.
+    pub fn densify_pass(&mut self) -> usize {
+        let cols = self.config.cols;
+        let mut filled = 0;
+        for row in 0..self.config.rows {
+            let base = row * cols;
+            let snapshot: Vec<Cell> = self.cells[base..base + cols].to_vec();
+            for col in 0..cols {
+                if snapshot[col].range > 0.0 {
+                    continue;
+                }
+                let left = snapshot[(col + cols - 1) % cols];
+                let right = snapshot[(col + 1) % cols];
+                if left.range > 0.0 && right.range > 0.0 {
+                    // Only interpolate across small gaps on the same
+                    // surface; a large range discontinuity is a real edge.
+                    if (left.range - right.range).abs() < 0.5 {
+                        self.cells[base + col] = Cell {
+                            range: (left.range + right.range) * 0.5,
+                            reflectance: (left.reflectance + right.reflectance) * 0.5,
+                        };
+                        filled += 1;
+                    }
+                }
+            }
+        }
+        filled
+    }
+
+    /// Fills empty cells whose vertical neighbours (same column,
+    /// adjacent rows) are both occupied at similar range — bridging the
+    /// between-beam gaps that make 16-beam data hard to voxelize. With
+    /// coarse beam tables the rows of one surface land several voxels
+    /// apart; this pass restores the column continuity a denser unit
+    /// would have measured.
+    ///
+    /// Returns the number of cells filled.
+    pub fn densify_vertical_pass(&mut self) -> usize {
+        let cols = self.config.cols;
+        let rows = self.config.rows;
+        if rows < 3 {
+            return 0;
+        }
+        let snapshot = self.cells.clone();
+        let mut filled = 0;
+        for row in 1..rows - 1 {
+            for col in 0..cols {
+                if snapshot[row * cols + col].range > 0.0 {
+                    continue;
+                }
+                let below = snapshot[(row - 1) * cols + col];
+                let above = snapshot[(row + 1) * cols + col];
+                if below.range > 0.0 && above.range > 0.0 && (below.range - above.range).abs() < 1.0
+                {
+                    self.cells[row * cols + col] = Cell {
+                        range: (below.range + above.range) * 0.5,
+                        reflectance: (below.reflectance + above.reflectance) * 0.5,
+                    };
+                    filled += 1;
+                }
+            }
+        }
+        filled
+    }
+
+    /// Back-projects the image to a point cloud (cell-center directions
+    /// scaled by stored ranges).
+    pub fn to_cloud(&self) -> PointCloud {
+        let mut cloud = PointCloud::with_capacity(self.occupied_cells());
+        for row in 0..self.config.rows {
+            for col in 0..self.config.cols {
+                let cell = self.cells[row * self.config.cols + col];
+                if cell.range > 0.0 {
+                    let dir = self.config.direction_of(row, col);
+                    cloud.push(Point::new(dir * f64::from(cell.range), cell.reflectance));
+                }
+            }
+        }
+        cloud
+    }
+}
+
+impl fmt::Display for RangeImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "range image {}x{} ({:.1}% filled)",
+            self.config.rows,
+            self.config.cols,
+            self.fill_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> RangeImageConfig {
+        RangeImageConfig {
+            rows: 4,
+            cols: 16,
+            elevation_min: (-0.3f64),
+            elevation_max: 0.3,
+            azimuth_min: -std::f64::consts::PI,
+            azimuth_max: std::f64::consts::PI,
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = small_config();
+        assert!(c.validate().is_ok());
+        c.rows = 0;
+        assert!(c.validate().is_err());
+        let mut c2 = small_config();
+        c2.elevation_max = c2.elevation_min;
+        assert!(c2.validate().is_err());
+        let mut c3 = small_config();
+        c3.azimuth_max = c3.azimuth_min - 1.0;
+        assert!(c3.validate().is_err());
+    }
+
+    #[test]
+    fn projection_keeps_closest_return() {
+        let mut cloud = PointCloud::new();
+        cloud.push(Point::new(Vec3::new(20.0, 0.0, 0.0), 0.1));
+        cloud.push(Point::new(Vec3::new(10.0, 0.0, 0.0), 0.9));
+        let img = RangeImage::project(&cloud, small_config());
+        assert_eq!(img.occupied_cells(), 1);
+        let back = img.to_cloud();
+        assert!((back.as_slice()[0].position.norm() - 10.0).abs() < 1e-5);
+        assert_eq!(back.as_slice()[0].reflectance, 0.9);
+    }
+
+    #[test]
+    fn points_outside_fov_skipped() {
+        let mut cloud = PointCloud::new();
+        // Straight up: elevation π/2, far above max.
+        cloud.push(Point::new(Vec3::new(0.0, 0.0, 10.0), 0.5));
+        let img = RangeImage::project(&cloud, small_config());
+        assert_eq!(img.occupied_cells(), 0);
+    }
+
+    #[test]
+    fn origin_points_skipped() {
+        let mut cloud = PointCloud::new();
+        cloud.push(Point::new(Vec3::ZERO, 0.5));
+        let img = RangeImage::project(&cloud, small_config());
+        assert_eq!(img.occupied_cells(), 0);
+    }
+
+    #[test]
+    fn cell_round_trip_direction() {
+        let c = small_config();
+        for row in 0..c.rows {
+            for col in 0..c.cols {
+                let dir = c.direction_of(row, col);
+                assert_eq!(c.cell_of(dir * 10.0), Some((row, col)));
+            }
+        }
+    }
+
+    #[test]
+    fn densify_fills_single_gaps() {
+        let c = small_config();
+        let mut cloud = PointCloud::new();
+        // Occupy two cells in the same row separated by one column.
+        let d0 = c.direction_of(1, 4) * 10.0;
+        let d2 = c.direction_of(1, 6) * 10.0;
+        cloud.push(Point::new(d0, 0.5));
+        cloud.push(Point::new(d2, 0.5));
+        let mut img = RangeImage::project(&cloud, c);
+        assert_eq!(img.occupied_cells(), 2);
+        let filled = img.densify_pass();
+        assert_eq!(filled, 1);
+        assert!(img.range_at(1, 5).is_some());
+        assert!((img.range_at(1, 5).unwrap() - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn densify_respects_depth_discontinuity() {
+        let c = small_config();
+        let mut cloud = PointCloud::new();
+        cloud.push(Point::new(c.direction_of(1, 4) * 5.0, 0.5));
+        cloud.push(Point::new(c.direction_of(1, 6) * 50.0, 0.5));
+        let mut img = RangeImage::project(&cloud, c);
+        assert_eq!(img.densify_pass(), 0);
+    }
+
+    #[test]
+    fn densify_vertical_fills_between_beam_rows() {
+        let c = small_config();
+        let mut cloud = PointCloud::new();
+        // Same column, rows 0 and 2 at equal range: row 1 gets filled.
+        cloud.push(Point::new(c.direction_of(0, 5) * 12.0, 0.4));
+        cloud.push(Point::new(c.direction_of(2, 5) * 12.0, 0.6));
+        let mut img = RangeImage::project(&cloud, c);
+        assert_eq!(img.densify_vertical_pass(), 1);
+        let p = img.point_at(1, 5).expect("filled");
+        assert!((p.position.norm() - 12.0).abs() < 1e-4);
+        assert!((p.reflectance - 0.5).abs() < 1e-6);
+        // A large range discontinuity is a real edge: not filled.
+        let mut cloud2 = PointCloud::new();
+        cloud2.push(Point::new(c.direction_of(0, 5) * 5.0, 0.4));
+        cloud2.push(Point::new(c.direction_of(2, 5) * 50.0, 0.6));
+        let mut img2 = RangeImage::project(&cloud2, c);
+        assert_eq!(img2.densify_vertical_pass(), 0);
+    }
+
+    #[test]
+    fn fill_ratio() {
+        let c = small_config();
+        let mut cloud = PointCloud::new();
+        cloud.push(Point::new(c.direction_of(0, 0) * 5.0, 0.5));
+        let img = RangeImage::project(&cloud, c);
+        assert!((img.fill_ratio() - 1.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn range_at_out_of_bounds_panics() {
+        let img = RangeImage::project(&PointCloud::new(), small_config());
+        let _ = img.range_at(10, 0);
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(RangeImageConfig::vlp16().validate().is_ok());
+        assert!(RangeImageConfig::hdl64().validate().is_ok());
+        assert_eq!(RangeImageConfig::vlp16().rows, 16);
+        assert_eq!(RangeImageConfig::hdl64().rows, 64);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for point-cloud containers and the wire codec.
+
+use cooper_geometry::{Attitude, Pose, RigidTransform, Vec3};
+use cooper_pointcloud::codec::encoded_size;
+use cooper_pointcloud::{
+    decode_cloud, encode_cloud, Point, PointCloud, RangeImage, RangeImageConfig, VoxelGrid,
+    VoxelGridConfig,
+};
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = Point> {
+    (-80.0..80.0f64, -80.0..80.0f64, -5.0..5.0f64, 0.0..1.0f32)
+        .prop_map(|(x, y, z, r)| Point::new(Vec3::new(x, y, z), r))
+}
+
+fn cloud(max: usize) -> impl Strategy<Value = PointCloud> {
+    prop::collection::vec(point(), 0..max).prop_map(PointCloud::from_points)
+}
+
+fn pose() -> impl Strategy<Value = Pose> {
+    (
+        -50.0..50.0f64,
+        -50.0..50.0f64,
+        -1.0..1.0f64,
+        -3.0..3.0f64,
+        -0.2..0.2f64,
+        -0.2..0.2f64,
+    )
+        .prop_map(|(x, y, z, yaw, pitch, roll)| {
+            Pose::new(Vec3::new(x, y, z), Attitude::new(yaw, pitch, roll))
+        })
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trip_is_lossless_to_quantization(c in cloud(300)) {
+        let bytes = encode_cloud(&c).unwrap();
+        prop_assert_eq!(bytes.len(), encoded_size(c.len()));
+        let decoded = decode_cloud(&bytes).unwrap();
+        prop_assert_eq!(decoded.len(), c.len());
+        for (a, b) in c.iter().zip(decoded.iter()) {
+            prop_assert!((a.position - b.position).norm() <= 0.009);
+            prop_assert!((a.reflectance - b.reflectance).abs() <= 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn codec_double_round_trip_is_exact(c in cloud(200)) {
+        // Quantization is idempotent: decode(encode(decode(encode(c))))
+        // equals decode(encode(c)) exactly.
+        let once = decode_cloud(&encode_cloud(&c).unwrap()).unwrap();
+        let twice = decode_cloud(&encode_cloud(&once).unwrap()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn merge_preserves_point_counts(a in cloud(200), b in cloud(200)) {
+        let m = a.merged(&b);
+        prop_assert_eq!(m.len(), a.len() + b.len());
+        // Order: a's points first, then b's.
+        for (i, p) in a.iter().enumerate() {
+            prop_assert_eq!(m.as_slice()[i], *p);
+        }
+    }
+
+    #[test]
+    fn transform_round_trip(c in cloud(100), p1 in pose(), p2 in pose()) {
+        let t = RigidTransform::between(&p1, &p2);
+        let back = c.transformed(&t).transformed(&t.inverse());
+        for (a, b) in c.iter().zip(back.iter()) {
+            prop_assert!((a.position - b.position).norm() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn voxelization_never_creates_points(c in cloud(400)) {
+        let grid = VoxelGrid::from_cloud(&c, VoxelGridConfig::voxelnet_car());
+        prop_assert!(grid.total_points() <= c.len());
+        // Every sample retained must be within the extent.
+        for (_, v) in grid.iter() {
+            prop_assert!(v.count >= v.samples.len());
+            prop_assert!(v.count >= 1);
+            for s in &v.samples {
+                prop_assert!(grid.config().extent.contains(s.position));
+            }
+        }
+    }
+
+    #[test]
+    fn voxel_centroid_inside_voxel(c in cloud(400)) {
+        let grid = VoxelGrid::from_cloud(&c, VoxelGridConfig::voxelnet_car());
+        for (coord, v) in grid.iter() {
+            let centroid = v.centroid();
+            // The centroid of a voxel's points maps back to that voxel.
+            prop_assert_eq!(grid.config().coord_of(centroid), Some(*coord));
+        }
+    }
+
+    #[test]
+    fn range_image_back_projection_preserves_range(c in cloud(200)) {
+        let img = RangeImage::project(&c, RangeImageConfig::vlp16());
+        let back = img.to_cloud();
+        prop_assert!(back.len() <= c.len());
+        // Every back-projected range must equal some original in-FoV
+        // range (the closest in its cell) to within quantization of the
+        // cell direction.
+        for p in back.iter() {
+            let r = p.range();
+            let close = c.iter().any(|q| (q.range() - r).abs() < 1e-3);
+            prop_assert!(close, "range {r} not among originals");
+        }
+    }
+
+    #[test]
+    fn densify_only_adds_cells(c in cloud(300)) {
+        let mut img = RangeImage::project(&c, RangeImageConfig::vlp16());
+        let before = img.occupied_cells();
+        let filled = img.densify_pass();
+        prop_assert_eq!(img.occupied_cells(), before + filled);
+    }
+
+    #[test]
+    fn roi_categories_monotone(c in cloud(300)) {
+        use cooper_pointcloud::roi::{extract_roi, RoiCategory};
+        let full = extract_roi(&c, RoiCategory::FullFrame);
+        let fov = extract_roi(&c, RoiCategory::FrontFov120);
+        let fwd = extract_roi(&c, RoiCategory::ForwardOneWay);
+        prop_assert_eq!(full.len(), c.len());
+        prop_assert!(fov.len() <= full.len());
+        prop_assert!(fwd.len() <= fov.len());
+    }
+
+    #[test]
+    fn bounds_contain_all_points(c in cloud(200)) {
+        if let Some(b) = c.bounds() {
+            for p in c.iter() {
+                prop_assert!(b.contains(p.position));
+            }
+        } else {
+            prop_assert!(c.is_empty());
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn cloud_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = decode_cloud(&bytes);
+    }
+
+    #[test]
+    fn interchange_readers_never_panic(text in "[ -~\n]{0,2048}") {
+        use std::io::BufReader;
+        let _ = cooper_pointcloud::io::read_xyz(BufReader::new(text.as_bytes()));
+        let _ = cooper_pointcloud::io::read_ply(BufReader::new(text.as_bytes()));
+        let _ = cooper_pointcloud::io::read_pcd(BufReader::new(text.as_bytes()));
+    }
+}

@@ -1,0 +1,221 @@
+//! Bird's-eye-view collapse of the sparse 3-D feature tensor.
+//!
+//! SECOND-style detectors collapse the z axis after the sparse middle
+//! layers and run the 2-D region proposal network on the resulting BEV
+//! feature map. The collapse here max-pools features over z per `(x, y)`
+//! column and stays sparse: only columns with at least one active voxel
+//! exist.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::SparseTensor3;
+
+/// Number of vertical-structure channels appended to every collapsed
+/// column (occupied-level count, column height span, column base level).
+///
+/// Max pooling alone cannot distinguish a ground-only column (one
+/// occupied z level) from an object column (several stacked levels);
+/// these channels restore that signal, which is what separates road
+/// surface from vehicles in the RPN.
+pub const Z_STRUCTURE_CHANNELS: usize = 3;
+
+/// A sparse BEV feature map: one feature vector per active `(x, y)`
+/// column. Each vector is the per-channel max over z of the input tensor
+/// followed by [`Z_STRUCTURE_CHANNELS`] vertical-structure statistics.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_pointcloud::VoxelCoord;
+/// use cooper_spod::bev::BevMap;
+/// use cooper_spod::SparseTensor3;
+///
+/// let mut t = SparseTensor3::new(2);
+/// t.set(VoxelCoord::new(3, 4, 0), vec![1.0, 0.0]);
+/// t.set(VoxelCoord::new(3, 4, 1), vec![0.5, 2.0]);
+/// let bev = BevMap::collapse(&t);
+/// assert_eq!(bev.active_cells(), 1);
+/// assert_eq!(bev.channels(), 2 + cooper_spod::bev::Z_STRUCTURE_CHANNELS);
+/// assert_eq!(&bev.get(3, 4).unwrap()[..2], &[1.0, 2.0][..]); // per-channel max
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BevMap {
+    channels: usize,
+    cells: HashMap<(i32, i32), Vec<f32>>,
+}
+
+/// Normalizer for z-structure statistics: a column taller than this many
+/// voxels saturates.
+const Z_NORM: f32 = 8.0;
+
+impl BevMap {
+    /// Collapses a sparse 3-D tensor over z: per-channel max pooling plus
+    /// the vertical-structure channels.
+    pub fn collapse(tensor: &SparseTensor3) -> Self {
+        let in_channels = tensor.channels();
+        let channels = in_channels + Z_STRUCTURE_CHANNELS;
+        struct Column {
+            features: Vec<f32>,
+            levels: u32,
+            z_min: i32,
+            z_max: i32,
+        }
+        let mut columns: HashMap<(i32, i32), Column> = HashMap::new();
+        for (coord, features) in tensor.iter() {
+            let col = columns.entry((coord.x, coord.y)).or_insert_with(|| Column {
+                features: vec![f32::NEG_INFINITY; in_channels],
+                levels: 0,
+                z_min: i32::MAX,
+                z_max: i32::MIN,
+            });
+            for (c, f) in col.features.iter_mut().zip(features) {
+                *c = c.max(*f);
+            }
+            col.levels += 1;
+            col.z_min = col.z_min.min(coord.z);
+            col.z_max = col.z_max.max(coord.z);
+        }
+        let cells = columns
+            .into_iter()
+            .map(|(cell, col)| {
+                let mut f: Vec<f32> = col
+                    .features
+                    .into_iter()
+                    .map(|v| if v.is_finite() { v } else { 0.0 })
+                    .collect();
+                f.push((col.levels as f32 / Z_NORM).min(1.0));
+                f.push(((col.z_max - col.z_min + 1) as f32 / Z_NORM).min(1.0));
+                f.push((col.z_min as f32 / Z_NORM).clamp(-1.0, 1.0));
+                (cell, f)
+            })
+            .collect();
+        BevMap { channels, cells }
+    }
+
+    /// Features per cell.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of active columns.
+    pub fn active_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The feature vector of column `(x, y)`, or `None` when inactive.
+    pub fn get(&self, x: i32, y: i32) -> Option<&[f32]> {
+        self.cells.get(&(x, y)).map(Vec::as_slice)
+    }
+
+    /// Iterates over active `((x, y), features)` pairs in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(i32, i32), &Vec<f32>)> {
+        self.cells.iter()
+    }
+
+    /// Concatenated features of the `(2·radius+1)²` window centered at
+    /// `(x, y)`, zero-filled at inactive cells. Length is
+    /// `(2·radius+1)² * channels`.
+    ///
+    /// This window is what the RPN head consumes per anchor position —
+    /// the receptive field of the SSD head. It must be wide enough to
+    /// cover the largest anchor (a car is ~9 cells long at 0.5 m
+    /// resolution), otherwise box regression cannot see where the object
+    /// ends.
+    pub fn window_features(&self, x: i32, y: i32, radius: i32) -> Vec<f32> {
+        let side = (2 * radius + 1) as usize;
+        let mut out = Vec::with_capacity(side * side * self.channels);
+        for dy in -radius..=radius {
+            for dx in -radius..=radius {
+                match self.get(x + dx, y + dy) {
+                    Some(f) => out.extend_from_slice(f),
+                    None => out.extend(std::iter::repeat_n(0.0, self.channels)),
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for BevMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BEV map ({} cells × {} channels)",
+            self.cells.len(),
+            self.channels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooper_pointcloud::VoxelCoord;
+
+    #[test]
+    fn collapse_max_pools_over_z() {
+        let mut t = SparseTensor3::new(3);
+        t.set(VoxelCoord::new(0, 0, 0), vec![1.0, 5.0, 0.0]);
+        t.set(VoxelCoord::new(0, 0, 3), vec![2.0, 1.0, 0.5]);
+        t.set(VoxelCoord::new(1, 0, 0), vec![9.0, 9.0, 9.0]);
+        let bev = BevMap::collapse(&t);
+        assert_eq!(bev.active_cells(), 2);
+        assert_eq!(&bev.get(0, 0).unwrap()[..3], &[2.0, 5.0, 0.5][..]);
+        assert_eq!(&bev.get(1, 0).unwrap()[..3], &[9.0, 9.0, 9.0][..]);
+        assert_eq!(bev.get(5, 5), None);
+    }
+
+    #[test]
+    fn z_structure_channels_distinguish_columns() {
+        let mut t = SparseTensor3::new(1);
+        // Ground-only column: one occupied level.
+        t.set(VoxelCoord::new(0, 0, 0), vec![1.0]);
+        // Object column: three stacked levels.
+        t.set(VoxelCoord::new(1, 0, 0), vec![1.0]);
+        t.set(VoxelCoord::new(1, 0, 1), vec![1.0]);
+        t.set(VoxelCoord::new(1, 0, 2), vec![1.0]);
+        let bev = BevMap::collapse(&t);
+        let ground = bev.get(0, 0).unwrap();
+        let object = bev.get(1, 0).unwrap();
+        // Level count channel (index 1 = channels() - 3).
+        assert!(object[1] > ground[1]);
+        // Height span channel.
+        assert!(object[2] > ground[2]);
+        // Base level matches.
+        assert_eq!(object[3], ground[3]);
+    }
+
+    #[test]
+    fn window_features_layout() {
+        let mut t = SparseTensor3::new(1);
+        t.set(VoxelCoord::new(0, 0, 0), vec![1.0]);
+        t.set(VoxelCoord::new(1, 0, 0), vec![2.0]);
+        let bev = BevMap::collapse(&t);
+        let c = bev.channels();
+        let w = bev.window_features(0, 0, 1);
+        assert_eq!(w.len(), 9 * c);
+        // Row-major (dy outer, dx inner): center block starts at 4·c,
+        // right-neighbour block at 5·c.
+        assert_eq!(w[4 * c], 1.0);
+        assert_eq!(w[5 * c], 2.0);
+        // A wider radius widens the vector accordingly.
+        assert_eq!(bev.window_features(0, 0, 3).len(), 49 * c);
+    }
+
+    #[test]
+    fn window_on_inactive_cell_is_zero_padded() {
+        let bev = BevMap::collapse(&SparseTensor3::new(2));
+        let w = bev.window_features(10, 10, 1);
+        assert_eq!(w.len(), 9 * (2 + Z_STRUCTURE_CHANNELS));
+        assert!(w.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn display_counts() {
+        let bev = BevMap::collapse(&SparseTensor3::new(4));
+        assert!(format!("{bev}").contains("0 cells"));
+    }
+}

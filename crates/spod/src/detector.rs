@@ -1,0 +1,373 @@
+//! The assembled SPOD detector pipeline.
+
+use cooper_geometry::{Aabb3, Obb3, Vec3};
+use cooper_lidar_sim::ObjectClass;
+use cooper_pointcloud::{PointCloud, VoxelGrid, VoxelGridConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::anchors::AnchorConfig;
+use crate::bev::BevMap;
+use crate::head::DetectionHead;
+use crate::preprocess::{densify, PreprocessConfig};
+use crate::sparse_conv::SparseConv3;
+use crate::train::{train, TrainingConfig};
+use crate::vfe::VoxelFeatureEncoder;
+
+/// One detected object: class, sensor-frame box and confidence score.
+///
+/// The score is the sigmoid objectness of the winning anchor — the
+/// "detecting score" reported in the paper's Figures 3 and 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Detected class.
+    pub class: ObjectClass,
+    /// The decoded oriented box in the input cloud's frame.
+    pub obb: Obb3,
+    /// Confidence in `[0, 1]`.
+    pub score: f32,
+}
+
+impl std::fmt::Display for Detection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} @ {} (score {:.2})",
+            self.class, self.obb.center, self.score
+        )
+    }
+}
+
+/// Static configuration of the SPOD pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpodConfig {
+    /// Voxelization extent and resolution. 360° coverage: cooperative
+    /// clouds contain returns all around the receiver.
+    pub voxel_grid: VoxelGridConfig,
+    /// Feature channels flowing through the middle layers.
+    pub channels: usize,
+    /// Preprocessing (spherical densification) applied to input clouds.
+    pub preprocess: PreprocessConfig,
+    /// Detections below this score are discarded.
+    pub score_threshold: f32,
+    /// BEV IoU threshold for non-maximum suppression.
+    pub nms_iou: f64,
+    /// Distance-NMS factor: same-class detections closer than this
+    /// fraction of the smaller box length are duplicates (0 disables).
+    pub nms_distance_factor: f64,
+    /// RPN receptive-field radius in BEV cells (window side is
+    /// `2·radius + 1`). Must cover the longest anchor.
+    pub window_radius: i32,
+    /// Sensor mount height (anchors sit on the ground this far below
+    /// the sensor origin).
+    pub mount_height: f64,
+    /// When set, returns within this margin (metres) of the ground plane
+    /// are excluded from voxelization — standard LiDAR ground
+    /// segmentation. Road returns dominate raw scans and carry no object
+    /// evidence; removing them restores the foreground/background
+    /// balance the RPN heads train against. `None` disables (ablation).
+    pub ground_removal_margin: Option<f64>,
+    /// Seed for the deterministic feature-extractor weights.
+    pub seed: u64,
+}
+
+impl Default for SpodConfig {
+    fn default() -> Self {
+        SpodConfig {
+            voxel_grid: VoxelGridConfig {
+                extent: Aabb3::new(Vec3::new(-80.0, -80.0, -3.0), Vec3::new(80.0, 80.0, 3.0)),
+                voxel_size: Vec3::new(0.5, 0.5, 0.5),
+                max_points_per_voxel: 35,
+            },
+            channels: 8,
+            preprocess: PreprocessConfig::sparse_default(),
+            score_threshold: 0.5,
+            nms_iou: 0.2,
+            nms_distance_factor: 0.5,
+            window_radius: 3,
+            mount_height: 1.8,
+            ground_removal_margin: Some(0.3),
+            seed: 0xC00_9E6,
+        }
+    }
+}
+
+/// The SPOD 3-D object detector (Figure 1 of the paper): preprocessing →
+/// voxel feature extractor → sparse convolutional middle layers → BEV
+/// collapse → SSD-style RPN heads → NMS.
+///
+/// One instance handles any input density — "not only … high density
+/// data, but also … much sparser point clouds" — which is what lets the
+/// same network run on single-shot and fused cooperative clouds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpodDetector {
+    config: SpodConfig,
+    vfe: VoxelFeatureEncoder,
+    conv1: SparseConv3,
+    conv2: SparseConv3,
+    heads: Vec<DetectionHead>,
+}
+
+impl SpodDetector {
+    /// Creates a detector with deterministic feature-extractor weights
+    /// and untrained (zero) heads. Use [`SpodDetector::train_default`] or
+    /// [`crate::train::train`] to fit the heads.
+    pub fn new(config: SpodConfig) -> Self {
+        let vfe = VoxelFeatureEncoder::seeded(config.channels, config.seed);
+        let conv1 = SparseConv3::seeded(config.channels, config.channels, config.seed ^ 1);
+        let conv2 = SparseConv3::seeded(config.channels, config.channels, config.seed ^ 2);
+        let side = (2 * config.window_radius + 1) as usize;
+        let feature_dim = (config.channels + crate::bev::Z_STRUCTURE_CHANNELS) * side * side;
+        let heads = ObjectClass::TARGETS
+            .iter()
+            .map(|&class| {
+                DetectionHead::new(
+                    feature_dim,
+                    AnchorConfig::for_class(class, config.mount_height),
+                )
+            })
+            .collect();
+        SpodDetector {
+            config,
+            vfe,
+            conv1,
+            conv2,
+            heads,
+        }
+    }
+
+    /// Trains a detector with the default pipeline configuration.
+    pub fn train_default(training: &TrainingConfig) -> Self {
+        train(SpodConfig::default(), training)
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &SpodConfig {
+        &self.config
+    }
+
+    /// Mutable access to the per-class heads, for the trainer.
+    pub(crate) fn heads_mut(&mut self) -> &mut [DetectionHead] {
+        &mut self.heads
+    }
+
+    /// The per-class heads.
+    pub fn heads(&self) -> &[DetectionHead] {
+        &self.heads
+    }
+
+    /// The VFE embedding layer (weight-file persistence).
+    pub fn vfe_layer(&self) -> &crate::nn::Linear {
+        self.vfe.layer()
+    }
+
+    /// The first sparse convolution (weight-file persistence).
+    pub fn conv1_layer(&self) -> &SparseConv3 {
+        &self.conv1
+    }
+
+    /// The second sparse convolution (weight-file persistence).
+    pub fn conv2_layer(&self) -> &SparseConv3 {
+        &self.conv2
+    }
+
+    /// Reconstructs a detector from loaded parts (weight-file loading).
+    pub fn from_parts(
+        config: SpodConfig,
+        vfe: VoxelFeatureEncoder,
+        conv1: SparseConv3,
+        conv2: SparseConv3,
+        heads: Vec<DetectionHead>,
+    ) -> Self {
+        SpodDetector {
+            config,
+            vfe,
+            conv1,
+            conv2,
+            heads,
+        }
+    }
+
+    /// Serializes the trained detector to a versioned binary weight
+    /// blob. See [`crate::persist`].
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        crate::persist::detector_to_bytes(self)
+    }
+
+    /// Loads a detector written by [`SpodDetector::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::persist::PersistError`] for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::persist::PersistError> {
+        crate::persist::detector_from_bytes(bytes)
+    }
+
+    /// Runs the feature-extraction trunk: preprocessing, voxelization,
+    /// VFE, two sparse convolutions and the BEV collapse.
+    ///
+    /// Exposed so the trainer and ablation benches can reuse the exact
+    /// inference path (C-INTERMEDIATE).
+    pub fn featurize(&self, cloud: &PointCloud) -> BevMap {
+        let mut dense = densify(cloud, &self.config.preprocess);
+        if let Some(margin) = self.config.ground_removal_margin {
+            let cutoff = -self.config.mount_height + margin;
+            dense.retain(|p| p.position.z >= cutoff);
+        }
+        let grid = VoxelGrid::from_cloud(&dense, self.config.voxel_grid);
+        let embedded = self.vfe.encode(&grid);
+        let mid = self.conv1.forward(&embedded);
+        let deep = self.conv2.forward(&mid);
+        BevMap::collapse(&deep)
+    }
+
+    /// Detects objects in a sensor-frame cloud.
+    ///
+    /// Works identically on single-shot and fused cooperative clouds —
+    /// the input is just points.
+    pub fn detect(&self, cloud: &PointCloud) -> Vec<Detection> {
+        self.detect_with_threshold(cloud, self.config.score_threshold)
+    }
+
+    /// Detects with an explicit score threshold (used by PR-curve
+    /// evaluation, which sweeps thresholds).
+    pub fn detect_with_threshold(&self, cloud: &PointCloud, threshold: f32) -> Vec<Detection> {
+        let bev = self.featurize(cloud);
+        let mut detections = Vec::new();
+        for (&(x, y), _) in bev.iter() {
+            let features = bev.window_features(x, y, self.config.window_radius);
+            for head in &self.heads {
+                for yaw_idx in 0..AnchorConfig::YAWS.len() {
+                    let score = head.score(&features, yaw_idx);
+                    if score < threshold {
+                        continue;
+                    }
+                    let anchor = head
+                        .config()
+                        .anchor_at(&self.config.voxel_grid, (x, y), yaw_idx);
+                    let residual = head.residual(&features, yaw_idx);
+                    let obb = crate::anchors::decode_box(&anchor, &residual);
+                    detections.push(Detection {
+                        class: head.config().class,
+                        obb,
+                        score,
+                    });
+                }
+            }
+        }
+        crate::nms::non_max_suppression_with_distance(
+            detections,
+            self.config.nms_iou,
+            self.config.nms_distance_factor,
+        )
+    }
+
+    /// Detects only the given class (cheaper when only cars matter, as
+    /// in the Cooper evaluation).
+    pub fn detect_class(
+        &self,
+        cloud: &PointCloud,
+        class: ObjectClass,
+        threshold: f32,
+    ) -> Vec<Detection> {
+        let bev = self.featurize(cloud);
+        let Some(head) = self.heads.iter().find(|h| h.config().class == class) else {
+            return Vec::new();
+        };
+        let mut detections = Vec::new();
+        for (&(x, y), _) in bev.iter() {
+            let features = bev.window_features(x, y, self.config.window_radius);
+            for yaw_idx in 0..AnchorConfig::YAWS.len() {
+                let score = head.score(&features, yaw_idx);
+                if score < threshold {
+                    continue;
+                }
+                let anchor = head
+                    .config()
+                    .anchor_at(&self.config.voxel_grid, (x, y), yaw_idx);
+                let residual = head.residual(&features, yaw_idx);
+                detections.push(Detection {
+                    class,
+                    obb: crate::anchors::decode_box(&anchor, &residual),
+                    score,
+                });
+            }
+        }
+        crate::nms::non_max_suppression_with_distance(
+            detections,
+            self.config.nms_iou,
+            self.config.nms_distance_factor,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooper_pointcloud::Point;
+
+    fn toy_cloud() -> PointCloud {
+        // A car-sized blob of points 10 m ahead, 1.8 m below the sensor.
+        let mut cloud = PointCloud::new();
+        for i in 0..200 {
+            let fx = (i % 20) as f64 * 0.2;
+            let fy = ((i / 20) % 5) as f64 * 0.35;
+            let fz = (i / 100) as f64 * 0.6;
+            cloud.push(Point::new(Vec3::new(8.0 + fx, -0.9 + fy, -1.7 + fz), 0.45));
+        }
+        cloud
+    }
+
+    #[test]
+    fn untrained_detector_runs_end_to_end() {
+        let det = SpodDetector::new(SpodConfig::default());
+        // Zero heads score exactly 0.5 everywhere; with the default 0.5
+        // threshold everything passes but NMS bounds the output.
+        let detections = det.detect_with_threshold(&toy_cloud(), 0.6);
+        assert!(detections.is_empty(), "untrained head must not clear 0.6");
+    }
+
+    #[test]
+    fn featurize_produces_active_cells() {
+        let det = SpodDetector::new(SpodConfig::default());
+        let bev = det.featurize(&toy_cloud());
+        assert!(bev.active_cells() > 0);
+        assert_eq!(
+            bev.channels(),
+            det.config().channels + crate::bev::Z_STRUCTURE_CHANNELS
+        );
+    }
+
+    #[test]
+    fn empty_cloud_yields_no_detections() {
+        let det = SpodDetector::new(SpodConfig::default());
+        assert!(det.detect(&PointCloud::new()).is_empty());
+    }
+
+    #[test]
+    fn detector_is_deterministic() {
+        let a = SpodDetector::new(SpodConfig::default());
+        let b = SpodDetector::new(SpodConfig::default());
+        assert_eq!(a, b);
+        let cloud = toy_cloud();
+        let fa = a.featurize(&cloud);
+        let fb = b.featurize(&cloud);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn detect_class_filters() {
+        let det = SpodDetector::new(SpodConfig::default());
+        let dets = det.detect_class(&toy_cloud(), ObjectClass::Car, 0.4);
+        assert!(dets.iter().all(|d| d.class == ObjectClass::Car));
+    }
+
+    #[test]
+    fn display_detection() {
+        let d = Detection {
+            class: ObjectClass::Car,
+            obb: Obb3::new(Vec3::ZERO, Vec3::new(4.5, 1.8, 1.5), 0.0),
+            score: 0.87,
+        };
+        assert!(format!("{d}").contains("0.87"));
+    }
+}

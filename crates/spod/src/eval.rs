@@ -1,0 +1,372 @@
+//! Detection evaluation: matching, precision/recall and average
+//! precision.
+
+use cooper_geometry::Obb3;
+use serde::{Deserialize, Serialize};
+
+use crate::detector::Detection;
+
+/// KITTI-style difficulty, approximated by sensor range (the synthetic
+/// scenes carry no truncation metadata): easy < 15 m, moderate < 30 m,
+/// hard beyond.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RangeDifficulty {
+    /// Close, fully visible objects.
+    Easy,
+    /// Mid-range objects.
+    Moderate,
+    /// Distant, sparsely sampled objects.
+    Hard,
+}
+
+impl RangeDifficulty {
+    /// All difficulties, easiest first.
+    pub const ALL: [RangeDifficulty; 3] = [
+        RangeDifficulty::Easy,
+        RangeDifficulty::Moderate,
+        RangeDifficulty::Hard,
+    ];
+
+    /// Classifies a sensor-frame box by its planar range.
+    pub fn of(obb: &Obb3) -> Self {
+        let r = obb.center.range_xy();
+        if r < 15.0 {
+            RangeDifficulty::Easy
+        } else if r < 30.0 {
+            RangeDifficulty::Moderate
+        } else {
+            RangeDifficulty::Hard
+        }
+    }
+}
+
+impl std::fmt::Display for RangeDifficulty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RangeDifficulty::Easy => "easy",
+            RangeDifficulty::Moderate => "moderate",
+            RangeDifficulty::Hard => "hard",
+        })
+    }
+}
+
+/// The result of matching detections against ground truth.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatchResult {
+    /// `(detection index, ground-truth index)` pairs, best-score first.
+    pub true_positives: Vec<(usize, usize)>,
+    /// Indices of unmatched detections.
+    pub false_positives: Vec<usize>,
+    /// Indices of unmatched ground-truth boxes.
+    pub false_negatives: Vec<usize>,
+}
+
+impl MatchResult {
+    /// Precision = TP / (TP + FP); 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let tp = self.true_positives.len();
+        let total = tp + self.false_positives.len();
+        if total == 0 {
+            1.0
+        } else {
+            tp as f64 / total as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        let tp = self.true_positives.len();
+        let total = tp + self.false_negatives.len();
+        if total == 0 {
+            1.0
+        } else {
+            tp as f64 / total as f64
+        }
+    }
+}
+
+/// Greedily matches detections (best score first) to ground truth boxes
+/// by BEV IoU: each ground truth may be claimed once; a detection with
+/// max-IoU below `iou_threshold` is a false positive.
+pub fn match_detections(
+    detections: &[Detection],
+    ground_truth: &[Obb3],
+    iou_threshold: f64,
+) -> MatchResult {
+    let mut order: Vec<usize> = (0..detections.len()).collect();
+    order.sort_by(|&a, &b| detections[b].score.total_cmp(&detections[a].score));
+    let mut claimed = vec![false; ground_truth.len()];
+    let mut result = MatchResult::default();
+    for det_idx in order {
+        let det = &detections[det_idx];
+        let mut best = (0.0f64, None);
+        for (gt_idx, gt) in ground_truth.iter().enumerate() {
+            if claimed[gt_idx] {
+                continue;
+            }
+            let iou = det.obb.iou_bev(gt);
+            if iou > best.0 {
+                best = (iou, Some(gt_idx));
+            }
+        }
+        match best {
+            (iou, Some(gt_idx)) if iou >= iou_threshold => {
+                claimed[gt_idx] = true;
+                result.true_positives.push((det_idx, gt_idx));
+            }
+            _ => result.false_positives.push(det_idx),
+        }
+    }
+    result.false_negatives = claimed
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| !c)
+        .map(|(i, _)| i)
+        .collect();
+    result
+}
+
+/// Greedily matches detections to ground truth by planar center
+/// distance scaled by object size: a detection claims a ground truth
+/// when their centers are within `factor × gt.size.x` (half the length
+/// at `factor = 0.5`). Unlike a fixed IoU threshold this criterion is
+/// equally strict for cars and pedestrians relative to their size.
+pub fn match_detections_by_center(
+    detections: &[Detection],
+    ground_truth: &[Obb3],
+    factor: f64,
+) -> MatchResult {
+    let mut order: Vec<usize> = (0..detections.len()).collect();
+    order.sort_by(|&a, &b| detections[b].score.total_cmp(&detections[a].score));
+    let mut claimed = vec![false; ground_truth.len()];
+    let mut result = MatchResult::default();
+    for det_idx in order {
+        let det = &detections[det_idx];
+        let mut best: Option<(f64, usize)> = None;
+        for (gt_idx, gt) in ground_truth.iter().enumerate() {
+            if claimed[gt_idx] {
+                continue;
+            }
+            let dist = det.obb.center_distance_bev(gt);
+            if dist <= factor * gt.size.x && best.is_none_or(|(d, _)| dist < d) {
+                best = Some((dist, gt_idx));
+            }
+        }
+        match best {
+            Some((_, gt_idx)) => {
+                claimed[gt_idx] = true;
+                result.true_positives.push((det_idx, gt_idx));
+            }
+            None => result.false_positives.push(det_idx),
+        }
+    }
+    result.false_negatives = claimed
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| !c)
+        .map(|(i, _)| i)
+        .collect();
+    result
+}
+
+/// A point on the precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Recall at this operating point.
+    pub recall: f64,
+    /// Precision at this operating point.
+    pub precision: f64,
+}
+
+/// Builds a precision-recall curve by sweeping a score threshold over
+/// pooled detections from many frames, using BEV-IoU matching.
+///
+/// `frames` pairs each frame's detections with its ground truth.
+pub fn precision_recall_curve(
+    frames: &[(Vec<Detection>, Vec<Obb3>)],
+    iou_threshold: f64,
+) -> Vec<PrPoint> {
+    precision_recall_curve_with(frames, |dets, gts| {
+        match_detections(dets, gts, iou_threshold)
+    })
+}
+
+/// Like [`precision_recall_curve`] but with size-relative
+/// center-distance matching ([`match_detections_by_center`]).
+pub fn precision_recall_curve_by_center(
+    frames: &[(Vec<Detection>, Vec<Obb3>)],
+    factor: f64,
+) -> Vec<PrPoint> {
+    precision_recall_curve_with(frames, |dets, gts| {
+        match_detections_by_center(dets, gts, factor)
+    })
+}
+
+fn precision_recall_curve_with<F>(
+    frames: &[(Vec<Detection>, Vec<Obb3>)],
+    matcher: F,
+) -> Vec<PrPoint>
+where
+    F: Fn(&[Detection], &[Obb3]) -> MatchResult,
+{
+    // Pool scores, then for each candidate threshold re-match per frame.
+    let mut thresholds: Vec<f32> = frames
+        .iter()
+        .flat_map(|(d, _)| d.iter().map(|x| x.score))
+        .collect();
+    thresholds.sort_by(f32::total_cmp);
+    thresholds.dedup();
+    let mut curve = Vec::with_capacity(thresholds.len());
+    for &t in &thresholds {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for (dets, gts) in frames {
+            let kept: Vec<Detection> = dets.iter().copied().filter(|d| d.score >= t).collect();
+            let m = matcher(&kept, gts);
+            tp += m.true_positives.len();
+            fp += m.false_positives.len();
+            fn_ += m.false_negatives.len();
+        }
+        let precision = if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        curve.push(PrPoint { recall, precision });
+    }
+    curve
+}
+
+/// KITTI-style 11-point interpolated average precision over a PR curve.
+pub fn average_precision(curve: &[PrPoint]) -> f64 {
+    if curve.is_empty() {
+        return 0.0;
+    }
+    let mut ap = 0.0;
+    for i in 0..=10 {
+        let r = i as f64 / 10.0;
+        let p_max = curve
+            .iter()
+            .filter(|p| p.recall >= r - 1e-12)
+            .map(|p| p.precision)
+            .fold(0.0, f64::max);
+        ap += p_max / 11.0;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooper_geometry::Vec3;
+    use cooper_lidar_sim::ObjectClass;
+
+    fn car_at(x: f64, y: f64) -> Obb3 {
+        Obb3::new(Vec3::new(x, y, 0.0), Vec3::new(4.5, 1.8, 1.5), 0.0)
+    }
+
+    fn det(x: f64, y: f64, score: f32) -> Detection {
+        Detection {
+            class: ObjectClass::Car,
+            obb: car_at(x, y),
+            score,
+        }
+    }
+
+    #[test]
+    fn perfect_match() {
+        let gts = vec![car_at(10.0, 0.0), car_at(20.0, 5.0)];
+        let dets = vec![det(10.0, 0.0, 0.9), det(20.0, 5.0, 0.8)];
+        let m = match_detections(&dets, &gts, 0.5);
+        assert_eq!(m.true_positives.len(), 2);
+        assert!(m.false_positives.is_empty());
+        assert!(m.false_negatives.is_empty());
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn each_ground_truth_claimed_once() {
+        let gts = vec![car_at(10.0, 0.0)];
+        let dets = vec![det(10.0, 0.0, 0.9), det(10.2, 0.0, 0.8)];
+        let m = match_detections(&dets, &gts, 0.5);
+        assert_eq!(m.true_positives.len(), 1);
+        assert_eq!(m.false_positives.len(), 1);
+        // The higher-score detection wins the match.
+        assert_eq!(m.true_positives[0].0, 0);
+    }
+
+    #[test]
+    fn misses_are_false_negatives() {
+        let gts = vec![car_at(10.0, 0.0), car_at(40.0, 0.0)];
+        let dets = vec![det(10.0, 0.0, 0.9)];
+        let m = match_detections(&dets, &gts, 0.5);
+        assert_eq!(m.false_negatives, vec![1]);
+        assert_eq!(m.recall(), 0.5);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let m = match_detections(&[], &[], 0.5);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        let m2 = match_detections(&[], &[car_at(0.0, 0.0)], 0.5);
+        assert_eq!(m2.recall(), 0.0);
+    }
+
+    #[test]
+    fn pr_curve_and_ap_for_perfect_detector() {
+        let frames = vec![(
+            vec![det(10.0, 0.0, 0.9), det(20.0, 0.0, 0.8)],
+            vec![car_at(10.0, 0.0), car_at(20.0, 0.0)],
+        )];
+        let curve = precision_recall_curve(&frames, 0.5);
+        assert!(!curve.is_empty());
+        let ap = average_precision(&curve);
+        assert!((ap - 1.0).abs() < 1e-9, "AP {ap}");
+    }
+
+    #[test]
+    fn ap_penalizes_false_positives() {
+        let frames = vec![(
+            vec![
+                det(10.0, 0.0, 0.9),
+                det(50.0, 20.0, 0.95), // confident false positive
+            ],
+            vec![car_at(10.0, 0.0)],
+        )];
+        let ap = average_precision(&precision_recall_curve(&frames, 0.5));
+        assert!(ap < 0.9, "AP {ap}");
+        assert!(ap > 0.2, "AP {ap}");
+    }
+
+    #[test]
+    fn ap_of_empty_curve_is_zero() {
+        assert_eq!(average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn difficulty_bands() {
+        assert_eq!(
+            RangeDifficulty::of(&car_at(5.0, 0.0)),
+            RangeDifficulty::Easy
+        );
+        assert_eq!(
+            RangeDifficulty::of(&car_at(20.0, 0.0)),
+            RangeDifficulty::Moderate
+        );
+        assert_eq!(
+            RangeDifficulty::of(&car_at(40.0, 0.0)),
+            RangeDifficulty::Hard
+        );
+        for d in RangeDifficulty::ALL {
+            assert!(!format!("{d}").is_empty());
+        }
+    }
+}

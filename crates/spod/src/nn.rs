@@ -1,0 +1,297 @@
+//! Minimal neural-network building blocks: linear layers, activations,
+//! losses and SGD.
+//!
+//! Everything SPOD learns is expressed with these primitives; there is no
+//! external deep-learning dependency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense linear (fully connected) layer `y = W·x + b`.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_spod::nn::Linear;
+///
+/// let layer = Linear::seeded(3, 2, 42);
+/// let y = layer.forward(&[1.0, 0.5, -0.5]);
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major weights: `w[out * in_dim + in]`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights drawn from a seeded
+    /// RNG, so the same seed always yields the same network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn seeded(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / (in_dim + out_dim) as f64).sqrt() as f32;
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Linear {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Creates a zero-initialized layer (for trainable heads that start
+    /// neutral).
+    pub fn zeros(in_dim: usize, out_dim: usize) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dimensions must be positive");
+        Linear {
+            in_dim,
+            out_dim,
+            w: vec![0.0; in_dim * out_dim],
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The row-major weight matrix (`out_dim × in_dim` entries).
+    pub fn weights(&self) -> &[f32] {
+        &self.w
+    }
+
+    /// The bias vector.
+    pub fn biases(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Reconstructs a layer from raw parameters (weight-file loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameter lengths do not match the dimensions.
+    pub fn from_parameters(in_dim: usize, out_dim: usize, w: Vec<f32>, b: Vec<f32>) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dimensions must be positive");
+        assert_eq!(w.len(), in_dim * out_dim, "weight length mismatch");
+        assert_eq!(b.len(), out_dim, "bias length mismatch");
+        Linear {
+            in_dim,
+            out_dim,
+            w,
+            b,
+        }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        let mut y = self.b.clone();
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            *yo += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>();
+        }
+        y
+    }
+
+    /// One SGD step on a single output unit `out` given input `x` and the
+    /// gradient `dl_dy` of the loss w.r.t. that unit's pre-activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out >= out_dim` or `x.len() != in_dim`.
+    pub fn sgd_step(&mut self, out: usize, x: &[f32], dl_dy: f32, learning_rate: f32) {
+        assert!(out < self.out_dim, "output index out of range");
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        let row = &mut self.w[out * self.in_dim..(out + 1) * self.in_dim];
+        for (w, xi) in row.iter_mut().zip(x) {
+            *w -= learning_rate * dl_dy * xi;
+        }
+        self.b[out] -= learning_rate * dl_dy;
+    }
+
+    /// L2 norm of all parameters — a cheap training-health telemetry.
+    pub fn parameter_norm(&self) -> f32 {
+        self.w
+            .iter()
+            .chain(self.b.iter())
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// ReLU applied to a slice, in place.
+pub fn relu_in_place(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy loss for a sigmoid output given the logit.
+///
+/// `target` must be 0.0 or 1.0.
+pub fn bce_with_logit(logit: f32, target: f32) -> f32 {
+    // log(1 + exp(-|x|)) + max(x, 0) - x·t, the stable form.
+    let max_part = logit.max(0.0);
+    max_part - logit * target + (1.0 + (-logit.abs()).exp()).ln()
+}
+
+/// Gradient of [`bce_with_logit`] w.r.t. the logit: `σ(x) − t`.
+pub fn bce_with_logit_grad(logit: f32, target: f32) -> f32 {
+    sigmoid(logit) - target
+}
+
+/// Smooth-L1 (Huber, δ = 1) loss used for box regression.
+pub fn smooth_l1(error: f32) -> f32 {
+    let a = error.abs();
+    if a < 1.0 {
+        0.5 * error * error
+    } else {
+        a - 0.5
+    }
+}
+
+/// Gradient of [`smooth_l1`] w.r.t. the error.
+pub fn smooth_l1_grad(error: f32) -> f32 {
+    error.clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_layers_are_reproducible() {
+        let a = Linear::seeded(4, 3, 7);
+        let b = Linear::seeded(4, 3, 7);
+        assert_eq!(a, b);
+        let c = Linear::seeded(4, 3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn forward_dimensions() {
+        let l = Linear::seeded(5, 2, 0);
+        assert_eq!(l.in_dim(), 5);
+        assert_eq!(l.out_dim(), 2);
+        assert_eq!(l.forward(&[0.0; 5]).len(), 2);
+        // Zero input yields the bias (zero at init).
+        assert_eq!(l.forward(&[0.0; 5]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zeros_layer_outputs_zero() {
+        let l = Linear::zeros(3, 1);
+        assert_eq!(l.forward(&[1.0, 2.0, 3.0]), vec![0.0]);
+        assert_eq!(l.parameter_norm(), 0.0);
+    }
+
+    #[test]
+    fn sgd_learns_a_linear_function() {
+        // Fit y = 2·x0 − x1 + 0.5 with plain SGD.
+        let mut layer = Linear::zeros(2, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..4000 {
+            let x = [rng.gen_range(-1.0..1.0f32), rng.gen_range(-1.0..1.0f32)];
+            let target = 2.0 * x[0] - x[1] + 0.5;
+            let y = layer.forward(&x)[0];
+            layer.sgd_step(0, &x, y - target, 0.05);
+        }
+        let test = layer.forward(&[0.3, -0.2])[0];
+        let expect = 2.0 * 0.3 + 0.2 + 0.5;
+        assert!((test - expect).abs() < 0.02, "{test} vs {expect}");
+    }
+
+    #[test]
+    fn logistic_regression_separates() {
+        // Learn x > 0 with BCE.
+        let mut layer = Linear::zeros(1, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..4000 {
+            let x = [rng.gen_range(-1.0..1.0f32)];
+            let target = if x[0] > 0.0 { 1.0 } else { 0.0 };
+            let logit = layer.forward(&x)[0];
+            layer.sgd_step(0, &x, bce_with_logit_grad(logit, target), 0.1);
+        }
+        assert!(sigmoid(layer.forward(&[0.8])[0]) > 0.9);
+        assert!(sigmoid(layer.forward(&[-0.8])[0]) < 0.1);
+    }
+
+    #[test]
+    fn sigmoid_limits() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(20.0) > 0.999);
+        assert!(sigmoid(-20.0) < 0.001);
+        // Extreme values stay finite.
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn bce_matches_definition() {
+        for (logit, target) in [(0.7f32, 1.0f32), (-1.3, 0.0), (2.0, 0.0), (-2.0, 1.0)] {
+            let p = sigmoid(logit);
+            let direct = -(target * p.ln() + (1.0 - target) * (1.0 - p).ln());
+            assert!((bce_with_logit(logit, target) - direct).abs() < 1e-5);
+        }
+        // Gradient is σ − t.
+        assert!((bce_with_logit_grad(0.0, 1.0) + 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn smooth_l1_shape() {
+        assert_eq!(smooth_l1(0.0), 0.0);
+        assert!((smooth_l1(0.5) - 0.125).abs() < 1e-7);
+        assert!((smooth_l1(2.0) - 1.5).abs() < 1e-7);
+        assert_eq!(smooth_l1_grad(0.5), 0.5);
+        assert_eq!(smooth_l1_grad(3.0), 1.0);
+        assert_eq!(smooth_l1_grad(-3.0), -1.0);
+    }
+
+    #[test]
+    fn relu_in_place_works() {
+        let mut x = [1.0, -1.0, 0.0, -0.5];
+        relu_in_place(&mut x);
+        assert_eq!(x, [1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn forward_checks_dims() {
+        let l = Linear::seeded(3, 1, 0);
+        let _ = l.forward(&[1.0]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Submanifold sparse 3-D convolution — SPOD's middle layers.
+//!
+//! "Then a sparse convolutional middle layer is applied. Sparse CNN
+//! offers computational benefits in LiDAR-based detection because the
+//! grouping step for point clouds will generate a large number of sparse
+//! voxels. In this approach, output points are not computed if there is
+//! no related input points" (§III-C).
+//!
+//! The implementation follows the rulebook formulation used by
+//! SECOND/SparseConvNet: for every *active* output site (submanifold
+//! convolution keeps the active set identical to the input's) gather the
+//! active neighbours within the kernel window and accumulate
+//! `W[offset] · features`. Empty neighbourhood positions contribute
+//! nothing, so cost scales with the number of active sites — not the
+//! grid volume.
+
+use cooper_pointcloud::VoxelCoord;
+use serde::{Deserialize, Serialize};
+
+use crate::nn::relu_in_place;
+use crate::tensor::SparseTensor3;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 3×3×3 submanifold sparse convolution layer with ReLU.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_pointcloud::VoxelCoord;
+/// use cooper_spod::sparse_conv::SparseConv3;
+/// use cooper_spod::SparseTensor3;
+///
+/// let layer = SparseConv3::seeded(2, 4, 11);
+/// let mut input = SparseTensor3::new(2);
+/// input.set(VoxelCoord::new(0, 0, 0), vec![1.0, 0.5]);
+/// let out = layer.forward(&input);
+/// assert_eq!(out.active_sites(), 1); // submanifold: same active set
+/// assert_eq!(out.channels(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseConv3 {
+    in_channels: usize,
+    out_channels: usize,
+    /// Kernel weights indexed `[offset][out][in]` where `offset` encodes
+    /// the 27 positions of the 3×3×3 window.
+    kernel: Vec<Vec<f32>>,
+    bias: Vec<f32>,
+}
+
+/// The 27 kernel offsets in a fixed order.
+fn kernel_offsets() -> impl Iterator<Item = (i32, i32, i32)> {
+    (-1..=1).flat_map(|dz| (-1..=1).flat_map(move |dy| (-1..=1).map(move |dx| (dx, dy, dz))))
+}
+
+impl SparseConv3 {
+    /// Creates a layer with deterministic seeded weights scaled for a
+    /// 27-tap kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either channel count is zero.
+    pub fn seeded(in_channels: usize, out_channels: usize, seed: u64) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channels must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = (in_channels * 27) as f64;
+        let bound = (3.0 / fan_in).sqrt() as f32;
+        let kernel = (0..27)
+            .map(|_| {
+                (0..in_channels * out_channels)
+                    .map(|_| rng.gen_range(-bound..bound))
+                    .collect()
+            })
+            .collect();
+        SparseConv3 {
+            in_channels,
+            out_channels,
+            kernel,
+            bias: vec![0.0; out_channels],
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The 27 kernel taps, each `out_channels × in_channels` row-major.
+    pub fn kernel_taps(&self) -> &[Vec<f32>] {
+        &self.kernel
+    }
+
+    /// The bias vector.
+    pub fn bias_values(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Reconstructs a layer from raw parameters (weight-file loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameter shapes do not match the dimensions.
+    pub fn from_parameters(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: Vec<Vec<f32>>,
+        bias: Vec<f32>,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channels must be positive"
+        );
+        assert_eq!(kernel.len(), 27, "kernel must have 27 taps");
+        assert!(
+            kernel.iter().all(|t| t.len() == in_channels * out_channels),
+            "kernel tap size mismatch"
+        );
+        assert_eq!(bias.len(), out_channels, "bias length mismatch");
+        SparseConv3 {
+            in_channels,
+            out_channels,
+            kernel,
+            bias,
+        }
+    }
+
+    /// Applies the convolution followed by ReLU.
+    ///
+    /// Submanifold semantics: the output active set equals the input
+    /// active set, which prevents the "dilation" of the sparse pattern
+    /// that ordinary convolutions cause (the key trick from SECOND's
+    /// middle layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input.channels() != self.in_channels()`.
+    pub fn forward(&self, input: &SparseTensor3) -> SparseTensor3 {
+        assert_eq!(input.channels(), self.in_channels, "channel mismatch");
+        let mut out = SparseTensor3::new(self.out_channels);
+        for (coord, _) in input.iter() {
+            let mut acc = self.bias.clone();
+            for (k, (dx, dy, dz)) in kernel_offsets().enumerate() {
+                let neighbor = VoxelCoord::new(coord.x + dx, coord.y + dy, coord.z + dz);
+                let Some(features) = input.get(neighbor) else {
+                    continue;
+                };
+                let w = &self.kernel[k];
+                for (o, a) in acc.iter_mut().enumerate() {
+                    let row = &w[o * self.in_channels..(o + 1) * self.in_channels];
+                    *a += row
+                        .iter()
+                        .zip(features)
+                        .map(|(wi, xi)| wi * xi)
+                        .sum::<f32>();
+                }
+            }
+            relu_in_place(&mut acc);
+            out.set(*coord, acc);
+        }
+        out
+    }
+}
+
+/// A dense reference implementation used to validate the sparse engine:
+/// materializes the full grid over the active bounding box and convolves
+/// naively. Only for tests/benches — cost scales with volume.
+pub fn dense_reference_conv(layer: &SparseConv3, input: &SparseTensor3) -> SparseTensor3 {
+    let mut out = SparseTensor3::new(layer.out_channels());
+    for (coord, _) in input.iter() {
+        let mut acc = layer.bias.clone();
+        for (k, (dx, dy, dz)) in kernel_offsets().enumerate() {
+            let neighbor = VoxelCoord::new(coord.x + dx, coord.y + dy, coord.z + dz);
+            let zeros = vec![0.0; layer.in_channels()];
+            let features = input.get(neighbor).unwrap_or(&zeros);
+            let w = &layer.kernel[k];
+            for (o, a) in acc.iter_mut().enumerate() {
+                let row = &w[o * layer.in_channels..(o + 1) * layer.in_channels];
+                *a += row
+                    .iter()
+                    .zip(features)
+                    .map(|(wi, xi)| wi * xi)
+                    .sum::<f32>();
+            }
+        }
+        relu_in_place(&mut acc);
+        out.set(*coord, acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_with(coords: &[(i32, i32, i32)], channels: usize) -> SparseTensor3 {
+        let mut t = SparseTensor3::new(channels);
+        for (i, &(x, y, z)) in coords.iter().enumerate() {
+            let f: Vec<f32> = (0..channels).map(|c| (i + c + 1) as f32 * 0.1).collect();
+            t.set(VoxelCoord::new(x, y, z), f);
+        }
+        t
+    }
+
+    #[test]
+    fn submanifold_preserves_active_set() {
+        let input = tensor_with(&[(0, 0, 0), (5, 5, 5), (1, 0, 0)], 3);
+        let layer = SparseConv3::seeded(3, 6, 1);
+        let out = layer.forward(&input);
+        assert_eq!(out.active_sites(), input.active_sites());
+        for (coord, _) in input.iter() {
+            assert!(out.get(*coord).is_some(), "lost site {coord}");
+        }
+    }
+
+    #[test]
+    fn isolated_site_sees_only_center_tap() {
+        let input = tensor_with(&[(10, 10, 10)], 2);
+        let layer = SparseConv3::seeded(2, 2, 5);
+        let out = layer.forward(&input);
+        // Equivalent dense computation agrees.
+        let dense = dense_reference_conv(&layer, &input);
+        assert_eq!(out, dense);
+    }
+
+    #[test]
+    fn matches_dense_reference_on_cluster() {
+        let coords: Vec<(i32, i32, i32)> = (0..3)
+            .flat_map(|x| (0..3).flat_map(move |y| (0..2).map(move |z| (x, y, z))))
+            .collect();
+        let input = tensor_with(&coords, 4);
+        let layer = SparseConv3::seeded(4, 5, 9);
+        let sparse_out = layer.forward(&input);
+        let dense_out = dense_reference_conv(&layer, &input);
+        assert_eq!(sparse_out.active_sites(), dense_out.active_sites());
+        for (coord, f) in sparse_out.iter() {
+            let g = dense_out.get(*coord).unwrap();
+            for (a, b) in f.iter().zip(g) {
+                assert!((a - b).abs() < 1e-5, "mismatch at {coord}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_influence_output() {
+        let lone = tensor_with(&[(0, 0, 0)], 2);
+        let paired = tensor_with(&[(0, 0, 0), (1, 0, 0)], 2);
+        let layer = SparseConv3::seeded(2, 3, 2);
+        let a = layer.forward(&lone);
+        let b = layer.forward(&paired);
+        let fa = a.get(VoxelCoord::new(0, 0, 0)).unwrap();
+        let fb = b.get(VoxelCoord::new(0, 0, 0)).unwrap();
+        assert_ne!(fa, fb, "neighbour had no effect");
+    }
+
+    #[test]
+    fn outputs_are_non_negative_after_relu() {
+        let input = tensor_with(&[(0, 0, 0), (0, 1, 0), (1, 1, 1)], 3);
+        let layer = SparseConv3::seeded(3, 8, 4);
+        let out = layer.forward(&input);
+        for (_, f) in out.iter() {
+            assert!(f.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let input = tensor_with(&[(0, 0, 0), (2, 1, 0)], 2);
+        let a = SparseConv3::seeded(2, 4, 77).forward(&input);
+        let b = SparseConv3::seeded(2, 4, 77).forward(&input);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let input = tensor_with(&[(0, 0, 0)], 2);
+        let layer = SparseConv3::seeded(3, 4, 0);
+        let _ = layer.forward(&input);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let layer = SparseConv3::seeded(2, 2, 0);
+        let out = layer.forward(&SparseTensor3::new(2));
+        assert!(out.is_empty());
+    }
+}

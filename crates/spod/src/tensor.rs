@@ -1,0 +1,184 @@
+//! Sparse 3-D feature tensors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cooper_pointcloud::VoxelCoord;
+
+/// A sparse rank-3 feature tensor: a feature vector per active voxel
+/// coordinate.
+///
+/// This is the representation flowing through SPOD's middle layers. Only
+/// active (occupied) sites are stored; LiDAR grids are typically < 1 %
+/// occupied, which is exactly the sparsity the sparse convolution engine
+/// exploits.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_pointcloud::VoxelCoord;
+/// use cooper_spod::SparseTensor3;
+///
+/// let mut t = SparseTensor3::new(4);
+/// t.set(VoxelCoord::new(1, 2, 3), vec![1.0, 0.0, 0.0, 0.5]);
+/// assert_eq!(t.active_sites(), 1);
+/// assert_eq!(t.get(VoxelCoord::new(1, 2, 3)).unwrap()[3], 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseTensor3 {
+    channels: usize,
+    sites: HashMap<VoxelCoord, Vec<f32>>,
+}
+
+impl SparseTensor3 {
+    /// Creates an empty tensor with `channels` features per site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channel count must be positive");
+        SparseTensor3 {
+            channels,
+            sites: HashMap::new(),
+        }
+    }
+
+    /// Features per site.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of active sites.
+    pub fn active_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when no site is active.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Sets the feature vector at a site.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features.len() != self.channels()`.
+    pub fn set(&mut self, coord: VoxelCoord, features: Vec<f32>) {
+        assert_eq!(
+            features.len(),
+            self.channels,
+            "feature length mismatch at {coord}"
+        );
+        self.sites.insert(coord, features);
+    }
+
+    /// The feature vector at a site, or `None` when inactive.
+    pub fn get(&self, coord: VoxelCoord) -> Option<&[f32]> {
+        self.sites.get(&coord).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(coordinate, features)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VoxelCoord, &Vec<f32>)> {
+        self.sites.iter()
+    }
+
+    /// The active coordinates, in unspecified order.
+    pub fn coords(&self) -> impl Iterator<Item = &VoxelCoord> {
+        self.sites.keys()
+    }
+
+    /// Applies ReLU in place.
+    pub fn relu(&mut self) {
+        for f in self.sites.values_mut() {
+            for v in f.iter_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+
+    /// The maximum absolute feature value (0 when empty) — useful for
+    /// numeric sanity checks.
+    pub fn max_abs(&self) -> f32 {
+        self.sites
+            .values()
+            .flat_map(|f| f.iter())
+            .fold(0.0f32, |acc, v| acc.max(v.abs()))
+    }
+}
+
+impl fmt::Display for SparseTensor3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sparse tensor ({} sites × {} channels)",
+            self.sites.len(),
+            self.channels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_iter() {
+        let mut t = SparseTensor3::new(2);
+        assert!(t.is_empty());
+        t.set(VoxelCoord::new(0, 0, 0), vec![1.0, -2.0]);
+        t.set(VoxelCoord::new(5, 5, 5), vec![3.0, 4.0]);
+        assert_eq!(t.active_sites(), 2);
+        assert_eq!(t.get(VoxelCoord::new(0, 0, 0)), Some(&[1.0, -2.0][..]));
+        assert_eq!(t.get(VoxelCoord::new(9, 9, 9)), None);
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!(t.coords().count(), 2);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut t = SparseTensor3::new(1);
+        t.set(VoxelCoord::new(0, 0, 0), vec![1.0]);
+        t.set(VoxelCoord::new(0, 0, 0), vec![2.0]);
+        assert_eq!(t.active_sites(), 1);
+        assert_eq!(t.get(VoxelCoord::new(0, 0, 0)), Some(&[2.0][..]));
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut t = SparseTensor3::new(3);
+        t.set(VoxelCoord::new(1, 1, 1), vec![-1.0, 0.5, -0.25]);
+        t.relu();
+        assert_eq!(t.get(VoxelCoord::new(1, 1, 1)), Some(&[0.0, 0.5, 0.0][..]));
+    }
+
+    #[test]
+    fn max_abs_over_sites() {
+        let mut t = SparseTensor3::new(2);
+        assert_eq!(t.max_abs(), 0.0);
+        t.set(VoxelCoord::new(0, 0, 0), vec![-5.0, 1.0]);
+        t.set(VoxelCoord::new(1, 0, 0), vec![2.0, 3.0]);
+        assert_eq!(t.max_abs(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length mismatch")]
+    fn wrong_feature_length_panics() {
+        let mut t = SparseTensor3::new(3);
+        t.set(VoxelCoord::new(0, 0, 0), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_channels_panics() {
+        let _ = SparseTensor3::new(0);
+    }
+
+    #[test]
+    fn display_counts() {
+        let t = SparseTensor3::new(4);
+        assert!(format!("{t}").contains("0 sites"));
+    }
+}

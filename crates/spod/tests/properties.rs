@@ -1,0 +1,171 @@
+//! Property-based tests for the SPOD detector components.
+
+use cooper_geometry::{Obb3, Vec3};
+use cooper_lidar_sim::ObjectClass;
+use cooper_pointcloud::VoxelCoord;
+use cooper_spod::anchors::{decode_box, encode_box};
+use cooper_spod::eval::{average_precision, match_detections, precision_recall_curve};
+use cooper_spod::nn::{bce_with_logit, sigmoid, smooth_l1};
+use cooper_spod::sparse_conv::{dense_reference_conv, SparseConv3};
+use cooper_spod::{non_max_suppression, Detection, SparseTensor3};
+use proptest::prelude::*;
+
+fn obb() -> impl Strategy<Value = Obb3> {
+    (
+        -30.0..30.0f64,
+        -30.0..30.0f64,
+        -2.0..0.0f64,
+        1.0..6.0f64,
+        0.5..3.0f64,
+        0.5..3.0f64,
+        -3.0..3.0f64,
+    )
+        .prop_map(|(x, y, z, l, w, h, yaw)| Obb3::new(Vec3::new(x, y, z), Vec3::new(l, w, h), yaw))
+}
+
+fn detection() -> impl Strategy<Value = Detection> {
+    (obb(), 0.0..1.0f32).prop_map(|(obb, score)| Detection {
+        class: ObjectClass::Car,
+        obb,
+        score,
+    })
+}
+
+fn sparse_tensor(channels: usize) -> impl Strategy<Value = SparseTensor3> {
+    prop::collection::vec(
+        (
+            (-5..5i32, -5..5i32, -3..3i32),
+            prop::collection::vec(-2.0..2.0f32, channels),
+        ),
+        0..20,
+    )
+    .prop_map(move |sites| {
+        let mut t = SparseTensor3::new(channels);
+        for ((x, y, z), f) in sites {
+            t.set(VoxelCoord::new(x, y, z), f);
+        }
+        t
+    })
+}
+
+proptest! {
+    #[test]
+    fn box_encode_decode_round_trip(anchor in obb(), gt in obb()) {
+        let residual = encode_box(&anchor, &gt);
+        let back = decode_box(&anchor, &residual);
+        prop_assert!((back.center - gt.center).norm() < 1e-3,
+            "center {} vs {}", back.center, gt.center);
+        prop_assert!((back.size - gt.size).norm() < 1e-3);
+        // Yaw matches modulo π (heading ambiguity).
+        let dyaw = (back.yaw - gt.yaw).rem_euclid(std::f64::consts::PI);
+        prop_assert!(dyaw < 1e-6 || (std::f64::consts::PI - dyaw) < 1e-6, "dyaw {dyaw}");
+    }
+
+    #[test]
+    fn nms_output_is_conflict_free_subset(dets in prop::collection::vec(detection(), 0..30),
+                                          thr in 0.05..0.9f64) {
+        let input_len = dets.len();
+        let kept = non_max_suppression(dets, thr);
+        prop_assert!(kept.len() <= input_len);
+        for i in 0..kept.len() {
+            for j in (i + 1)..kept.len() {
+                prop_assert!(kept[i].obb.iou_bev(&kept[j].obb) <= thr + 1e-9);
+            }
+        }
+        // Sorted by score descending.
+        for w in kept.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_and_bounded(a in -50.0..50.0f32, b in -50.0..50.0f32) {
+        let (sa, sb) = (sigmoid(a), sigmoid(b));
+        prop_assert!((0.0..=1.0).contains(&sa));
+        if a < b {
+            prop_assert!(sa <= sb);
+        }
+    }
+
+    #[test]
+    fn bce_is_non_negative(logit in -30.0..30.0f32, target in prop::bool::ANY) {
+        let t = if target { 1.0 } else { 0.0 };
+        prop_assert!(bce_with_logit(logit, t) >= -1e-6);
+    }
+
+    #[test]
+    fn smooth_l1_is_even_and_non_negative(e in -10.0..10.0f32) {
+        prop_assert!(smooth_l1(e) >= 0.0);
+        prop_assert!((smooth_l1(e) - smooth_l1(-e)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_conv_matches_dense_reference(t in sparse_tensor(3)) {
+        let layer = SparseConv3::seeded(3, 4, 123);
+        let sparse = layer.forward(&t);
+        let dense = dense_reference_conv(&layer, &t);
+        prop_assert_eq!(sparse.active_sites(), dense.active_sites());
+        for (coord, f) in sparse.iter() {
+            let g = dense.get(*coord).unwrap();
+            for (a, b) in f.iter().zip(g) {
+                prop_assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn matching_partitions_detections_and_ground_truth(
+        dets in prop::collection::vec(detection(), 0..15),
+        gts in prop::collection::vec(obb(), 0..10),
+        iou in 0.1..0.9f64,
+    ) {
+        let m = match_detections(&dets, &gts, iou);
+        prop_assert_eq!(m.true_positives.len() + m.false_positives.len(), dets.len());
+        prop_assert_eq!(m.true_positives.len() + m.false_negatives.len(), gts.len());
+        prop_assert!((0.0..=1.0).contains(&m.precision()));
+        prop_assert!((0.0..=1.0).contains(&m.recall()));
+        // No ground truth claimed twice.
+        let mut seen = std::collections::HashSet::new();
+        for (_, gt_idx) in &m.true_positives {
+            prop_assert!(seen.insert(*gt_idx));
+        }
+    }
+
+    #[test]
+    fn average_precision_bounded(
+        dets in prop::collection::vec(detection(), 0..15),
+        gts in prop::collection::vec(obb(), 1..8),
+    ) {
+        let frames = vec![(dets, gts)];
+        let ap = average_precision(&precision_recall_curve(&frames, 0.3));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ap), "AP {ap}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn persisted_weights_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        // Arbitrary bytes must produce an error, never a panic or an
+        // unbounded allocation.
+        let _ = cooper_spod::persist::detector_from_bytes(&bytes);
+    }
+
+    #[test]
+    fn weight_decoder_rejects_truncations_of_valid_files(cut_fraction in 0.0..1.0f64) {
+        use std::sync::OnceLock;
+        static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+        let bytes = BYTES.get_or_init(|| {
+            let detector = cooper_spod::train::train(
+                cooper_spod::SpodConfig::default(),
+                &cooper_spod::train::TrainingConfig {
+                    scenes: 2,
+                    epochs: 1,
+                    ..cooper_spod::train::TrainingConfig::fast()
+                },
+            );
+            detector.to_bytes().to_vec()
+        });
+        let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assert!(cooper_spod::persist::detector_from_bytes(&bytes[..cut]).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! The DSRC (802.11p) channel model.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The 802.11p data rates (10 MHz channel), as standardized by IEEE
+/// 1609 / the DSRC profile the paper cites \[12\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataRate {
+    /// 3 Mbit/s (BPSK 1/2) — the most robust mandatory rate.
+    Mbps3,
+    /// 6 Mbit/s (QPSK 1/2) — the common default control rate.
+    Mbps6,
+    /// 12 Mbit/s (16-QAM 1/2).
+    Mbps12,
+    /// 27 Mbit/s (64-QAM 3/4) — the highest 10 MHz rate.
+    Mbps27,
+}
+
+impl DataRate {
+    /// All rates, ascending.
+    pub const ALL: [DataRate; 4] = [
+        DataRate::Mbps3,
+        DataRate::Mbps6,
+        DataRate::Mbps12,
+        DataRate::Mbps27,
+    ];
+
+    /// The rate in bits per second.
+    pub fn bits_per_second(self) -> f64 {
+        match self {
+            DataRate::Mbps3 => 3.0e6,
+            DataRate::Mbps6 => 6.0e6,
+            DataRate::Mbps12 => 12.0e6,
+            DataRate::Mbps27 => 27.0e6,
+        }
+    }
+}
+
+impl std::fmt::Display for DataRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} Mbit/s", self.bits_per_second() / 1e6)
+    }
+}
+
+/// Channel model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DsrcConfig {
+    /// PHY data rate.
+    pub data_rate: DataRate,
+    /// Maximum payload bytes per frame (802.11 MSDU bound).
+    pub mtu: usize,
+    /// MAC + PHY header overhead per frame, bytes.
+    pub per_frame_overhead: usize,
+    /// Fixed per-frame channel-access time (preamble, SIFS, contention),
+    /// seconds.
+    pub per_frame_access_time: f64,
+    /// Independent per-frame loss probability.
+    pub loss_probability: f64,
+}
+
+impl Default for DsrcConfig {
+    fn default() -> Self {
+        DsrcConfig {
+            data_rate: DataRate::Mbps6,
+            mtu: 1460,
+            per_frame_overhead: 64,
+            per_frame_access_time: 110e-6,
+            loss_probability: 0.0,
+        }
+    }
+}
+
+impl DsrcConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mtu == 0 {
+            return Err("MTU must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.loss_probability) {
+            return Err("loss probability must be in [0, 1)".into());
+        }
+        if self.per_frame_access_time < 0.0 {
+            return Err("access time must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of transmitting one application payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransmissionReport {
+    /// Number of link-layer frames used.
+    pub frames: usize,
+    /// Frames actually delivered.
+    pub frames_delivered: usize,
+    /// Total bytes put on the air (payload + per-frame overhead).
+    pub bytes_on_air: usize,
+    /// Total air time consumed, seconds.
+    pub airtime_s: f64,
+    /// `true` when every frame was delivered.
+    pub complete: bool,
+}
+
+/// A DSRC channel.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_v2x::{DsrcChannel, DsrcConfig};
+///
+/// let channel = DsrcChannel::new(DsrcConfig::default());
+/// // One ~210 KB LiDAR frame (the paper's compressed scan size).
+/// let report = channel.transmit_sized(210_000, &mut rand::thread_rng());
+/// assert!(report.complete);
+/// assert!(report.frames > 100); // fragmented over the MTU
+/// ```
+#[derive(Debug, Clone)]
+pub struct DsrcChannel {
+    config: DsrcConfig,
+}
+
+impl DsrcChannel {
+    /// Creates a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`DsrcConfig::validate`].
+    pub fn new(config: DsrcConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid DSRC config: {msg}");
+        }
+        DsrcChannel { config }
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &DsrcConfig {
+        &self.config
+    }
+
+    /// Number of link-layer frames needed for `payload_bytes`.
+    pub fn frames_for(&self, payload_bytes: usize) -> usize {
+        payload_bytes.div_ceil(self.config.mtu).max(1)
+    }
+
+    /// Air time (seconds) to move `payload_bytes`, ignoring loss.
+    pub fn airtime_for(&self, payload_bytes: usize) -> f64 {
+        let frames = self.frames_for(payload_bytes);
+        let bytes_on_air = payload_bytes + frames * self.config.per_frame_overhead;
+        bytes_on_air as f64 * 8.0 / self.config.data_rate.bits_per_second()
+            + frames as f64 * self.config.per_frame_access_time
+    }
+
+    /// Effective goodput (payload bits per second) for payloads of the
+    /// given size — what the feasibility comparison uses.
+    pub fn goodput_for(&self, payload_bytes: usize) -> f64 {
+        payload_bytes as f64 * 8.0 / self.airtime_for(payload_bytes)
+    }
+
+    /// Transmits a payload of the given size, sampling per-frame loss.
+    pub fn transmit_sized<R: Rng + ?Sized>(
+        &self,
+        payload_bytes: usize,
+        rng: &mut R,
+    ) -> TransmissionReport {
+        let frames = self.frames_for(payload_bytes);
+        let mut delivered = 0usize;
+        for _ in 0..frames {
+            if self.config.loss_probability == 0.0
+                || rng.gen::<f64>() >= self.config.loss_probability
+            {
+                delivered += 1;
+            }
+        }
+        TransmissionReport {
+            frames,
+            frames_delivered: delivered,
+            bytes_on_air: payload_bytes + frames * self.config.per_frame_overhead,
+            airtime_s: self.airtime_for(payload_bytes),
+            complete: delivered == frames,
+        }
+    }
+
+    /// Fraction of channel capacity consumed by an application sending
+    /// `bytes_per_second` continuously. Values above 1.0 mean the
+    /// channel cannot carry the load.
+    pub fn utilization(&self, bytes_per_second: f64) -> f64 {
+        // Approximate: payload of one second, fragmented.
+        self.airtime_for(bytes_per_second.ceil() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rates_ascend() {
+        let mut prev = 0.0;
+        for r in DataRate::ALL {
+            assert!(r.bits_per_second() > prev);
+            prev = r.bits_per_second();
+            assert!(!format!("{r}").is_empty());
+        }
+    }
+
+    #[test]
+    fn fragmentation_counts() {
+        let ch = DsrcChannel::new(DsrcConfig::default());
+        assert_eq!(ch.frames_for(0), 1);
+        assert_eq!(ch.frames_for(1460), 1);
+        assert_eq!(ch.frames_for(1461), 2);
+        assert_eq!(ch.frames_for(14600), 10);
+    }
+
+    #[test]
+    fn airtime_scales_with_payload_and_rate() {
+        let slow = DsrcChannel::new(DsrcConfig {
+            data_rate: DataRate::Mbps3,
+            ..DsrcConfig::default()
+        });
+        let fast = DsrcChannel::new(DsrcConfig {
+            data_rate: DataRate::Mbps27,
+            ..DsrcConfig::default()
+        });
+        let payload = 225_000; // ~1.8 Mbit
+        assert!(slow.airtime_for(payload) > fast.airtime_for(payload));
+        // 1.8 Mbit over 3 Mbit/s is at least 0.6 s of raw air time.
+        assert!(slow.airtime_for(payload) > 0.6);
+        // And over 27 Mbit/s well under 0.2 s.
+        assert!(fast.airtime_for(payload) < 0.2);
+    }
+
+    #[test]
+    fn paper_full_frame_fits_at_one_hertz() {
+        // The paper's costliest case: ~1.8 Mbit/frame/car at 1 Hz, two
+        // cars. Even at the 6 Mbit/s default both directions fit with
+        // headroom.
+        let ch = DsrcChannel::new(DsrcConfig::default());
+        let per_car = ch.airtime_for(225_000);
+        assert!(2.0 * per_car < 1.0, "two cars need {} s/s", 2.0 * per_car);
+    }
+
+    #[test]
+    fn goodput_below_phy_rate() {
+        let ch = DsrcChannel::new(DsrcConfig::default());
+        let goodput = ch.goodput_for(100_000);
+        assert!(goodput < ch.config().data_rate.bits_per_second());
+        assert!(goodput > 0.5 * ch.config().data_rate.bits_per_second());
+    }
+
+    #[test]
+    fn lossless_channel_is_complete() {
+        let ch = DsrcChannel::new(DsrcConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = ch.transmit_sized(50_000, &mut rng);
+        assert!(r.complete);
+        assert_eq!(r.frames, r.frames_delivered);
+        assert!(r.bytes_on_air > 50_000);
+    }
+
+    #[test]
+    fn lossy_channel_drops_frames() {
+        let ch = DsrcChannel::new(DsrcConfig {
+            loss_probability: 0.5,
+            ..DsrcConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = ch.transmit_sized(500_000, &mut rng);
+        assert!(!r.complete);
+        let ratio = r.frames_delivered as f64 / r.frames as f64;
+        assert!((0.4..0.6).contains(&ratio), "delivery ratio {ratio}");
+    }
+
+    #[test]
+    fn utilization_over_capacity() {
+        let ch = DsrcChannel::new(DsrcConfig {
+            data_rate: DataRate::Mbps3,
+            ..DsrcConfig::default()
+        });
+        // 3 Mbit/s of payload on a 3 Mbit/s channel: overhead pushes it
+        // past capacity.
+        assert!(ch.utilization(375_000.0) > 1.0);
+        assert!(ch.utilization(10_000.0) < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DSRC config")]
+    fn invalid_config_panics() {
+        let _ = DsrcChannel::new(DsrcConfig {
+            mtu: 0,
+            ..DsrcConfig::default()
+        });
+    }
+
+    #[test]
+    fn validate_messages() {
+        let c = DsrcConfig {
+            loss_probability: 1.0,
+            ..DsrcConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("loss"));
+        let c2 = DsrcConfig {
+            per_frame_access_time: -1.0,
+            ..DsrcConfig::default()
+        };
+        assert!(c2.validate().unwrap_err().contains("access"));
+    }
+}

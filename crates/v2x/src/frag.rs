@@ -1,0 +1,226 @@
+//! MTU fragmentation and reassembly of exchange packets.
+
+use bytes::Bytes;
+
+/// One link-layer fragment of a serialized exchange packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Message identifier shared by all fragments of one packet.
+    pub message_id: u32,
+    /// Fragment position within the message.
+    pub index: u32,
+    /// Total fragments in the message.
+    pub total: u32,
+    /// The payload slice.
+    pub payload: Bytes,
+}
+
+/// Errors recovering a message from fragments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReassemblyError {
+    /// No fragments were supplied.
+    Empty,
+    /// Fragments declare different message ids or totals.
+    MixedMessages,
+    /// One or more fragment indices are absent.
+    MissingFragments {
+        /// Indices that never arrived.
+        missing: Vec<u32>,
+    },
+    /// The same index appeared twice with different payloads.
+    ConflictingDuplicate {
+        /// The conflicting index.
+        index: u32,
+    },
+}
+
+impl std::fmt::Display for ReassemblyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReassemblyError::Empty => write!(f, "no fragments supplied"),
+            ReassemblyError::MixedMessages => write!(f, "fragments belong to different messages"),
+            ReassemblyError::MissingFragments { missing } => {
+                write!(f, "missing fragments: {missing:?}")
+            }
+            ReassemblyError::ConflictingDuplicate { index } => {
+                write!(f, "conflicting duplicate fragment {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReassemblyError {}
+
+/// Splits `data` into MTU-sized fragments.
+///
+/// # Panics
+///
+/// Panics when `mtu` is zero.
+pub fn fragment(message_id: u32, data: &[u8], mtu: usize) -> Vec<Fragment> {
+    assert!(mtu > 0, "MTU must be positive");
+    if data.is_empty() {
+        return vec![Fragment {
+            message_id,
+            index: 0,
+            total: 1,
+            payload: Bytes::new(),
+        }];
+    }
+    let total = data.len().div_ceil(mtu) as u32;
+    data.chunks(mtu)
+        .enumerate()
+        .map(|(i, chunk)| Fragment {
+            message_id,
+            index: i as u32,
+            total,
+            payload: Bytes::copy_from_slice(chunk),
+        })
+        .collect()
+}
+
+/// Reassembles fragments (any order, duplicates tolerated) into the
+/// original byte stream.
+///
+/// # Errors
+///
+/// Returns a [`ReassemblyError`] when fragments are missing, mixed
+/// between messages, or conflicting.
+pub fn reassemble(fragments: &[Fragment]) -> Result<Vec<u8>, ReassemblyError> {
+    let first = fragments.first().ok_or(ReassemblyError::Empty)?;
+    let (message_id, total) = (first.message_id, first.total);
+    if fragments
+        .iter()
+        .any(|f| f.message_id != message_id || f.total != total)
+    {
+        return Err(ReassemblyError::MixedMessages);
+    }
+    let mut slots: Vec<Option<&Fragment>> = vec![None; total as usize];
+    for f in fragments {
+        if f.index >= total {
+            return Err(ReassemblyError::MixedMessages);
+        }
+        match slots[f.index as usize] {
+            Some(existing) if existing.payload != f.payload => {
+                return Err(ReassemblyError::ConflictingDuplicate { index: f.index });
+            }
+            _ => slots[f.index as usize] = Some(f),
+        }
+    }
+    let missing: Vec<u32> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| i as u32)
+        .collect();
+    if !missing.is_empty() {
+        return Err(ReassemblyError::MissingFragments { missing });
+    }
+    let mut out = Vec::with_capacity(slots.iter().map(|s| s.unwrap().payload.len()).sum());
+    for s in slots {
+        out.extend_from_slice(&s.unwrap().payload);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn round_trip_exact_and_ragged() {
+        for n in [0, 1, 99, 100, 101, 1000] {
+            let d = data(n);
+            let frags = fragment(7, &d, 100);
+            let back = reassemble(&frags).unwrap();
+            assert_eq!(back, d, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let d = data(500);
+        let mut frags = fragment(1, &d, 100);
+        frags.reverse();
+        assert_eq!(reassemble(&frags).unwrap(), d);
+    }
+
+    #[test]
+    fn duplicates_tolerated() {
+        let d = data(300);
+        let mut frags = fragment(1, &d, 100);
+        frags.push(frags[1].clone());
+        assert_eq!(reassemble(&frags).unwrap(), d);
+    }
+
+    #[test]
+    fn missing_fragment_reported() {
+        let d = data(500);
+        let mut frags = fragment(1, &d, 100);
+        frags.remove(2);
+        match reassemble(&frags) {
+            Err(ReassemblyError::MissingFragments { missing }) => assert_eq!(missing, vec![2]),
+            other => panic!("expected missing fragments, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_messages_rejected() {
+        let a = fragment(1, &data(200), 100);
+        let b = fragment(2, &data(200), 100);
+        let mixed: Vec<Fragment> = a.into_iter().chain(b).collect();
+        assert_eq!(
+            reassemble(&mixed).unwrap_err(),
+            ReassemblyError::MixedMessages
+        );
+    }
+
+    #[test]
+    fn conflicting_duplicate_rejected() {
+        let d = data(200);
+        let mut frags = fragment(1, &d, 100);
+        let mut corrupt = frags[0].clone();
+        corrupt.payload = Bytes::from_static(b"garbage");
+        frags.push(corrupt);
+        assert_eq!(
+            reassemble(&frags).unwrap_err(),
+            ReassemblyError::ConflictingDuplicate { index: 0 }
+        );
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(reassemble(&[]).unwrap_err(), ReassemblyError::Empty);
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let mut frags = fragment(1, &data(100), 100);
+        frags[0].index = 9;
+        assert_eq!(
+            reassemble(&frags).unwrap_err(),
+            ReassemblyError::MixedMessages
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            ReassemblyError::Empty,
+            ReassemblyError::MixedMessages,
+            ReassemblyError::MissingFragments { missing: vec![1] },
+            ReassemblyError::ConflictingDuplicate { index: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU")]
+    fn zero_mtu_panics() {
+        let _ = fragment(0, &[1, 2, 3], 0);
+    }
+}

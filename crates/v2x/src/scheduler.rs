@@ -1,0 +1,323 @@
+//! The region-of-interest exchange scheduler (Figures 11 and 12).
+//!
+//! "With efficiency and lightweight traffic as a constraint, we decided
+//! that a sample rate of 1 frame per second is enough to satisfy the
+//! needs of Cooper whilst remaining within our set of constraints"
+//! (§IV-G). The scheduler applies an ROI category to each vehicle's
+//! scan, wraps it in an exchange packet, sends it over a [`SharedMedium`]
+//! and accounts the per-second data volume.
+
+use cooper_core::ExchangePacket;
+use cooper_geometry::{Attitude, GpsFix};
+use cooper_lidar_sim::PoseEstimate;
+use cooper_pointcloud::roi::{extract_roi, RoiCategory};
+use cooper_pointcloud::PointCloud;
+use parking_lot::Mutex;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{DsrcChannel, TransmissionReport};
+
+/// A channel shared by all transmitting vehicles within radio range:
+/// air time spent by anyone is unavailable to everyone else.
+///
+/// Internally synchronized (`parking_lot::Mutex`), so concurrent
+/// vehicle simulations can share one medium.
+#[derive(Debug)]
+pub struct SharedMedium {
+    channel: DsrcChannel,
+    airtime_used_s: Mutex<f64>,
+}
+
+impl SharedMedium {
+    /// Wraps a channel into a shared medium with an empty air-time
+    /// budget.
+    pub fn new(channel: DsrcChannel) -> Self {
+        SharedMedium {
+            channel,
+            airtime_used_s: Mutex::new(0.0),
+        }
+    }
+
+    /// The underlying channel.
+    pub fn channel(&self) -> &DsrcChannel {
+        &self.channel
+    }
+
+    /// Attempts to send `payload_bytes` within the current one-second
+    /// window. Returns `None` when the window has no air time left
+    /// (channel saturated).
+    pub fn try_send<R: Rng + ?Sized>(
+        &self,
+        payload_bytes: usize,
+        rng: &mut R,
+    ) -> Option<TransmissionReport> {
+        let needed = self.channel.airtime_for(payload_bytes);
+        let mut used = self.airtime_used_s.lock();
+        if *used + needed > 1.0 {
+            return None;
+        }
+        *used += needed;
+        drop(used);
+        Some(self.channel.transmit_sized(payload_bytes, rng))
+    }
+
+    /// Air time consumed in the current window, seconds (0–1).
+    pub fn utilization(&self) -> f64 {
+        *self.airtime_used_s.lock()
+    }
+
+    /// Opens a new one-second window.
+    pub fn next_second(&self) {
+        *self.airtime_used_s.lock() = 0.0;
+    }
+}
+
+/// The per-second record of one simulated exchange trace — the data
+/// behind one line of Figure 12.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoiTrace {
+    /// The ROI category simulated.
+    pub category: RoiCategory,
+    /// Total data volume placed on the air per second, Mbit.
+    pub per_second_mbit: Vec<f64>,
+    /// Peak channel utilization observed in any window (0–1+).
+    pub peak_utilization: f64,
+    /// Transfers that could not be sent because the window saturated.
+    pub transfers_dropped: usize,
+}
+
+impl RoiTrace {
+    /// The largest per-second volume, Mbit.
+    pub fn peak_mbit(&self) -> f64 {
+        self.per_second_mbit.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// `true` when the whole trace fit in the channel.
+    pub fn feasible(&self) -> bool {
+        self.transfers_dropped == 0 && self.peak_utilization <= 1.0
+    }
+}
+
+/// The exchange scheduler: applies an ROI category and a message rate
+/// to a pair of cooperating vehicles.
+#[derive(Debug, Clone)]
+pub struct ExchangeScheduler {
+    rate_hz: f64,
+    category: RoiCategory,
+}
+
+impl ExchangeScheduler {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate_hz` is not positive and finite.
+    pub fn new(rate_hz: f64, category: RoiCategory) -> Self {
+        assert!(
+            rate_hz > 0.0 && rate_hz.is_finite(),
+            "exchange rate must be positive"
+        );
+        ExchangeScheduler { rate_hz, category }
+    }
+
+    /// The paper's operating point: 1 Hz.
+    pub fn paper_default(category: RoiCategory) -> Self {
+        ExchangeScheduler::new(1.0, category)
+    }
+
+    /// The message rate, Hz.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// The ROI category applied before transmission.
+    pub fn category(&self) -> RoiCategory {
+        self.category
+    }
+
+    /// The wire size (bytes) of one vehicle's ROI-filtered frame.
+    pub fn frame_wire_size(&self, scan: &PointCloud) -> usize {
+        let roi = extract_roi(scan, self.category);
+        let pose = PoseEstimate {
+            gps: GpsFix::new(0.0, 0.0, 0.0),
+            attitude: Attitude::level(),
+        };
+        ExchangePacket::build(0, 0, &roi, pose)
+            .expect("sensor-frame cloud always encodes")
+            .wire_size()
+    }
+
+    /// Simulates `per_second_scans.len()` seconds of exchange between
+    /// two vehicles: each second both cars produce the given scans and
+    /// exchange per the category's direction count at this scheduler's
+    /// rate.
+    ///
+    /// Returns the Figure-12 trace.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        per_second_scans: &[(PointCloud, PointCloud)],
+        medium: &SharedMedium,
+        rng: &mut R,
+    ) -> RoiTrace {
+        let mut per_second_mbit = Vec::with_capacity(per_second_scans.len());
+        let mut peak_utilization = 0.0f64;
+        let mut transfers_dropped = 0usize;
+        // Sub-1 Hz rates send on every k-th second.
+        let send_every = if self.rate_hz >= 1.0 {
+            1
+        } else {
+            (1.0 / self.rate_hz).round() as usize
+        };
+        let sends_per_second = self.rate_hz.max(1.0).round() as usize;
+
+        for (second, (scan_a, scan_b)) in per_second_scans.iter().enumerate() {
+            medium.next_second();
+            let mut bits = 0.0;
+            if second % send_every == 0 {
+                let directions: Vec<&PointCloud> = match self.category.transfers_per_pair() {
+                    1 => vec![scan_b],
+                    _ => vec![scan_a, scan_b],
+                };
+                for _ in 0..sends_per_second {
+                    for scan in &directions {
+                        let size = self.frame_wire_size(scan);
+                        match medium.try_send(size, rng) {
+                            Some(report) => bits += report.bytes_on_air as f64 * 8.0,
+                            None => transfers_dropped += 1,
+                        }
+                    }
+                }
+            }
+            peak_utilization = peak_utilization.max(medium.utilization());
+            per_second_mbit.push(bits / 1e6);
+        }
+        RoiTrace {
+            category: self.category,
+            per_second_mbit,
+            peak_utilization,
+            transfers_dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataRate, DsrcConfig};
+    use cooper_geometry::Vec3;
+    use cooper_pointcloud::Point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring_scan(n: usize) -> PointCloud {
+        (0..n)
+            .map(|i| {
+                let az = i as f64 / n as f64 * std::f64::consts::TAU - std::f64::consts::PI;
+                Point::new(Vec3::new(15.0 * az.cos(), 15.0 * az.sin(), -1.0), 0.4)
+            })
+            .collect()
+    }
+
+    fn medium() -> SharedMedium {
+        SharedMedium::new(DsrcChannel::new(DsrcConfig::default()))
+    }
+
+    #[test]
+    fn roi_categories_order_data_volume() {
+        let scans: Vec<(PointCloud, PointCloud)> = (0..8)
+            .map(|_| (ring_scan(20_000), ring_scan(20_000)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut peaks = Vec::new();
+        for cat in RoiCategory::ALL {
+            let trace = ExchangeScheduler::paper_default(cat).simulate(&scans, &medium(), &mut rng);
+            assert_eq!(trace.per_second_mbit.len(), 8);
+            peaks.push(trace.peak_mbit());
+        }
+        // Full frame ≥ 120° FoV ≥ one-way forward.
+        assert!(peaks[0] >= peaks[1]);
+        assert!(peaks[1] >= peaks[2]);
+    }
+
+    #[test]
+    fn full_frame_volume_matches_paper_scale() {
+        // ~30k-point scans → ~210 KB/frame → ~1.7 Mbit × 2 cars ≈ 3.4.
+        let scans = vec![(ring_scan(30_000), ring_scan(30_000))];
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = ExchangeScheduler::paper_default(RoiCategory::FullFrame).simulate(
+            &scans,
+            &medium(),
+            &mut rng,
+        );
+        let mbit = trace.per_second_mbit[0];
+        assert!((2.5..5.0).contains(&mbit), "volume {mbit} Mbit");
+        assert!(trace.feasible());
+    }
+
+    #[test]
+    fn one_way_category_sends_single_direction() {
+        let scans = vec![(ring_scan(10_000), ring_scan(10_000))];
+        let mut rng = StdRng::seed_from_u64(0);
+        let one_way = ExchangeScheduler::paper_default(RoiCategory::ForwardOneWay).simulate(
+            &scans,
+            &medium(),
+            &mut rng,
+        );
+        let both = ExchangeScheduler::paper_default(RoiCategory::FrontFov120).simulate(
+            &scans,
+            &medium(),
+            &mut rng,
+        );
+        assert!(one_way.per_second_mbit[0] < both.per_second_mbit[0]);
+    }
+
+    #[test]
+    fn saturation_drops_transfers() {
+        // A 3 Mbit/s channel cannot carry two full 30k-point frames at
+        // 4 Hz.
+        let slow = SharedMedium::new(DsrcChannel::new(DsrcConfig {
+            data_rate: DataRate::Mbps3,
+            ..DsrcConfig::default()
+        }));
+        let scans = vec![(ring_scan(30_000), ring_scan(30_000))];
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace =
+            ExchangeScheduler::new(4.0, RoiCategory::FullFrame).simulate(&scans, &slow, &mut rng);
+        assert!(trace.transfers_dropped > 0);
+        assert!(!trace.feasible());
+    }
+
+    #[test]
+    fn sub_hertz_rate_skips_seconds() {
+        let scans: Vec<(PointCloud, PointCloud)> = (0..4)
+            .map(|_| (ring_scan(5_000), ring_scan(5_000)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = ExchangeScheduler::new(0.5, RoiCategory::FullFrame).simulate(
+            &scans,
+            &medium(),
+            &mut rng,
+        );
+        assert!(trace.per_second_mbit[0] > 0.0);
+        assert_eq!(trace.per_second_mbit[1], 0.0);
+        assert!(trace.per_second_mbit[2] > 0.0);
+        assert_eq!(trace.per_second_mbit[3], 0.0);
+    }
+
+    #[test]
+    fn medium_window_resets() {
+        let m = medium();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(m.try_send(100_000, &mut rng).is_some());
+        assert!(m.utilization() > 0.0);
+        m.next_second();
+        assert_eq!(m.utilization(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = ExchangeScheduler::new(0.0, RoiCategory::FullFrame);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the V2X substrate.
+
+use cooper_v2x::{fragment, reassemble, CsmaConfig, CsmaMedium, DataRate, DsrcChannel, DsrcConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn fragmentation_round_trips(data in prop::collection::vec(any::<u8>(), 0..5000),
+                                 mtu in 1usize..2000,
+                                 message_id in any::<u32>()) {
+        let fragments = fragment(message_id, &data, mtu);
+        // Every fragment respects the MTU and carries consistent metadata.
+        for f in &fragments {
+            prop_assert!(f.payload.len() <= mtu);
+            prop_assert_eq!(f.message_id, message_id);
+            prop_assert_eq!(f.total as usize, fragments.len());
+        }
+        let back = reassemble(&fragments).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn shuffled_fragments_round_trip(data in prop::collection::vec(any::<u8>(), 1..3000),
+                                     mtu in 16usize..512,
+                                     seed in any::<u64>()) {
+        let mut fragments = fragment(7, &data, mtu);
+        // Deterministic shuffle.
+        let mut rng_state = seed | 1;
+        for i in (1..fragments.len()).rev() {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (rng_state >> 33) as usize % (i + 1);
+            fragments.swap(i, j);
+        }
+        prop_assert_eq!(reassemble(&fragments).unwrap(), data);
+    }
+
+    #[test]
+    fn airtime_is_monotone_in_payload(a in 0usize..500_000, b in 0usize..500_000) {
+        let ch = DsrcChannel::new(DsrcConfig::default());
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assert!(ch.airtime_for(small) <= ch.airtime_for(large) + 1e-12);
+        prop_assert!(ch.airtime_for(large) > 0.0);
+    }
+
+    #[test]
+    fn faster_rates_never_slower(payload in 1usize..500_000) {
+        let mut previous = f64::INFINITY;
+        for rate in DataRate::ALL {
+            let ch = DsrcChannel::new(DsrcConfig { data_rate: rate, ..DsrcConfig::default() });
+            let t = ch.airtime_for(payload);
+            prop_assert!(t <= previous + 1e-12, "{rate} slower than the previous rate");
+            previous = t;
+        }
+    }
+
+    #[test]
+    fn transmission_reports_are_consistent(payload in 0usize..200_000,
+                                           loss in 0.0..0.9f64,
+                                           seed in any::<u64>()) {
+        let ch = DsrcChannel::new(DsrcConfig { loss_probability: loss, ..DsrcConfig::default() });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = ch.transmit_sized(payload, &mut rng);
+        prop_assert!(report.frames_delivered <= report.frames);
+        prop_assert_eq!(report.complete, report.frames_delivered == report.frames);
+        prop_assert!(report.bytes_on_air >= payload);
+        prop_assert!(report.frames >= 1);
+    }
+
+    #[test]
+    fn csma_rounds_conserve_frames(n in 1usize..12, payload in 100usize..20_000, seed in any::<u64>()) {
+        let medium = CsmaMedium::new(DsrcChannel::new(DsrcConfig::default()), CsmaConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = medium.simulate_round(&vec![payload; n], &mut rng);
+        prop_assert_eq!(report.delivered + report.dropped, n);
+        prop_assert!(report.round_time_s >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&report.delivery_ratio()));
+        // A single station always delivers collision-free.
+        if n == 1 {
+            prop_assert_eq!(report.collisions, 0);
+            prop_assert_eq!(report.delivered, 1);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 5 walkthrough: cooperative perception on sparse 16-beam
+//! "T&J" data in a parking lot.
+//!
+//! The key observation the paper makes on this dataset: the merged
+//! cloud reveals cars that were detected in *neither* single shot — the
+//! failure case that object-level fusion can never fix, because neither
+//! vehicle has a detection result to share.
+//!
+//! Run with `cargo run -p cooper-core --example tj_parking --release`.
+
+use cooper_core::report::{evaluate_pair, EvaluationConfig};
+use cooper_core::{CooperDifficulty, CooperPipeline};
+use cooper_lidar_sim::scenario::tj_scenarios;
+use cooper_spod::train::TrainingConfig;
+use cooper_spod::SpodDetector;
+
+fn main() {
+    println!("training SPOD detector…");
+    let detector = SpodDetector::train_default(&TrainingConfig::standard());
+    let pipeline = CooperPipeline::new(detector);
+    let config = EvaluationConfig::default();
+
+    let mut newly_discovered_total = 0;
+    for scene in tj_scenarios() {
+        println!("──────────────────────────────────────────");
+        for pair_index in 0..scene.pairs.len() {
+            let eval = evaluate_pair(&pipeline, &scene, pair_index, &config);
+            println!("{}", eval.render_matrix());
+            // "It is worth noting that there are three unmarked vehicles
+            // in Fig. 5c" — cars detected cooperatively that no single
+            // shot found.
+            let discovered: Vec<usize> = eval
+                .rows
+                .iter()
+                .filter(|r| {
+                    r.score_coop.is_some()
+                        && CooperDifficulty::classify(r.score_a, r.score_b)
+                            == CooperDifficulty::Hard
+                })
+                .map(|r| r.gt_index)
+                .collect();
+            if !discovered.is_empty() {
+                println!(
+                    "newly discovered by cooperation (detected by neither single shot): cars {discovered:?}\n"
+                );
+                newly_discovered_total += discovered.len();
+            }
+        }
+    }
+    println!("──────────────────────────────────────────");
+    println!("total cars discovered only through raw-data cooperation: {newly_discovered_total}");
+}

@@ -1,0 +1,230 @@
+//! Failure-injection tests: lossy channels, truncated frames, missing
+//! fragments, extreme pose errors.
+
+use cooper_core::{CooperError, CooperPipeline, ExchangePacket};
+use cooper_geometry::{Attitude, GpsFix, Pose, Vec3};
+use cooper_lidar_sim::{scenario, GpsImuModel, LidarScanner, PoseEstimate, SkewMode};
+use cooper_pointcloud::{Point, PointCloud};
+use cooper_spod::{SpodConfig, SpodDetector};
+use cooper_v2x::{fragment, reassemble, DsrcChannel, DsrcConfig, ReassemblyError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn origin() -> GpsFix {
+    GpsFix::new(33.2075, -97.1526, 190.0)
+}
+
+fn sample_packet() -> ExchangePacket {
+    let cloud: PointCloud = (0..5_000)
+        .map(|i| {
+            Point::new(
+                Vec3::new(10.0 + (i % 50) as f64 * 0.1, (i / 50) as f64 * 0.1, -1.0),
+                0.5,
+            )
+        })
+        .collect();
+    let est = PoseEstimate::from_pose(
+        &Pose::new(Vec3::new(10.0, 5.0, 1.9), Attitude::from_yaw(0.4)),
+        &origin(),
+    );
+    ExchangePacket::build(1, 0, &cloud, est).expect("encodes")
+}
+
+#[test]
+fn lost_fragment_is_detected_and_reported() {
+    let packet = sample_packet();
+    let wire = packet.to_bytes();
+    let mut fragments = fragment(1, &wire, 1460);
+    let dropped_index = fragments.len() / 2;
+    fragments.remove(dropped_index);
+    match reassemble(&fragments) {
+        Err(ReassemblyError::MissingFragments { missing }) => {
+            assert_eq!(missing, vec![dropped_index as u32]);
+        }
+        other => panic!("expected missing-fragment error, got {other:?}"),
+    }
+}
+
+#[test]
+fn reordered_and_duplicated_fragments_still_reassemble() {
+    let packet = sample_packet();
+    let wire = packet.to_bytes();
+    let mut fragments = fragment(1, &wire, 1460);
+    fragments.reverse();
+    fragments.push(fragments[0].clone());
+    let bytes = reassemble(&fragments).expect("reassembles");
+    let parsed = ExchangePacket::from_bytes(&bytes).expect("parses");
+    assert_eq!(parsed.cloud().expect("decodes").len(), 5_000);
+}
+
+#[test]
+fn truncated_wire_frame_rejected_not_panicking() {
+    let packet = sample_packet();
+    let wire = packet.to_bytes();
+    for cut in [0, 1, 10, 40, wire.len() / 2, wire.len() - 1] {
+        let err = ExchangePacket::from_bytes(&wire[..cut]).expect_err("must fail");
+        assert!(
+            matches!(err, CooperError::Truncated { .. } | CooperError::BadMagic),
+            "cut {cut}: unexpected {err}"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_in_header_are_caught() {
+    let packet = sample_packet();
+    let wire = packet.to_bytes().to_vec();
+    // Magic corruption.
+    let mut bad = wire.clone();
+    bad[1] ^= 0xFF;
+    assert!(ExchangePacket::from_bytes(&bad).is_err());
+    // Version corruption.
+    let mut bad = wire.clone();
+    bad[4] = 77;
+    assert!(matches!(
+        ExchangePacket::from_bytes(&bad),
+        Err(CooperError::UnsupportedVersion(77))
+    ));
+}
+
+#[test]
+fn lossy_receiver_drops_bad_packets_and_continues() {
+    let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()));
+    let good = sample_packet();
+    // Corrupt the payload magic of a second packet.
+    let mut bytes = good.to_bytes().to_vec();
+    let header = bytes.len() - good.payload_len();
+    bytes[header] ^= 0xFF;
+    let bad = ExchangePacket::from_bytes(&bytes).expect("header still parses");
+
+    let local: PointCloud = (0..100)
+        .map(|i| Point::new(Vec3::new(5.0, 0.01 * i as f64, -1.0), 0.5))
+        .collect();
+    let est = PoseEstimate::from_pose(
+        &Pose::new(Vec3::new(0.0, 0.0, 1.9), Attitude::level()),
+        &origin(),
+    );
+    let (result, dropped) =
+        pipeline.perceive_cooperative_lossy(&local, &est, &[good.clone(), bad], &origin());
+    assert_eq!(dropped, 1);
+    assert_eq!(result.packets_fused, 1);
+    assert_eq!(result.fused_cloud.len(), 100 + good.cloud().unwrap().len());
+}
+
+#[test]
+fn heavy_channel_loss_reflected_in_reports() {
+    let channel = DsrcChannel::new(DsrcConfig {
+        loss_probability: 0.3,
+        ..DsrcConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let report = channel.transmit_sized(sample_packet().wire_size(), &mut rng);
+    assert!(report.frames > 10);
+    assert!(report.frames_delivered < report.frames);
+    assert!(!report.complete);
+}
+
+#[test]
+fn double_drift_skew_degrades_but_does_not_crash() {
+    // The paper's abnormal case: 2× the max GPS drift. Fusion must
+    // still run and produce *some* detections; scores may drop.
+    let detector = SpodDetector::train_default(&cooper_spod::train::TrainingConfig::fast());
+    let pipeline = CooperPipeline::new(detector);
+    let scene = scenario::tj_scenario_1();
+    let scanner = LidarScanner::new(scene.kind.beam_model());
+    let (rx, tx) = scene.pairs[0];
+    let local = scanner.scan(&scene.world, &scene.observers[rx], 1);
+    let remote = scanner.scan(&scene.world, &scene.observers[tx], 2);
+    let model = GpsImuModel::ideal();
+    let mut rng = StdRng::seed_from_u64(0);
+    let est_rx = model.measure(&scene.observers[rx], &origin(), &mut rng);
+    let est_tx = model.measure_skewed(
+        &scene.observers[tx],
+        &origin(),
+        SkewMode::DoubleDrift,
+        &mut rng,
+    );
+    let packet = ExchangePacket::build(1, 0, &remote, est_tx).expect("encodes");
+    let result = pipeline
+        .perceive_cooperative(&local, &est_rx, &[packet], &origin())
+        .expect("fuses despite skew");
+    assert_eq!(result.fused_cloud.len(), local.len() + remote.len());
+    // 20 cm misalignment is well under a car length: detection survives.
+    assert!(!result.detections.is_empty());
+}
+
+#[test]
+fn grossly_wrong_pose_still_fails_safe() {
+    // A pose 500 m off (e.g. GPS cold-start garbage) must not panic —
+    // the remote points simply land outside the detector extent.
+    let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()));
+    let cloud: PointCloud = (0..100)
+        .map(|i| Point::new(Vec3::new(10.0, 0.01 * i as f64, -1.0), 0.5))
+        .collect();
+    let est_rx = PoseEstimate::from_pose(
+        &Pose::new(Vec3::new(0.0, 0.0, 1.9), Attitude::level()),
+        &origin(),
+    );
+    let wrong_pose = Pose::new(Vec3::new(500.0, -300.0, 1.9), Attitude::level());
+    let est_tx = PoseEstimate::from_pose(&wrong_pose, &origin());
+    let packet = ExchangePacket::build(1, 0, &cloud, est_tx).expect("encodes");
+    let result = pipeline
+        .perceive_cooperative(&cloud, &est_rx, &[packet], &origin())
+        .expect("does not crash");
+    assert_eq!(result.fused_cloud.len(), 200);
+}
+
+#[test]
+fn nan_pose_rejected_before_it_can_poison_fusion() {
+    let cloud = PointCloud::new();
+    let mut est = PoseEstimate::from_pose(&Pose::origin(), &origin());
+    est.attitude.pitch = f64::INFINITY;
+    assert!(matches!(
+        ExchangePacket::build(1, 0, &cloud, est),
+        Err(CooperError::InvalidPose)
+    ));
+}
+
+#[test]
+fn lossy_fleet_degrades_gracefully() {
+    use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle};
+    use cooper_lidar_sim::BeamModel;
+
+    let scene = scenario::tj_scenario_1();
+    let vehicles: Vec<FleetVehicle> = scene
+        .observers
+        .iter()
+        .take(3)
+        .enumerate()
+        .map(|(i, pose)| FleetVehicle {
+            id: i as u32 + 1,
+            trajectory: straight_trajectory(*pose, 1.0, 2),
+            beams: BeamModel::vlp16().with_azimuth_steps(300),
+        })
+        .collect();
+    let sim = FleetSimulation::new(scene.world, vehicles, FleetConfig::default());
+    let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()));
+
+    // Ideal channel: every vehicle hears the other two.
+    let (ideal, _) = sim.run(&pipeline, 2);
+    assert!(ideal[0].per_vehicle.iter().all(|v| v.packets_received == 2));
+
+    // A channel that drops every frame from vehicle 2: its packets never
+    // arrive, everyone else's still do — the receiver keeps working.
+    let (lossy, stats) = sim.run_with_packet_filter(&pipeline, 2, |_, from, _, _| from != 2);
+    for report in &lossy {
+        for v in &report.per_vehicle {
+            if v.vehicle_id == 2 {
+                continue;
+            }
+            assert_eq!(v.packets_received, 1, "only vehicle 2's frames are lost");
+        }
+    }
+    assert!(stats.total_bytes > 0);
+
+    // A fully partitioned channel: no packets, single-shot perception
+    // still runs for everyone.
+    let (dark, dark_stats) = sim.run_with_packet_filter(&pipeline, 1, |_, _, _, _| false);
+    assert!(dark[0].per_vehicle.iter().all(|v| v.packets_received == 0));
+    assert_eq!(dark_stats.total_bytes, 0);
+}
