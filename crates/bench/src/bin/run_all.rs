@@ -2,11 +2,65 @@
 //! into one report — the convenient way to regenerate everything in
 //! `EXPERIMENTS.md`.
 //!
+//! Also replays a representative cooperative-perception + exchange
+//! workload in-process with the `cooper-telemetry` registry enabled and
+//! writes the per-stage span distributions to `telemetry_summary.csv`
+//! (stage, count, p50_us, p95_us, p99_us) — the machine-readable
+//! latency baseline future performance PRs diff against.
+//!
 //! `cargo run -p cooper-bench --release --bin run_all -- --out results`
 
 use std::process::Command;
 
-use cooper_bench::{output_dir, write_artifact};
+use cooper_bench::{output_dir, standard_pipeline, write_artifact};
+use cooper_core::report::EvaluationConfig;
+use cooper_core::ExchangePacket;
+use cooper_lidar_sim::scenario::tj_scenario_1;
+use cooper_lidar_sim::{GpsImuModel, LidarScanner};
+use cooper_pointcloud::roi::RoiCategory;
+use cooper_v2x::{DsrcChannel, DsrcConfig, ExchangeScheduler, SharedMedium};
+
+/// Replays the telemetry baseline workload: a handful of single-shot
+/// and cooperative perception rounds plus an ROI exchange over DSRC,
+/// so the snapshot covers spans from cooper-core, cooper-spod and
+/// cooper-v2x. Child experiment processes cannot contribute to this
+/// registry, hence the in-process replay.
+fn telemetry_baseline() -> cooper_telemetry::TelemetrySnapshot {
+    let pipeline = standard_pipeline();
+    let scenario = tj_scenario_1();
+    let scanner = LidarScanner::new(scenario.kind.beam_model());
+    let (ia, ib) = scenario.pairs[0];
+    let scan_a = scanner.scan(&scenario.world, &scenario.observers[ia], 1);
+    let scan_b = scanner.scan(&scenario.world, &scenario.observers[ib], 2);
+    let config = EvaluationConfig::default();
+    let mut rng = rand::thread_rng();
+    let est_a = GpsImuModel::ideal().measure(&scenario.observers[ia], &config.origin, &mut rng);
+    let est_b = GpsImuModel::ideal().measure(&scenario.observers[ib], &config.origin, &mut rng);
+
+    // Warm up outside the measured window.
+    let _ = pipeline.perceive_single(&scan_a);
+
+    cooper_telemetry::reset();
+    cooper_telemetry::enable();
+    for _ in 0..5 {
+        let _ = pipeline.perceive_single(&scan_a);
+        let packet = ExchangePacket::build(1, 0, &scan_b, est_b).expect("encodes");
+        let _ = pipeline
+            .perceive_cooperative(&scan_a, &est_a, &[packet], &config.origin)
+            .expect("decodes");
+    }
+    let medium = SharedMedium::new(DsrcChannel::new(DsrcConfig::default()));
+    let per_second = vec![(scan_a, scan_b); 3];
+    let _ = ExchangeScheduler::paper_default(RoiCategory::FullFrame).simulate(
+        &per_second,
+        &medium,
+        &mut rng,
+    );
+    cooper_telemetry::disable();
+    let snapshot = cooper_telemetry::snapshot();
+    cooper_telemetry::reset();
+    snapshot
+}
 
 const EXPERIMENTS: &[&str] = &[
     "fig3_kitti_matrix",
@@ -63,7 +117,14 @@ fn main() {
             }
         }
     }
+    eprintln!("── collecting telemetry baseline …");
+    let snapshot = telemetry_baseline();
+    report.push_str("\n\n## telemetry baseline\n\n```text\n");
+    report.push_str(&snapshot.render_table());
+    report.push_str("```\n");
+
     print!("{report}");
+    write_artifact(out.as_deref(), "telemetry_summary.csv", &snapshot.to_csv());
     write_artifact(out.as_deref(), "full_report.md", &report);
     if failures.is_empty() {
         eprintln!("all {} experiments completed", EXPERIMENTS.len());

@@ -8,9 +8,14 @@
 //! cooper scan      --scenario NAME --observer N --out scan.ply [--beams vlp16|hdl32|hdl64]
 //! cooper detect    --input cloud.ply|cloud.xyz [--weights weights.bin] [--threshold T] [--bev]
 //! cooper evaluate  --scenario NAME [--pair N] [--weights weights.bin]
+//! cooper simulate  --scenario NAME [--seconds N] [--seed N] [--weights weights.bin]
 //! cooper convert   --input a.xyz --out b.ply
 //! cooper scenarios
 //! ```
+//!
+//! Every command accepts `--telemetry`, which enables the global
+//! [`cooper_telemetry`] registry for the run and prints the snapshot
+//! table (spans, counters, gauges, value histograms) afterwards.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,13 +27,18 @@ use std::path::Path;
 
 use cooper_core::report::{evaluate_pair, EvaluationConfig};
 use cooper_core::viz::{render_bev, BevViewConfig};
-use cooper_core::CooperPipeline;
+use cooper_core::{CooperPipeline, ExchangePacket};
+use cooper_geometry::GpsFix;
 use cooper_lidar_sim::scenario::{self, Scenario};
-use cooper_lidar_sim::{BeamModel, LidarScanner};
+use cooper_lidar_sim::{BeamModel, LidarScanner, PoseEstimate};
 use cooper_pointcloud::io::{read_pcd, read_ply, read_xyz, write_pcd, write_ply, write_xyz};
+use cooper_pointcloud::roi::RoiCategory;
 use cooper_pointcloud::PointCloud;
 use cooper_spod::train::{train, TrainingConfig};
 use cooper_spod::{SpodConfig, SpodDetector};
+use cooper_v2x::{DsrcChannel, DsrcConfig, ExchangeScheduler, SharedMedium};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// A CLI failure: the message shown to the user (exit code 1 or 2).
 #[derive(Debug, PartialEq, Eq)]
@@ -73,7 +83,7 @@ pub struct ParsedArgs {
 }
 
 /// Bare flags (no value).
-const BARE_FLAGS: &[&str] = &["--bev", "--help"];
+const BARE_FLAGS: &[&str] = &["--bev", "--help", "--telemetry"];
 
 /// Parses raw arguments (without the program name).
 ///
@@ -121,8 +131,12 @@ USAGE:
   cooper scan      --scenario NAME --observer N --out scan.ply [--beams vlp16|hdl32|hdl64] [--seed N]
   cooper detect    --input cloud.ply|cloud.xyz [--weights weights.bin] [--threshold T] [--bev]
   cooper evaluate  --scenario NAME [--pair N] [--weights weights.bin]
+  cooper simulate  --scenario NAME [--seconds N] [--seed N] [--weights weights.bin]
   cooper convert   --input a.xyz|a.ply|a.pcd --out b.xyz|b.ply|b.pcd
   cooper scenarios
+
+Any command accepts --telemetry to print a span/metric snapshot table
+after the run.
 
 Scenario names: kitti1 kitti2 kitti3 kitti4 tj1 tj2 tj3 tj4"
         .to_string()
@@ -223,10 +237,31 @@ fn require<'a>(options: &'a HashMap<String, String>, flag: &str) -> Result<&'a s
 
 /// Executes a parsed command, printing results to stdout.
 ///
+/// With `--telemetry`, the global [`cooper_telemetry`] registry is
+/// enabled for the duration of the command and a snapshot table is
+/// printed after a successful run.
+///
 /// # Errors
 ///
 /// Returns a [`CliError`] with a user-facing message on any failure.
 pub fn run(parsed: &ParsedArgs) -> Result<(), CliError> {
+    let telemetry = parsed.options.contains_key("--telemetry");
+    if telemetry {
+        cooper_telemetry::reset();
+        cooper_telemetry::enable();
+    }
+    let result = dispatch(parsed);
+    if telemetry {
+        cooper_telemetry::disable();
+        if result.is_ok() {
+            println!("{}", cooper_telemetry::snapshot().render_table());
+        }
+        cooper_telemetry::reset();
+    }
+    result
+}
+
+fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
     match parsed.command.as_str() {
         "help" => {
             println!("{}", usage());
@@ -336,6 +371,63 @@ pub fn run(parsed: &ParsedArgs) -> Result<(), CliError> {
                 eval.accuracy_b(),
                 eval.detected_coop(),
                 eval.accuracy_coop()
+            );
+            Ok(())
+        }
+        "simulate" => {
+            let scene = scenario_by_name(require(&parsed.options, "--scenario")?)?;
+            let seconds: usize = get_parse(&parsed.options, "--seconds", 3)?;
+            let seed: u64 = get_parse(&parsed.options, "--seed", 1)?;
+            let (rx, tx) = *scene
+                .pairs
+                .first()
+                .ok_or_else(|| CliError::runtime("scenario has no cooperating pair"))?;
+            let scanner = LidarScanner::new(scene.kind.beam_model());
+            let scan_rx = scanner.scan(&scene.world, &scene.observers[rx], seed);
+            let scan_tx = scanner.scan(&scene.world, &scene.observers[tx], seed + 1);
+
+            // DSRC feasibility: exchange the pair's frames at the
+            // paper's 1 Hz over a shared medium.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let per_second: Vec<(PointCloud, PointCloud)> = (0..seconds.max(1))
+                .map(|_| (scan_rx.clone(), scan_tx.clone()))
+                .collect();
+            let medium = SharedMedium::new(DsrcChannel::new(DsrcConfig::default()));
+            let trace = ExchangeScheduler::paper_default(RoiCategory::FullFrame).simulate(
+                &per_second,
+                &medium,
+                &mut rng,
+            );
+
+            // Cooperative perception on the same pair. The detector is
+            // untrained unless --weights is given: `simulate` probes
+            // latency and channel feasibility, not accuracy.
+            let detector = match parsed.options.get("--weights") {
+                Some(_) => load_or_train_detector(&parsed.options)?,
+                None => SpodDetector::new(SpodConfig::default()),
+            };
+            let pipeline = CooperPipeline::new(detector);
+            let origin = GpsFix::new(33.2075, -97.1526, 190.0);
+            let est_rx = PoseEstimate::from_pose(&scene.observers[rx], &origin);
+            let est_tx = PoseEstimate::from_pose(&scene.observers[tx], &origin);
+            let packet = ExchangePacket::build(tx as u32, 0, &scan_tx, est_tx)
+                .map_err(|e| CliError::runtime(format!("cannot build packet: {e}")))?;
+            let result = pipeline
+                .perceive_cooperative(&scan_rx, &est_rx, &[packet], &origin)
+                .map_err(|e| CliError::runtime(format!("cooperative perception failed: {e}")))?;
+            println!(
+                "{}: {} s exchange, peak {:.2} Mbit/s, {} transfers dropped, feasible: {}",
+                scene.name,
+                per_second.len(),
+                trace.peak_mbit(),
+                trace.transfers_dropped,
+                trace.feasible()
+            );
+            println!(
+                "cooperative perception: {} packets fused, {} fused points, {} detections",
+                result.packets_fused,
+                result.fused_cloud.len(),
+                result.detections.len()
             );
             Ok(())
         }
@@ -464,6 +556,30 @@ mod tests {
             run(&parse_args(&args(&["detect", "--input", "/definitely/not/here.xyz"])).unwrap())
                 .unwrap_err();
         assert!(!e.usage);
+    }
+
+    #[test]
+    fn simulate_covers_core_spod_and_v2x_spans() {
+        // One sequential test owns the global registry: first the
+        // --telemetry flag path (enables, prints, resets), then a
+        // manual enable so the snapshot can be inspected.
+        let p = parse_args(&args(&["simulate", "--scenario", "tj1", "--telemetry"])).unwrap();
+        run(&p).unwrap();
+
+        cooper_telemetry::reset();
+        cooper_telemetry::enable();
+        let p2 = parse_args(&args(&["simulate", "--scenario", "tj1"])).unwrap();
+        run(&p2).unwrap();
+        cooper_telemetry::disable();
+        let snap = cooper_telemetry::snapshot();
+        cooper_telemetry::reset();
+        for prefix in ["pipeline.", "spod.", "v2x.", "packet."] {
+            assert!(
+                snap.spans.iter().any(|s| s.name.starts_with(prefix)),
+                "no {prefix}* span in snapshot:\n{}",
+                snap.render_table()
+            );
+        }
     }
 
     #[test]

@@ -27,6 +27,21 @@ pub enum CooperError {
     InvalidPose,
 }
 
+impl CooperError {
+    /// Stable machine-readable label for this error variant, used as a
+    /// drop-reason key in telemetry counters
+    /// (`pipeline.drop.<kind>`) and structured events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CooperError::Codec(_) => "codec",
+            CooperError::Truncated { .. } => "truncated",
+            CooperError::BadMagic => "bad_magic",
+            CooperError::UnsupportedVersion(_) => "unsupported_version",
+            CooperError::InvalidPose => "invalid_pose",
+        }
+    }
+}
+
 impl fmt::Display for CooperError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -81,5 +96,27 @@ mod tests {
         let wrapped = CooperError::from(CodecError::BadMagic);
         assert!(wrapped.source().is_some());
         assert!(CooperError::BadMagic.source().is_none());
+    }
+
+    #[test]
+    fn kinds_are_distinct_snake_case_labels() {
+        let errs: Vec<CooperError> = vec![
+            CooperError::Codec(CodecError::BadMagic),
+            CooperError::Truncated {
+                expected: 10,
+                actual: 2,
+            },
+            CooperError::BadMagic,
+            CooperError::UnsupportedVersion(9),
+            CooperError::InvalidPose,
+        ];
+        let kinds: Vec<&str> = errs.iter().map(CooperError::kind).collect();
+        let mut unique = kinds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), kinds.len(), "kinds must be distinct");
+        for kind in kinds {
+            assert!(kind.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
     }
 }

@@ -96,6 +96,26 @@ pub struct VehicleStepReport {
     pub bytes_received: usize,
 }
 
+/// Wall-clock cost of one step's phases, microseconds. Filled on every
+/// run, telemetry enabled or not — the measurement is two `Instant`
+/// reads per phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepTimings {
+    /// Scanning and broadcast-packet building across the fleet.
+    pub scan_us: u64,
+    /// Connection tracking and packet delivery.
+    pub exchange_us: u64,
+    /// Single and cooperative perception across the fleet.
+    pub perceive_us: u64,
+}
+
+impl StepTimings {
+    /// Total measured time of the step's phases.
+    pub fn total_us(&self) -> u64 {
+        self.scan_us + self.exchange_us + self.perceive_us
+    }
+}
+
 /// The outcome of one simulation step.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FleetStepReport {
@@ -103,6 +123,8 @@ pub struct FleetStepReport {
     pub step: usize,
     /// One entry per vehicle, in fleet order.
     pub per_vehicle: Vec<VehicleStepReport>,
+    /// Where this step's wall-clock time went.
+    pub timings: StepTimings,
 }
 
 /// Aggregate statistics of a completed run.
@@ -191,42 +213,51 @@ impl FleetSimulation {
     where
         F: FnMut(usize, u32, u32, usize) -> bool,
     {
+        let _run_span = cooper_telemetry::span!("fleet.run");
         let mut reports = Vec::with_capacity(steps);
         let mut stats = FleetStats::default();
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF1EE7);
         let mut world = self.world.clone();
 
         for step in 0..steps {
+            let _step_span = cooper_telemetry::span!("fleet.step");
+            let mut timings = StepTimings::default();
+
             // Phase 1: every vehicle scans and broadcasts.
             struct Broadcast {
                 scan: cooper_pointcloud::PointCloud,
                 pose: Pose,
                 packet: ExchangePacket,
             }
-            let broadcasts: Vec<Broadcast> = self
-                .vehicles
-                .iter()
-                .enumerate()
-                .map(|(idx, v)| {
-                    let pose = v.pose_at(step);
-                    let scanner = LidarScanner::new(v.beams.clone());
-                    let scan = scanner.scan(
-                        &world,
-                        &pose,
-                        self.config.seed ^ ((step as u64) << 24) ^ idx as u64,
-                    );
-                    let estimate =
-                        self.config
-                            .sensor_model
-                            .measure(&pose, &self.config.origin, &mut rng);
-                    let roi_scan = extract_roi(&scan, self.config.roi);
-                    let packet = ExchangePacket::build(v.id, step as u32, &roi_scan, estimate)
-                        .expect("sensor-frame scans always encode");
-                    Broadcast { scan, pose, packet }
-                })
-                .collect();
+            let scan_start = std::time::Instant::now();
+            let broadcasts: Vec<Broadcast> = {
+                let _scan_span = cooper_telemetry::span!("fleet.scan");
+                self.vehicles
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, v)| {
+                        let pose = v.pose_at(step);
+                        let scanner = LidarScanner::new(v.beams.clone());
+                        let scan = scanner.scan(
+                            &world,
+                            &pose,
+                            self.config.seed ^ ((step as u64) << 24) ^ idx as u64,
+                        );
+                        let estimate =
+                            self.config
+                                .sensor_model
+                                .measure(&pose, &self.config.origin, &mut rng);
+                        let roi_scan = extract_roi(&scan, self.config.roi);
+                        let packet = ExchangePacket::build(v.id, step as u32, &roi_scan, estimate)
+                            .expect("sensor-frame scans always encode");
+                        Broadcast { scan, pose, packet }
+                    })
+                    .collect()
+            };
+            timings.scan_us = scan_start.elapsed().as_micros() as u64;
 
             // Phase 2: track connections.
+            let exchange_start = std::time::Instant::now();
             for i in 0..self.vehicles.len() {
                 for j in (i + 1)..self.vehicles.len() {
                     let d = broadcasts[i].pose.delta_d(&broadcasts[j].pose);
@@ -239,38 +270,66 @@ impl FleetSimulation {
                     }
                 }
             }
+            timings.exchange_us = exchange_start.elapsed().as_micros() as u64;
 
             // Phase 3: every vehicle fuses what it can hear and detects.
             let mut per_vehicle = Vec::with_capacity(self.vehicles.len());
             for (i, me) in broadcasts.iter().enumerate() {
+                let exchange_start = std::time::Instant::now();
+                let (packets, bytes_received) = {
+                    let _exchange_span = cooper_telemetry::span!("fleet.exchange");
+                    let my_pose = &me.pose;
+                    let mut packets = Vec::new();
+                    let mut bytes_received = 0usize;
+                    for (j, other) in broadcasts.iter().enumerate() {
+                        if i == j || my_pose.delta_d(&other.pose) > self.config.comms_range_m {
+                            continue;
+                        }
+                        if !deliver(
+                            step,
+                            self.vehicles[j].id,
+                            self.vehicles[i].id,
+                            other.packet.wire_size(),
+                        ) {
+                            continue;
+                        }
+                        bytes_received += other.packet.wire_size();
+                        packets.push(other.packet.clone());
+                    }
+                    (packets, bytes_received)
+                };
+                timings.exchange_us += exchange_start.elapsed().as_micros() as u64;
+                stats.total_bytes += bytes_received as u64;
+
+                let perceive_start = std::time::Instant::now();
                 let my_estimate =
                     self.config
                         .sensor_model
                         .measure(&me.pose, &self.config.origin, &mut rng);
-                let mut packets = Vec::new();
-                let mut bytes_received = 0usize;
-                for (j, other) in broadcasts.iter().enumerate() {
-                    if i == j || me.pose.delta_d(&other.pose) > self.config.comms_range_m {
-                        continue;
-                    }
-                    if !deliver(
-                        step,
-                        self.vehicles[j].id,
-                        self.vehicles[i].id,
-                        other.packet.wire_size(),
-                    ) {
-                        continue;
-                    }
-                    bytes_received += other.packet.wire_size();
-                    packets.push(other.packet.clone());
+                let (single, cooperative) = {
+                    let _perceive_span = cooper_telemetry::span!("fleet.perceive");
+                    let single = pipeline.perceive_single(&me.scan).len();
+                    let cooperative = pipeline
+                        .perceive_cooperative(&me.scan, &my_estimate, &packets, &self.config.origin)
+                        .expect("freshly built packets always decode")
+                        .detections
+                        .len();
+                    (single, cooperative)
+                };
+                timings.perceive_us += perceive_start.elapsed().as_micros() as u64;
+
+                if cooper_telemetry::is_enabled() {
+                    cooper_telemetry::counter_add("fleet.bytes_received", bytes_received as u64);
+                    cooper_telemetry::emit(
+                        cooper_telemetry::TelemetryEvent::new("fleet.vehicle_step")
+                            .with("step", step)
+                            .with("vehicle", self.vehicles[i].id)
+                            .with("single_detections", single)
+                            .with("cooperative_detections", cooperative)
+                            .with("packets_received", packets.len())
+                            .with("bytes_received", bytes_received),
+                    );
                 }
-                stats.total_bytes += bytes_received as u64;
-                let single = pipeline.perceive_single(&me.scan).len();
-                let cooperative = pipeline
-                    .perceive_cooperative(&me.scan, &my_estimate, &packets, &self.config.origin)
-                    .expect("freshly built packets always decode")
-                    .detections
-                    .len();
                 per_vehicle.push(VehicleStepReport {
                     vehicle_id: self.vehicles[i].id,
                     single_detections: single,
@@ -279,7 +338,11 @@ impl FleetSimulation {
                     bytes_received,
                 });
             }
-            reports.push(FleetStepReport { step, per_vehicle });
+            reports.push(FleetStepReport {
+                step,
+                per_vehicle,
+                timings,
+            });
             world = world.advanced(self.config.step_duration_s);
         }
         (reports, stats)
@@ -344,6 +407,16 @@ mod tests {
         assert_eq!(stats.connection_steps.get(&(1, 2)), Some(&3));
         assert!(stats.total_bytes > 0);
         assert_eq!(stats.longest_connection().unwrap().0, (1, 2));
+        for report in &reports {
+            assert!(
+                report.timings.scan_us > 0,
+                "scanning two vehicles takes measurable time"
+            );
+            assert_eq!(
+                report.timings.total_us(),
+                report.timings.scan_us + report.timings.exchange_us + report.timings.perceive_us
+            );
+        }
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub mod viz;
 pub use alignment::alignment_transform;
 pub use error::CooperError;
 pub use packet::ExchangePacket;
-pub use pipeline::{CooperPipeline, CooperativeResult};
+pub use pipeline::{CooperPipeline, CooperativeResult, PacketDrop};
 pub use request::{requests_from_blind_zones, respond_to_roi_request, RoiRequest};
 pub use stats::{CooperDifficulty, DistanceBand, ScoreImprovement};
 

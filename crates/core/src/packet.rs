@@ -101,6 +101,7 @@ impl ExchangePacket {
     ///
     /// Returns [`CooperError::Codec`] for a corrupt payload.
     pub fn cloud(&self) -> Result<PointCloud, CooperError> {
+        let _span = cooper_telemetry::span!("packet.payload_decode");
         Ok(decode_cloud(&self.payload)?)
     }
 
@@ -117,6 +118,8 @@ impl ExchangePacket {
 
     /// Serializes the packet for transmission.
     pub fn to_bytes(&self) -> Bytes {
+        let _span = cooper_telemetry::span!("packet.encode");
+        cooper_telemetry::record_value("packet.wire_bytes", self.wire_size() as u64);
         let mut buf = BytesMut::with_capacity(self.wire_size());
         buf.put_slice(MAGIC);
         buf.put_u8(VERSION);
@@ -141,6 +144,7 @@ impl ExchangePacket {
     /// [`CooperError::UnsupportedVersion`] or [`CooperError::InvalidPose`]
     /// for malformed input.
     pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, CooperError> {
+        let _span = cooper_telemetry::span!("packet.decode");
         if bytes.len() < HEADER_BYTES {
             return Err(CooperError::Truncated {
                 expected: HEADER_BYTES,

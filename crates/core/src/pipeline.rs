@@ -14,8 +14,61 @@ pub struct CooperativeResult {
     pub fused_cloud: PointCloud,
     /// Detections on the fused cloud.
     pub detections: Vec<Detection>,
-    /// Number of remote packets successfully fused.
+    /// Number of remote packets successfully fused — derived from the
+    /// merges that actually happened, not from the input length.
     pub packets_fused: usize,
+}
+
+/// Why one received packet was excluded from fusion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketDrop {
+    /// Position of the packet in the input slice.
+    pub index: usize,
+    /// Transmitting vehicle's identifier from the packet header.
+    pub vehicle_id: u32,
+    /// The decode error that caused the drop.
+    pub error: CooperError,
+}
+
+/// Aligns and merges every decodable packet into a copy of
+/// `local_cloud`, collecting a [`PacketDrop`] per failure. Shared by
+/// the strict and lossy pipeline entry points so their fusion
+/// semantics and telemetry cannot drift apart.
+fn fuse_packets(
+    local_cloud: &PointCloud,
+    local_pose: &PoseEstimate,
+    packets: &[ExchangePacket],
+    origin: &GpsFix,
+) -> (PointCloud, usize, Vec<PacketDrop>) {
+    let _span = cooper_telemetry::span!("pipeline.fuse");
+    let mut fused = local_cloud.clone();
+    let mut fused_count = 0usize;
+    let mut merged_points = 0u64;
+    let mut drops = Vec::new();
+    for (index, packet) in packets.iter().enumerate() {
+        match packet.cloud() {
+            Ok(remote_cloud) => {
+                let transform = alignment_transform(packet.pose(), local_pose, origin);
+                merged_points += remote_cloud.len() as u64;
+                fused.merge(&remote_cloud.transformed(&transform));
+                fused_count += 1;
+            }
+            Err(error) => {
+                if cooper_telemetry::is_enabled() {
+                    cooper_telemetry::counter_add(&format!("pipeline.drop.{}", error.kind()), 1);
+                }
+                drops.push(PacketDrop {
+                    index,
+                    vehicle_id: packet.vehicle_id(),
+                    error,
+                });
+            }
+        }
+    }
+    cooper_telemetry::counter_add("pipeline.packets_fused", fused_count as u64);
+    cooper_telemetry::counter_add("pipeline.packets_dropped", drops.len() as u64);
+    cooper_telemetry::counter_add("pipeline.points_merged", merged_points);
+    (fused, fused_count, drops)
 }
 
 /// The Cooper perception pipeline: a trained SPOD detector plus the
@@ -55,6 +108,7 @@ impl CooperPipeline {
     /// Single-shot perception: detect cars on one vehicle's own scan —
     /// the paper's baseline.
     pub fn perceive_single(&self, cloud: &PointCloud) -> Vec<Detection> {
+        let _span = cooper_telemetry::span!("pipeline.perceive_single");
         self.detector
             .detect_class(cloud, ObjectClass::Car, self.score_threshold)
     }
@@ -80,13 +134,11 @@ impl CooperPipeline {
         packets: &[ExchangePacket],
         origin: &GpsFix,
     ) -> Result<PointCloud, CooperError> {
-        let mut fused = local_cloud.clone();
-        for packet in packets {
-            let remote_cloud = packet.cloud()?;
-            let transform = alignment_transform(packet.pose(), local_pose, origin);
-            fused.merge(&remote_cloud.transformed(&transform));
+        let (fused, _, drops) = fuse_packets(local_cloud, local_pose, packets, origin);
+        match drops.into_iter().next() {
+            Some(drop) => Err(drop.error),
+            None => Ok(fused),
         }
-        Ok(fused)
     }
 
     /// Full cooperative perception: fuse every packet, then run SPOD on
@@ -102,47 +154,43 @@ impl CooperPipeline {
         packets: &[ExchangePacket],
         origin: &GpsFix,
     ) -> Result<CooperativeResult, CooperError> {
-        let fused_cloud = self.fuse(local_cloud, local_pose, packets, origin)?;
+        let _span = cooper_telemetry::span!("pipeline.perceive_cooperative");
+        let (fused_cloud, fused_count, drops) =
+            fuse_packets(local_cloud, local_pose, packets, origin);
+        if let Some(drop) = drops.into_iter().next() {
+            return Err(drop.error);
+        }
         let detections = self.perceive_single(&fused_cloud);
         Ok(CooperativeResult {
             fused_cloud,
             detections,
-            packets_fused: packets.len(),
+            packets_fused: fused_count,
         })
     }
 
     /// Like [`CooperPipeline::perceive_cooperative`] but skips packets
     /// that fail to decode instead of aborting — the behaviour a robust
-    /// receiver wants on a lossy channel. Returns the result plus the
-    /// number of packets dropped.
+    /// receiver wants on a lossy channel. Returns the result plus one
+    /// [`PacketDrop`] per skipped packet, identifying the sender and
+    /// the decode error.
     pub fn perceive_cooperative_lossy(
         &self,
         local_cloud: &PointCloud,
         local_pose: &PoseEstimate,
         packets: &[ExchangePacket],
         origin: &GpsFix,
-    ) -> (CooperativeResult, usize) {
-        let mut fused = local_cloud.clone();
-        let mut fused_count = 0usize;
-        let mut dropped = 0usize;
-        for packet in packets {
-            match packet.cloud() {
-                Ok(remote_cloud) => {
-                    let transform = alignment_transform(packet.pose(), local_pose, origin);
-                    fused.merge(&remote_cloud.transformed(&transform));
-                    fused_count += 1;
-                }
-                Err(_) => dropped += 1,
-            }
-        }
-        let detections = self.perceive_single(&fused);
+    ) -> (CooperativeResult, Vec<PacketDrop>) {
+        let _span = cooper_telemetry::span!("pipeline.perceive_cooperative_lossy");
+        let (fused_cloud, fused_count, drops) =
+            fuse_packets(local_cloud, local_pose, packets, origin);
+        let detections = self.perceive_single(&fused_cloud);
         (
             CooperativeResult {
-                fused_cloud: fused,
+                fused_cloud,
                 detections,
                 packets_fused: fused_count,
             },
-            dropped,
+            drops,
         )
     }
 }
@@ -228,8 +276,33 @@ mod tests {
         let (result, dropped) =
             pipeline.perceive_cooperative_lossy(&cloud, &est, &[good, bad], &origin());
         assert_eq!(result.packets_fused, 1);
-        assert_eq!(dropped, 1);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].index, 1);
+        assert_eq!(dropped[0].vehicle_id, 1);
+        assert_eq!(dropped[0].error.kind(), "codec");
         assert_eq!(result.fused_cloud.len(), 2);
+    }
+
+    #[test]
+    fn strict_pipeline_surfaces_first_drop_error() {
+        let pipeline = untrained_pipeline();
+        let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
+        let est = PoseEstimate::from_pose(&pose, &origin());
+        let mut cloud = PointCloud::new();
+        cloud.push(cooper_pointcloud::Point::new(
+            Vec3::new(5.0, 0.0, -1.0),
+            0.5,
+        ));
+        let good = ExchangePacket::build(1, 0, &cloud, est).unwrap();
+        let mut bytes = good.to_bytes().to_vec();
+        let header = bytes.len() - good.payload_len();
+        bytes[header] = b'Z';
+        let bad = ExchangePacket::from_bytes(&bytes).unwrap();
+        let err = pipeline
+            .perceive_cooperative(&cloud, &est, &[good.clone(), bad.clone()], &origin())
+            .unwrap_err();
+        assert_eq!(err.kind(), "codec");
+        assert!(pipeline.fuse(&cloud, &est, &[bad], &origin()).is_err());
     }
 
     #[test]

@@ -208,12 +208,23 @@ impl SpodDetector {
     /// Exposed so the trainer and ablation benches can reuse the exact
     /// inference path (C-INTERMEDIATE).
     pub fn featurize(&self, cloud: &PointCloud) -> BevMap {
-        let mut dense = densify(cloud, &self.config.preprocess);
-        if let Some(margin) = self.config.ground_removal_margin {
-            let cutoff = -self.config.mount_height + margin;
-            dense.retain(|p| p.position.z >= cutoff);
-        }
-        let grid = VoxelGrid::from_cloud(&dense, self.config.voxel_grid);
+        let _span = cooper_telemetry::span!("spod.featurize");
+        let dense = {
+            let _stage = cooper_telemetry::span!("spod.preprocess");
+            let mut dense = densify(cloud, &self.config.preprocess);
+            if let Some(margin) = self.config.ground_removal_margin {
+                let cutoff = -self.config.mount_height + margin;
+                dense.retain(|p| p.position.z >= cutoff);
+            }
+            dense
+        };
+        let grid = {
+            let _stage = cooper_telemetry::span!("spod.voxelize");
+            let grid = VoxelGrid::from_cloud(&dense, self.config.voxel_grid);
+            cooper_telemetry::counter_add("spod.voxels_occupied", grid.occupied_count() as u64);
+            grid
+        };
+        let _stage = cooper_telemetry::span!("spod.middle");
         let embedded = self.vfe.encode(&grid);
         let mid = self.conv1.forward(&embedded);
         let deep = self.conv2.forward(&mid);
@@ -232,28 +243,33 @@ impl SpodDetector {
     /// evaluation, which sweeps thresholds).
     pub fn detect_with_threshold(&self, cloud: &PointCloud, threshold: f32) -> Vec<Detection> {
         let bev = self.featurize(cloud);
-        let mut detections = Vec::new();
-        for (&(x, y), _) in bev.iter() {
-            let features = bev.window_features(x, y, self.config.window_radius);
-            for head in &self.heads {
-                for yaw_idx in 0..AnchorConfig::YAWS.len() {
-                    let score = head.score(&features, yaw_idx);
-                    if score < threshold {
-                        continue;
+        let detections = {
+            let _stage = cooper_telemetry::span!("spod.rpn");
+            let mut detections = Vec::new();
+            for (&(x, y), _) in bev.iter() {
+                let features = bev.window_features(x, y, self.config.window_radius);
+                for head in &self.heads {
+                    for yaw_idx in 0..AnchorConfig::YAWS.len() {
+                        let score = head.score(&features, yaw_idx);
+                        if score < threshold {
+                            continue;
+                        }
+                        let anchor =
+                            head.config()
+                                .anchor_at(&self.config.voxel_grid, (x, y), yaw_idx);
+                        let residual = head.residual(&features, yaw_idx);
+                        let obb = crate::anchors::decode_box(&anchor, &residual);
+                        detections.push(Detection {
+                            class: head.config().class,
+                            obb,
+                            score,
+                        });
                     }
-                    let anchor = head
-                        .config()
-                        .anchor_at(&self.config.voxel_grid, (x, y), yaw_idx);
-                    let residual = head.residual(&features, yaw_idx);
-                    let obb = crate::anchors::decode_box(&anchor, &residual);
-                    detections.push(Detection {
-                        class: head.config().class,
-                        obb,
-                        score,
-                    });
                 }
             }
-        }
+            detections
+        };
+        let _stage = cooper_telemetry::span!("spod.nms");
         crate::nms::non_max_suppression_with_distance(
             detections,
             self.config.nms_iou,
@@ -273,25 +289,30 @@ impl SpodDetector {
         let Some(head) = self.heads.iter().find(|h| h.config().class == class) else {
             return Vec::new();
         };
-        let mut detections = Vec::new();
-        for (&(x, y), _) in bev.iter() {
-            let features = bev.window_features(x, y, self.config.window_radius);
-            for yaw_idx in 0..AnchorConfig::YAWS.len() {
-                let score = head.score(&features, yaw_idx);
-                if score < threshold {
-                    continue;
+        let detections = {
+            let _stage = cooper_telemetry::span!("spod.rpn");
+            let mut detections = Vec::new();
+            for (&(x, y), _) in bev.iter() {
+                let features = bev.window_features(x, y, self.config.window_radius);
+                for yaw_idx in 0..AnchorConfig::YAWS.len() {
+                    let score = head.score(&features, yaw_idx);
+                    if score < threshold {
+                        continue;
+                    }
+                    let anchor = head
+                        .config()
+                        .anchor_at(&self.config.voxel_grid, (x, y), yaw_idx);
+                    let residual = head.residual(&features, yaw_idx);
+                    detections.push(Detection {
+                        class,
+                        obb: crate::anchors::decode_box(&anchor, &residual),
+                        score,
+                    });
                 }
-                let anchor = head
-                    .config()
-                    .anchor_at(&self.config.voxel_grid, (x, y), yaw_idx);
-                let residual = head.residual(&features, yaw_idx);
-                detections.push(Detection {
-                    class,
-                    obb: crate::anchors::decode_box(&anchor, &residual),
-                    score,
-                });
             }
-        }
+            detections
+        };
+        let _stage = cooper_telemetry::span!("spod.nms");
         crate::nms::non_max_suppression_with_distance(
             detections,
             self.config.nms_iou,

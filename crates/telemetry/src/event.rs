@@ -1,0 +1,432 @@
+//! Structured telemetry events with a JSON-lines wire form.
+//!
+//! Events are flat string-keyed maps (one nesting level keeps the
+//! encoder and decoder small and every consumer — `jq`, spreadsheets,
+//! log shippers — happy). Encoding is hand-rolled: the build
+//! environment has no crates.io access, so `serde_json` is not
+//! available, and the subset needed here (strings, bools, integers,
+//! floats) is small.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single typed field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! impl_from_field_value {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+
+impl_from_field_value!(
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64,
+    f32 => F64 as f64
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A structured event: a kind plus flat typed fields.
+///
+/// `kind` is serialized under the reserved key `"kind"`, so fields may
+/// not use that name ([`TelemetryEvent::with`] panics if they try).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetryEvent {
+    kind: String,
+    fields: BTreeMap<String, FieldValue>,
+}
+
+impl TelemetryEvent {
+    /// Creates an event of the given kind with no fields.
+    pub fn new(kind: impl Into<String>) -> Self {
+        TelemetryEvent {
+            kind: kind.into(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a field (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `key` is the reserved name `"kind"`.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<FieldValue>) -> Self {
+        let key = key.into();
+        assert_ne!(key, "kind", "\"kind\" is reserved for the event kind");
+        self.fields.insert(key, value.into());
+        self
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Looks up a field.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.get(key)
+    }
+
+    /// All fields in key order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &FieldValue)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Encodes as one JSON object on a single line (no trailing
+    /// newline). `kind` comes first, fields follow in key order.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"kind\":");
+        encode_json_string(&self.kind, &mut out);
+        for (key, value) in &self.fields {
+            out.push(',');
+            encode_json_string(key, &mut out);
+            out.push(':');
+            match value {
+                FieldValue::U64(v) => out.push_str(&v.to_string()),
+                FieldValue::I64(v) => out.push_str(&v.to_string()),
+                FieldValue::F64(v) => {
+                    if v.is_finite() {
+                        let s = format!("{v}");
+                        // Keep floats recognisable as floats on re-parse.
+                        if s.contains('.') || s.contains('e') || s.contains('E') {
+                            out.push_str(&s);
+                        } else {
+                            out.push_str(&s);
+                            out.push_str(".0");
+                        }
+                    } else {
+                        // JSON has no Inf/NaN literal; encode as null.
+                        out.push_str("null");
+                    }
+                }
+                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                FieldValue::Str(v) => encode_json_string(v, &mut out),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decodes an event from a JSON line produced by
+    /// [`TelemetryEvent::to_json_line`] (or any flat JSON object with a
+    /// string `"kind"` member).
+    pub fn from_json_line(line: &str) -> Result<Self, ParseError> {
+        let mut parser = Parser {
+            bytes: line.trim().as_bytes(),
+            pos: 0,
+        };
+        parser.expect(b'{')?;
+        let mut kind = None;
+        let mut fields = BTreeMap::new();
+        loop {
+            parser.skip_ws();
+            if parser.eat(b'}') {
+                break;
+            }
+            if !fields.is_empty() || kind.is_some() {
+                parser.expect(b',')?;
+                parser.skip_ws();
+            }
+            let key = parser.parse_string()?;
+            parser.skip_ws();
+            parser.expect(b':')?;
+            parser.skip_ws();
+            let value = parser.parse_value()?;
+            if key == "kind" {
+                match value {
+                    FieldValue::Str(s) => kind = Some(s),
+                    _ => return Err(ParseError::at(parser.pos, "\"kind\" must be a string")),
+                }
+            } else {
+                fields.insert(key, value);
+            }
+        }
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(ParseError::at(parser.pos, "trailing bytes after object"));
+        }
+        let kind = kind.ok_or(ParseError::at(0, "missing \"kind\" member"))?;
+        Ok(TelemetryEvent { kind, fields })
+    }
+}
+
+/// Why a JSON line failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable cause.
+    pub message: &'static str,
+}
+
+impl ParseError {
+    fn at(offset: usize, message: &'static str) -> Self {
+        ParseError { offset, message }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "telemetry event parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn encode_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(ParseError::at(self.pos, "unexpected character"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        if !self.eat(b'"') {
+            return Err(ParseError::at(self.pos, "expected string"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(ParseError::at(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or(ParseError::at(self.pos, "truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| ParseError::at(self.pos, "bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| ParseError::at(self.pos, "bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(ParseError::at(self.pos, "bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(ParseError::at(self.pos, "bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| ParseError::at(self.pos, "invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<FieldValue, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(FieldValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", FieldValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", FieldValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", FieldValue::F64(f64::NAN)),
+            Some(_) => self.parse_number(),
+            None => Err(ParseError::at(self.pos, "expected value")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: FieldValue) -> Result<FieldValue, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(ParseError::at(self.pos, "bad literal"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<FieldValue, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError::at(start, "bad number"))?;
+        if text.contains(['.', 'e', 'E']) {
+            text.parse::<f64>()
+                .map(FieldValue::F64)
+                .map_err(|_| ParseError::at(start, "bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(FieldValue::I64)
+                .map_err(|_| ParseError::at(start, "bad number"))
+        } else {
+            text.parse::<u64>()
+                .map(FieldValue::U64)
+                .map_err(|_| ParseError::at(start, "bad number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_round_trip() {
+        let event = TelemetryEvent::new("fleet.vehicle_step")
+            .with("vehicle", 3u64)
+            .with("step", 12u64)
+            .with("latency_ms", 4.25)
+            .with("connected", true)
+            .with("note", "line one\nline \"two\" \\ done");
+        let line = event.to_json_line();
+        let back = TelemetryEvent::from_json_line(&line).expect("parses");
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn negative_and_float_numbers_round_trip() {
+        let event = TelemetryEvent::new("x")
+            .with("dx", -42i64)
+            .with("whole", 3.0f64);
+        let line = event.to_json_line();
+        assert!(line.contains("\"whole\":3.0"), "line = {line}");
+        let back = TelemetryEvent::from_json_line(&line).expect("parses");
+        assert_eq!(back.field("dx"), Some(&FieldValue::I64(-42)));
+        assert_eq!(back.field("whole"), Some(&FieldValue::F64(3.0)));
+    }
+
+    #[test]
+    fn kind_is_first_and_reserved() {
+        let line = TelemetryEvent::new("k").with("a", 1u64).to_json_line();
+        assert!(line.starts_with("{\"kind\":\"k\""), "line = {line}");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn kind_field_rejected() {
+        let _ = TelemetryEvent::new("k").with("kind", 1u64);
+    }
+
+    #[test]
+    fn malformed_lines_error_out() {
+        assert!(TelemetryEvent::from_json_line("").is_err());
+        assert!(TelemetryEvent::from_json_line("{}").is_err());
+        assert!(TelemetryEvent::from_json_line("{\"kind\":3}").is_err());
+        assert!(TelemetryEvent::from_json_line("{\"kind\":\"k\"} extra").is_err());
+        assert!(TelemetryEvent::from_json_line("{\"kind\":\"k\",\"a\":}").is_err());
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        let line = TelemetryEvent::new("k").with("s", "\u{1}").to_json_line();
+        assert!(line.contains("\\u0001"), "line = {line}");
+        let back = TelemetryEvent::from_json_line(&line).expect("parses");
+        assert_eq!(back.field("s"), Some(&FieldValue::Str("\u{1}".into())));
+    }
+}

@@ -1,0 +1,218 @@
+//! Fixed-bucket histogram with percentile estimation.
+//!
+//! Buckets are powers of two: bucket `i` covers values whose upper
+//! bound is `2^i - 1` (bucket 0 holds exactly zero). This gives
+//! constant-time recording, a fixed 48-slot footprint regardless of
+//! value range, and relative error bounded by 2x on percentile
+//! estimates — ample for microsecond-scale latency reporting, where the
+//! interesting differences are orders of magnitude.
+
+/// Number of power-of-two buckets; covers the full `u64` range because
+/// bucket 47 is open-ended.
+pub const BUCKETS: usize = 48;
+
+/// A fixed-footprint histogram over `u64` values (durations in
+/// microseconds, payload sizes in bytes, ...).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`; the last bucket is
+    /// open-ended and reports `u64::MAX`.
+    fn bucket_upper(i: usize) -> u64 {
+        if i >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) as the upper bound
+    /// of the first bucket whose cumulative count reaches the rank,
+    /// clamped to the observed maximum. Exact when all observations in
+    /// the answering bucket share a value; otherwise within 2x.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_at_bucket_boundaries() {
+        // 0, 1, 3, 7, 15 are exactly the upper bounds of buckets 0..=4,
+        // so every percentile estimate is exact.
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(0.2), 0);
+        assert_eq!(h.percentile(0.4), 1);
+        assert_eq!(h.percentile(0.5), 3);
+        assert_eq!(h.percentile(0.6), 3);
+        assert_eq!(h.percentile(0.8), 7);
+        assert_eq!(h.percentile(1.0), 15);
+    }
+
+    #[test]
+    fn percentile_clamps_to_observed_max() {
+        // 9 lands in bucket 4 (upper bound 15); the estimate must not
+        // exceed the largest observed value.
+        let mut h = Histogram::new();
+        h.record(9);
+        assert_eq!(h.percentile(0.5), 9);
+        assert_eq!(h.percentile(0.99), 9);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.min(), 9);
+    }
+
+    #[test]
+    fn percentile_estimate_within_power_of_two() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        // True p50 is 500; bucket estimate is the enclosing power-of-two
+        // upper bound.
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.percentile(1.0), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.mean(), 500.5);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(2);
+        b.record(100);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 2);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.sum(), 109);
+    }
+
+    #[test]
+    fn huge_values_land_in_open_ended_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

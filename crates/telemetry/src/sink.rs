@@ -1,0 +1,112 @@
+//! Event sinks: where emitted [`TelemetryEvent`]s go.
+
+use crate::event::TelemetryEvent;
+use parking_lot::Mutex;
+use std::io::Write;
+
+/// Receives emitted events. Implementations must tolerate concurrent
+/// calls; the registry invokes `record` from whatever thread emits.
+pub trait TelemetrySink: Send + Sync {
+    /// Handles one event.
+    fn record(&self, event: &TelemetryEvent);
+}
+
+/// Buffers events in memory; useful in tests and for post-run export.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TelemetryEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Snapshot of all buffered events.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Drains and returns all buffered events.
+    pub fn drain(&self) -> Vec<TelemetryEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&self, event: &TelemetryEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Writes each event as one JSON line to the wrapped writer.
+/// Write errors are swallowed: telemetry must never take down the
+/// pipeline it observes.
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes and returns the writer.
+    pub fn into_inner(self) -> W {
+        let mut writer = self.writer.into_inner();
+        let _ = writer.flush();
+        writer
+    }
+}
+
+impl<W: Write + Send> TelemetrySink for JsonLinesSink<W> {
+    fn record(&self, event: &TelemetryEvent) {
+        let mut writer = self.writer.lock();
+        let _ = writeln!(writer, "{}", event.to_json_line());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        sink.record(&TelemetryEvent::new("a"));
+        sink.record(&TelemetryEvent::new("b").with("n", 1u64));
+        assert_eq!(sink.len(), 2);
+        let events = sink.drain();
+        assert_eq!(events[0].kind(), "a");
+        assert_eq!(events[1].kind(), "b");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn json_lines_sink_writes_parseable_lines() {
+        let sink = JsonLinesSink::new(Vec::<u8>::new());
+        sink.record(&TelemetryEvent::new("x").with("v", 7u64));
+        sink.record(&TelemetryEvent::new("y").with("s", "hi"));
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).expect("utf-8");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            TelemetryEvent::from_json_line(line).expect("each line parses");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Immutable summaries of registry state, with table and CSV render.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Aggregated timing for one span path.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpanSummary {
+    /// Full `/`-joined path, e.g. `pipeline.perceive_cooperative/pipeline.fuse`.
+    pub path: String,
+    /// Leaf name, e.g. `pipeline.fuse`.
+    pub name: String,
+    /// Nesting depth (number of `/` in the path).
+    pub depth: usize,
+    /// Completed executions.
+    pub count: u64,
+    /// Total wall-clock microseconds across executions.
+    pub total_us: u64,
+    /// Mean microseconds per execution.
+    pub mean_us: f64,
+    /// Estimated 50th-percentile microseconds.
+    pub p50_us: u64,
+    /// Estimated 95th-percentile microseconds.
+    pub p95_us: u64,
+    /// Estimated 99th-percentile microseconds.
+    pub p99_us: u64,
+    /// Slowest execution in microseconds.
+    pub max_us: u64,
+}
+
+/// Aggregated statistics for one value histogram.
+#[derive(Clone, Debug, Serialize)]
+pub struct ValueSummary {
+    /// Histogram name, e.g. `v2x.frame_bytes`.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Estimated 50th percentile.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+/// A point-in-time copy of everything a registry has recorded.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct TelemetrySnapshot {
+    /// Span timings sorted by path, parents before children.
+    pub spans: Vec<SpanSummary>,
+    /// Monotonic counters sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Value histograms sorted by name.
+    pub values: Vec<ValueSummary>,
+}
+
+impl TelemetrySnapshot {
+    /// Looks up a span by its full path.
+    pub fn span(&self, path: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Looks up a counter value.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a value histogram summary.
+    pub fn value(&self, name: &str) -> Option<&ValueSummary> {
+        self.values.iter().find(|v| v.name == name)
+    }
+
+    /// `true` when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.values.is_empty()
+    }
+
+    /// Renders a human-readable report: the span tree (children
+    /// indented under parents) with count and latency percentiles,
+    /// then counters, gauges, and value histograms.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans\n");
+            let _ = writeln!(
+                out,
+                "  {:<52} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                "span", "count", "total_ms", "p50_us", "p95_us", "p99_us", "max_us"
+            );
+            for span in &self.spans {
+                let label = format!("{}{}", "  ".repeat(span.depth), span.name);
+                let _ = writeln!(
+                    out,
+                    "  {:<52} {:>8} {:>12.3} {:>10} {:>10} {:>10} {:>10}",
+                    label,
+                    span.count,
+                    span.total_us as f64 / 1_000.0,
+                    span.p50_us,
+                    span.p95_us,
+                    span.p99_us,
+                    span.max_us
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<52} {value:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<52} {value:>12.4}");
+            }
+        }
+        if !self.values.is_empty() {
+            out.push_str("values\n");
+            let _ = writeln!(
+                out,
+                "  {:<52} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                "value", "count", "sum", "p50", "p95", "p99", "max"
+            );
+            for value in &self.values {
+                let _ = writeln!(
+                    out,
+                    "  {:<52} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                    value.name, value.count, value.sum, value.p50, value.p95, value.p99, value.max
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("telemetry: no data recorded\n");
+        }
+        out
+    }
+
+    /// Renders span timings as CSV with header
+    /// `stage,count,p50_us,p95_us,p99_us`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("stage,count,p50_us,p95_us,p99_us\n");
+        for span in &self.spans {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                span.path, span.count, span.p50_us, span.p95_us, span.p99_us
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            spans: vec![
+                SpanSummary {
+                    path: "pipeline.fuse".into(),
+                    name: "pipeline.fuse".into(),
+                    depth: 0,
+                    count: 3,
+                    total_us: 3_000,
+                    mean_us: 1_000.0,
+                    p50_us: 1_023,
+                    p95_us: 2_047,
+                    p99_us: 2_047,
+                    max_us: 1_900,
+                },
+                SpanSummary {
+                    path: "pipeline.fuse/packet.decode".into(),
+                    name: "packet.decode".into(),
+                    depth: 1,
+                    count: 9,
+                    total_us: 900,
+                    mean_us: 100.0,
+                    p50_us: 127,
+                    p95_us: 255,
+                    p99_us: 255,
+                    max_us: 140,
+                },
+            ],
+            counters: vec![("pipeline.packets_fused".into(), 9)],
+            gauges: vec![("fleet.connected_ratio".into(), 0.5)],
+            values: vec![ValueSummary {
+                name: "v2x.frame_bytes".into(),
+                count: 4,
+                sum: 4_096,
+                p50: 1_023,
+                p95: 2_047,
+                p99: 2_047,
+                max: 1_500,
+            }],
+        }
+    }
+
+    #[test]
+    fn table_indents_children_and_lists_sections() {
+        let table = sample_snapshot().render_table();
+        assert!(table.contains("pipeline.fuse"));
+        assert!(
+            table.contains("  packet.decode"),
+            "child indented:\n{table}"
+        );
+        assert!(table.contains("counters"));
+        assert!(table.contains("pipeline.packets_fused"));
+        assert!(table.contains("gauges"));
+        assert!(table.contains("values"));
+        assert!(table.contains("v2x.frame_bytes"));
+    }
+
+    #[test]
+    fn csv_lists_all_span_paths() {
+        let csv = sample_snapshot().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("stage,count,p50_us,p95_us,p99_us"));
+        assert_eq!(lines.next(), Some("pipeline.fuse,3,1023,2047,2047"));
+        assert_eq!(
+            lines.next(),
+            Some("pipeline.fuse/packet.decode,9,127,255,255")
+        );
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let table = TelemetrySnapshot::default().render_table();
+        assert!(table.contains("no data"));
+        assert!(TelemetrySnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn lookups_find_recorded_entries() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.span("pipeline.fuse").unwrap().count, 3);
+        assert_eq!(snap.counter("pipeline.packets_fused"), Some(9));
+        assert_eq!(snap.gauge("fleet.connected_ratio"), Some(0.5));
+        assert_eq!(snap.value("v2x.frame_bytes").unwrap().max, 1_500);
+        assert!(snap.span("nope").is_none());
+        assert!(snap.counter("nope").is_none());
+    }
+}

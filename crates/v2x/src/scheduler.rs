@@ -52,14 +52,23 @@ impl SharedMedium {
         payload_bytes: usize,
         rng: &mut R,
     ) -> Option<TransmissionReport> {
+        let _span = cooper_telemetry::span!("v2x.try_send");
         let needed = self.channel.airtime_for(payload_bytes);
         let mut used = self.airtime_used_s.lock();
         if *used + needed > 1.0 {
+            cooper_telemetry::counter_add("v2x.window_saturated", 1);
             return None;
         }
         *used += needed;
         drop(used);
-        Some(self.channel.transmit_sized(payload_bytes, rng))
+        let report = self.channel.transmit_sized(payload_bytes, rng);
+        cooper_telemetry::counter_add("v2x.frames", report.frames as u64);
+        cooper_telemetry::counter_add(
+            "v2x.frames_lost",
+            (report.frames - report.frames_delivered) as u64,
+        );
+        cooper_telemetry::counter_add("v2x.tx_bytes", report.bytes_on_air as u64);
+        Some(report)
     }
 
     /// Air time consumed in the current window, seconds (0–1).
@@ -160,6 +169,7 @@ impl ExchangeScheduler {
         medium: &SharedMedium,
         rng: &mut R,
     ) -> RoiTrace {
+        let _span = cooper_telemetry::span!("v2x.simulate");
         let mut per_second_mbit = Vec::with_capacity(per_second_scans.len());
         let mut peak_utilization = 0.0f64;
         let mut transfers_dropped = 0usize;

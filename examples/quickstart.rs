@@ -12,12 +12,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 0. Turn on telemetry: every pipeline stage below records spans
+    //    and counters into the global registry, printed at the end.
+    cooper_telemetry::enable();
+
     // 1. Train the SPOD detector on synthetic labelled scenes. The
     //    `fast` config takes a couple of seconds; the experiment harness
     //    uses `standard`.
     println!("training SPOD detector…");
     let detector = SpodDetector::train_default(&TrainingConfig::fast());
     let pipeline = CooperPipeline::new(detector);
+    cooper_telemetry::reset(); // drop spans recorded during training
 
     // 2. Pick a scenario: a parking lot scanned by two 16-beam vehicles.
     let scene = scenario::tj_scenario_1();
@@ -55,5 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for d in &result.detections {
         println!("  {d}");
     }
+
+    // 7. Where did the time go? The telemetry snapshot breaks the run
+    //    down per stage (see the Observability section of README.md).
+    println!("\n{}", cooper_telemetry::snapshot().render_table());
     Ok(())
 }

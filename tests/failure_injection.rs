@@ -106,7 +106,9 @@ fn lossy_receiver_drops_bad_packets_and_continues() {
     );
     let (result, dropped) =
         pipeline.perceive_cooperative_lossy(&local, &est, &[good.clone(), bad], &origin());
-    assert_eq!(dropped, 1);
+    assert_eq!(dropped.len(), 1);
+    assert_eq!(dropped[0].index, 1);
+    assert_eq!(dropped[0].error.kind(), "codec");
     assert_eq!(result.packets_fused, 1);
     assert_eq!(result.fused_cloud.len(), 100 + good.cloud().unwrap().len());
 }

@@ -1,0 +1,80 @@
+//! Offline stub of `crossbeam`, backed by `std::thread::scope`.
+//!
+//! Provides the scoped-thread subset the Cooper workspace uses:
+//! `crossbeam::thread::scope`, `Scope::spawn` (whose closure receives
+//! the scope, as in the real crate) and `ScopedJoinHandle::join`.
+
+pub use thread::scope;
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// The result of a scope or a joined scoped thread: `Err` carries
+    /// the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`]'s closure and to every
+    /// spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, so
+        /// spawned threads can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the
+    /// enclosing environment can be spawned; all are joined before
+    /// `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_in_order() {
+        let data = vec![1, 2, 3];
+        let doubled = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| scope.spawn(move |_| x * 2))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect::<Vec<i32>>()
+        })
+        .expect("scope");
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stub of `serde`.
+//!
+//! The Cooper workspace derives `Serialize`/`Deserialize` as a
+//! forward-compatibility marker but never routes data through serde
+//! (artifacts are written with hand-rolled CSV/JSON). Marker traits and
+//! no-op derives are therefore sufficient, and keep the workspace
+//! building without network access.
+
+/// Marker trait; the real serde serialization contract is not needed
+/// offline.
+pub trait Serialize {}
+
+/// Marker trait; the real serde deserialization contract is not needed
+/// offline.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,157 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The stub's traits are empty markers, so the derive only has to
+//! recover the item's name and generic parameters and emit
+//! `impl<...> ::serde::Trait for Name<...> {}`. Parsing is a small
+//! hand-rolled token scan — `syn`/`quote` are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// One parsed generic parameter: its declaration (with bounds, minus
+/// any default) and its bare name as used in the type's argument list.
+struct GenericParam {
+    decl: String,
+    name: String,
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes, visibility, and anything else before the
+    // `struct`/`enum` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    let params = match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => parse_generics(&tokens, i + 1),
+        _ => Vec::new(),
+    };
+
+    let (impl_generics, type_args) = if params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let decls: Vec<&str> = params.iter().map(|p| p.decl.as_str()).collect();
+        let names: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
+        (
+            format!("<{}>", decls.join(", ")),
+            format!("<{}>", names.join(", ")),
+        )
+    };
+
+    format!("impl{impl_generics} ::serde::{trait_name} for {name}{type_args} {{}}")
+        .parse()
+        .expect("derive output parses")
+}
+
+/// Parses `tokens` starting just past the opening `<` of a generics
+/// list, up to the matching `>`. Defaults (`= ...`) are stripped from
+/// declarations since impl generics cannot carry them.
+fn parse_generics(tokens: &[TokenTree], mut i: usize) -> Vec<GenericParam> {
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut decl = String::new();
+    let mut name: Option<String> = None;
+    let mut in_default = false;
+
+    while i < tokens.len() && depth > 0 {
+        let tok = &tokens[i];
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    if !in_default {
+                        decl.push('<');
+                    }
+                }
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    if !in_default {
+                        decl.push('>');
+                    }
+                }
+                ',' if depth == 1 => {
+                    push_param(&mut params, &mut decl, &mut name);
+                    in_default = false;
+                }
+                '=' if depth == 1 => in_default = true,
+                c => {
+                    if !in_default {
+                        decl.push(c);
+                        if c != '\'' {
+                            decl.push(' ');
+                        }
+                    }
+                }
+            },
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if !in_default {
+                    // First ident of a param is its name, except the
+                    // `const` keyword, where the name follows.
+                    if name.is_none() && s != "const" {
+                        name = Some(match decl.trim_end() {
+                            d if d.ends_with('\'') => format!("'{s}"),
+                            _ => s.clone(),
+                        });
+                    }
+                    decl.push_str(&s);
+                    decl.push(' ');
+                }
+            }
+            other => {
+                if !in_default {
+                    decl.push_str(&other.to_string());
+                    decl.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    push_param(&mut params, &mut decl, &mut name);
+    params
+}
+
+fn push_param(params: &mut Vec<GenericParam>, decl: &mut String, name: &mut Option<String>) {
+    let d = decl.trim().to_string();
+    if let Some(n) = name.take() {
+        params.push(GenericParam { decl: d, name: n });
+    }
+    decl.clear();
+}
+
+// Silence an unused-import lint when the crate is compiled standalone.
+#[allow(unused)]
+fn _delimiter_witness(d: Delimiter) -> Delimiter {
+    d
+}
