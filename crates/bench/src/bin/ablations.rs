@@ -99,9 +99,7 @@ fn fusion_level(
 
         // Raw-data fusion: Cooper.
         let packet = ExchangePacket::build(1, 0, &case.scan_b, case.est_b).expect("encodes");
-        let coop = pipeline
-            .perceive_cooperative(&case.scan_a, &case.est_a, &[packet], &config.origin)
-            .expect("decodes");
+        let coop = pipeline.perceive(&case.scan_a, &case.est_a, &[packet], &config.origin);
 
         let m = config.match_distance;
         rows.push(vec![
@@ -136,9 +134,7 @@ fn roi_vs_recall(
             let roi_scan = extract_roi(&case.scan_b, category);
             let packet = ExchangePacket::build(1, 0, &roi_scan, case.est_b).expect("encodes");
             total_bytes += packet.wire_size();
-            let coop = pipeline
-                .perceive_cooperative(&case.scan_a, &case.est_a, &[packet], &config.origin)
-                .expect("decodes");
+            let coop = pipeline.perceive(&case.scan_a, &case.est_a, &[packet], &config.origin);
             let scores =
                 match_by_center_distance(&coop.detections, &case.gt_in_a, config.match_distance);
             total_detected += detected(&scores);

@@ -49,9 +49,7 @@ fn main() {
         // Baseline: realistic (unskewed) measurement.
         let est_b = model.measure(&pose_b, &config.origin, &mut rng);
         let packet = ExchangePacket::build(1, 0, &scan_b, est_b).expect("encodes");
-        let base = pipeline
-            .perceive_cooperative(&scan_a, &est_a, &[packet], &config.origin)
-            .expect("decodes");
+        let base = pipeline.perceive(&scan_a, &est_a, &[packet], &config.origin);
         let base_scores =
             match_by_center_distance(&base.detections, &gt_in_a, config.match_distance);
 
@@ -60,9 +58,7 @@ fn main() {
         for mode in SkewMode::ALL {
             let est_skew = model.measure_skewed(&pose_b, &config.origin, mode, &mut rng);
             let packet = ExchangePacket::build(1, 0, &scan_b, est_skew).expect("encodes");
-            let result = pipeline
-                .perceive_cooperative(&scan_a, &est_a, &[packet], &config.origin)
-                .expect("decodes");
+            let result = pipeline.perceive(&scan_a, &est_a, &[packet], &config.origin);
             skewed_scores.push(match_by_center_distance(
                 &result.detections,
                 &gt_in_a,

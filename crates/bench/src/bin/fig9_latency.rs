@@ -50,9 +50,7 @@ fn run_case(
     }
     for _ in 0..reps {
         let packet = ExchangePacket::build(1, 0, &scan_b, est_b).expect("encodes");
-        let _ = pipeline
-            .perceive_cooperative(&scan_a, &est_a, &[packet], &config.origin)
-            .expect("decodes");
+        let _ = pipeline.perceive(&scan_a, &est_a, &[packet], &config.origin);
     }
     cooper_telemetry::disable();
     let snapshot = cooper_telemetry::snapshot();
@@ -75,7 +73,7 @@ fn main() {
     for (label, scenario) in [("KITTI", t_junction()), ("T&J", tj_scenario_1())] {
         let snapshot = run_case(&pipeline, &scenario, reps);
         let single_ms = mean_ms(&snapshot, "pipeline.perceive_single");
-        let coop_ms = mean_ms(&snapshot, "pipeline.perceive_cooperative");
+        let coop_ms = mean_ms(&snapshot, "pipeline.perceive");
         let overhead = coop_ms - single_ms;
         summary_rows.push(vec![
             label.to_string(),

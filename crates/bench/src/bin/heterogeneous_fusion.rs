@@ -54,9 +54,7 @@ fn main() {
 
             let single = pipeline.perceive_single(&scan_a);
             let packet = ExchangePacket::build(1, 0, &scan_b, est_b).expect("encodes");
-            let coop = pipeline
-                .perceive_cooperative(&scan_a, &est_a, &[packet], &config.origin)
-                .expect("decodes");
+            let coop = pipeline.perceive(&scan_a, &est_a, &[packet], &config.origin);
 
             let count = |dets: &[cooper_core::Detection]| {
                 match_by_center_distance(dets, &gt_in_a, config.match_distance)

@@ -47,9 +47,7 @@ fn main() {
         let packet = ExchangePacket::build(1, 0, &second_scan, est_b).expect("encodes");
 
         let dets_single = pipeline.perceive_single_all_classes(&scene.cloud);
-        let result = pipeline
-            .perceive_cooperative(&scene.cloud, &est_a, &[packet], &config.origin)
-            .expect("decodes");
+        let result = pipeline.perceive(&scene.cloud, &est_a, &[packet], &config.origin);
         let dets_coop: Vec<Detection> = pipeline.perceive_single_all_classes(&result.fused_cloud);
 
         // Labels live in the first sensor's frame already.

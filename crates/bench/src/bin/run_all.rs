@@ -45,9 +45,7 @@ fn telemetry_baseline() -> cooper_telemetry::TelemetrySnapshot {
     for _ in 0..5 {
         let _ = pipeline.perceive_single(&scan_a);
         let packet = ExchangePacket::build(1, 0, &scan_b, est_b).expect("encodes");
-        let _ = pipeline
-            .perceive_cooperative(&scan_a, &est_a, &[packet], &config.origin)
-            .expect("decodes");
+        let _ = pipeline.perceive(&scan_a, &est_a, &[packet], &config.origin);
     }
     let medium = SharedMedium::new(DsrcChannel::new(DsrcConfig::default()));
     let per_second = vec![(scan_a, scan_b); 3];

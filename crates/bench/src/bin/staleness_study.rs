@@ -72,9 +72,7 @@ fn main() {
         let remote_scan = scanner.scan(&world_at_capture, &remote, 3);
         let local_scan = scanner.scan(&world_now, &receiver, 4);
         let packet = ExchangePacket::build(1, 0, &remote_scan, est_tx).expect("encodes");
-        let result = pipeline
-            .perceive_cooperative(&local_scan, &est_rx, &[packet], &config.origin)
-            .expect("decodes");
+        let result = pipeline.perceive(&local_scan, &est_rx, &[packet], &config.origin);
 
         // Ground truth at detection time, receiver frame.
         let world_to_rx = RigidTransform::from_pose(&receiver).inverse();

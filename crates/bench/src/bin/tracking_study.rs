@@ -49,8 +49,7 @@ fn run_tracking(pipeline: &CooperPipeline, cooperative: bool) -> RunStats {
             let est_tx = PoseEstimate::from_pose(&scene.observers[tx], &config.origin);
             let packet = ExchangePacket::build(1, step as u32, &scan_tx, est_tx).expect("encodes");
             pipeline
-                .perceive_cooperative(&scan_rx, &est_rx, &[packet], &config.origin)
-                .expect("decodes")
+                .perceive(&scan_rx, &est_rx, &[packet], &config.origin)
                 .detections
         } else {
             pipeline.perceive_single(&scan_rx)

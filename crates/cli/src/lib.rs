@@ -8,7 +8,7 @@
 //! cooper scan      --scenario NAME --observer N --out scan.ply [--beams vlp16|hdl32|hdl64]
 //! cooper detect    --input cloud.ply|cloud.xyz [--weights weights.bin] [--threshold T] [--bev]
 //! cooper evaluate  --scenario NAME [--pair N] [--weights weights.bin]
-//! cooper simulate  --scenario NAME [--seconds N] [--seed N] [--weights weights.bin]
+//! cooper simulate  --scenario NAME [--seconds N] [--seed N] [--threads N] [--weights weights.bin]
 //! cooper convert   --input a.xyz --out b.ply
 //! cooper scenarios
 //! ```
@@ -25,6 +25,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
+use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle};
 use cooper_core::report::{evaluate_pair, EvaluationConfig};
 use cooper_core::viz::{render_bev, BevViewConfig};
 use cooper_core::{CooperPipeline, ExchangePacket};
@@ -131,12 +132,13 @@ USAGE:
   cooper scan      --scenario NAME --observer N --out scan.ply [--beams vlp16|hdl32|hdl64] [--seed N]
   cooper detect    --input cloud.ply|cloud.xyz [--weights weights.bin] [--threshold T] [--bev]
   cooper evaluate  --scenario NAME [--pair N] [--weights weights.bin]
-  cooper simulate  --scenario NAME [--seconds N] [--seed N] [--weights weights.bin]
+  cooper simulate  --scenario NAME [--seconds N] [--seed N] [--threads N] [--weights weights.bin]
   cooper convert   --input a.xyz|a.ply|a.pcd --out b.xyz|b.ply|b.pcd
   cooper scenarios
 
 Any command accepts --telemetry to print a span/metric snapshot table
-after the run.
+after the run. `simulate --threads N` sets the worker-pool size for the
+parallel fleet phases; its stdout is bit-identical at every N.
 
 Scenario names: kitti1 kitti2 kitti3 kitti4 tj1 tj2 tj3 tj4"
         .to_string()
@@ -378,6 +380,21 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
             let scene = scenario_by_name(require(&parsed.options, "--scenario")?)?;
             let seconds: usize = get_parse(&parsed.options, "--seconds", 3)?;
             let seed: u64 = get_parse(&parsed.options, "--seed", 1)?;
+            let threads = parsed
+                .options
+                .get("--threads")
+                .map(|raw| {
+                    raw.parse::<usize>().map_err(|_| {
+                        CliError::usage(format!("invalid value for --threads: {raw:?}"))
+                    })
+                })
+                .transpose()?;
+            if let Some(n) = threads {
+                if n == 0 {
+                    return Err(CliError::usage("--threads must be at least 1"));
+                }
+                cooper_exec::set_default_threads(Some(n));
+            }
             let (rx, tx) = *scene
                 .pairs
                 .first()
@@ -412,9 +429,7 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
             let est_tx = PoseEstimate::from_pose(&scene.observers[tx], &origin);
             let packet = ExchangePacket::build(tx as u32, 0, &scan_tx, est_tx)
                 .map_err(|e| CliError::runtime(format!("cannot build packet: {e}")))?;
-            let result = pipeline
-                .perceive_cooperative(&scan_rx, &est_rx, &[packet], &origin)
-                .map_err(|e| CliError::runtime(format!("cooperative perception failed: {e}")))?;
+            let result = pipeline.perceive(&scan_rx, &est_rx, &[packet], &origin);
             println!(
                 "{}: {} s exchange, peak {:.2} Mbit/s, {} transfers dropped, feasible: {}",
                 scene.name,
@@ -429,6 +444,67 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                 result.fused_cloud.len(),
                 result.detections.len()
             );
+
+            // Full fleet loop over every observer. Everything printed
+            // to stdout here is part of the determinism contract —
+            // bit-identical at any --threads value (wall-clock timings
+            // go to stderr).
+            let vehicles: Vec<FleetVehicle> = scene
+                .observers
+                .iter()
+                .enumerate()
+                .map(|(i, pose)| FleetVehicle {
+                    id: i as u32 + 1,
+                    trajectory: straight_trajectory(*pose, 1.0, seconds.max(1)),
+                    beams: scene.kind.beam_model(),
+                })
+                .collect();
+            let sim = FleetSimulation::new(
+                scene.world.clone(),
+                vehicles,
+                FleetConfig {
+                    seed,
+                    threads,
+                    ..FleetConfig::default()
+                },
+            );
+            let (reports, stats) = sim.run(&pipeline, seconds.max(1));
+            println!(
+                "fleet: {} vehicles × {} steps",
+                scene.observers.len(),
+                reports.len()
+            );
+            for report in &reports {
+                for v in &report.per_vehicle {
+                    println!(
+                        "  step {} v{}: single {} coop {} rx {} drops {} bytes {}",
+                        report.step,
+                        v.vehicle_id,
+                        v.single_detections,
+                        v.cooperative_detections,
+                        v.packets_received,
+                        v.packets_dropped,
+                        v.bytes_received
+                    );
+                }
+                for drop in &report.encode_drops {
+                    println!(
+                        "  step {} v{}: encode drop ({})",
+                        report.step, drop.vehicle_id, drop.kind
+                    );
+                }
+                eprintln!(
+                    "  step {} timings: scan {} us, exchange {} us, perceive {} us",
+                    report.step,
+                    report.timings.scan_us,
+                    report.timings.exchange_us,
+                    report.timings.perceive_us
+                );
+            }
+            println!("fleet bytes exchanged: {}", stats.total_bytes);
+            if let Some(((a, b), steps)) = stats.longest_connection() {
+                println!("longest connection: v{a}-v{b} for {steps} steps");
+            }
             Ok(())
         }
         "convert" => {
@@ -580,6 +656,26 @@ mod tests {
                 snap.render_table()
             );
         }
+    }
+
+    #[test]
+    fn simulate_rejects_bad_thread_counts() {
+        let zero =
+            run(&parse_args(&args(&["simulate", "--scenario", "tj1", "--threads", "0"])).unwrap())
+                .unwrap_err();
+        assert!(zero.usage);
+        assert!(zero.message.contains("--threads"));
+        let junk = run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--threads",
+            "many",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(junk.usage);
+        assert!(junk.message.contains("--threads"));
     }
 
     #[test]

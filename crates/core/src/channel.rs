@@ -1,0 +1,125 @@
+//! The channel-model API: who hears whom, decided one transfer at a
+//! time.
+//!
+//! The fleet loop used to take a bare `FnMut(usize, u32, u32, usize) ->
+//! bool` — four anonymous integers whose meaning lived only in a doc
+//! comment. [`ChannelModel`] names the contract: the simulation asks
+//! the channel about each directed transfer via a [`TransferCtx`], and
+//! the channel answers whether the packet arrives. Stateful media
+//! (air-time budgets, contention, per-link loss) keep their state in
+//! `self`; `cooper-v2x` implements the trait for its `SharedMedium` and
+//! `ExchangeScheduler`.
+//!
+//! Closures still work: any `FnMut(usize, u32, u32, usize) -> bool`
+//! implements `ChannelModel` through a blanket impl, so quick one-off
+//! filters in tests don't need a named type.
+//!
+//! Delivery decisions are always made **serially, in deterministic
+//! order** (by step, then receiver, then sender) — the channel is the
+//! one stage of the parallel fleet loop that must observe a single
+//! global order, because shared-medium state makes delivery of one
+//! packet depend on every packet before it.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything a channel model may consult about one directed transfer.
+///
+/// Fields are the stable identity of the transfer, not indices into
+/// simulation internals, so models can key per-link state off
+/// `(from, to)` and per-window state off `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferCtx {
+    /// Simulation step the transfer happens in.
+    pub step: usize,
+    /// Transmitting vehicle's id.
+    pub from: u32,
+    /// Receiving vehicle's id.
+    pub to: u32,
+    /// Bytes the packet occupies on the wire.
+    pub wire_bytes: usize,
+}
+
+/// Decides, per directed transfer, whether a packet is delivered.
+///
+/// Implementations may be stateful (`&mut self`): a shared medium
+/// spends air time, a scheduler counts sends per window. The fleet
+/// simulation calls [`ChannelModel::deliver`] in a deterministic order
+/// — by step, then receiver id order, then sender order — so stateful
+/// models behave identically run to run and at any thread count.
+pub trait ChannelModel {
+    /// Returns `true` when the packet described by `tx` arrives.
+    fn deliver(&mut self, tx: &TransferCtx) -> bool;
+}
+
+/// The ideal channel: every packet arrives. The default for
+/// [`crate::fleet::FleetSimulation::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfectChannel;
+
+impl ChannelModel for PerfectChannel {
+    fn deliver(&mut self, _tx: &TransferCtx) -> bool {
+        true
+    }
+}
+
+/// Blanket impl: the old closure form keeps working. The callback
+/// receives `(step, from, to, wire_bytes)` — the same four values,
+/// now also available as a named [`TransferCtx`].
+impl<F> ChannelModel for F
+where
+    F: FnMut(usize, u32, u32, usize) -> bool,
+{
+    fn deliver(&mut self, tx: &TransferCtx) -> bool {
+        self(tx.step, tx.from, tx.to, tx.wire_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(step: usize, from: u32, to: u32, bytes: usize) -> TransferCtx {
+        TransferCtx {
+            step,
+            from,
+            to,
+            wire_bytes: bytes,
+        }
+    }
+
+    #[test]
+    fn perfect_channel_delivers_everything() {
+        let mut channel = PerfectChannel;
+        for step in 0..4 {
+            assert!(channel.deliver(&ctx(step, 1, 2, 100_000)));
+        }
+    }
+
+    #[test]
+    fn closures_implement_channel_model() {
+        let mut seen = Vec::new();
+        let mut filter = |step: usize, from: u32, to: u32, bytes: usize| {
+            seen.push((step, from, to, bytes));
+            from != 2
+        };
+        assert!(filter.deliver(&ctx(0, 1, 2, 64)));
+        assert!(!filter.deliver(&ctx(1, 2, 1, 64)));
+        assert_eq!(seen, vec![(0, 1, 2, 64), (1, 2, 1, 64)]);
+    }
+
+    #[test]
+    fn stateful_closure_keeps_state_across_calls() {
+        let mut budget = 2usize;
+        let mut capped = move |_: usize, _: u32, _: u32, _: usize| {
+            if budget == 0 {
+                false
+            } else {
+                budget -= 1;
+                true
+            }
+        };
+        assert!(capped.deliver(&ctx(0, 1, 2, 1)));
+        assert!(capped.deliver(&ctx(0, 2, 1, 1)));
+        assert!(!capped.deliver(&ctx(0, 3, 1, 1)));
+    }
+}

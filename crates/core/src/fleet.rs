@@ -8,9 +8,31 @@
 //! an ROI-filtered exchange packet to every cooperator within radio
 //! range, fuses what it received and runs detection — while the
 //! simulation tracks per-pair connection durations and exchanged bytes.
+//!
+//! # Execution model
+//!
+//! Each step runs as three phases with barriers between them:
+//!
+//! 1. **Scan/encode (parallel)** — per vehicle: LiDAR scan, pose
+//!    measurement, ROI filter, packet build. Independent across
+//!    vehicles, mapped over a [`cooper_exec::Executor`].
+//! 2. **Exchange (serial)** — connection tracking and per-transfer
+//!    delivery decisions through the [`ChannelModel`]. Serial by
+//!    design: a shared medium's answer for one transfer depends on
+//!    every transfer before it, so delivery must observe one global
+//!    order (step, then receiver id, then sender order).
+//! 3. **Fuse/detect (parallel)** — per vehicle: fuse the delivered
+//!    packets and run SPOD, again mapped over the executor.
+//!
+//! Determinism contract: the reports (everything except wall-clock
+//! [`StepTimings`]) are **bit-identical at any
+//! [`FleetConfig::threads`] setting**. Randomness is drawn from
+//! per-(vehicle, step) derived RNG streams rather than one sequential
+//! generator, so no vehicle's draw depends on who computed before it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
+use cooper_exec::Executor;
 use cooper_geometry::{GpsFix, Pose};
 use cooper_lidar_sim::{BeamModel, GpsImuModel, LidarScanner, World};
 use cooper_pointcloud::roi::{extract_roi, RoiCategory};
@@ -18,6 +40,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::channel::{ChannelModel, PerfectChannel, TransferCtx};
 use crate::{CooperPipeline, ExchangePacket};
 
 /// One vehicle in the fleet: an id, a pose trajectory (one pose per
@@ -60,12 +83,16 @@ pub struct FleetConfig {
     pub sensor_model: GpsImuModel,
     /// GPS anchor of the shared frame.
     pub origin: GpsFix,
-    /// Base seed for scan noise.
+    /// Base seed for scan noise and measurement streams.
     pub seed: u64,
     /// Wall-clock duration of one step, seconds; dynamic entities
     /// (non-zero [`cooper_lidar_sim::Entity::velocity`]) advance by this
     /// much between steps.
     pub step_duration_s: f64,
+    /// Worker threads for the parallel phases. `None` uses the process
+    /// default ([`cooper_exec::default_threads`]); the reports are
+    /// bit-identical for every setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for FleetConfig {
@@ -77,8 +104,29 @@ impl Default for FleetConfig {
             origin: GpsFix::new(33.2075, -97.1526, 190.0),
             seed: 0,
             step_duration_s: 1.0,
+            threads: None,
         }
     }
+}
+
+/// Salts separating the independent RNG streams derived per
+/// (vehicle, step): the transmit-side pose measurement and the
+/// receive-side pose measurement.
+const TX_MEASURE_STREAM: u64 = 0x7A5E_11DA_7E00_0001;
+const RX_MEASURE_STREAM: u64 = 0x7A5E_11DA_7E00_0002;
+
+/// Derives the seed of one (vehicle, step, salt) RNG stream from the
+/// fleet seed — a SplitMix64 finalizer over the combined identity.
+/// Every stream is independent of execution order, which is what makes
+/// the parallel phases bit-identical to the serial ones.
+fn stream_seed(seed: u64, vehicle_id: u32, step: usize, salt: u64) -> u64 {
+    let mut z = seed
+        ^ salt
+        ^ u64::from(vehicle_id).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (step as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Per-vehicle outcome of one step.
@@ -90,15 +138,31 @@ pub struct VehicleStepReport {
     pub single_detections: usize,
     /// Cars detected after fusing all received packets.
     pub cooperative_detections: usize,
-    /// Packets fused this step.
+    /// Packets delivered to this vehicle this step.
     pub packets_received: usize,
+    /// Received packets that failed to decode and were excluded from
+    /// fusion.
+    pub packets_dropped: usize,
     /// Exchange bytes received this step.
     pub bytes_received: usize,
 }
 
+/// A broadcast that never happened: the vehicle's scan failed to encode
+/// into an exchange packet this step. The vehicle still perceives on
+/// its own scan; its cooperators simply receive nothing from it — the
+/// simulation-level analogue of a [`crate::PacketDrop`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodeDrop {
+    /// The vehicle whose broadcast failed.
+    pub vehicle_id: u32,
+    /// Stable error label ([`crate::CooperError::kind`]).
+    pub kind: String,
+}
+
 /// Wall-clock cost of one step's phases, microseconds. Filled on every
 /// run, telemetry enabled or not — the measurement is two `Instant`
-/// reads per phase.
+/// reads per phase. Timings are the one part of a report that is *not*
+/// covered by the determinism contract.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StepTimings {
     /// Scanning and broadcast-packet building across the fleet.
@@ -123,26 +187,40 @@ pub struct FleetStepReport {
     pub step: usize,
     /// One entry per vehicle, in fleet order.
     pub per_vehicle: Vec<VehicleStepReport>,
+    /// Broadcasts that failed to encode this step, in fleet order.
+    pub encode_drops: Vec<EncodeDrop>,
     /// Where this step's wall-clock time went.
     pub timings: StepTimings,
+}
+
+impl FleetStepReport {
+    /// The deterministic portion of the report — everything except the
+    /// wall-clock timings. Two runs of the same simulation (at any
+    /// thread count) produce equal values here; use this in divergence
+    /// checks instead of comparing whole reports.
+    pub fn deterministic_view(&self) -> (usize, &[VehicleStepReport], &[EncodeDrop]) {
+        (self.step, &self.per_vehicle, &self.encode_drops)
+    }
 }
 
 /// Aggregate statistics of a completed run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FleetStats {
     /// Steps during which each (low id, high id) pair was in radio
-    /// range — the paper's "connection duration".
-    pub connection_steps: HashMap<(u32, u32), usize>,
+    /// range — the paper's "connection duration". Ordered map, so
+    /// iteration (and serialization) is deterministic.
+    pub connection_steps: BTreeMap<(u32, u32), usize>,
     /// Total exchange bytes moved over the whole run.
     pub total_bytes: u64,
 }
 
 impl FleetStats {
-    /// The longest-lived connection, if any pair ever connected.
+    /// The longest-lived connection, if any pair ever connected. Ties
+    /// go to the lowest-id pair, so the answer is deterministic.
     pub fn longest_connection(&self) -> Option<((u32, u32), usize)> {
         self.connection_steps
             .iter()
-            .max_by_key(|(_, &steps)| steps)
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
             .map(|(&pair, &steps)| (pair, steps))
     }
 }
@@ -153,6 +231,14 @@ pub struct FleetSimulation {
     world: World,
     vehicles: Vec<FleetVehicle>,
     config: FleetConfig,
+}
+
+/// What phase 1 produces per vehicle: the raw scan, the true pose, and
+/// the broadcast packet (`None` when encoding failed).
+struct Broadcast {
+    scan: cooper_pointcloud::PointCloud,
+    pose: Pose,
+    packet: Option<ExchangePacket>,
 }
 
 impl FleetSimulation {
@@ -188,22 +274,219 @@ impl FleetSimulation {
     }
 
     /// Runs `steps` simulation steps, returning per-step reports and
-    /// aggregate statistics. Every exchange is delivered (an ideal
-    /// channel); use [`FleetSimulation::run_with_packet_filter`] to
-    /// model a lossy or contended medium.
+    /// aggregate statistics. Every exchange is delivered (a
+    /// [`PerfectChannel`]); use [`FleetSimulation::run_with_channel`]
+    /// to model a lossy or contended medium.
     pub fn run(
         &self,
         pipeline: &CooperPipeline,
         steps: usize,
     ) -> (Vec<FleetStepReport>, FleetStats) {
-        self.run_with_packet_filter(pipeline, steps, |_, _, _, _| true)
+        self.run_with_channel(pipeline, steps, &mut PerfectChannel)
     }
 
-    /// Like [`FleetSimulation::run`], with a delivery filter: for each
-    /// directed transfer the callback receives `(step, from_id, to_id,
-    /// wire_bytes)` and returns whether the packet arrives. This is the
-    /// hook a channel model (loss, contention, budget) plugs into —
-    /// see `cooper-v2x` for implementations.
+    /// Like [`FleetSimulation::run`], with delivery decided by a
+    /// [`ChannelModel`]: for each directed in-range transfer the model
+    /// receives a [`TransferCtx`] and returns whether the packet
+    /// arrives. `cooper-v2x` implements the trait for its shared-medium
+    /// and scheduler types; closures with the signature
+    /// `FnMut(usize, u32, u32, usize) -> bool` also work.
+    ///
+    /// Delivery is consulted serially in deterministic order — by
+    /// step, then receiver id order, then sender order — so stateful
+    /// channels see the same sequence at any thread count.
+    pub fn run_with_channel(
+        &self,
+        pipeline: &CooperPipeline,
+        steps: usize,
+        channel: &mut dyn ChannelModel,
+    ) -> (Vec<FleetStepReport>, FleetStats) {
+        let _run_span = cooper_telemetry::span!("fleet.run");
+        let executor = Executor::new(self.config.threads);
+        let mut reports = Vec::with_capacity(steps);
+        let mut stats = FleetStats::default();
+        let mut world = self.world.clone();
+
+        for step in 0..steps {
+            let _step_span = cooper_telemetry::span!("fleet.step");
+            let mut timings = StepTimings::default();
+
+            // Phase 1 (parallel): every vehicle scans, measures its
+            // pose and builds its broadcast packet.
+            let scan_start = std::time::Instant::now();
+            let phase1: Vec<(Broadcast, Option<EncodeDrop>)> = {
+                let _scan_span = cooper_telemetry::span!("fleet.scan");
+                executor.map(&self.vehicles, |idx, v| {
+                    let pose = v.pose_at(step);
+                    let scanner = LidarScanner::new(v.beams.clone());
+                    let scan = scanner.scan(
+                        &world,
+                        &pose,
+                        self.config.seed ^ ((step as u64) << 24) ^ idx as u64,
+                    );
+                    let mut rng = StdRng::seed_from_u64(stream_seed(
+                        self.config.seed,
+                        v.id,
+                        step,
+                        TX_MEASURE_STREAM,
+                    ));
+                    let estimate =
+                        self.config
+                            .sensor_model
+                            .measure(&pose, &self.config.origin, &mut rng);
+                    let roi_scan = extract_roi(&scan, self.config.roi);
+                    match ExchangePacket::build(v.id, step as u32, &roi_scan, estimate) {
+                        Ok(packet) => (
+                            Broadcast {
+                                scan,
+                                pose,
+                                packet: Some(packet),
+                            },
+                            None,
+                        ),
+                        Err(error) => {
+                            if cooper_telemetry::is_enabled() {
+                                cooper_telemetry::counter_add(
+                                    &format!("fleet.encode_drop.{}", error.kind()),
+                                    1,
+                                );
+                            }
+                            (
+                                Broadcast {
+                                    scan,
+                                    pose,
+                                    packet: None,
+                                },
+                                Some(EncodeDrop {
+                                    vehicle_id: v.id,
+                                    kind: error.kind().to_string(),
+                                }),
+                            )
+                        }
+                    }
+                })
+            };
+            let mut broadcasts = Vec::with_capacity(phase1.len());
+            let mut encode_drops = Vec::new();
+            for (broadcast, drop) in phase1 {
+                broadcasts.push(broadcast);
+                encode_drops.extend(drop);
+            }
+            timings.scan_us = scan_start.elapsed().as_micros() as u64;
+
+            // Phase 2 (serial): connection tracking and delivery
+            // decisions, in one global order the channel can rely on.
+            let exchange_start = std::time::Instant::now();
+            let mut inboxes: Vec<Vec<ExchangePacket>> = Vec::new();
+            inboxes.resize_with(self.vehicles.len(), Vec::new);
+            let mut bytes_received = vec![0usize; self.vehicles.len()];
+            {
+                let _exchange_span = cooper_telemetry::span!("fleet.exchange");
+                for i in 0..self.vehicles.len() {
+                    for j in (i + 1)..self.vehicles.len() {
+                        let d = broadcasts[i].pose.delta_d(&broadcasts[j].pose);
+                        if d <= self.config.comms_range_m {
+                            let key = (
+                                self.vehicles[i].id.min(self.vehicles[j].id),
+                                self.vehicles[i].id.max(self.vehicles[j].id),
+                            );
+                            *stats.connection_steps.entry(key).or_insert(0) += 1;
+                        }
+                    }
+                }
+                for (i, me) in broadcasts.iter().enumerate() {
+                    for (j, other) in broadcasts.iter().enumerate() {
+                        if i == j || me.pose.delta_d(&other.pose) > self.config.comms_range_m {
+                            continue;
+                        }
+                        let Some(packet) = &other.packet else {
+                            continue;
+                        };
+                        let ctx = TransferCtx {
+                            step,
+                            from: self.vehicles[j].id,
+                            to: self.vehicles[i].id,
+                            wire_bytes: packet.wire_size(),
+                        };
+                        if !channel.deliver(&ctx) {
+                            continue;
+                        }
+                        bytes_received[i] += packet.wire_size();
+                        inboxes[i].push(packet.clone());
+                    }
+                    stats.total_bytes += bytes_received[i] as u64;
+                }
+            }
+            timings.exchange_us = exchange_start.elapsed().as_micros() as u64;
+
+            // Phase 3 (parallel): every vehicle fuses its inbox and
+            // detects.
+            let perceive_start = std::time::Instant::now();
+            let per_vehicle: Vec<VehicleStepReport> = {
+                let _perceive_span = cooper_telemetry::span!("fleet.perceive");
+                executor.map(&broadcasts, |i, me| {
+                    let id = self.vehicles[i].id;
+                    let mut rng = StdRng::seed_from_u64(stream_seed(
+                        self.config.seed,
+                        id,
+                        step,
+                        RX_MEASURE_STREAM,
+                    ));
+                    let my_estimate =
+                        self.config
+                            .sensor_model
+                            .measure(&me.pose, &self.config.origin, &mut rng);
+                    let single = pipeline.perceive_single(&me.scan).len();
+                    let outcome =
+                        pipeline.perceive(&me.scan, &my_estimate, &inboxes[i], &self.config.origin);
+                    VehicleStepReport {
+                        vehicle_id: id,
+                        single_detections: single,
+                        cooperative_detections: outcome.detections.len(),
+                        packets_received: inboxes[i].len(),
+                        packets_dropped: outcome.drops.len(),
+                        bytes_received: bytes_received[i],
+                    }
+                })
+            };
+            timings.perceive_us = perceive_start.elapsed().as_micros() as u64;
+
+            if cooper_telemetry::is_enabled() {
+                cooper_telemetry::record_value("fleet.phase.scan_us", timings.scan_us);
+                cooper_telemetry::record_value("fleet.phase.exchange_us", timings.exchange_us);
+                cooper_telemetry::record_value("fleet.phase.perceive_us", timings.perceive_us);
+                cooper_telemetry::gauge_set("fleet.threads", executor.threads() as f64);
+                for v in &per_vehicle {
+                    cooper_telemetry::counter_add("fleet.bytes_received", v.bytes_received as u64);
+                    cooper_telemetry::emit(
+                        cooper_telemetry::TelemetryEvent::new("fleet.vehicle_step")
+                            .with("step", step)
+                            .with("vehicle", v.vehicle_id)
+                            .with("single_detections", v.single_detections)
+                            .with("cooperative_detections", v.cooperative_detections)
+                            .with("packets_received", v.packets_received)
+                            .with("packets_dropped", v.packets_dropped)
+                            .with("bytes_received", v.bytes_received),
+                    );
+                }
+            }
+            reports.push(FleetStepReport {
+                step,
+                per_vehicle,
+                encode_drops,
+                timings,
+            });
+            world = world.advanced(self.config.step_duration_s);
+        }
+        (reports, stats)
+    }
+
+    /// Like [`FleetSimulation::run`], with a bare delivery callback
+    /// receiving `(step, from_id, to_id, wire_bytes)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run_with_channel` — closures implement `ChannelModel` directly"
+    )]
     pub fn run_with_packet_filter<F>(
         &self,
         pipeline: &CooperPipeline,
@@ -213,139 +496,7 @@ impl FleetSimulation {
     where
         F: FnMut(usize, u32, u32, usize) -> bool,
     {
-        let _run_span = cooper_telemetry::span!("fleet.run");
-        let mut reports = Vec::with_capacity(steps);
-        let mut stats = FleetStats::default();
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF1EE7);
-        let mut world = self.world.clone();
-
-        for step in 0..steps {
-            let _step_span = cooper_telemetry::span!("fleet.step");
-            let mut timings = StepTimings::default();
-
-            // Phase 1: every vehicle scans and broadcasts.
-            struct Broadcast {
-                scan: cooper_pointcloud::PointCloud,
-                pose: Pose,
-                packet: ExchangePacket,
-            }
-            let scan_start = std::time::Instant::now();
-            let broadcasts: Vec<Broadcast> = {
-                let _scan_span = cooper_telemetry::span!("fleet.scan");
-                self.vehicles
-                    .iter()
-                    .enumerate()
-                    .map(|(idx, v)| {
-                        let pose = v.pose_at(step);
-                        let scanner = LidarScanner::new(v.beams.clone());
-                        let scan = scanner.scan(
-                            &world,
-                            &pose,
-                            self.config.seed ^ ((step as u64) << 24) ^ idx as u64,
-                        );
-                        let estimate =
-                            self.config
-                                .sensor_model
-                                .measure(&pose, &self.config.origin, &mut rng);
-                        let roi_scan = extract_roi(&scan, self.config.roi);
-                        let packet = ExchangePacket::build(v.id, step as u32, &roi_scan, estimate)
-                            .expect("sensor-frame scans always encode");
-                        Broadcast { scan, pose, packet }
-                    })
-                    .collect()
-            };
-            timings.scan_us = scan_start.elapsed().as_micros() as u64;
-
-            // Phase 2: track connections.
-            let exchange_start = std::time::Instant::now();
-            for i in 0..self.vehicles.len() {
-                for j in (i + 1)..self.vehicles.len() {
-                    let d = broadcasts[i].pose.delta_d(&broadcasts[j].pose);
-                    if d <= self.config.comms_range_m {
-                        let key = (
-                            self.vehicles[i].id.min(self.vehicles[j].id),
-                            self.vehicles[i].id.max(self.vehicles[j].id),
-                        );
-                        *stats.connection_steps.entry(key).or_insert(0) += 1;
-                    }
-                }
-            }
-            timings.exchange_us = exchange_start.elapsed().as_micros() as u64;
-
-            // Phase 3: every vehicle fuses what it can hear and detects.
-            let mut per_vehicle = Vec::with_capacity(self.vehicles.len());
-            for (i, me) in broadcasts.iter().enumerate() {
-                let exchange_start = std::time::Instant::now();
-                let (packets, bytes_received) = {
-                    let _exchange_span = cooper_telemetry::span!("fleet.exchange");
-                    let my_pose = &me.pose;
-                    let mut packets = Vec::new();
-                    let mut bytes_received = 0usize;
-                    for (j, other) in broadcasts.iter().enumerate() {
-                        if i == j || my_pose.delta_d(&other.pose) > self.config.comms_range_m {
-                            continue;
-                        }
-                        if !deliver(
-                            step,
-                            self.vehicles[j].id,
-                            self.vehicles[i].id,
-                            other.packet.wire_size(),
-                        ) {
-                            continue;
-                        }
-                        bytes_received += other.packet.wire_size();
-                        packets.push(other.packet.clone());
-                    }
-                    (packets, bytes_received)
-                };
-                timings.exchange_us += exchange_start.elapsed().as_micros() as u64;
-                stats.total_bytes += bytes_received as u64;
-
-                let perceive_start = std::time::Instant::now();
-                let my_estimate =
-                    self.config
-                        .sensor_model
-                        .measure(&me.pose, &self.config.origin, &mut rng);
-                let (single, cooperative) = {
-                    let _perceive_span = cooper_telemetry::span!("fleet.perceive");
-                    let single = pipeline.perceive_single(&me.scan).len();
-                    let cooperative = pipeline
-                        .perceive_cooperative(&me.scan, &my_estimate, &packets, &self.config.origin)
-                        .expect("freshly built packets always decode")
-                        .detections
-                        .len();
-                    (single, cooperative)
-                };
-                timings.perceive_us += perceive_start.elapsed().as_micros() as u64;
-
-                if cooper_telemetry::is_enabled() {
-                    cooper_telemetry::counter_add("fleet.bytes_received", bytes_received as u64);
-                    cooper_telemetry::emit(
-                        cooper_telemetry::TelemetryEvent::new("fleet.vehicle_step")
-                            .with("step", step)
-                            .with("vehicle", self.vehicles[i].id)
-                            .with("single_detections", single)
-                            .with("cooperative_detections", cooperative)
-                            .with("packets_received", packets.len())
-                            .with("bytes_received", bytes_received),
-                    );
-                }
-                per_vehicle.push(VehicleStepReport {
-                    vehicle_id: self.vehicles[i].id,
-                    single_detections: single,
-                    cooperative_detections: cooperative,
-                    packets_received: packets.len(),
-                    bytes_received,
-                });
-            }
-            reports.push(FleetStepReport {
-                step,
-                per_vehicle,
-                timings,
-            });
-            world = world.advanced(self.config.step_duration_s);
-        }
-        (reports, stats)
+        self.run_with_channel(pipeline, steps, &mut deliver)
     }
 }
 
@@ -399,8 +550,10 @@ mod tests {
         for (step, report) in reports.iter().enumerate() {
             assert_eq!(report.step, step);
             assert_eq!(report.per_vehicle.len(), 2);
+            assert!(report.encode_drops.is_empty());
             for v in &report.per_vehicle {
                 assert_eq!(v.packets_received, 1, "both vehicles are in range");
+                assert_eq!(v.packets_dropped, 0);
                 assert!(v.bytes_received > 0);
             }
         }
@@ -445,6 +598,100 @@ mod tests {
     }
 
     #[test]
+    fn reports_are_identical_across_thread_counts() {
+        let scene = scenario::tj_scenario_1();
+        let build = |threads: Option<usize>| {
+            let vehicles = vec![
+                FleetVehicle {
+                    id: 1,
+                    trajectory: straight_trajectory(scene.observers[0], 1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+                FleetVehicle {
+                    id: 2,
+                    trajectory: straight_trajectory(scene.observers[1], 1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+                FleetVehicle {
+                    id: 7,
+                    trajectory: straight_trajectory(scene.observers[0], -1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+            ];
+            FleetSimulation::new(
+                scene.world.clone(),
+                vehicles,
+                FleetConfig {
+                    seed: 99,
+                    threads,
+                    ..FleetConfig::default()
+                },
+            )
+        };
+        let p = pipeline();
+        let (serial, serial_stats) = build(Some(1)).run(&p, 2);
+        let (parallel, parallel_stats) = build(Some(4)).run(&p, 2);
+        assert_eq!(serial_stats, parallel_stats);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.deterministic_view(), b.deterministic_view());
+        }
+    }
+
+    #[test]
+    fn encode_failure_is_reported_not_fatal() {
+        // A non-finite attitude in the trajectory poisons the pose
+        // estimate, so the broadcast packet is rejected at build time.
+        // The vehicle must keep perceiving and the step must not panic.
+        let scene = scenario::tj_scenario_1();
+        let broken_pose = Pose::new(
+            scene.observers[1].position,
+            Attitude::new(f64::NAN, 0.0, 0.0),
+        );
+        let vehicles = vec![
+            FleetVehicle {
+                id: 1,
+                trajectory: vec![scene.observers[0]],
+                beams: BeamModel::vlp16().with_azimuth_steps(200),
+            },
+            FleetVehicle {
+                id: 2,
+                trajectory: vec![broken_pose],
+                beams: BeamModel::vlp16().with_azimuth_steps(200),
+            },
+        ];
+        let sim = FleetSimulation::new(scene.world.clone(), vehicles, FleetConfig::default());
+        let (reports, _) = sim.run(&pipeline(), 1);
+        assert_eq!(reports[0].encode_drops.len(), 1);
+        assert_eq!(reports[0].encode_drops[0].vehicle_id, 2);
+        assert_eq!(reports[0].encode_drops[0].kind, "invalid_pose");
+        // Vehicle 1 hears nothing from the broken vehicle but still runs.
+        let v1 = &reports[0].per_vehicle[0];
+        assert_eq!(v1.vehicle_id, 1);
+        assert_eq!(v1.packets_received, 0);
+        // Vehicle 2 still receives vehicle 1's packet and perceives.
+        let v2 = &reports[0].per_vehicle[1];
+        assert_eq!(v2.packets_received, 1);
+    }
+
+    #[test]
+    fn channel_model_sees_transfers_in_deterministic_order() {
+        struct Recorder(Vec<TransferCtx>);
+        impl ChannelModel for Recorder {
+            fn deliver(&mut self, tx: &TransferCtx) -> bool {
+                self.0.push(*tx);
+                true
+            }
+        }
+        let sim = small_fleet();
+        let mut recorder = Recorder(Vec::new());
+        let _ = sim.run_with_channel(&pipeline(), 2, &mut recorder);
+        let order: Vec<(usize, u32, u32)> =
+            recorder.0.iter().map(|t| (t.step, t.from, t.to)).collect();
+        assert_eq!(order, vec![(0, 2, 1), (0, 1, 2), (1, 2, 1), (1, 1, 2)]);
+        assert!(recorder.0.iter().all(|t| t.wire_bytes > 0));
+    }
+
+    #[test]
     fn trajectory_clamps_at_end() {
         let v = FleetVehicle {
             id: 1,
@@ -461,6 +708,20 @@ mod tests {
         let t = straight_trajectory(start, 3.0, 3);
         assert!((t[2].position.y - 6.0).abs() < 1e-12);
         assert!(t[2].position.x.abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct() {
+        let mut seeds = vec![
+            stream_seed(0, 1, 0, TX_MEASURE_STREAM),
+            stream_seed(0, 1, 0, RX_MEASURE_STREAM),
+            stream_seed(0, 2, 0, TX_MEASURE_STREAM),
+            stream_seed(0, 1, 1, TX_MEASURE_STREAM),
+            stream_seed(1, 1, 0, TX_MEASURE_STREAM),
+        ];
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 5, "stream seeds must not collide");
     }
 
     #[test]

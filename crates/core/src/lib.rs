@@ -51,8 +51,12 @@
 //! let remote_pose = model.measure(&scene.observers[1], &origin, &mut rng);
 //! let packet = ExchangePacket::build(1, 0, &remote_scan, remote_pose)?;
 //!
-//! let result = pipeline.perceive_cooperative(&local_scan, &local_pose, &[packet], &origin)?;
-//! println!("{} objects detected", result.detections.len());
+//! let outcome = pipeline.perceive(&local_scan, &local_pose, &[packet], &origin);
+//! println!(
+//!     "{} objects detected, {} packets dropped",
+//!     outcome.detections.len(),
+//!     outcome.drops.len()
+//! );
 //! # Ok::<(), cooper_core::CooperError>(())
 //! ```
 
@@ -60,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod alignment;
+pub mod channel;
 mod error;
 pub mod fleet;
 mod packet;
@@ -72,9 +77,10 @@ pub mod tracking;
 pub mod viz;
 
 pub use alignment::alignment_transform;
+pub use channel::{ChannelModel, PerfectChannel, TransferCtx};
 pub use error::CooperError;
 pub use packet::ExchangePacket;
-pub use pipeline::{CooperPipeline, CooperativeResult, PacketDrop};
+pub use pipeline::{CooperPipeline, CooperativeResult, FusionOutcome, PacketDrop};
 pub use request::{requests_from_blind_zones, respond_to_roi_request, RoiRequest};
 pub use stats::{CooperDifficulty, DistanceBand, ScoreImprovement};
 

@@ -19,6 +19,47 @@ pub struct CooperativeResult {
     pub packets_fused: usize,
 }
 
+/// Everything one call to [`CooperPipeline::perceive`] produced: the
+/// fused cloud, the detections on it, and an explicit account of every
+/// packet that could not be fused.
+///
+/// This replaces the old strict/lossy pair of entry points. A caller
+/// that wants strict semantics checks [`FusionOutcome::drops`] (or uses
+/// [`FusionOutcome::into_strict`]); a robust receiver just uses the
+/// result — fusion never aborts.
+#[derive(Debug, Clone)]
+pub struct FusionOutcome {
+    /// The fused cloud in the receiver's sensor frame.
+    pub fused_cloud: PointCloud,
+    /// Detections on the fused cloud.
+    pub detections: Vec<Detection>,
+    /// Number of remote packets successfully fused.
+    pub packets_fused: usize,
+    /// One entry per packet that failed to decode, identifying the
+    /// sender and the error. Empty on a clean fuse.
+    pub drops: Vec<PacketDrop>,
+}
+
+impl FusionOutcome {
+    /// Converts to the old strict contract: `Err` with the first drop's
+    /// error when any packet failed, `Ok` with the fused result
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first packet decoding error encountered.
+    pub fn into_strict(self) -> Result<CooperativeResult, CooperError> {
+        match self.drops.into_iter().next() {
+            Some(drop) => Err(drop.error),
+            None => Ok(CooperativeResult {
+                fused_cloud: self.fused_cloud,
+                detections: self.detections,
+                packets_fused: self.packets_fused,
+            }),
+        }
+    }
+}
+
 /// Why one received packet was excluded from fusion.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PacketDrop {
@@ -141,12 +182,40 @@ impl CooperPipeline {
         }
     }
 
-    /// Full cooperative perception: fuse every packet, then run SPOD on
-    /// the merged cloud.
+    /// Full cooperative perception — the single entry point: align and
+    /// merge every decodable packet into the receiver's frame
+    /// (Equations 1–3 + Equation 2), run SPOD on the fused cloud, and
+    /// report undecodable packets as [`PacketDrop`]s instead of
+    /// aborting.
+    pub fn perceive(
+        &self,
+        local_cloud: &PointCloud,
+        local_pose: &PoseEstimate,
+        packets: &[ExchangePacket],
+        origin: &GpsFix,
+    ) -> FusionOutcome {
+        let _span = cooper_telemetry::span!("pipeline.perceive");
+        let (fused_cloud, fused_count, drops) =
+            fuse_packets(local_cloud, local_pose, packets, origin);
+        let detections = self.perceive_single(&fused_cloud);
+        FusionOutcome {
+            fused_cloud,
+            detections,
+            packets_fused: fused_count,
+            drops,
+        }
+    }
+
+    /// Full cooperative perception with strict error semantics.
     ///
     /// # Errors
     ///
     /// Returns the first packet decoding error encountered.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `CooperPipeline::perceive` and inspect `FusionOutcome::drops` \
+                (or call `FusionOutcome::into_strict`)"
+    )]
     pub fn perceive_cooperative(
         &self,
         local_cloud: &PointCloud,
@@ -154,25 +223,15 @@ impl CooperPipeline {
         packets: &[ExchangePacket],
         origin: &GpsFix,
     ) -> Result<CooperativeResult, CooperError> {
-        let _span = cooper_telemetry::span!("pipeline.perceive_cooperative");
-        let (fused_cloud, fused_count, drops) =
-            fuse_packets(local_cloud, local_pose, packets, origin);
-        if let Some(drop) = drops.into_iter().next() {
-            return Err(drop.error);
-        }
-        let detections = self.perceive_single(&fused_cloud);
-        Ok(CooperativeResult {
-            fused_cloud,
-            detections,
-            packets_fused: fused_count,
-        })
+        self.perceive(local_cloud, local_pose, packets, origin)
+            .into_strict()
     }
 
-    /// Like [`CooperPipeline::perceive_cooperative`] but skips packets
-    /// that fail to decode instead of aborting — the behaviour a robust
-    /// receiver wants on a lossy channel. Returns the result plus one
-    /// [`PacketDrop`] per skipped packet, identifying the sender and
-    /// the decode error.
+    /// Full cooperative perception, skipping undecodable packets.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `CooperPipeline::perceive`; `FusionOutcome` carries the drops"
+    )]
     pub fn perceive_cooperative_lossy(
         &self,
         local_cloud: &PointCloud,
@@ -180,17 +239,14 @@ impl CooperPipeline {
         packets: &[ExchangePacket],
         origin: &GpsFix,
     ) -> (CooperativeResult, Vec<PacketDrop>) {
-        let _span = cooper_telemetry::span!("pipeline.perceive_cooperative_lossy");
-        let (fused_cloud, fused_count, drops) =
-            fuse_packets(local_cloud, local_pose, packets, origin);
-        let detections = self.perceive_single(&fused_cloud);
+        let outcome = self.perceive(local_cloud, local_pose, packets, origin);
         (
             CooperativeResult {
-                fused_cloud,
-                detections,
-                packets_fused: fused_count,
+                fused_cloud: outcome.fused_cloud,
+                detections: outcome.detections,
+                packets_fused: outcome.packets_fused,
             },
-            drops,
+            outcome.drops,
         )
     }
 }
@@ -242,23 +298,31 @@ mod tests {
         );
     }
 
+    /// Builds a packet whose payload is corrupted so decoding fails
+    /// while the header still parses.
+    fn corrupt_payload(good: &ExchangePacket) -> ExchangePacket {
+        let mut bytes = good.to_bytes().to_vec();
+        let header = bytes.len() - good.payload_len();
+        bytes[header] = b'Z';
+        ExchangePacket::from_bytes(&bytes).unwrap()
+    }
+
     #[test]
-    fn cooperative_result_counts_packets() {
+    fn perceive_counts_packets() {
         let pipeline = untrained_pipeline();
         let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
         let est = PoseEstimate::from_pose(&pose, &origin());
         let cloud = PointCloud::new();
         let p1 = ExchangePacket::build(1, 0, &cloud, est).unwrap();
         let p2 = ExchangePacket::build(2, 0, &cloud, est).unwrap();
-        let result = pipeline
-            .perceive_cooperative(&cloud, &est, &[p1, p2], &origin())
-            .unwrap();
-        assert_eq!(result.packets_fused, 2);
-        assert!(result.detections.is_empty());
+        let outcome = pipeline.perceive(&cloud, &est, &[p1, p2], &origin());
+        assert_eq!(outcome.packets_fused, 2);
+        assert!(outcome.detections.is_empty());
+        assert!(outcome.drops.is_empty());
     }
 
     #[test]
-    fn lossy_pipeline_skips_corrupt_packets() {
+    fn perceive_skips_corrupt_packets_and_reports_drops() {
         let pipeline = untrained_pipeline();
         let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
         let est = PoseEstimate::from_pose(&pose, &origin());
@@ -268,23 +332,18 @@ mod tests {
             0.5,
         ));
         let good = ExchangePacket::build(1, 0, &cloud, est).unwrap();
-        // Craft a packet with a corrupt payload by round-tripping bytes.
-        let mut bytes = good.to_bytes().to_vec();
-        let header = bytes.len() - good.payload_len();
-        bytes[header] = b'Z';
-        let bad = ExchangePacket::from_bytes(&bytes).unwrap();
-        let (result, dropped) =
-            pipeline.perceive_cooperative_lossy(&cloud, &est, &[good, bad], &origin());
-        assert_eq!(result.packets_fused, 1);
-        assert_eq!(dropped.len(), 1);
-        assert_eq!(dropped[0].index, 1);
-        assert_eq!(dropped[0].vehicle_id, 1);
-        assert_eq!(dropped[0].error.kind(), "codec");
-        assert_eq!(result.fused_cloud.len(), 2);
+        let bad = corrupt_payload(&good);
+        let outcome = pipeline.perceive(&cloud, &est, &[good, bad], &origin());
+        assert_eq!(outcome.packets_fused, 1);
+        assert_eq!(outcome.drops.len(), 1);
+        assert_eq!(outcome.drops[0].index, 1);
+        assert_eq!(outcome.drops[0].vehicle_id, 1);
+        assert_eq!(outcome.drops[0].error.kind(), "codec");
+        assert_eq!(outcome.fused_cloud.len(), 2);
     }
 
     #[test]
-    fn strict_pipeline_surfaces_first_drop_error() {
+    fn into_strict_surfaces_first_drop_error() {
         let pipeline = untrained_pipeline();
         let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
         let est = PoseEstimate::from_pose(&pose, &origin());
@@ -294,15 +353,51 @@ mod tests {
             0.5,
         ));
         let good = ExchangePacket::build(1, 0, &cloud, est).unwrap();
-        let mut bytes = good.to_bytes().to_vec();
-        let header = bytes.len() - good.payload_len();
-        bytes[header] = b'Z';
-        let bad = ExchangePacket::from_bytes(&bytes).unwrap();
+        let bad = corrupt_payload(&good);
         let err = pipeline
-            .perceive_cooperative(&cloud, &est, &[good.clone(), bad.clone()], &origin())
+            .perceive(&cloud, &est, &[good.clone(), bad.clone()], &origin())
+            .into_strict()
             .unwrap_err();
         assert_eq!(err.kind(), "codec");
         assert!(pipeline.fuse(&cloud, &est, &[bad], &origin()).is_err());
+        // A clean outcome converts to Ok.
+        let ok = pipeline
+            .perceive(&cloud, &est, &[good], &origin())
+            .into_strict()
+            .unwrap();
+        assert_eq!(ok.packets_fused, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_perceive() {
+        let pipeline = untrained_pipeline();
+        let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
+        let est = PoseEstimate::from_pose(&pose, &origin());
+        let mut cloud = PointCloud::new();
+        cloud.push(cooper_pointcloud::Point::new(
+            Vec3::new(5.0, 0.0, -1.0),
+            0.5,
+        ));
+        let good = ExchangePacket::build(1, 0, &cloud, est).unwrap();
+        let bad = corrupt_payload(&good);
+
+        let strict = pipeline
+            .perceive_cooperative(&cloud, &est, &[good.clone()], &origin())
+            .unwrap();
+        let (lossy, dropped) = pipeline.perceive_cooperative_lossy(
+            &cloud,
+            &est,
+            &[good.clone(), bad.clone()],
+            &origin(),
+        );
+        let outcome = pipeline.perceive(&cloud, &est, &[good.clone(), bad], &origin());
+        assert_eq!(strict.packets_fused, 1);
+        assert_eq!(lossy.packets_fused, outcome.packets_fused);
+        assert_eq!(dropped.len(), outcome.drops.len());
+        assert!(pipeline
+            .perceive_cooperative(&cloud, &est, &[corrupt_payload(&good)], &origin())
+            .is_err());
     }
 
     #[test]

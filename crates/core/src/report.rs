@@ -246,9 +246,7 @@ pub fn evaluate_pair(
 
     let packet = ExchangePacket::build(ib as u32, 0, &scan_b, est_b)
         .expect("sensor-frame scan always encodes");
-    let coop = pipeline
-        .perceive_cooperative(&scan_a, &est_a, &[packet], &config.origin)
-        .expect("freshly built packet always decodes");
+    let coop = pipeline.perceive(&scan_a, &est_a, &[packet], &config.origin);
 
     let ground_truth = scenario.ground_truth_cars();
     let world_to_a = RigidTransform::from_pose(&pose_a).inverse();

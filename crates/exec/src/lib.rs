@@ -1,0 +1,274 @@
+//! `cooper-exec`: a deterministic scoped work-pool executor.
+//!
+//! The fleet simulation and the SPOD feature trunk have embarrassingly
+//! parallel phases (per-vehicle scans, per-vehicle fusion, per-chunk
+//! voxelization). This crate runs them across threads with one hard
+//! guarantee: **results are bit-identical at any thread count**.
+//!
+//! The guarantee comes from the API shape, not from luck:
+//!
+//! * [`Executor::map`] returns results **in input order**, regardless of
+//!   which worker computed which item or in what order items finished.
+//! * [`Executor::map_chunks`] splits work into **fixed-size** chunks
+//!   whose boundaries depend only on the chunk size — never on the
+//!   thread count — so order-sensitive reductions (e.g. floating-point
+//!   merges) see the same grouping on 1 thread and on 64.
+//! * Closures receive the item index, so callers derive per-item state
+//!   (RNG streams, labels) from stable identities instead of from a
+//!   shared sequential cursor.
+//!
+//! Workers are spawned per call via [`std::thread::scope`] — the
+//! workspace vendors no thread-pool crate, and scoped threads let the
+//! closures borrow from the caller's stack without `'static` bounds. A
+//! panic on any worker is propagated to the caller after all workers
+//! have been joined, preserving the panic payload.
+//!
+//! # Examples
+//!
+//! ```
+//! use cooper_exec::Executor;
+//!
+//! let exec = Executor::new(Some(4));
+//! let squares = exec.map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! // Same input, any thread count: identical output.
+//! assert_eq!(squares, Executor::new(Some(1)).map(&[1u64, 2, 3, 4, 5], |_, &x| x * x));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default thread count override; 0 means "not set, use
+/// the hardware parallelism".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default thread count used by
+/// [`Executor::new`]`(None)`. `None` restores auto-detection
+/// (hardware parallelism). The CLI's `--threads` flag lands here.
+pub fn set_default_threads(threads: Option<usize>) {
+    DEFAULT_THREADS.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The thread count [`Executor::new`]`(None)` resolves to right now:
+/// the [`set_default_threads`] override when set, otherwise the
+/// hardware parallelism (at least 1).
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    }
+}
+
+/// A deterministic work-pool executor with a fixed thread budget.
+///
+/// Cheap to construct (it holds only the thread count); threads are
+/// scoped to each `map` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor. `Some(n)` pins the budget to `n` threads
+    /// (clamped to at least 1); `None` uses the process default — see
+    /// [`set_default_threads`].
+    pub fn new(threads: Option<usize>) -> Self {
+        Executor {
+            threads: threads.unwrap_or_else(default_threads).max(1),
+        }
+    }
+
+    /// A single-threaded executor: every `map` runs inline on the
+    /// caller's thread.
+    pub fn sequential() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**. `f` receives `(index, &item)`.
+    ///
+    /// Work is claimed dynamically (an atomic cursor), so uneven item
+    /// costs balance across workers; the output order is fixed by the
+    /// input regardless.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic after all workers have joined.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            local.push((i, f(i, item)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut results = Vec::with_capacity(workers);
+            let mut panic_payload = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => results.push(local),
+                    Err(payload) => panic_payload = panic_payload.or(Some(payload)),
+                }
+            }
+            if let Some(payload) = panic_payload {
+                std::panic::resume_unwind(payload);
+            }
+            results
+        });
+
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for (i, r) in collected.drain(..).flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// Applies `f` to fixed-size chunks of `items` and returns the
+    /// per-chunk results in chunk order. `f` receives
+    /// `(chunk_index, chunk)`; every chunk except possibly the last has
+    /// exactly `chunk_size` items.
+    ///
+    /// Because chunk boundaries depend only on `chunk_size`, a
+    /// reduction over the returned vector (performed by the caller, in
+    /// order) is bit-identical at any thread count — the contract the
+    /// chunked voxelizer relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk_size` is 0; re-raises worker panics.
+    pub fn map_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        self.map(&chunks, |i, chunk| f(i, chunk))
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 3, 8] {
+            let exec = Executor::new(Some(threads));
+            let out = exec.map(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_is_thread_count_invariant_for_uneven_work() {
+        let items: Vec<usize> = (0..64).collect();
+        let work = |i: usize, &x: &usize| {
+            // Uneven cost: later items spin longer, so finish order
+            // scrambles across workers.
+            let mut acc = x as u64;
+            for k in 0..(x * 100) {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+            }
+            (i, acc)
+        };
+        let one = Executor::new(Some(1)).map(&items, work);
+        let many = Executor::new(Some(7)).map(&items, work);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn map_chunks_fixed_boundaries() {
+        let items: Vec<u32> = (0..10).collect();
+        let exec = Executor::new(Some(4));
+        let sums = exec.map_chunks(&items, 4, |ci, chunk| (ci, chunk.to_vec()));
+        assert_eq!(sums.len(), 3);
+        assert_eq!(sums[0], (0, vec![0, 1, 2, 3]));
+        assert_eq!(sums[1], (1, vec![4, 5, 6, 7]));
+        assert_eq!(sums[2], (2, vec![8, 9]));
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let exec = Executor::new(Some(8));
+        let empty: Vec<u8> = Vec::new();
+        assert!(exec.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(exec.map(&[9u8], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let exec = Executor::new(Some(4));
+        let items: Vec<usize> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            exec.map(&items, |_, &x| {
+                if x == 17 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("string payload");
+        assert!(msg.contains("boom at 17"), "payload: {msg}");
+    }
+
+    #[test]
+    fn thread_budget_clamped_and_defaults() {
+        assert_eq!(Executor::new(Some(0)).threads(), 1);
+        assert_eq!(Executor::sequential().threads(), 1);
+        assert!(Executor::new(None).threads() >= 1);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_rejected() {
+        let _ = Executor::sequential().map_chunks(&[1], 0, |_, c: &[i32]| c.len());
+    }
+}

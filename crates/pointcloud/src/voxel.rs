@@ -6,7 +6,7 @@
 //! group points by voxel, and keep only non-empty voxels — the sparsity
 //! that the sparse convolutional middle layers then exploit.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use cooper_geometry::{Aabb3, Vec3};
@@ -191,6 +191,55 @@ impl Voxel {
         assert!(self.count > 0, "empty voxel has no reflectance");
         self.reflectance_sum / self.count as f64
     }
+
+    /// Accumulates one point into the voxel's samples and statistics.
+    fn accumulate(&mut self, point: &Point, cap: usize) {
+        if self.samples.len() < cap {
+            self.samples.push(*point);
+        }
+        self.count += 1;
+        self.position_sum += point.position;
+        self.reflectance_sum += f64::from(point.reflectance);
+        self.min_position = self.min_position.min(point.position);
+        self.max_position = self.max_position.max(point.position);
+        let range_xy = point.range_xy();
+        self.min_range_xy = self.min_range_xy.min(range_xy);
+        self.max_range_xy = self.max_range_xy.max(range_xy);
+    }
+
+    /// Merges another voxel's contents into this one. Samples from
+    /// `other` are appended (up to `cap`); the aggregate statistics
+    /// combine exactly.
+    fn absorb(&mut self, other: Voxel, cap: usize) {
+        for point in other.samples {
+            if self.samples.len() >= cap {
+                break;
+            }
+            self.samples.push(point);
+        }
+        self.count += other.count;
+        self.position_sum += other.position_sum;
+        self.reflectance_sum += other.reflectance_sum;
+        self.min_position = self.min_position.min(other.min_position);
+        self.max_position = self.max_position.max(other.max_position);
+        self.min_range_xy = self.min_range_xy.min(other.min_range_xy);
+        self.max_range_xy = self.max_range_xy.max(other.max_range_xy);
+    }
+}
+
+/// Accumulates a run of points into a fresh voxel map.
+fn accumulate_points(points: &[Point], config: &VoxelGridConfig) -> BTreeMap<VoxelCoord, Voxel> {
+    let mut voxels: BTreeMap<VoxelCoord, Voxel> = BTreeMap::new();
+    for point in points {
+        let Some(coord) = config.coord_of(point.position) else {
+            continue;
+        };
+        voxels
+            .entry(coord)
+            .or_default()
+            .accumulate(point, config.max_points_per_voxel);
+    }
+    voxels
 }
 
 /// A sparse voxel grid: only occupied voxels are stored.
@@ -211,12 +260,12 @@ impl Voxel {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VoxelGrid {
     config: VoxelGridConfig,
-    voxels: HashMap<VoxelCoord, Voxel>,
+    voxels: BTreeMap<VoxelCoord, Voxel>,
 }
 
 impl VoxelGrid {
-    /// Voxelizes a cloud. Points outside the configured extent are
-    /// silently dropped (they are out of detection range).
+    /// Voxelizes a cloud sequentially. Points outside the configured
+    /// extent are silently dropped (they are out of detection range).
     ///
     /// # Panics
     ///
@@ -225,23 +274,50 @@ impl VoxelGrid {
         if let Err(msg) = config.validate() {
             panic!("invalid voxel grid config: {msg}");
         }
-        let mut voxels: HashMap<VoxelCoord, Voxel> = HashMap::new();
-        for point in cloud.iter() {
-            let Some(coord) = config.coord_of(point.position) else {
-                continue;
-            };
-            let voxel = voxels.entry(coord).or_default();
-            if voxel.samples.len() < config.max_points_per_voxel {
-                voxel.samples.push(*point);
+        let voxels = accumulate_points(cloud.as_slice(), &config);
+        VoxelGrid { config, voxels }
+    }
+
+    /// Voxelizes a cloud in fixed-size chunks mapped over `executor`,
+    /// then merges the partial grids in chunk order.
+    ///
+    /// The chunk boundaries depend only on `chunk_size` — never on the
+    /// executor's thread count — and partials merge in chunk order, so
+    /// the result (including every floating-point accumulator) is
+    /// **bit-identical at any thread count**. It may differ from
+    /// [`VoxelGrid::from_cloud`] in the last bits of the float sums,
+    /// because chunking changes how the sums are grouped; callers that
+    /// need thread-invariant output should use one path consistently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`VoxelGridConfig::validate`] or
+    /// `chunk_size` is zero.
+    pub fn from_cloud_chunked(
+        cloud: &PointCloud,
+        config: VoxelGridConfig,
+        chunk_size: usize,
+        executor: &cooper_exec::Executor,
+    ) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid voxel grid config: {msg}");
+        }
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let partials = executor.map_chunks(cloud.as_slice(), chunk_size, |_, points| {
+            accumulate_points(points, &config)
+        });
+        let mut voxels: BTreeMap<VoxelCoord, Voxel> = BTreeMap::new();
+        for partial in partials {
+            for (coord, voxel) in partial {
+                match voxels.entry(coord) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(voxel);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        slot.get_mut().absorb(voxel, config.max_points_per_voxel);
+                    }
+                }
             }
-            voxel.count += 1;
-            voxel.position_sum += point.position;
-            voxel.reflectance_sum += f64::from(point.reflectance);
-            voxel.min_position = voxel.min_position.min(point.position);
-            voxel.max_position = voxel.max_position.max(point.position);
-            let range_xy = point.range_xy();
-            voxel.min_range_xy = voxel.min_range_xy.min(range_xy);
-            voxel.max_range_xy = voxel.max_range_xy.max(range_xy);
         }
         VoxelGrid { config, voxels }
     }
@@ -266,7 +342,9 @@ impl VoxelGrid {
         self.voxels.get(&coord)
     }
 
-    /// Iterates over `(coordinate, voxel)` pairs in unspecified order.
+    /// Iterates over `(coordinate, voxel)` pairs in ascending coordinate
+    /// order. The fixed order keeps downstream feature encoding and
+    /// float accumulations deterministic run to run.
     pub fn iter(&self) -> impl Iterator<Item = (&VoxelCoord, &Voxel)> {
         self.voxels.iter()
     }
@@ -424,6 +502,79 @@ mod tests {
     fn empty_voxel_centroid_panics() {
         let v = Voxel::default();
         let _ = v.centroid();
+    }
+
+    #[test]
+    fn chunked_matches_sequential_on_single_chunk() {
+        let cloud: PointCloud = (0..200)
+            .map(|i| {
+                let x = (i % 20) as f64 + 0.5;
+                let y = ((i / 20) % 10) as f64 - 5.5;
+                Point::new(Vec3::new(x, y, 0.25), 0.1 + (i % 7) as f32 * 0.1)
+            })
+            .collect();
+        let executor = cooper_exec::Executor::sequential();
+        let whole = VoxelGrid::from_cloud(&cloud, config());
+        let chunked = VoxelGrid::from_cloud_chunked(&cloud, config(), cloud.len(), &executor);
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn chunked_is_thread_count_invariant() {
+        let cloud: PointCloud = (0..3000)
+            .map(|i| {
+                let x = ((i * 7) % 200) as f64 * 0.1 + 0.05;
+                let y = ((i * 13) % 200) as f64 * 0.1 - 10.0;
+                let z = ((i * 3) % 40) as f64 * 0.1 - 2.0;
+                Point::new(Vec3::new(x, y, z), (i % 11) as f32 * 0.09)
+            })
+            .collect();
+        let serial = VoxelGrid::from_cloud_chunked(
+            &cloud,
+            config(),
+            128,
+            &cooper_exec::Executor::new(Some(1)),
+        );
+        let parallel = VoxelGrid::from_cloud_chunked(
+            &cloud,
+            config(),
+            128,
+            &cooper_exec::Executor::new(Some(4)),
+        );
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.total_points(), cloud.len());
+    }
+
+    #[test]
+    fn chunked_respects_sample_cap_in_cloud_order() {
+        let cloud: PointCloud = (0..50)
+            .map(|i| Point::new(Vec3::new(5.2, 0.3, 0.1), i as f32 * 0.01))
+            .collect();
+        let grid = VoxelGrid::from_cloud_chunked(
+            &cloud,
+            config(),
+            10,
+            &cooper_exec::Executor::new(Some(3)),
+        );
+        let (_, voxel) = grid.iter().next().unwrap();
+        assert_eq!(voxel.count, 50);
+        assert_eq!(voxel.samples.len(), 5);
+        // The retained samples are the first five points in cloud order,
+        // regardless of which worker voxelized which chunk.
+        for (i, sample) in voxel.samples.iter().enumerate() {
+            assert!((sample.reflectance - i as f32 * 0.01).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn chunked_rejects_zero_chunk() {
+        let _ = VoxelGrid::from_cloud_chunked(
+            &PointCloud::new(),
+            config(),
+            0,
+            &cooper_exec::Executor::sequential(),
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! column and stays sparse: only columns with at least one active voxel
 //! exist.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -43,7 +43,7 @@ pub const Z_STRUCTURE_CHANNELS: usize = 3;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BevMap {
     channels: usize,
-    cells: HashMap<(i32, i32), Vec<f32>>,
+    cells: BTreeMap<(i32, i32), Vec<f32>>,
 }
 
 /// Normalizer for z-structure statistics: a column taller than this many
@@ -62,7 +62,7 @@ impl BevMap {
             z_min: i32,
             z_max: i32,
         }
-        let mut columns: HashMap<(i32, i32), Column> = HashMap::new();
+        let mut columns: BTreeMap<(i32, i32), Column> = BTreeMap::new();
         for (coord, features) in tensor.iter() {
             let col = columns.entry((coord.x, coord.y)).or_insert_with(|| Column {
                 features: vec![f32::NEG_INFINITY; in_channels],
@@ -109,8 +109,9 @@ impl BevMap {
         self.cells.get(&(x, y)).map(Vec::as_slice)
     }
 
-    /// Iterates over active `((x, y), features)` pairs in unspecified
-    /// order.
+    /// Iterates over active `((x, y), features)` pairs in ascending
+    /// `(x, y)` order, so consumers that accumulate or tie-break over
+    /// cells behave identically run to run.
     pub fn iter(&self) -> impl Iterator<Item = (&(i32, i32), &Vec<f32>)> {
         self.cells.iter()
     }

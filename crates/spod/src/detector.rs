@@ -91,6 +91,13 @@ impl Default for SpodConfig {
     }
 }
 
+/// Points per voxelization chunk. Fixed (never derived from thread
+/// count) so chunk boundaries — and with them the grouping of float
+/// accumulations — are identical however many workers voxelize. Sized
+/// so a typical densified scan splits into enough chunks to occupy a
+/// small work pool without drowning in merge overhead.
+const VOXELIZE_CHUNK_POINTS: usize = 16_384;
+
 /// The SPOD 3-D object detector (Figure 1 of the paper): preprocessing →
 /// voxel feature extractor → sparse convolutional middle layers → BEV
 /// collapse → SSD-style RPN heads → NMS.
@@ -220,7 +227,16 @@ impl SpodDetector {
         };
         let grid = {
             let _stage = cooper_telemetry::span!("spod.voxelize");
-            let grid = VoxelGrid::from_cloud(&dense, self.config.voxel_grid);
+            // Chunked even when the executor is sequential: fixed chunk
+            // boundaries make the float accumulators (and hence every
+            // downstream feature) bit-identical at any thread count.
+            let executor = cooper_exec::Executor::new(None);
+            let grid = VoxelGrid::from_cloud_chunked(
+                &dense,
+                self.config.voxel_grid,
+                VOXELIZE_CHUNK_POINTS,
+                &executor,
+            );
             cooper_telemetry::counter_add("spod.voxels_occupied", grid.occupied_count() as u64);
             grid
         };

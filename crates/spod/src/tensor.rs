@@ -1,6 +1,6 @@
 //! Sparse 3-D feature tensors.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use cooper_pointcloud::VoxelCoord;
@@ -27,7 +27,7 @@ use cooper_pointcloud::VoxelCoord;
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseTensor3 {
     channels: usize,
-    sites: HashMap<VoxelCoord, Vec<f32>>,
+    sites: BTreeMap<VoxelCoord, Vec<f32>>,
 }
 
 impl SparseTensor3 {
@@ -40,7 +40,7 @@ impl SparseTensor3 {
         assert!(channels > 0, "channel count must be positive");
         SparseTensor3 {
             channels,
-            sites: HashMap::new(),
+            sites: BTreeMap::new(),
         }
     }
 
@@ -78,12 +78,14 @@ impl SparseTensor3 {
         self.sites.get(&coord).map(Vec::as_slice)
     }
 
-    /// Iterates over `(coordinate, features)` in unspecified order.
+    /// Iterates over `(coordinate, features)` in ascending coordinate
+    /// order. The fixed order keeps every downstream float accumulation
+    /// deterministic run to run.
     pub fn iter(&self) -> impl Iterator<Item = (&VoxelCoord, &Vec<f32>)> {
         self.sites.iter()
     }
 
-    /// The active coordinates, in unspecified order.
+    /// The active coordinates, in ascending order.
     pub fn coords(&self) -> impl Iterator<Item = &VoxelCoord> {
         self.sites.keys()
     }

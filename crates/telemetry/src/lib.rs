@@ -12,7 +12,7 @@
 //! - **Spans** time a region via an RAII guard. Spans opened while
 //!   another span is open on the same thread nest under it, producing
 //!   `/`-joined paths such as
-//!   `pipeline.perceive_cooperative/pipeline.fuse/packet.decode`.
+//!   `pipeline.perceive/pipeline.fuse/packet.decode`.
 //!   Durations aggregate into fixed-footprint power-of-two histograms,
 //!   so p50/p95/p99/max come free at snapshot time.
 //! - **Counters** accumulate monotonically (`pipeline.packets_fused`).

@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 /// Aggregated timing for one span path.
 #[derive(Clone, Debug, Serialize)]
 pub struct SpanSummary {
-    /// Full `/`-joined path, e.g. `pipeline.perceive_cooperative/pipeline.fuse`.
+    /// Full `/`-joined path, e.g. `pipeline.perceive/pipeline.fuse`.
     pub path: String,
     /// Leaf name, e.g. `pipeline.fuse`.
     pub name: String,

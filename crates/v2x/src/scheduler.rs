@@ -7,13 +7,14 @@
 //! scan, wraps it in an exchange packet, sends it over a [`SharedMedium`]
 //! and accounts the per-second data volume.
 
-use cooper_core::ExchangePacket;
+use cooper_core::{ChannelModel, ExchangePacket, TransferCtx};
 use cooper_geometry::{Attitude, GpsFix};
 use cooper_lidar_sim::PoseEstimate;
 use cooper_pointcloud::roi::{extract_roi, RoiCategory};
 use cooper_pointcloud::PointCloud;
 use parking_lot::Mutex;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::{DsrcChannel, TransmissionReport};
@@ -23,10 +24,21 @@ use crate::{DsrcChannel, TransmissionReport};
 ///
 /// Internally synchronized (`parking_lot::Mutex`), so concurrent
 /// vehicle simulations can share one medium.
+///
+/// Implements [`ChannelModel`], so a fleet simulation can run directly
+/// over the medium: each simulation step opens a fresh one-second air
+/// time window, and a transfer is delivered when the window has air
+/// time left *and* every link-layer frame survives.
 #[derive(Debug)]
 pub struct SharedMedium {
     channel: DsrcChannel,
     airtime_used_s: Mutex<f64>,
+    /// Step the current window belongs to when driven as a
+    /// [`ChannelModel`]; `None` until the first delivery question.
+    window_step: Option<usize>,
+    /// Base seed for the per-transfer frame-loss streams drawn when
+    /// driven as a [`ChannelModel`].
+    seed: u64,
 }
 
 impl SharedMedium {
@@ -36,7 +48,16 @@ impl SharedMedium {
         SharedMedium {
             channel,
             airtime_used_s: Mutex::new(0.0),
+            window_step: None,
+            seed: 0,
         }
+    }
+
+    /// Sets the base seed of the per-transfer randomness used when the
+    /// medium acts as a [`ChannelModel`].
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// The underlying channel.
@@ -79,6 +100,38 @@ impl SharedMedium {
     /// Opens a new one-second window.
     pub fn next_second(&self) {
         *self.airtime_used_s.lock() = 0.0;
+    }
+}
+
+/// Derives the seed of one transfer's frame-loss stream from the
+/// transfer's identity, so delivery randomness is independent of how
+/// many transfers preceded it (SplitMix64 finalizer).
+fn transfer_seed(seed: u64, tx: &TransferCtx) -> u64 {
+    let mut z = seed
+        ^ (tx.step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(tx.from).wrapping_mul(0xD1B5_4A32_D192_ED03)
+        ^ u64::from(tx.to).wrapping_mul(0x8CB9_2BA7_2F3D_8DD7);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChannelModel for SharedMedium {
+    /// Delivers when the current step's one-second window still has air
+    /// time for the packet and every link-layer frame arrives. The
+    /// frame-loss randomness is drawn from a stream derived per
+    /// transfer, so outcomes do not depend on transfer count or order
+    /// across unrelated links.
+    fn deliver(&mut self, tx: &TransferCtx) -> bool {
+        if self.window_step != Some(tx.step) {
+            self.next_second();
+            self.window_step = Some(tx.step);
+        }
+        let mut rng = StdRng::seed_from_u64(transfer_seed(self.seed, tx));
+        match self.try_send(tx.wire_bytes, &mut rng) {
+            Some(report) => report.complete,
+            None => false,
+        }
     }
 }
 
@@ -211,6 +264,28 @@ impl ExchangeScheduler {
     }
 }
 
+impl ChannelModel for ExchangeScheduler {
+    /// Applies the scheduler's policy to one fleet transfer: sub-1 Hz
+    /// rates deliver only on every k-th step (one step ≈ one second),
+    /// and one-way ROI categories
+    /// ([`RoiCategory::transfers_per_pair`] `== 1`) carry only the
+    /// lower-id → higher-id direction of each pair.
+    fn deliver(&mut self, tx: &TransferCtx) -> bool {
+        let send_every = if self.rate_hz >= 1.0 {
+            1
+        } else {
+            (1.0 / self.rate_hz).round() as usize
+        };
+        if !tx.step.is_multiple_of(send_every) {
+            return false;
+        }
+        if self.category.transfers_per_pair() == 1 && tx.from > tx.to {
+            return false;
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +404,62 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_panics() {
         let _ = ExchangeScheduler::new(0.0, RoiCategory::FullFrame);
+    }
+
+    fn tx(step: usize, from: u32, to: u32, bytes: usize) -> TransferCtx {
+        TransferCtx {
+            step,
+            from,
+            to,
+            wire_bytes: bytes,
+        }
+    }
+
+    #[test]
+    fn shared_medium_channel_model_saturates_within_a_step() {
+        // A 3 Mbit/s window holds well under 375 KB of payload: the
+        // third 150 KB transfer of the same step must be refused, and a
+        // new step must open a fresh window.
+        let mut m = SharedMedium::new(DsrcChannel::new(DsrcConfig {
+            data_rate: DataRate::Mbps3,
+            ..DsrcConfig::default()
+        }))
+        .with_seed(7);
+        assert!(m.deliver(&tx(0, 1, 2, 150_000)));
+        assert!(m.deliver(&tx(0, 2, 1, 150_000)));
+        assert!(!m.deliver(&tx(0, 3, 1, 150_000)), "window saturated");
+        assert!(m.deliver(&tx(1, 3, 1, 150_000)), "new step, new window");
+    }
+
+    #[test]
+    fn shared_medium_delivery_is_per_transfer_deterministic() {
+        let outcome = |order_flipped: bool| {
+            let mut m = SharedMedium::new(DsrcChannel::new(DsrcConfig::default())).with_seed(3);
+            let (a, b) = (tx(0, 1, 2, 120_000), tx(0, 2, 1, 120_000));
+            if order_flipped {
+                let rb = m.deliver(&b);
+                (m.deliver(&a), rb)
+            } else {
+                (m.deliver(&a), m.deliver(&b))
+            }
+        };
+        // Same per-transfer outcome whichever transfer asks first (the
+        // windows are large enough that neither order saturates).
+        assert_eq!(outcome(false), outcome(true));
+    }
+
+    #[test]
+    fn scheduler_channel_model_gates_rate_and_direction() {
+        let mut half_hz = ExchangeScheduler::new(0.5, RoiCategory::FullFrame);
+        assert!(half_hz.deliver(&tx(0, 1, 2, 1000)));
+        assert!(!half_hz.deliver(&tx(1, 1, 2, 1000)), "off-step at 0.5 Hz");
+        assert!(half_hz.deliver(&tx(2, 1, 2, 1000)));
+
+        let mut one_way = ExchangeScheduler::paper_default(RoiCategory::ForwardOneWay);
+        assert!(one_way.deliver(&tx(0, 1, 2, 1000)));
+        assert!(!one_way.deliver(&tx(0, 2, 1, 1000)), "reverse direction");
+
+        let mut two_way = ExchangeScheduler::paper_default(RoiCategory::FrontFov120);
+        assert!(two_way.deliver(&tx(0, 2, 1, 1000)));
     }
 }

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 6. …and the receiver fuses and re-detects.
-    let result = pipeline.perceive_cooperative(&local_scan, &local_pose, &[packet], &origin)?;
+    let result = pipeline.perceive(&local_scan, &local_pose, &[packet], &origin);
     println!(
         "cooperative: {} cars detected on {} fused points",
         result.detections.len(),

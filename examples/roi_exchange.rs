@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Receive side: reassemble, decode, fuse, detect.
     let received = reassemble(&fragments)?;
     let packet = ExchangePacket::from_bytes(&received)?;
-    let result = pipeline.perceive_cooperative(&local_scan, &est_rx, &[packet], &origin)?;
+    let result = pipeline.perceive(&local_scan, &est_rx, &[packet], &origin);
     let single = pipeline.perceive_single(&local_scan);
     println!(
         "detections: {} single-shot -> {} cooperative",
@@ -87,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         demand_bytes += p.wire_size();
         demand_packets.push(p);
     }
-    let demand = pipeline.perceive_cooperative(&local_scan, &est_rx, &demand_packets, &origin)?;
+    let demand = pipeline.perceive(&local_scan, &est_rx, &demand_packets, &origin);
     println!(
         "demand-driven exchange: {} bytes across {} wedges, {} detections",
         demand_bytes,

@@ -144,9 +144,7 @@ fn pipeline_accepts_many_transmitters() {
         let est = PoseEstimate::from_pose(pose, &origin());
         packets.push(ExchangePacket::build(i as u32, 0, &scan, est).expect("encodes"));
     }
-    let result = pipeline
-        .perceive_cooperative(&local, &est_rx, &packets, &origin())
-        .expect("fuses");
+    let result = pipeline.perceive(&local, &est_rx, &packets, &origin());
     assert_eq!(result.packets_fused, packets.len());
     assert_eq!(result.fused_cloud.len(), expected);
 }

@@ -36,9 +36,7 @@ fn packet_survives_serialization_across_the_pipeline() {
     let parsed = ExchangePacket::from_bytes(&packet.to_bytes()).expect("parses");
     assert_eq!(parsed.cloud().expect("decodes").len(), remote.len());
 
-    let result = pipeline()
-        .perceive_cooperative(&local, &est_rx, &[parsed], &origin())
-        .expect("fusion succeeds");
+    let result = pipeline().perceive(&local, &est_rx, &[parsed], &origin());
     assert_eq!(result.fused_cloud.len(), local.len() + remote.len());
     assert_eq!(result.packets_fused, 1);
 }
@@ -155,9 +153,7 @@ fn fused_cloud_detection_equals_direct_detection() {
     let est_rx = PoseEstimate::from_pose(&scene.observers[rx], &origin());
     let est_tx = PoseEstimate::from_pose(&scene.observers[tx], &origin());
     let packet = ExchangePacket::build(1, 0, &remote, est_tx).expect("encodes");
-    let result = pipeline()
-        .perceive_cooperative(&local, &est_rx, &[packet], &origin())
-        .expect("fuses");
+    let result = pipeline().perceive(&local, &est_rx, &[packet], &origin());
     let direct = pipeline().perceive_single(&result.fused_cloud);
     assert_eq!(result.detections.len(), direct.len());
 }
@@ -205,9 +201,7 @@ fn demand_driven_roi_requests_recover_occluded_objects_cheaply() {
 
     // Fusing only the requested wedges still beats the single shot.
     let single = pipeline().perceive_single(&local);
-    let result = pipeline()
-        .perceive_cooperative(&local, &est_rx, &packets, &origin())
-        .expect("fuses");
+    let result = pipeline().perceive(&local, &est_rx, &packets, &origin());
     assert!(
         result.detections.len() >= single.len(),
         "demand-driven fusion lost detections: {} vs {}",

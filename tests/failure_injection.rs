@@ -104,13 +104,12 @@ fn lossy_receiver_drops_bad_packets_and_continues() {
         &Pose::new(Vec3::new(0.0, 0.0, 1.9), Attitude::level()),
         &origin(),
     );
-    let (result, dropped) =
-        pipeline.perceive_cooperative_lossy(&local, &est, &[good.clone(), bad], &origin());
-    assert_eq!(dropped.len(), 1);
-    assert_eq!(dropped[0].index, 1);
-    assert_eq!(dropped[0].error.kind(), "codec");
-    assert_eq!(result.packets_fused, 1);
-    assert_eq!(result.fused_cloud.len(), 100 + good.cloud().unwrap().len());
+    let outcome = pipeline.perceive(&local, &est, &[good.clone(), bad], &origin());
+    assert_eq!(outcome.drops.len(), 1);
+    assert_eq!(outcome.drops[0].index, 1);
+    assert_eq!(outcome.drops[0].error.kind(), "codec");
+    assert_eq!(outcome.packets_fused, 1);
+    assert_eq!(outcome.fused_cloud.len(), 100 + good.cloud().unwrap().len());
 }
 
 #[test]
@@ -147,9 +146,7 @@ fn double_drift_skew_degrades_but_does_not_crash() {
         &mut rng,
     );
     let packet = ExchangePacket::build(1, 0, &remote, est_tx).expect("encodes");
-    let result = pipeline
-        .perceive_cooperative(&local, &est_rx, &[packet], &origin())
-        .expect("fuses despite skew");
+    let result = pipeline.perceive(&local, &est_rx, &[packet], &origin());
     assert_eq!(result.fused_cloud.len(), local.len() + remote.len());
     // 20 cm misalignment is well under a car length: detection survives.
     assert!(!result.detections.is_empty());
@@ -170,9 +167,7 @@ fn grossly_wrong_pose_still_fails_safe() {
     let wrong_pose = Pose::new(Vec3::new(500.0, -300.0, 1.9), Attitude::level());
     let est_tx = PoseEstimate::from_pose(&wrong_pose, &origin());
     let packet = ExchangePacket::build(1, 0, &cloud, est_tx).expect("encodes");
-    let result = pipeline
-        .perceive_cooperative(&cloud, &est_rx, &[packet], &origin())
-        .expect("does not crash");
+    let result = pipeline.perceive(&cloud, &est_rx, &[packet], &origin());
     assert_eq!(result.fused_cloud.len(), 200);
 }
 
@@ -213,7 +208,9 @@ fn lossy_fleet_degrades_gracefully() {
 
     // A channel that drops every frame from vehicle 2: its packets never
     // arrive, everyone else's still do — the receiver keeps working.
-    let (lossy, stats) = sim.run_with_packet_filter(&pipeline, 2, |_, from, _, _| from != 2);
+    // (Closures implement ChannelModel through the blanket impl.)
+    let mut drop_vehicle_2 = |_: usize, from: u32, _: u32, _: usize| from != 2;
+    let (lossy, stats) = sim.run_with_channel(&pipeline, 2, &mut drop_vehicle_2);
     for report in &lossy {
         for v in &report.per_vehicle {
             if v.vehicle_id == 2 {
@@ -226,7 +223,8 @@ fn lossy_fleet_degrades_gracefully() {
 
     // A fully partitioned channel: no packets, single-shot perception
     // still runs for everyone.
-    let (dark, dark_stats) = sim.run_with_packet_filter(&pipeline, 1, |_, _, _, _| false);
+    let mut blackout = |_: usize, _: u32, _: u32, _: usize| false;
+    let (dark, dark_stats) = sim.run_with_channel(&pipeline, 1, &mut blackout);
     assert!(dark[0].per_vehicle.iter().all(|v| v.packets_received == 0));
     assert_eq!(dark_stats.total_bytes, 0);
 }

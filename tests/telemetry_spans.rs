@@ -27,7 +27,7 @@ fn car_blob(offset: f64) -> PointCloud {
 }
 
 #[test]
-fn perceive_cooperative_emits_expected_span_tree() {
+fn perceive_emits_expected_span_tree() {
     let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()));
     let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
     let est = PoseEstimate::from_pose(&pose, &origin());
@@ -39,9 +39,7 @@ fn perceive_cooperative_emits_expected_span_tree() {
     cooper_telemetry::reset();
     cooper_telemetry::enable();
     let received = ExchangePacket::from_bytes(&wire).expect("decodes");
-    let result = pipeline
-        .perceive_cooperative(&local, &est, &[received], &origin())
-        .expect("fuses");
+    let result = pipeline.perceive(&local, &est, &[received], &origin());
     cooper_telemetry::disable();
     let snapshot = cooper_telemetry::snapshot();
     cooper_telemetry::reset();
@@ -53,16 +51,16 @@ fn perceive_cooperative_emits_expected_span_tree() {
     // detection nested beneath it, and the SPOD stages beneath those.
     for path in [
         "packet.decode",
-        "pipeline.perceive_cooperative",
-        "pipeline.perceive_cooperative/pipeline.fuse",
-        "pipeline.perceive_cooperative/pipeline.fuse/packet.payload_decode",
-        "pipeline.perceive_cooperative/pipeline.perceive_single",
-        "pipeline.perceive_cooperative/pipeline.perceive_single/spod.featurize",
-        "pipeline.perceive_cooperative/pipeline.perceive_single/spod.featurize/spod.preprocess",
-        "pipeline.perceive_cooperative/pipeline.perceive_single/spod.featurize/spod.voxelize",
-        "pipeline.perceive_cooperative/pipeline.perceive_single/spod.featurize/spod.middle",
-        "pipeline.perceive_cooperative/pipeline.perceive_single/spod.rpn",
-        "pipeline.perceive_cooperative/pipeline.perceive_single/spod.nms",
+        "pipeline.perceive",
+        "pipeline.perceive/pipeline.fuse",
+        "pipeline.perceive/pipeline.fuse/packet.payload_decode",
+        "pipeline.perceive/pipeline.perceive_single",
+        "pipeline.perceive/pipeline.perceive_single/spod.featurize",
+        "pipeline.perceive/pipeline.perceive_single/spod.featurize/spod.preprocess",
+        "pipeline.perceive/pipeline.perceive_single/spod.featurize/spod.voxelize",
+        "pipeline.perceive/pipeline.perceive_single/spod.featurize/spod.middle",
+        "pipeline.perceive/pipeline.perceive_single/spod.rpn",
+        "pipeline.perceive/pipeline.perceive_single/spod.nms",
     ] {
         let span = snapshot
             .span(path)
@@ -76,12 +74,10 @@ fn perceive_cooperative_emits_expected_span_tree() {
     assert!(!snapshot.spans.iter().any(|s| s.name.starts_with("fleet.")));
 
     // A child's total time is bounded by its parent's.
-    let coop = snapshot.span("pipeline.perceive_cooperative").unwrap();
-    let fuse = snapshot
-        .span("pipeline.perceive_cooperative/pipeline.fuse")
-        .unwrap();
+    let coop = snapshot.span("pipeline.perceive").unwrap();
+    let fuse = snapshot.span("pipeline.perceive/pipeline.fuse").unwrap();
     let detect = snapshot
-        .span("pipeline.perceive_cooperative/pipeline.perceive_single")
+        .span("pipeline.perceive/pipeline.perceive_single")
         .unwrap();
     assert!(fuse.total_us + detect.total_us <= coop.total_us + 1_000);
 
