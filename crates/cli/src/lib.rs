@@ -25,6 +25,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
+use cooper_core::fleet::TransportDropReason;
 use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle};
 use cooper_core::report::{evaluate_pair, EvaluationConfig};
 use cooper_core::viz::{render_bev, BevViewConfig};
@@ -37,7 +38,9 @@ use cooper_pointcloud::roi::RoiCategory;
 use cooper_pointcloud::PointCloud;
 use cooper_spod::train::{train, TrainingConfig};
 use cooper_spod::{SpodConfig, SpodDetector};
-use cooper_v2x::{DsrcChannel, DsrcConfig, ExchangeScheduler, SharedMedium};
+use cooper_v2x::{
+    ArqConfig, DsrcChannel, DsrcConfig, ExchangeScheduler, GilbertElliott, LossModel, SharedMedium,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -133,12 +136,19 @@ USAGE:
   cooper detect    --input cloud.ply|cloud.xyz [--weights weights.bin] [--threshold T] [--bev]
   cooper evaluate  --scenario NAME [--pair N] [--weights weights.bin]
   cooper simulate  --scenario NAME [--seconds N] [--seed N] [--threads N] [--weights weights.bin]
+                   [--channel perfect|iid|gilbert-elliott] [--loss P] [--arq-retries N]
   cooper convert   --input a.xyz|a.ply|a.pcd --out b.xyz|b.ply|b.pcd
   cooper scenarios
 
 Any command accepts --telemetry to print a span/metric snapshot table
 after the run. `simulate --threads N` sets the worker-pool size for the
 parallel fleet phases; its stdout is bit-identical at every N.
+`simulate --channel` picks the fleet's transport model: perfect
+(default, every in-range packet arrives), iid (independent per-frame
+loss with probability --loss) or gilbert-elliott (two-state burst loss
+with long-run rate --loss). --arq-retries N (with a lossy channel)
+retransmits lost fragments up to N rounds within each step's delivery
+deadline; what misses the deadline is salvaged as a partial cloud.
 
 Scenario names: kitti1 kitti2 kitti3 kitti4 tj1 tj2 tj3 tj4"
         .to_string()
@@ -395,6 +405,38 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                 }
                 cooper_exec::set_default_threads(Some(n));
             }
+            // Validate the transport flags up front, before any work.
+            let channel_kind = parsed
+                .options
+                .get("--channel")
+                .map(String::as_str)
+                .unwrap_or("perfect");
+            let loss: f64 = get_parse(&parsed.options, "--loss", 0.1)?;
+            let arq_retries: usize = get_parse(&parsed.options, "--arq-retries", 0)?;
+            let fleet_loss_model = match channel_kind {
+                "perfect" => None,
+                "iid" => {
+                    if !(0.0..1.0).contains(&loss) {
+                        return Err(CliError::usage("--loss must be in [0, 1) for iid"));
+                    }
+                    Some(LossModel::Independent)
+                }
+                "gilbert-elliott" => {
+                    if !(0.0..0.7).contains(&loss) {
+                        return Err(CliError::usage(
+                            "--loss must be in [0, 0.7) for gilbert-elliott",
+                        ));
+                    }
+                    Some(LossModel::GilbertElliott(GilbertElliott::from_loss_rate(
+                        loss,
+                    )))
+                }
+                other => {
+                    return Err(CliError::usage(format!(
+                        "unknown --channel {other:?} (perfect, iid or gilbert-elliott)"
+                    )))
+                }
+            };
             let (rx, tx) = *scene
                 .pairs
                 .first()
@@ -468,21 +510,40 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                     ..FleetConfig::default()
                 },
             );
-            let (reports, stats) = sim.run(&pipeline, seconds.max(1));
+            let (reports, stats) = match fleet_loss_model {
+                None => sim.run(&pipeline, seconds.max(1)),
+                Some(loss_model) => {
+                    let config = DsrcConfig {
+                        loss_probability: if channel_kind == "iid" { loss } else { 0.0 },
+                        loss_model,
+                        ..DsrcConfig::default()
+                    };
+                    let mut medium = SharedMedium::new(DsrcChannel::new(config)).with_seed(seed);
+                    if arq_retries > 0 {
+                        medium = medium.with_arq(ArqConfig {
+                            max_retries: arq_retries,
+                            ..ArqConfig::default()
+                        });
+                    }
+                    sim.run_with_channel(&pipeline, seconds.max(1), &mut medium)
+                }
+            };
             println!(
-                "fleet: {} vehicles × {} steps",
+                "fleet: {} vehicles × {} steps ({} channel)",
                 scene.observers.len(),
-                reports.len()
+                reports.len(),
+                channel_kind
             );
             for report in &reports {
                 for v in &report.per_vehicle {
                     println!(
-                        "  step {} v{}: single {} coop {} rx {} drops {} bytes {}",
+                        "  step {} v{}: single {} coop {} rx {} partial {} drops {} bytes {}",
                         report.step,
                         v.vehicle_id,
                         v.single_detections,
                         v.cooperative_detections,
                         v.packets_received,
+                        v.packets_partial,
                         v.packets_dropped,
                         v.bytes_received
                     );
@@ -492,6 +553,25 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                         "  step {} v{}: encode drop ({})",
                         report.step, drop.vehicle_id, drop.kind
                     );
+                }
+                for drop in &report.transport_drops {
+                    match &drop.reason {
+                        TransportDropReason::DeadlineExceeded => println!(
+                            "  step {} v{}->v{}: deadline exceeded",
+                            report.step, drop.from, drop.to
+                        ),
+                        TransportDropReason::PartialDelivery {
+                            delivered_bytes,
+                            total_bytes,
+                        } => println!(
+                            "  step {} v{}->v{}: partial delivery {}/{} bytes",
+                            report.step, drop.from, drop.to, delivered_bytes, total_bytes
+                        ),
+                        TransportDropReason::SalvageFailed { kind } => println!(
+                            "  step {} v{}->v{}: salvage failed ({kind})",
+                            report.step, drop.from, drop.to
+                        ),
+                    }
                 }
                 eprintln!(
                     "  step {} timings: scan {} us, exchange {} us, perceive {} us",
@@ -676,6 +756,55 @@ mod tests {
         .unwrap_err();
         assert!(junk.usage);
         assert!(junk.message.contains("--threads"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_channel_flags() {
+        let unknown = run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--channel",
+            "carrier-pigeon",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(unknown.usage);
+        assert!(unknown.message.contains("--channel"));
+        let bad_loss = run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--channel",
+            "gilbert-elliott",
+            "--loss",
+            "0.9",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(bad_loss.usage);
+        assert!(bad_loss.message.contains("--loss"));
+    }
+
+    #[test]
+    fn simulate_runs_lossy_channels_with_arq() {
+        for channel in ["iid", "gilbert-elliott"] {
+            run(&parse_args(&args(&[
+                "simulate",
+                "--scenario",
+                "tj1",
+                "--seconds",
+                "1",
+                "--channel",
+                channel,
+                "--loss",
+                "0.1",
+                "--arq-retries",
+                "3",
+            ]))
+            .unwrap())
+            .unwrap();
+        }
     }
 
     #[test]

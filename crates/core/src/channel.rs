@@ -39,16 +39,82 @@ pub struct TransferCtx {
     pub wire_bytes: usize,
 }
 
+/// What became of one directed transfer — the graded verdict behind
+/// the boolean [`ChannelModel::deliver`] answer.
+///
+/// `Partial` carries byte counts rather than a float so the verdict
+/// stays `Eq`-comparable (and therefore usable in deterministic report
+/// diffs); use [`Delivery::fraction`] for the ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Delivery {
+    /// The whole packet arrived in time.
+    Delivered,
+    /// Nothing usable arrived (loss, saturation, or policy).
+    Dropped,
+    /// The delivery deadline expired before any usable prefix arrived.
+    DeadlineExceeded,
+    /// The deadline expired mid-transfer: only a leading portion of the
+    /// wire bytes arrived, available for salvage.
+    Partial {
+        /// Contiguous leading wire bytes that arrived.
+        delivered_bytes: usize,
+        /// Total wire bytes of the packet.
+        total_bytes: usize,
+    },
+}
+
+impl Delivery {
+    /// Fraction of the packet that arrived, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        match self {
+            Delivery::Delivered => 1.0,
+            Delivery::Dropped | Delivery::DeadlineExceeded => 0.0,
+            Delivery::Partial {
+                delivered_bytes,
+                total_bytes,
+            } => {
+                if *total_bytes == 0 {
+                    0.0
+                } else {
+                    *delivered_bytes as f64 / *total_bytes as f64
+                }
+            }
+        }
+    }
+}
+
 /// Decides, per directed transfer, whether a packet is delivered.
 ///
 /// Implementations may be stateful (`&mut self`): a shared medium
 /// spends air time, a scheduler counts sends per window. The fleet
-/// simulation calls [`ChannelModel::deliver`] in a deterministic order
-/// — by step, then receiver id order, then sender order — so stateful
-/// models behave identically run to run and at any thread count.
+/// simulation calls [`ChannelModel::deliver_verdict`] in a
+/// deterministic order — by step, then receiver id order, then sender
+/// order — so stateful models behave identically run to run and at any
+/// thread count.
 pub trait ChannelModel {
     /// Returns `true` when the packet described by `tx` arrives.
     fn deliver(&mut self, tx: &TransferCtx) -> bool;
+
+    /// The graded form of [`ChannelModel::deliver`]: distinguishes
+    /// deadline misses and partial (salvageable) deliveries from plain
+    /// drops. The default maps the boolean answer to
+    /// [`Delivery::Delivered`] / [`Delivery::Dropped`]; models with
+    /// ARQ + deadline semantics override this.
+    fn deliver_verdict(&mut self, tx: &TransferCtx) -> Delivery {
+        if self.deliver(tx) {
+            Delivery::Delivered
+        } else {
+            Delivery::Dropped
+        }
+    }
+
+    /// Called by the fleet loop once at the start of each step's
+    /// exchange phase, before any delivery question of that step.
+    /// Stateful media reset per-window accounting here (e.g. a
+    /// one-second air-time window). The default does nothing.
+    fn on_step_begin(&mut self, step: usize) {
+        let _ = step;
+    }
 }
 
 /// The ideal channel: every packet arrives. The default for
@@ -105,6 +171,34 @@ mod tests {
         assert!(filter.deliver(&ctx(0, 1, 2, 64)));
         assert!(!filter.deliver(&ctx(1, 2, 1, 64)));
         assert_eq!(seen, vec![(0, 1, 2, 64), (1, 2, 1, 64)]);
+    }
+
+    #[test]
+    fn default_verdict_mirrors_deliver() {
+        let mut channel = PerfectChannel;
+        assert_eq!(
+            channel.deliver_verdict(&ctx(0, 1, 2, 10)),
+            Delivery::Delivered
+        );
+        let mut never = |_: usize, _: u32, _: u32, _: usize| false;
+        assert_eq!(never.deliver_verdict(&ctx(0, 1, 2, 10)), Delivery::Dropped);
+    }
+
+    #[test]
+    fn delivery_fraction() {
+        assert_eq!(Delivery::Delivered.fraction(), 1.0);
+        assert_eq!(Delivery::Dropped.fraction(), 0.0);
+        assert_eq!(Delivery::DeadlineExceeded.fraction(), 0.0);
+        let half = Delivery::Partial {
+            delivered_bytes: 50,
+            total_bytes: 100,
+        };
+        assert!((half.fraction() - 0.5).abs() < 1e-12);
+        let degenerate = Delivery::Partial {
+            delivered_bytes: 0,
+            total_bytes: 0,
+        };
+        assert_eq!(degenerate.fraction(), 0.0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::channel::{ChannelModel, PerfectChannel, TransferCtx};
+use crate::channel::{ChannelModel, Delivery, PerfectChannel, TransferCtx};
 use crate::{CooperPipeline, ExchangePacket};
 
 /// One vehicle in the fleet: an id, a pose trajectory (one pose per
@@ -138,13 +138,77 @@ pub struct VehicleStepReport {
     pub single_detections: usize,
     /// Cars detected after fusing all received packets.
     pub cooperative_detections: usize,
-    /// Packets delivered to this vehicle this step.
+    /// Packets delivered to this vehicle this step (salvaged partial
+    /// deliveries included).
     pub packets_received: usize,
     /// Received packets that failed to decode and were excluded from
     /// fusion.
     pub packets_dropped: usize,
+    /// Of the packets received, how many arrived as salvaged partial
+    /// deliveries (deadline expired mid-transfer; only the contiguous
+    /// prefix was fused).
+    pub packets_partial: usize,
     /// Exchange bytes received this step.
     pub bytes_received: usize,
+}
+
+/// Why an in-range transfer the channel was asked about did not arrive
+/// whole — the fleet-level record of graceful degradation under a lossy
+/// transport.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportDropReason {
+    /// The delivery deadline expired before any usable prefix arrived;
+    /// the receiver fell back to ego-only perception for this sender.
+    DeadlineExceeded,
+    /// The deadline expired mid-transfer: the contiguous prefix was
+    /// salvaged and fused, the tail was lost. Use
+    /// [`TransportDropReason::fraction`] for the delivered ratio.
+    PartialDelivery {
+        /// Contiguous leading wire bytes that arrived.
+        delivered_bytes: usize,
+        /// Total wire bytes of the packet.
+        total_bytes: usize,
+    },
+    /// A partial delivery arrived but its prefix could not be decoded
+    /// into a usable packet (not even the headers survived).
+    SalvageFailed {
+        /// Stable error label ([`crate::CooperError::kind`]).
+        kind: String,
+    },
+}
+
+impl TransportDropReason {
+    /// Fraction of the packet that arrived, in `[0, 1]` (zero for
+    /// everything but partial deliveries).
+    pub fn fraction(&self) -> f64 {
+        match self {
+            TransportDropReason::PartialDelivery {
+                delivered_bytes,
+                total_bytes,
+            } => {
+                if *total_bytes == 0 {
+                    0.0
+                } else {
+                    *delivered_bytes as f64 / *total_bytes as f64
+                }
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// One degraded transfer of a step: who was sending to whom, and what
+/// became of it. Ordered the same way delivery decisions are made
+/// (receiver id order, then sender order), so the list is part of the
+/// deterministic report surface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportDrop {
+    /// Transmitting vehicle's id.
+    pub from: u32,
+    /// Receiving vehicle's id.
+    pub to: u32,
+    /// What happened to the transfer.
+    pub reason: TransportDropReason,
 }
 
 /// A broadcast that never happened: the vehicle's scan failed to encode
@@ -189,6 +253,9 @@ pub struct FleetStepReport {
     pub per_vehicle: Vec<VehicleStepReport>,
     /// Broadcasts that failed to encode this step, in fleet order.
     pub encode_drops: Vec<EncodeDrop>,
+    /// Transfers that missed their deadline or arrived partially this
+    /// step, in delivery-decision order.
+    pub transport_drops: Vec<TransportDrop>,
     /// Where this step's wall-clock time went.
     pub timings: StepTimings,
 }
@@ -198,8 +265,15 @@ impl FleetStepReport {
     /// wall-clock timings. Two runs of the same simulation (at any
     /// thread count) produce equal values here; use this in divergence
     /// checks instead of comparing whole reports.
-    pub fn deterministic_view(&self) -> (usize, &[VehicleStepReport], &[EncodeDrop]) {
-        (self.step, &self.per_vehicle, &self.encode_drops)
+    pub fn deterministic_view(
+        &self,
+    ) -> (usize, &[VehicleStepReport], &[EncodeDrop], &[TransportDrop]) {
+        (
+            self.step,
+            &self.per_vehicle,
+            &self.encode_drops,
+            &self.transport_drops,
+        )
     }
 }
 
@@ -380,8 +454,11 @@ impl FleetSimulation {
             let mut inboxes: Vec<Vec<ExchangePacket>> = Vec::new();
             inboxes.resize_with(self.vehicles.len(), Vec::new);
             let mut bytes_received = vec![0usize; self.vehicles.len()];
+            let mut partial_counts = vec![0usize; self.vehicles.len()];
+            let mut transport_drops: Vec<TransportDrop> = Vec::new();
             {
                 let _exchange_span = cooper_telemetry::span!("fleet.exchange");
+                channel.on_step_begin(step);
                 for i in 0..self.vehicles.len() {
                     for j in (i + 1)..self.vehicles.len() {
                         let d = broadcasts[i].pose.delta_d(&broadcasts[j].pose);
@@ -408,11 +485,70 @@ impl FleetSimulation {
                             to: self.vehicles[i].id,
                             wire_bytes: packet.wire_size(),
                         };
-                        if !channel.deliver(&ctx) {
-                            continue;
+                        match channel.deliver_verdict(&ctx) {
+                            Delivery::Delivered => {
+                                bytes_received[i] += packet.wire_size();
+                                inboxes[i].push(packet.clone());
+                            }
+                            Delivery::Dropped => {}
+                            Delivery::DeadlineExceeded => {
+                                if cooper_telemetry::is_enabled() {
+                                    cooper_telemetry::counter_add("fleet.deadline_miss", 1);
+                                }
+                                transport_drops.push(TransportDrop {
+                                    from: ctx.from,
+                                    to: ctx.to,
+                                    reason: TransportDropReason::DeadlineExceeded,
+                                });
+                            }
+                            Delivery::Partial {
+                                delivered_bytes,
+                                total_bytes,
+                            } => {
+                                // Salvage: decode whatever whole points
+                                // the delivered prefix contains and fuse
+                                // those; the receiver degrades instead
+                                // of losing the sender's scan entirely.
+                                let wire = packet.to_bytes();
+                                let cut = delivered_bytes.min(wire.len());
+                                match ExchangePacket::from_partial_bytes(&wire[..cut]) {
+                                    Ok((salvaged, _fraction)) => {
+                                        if cooper_telemetry::is_enabled() {
+                                            cooper_telemetry::counter_add(
+                                                "fleet.partial_salvaged",
+                                                1,
+                                            );
+                                        }
+                                        bytes_received[i] += delivered_bytes;
+                                        partial_counts[i] += 1;
+                                        inboxes[i].push(salvaged);
+                                        transport_drops.push(TransportDrop {
+                                            from: ctx.from,
+                                            to: ctx.to,
+                                            reason: TransportDropReason::PartialDelivery {
+                                                delivered_bytes,
+                                                total_bytes,
+                                            },
+                                        });
+                                    }
+                                    Err(error) => {
+                                        if cooper_telemetry::is_enabled() {
+                                            cooper_telemetry::counter_add(
+                                                "fleet.salvage_failed",
+                                                1,
+                                            );
+                                        }
+                                        transport_drops.push(TransportDrop {
+                                            from: ctx.from,
+                                            to: ctx.to,
+                                            reason: TransportDropReason::SalvageFailed {
+                                                kind: error.kind().to_string(),
+                                            },
+                                        });
+                                    }
+                                }
+                            }
                         }
-                        bytes_received[i] += packet.wire_size();
-                        inboxes[i].push(packet.clone());
                     }
                     stats.total_bytes += bytes_received[i] as u64;
                 }
@@ -445,6 +581,7 @@ impl FleetSimulation {
                         cooperative_detections: outcome.detections.len(),
                         packets_received: inboxes[i].len(),
                         packets_dropped: outcome.drops.len(),
+                        packets_partial: partial_counts[i],
                         bytes_received: bytes_received[i],
                     }
                 })
@@ -474,6 +611,7 @@ impl FleetSimulation {
                 step,
                 per_vehicle,
                 encode_drops,
+                transport_drops,
                 timings,
             });
             world = world.advanced(self.config.step_duration_s);
@@ -689,6 +827,96 @@ mod tests {
             recorder.0.iter().map(|t| (t.step, t.from, t.to)).collect();
         assert_eq!(order, vec![(0, 2, 1), (0, 1, 2), (1, 2, 1), (1, 1, 2)]);
         assert!(recorder.0.iter().all(|t| t.wire_bytes > 0));
+    }
+
+    #[test]
+    fn degraded_verdicts_surface_in_reports_and_keep_perceiving() {
+        // A channel that cuts vehicle 2's broadcasts to a 40% prefix
+        // and times out vehicle 1's entirely: vehicle 1 salvages a
+        // partial cloud, vehicle 2 falls back to ego-only perception,
+        // and both degradations appear in the step report.
+        struct Degrader;
+        impl ChannelModel for Degrader {
+            fn deliver(&mut self, tx: &TransferCtx) -> bool {
+                matches!(self.deliver_verdict(tx), Delivery::Delivered)
+            }
+            fn deliver_verdict(&mut self, tx: &TransferCtx) -> Delivery {
+                if tx.from == 2 {
+                    Delivery::Partial {
+                        delivered_bytes: tx.wire_bytes * 2 / 5,
+                        total_bytes: tx.wire_bytes,
+                    }
+                } else {
+                    Delivery::DeadlineExceeded
+                }
+            }
+        }
+        let sim = small_fleet();
+        let (reports, _) = sim.run_with_channel(&pipeline(), 1, &mut Degrader);
+        let r = &reports[0];
+        // Vehicle 1 got a salvaged partial packet from vehicle 2.
+        let v1 = &r.per_vehicle[0];
+        assert_eq!(v1.packets_received, 1);
+        assert_eq!(v1.packets_partial, 1);
+        assert!(v1.bytes_received > 0);
+        // Vehicle 2 heard nothing but still perceived on its own scan.
+        let v2 = &r.per_vehicle[1];
+        assert_eq!(v2.packets_received, 0);
+        assert_eq!(v2.packets_partial, 0);
+        assert!(v2.single_detections == v2.cooperative_detections);
+        // Both degradations are on the record, in delivery order.
+        assert_eq!(r.transport_drops.len(), 2);
+        assert!(matches!(
+            &r.transport_drops[0],
+            TransportDrop {
+                from: 2,
+                to: 1,
+                reason: TransportDropReason::PartialDelivery { .. }
+            }
+        ));
+        let frac = r.transport_drops[0].reason.fraction();
+        assert!((0.0..1.0).contains(&frac) && frac > 0.3);
+        assert!(matches!(
+            &r.transport_drops[1],
+            TransportDrop {
+                from: 1,
+                to: 2,
+                reason: TransportDropReason::DeadlineExceeded
+            }
+        ));
+    }
+
+    #[test]
+    fn unsalvageable_partial_is_reported_not_fused() {
+        // A prefix shorter than the packet header cannot be salvaged:
+        // the transfer must surface as SalvageFailed and nothing
+        // reaches the inbox.
+        struct Shredder;
+        impl ChannelModel for Shredder {
+            fn deliver(&mut self, tx: &TransferCtx) -> bool {
+                matches!(self.deliver_verdict(tx), Delivery::Delivered)
+            }
+            fn deliver_verdict(&mut self, tx: &TransferCtx) -> Delivery {
+                Delivery::Partial {
+                    delivered_bytes: 10,
+                    total_bytes: tx.wire_bytes,
+                }
+            }
+        }
+        let sim = small_fleet();
+        let (reports, _) = sim.run_with_channel(&pipeline(), 1, &mut Shredder);
+        let r = &reports[0];
+        for v in &r.per_vehicle {
+            assert_eq!(v.packets_received, 0);
+            assert_eq!(v.packets_partial, 0);
+        }
+        assert_eq!(r.transport_drops.len(), 2);
+        for d in &r.transport_drops {
+            assert!(matches!(
+                d.reason,
+                TransportDropReason::SalvageFailed { .. }
+            ));
+        }
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub mod tracking;
 pub mod viz;
 
 pub use alignment::alignment_transform;
-pub use channel::{ChannelModel, PerfectChannel, TransferCtx};
+pub use channel::{ChannelModel, Delivery, PerfectChannel, TransferCtx};
 pub use error::CooperError;
 pub use packet::ExchangePacket;
 pub use pipeline::{CooperPipeline, CooperativeResult, FusionOutcome, PacketDrop};

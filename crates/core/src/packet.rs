@@ -10,7 +10,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cooper_geometry::{Attitude, GpsFix};
 use cooper_lidar_sim::PoseEstimate;
-use cooper_pointcloud::{decode_cloud, encode_cloud, PointCloud};
+use cooper_pointcloud::{decode_cloud, decode_cloud_prefix, encode_cloud, PointCloud};
 
 use crate::CooperError;
 
@@ -193,6 +193,71 @@ impl ExchangePacket {
             payload: Bytes::copy_from_slice(&bytes[..payload_len]),
         })
     }
+
+    /// Deserializes the leading portion of a packet whose tail never
+    /// arrived — the salvage path for partial deliveries.
+    ///
+    /// The full header must be present; the payload may be truncated
+    /// anywhere. Whatever whole points the truncated payload contains
+    /// are decoded ([`cooper_pointcloud::decode_cloud_prefix`]) and
+    /// re-encoded into a shorter, self-consistent packet. Returns the
+    /// salvaged packet plus the fraction of payload points recovered
+    /// (`0.0..=1.0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same header errors as
+    /// [`ExchangePacket::from_bytes`], plus [`CooperError::Truncated`]
+    /// when not even the payload's own header survived.
+    pub fn from_partial_bytes(bytes: &[u8]) -> Result<(Self, f64), CooperError> {
+        let _span = cooper_telemetry::span!("packet.decode_partial");
+        if bytes.len() < HEADER_BYTES {
+            return Err(CooperError::Truncated {
+                expected: HEADER_BYTES,
+                actual: bytes.len(),
+            });
+        }
+        let mut header = &bytes[..HEADER_BYTES];
+        let mut magic = [0u8; 4];
+        header.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CooperError::BadMagic);
+        }
+        let version = header.get_u8();
+        if version != VERSION {
+            return Err(CooperError::UnsupportedVersion(version));
+        }
+        let vehicle_id = header.get_u32();
+        let sequence = header.get_u32();
+        let latitude = header.get_f64();
+        let longitude = header.get_f64();
+        let altitude = header.get_f64();
+        let yaw = header.get_f64();
+        let pitch = header.get_f64();
+        let roll = header.get_f64();
+        let payload_len = header.get_u32() as usize;
+        let pose = PoseEstimate {
+            gps: GpsFix::new(
+                latitude.clamp(-90.0, 90.0),
+                longitude.clamp(-180.0, 180.0),
+                altitude,
+            ),
+            attitude: Attitude::new(yaw, pitch, roll),
+        };
+        if !pose_is_finite(&pose) {
+            return Err(CooperError::InvalidPose);
+        }
+        let available = payload_len.min(bytes.len() - HEADER_BYTES);
+        let payload = &bytes[HEADER_BYTES..HEADER_BYTES + available];
+        let (prefix_cloud, declared_points) = decode_cloud_prefix(payload)?;
+        let fraction = if declared_points == 0 {
+            1.0
+        } else {
+            prefix_cloud.len() as f64 / declared_points as f64
+        };
+        let packet = ExchangePacket::build(vehicle_id, sequence, &prefix_cloud, pose)?;
+        Ok((packet, fraction))
+    }
 }
 
 fn pose_is_finite(pose: &PoseEstimate) -> bool {
@@ -295,6 +360,47 @@ mod tests {
         bytes[HEADER_BYTES] = b'Z';
         let decoded = ExchangePacket::from_bytes(&bytes).unwrap();
         assert!(matches!(decoded.cloud(), Err(CooperError::Codec(_))));
+    }
+
+    #[test]
+    fn partial_bytes_salvage_whole_points() {
+        let packet = ExchangePacket::build(9, 3, &sample_cloud(100), sample_pose()).unwrap();
+        let bytes = packet.to_bytes();
+        // Keep the header, the payload header and 40 whole points plus
+        // a ragged half-point.
+        let cut = HEADER_BYTES + 10 + 40 * 7 + 3;
+        let (salvaged, fraction) = ExchangePacket::from_partial_bytes(&bytes[..cut]).unwrap();
+        assert_eq!(salvaged.vehicle_id(), 9);
+        assert_eq!(salvaged.sequence(), 3);
+        assert_eq!(salvaged.pose(), packet.pose());
+        assert_eq!(salvaged.cloud().unwrap().len(), 40);
+        assert!((fraction - 0.4).abs() < 1e-12);
+        // The salvaged packet is self-consistent on the wire.
+        let rt = ExchangePacket::from_bytes(&salvaged.to_bytes()).unwrap();
+        assert_eq!(rt.cloud().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn partial_bytes_of_complete_packet_are_lossless() {
+        let packet = ExchangePacket::build(1, 1, &sample_cloud(50), sample_pose()).unwrap();
+        let (salvaged, fraction) = ExchangePacket::from_partial_bytes(&packet.to_bytes()).unwrap();
+        assert_eq!(salvaged, packet);
+        assert_eq!(fraction, 1.0);
+    }
+
+    #[test]
+    fn partial_bytes_require_the_header() {
+        let packet = ExchangePacket::build(1, 1, &sample_cloud(10), sample_pose()).unwrap();
+        let bytes = packet.to_bytes();
+        // Packet header alone (no payload header): truncated.
+        assert!(matches!(
+            ExchangePacket::from_partial_bytes(&bytes[..HEADER_BYTES + 4]).unwrap_err(),
+            CooperError::Truncated { .. } | CooperError::Codec(_)
+        ));
+        assert!(matches!(
+            ExchangePacket::from_partial_bytes(&bytes[..HEADER_BYTES - 1]).unwrap_err(),
+            CooperError::Truncated { .. }
+        ));
     }
 
     #[test]

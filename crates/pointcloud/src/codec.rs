@@ -164,6 +164,51 @@ pub fn encoded_size(n: usize) -> usize {
     WIRE_HEADER_BYTES + n * WIRE_BYTES_PER_POINT
 }
 
+/// Decodes as many *whole* points as a truncated wire frame contains —
+/// the salvage path for partial deliveries, where only a leading
+/// portion of the frame arrived before the transport deadline expired.
+///
+/// Because every point occupies a fixed [`WIRE_BYTES_PER_POINT`] slot,
+/// any prefix that covers the header decodes cleanly up to the last
+/// complete point; a trailing half-point is discarded. Returns the
+/// decoded cloud and the point count the full frame declared, so the
+/// caller can report the salvaged fraction.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadMagic`], [`CodecError::UnsupportedVersion`]
+/// or — only when even the header is incomplete —
+/// [`CodecError::Truncated`].
+pub fn decode_cloud_prefix(mut bytes: &[u8]) -> Result<(PointCloud, usize), CodecError> {
+    if bytes.len() < WIRE_HEADER_BYTES {
+        return Err(CodecError::Truncated {
+            expected: WIRE_HEADER_BYTES,
+            actual: bytes.len(),
+        });
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = bytes.get_u8();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let _flags = bytes.get_u8();
+    let declared = bytes.get_u32() as usize;
+    let available = (bytes.remaining() / WIRE_BYTES_PER_POINT).min(declared);
+    let mut cloud = PointCloud::with_capacity(available);
+    for _ in 0..available {
+        let x = f64::from(bytes.get_i16()) / SCALE;
+        let y = f64::from(bytes.get_i16()) / SCALE;
+        let z = f64::from(bytes.get_i16()) / SCALE;
+        let reflectance = f32::from(bytes.get_u8()) / 255.0;
+        cloud.push(Point::new(Vec3::new(x, y, z), reflectance));
+    }
+    Ok((cloud, declared))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +316,42 @@ mod tests {
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn prefix_decode_recovers_whole_points() {
+        let cloud = sample_cloud(10);
+        let bytes = encode_cloud(&cloud).unwrap();
+        // Cut mid-point: 6 whole points plus 3 bytes of the 7th.
+        let cut = &bytes[..WIRE_HEADER_BYTES + 6 * WIRE_BYTES_PER_POINT + 3];
+        let (prefix, declared) = decode_cloud_prefix(cut).unwrap();
+        assert_eq!(declared, 10);
+        assert_eq!(prefix.len(), 6);
+        for (a, b) in cloud.iter().take(6).zip(prefix.iter()) {
+            assert!((a.position - b.position).norm() < 0.01);
+        }
+    }
+
+    #[test]
+    fn prefix_decode_of_full_frame_is_lossless() {
+        let cloud = sample_cloud(5);
+        let bytes = encode_cloud(&cloud).unwrap();
+        let (prefix, declared) = decode_cloud_prefix(&bytes).unwrap();
+        assert_eq!((prefix.len(), declared), (5, 5));
+    }
+
+    #[test]
+    fn prefix_decode_still_checks_header() {
+        assert!(matches!(
+            decode_cloud_prefix(&[0u8; 4]).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+        let mut bytes = encode_cloud(&sample_cloud(2)).unwrap().to_vec();
+        bytes[0] = b'X';
+        assert_eq!(
+            decode_cloud_prefix(&bytes).unwrap_err(),
+            CodecError::BadMagic
+        );
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod roi;
 mod voxel;
 
 pub use cloud::PointCloud;
-pub use codec::{decode_cloud, encode_cloud, CodecError, WIRE_BYTES_PER_POINT};
+pub use codec::{
+    decode_cloud, decode_cloud_prefix, encode_cloud, CodecError, WIRE_BYTES_PER_POINT,
+};
 pub use point::Point;
 pub use range_image::{RangeImage, RangeImageConfig};
 pub use voxel::{Voxel, VoxelCoord, VoxelGrid, VoxelGridConfig};

@@ -31,7 +31,7 @@
 //! # Global vs local
 //!
 //! Instrumented library code records into the process-wide registry
-//! via the free functions ([`span`], [`counter_add`], ...). Tests and
+//! via the free functions ([`span()`], [`counter_add`], ...). Tests and
 //! embedders that need isolation construct their own [`Registry`].
 //!
 //! ```

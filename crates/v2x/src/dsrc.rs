@@ -43,6 +43,152 @@ impl std::fmt::Display for DataRate {
     }
 }
 
+/// The Gilbert–Elliott two-state burst-loss parameters.
+///
+/// Real 802.11p channels do not lose frames independently: fades and
+/// hidden-terminal collisions arrive in *bursts*. The Gilbert–Elliott
+/// model captures this with a two-state Markov chain — a `Good` state
+/// with low frame loss and a `Bad` state with high loss — whose state
+/// transitions happen once per transmitted frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// Per-frame probability of entering the bad state from the good
+    /// state.
+    pub p_good_to_bad: f64,
+    /// Per-frame probability of recovering from the bad state. Its
+    /// reciprocal is the mean burst length in frames.
+    pub p_bad_to_good: f64,
+    /// Frame-loss probability while in the good state.
+    pub loss_good: f64,
+    /// Frame-loss probability while in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// Builds a bursty profile whose long-run frame-loss rate is
+    /// approximately `loss_rate`, with a mean burst length of 8 frames
+    /// and a 75 % in-burst loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loss_rate` is outside `[0, 0.7)` — higher rates
+    /// cannot be reached with the fixed in-burst loss probability.
+    pub fn from_loss_rate(loss_rate: f64) -> Self {
+        assert!(
+            (0.0..0.7).contains(&loss_rate),
+            "burst loss rate must be in [0, 0.7)"
+        );
+        let loss_bad = 0.75;
+        let p_bad_to_good = 0.125; // mean burst length: 8 frames
+        let stationary_bad = loss_rate / loss_bad;
+        let p_good_to_bad = if stationary_bad == 0.0 {
+            0.0
+        } else {
+            p_bad_to_good * stationary_bad / (1.0 - stationary_bad)
+        };
+        GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good: 0.0,
+            loss_bad,
+        }
+    }
+
+    /// Long-run fraction of frames spent in the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        if self.p_good_to_bad == 0.0 && self.p_bad_to_good == 0.0 {
+            return 0.0;
+        }
+        self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+    }
+
+    /// Long-run expected frame-loss rate.
+    pub fn expected_loss(&self) -> f64 {
+        let bad = self.stationary_bad();
+        bad * self.loss_bad + (1.0 - bad) * self.loss_good
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("p_good_to_bad", self.p_good_to_bad),
+            ("p_bad_to_good", self.p_bad_to_good),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1]"));
+            }
+        }
+        for (name, p) in [("loss_good", self.loss_good), ("loss_bad", self.loss_bad)] {
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1)"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How per-frame loss is sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum LossModel {
+    /// Independent per-frame loss with
+    /// [`DsrcConfig::loss_probability`] — the original model.
+    #[default]
+    Independent,
+    /// Gilbert–Elliott burst loss; `loss_probability` is ignored.
+    GilbertElliott(GilbertElliott),
+}
+
+/// Per-transfer frame-loss sampler.
+///
+/// Holds the channel state that persists across the frames of one
+/// transfer — the Gilbert–Elliott good/bad state — so burst
+/// correlation spans fragments (and ARQ retransmission rounds) of one
+/// message while outcomes stay independent of how transfers are
+/// ordered. Obtain one per transfer via [`DsrcChannel::loss_process`].
+#[derive(Debug, Clone)]
+pub struct LossProcess {
+    model: LossModel,
+    iid_loss: f64,
+    in_bad: bool,
+}
+
+impl LossProcess {
+    /// Samples whether the next transmitted frame is lost, advancing
+    /// the burst state.
+    pub fn frame_lost<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        match self.model {
+            LossModel::Independent => self.iid_loss > 0.0 && rng.gen::<f64>() < self.iid_loss,
+            LossModel::GilbertElliott(ge) => {
+                let loss = if self.in_bad {
+                    ge.loss_bad
+                } else {
+                    ge.loss_good
+                };
+                let lost = loss > 0.0 && rng.gen::<f64>() < loss;
+                let flip = if self.in_bad {
+                    ge.p_bad_to_good
+                } else {
+                    ge.p_good_to_bad
+                };
+                if flip > 0.0 && rng.gen::<f64>() < flip {
+                    self.in_bad = !self.in_bad;
+                }
+                lost
+            }
+        }
+    }
+
+    /// Whether the process is currently in the bad (burst) state.
+    /// Always `false` for the independent model.
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+}
+
 /// Channel model parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DsrcConfig {
@@ -55,8 +201,16 @@ pub struct DsrcConfig {
     /// Fixed per-frame channel-access time (preamble, SIFS, contention),
     /// seconds.
     pub per_frame_access_time: f64,
-    /// Independent per-frame loss probability.
+    /// Independent per-frame loss probability, used when `loss_model`
+    /// is [`LossModel::Independent`].
     pub loss_probability: f64,
+    /// How per-frame loss is sampled (independent vs burst).
+    pub loss_model: LossModel,
+    /// Maximum extra per-frame latency (queueing / contention jitter),
+    /// seconds; each frame adds a uniform draw from `[0, jitter_s]` to
+    /// the delivery latency. Zero (the default) disables jitter and
+    /// consumes no randomness.
+    pub jitter_s: f64,
 }
 
 impl Default for DsrcConfig {
@@ -67,6 +221,8 @@ impl Default for DsrcConfig {
             per_frame_overhead: 64,
             per_frame_access_time: 110e-6,
             loss_probability: 0.0,
+            loss_model: LossModel::Independent,
+            jitter_s: 0.0,
         }
     }
 }
@@ -87,6 +243,12 @@ impl DsrcConfig {
         if self.per_frame_access_time < 0.0 {
             return Err("access time must be non-negative".into());
         }
+        if !(self.jitter_s >= 0.0 && self.jitter_s.is_finite()) {
+            return Err("jitter must be non-negative and finite".into());
+        }
+        if let LossModel::GilbertElliott(ge) = &self.loss_model {
+            ge.validate()?;
+        }
         Ok(())
     }
 }
@@ -102,6 +264,10 @@ pub struct TransmissionReport {
     pub bytes_on_air: usize,
     /// Total air time consumed, seconds.
     pub airtime_s: f64,
+    /// End-to-end delivery latency: air time plus any sampled
+    /// per-frame jitter, seconds. Equals `airtime_s` when
+    /// [`DsrcConfig::jitter_s`] is zero.
+    pub latency_s: f64,
     /// `true` when every frame was delivered.
     pub complete: bool,
 }
@@ -161,26 +327,59 @@ impl DsrcChannel {
         payload_bytes as f64 * 8.0 / self.airtime_for(payload_bytes)
     }
 
-    /// Transmits a payload of the given size, sampling per-frame loss.
+    /// Starts a fresh per-transfer loss process. For the
+    /// Gilbert–Elliott model the initial burst state is sampled from
+    /// the chain's stationary distribution using `rng`; the independent
+    /// model consumes no randomness here.
+    pub fn loss_process<R: Rng + ?Sized>(&self, rng: &mut R) -> LossProcess {
+        let in_bad = match &self.config.loss_model {
+            LossModel::Independent => false,
+            LossModel::GilbertElliott(ge) => {
+                let stationary = ge.stationary_bad();
+                stationary > 0.0 && rng.gen::<f64>() < stationary
+            }
+        };
+        LossProcess {
+            model: self.config.loss_model,
+            iid_loss: self.config.loss_probability,
+            in_bad,
+        }
+    }
+
+    /// Samples the extra latency jitter for one frame; zero (and no
+    /// randomness consumed) when [`DsrcConfig::jitter_s`] is zero.
+    pub fn frame_jitter<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.config.jitter_s == 0.0 {
+            0.0
+        } else {
+            rng.gen::<f64>() * self.config.jitter_s
+        }
+    }
+
+    /// Transmits a payload of the given size, sampling per-frame loss
+    /// (with the configured loss model) and latency jitter.
     pub fn transmit_sized<R: Rng + ?Sized>(
         &self,
         payload_bytes: usize,
         rng: &mut R,
     ) -> TransmissionReport {
         let frames = self.frames_for(payload_bytes);
+        let mut process = self.loss_process(rng);
         let mut delivered = 0usize;
+        let mut jitter = 0.0;
         for _ in 0..frames {
-            if self.config.loss_probability == 0.0
-                || rng.gen::<f64>() >= self.config.loss_probability
-            {
+            if !process.frame_lost(rng) {
                 delivered += 1;
             }
+            jitter += self.frame_jitter(rng);
         }
+        let airtime_s = self.airtime_for(payload_bytes);
         TransmissionReport {
             frames,
             frames_delivered: delivered,
             bytes_on_air: payload_bytes + frames * self.config.per_frame_overhead,
-            airtime_s: self.airtime_for(payload_bytes),
+            airtime_s,
+            latency_s: airtime_s + jitter,
             complete: delivered == frames,
         }
     }
@@ -297,6 +496,73 @@ mod tests {
             mtu: 0,
             ..DsrcConfig::default()
         });
+    }
+
+    #[test]
+    fn gilbert_elliott_hits_target_loss_rate() {
+        let ge = GilbertElliott::from_loss_rate(0.1);
+        assert!((ge.expected_loss() - 0.1).abs() < 1e-9);
+        let ch = DsrcChannel::new(DsrcConfig {
+            loss_model: LossModel::GilbertElliott(ge),
+            ..DsrcConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut frames = 0usize;
+        let mut lost = 0usize;
+        for _ in 0..200 {
+            let r = ch.transmit_sized(100_000, &mut rng);
+            frames += r.frames;
+            lost += r.frames - r.frames_delivered;
+        }
+        let rate = lost as f64 / frames as f64;
+        assert!((0.05..0.15).contains(&rate), "empirical loss {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Same long-run loss rate, but burst losses cluster: the number
+        // of *incomplete transfers of few frames* must be much lower
+        // than under independent loss, while whole transfers still fail.
+        let ge = DsrcChannel::new(DsrcConfig {
+            loss_model: LossModel::GilbertElliott(GilbertElliott::from_loss_rate(0.1)),
+            ..DsrcConfig::default()
+        });
+        let iid = DsrcChannel::new(DsrcConfig {
+            loss_probability: 0.1,
+            ..DsrcConfig::default()
+        });
+        let runs = 400;
+        let count_incomplete = |ch: &DsrcChannel, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..runs)
+                .filter(|_| !ch.transmit_sized(30_000, &mut rng).complete)
+                .count()
+        };
+        let ge_incomplete = count_incomplete(&ge, 3);
+        let iid_incomplete = count_incomplete(&iid, 3);
+        // 21 frames at 10% iid loss: ~89% of transfers lose a frame.
+        // Bursty loss concentrates the same frame budget in fewer
+        // transfers.
+        assert!(
+            ge_incomplete * 2 < iid_incomplete,
+            "GE {ge_incomplete} vs iid {iid_incomplete}"
+        );
+        assert!(ge_incomplete > 0);
+    }
+
+    #[test]
+    fn jitter_extends_latency_only_when_enabled() {
+        let quiet = DsrcChannel::new(DsrcConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = quiet.transmit_sized(50_000, &mut rng);
+        assert_eq!(r.latency_s, r.airtime_s);
+        let jittery = DsrcChannel::new(DsrcConfig {
+            jitter_s: 1e-3,
+            ..DsrcConfig::default()
+        });
+        let r = jittery.transmit_sized(50_000, &mut rng);
+        assert!(r.latency_s > r.airtime_s);
+        assert!(r.latency_s < r.airtime_s + r.frames as f64 * 1e-3);
     }
 
     #[test]

@@ -122,6 +122,68 @@ pub fn reassemble(fragments: &[Fragment]) -> Result<Vec<u8>, ReassemblyError> {
     Ok(out)
 }
 
+/// The result of a partial reassembly via [`salvage_prefix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvagedPrefix {
+    /// The reassembled contiguous prefix of the message.
+    pub bytes: Vec<u8>,
+    /// Number of leading fragments the prefix covers.
+    pub fragments_used: u32,
+    /// Total fragments the message was split into.
+    pub total: u32,
+}
+
+impl SalvagedPrefix {
+    /// `true` when every fragment arrived — the prefix is the whole
+    /// message.
+    pub fn is_complete(&self) -> bool {
+        self.fragments_used == self.total
+    }
+}
+
+/// Reassembles the longest contiguous prefix of a message from
+/// whatever fragments arrived — the deadline-expiry salvage path.
+/// Missing fragments are expected here, not an error: the prefix stops
+/// at the first gap (and may be empty when fragment 0 never arrived).
+///
+/// # Errors
+///
+/// Returns a [`ReassemblyError`] only for structural problems: no
+/// fragments at all, fragments from different messages, or conflicting
+/// duplicates.
+pub fn salvage_prefix(fragments: &[Fragment]) -> Result<SalvagedPrefix, ReassemblyError> {
+    let first = fragments.first().ok_or(ReassemblyError::Empty)?;
+    let (message_id, total) = (first.message_id, first.total);
+    if fragments
+        .iter()
+        .any(|f| f.message_id != message_id || f.total != total)
+    {
+        return Err(ReassemblyError::MixedMessages);
+    }
+    let mut slots: Vec<Option<&Fragment>> = vec![None; total as usize];
+    for f in fragments {
+        if f.index >= total {
+            return Err(ReassemblyError::MixedMessages);
+        }
+        match slots[f.index as usize] {
+            Some(existing) if existing.payload != f.payload => {
+                return Err(ReassemblyError::ConflictingDuplicate { index: f.index });
+            }
+            _ => slots[f.index as usize] = Some(f),
+        }
+    }
+    let prefix: Vec<&Fragment> = slots.iter().map_while(|s| *s).collect();
+    let mut bytes = Vec::with_capacity(prefix.iter().map(|f| f.payload.len()).sum());
+    for f in &prefix {
+        bytes.extend_from_slice(&f.payload);
+    }
+    Ok(SalvagedPrefix {
+        bytes,
+        fragments_used: prefix.len() as u32,
+        total,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +284,47 @@ mod tests {
     #[should_panic(expected = "MTU")]
     fn zero_mtu_panics() {
         let _ = fragment(0, &[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn salvage_recovers_the_contiguous_prefix() {
+        let d = data(500);
+        let mut frags = fragment(1, &d, 100);
+        frags.remove(3); // gap at index 3: prefix is fragments 0..=2
+        let s = salvage_prefix(&frags).unwrap();
+        assert_eq!(s.fragments_used, 3);
+        assert_eq!(s.total, 5);
+        assert!(!s.is_complete());
+        assert_eq!(s.bytes, d[..300]);
+    }
+
+    #[test]
+    fn salvage_of_complete_message_is_whole() {
+        let d = data(250);
+        let s = salvage_prefix(&fragment(2, &d, 100)).unwrap();
+        assert!(s.is_complete());
+        assert_eq!(s.bytes, d);
+    }
+
+    #[test]
+    fn salvage_without_first_fragment_is_empty() {
+        let d = data(300);
+        let frags = fragment(1, &d, 100);
+        let s = salvage_prefix(&frags[1..]).unwrap();
+        assert_eq!(s.fragments_used, 0);
+        assert!(s.bytes.is_empty());
+    }
+
+    #[test]
+    fn salvage_rejects_structural_errors() {
+        assert_eq!(salvage_prefix(&[]).unwrap_err(), ReassemblyError::Empty);
+        let mut frags = fragment(1, &data(200), 100);
+        let mut corrupt = frags[0].clone();
+        corrupt.payload = Bytes::from_static(b"garbage");
+        frags.push(corrupt);
+        assert_eq!(
+            salvage_prefix(&frags).unwrap_err(),
+            ReassemblyError::ConflictingDuplicate { index: 0 }
+        );
     }
 }

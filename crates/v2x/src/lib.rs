@@ -28,14 +28,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+mod arq;
 mod csma;
 mod dsrc;
 mod frag;
 mod scheduler;
 
+pub use arq::{transmit_with_arq, ArqConfig, ArqReport};
 pub use csma::{CsmaConfig, CsmaMedium, CsmaReport};
-pub use dsrc::{DataRate, DsrcChannel, DsrcConfig, TransmissionReport};
-pub use frag::{fragment, reassemble, Fragment, ReassemblyError};
+pub use dsrc::{
+    DataRate, DsrcChannel, DsrcConfig, GilbertElliott, LossModel, LossProcess, TransmissionReport,
+};
+pub use frag::{fragment, reassemble, salvage_prefix, Fragment, ReassemblyError, SalvagedPrefix};
 pub use scheduler::{ExchangeScheduler, RoiTrace, SharedMedium};

@@ -7,7 +7,7 @@
 //! scan, wraps it in an exchange packet, sends it over a [`SharedMedium`]
 //! and accounts the per-second data volume.
 
-use cooper_core::{ChannelModel, ExchangePacket, TransferCtx};
+use cooper_core::{ChannelModel, Delivery, ExchangePacket, TransferCtx};
 use cooper_geometry::{Attitude, GpsFix};
 use cooper_lidar_sim::PoseEstimate;
 use cooper_pointcloud::roi::{extract_roi, RoiCategory};
@@ -17,7 +17,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::{DsrcChannel, TransmissionReport};
+use crate::arq::transmit_with_arq;
+use crate::{ArqConfig, DsrcChannel, TransmissionReport};
 
 /// A channel shared by all transmitting vehicles within radio range:
 /// air time spent by anyone is unavailable to everyone else.
@@ -39,6 +40,13 @@ pub struct SharedMedium {
     /// Base seed for the per-transfer frame-loss streams drawn when
     /// driven as a [`ChannelModel`].
     seed: u64,
+    /// Fragment-level ARQ policy applied per transfer when driven as a
+    /// [`ChannelModel`]; `None` keeps the original complete-or-drop
+    /// semantics.
+    arq: Option<ArqConfig>,
+    /// Per-transfer delivery deadline budget, seconds (only consulted
+    /// on the ARQ path).
+    deadline_s: f64,
 }
 
 impl SharedMedium {
@@ -50,6 +58,8 @@ impl SharedMedium {
             airtime_used_s: Mutex::new(0.0),
             window_step: None,
             seed: 0,
+            arq: None,
+            deadline_s: 1.0,
         }
     }
 
@@ -58,6 +68,35 @@ impl SharedMedium {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Enables fragment-level ARQ for transfers driven through the
+    /// [`ChannelModel`] interface: lost fragments are retransmitted
+    /// within the delivery deadline, and an expired deadline yields a
+    /// partial (salvageable) delivery instead of a drop.
+    pub fn with_arq(mut self, config: ArqConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid ARQ config: {msg}");
+        }
+        self.arq = Some(config);
+        self
+    }
+
+    /// Sets the per-transfer delivery deadline from a periodic exchange
+    /// rate: the budget is `1/rate_hz` seconds
+    /// ([`ArqConfig::deadline_for_rate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate_hz` is not positive and finite.
+    pub fn with_rate_hz(mut self, rate_hz: f64) -> Self {
+        self.deadline_s = ArqConfig::deadline_for_rate(rate_hz);
+        self
+    }
+
+    /// The per-transfer delivery deadline, seconds.
+    pub fn deadline_s(&self) -> f64 {
+        self.deadline_s
     }
 
     /// The underlying channel.
@@ -118,20 +157,95 @@ fn transfer_seed(seed: u64, tx: &TransferCtx) -> u64 {
 
 impl ChannelModel for SharedMedium {
     /// Delivers when the current step's one-second window still has air
-    /// time for the packet and every link-layer frame arrives. The
+    /// time for the packet and every link-layer frame arrives (directly
+    /// or, with [`SharedMedium::with_arq`], after retransmission). The
     /// frame-loss randomness is drawn from a stream derived per
     /// transfer, so outcomes do not depend on transfer count or order
     /// across unrelated links.
     fn deliver(&mut self, tx: &TransferCtx) -> bool {
+        matches!(self.deliver_verdict(tx), Delivery::Delivered)
+    }
+
+    /// The graded answer: with ARQ enabled, an expired deadline with a
+    /// salvageable prefix reports [`Delivery::Partial`], and one with
+    /// nothing contiguous reports [`Delivery::DeadlineExceeded`].
+    /// Records the `v2x.partial.fraction` value distribution (per
+    /// mille) for partial deliveries.
+    fn deliver_verdict(&mut self, tx: &TransferCtx) -> Delivery {
+        // Lazy window turnover for media driven outside a fleet loop;
+        // the fleet calls `on_step_begin` which resets unconditionally.
         if self.window_step != Some(tx.step) {
             self.next_second();
             self.window_step = Some(tx.step);
         }
         let mut rng = StdRng::seed_from_u64(transfer_seed(self.seed, tx));
-        match self.try_send(tx.wire_bytes, &mut rng) {
-            Some(report) => report.complete,
-            None => false,
+        let Some(arq) = self.arq else {
+            return match self.try_send(tx.wire_bytes, &mut rng) {
+                Some(report) if report.complete => Delivery::Delivered,
+                Some(_) | None => Delivery::Dropped,
+            };
+        };
+
+        // Window admission: the transfer must fit the remaining air
+        // time of this step's one-second window at least once.
+        let needed = self.channel.airtime_for(tx.wire_bytes);
+        {
+            let used = self.airtime_used_s.lock();
+            if *used + needed > 1.0 {
+                cooper_telemetry::counter_add("v2x.window_saturated", 1);
+                return Delivery::Dropped;
+            }
         }
+        // The deadline cannot outlast the window that remains.
+        let remaining_window = 1.0 - *self.airtime_used_s.lock();
+        let deadline = self.deadline_s.min(remaining_window);
+        let report = transmit_with_arq(&self.channel, tx.wire_bytes, deadline, &arq, &mut rng);
+        // Spend the air time actually used (retransmissions included;
+        // backoff waits cost no air time).
+        let airtime_spent = report.bytes_on_air as f64 * 8.0
+            / self.channel.config().data_rate.bits_per_second()
+            + report.frames_sent as f64 * self.channel.config().per_frame_access_time;
+        *self.airtime_used_s.lock() += airtime_spent;
+        cooper_telemetry::counter_add("v2x.frames", report.frames_sent as u64);
+        cooper_telemetry::counter_add(
+            "v2x.frames_lost",
+            (report.frames_sent - report.fragments_delivered.min(report.frames_sent)) as u64,
+        );
+        cooper_telemetry::counter_add("v2x.tx_bytes", report.bytes_on_air as u64);
+
+        if report.complete {
+            return Delivery::Delivered;
+        }
+        if report.contiguous_prefix == 0 {
+            return if report.deadline_exceeded {
+                Delivery::DeadlineExceeded
+            } else {
+                Delivery::Dropped
+            };
+        }
+        let delivered_bytes =
+            (report.contiguous_prefix * self.channel.config().mtu).min(tx.wire_bytes);
+        let verdict = Delivery::Partial {
+            delivered_bytes,
+            total_bytes: tx.wire_bytes,
+        };
+        if cooper_telemetry::is_enabled() {
+            cooper_telemetry::record_value(
+                "v2x.partial.fraction",
+                (verdict.fraction() * 1000.0).round() as u64,
+            );
+        }
+        verdict
+    }
+
+    /// Opens a fresh one-second air-time window for `step`,
+    /// **unconditionally**. This is the authoritative window turnover:
+    /// the lazy reset in [`ChannelModel::deliver_verdict`] only fires
+    /// when the step *changes*, which wrongly carries air time across
+    /// two runs that both start at step 0 on a reused medium.
+    fn on_step_begin(&mut self, step: usize) {
+        self.next_second();
+        self.window_step = Some(step);
     }
 }
 
@@ -429,6 +543,73 @@ mod tests {
         assert!(m.deliver(&tx(0, 2, 1, 150_000)));
         assert!(!m.deliver(&tx(0, 3, 1, 150_000)), "window saturated");
         assert!(m.deliver(&tx(1, 3, 1, 150_000)), "new step, new window");
+    }
+
+    #[test]
+    fn window_resets_across_reused_runs_regression() {
+        // Regression: the lazy reset in `deliver_verdict` only fires
+        // when the step *changes*. A medium reused for a second run
+        // that also starts at step 0 used to inherit the first run's
+        // air time. `on_step_begin` (which the fleet loop calls every
+        // step) must reset unconditionally.
+        let mut m = SharedMedium::new(DsrcChannel::new(DsrcConfig {
+            data_rate: DataRate::Mbps3,
+            ..DsrcConfig::default()
+        }))
+        .with_seed(7);
+        // Run 1 saturates step 0's window.
+        m.on_step_begin(0);
+        assert!(m.deliver(&tx(0, 1, 2, 150_000)));
+        assert!(m.deliver(&tx(0, 2, 1, 150_000)));
+        assert!(!m.deliver(&tx(0, 3, 1, 150_000)), "window saturated");
+        assert!(m.utilization() > 0.5);
+        // Run 2 starts at step 0 again: a fresh window must open.
+        m.on_step_begin(0);
+        assert_eq!(m.utilization(), 0.0, "stale air time carried over");
+        assert!(m.deliver(&tx(0, 1, 2, 150_000)), "fresh window delivers");
+    }
+
+    #[test]
+    fn arq_medium_recovers_frame_loss() {
+        // 10% iid frame loss kills most ~100-frame transfers outright;
+        // with ARQ the same transfer completes.
+        let lossy = || {
+            DsrcChannel::new(DsrcConfig {
+                loss_probability: 0.1,
+                ..DsrcConfig::default()
+            })
+        };
+        let mut plain = SharedMedium::new(lossy()).with_seed(5);
+        let mut arq = SharedMedium::new(lossy())
+            .with_seed(5)
+            .with_arq(ArqConfig::default());
+        let t = tx(0, 1, 2, 150_000);
+        assert_eq!(plain.deliver_verdict(&t), Delivery::Dropped);
+        assert_eq!(arq.deliver_verdict(&t), Delivery::Delivered);
+    }
+
+    #[test]
+    fn arq_medium_salvages_partial_on_tight_deadline() {
+        // 200 KB at 3 Mbit/s needs ~0.55 s of air time; a 0.2 s
+        // deadline (5 Hz exchange) cuts the transfer mid-flight. The
+        // contiguous prefix that did arrive is reported for salvage.
+        let mut m = SharedMedium::new(DsrcChannel::new(DsrcConfig {
+            data_rate: DataRate::Mbps3,
+            ..DsrcConfig::default()
+        }))
+        .with_seed(5)
+        .with_arq(ArqConfig::default())
+        .with_rate_hz(5.0);
+        match m.deliver_verdict(&tx(0, 1, 2, 200_000)) {
+            Delivery::Partial {
+                delivered_bytes,
+                total_bytes,
+            } => {
+                assert_eq!(total_bytes, 200_000);
+                assert!(delivered_bytes > 0 && delivered_bytes < total_bytes);
+            }
+            other => panic!("expected partial delivery, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Property-based tests for the V2X substrate.
 
-use cooper_v2x::{fragment, reassemble, CsmaConfig, CsmaMedium, DataRate, DsrcChannel, DsrcConfig};
+use cooper_v2x::{
+    fragment, reassemble, salvage_prefix, CsmaConfig, CsmaMedium, DataRate, DsrcChannel,
+    DsrcConfig, ReassemblyError,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,6 +37,71 @@ proptest! {
             fragments.swap(i, j);
         }
         prop_assert_eq!(reassemble(&fragments).unwrap(), data);
+    }
+
+    #[test]
+    fn duplicated_fragments_round_trip(data in prop::collection::vec(any::<u8>(), 1..3000),
+                                       mtu in 16usize..512,
+                                       seed in any::<u64>()) {
+        let fragments = fragment(9, &data, mtu);
+        // Duplicate a deterministic subset, as a retransmitting channel
+        // would on a delayed-then-recovered frame.
+        let mut noisy = fragments.clone();
+        let mut rng_state = seed | 1;
+        for f in &fragments {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if rng_state >> 63 == 1 {
+                noisy.push(f.clone());
+            }
+        }
+        prop_assert_eq!(reassemble(&noisy).unwrap(), data);
+        let salvaged = salvage_prefix(&noisy).unwrap();
+        prop_assert!(salvaged.is_complete());
+        prop_assert_eq!(salvaged.bytes, data);
+    }
+
+    #[test]
+    fn dropped_fragments_salvage_the_exact_prefix(data in prop::collection::vec(any::<u8>(), 1..3000),
+                                                  mtu in 16usize..512,
+                                                  seed in any::<u64>()) {
+        let fragments = fragment(11, &data, mtu);
+        // Drop a deterministic subset; shuffle survivors for good measure.
+        let mut rng_state = seed | 1;
+        let mut survivors: Vec<_> = fragments
+            .iter()
+            .filter(|_| {
+                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                rng_state >> 63 == 0
+            })
+            .cloned()
+            .collect();
+        for i in (1..survivors.len()).rev() {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (rng_state >> 33) as usize % (i + 1);
+            survivors.swap(i, j);
+        }
+        let delivered: std::collections::HashSet<u32> =
+            survivors.iter().map(|f| f.index).collect();
+        let expected_prefix = (0..fragments.len() as u32)
+            .take_while(|i| delivered.contains(i))
+            .count();
+        if survivors.is_empty() {
+            prop_assert_eq!(salvage_prefix(&survivors), Err(ReassemblyError::Empty));
+        } else {
+            let salvaged = salvage_prefix(&survivors).unwrap();
+            prop_assert_eq!(salvaged.fragments_used as usize, expected_prefix);
+            // The salvaged bytes are exactly the original payload prefix.
+            let prefix_len: usize = fragments[..expected_prefix]
+                .iter()
+                .map(|f| f.payload.len())
+                .sum();
+            prop_assert_eq!(&salvaged.bytes[..], &data[..prefix_len]);
+            // Full reassembly only succeeds when nothing was dropped.
+            prop_assert_eq!(
+                reassemble(&survivors).is_ok(),
+                delivered.len() == fragments.len()
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! Shows the full networking path of §IV-G: extract a region of
 //! interest from the transmitter's scan, subtract known static
 //! background, wrap it in an exchange packet, fragment it to MTU size,
-//! push it through a lossy DSRC channel, reassemble, and fuse.
+//! push it through a lossy DSRC channel, reassemble, and fuse — and,
+//! when a burst eats the tail of the transfer, salvage the delivered
+//! prefix with `salvage_prefix` + `ExchangePacket::from_partial_bytes`
+//! instead of discarding the whole scan.
 //!
 //! Run with `cargo run -p cooper-v2x --example roi_exchange --release`.
 
@@ -14,7 +17,7 @@ use cooper_pointcloud::roi::{extract_roi, RoiCategory, StaticMap};
 use cooper_pointcloud::VoxelGridConfig;
 use cooper_spod::train::TrainingConfig;
 use cooper_spod::SpodDetector;
-use cooper_v2x::{fragment, reassemble, DsrcChannel, DsrcConfig};
+use cooper_v2x::{fragment, reassemble, salvage_prefix, DsrcChannel, DsrcConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training SPOD detector…");
@@ -65,6 +68,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "detections: {} single-shot -> {} cooperative",
         single.len(),
         result.detections.len()
+    );
+
+    // Lossy variant: a burst eats the last 40% of the frames and the
+    // delivery deadline expires before ARQ can fill the gap. The
+    // contiguous prefix still decodes to a usable partial cloud.
+    // (Fragment at a tight 100-byte MTU so the burst has frames to eat.)
+    let fragments = fragment(2, &wire, 100);
+    let survivors = &fragments[..fragments.len() - fragments.len() * 2 / 5];
+    let salvaged = salvage_prefix(survivors)?;
+    let (partial, delivered_fraction) = ExchangePacket::from_partial_bytes(&salvaged.bytes)?;
+    let degraded = pipeline.perceive(&local_scan, &est_rx, &[partial], &origin);
+    println!(
+        "burst loss: {}/{} fragments delivered, {:.0}% of points salvaged, {} detections",
+        salvaged.fragments_used,
+        fragments.len(),
+        delivered_fraction * 100.0,
+        degraded.detections.len()
     );
 
     // Demand-driven variant (§IV-G): the receiver names only its

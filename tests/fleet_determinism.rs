@@ -12,7 +12,9 @@ use cooper_core::{ChannelModel, CooperPipeline};
 use cooper_lidar_sim::{scenario, BeamModel};
 use cooper_pointcloud::roi::RoiCategory;
 use cooper_spod::{SpodConfig, SpodDetector};
-use cooper_v2x::{DsrcChannel, DsrcConfig, ExchangeScheduler, SharedMedium};
+use cooper_v2x::{
+    ArqConfig, DsrcChannel, DsrcConfig, ExchangeScheduler, GilbertElliott, LossModel, SharedMedium,
+};
 
 fn pipeline() -> CooperPipeline {
     CooperPipeline::new(SpodDetector::new(SpodConfig::default()))
@@ -98,6 +100,31 @@ fn shared_medium_drives_the_fleet_and_stays_deterministic() {
         .0
         .iter()
         .any(|r| r.per_vehicle.iter().any(|v| v.packets_received < full_mesh)));
+}
+
+#[test]
+fn bursty_arq_medium_stays_thread_count_invariant() {
+    // The hardest determinism case: Gilbert–Elliott burst loss plus
+    // fragment ARQ, where every transfer draws a variable number of
+    // random samples (burst-state walks, retransmission rounds) and the
+    // medium accumulates per-step air time. All randomness comes from
+    // per-(step, sender, receiver) seeded streams, so the outcome must
+    // not depend on worker thread count.
+    let p = pipeline();
+    let run = |threads: Option<usize>| {
+        let mut medium = SharedMedium::new(DsrcChannel::new(DsrcConfig {
+            loss_model: LossModel::GilbertElliott(GilbertElliott::from_loss_rate(0.1)),
+            ..DsrcConfig::default()
+        }))
+        .with_seed(77)
+        .with_arq(ArqConfig::default());
+        fleet_with_beams(threads, 900).run_with_channel(&p, 2, &mut medium)
+    };
+    let serial = run(Some(1));
+    let parallel = run(Some(4));
+    assert_reports_identical(&serial, &parallel);
+    // The lossy run still moved data: at least one packet was fused.
+    assert!(serial.1.total_bytes > 0);
 }
 
 #[test]
