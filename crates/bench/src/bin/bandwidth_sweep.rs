@@ -1,0 +1,328 @@
+//! Bandwidth sweep: governed wire bytes and fused detections vs the
+//! ungoverned v1 full-frame exchange — the bandwidth-governor extension
+//! of the paper's §IV-G feasibility study.
+//!
+//! The paper argues ROI-filtered clouds fit DSRC bandwidth; the
+//! governor adds demand-driven ROI selection and background-delta
+//! encoding on top. This benchmark drives the moving stop-sign fleet
+//! through every (ROI cap, delta on/off) configuration over a perfect
+//! channel, measures total wire bytes and fused (cooperative)
+//! detections against the ungoverned baseline, then repeats the
+//! headline configuration over a shared DSRC medium to show budget
+//! skips engaging. Emits `BENCH_bandwidth.json`.
+//!
+//! The acceptance criterion — delta + forward ROI cuts wire bytes at
+//! least 3x while fused detections stay within 5% of the full-frame
+//! exchange — is enforced by this binary's unit tests, where CI sees
+//! it.
+
+use cooper_bench::{output_dir, render_table, standard_pipeline, write_artifact};
+use cooper_core::channel::PerfectChannel;
+use cooper_core::fleet::{
+    straight_trajectory, FleetConfig, FleetSimulation, FleetStats, FleetStepReport, FleetVehicle,
+    TransportDropReason,
+};
+use cooper_core::{CooperPipeline, GovernorConfig};
+use cooper_lidar_sim::scenario::stop_sign;
+use cooper_lidar_sim::BeamModel;
+use cooper_pointcloud::roi::RoiCategory;
+use cooper_v2x::{BandwidthGovernor, DsrcChannel, DsrcConfig, SharedMedium};
+
+/// Simulation steps — long enough for two keyframe periods.
+const STEPS: usize = 6;
+/// Keyframe cadence of the delta configurations.
+const KEYFRAME_EVERY: u32 = 3;
+/// Forward speed, metres per step: the fleet rolls toward the stop
+/// sign, so the scene moves in sensor frame and the delta mode cannot
+/// hide behind a static scan.
+const SPEED_M_PER_STEP: f64 = 1.0;
+
+fn fleet() -> FleetSimulation {
+    let scene = stop_sign();
+    let vehicles: Vec<FleetVehicle> = scene
+        .observers
+        .iter()
+        .enumerate()
+        .map(|(i, start)| FleetVehicle {
+            id: i as u32 + 1,
+            trajectory: straight_trajectory(*start, SPEED_M_PER_STEP, STEPS),
+            beams: BeamModel::vlp16().with_azimuth_steps(500),
+        })
+        .collect();
+    FleetSimulation::new(
+        scene.world.clone(),
+        vehicles,
+        FleetConfig {
+            seed: 17,
+            threads: Some(2),
+            ..FleetConfig::default()
+        },
+    )
+}
+
+/// Outcome of one configuration.
+struct SweepPoint {
+    label: &'static str,
+    roi_cap: Option<RoiCategory>,
+    delta: bool,
+    wire_bytes: u64,
+    bytes_saved: u64,
+    fused_detections: usize,
+    packets_received: usize,
+    budget_skips: usize,
+}
+
+fn summarize(
+    label: &'static str,
+    roi_cap: Option<RoiCategory>,
+    delta: bool,
+    reports: &[FleetStepReport],
+    stats: &FleetStats,
+) -> SweepPoint {
+    SweepPoint {
+        label,
+        roi_cap,
+        delta,
+        wire_bytes: stats.total_bytes,
+        bytes_saved: stats.bytes_saved.values().sum(),
+        fused_detections: reports
+            .iter()
+            .flat_map(|r| &r.per_vehicle)
+            .map(|v| v.cooperative_detections)
+            .sum(),
+        packets_received: reports
+            .iter()
+            .flat_map(|r| &r.per_vehicle)
+            .map(|v| v.packets_received)
+            .sum(),
+        budget_skips: reports
+            .iter()
+            .flat_map(|r| &r.transport_drops)
+            .filter(|d| d.reason == TransportDropReason::BudgetExceeded)
+            .count(),
+    }
+}
+
+fn run_baseline(pipeline: &CooperPipeline) -> SweepPoint {
+    let mut channel = PerfectChannel;
+    let (reports, stats) = fleet().run_with_channel(pipeline, STEPS, &mut channel);
+    summarize("v1-full-frame", None, false, &reports, &stats)
+}
+
+fn run_governed(
+    pipeline: &CooperPipeline,
+    label: &'static str,
+    cap: RoiCategory,
+    delta: bool,
+) -> SweepPoint {
+    let mut channel = PerfectChannel;
+    let mut policy = BandwidthGovernor::new(cap);
+    let governor = GovernorConfig {
+        delta_encode: delta,
+        keyframe_every: KEYFRAME_EVERY,
+        ..GovernorConfig::default()
+    };
+    let (reports, stats) =
+        fleet().run_governed(pipeline, STEPS, &mut channel, &mut policy, &governor);
+    summarize(label, Some(cap), delta, &reports, &stats)
+}
+
+/// The headline configuration again, but over a shared DSRC medium so
+/// air-time accounting is live and the skip rung of the ladder can
+/// engage.
+fn run_governed_dsrc(pipeline: &CooperPipeline) -> SweepPoint {
+    let mut medium = SharedMedium::new(DsrcChannel::new(DsrcConfig::default())).with_seed(17);
+    let mut policy = BandwidthGovernor::new(RoiCategory::ForwardOneWay);
+    let governor = GovernorConfig {
+        delta_encode: true,
+        keyframe_every: KEYFRAME_EVERY,
+        ..GovernorConfig::default()
+    };
+    let (reports, stats) =
+        fleet().run_governed(pipeline, STEPS, &mut medium, &mut policy, &governor);
+    summarize(
+        "forward+delta/dsrc",
+        Some(RoiCategory::ForwardOneWay),
+        true,
+        &reports,
+        &stats,
+    )
+}
+
+fn roi_name(cap: Option<RoiCategory>) -> &'static str {
+    match cap {
+        None => "-",
+        Some(RoiCategory::FullFrame) => "full",
+        Some(RoiCategory::FrontFov120) => "front120",
+        Some(RoiCategory::ForwardOneWay) => "forward",
+    }
+}
+
+/// `--check`: run only the baseline and the headline configuration and
+/// verify the acceptance criteria — the CI smoke mode. Exits non-zero
+/// on violation, writes no artifact.
+fn run_check() {
+    let pipeline = standard_pipeline();
+    let baseline = run_baseline(&pipeline);
+    let headline = run_governed(&pipeline, "forward+delta", RoiCategory::ForwardOneWay, true);
+    let reduction = baseline.wire_bytes as f64 / headline.wire_bytes.max(1) as f64;
+    let drift = (headline.fused_detections as f64 - baseline.fused_detections as f64).abs()
+        / baseline.fused_detections.max(1) as f64;
+    println!(
+        "check: reduction {reduction:.2}x (need >= 3), detection drift {:.1}% (need <= 5%)",
+        drift * 100.0
+    );
+    if reduction < 3.0 || drift > 0.05 {
+        eprintln!("bandwidth_sweep check FAILED");
+        std::process::exit(1);
+    }
+    println!("bandwidth_sweep check passed");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        run_check();
+        return;
+    }
+    println!("=== Bandwidth sweep: governed wire bytes vs v1 full frames ===\n");
+    let pipeline = standard_pipeline();
+
+    let baseline = run_baseline(&pipeline);
+    let points = [
+        run_governed(&pipeline, "full+keyframe", RoiCategory::FullFrame, false),
+        run_governed(&pipeline, "full+delta", RoiCategory::FullFrame, true),
+        run_governed(&pipeline, "front120+delta", RoiCategory::FrontFov120, true),
+        run_governed(
+            &pipeline,
+            "forward+keyframe",
+            RoiCategory::ForwardOneWay,
+            false,
+        ),
+        run_governed(&pipeline, "forward+delta", RoiCategory::ForwardOneWay, true),
+        run_governed_dsrc(&pipeline),
+    ];
+
+    let headers = [
+        "config",
+        "roi_cap",
+        "delta",
+        "wire_kb",
+        "saved_kb",
+        "reduction",
+        "fused_det",
+        "packets",
+        "skips",
+    ];
+    let row = |p: &SweepPoint| {
+        vec![
+            p.label.to_string(),
+            roi_name(p.roi_cap).to_string(),
+            p.delta.to_string(),
+            format!("{:.1}", p.wire_bytes as f64 / 1e3),
+            format!("{:.1}", p.bytes_saved as f64 / 1e3),
+            format!(
+                "{:.2}x",
+                baseline.wire_bytes as f64 / p.wire_bytes.max(1) as f64
+            ),
+            p.fused_detections.to_string(),
+            p.packets_received.to_string(),
+            p.budget_skips.to_string(),
+        ]
+    };
+    let mut rows = vec![row(&baseline)];
+    rows.extend(points.iter().map(row));
+    println!("{}", render_table(&headers, &rows));
+
+    let headline = points
+        .iter()
+        .find(|p| p.label == "forward+delta")
+        .expect("sweep covers the headline configuration");
+    let reduction = baseline.wire_bytes as f64 / headline.wire_bytes.max(1) as f64;
+    let det_drift = (headline.fused_detections as f64 - baseline.fused_detections as f64)
+        / baseline.fused_detections.max(1) as f64;
+    println!(
+        "Delta + forward ROI moves {:.1} KB where v1 full frames move {:.1} KB ({reduction:.1}x less wire), fused detections {} vs {} ({:+.1}%).",
+        headline.wire_bytes as f64 / 1e3,
+        baseline.wire_bytes as f64 / 1e3,
+        headline.fused_detections,
+        baseline.fused_detections,
+        det_drift * 100.0,
+    );
+
+    let json_points: Vec<String> = std::iter::once(&baseline)
+        .chain(points.iter())
+        .map(|p| {
+            format!(
+                "    {{\"config\": \"{}\", \"roi_cap\": \"{}\", \"delta\": {}, \"wire_bytes\": {}, \"bytes_saved\": {}, \"reduction\": {:.3}, \"fused_detections\": {}, \"packets_received\": {}, \"budget_skips\": {}}}",
+                p.label,
+                roi_name(p.roi_cap),
+                p.delta,
+                p.wire_bytes,
+                p.bytes_saved,
+                baseline.wire_bytes as f64 / p.wire_bytes.max(1) as f64,
+                p.fused_detections,
+                p.packets_received,
+                p.budget_skips
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"steps\": {STEPS},\n  \"keyframe_every\": {KEYFRAME_EVERY},\n  \"speed_m_per_step\": {SPEED_M_PER_STEP},\n  \"sweep\": [\n{}\n  ],\n  \"headline\": {{\"reduction\": {reduction:.3}, \"detection_drift\": {det_drift:.4}}}\n}}\n",
+        json_points.join(",\n"),
+    );
+    let dir = output_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
+    write_artifact(Some(&dir), "BENCH_bandwidth.json", &json);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The PR's acceptance criterion, enforced where CI sees it: the
+    /// headline configuration (delta encoding + forward ROI) must cut
+    /// wire bytes at least 3x versus the ungoverned v1 full-frame
+    /// exchange while keeping the stop-sign fused detection count
+    /// within 5% of it.
+    #[test]
+    fn forward_delta_cuts_bytes_3x_with_detections_within_5pct() {
+        let pipeline = standard_pipeline();
+        let baseline = run_baseline(&pipeline);
+        let governed = run_governed(&pipeline, "forward+delta", RoiCategory::ForwardOneWay, true);
+        assert!(baseline.wire_bytes > 0, "baseline must move bytes");
+        assert!(
+            governed.wire_bytes * 3 <= baseline.wire_bytes,
+            "governed exchange moved {} bytes, more than a third of the {}-byte baseline",
+            governed.wire_bytes,
+            baseline.wire_bytes
+        );
+        let drift = (governed.fused_detections as f64 - baseline.fused_detections as f64).abs()
+            / baseline.fused_detections.max(1) as f64;
+        assert!(
+            drift <= 0.05,
+            "fused detections drifted {:.1}% (governed {} vs baseline {})",
+            drift * 100.0,
+            governed.fused_detections,
+            baseline.fused_detections
+        );
+    }
+
+    /// Governed exchanges never move more than the baseline, and the
+    /// savings accounting covers what was not sent.
+    #[test]
+    fn every_configuration_saves_bytes() {
+        let pipeline = standard_pipeline();
+        let baseline = run_baseline(&pipeline);
+        for (label, cap, delta) in [
+            ("full+delta", RoiCategory::FullFrame, true),
+            ("forward+keyframe", RoiCategory::ForwardOneWay, false),
+        ] {
+            let p = run_governed(&pipeline, label, cap, delta);
+            assert!(
+                p.wire_bytes <= baseline.wire_bytes,
+                "{label} moved more bytes than the baseline"
+            );
+            assert!(p.bytes_saved > 0, "{label} reported no savings");
+            assert!(p.packets_received > 0, "{label} delivered nothing");
+        }
+    }
+}

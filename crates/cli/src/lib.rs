@@ -25,11 +25,12 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
+use cooper_core::channel::{ChannelModel, PerfectChannel};
 use cooper_core::fleet::TransportDropReason;
 use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle};
 use cooper_core::report::{evaluate_pair, EvaluationConfig};
 use cooper_core::viz::{render_bev, BevViewConfig};
-use cooper_core::{CooperPipeline, ExchangePacket};
+use cooper_core::{CooperPipeline, ExchangePacket, GovernorConfig};
 use cooper_geometry::GpsFix;
 use cooper_lidar_sim::scenario::{self, Scenario};
 use cooper_lidar_sim::{BeamModel, LidarScanner, PoseEstimate};
@@ -39,7 +40,8 @@ use cooper_pointcloud::PointCloud;
 use cooper_spod::train::{train, TrainingConfig};
 use cooper_spod::{SpodConfig, SpodDetector};
 use cooper_v2x::{
-    ArqConfig, DsrcChannel, DsrcConfig, ExchangeScheduler, GilbertElliott, LossModel, SharedMedium,
+    ArqConfig, BandwidthGovernor, DsrcChannel, DsrcConfig, ExchangeScheduler, GilbertElliott,
+    LossModel, SharedMedium,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,7 +89,7 @@ pub struct ParsedArgs {
 }
 
 /// Bare flags (no value).
-const BARE_FLAGS: &[&str] = &["--bev", "--help", "--telemetry"];
+const BARE_FLAGS: &[&str] = &["--bev", "--delta-encode", "--help", "--telemetry"];
 
 /// Parses raw arguments (without the program name).
 ///
@@ -137,6 +139,7 @@ USAGE:
   cooper evaluate  --scenario NAME [--pair N] [--weights weights.bin]
   cooper simulate  --scenario NAME [--seconds N] [--seed N] [--threads N] [--weights weights.bin]
                    [--channel perfect|iid|gilbert-elliott] [--loss P] [--arq-retries N]
+                   [--roi full|front120|forward] [--delta-encode] [--keyframe-every N]
   cooper convert   --input a.xyz|a.ply|a.pcd --out b.xyz|b.ply|b.pcd
   cooper scenarios
 
@@ -149,6 +152,12 @@ loss with probability --loss) or gilbert-elliott (two-state burst loss
 with long-run rate --loss). --arq-retries N (with a lossy channel)
 retransmits lost fragments up to N rounds within each step's delivery
 deadline; what misses the deadline is salvaged as a partial cloud.
+--roi and/or --delta-encode run the fleet through the bandwidth
+governor: per transfer it picks an ROI (capped at --roi) from the
+receiver's blind sectors and degrades gracefully under the channel's
+air-time budget. --delta-encode switches broadcasts to wire-format v2
+(static background subtracted, delta frames against the last keyframe,
+a keyframe every --keyframe-every steps, default 5).
 
 Scenario names: kitti1 kitti2 kitti3 kitti4 tj1 tj2 tj3 tj4"
         .to_string()
@@ -437,6 +446,25 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                     )))
                 }
             };
+            // Governor flags: either one turns the governed exchange
+            // path on.
+            let delta_encode = parsed.options.contains_key("--delta-encode");
+            let keyframe_every: u32 = get_parse(&parsed.options, "--keyframe-every", 5)?;
+            if keyframe_every == 0 {
+                return Err(CliError::usage("--keyframe-every must be at least 1"));
+            }
+            let roi_cap = match parsed.options.get("--roi").map(String::as_str) {
+                None => None,
+                Some("full") => Some(RoiCategory::FullFrame),
+                Some("front120") => Some(RoiCategory::FrontFov120),
+                Some("forward") => Some(RoiCategory::ForwardOneWay),
+                Some(other) => {
+                    return Err(CliError::usage(format!(
+                        "unknown --roi {other:?} (full, front120 or forward)"
+                    )))
+                }
+            };
+            let governed = roi_cap.is_some() || delta_encode;
             let (rx, tx) = *scene
                 .pairs
                 .first()
@@ -510,8 +538,8 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                     ..FleetConfig::default()
                 },
             );
-            let (reports, stats) = match fleet_loss_model {
-                None => sim.run(&pipeline, seconds.max(1)),
+            let mut channel: Box<dyn ChannelModel> = match fleet_loss_model {
+                None => Box::new(PerfectChannel),
                 Some(loss_model) => {
                     let config = DsrcConfig {
                         loss_probability: if channel_kind == "iid" { loss } else { 0.0 },
@@ -525,8 +553,25 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                             ..ArqConfig::default()
                         });
                     }
-                    sim.run_with_channel(&pipeline, seconds.max(1), &mut medium)
+                    Box::new(medium)
                 }
+            };
+            let (reports, stats) = if governed {
+                let mut policy = BandwidthGovernor::new(roi_cap.unwrap_or(RoiCategory::FullFrame));
+                let governor = GovernorConfig {
+                    delta_encode,
+                    keyframe_every,
+                    ..GovernorConfig::default()
+                };
+                sim.run_governed(
+                    &pipeline,
+                    seconds.max(1),
+                    channel.as_mut(),
+                    &mut policy,
+                    &governor,
+                )
+            } else {
+                sim.run_with_channel(&pipeline, seconds.max(1), channel.as_mut())
             };
             println!(
                 "fleet: {} vehicles × {} steps ({} channel)",
@@ -571,6 +616,10 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                             "  step {} v{}->v{}: salvage failed ({kind})",
                             report.step, drop.from, drop.to
                         ),
+                        TransportDropReason::BudgetExceeded => println!(
+                            "  step {} v{}->v{}: skipped, air-time budget exceeded",
+                            report.step, drop.from, drop.to
+                        ),
                     }
                 }
                 eprintln!(
@@ -582,6 +631,13 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                 );
             }
             println!("fleet bytes exchanged: {}", stats.total_bytes);
+            if governed {
+                let saved: u64 = stats.bytes_saved.values().sum();
+                println!("governor bytes saved: {saved}");
+                for (id, bytes) in &stats.bytes_saved {
+                    println!("  v{id}: {bytes} bytes saved");
+                }
+            }
             if let Some(((a, b), steps)) = stats.longest_connection() {
                 println!("longest connection: v{a}-v{b} for {steps} steps");
             }
@@ -805,6 +861,68 @@ mod tests {
             .unwrap())
             .unwrap();
         }
+    }
+
+    #[test]
+    fn simulate_runs_governed_exchange() {
+        // Perfect channel, ROI cap + delta encoding.
+        run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--seconds",
+            "2",
+            "--roi",
+            "forward",
+            "--delta-encode",
+            "--keyframe-every",
+            "2",
+        ]))
+        .unwrap())
+        .unwrap();
+        // Governed path over a lossy shared medium.
+        run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--seconds",
+            "1",
+            "--roi",
+            "front120",
+            "--channel",
+            "iid",
+            "--loss",
+            "0.1",
+        ]))
+        .unwrap())
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_governor_flags() {
+        let bad_roi = run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--roi",
+            "sideways",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(bad_roi.usage);
+        assert!(bad_roi.message.contains("--roi"));
+        let zero_cadence = run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--delta-encode",
+            "--keyframe-every",
+            "0",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(zero_cadence.usage);
+        assert!(zero_cadence.message.contains("--keyframe-every"));
     }
 
     #[test]

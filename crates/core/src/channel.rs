@@ -115,6 +115,21 @@ pub trait ChannelModel {
     fn on_step_begin(&mut self, step: usize) {
         let _ = step;
     }
+
+    /// Air time `payload_bytes` would occupy on this channel, seconds.
+    /// `None` (the default) means the model does not account air time —
+    /// budget-aware callers (the bandwidth governor) then have no size
+    /// signal and fall back to their unconstrained choice.
+    fn airtime_for(&self, payload_bytes: usize) -> Option<f64> {
+        let _ = payload_bytes;
+        None
+    }
+
+    /// Air time still unspent in the current window, seconds. `None`
+    /// (the default) when the model keeps no window accounting.
+    fn airtime_headroom_s(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The ideal channel: every packet arrives. The default for

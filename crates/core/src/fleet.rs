@@ -34,14 +34,16 @@ use std::collections::BTreeMap;
 
 use cooper_exec::Executor;
 use cooper_geometry::{GpsFix, Pose};
-use cooper_lidar_sim::{BeamModel, GpsImuModel, LidarScanner, World};
-use cooper_pointcloud::roi::{extract_roi, RoiCategory};
+use cooper_lidar_sim::{BeamModel, GpsImuModel, LidarScanner, PoseEstimate, World};
+use cooper_pointcloud::roi::{blind_sectors, extract_roi, BlindSector, RoiCategory, StaticMap};
+use cooper_pointcloud::{DeltaDecoder, DeltaEncoder, FrameKind, PointCloud};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::channel::{ChannelModel, Delivery, PerfectChannel, TransferCtx};
-use crate::{CooperPipeline, ExchangePacket};
+use crate::governor::{GovernorConfig, GovernorPolicy, GovernorVerdict, TransferCandidate};
+use crate::{CooperError, CooperPipeline, ExchangePacket, TransferOffer};
 
 /// One vehicle in the fleet: an id, a pose trajectory (one pose per
 /// step) and its LiDAR unit.
@@ -175,6 +177,10 @@ pub enum TransportDropReason {
         /// Stable error label ([`crate::CooperError::kind`]).
         kind: String,
     },
+    /// The bandwidth governor skipped the transfer: no candidate
+    /// encoding — not even the narrowest ROI as a delta frame — fit the
+    /// channel's remaining air-time budget. Nothing was put on the wire.
+    BudgetExceeded,
 }
 
 impl TransportDropReason {
@@ -286,6 +292,12 @@ pub struct FleetStats {
     pub connection_steps: BTreeMap<(u32, u32), usize>,
     /// Total exchange bytes moved over the whole run.
     pub total_bytes: u64,
+    /// Per sending vehicle, wire bytes the bandwidth governor avoided
+    /// putting on the air relative to an ungoverned v1 full-frame
+    /// exchange — ROI narrowing, delta encoding and budget skips all
+    /// count. Empty for ungoverned runs. Ordered map, so iteration is
+    /// deterministic.
+    pub bytes_saved: BTreeMap<u32, u64>,
 }
 
 impl FleetStats {
@@ -307,12 +319,81 @@ pub struct FleetSimulation {
     config: FleetConfig,
 }
 
-/// What phase 1 produces per vehicle: the raw scan, the true pose, and
-/// the broadcast packet (`None` when encoding failed).
+/// What phase 1 produces per vehicle: the raw scan, the true pose, the
+/// measured pose estimate, the broadcast packet (`None` when encoding
+/// failed, or always in governed mode where packets are built per
+/// transfer in phase 2) and, in governed mode, the vehicle's blind
+/// sectors (its demand as a receiver).
 struct Broadcast {
-    scan: cooper_pointcloud::PointCloud,
+    scan: PointCloud,
     pose: Pose,
+    estimate: PoseEstimate,
     packet: Option<ExchangePacket>,
+    blind: Vec<BlindSector>,
+}
+
+/// Per-vehicle transmit-side codec state of a governed run: the static
+/// background map and the keyframe/delta reference, both persistent
+/// across steps.
+struct TxCodecState {
+    map: StaticMap,
+    enc: DeltaEncoder,
+}
+
+/// The mutable state of a governed exchange, threaded through
+/// [`FleetSimulation::run_loop`].
+struct GovernedLoop<'a> {
+    policy: &'a mut dyn GovernorPolicy,
+    config: GovernorConfig,
+    /// Indexed like `vehicles`.
+    tx_states: Vec<TxCodecState>,
+    /// Per receiver index, one stateful wire-format decoder per sender
+    /// id — reconstructs delta streams back into full clouds.
+    rx_decoders: Vec<BTreeMap<u32, DeltaDecoder>>,
+}
+
+/// One sender's prepared content for a governed step: the candidate
+/// menu plus lazily built packets.
+struct SenderFrame {
+    /// `false` when the probe build failed (broken pose estimate): the
+    /// sender broadcasts nothing this step.
+    ok: bool,
+    keyframe_due: bool,
+    background_subtracted: bool,
+    /// Wire size of the ungoverned v1 full-frame packet — the baseline
+    /// `bytes_saved` is measured against.
+    baseline_bytes: usize,
+    /// ROI-filtered content per `[roi_index][kind_index]`.
+    clouds: [[Option<PointCloud>; 2]; 3],
+    /// Packets built on first use per `[roi_index][kind_index]`.
+    packets: [[Option<ExchangePacket>; 2]; 3],
+    candidates: Vec<TransferCandidate>,
+}
+
+fn roi_index(roi: RoiCategory) -> usize {
+    match roi {
+        RoiCategory::FullFrame => 0,
+        RoiCategory::FrontFov120 => 1,
+        RoiCategory::ForwardOneWay => 2,
+    }
+}
+
+fn kind_index(kind: FrameKind) -> usize {
+    match kind {
+        FrameKind::Keyframe => 0,
+        FrameKind::Delta => 1,
+    }
+}
+
+/// The mutable per-step outputs phase 2 writes, bundled so the governed
+/// and ungoverned exchange paths share one signature.
+struct ExchangeOutputs<'a> {
+    encode_drops: &'a mut Vec<EncodeDrop>,
+    inboxes: &'a mut [Vec<ExchangePacket>],
+    bytes_received: &'a mut [usize],
+    partial_counts: &'a mut [usize],
+    transport_drops: &'a mut Vec<TransportDrop>,
+    stats: &'a mut FleetStats,
 }
 
 impl FleetSimulation {
@@ -375,7 +456,70 @@ impl FleetSimulation {
         steps: usize,
         channel: &mut dyn ChannelModel,
     ) -> (Vec<FleetStepReport>, FleetStats) {
+        self.run_loop(pipeline, steps, channel, None)
+    }
+
+    /// Like [`FleetSimulation::run_with_channel`], with phase-2 delivery
+    /// governed by a [`GovernorPolicy`]: instead of broadcasting one
+    /// pre-built ROI packet to every cooperator, each directed transfer
+    /// offers the policy a menu of encodings — ROI category × frame
+    /// kind, priced in wire bytes and air time — together with the
+    /// receiver's blind sectors and the channel's remaining air-time
+    /// headroom. The policy picks one (or skips, recorded as a
+    /// [`TransportDropReason::BudgetExceeded`]).
+    ///
+    /// With [`GovernorConfig::delta_encode`] enabled, senders maintain a
+    /// [`StaticMap`] and keyframe/delta reference across steps and
+    /// encode wire-format **v2** frames (background subtracted, delta
+    /// against the last keyframe on a [`GovernorConfig::keyframe_every`]
+    /// cadence); receivers reconstruct the stream with per-sender
+    /// [`DeltaDecoder`] state before fusion. Bytes avoided relative to
+    /// the ungoverned v1 full-frame exchange accumulate per sender in
+    /// [`FleetStats::bytes_saved`].
+    ///
+    /// The determinism contract holds: the policy is consulted serially
+    /// in delivery order, so reports stay bit-identical at any thread
+    /// count (given a deterministic policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `governor` fails [`GovernorConfig::validate`].
+    pub fn run_governed(
+        &self,
+        pipeline: &CooperPipeline,
+        steps: usize,
+        channel: &mut dyn ChannelModel,
+        policy: &mut dyn GovernorPolicy,
+        governor: &GovernorConfig,
+    ) -> (Vec<FleetStepReport>, FleetStats) {
+        if let Err(message) = governor.validate() {
+            panic!("invalid governor config: {message}");
+        }
+        let governed = GovernedLoop {
+            policy,
+            config: governor.clone(),
+            tx_states: self
+                .vehicles
+                .iter()
+                .map(|_| TxCodecState {
+                    map: StaticMap::new(governor.grid, governor.static_threshold),
+                    enc: DeltaEncoder::new(governor.grid, governor.keyframe_every),
+                })
+                .collect(),
+            rx_decoders: self.vehicles.iter().map(|_| BTreeMap::new()).collect(),
+        };
+        self.run_loop(pipeline, steps, channel, Some(governed))
+    }
+
+    fn run_loop(
+        &self,
+        pipeline: &CooperPipeline,
+        steps: usize,
+        channel: &mut dyn ChannelModel,
+        mut governed: Option<GovernedLoop<'_>>,
+    ) -> (Vec<FleetStepReport>, FleetStats) {
         let _run_span = cooper_telemetry::span!("fleet.run");
+        let governed_cfg = governed.as_ref().map(|g| g.config.clone());
         let executor = Executor::new(self.config.threads);
         let mut reports = Vec::with_capacity(steps);
         let mut stats = FleetStats::default();
@@ -408,13 +552,37 @@ impl FleetSimulation {
                         self.config
                             .sensor_model
                             .measure(&pose, &self.config.origin, &mut rng);
+                    if let Some(gcfg) = &governed_cfg {
+                        // Governed mode: packets are built per transfer
+                        // in phase 2; phase 1 computes this vehicle's
+                        // receive-side demand instead.
+                        let blind = blind_sectors(
+                            &scan,
+                            gcfg.blind_bins,
+                            gcfg.occluder_range_m,
+                            gcfg.min_sector_width_rad,
+                            gcfg.ground_z_below_m,
+                        );
+                        return (
+                            Broadcast {
+                                scan,
+                                pose,
+                                estimate,
+                                packet: None,
+                                blind,
+                            },
+                            None,
+                        );
+                    }
                     let roi_scan = extract_roi(&scan, self.config.roi);
                     match ExchangePacket::build(v.id, step as u32, &roi_scan, estimate) {
                         Ok(packet) => (
                             Broadcast {
                                 scan,
                                 pose,
+                                estimate,
                                 packet: Some(packet),
+                                blind: Vec::new(),
                             },
                             None,
                         ),
@@ -429,7 +597,9 @@ impl FleetSimulation {
                                 Broadcast {
                                     scan,
                                     pose,
+                                    estimate,
                                     packet: None,
+                                    blind: Vec::new(),
                                 },
                                 Some(EncodeDrop {
                                     vehicle_id: v.id,
@@ -471,86 +641,35 @@ impl FleetSimulation {
                         }
                     }
                 }
-                for (i, me) in broadcasts.iter().enumerate() {
-                    for (j, other) in broadcasts.iter().enumerate() {
-                        if i == j || me.pose.delta_d(&other.pose) > self.config.comms_range_m {
-                            continue;
-                        }
-                        let Some(packet) = &other.packet else {
-                            continue;
-                        };
-                        let ctx = TransferCtx {
-                            step,
-                            from: self.vehicles[j].id,
-                            to: self.vehicles[i].id,
-                            wire_bytes: packet.wire_size(),
-                        };
-                        match channel.deliver_verdict(&ctx) {
-                            Delivery::Delivered => {
-                                bytes_received[i] += packet.wire_size();
-                                inboxes[i].push(packet.clone());
-                            }
-                            Delivery::Dropped => {}
-                            Delivery::DeadlineExceeded => {
-                                if cooper_telemetry::is_enabled() {
-                                    cooper_telemetry::counter_add("fleet.deadline_miss", 1);
-                                }
-                                transport_drops.push(TransportDrop {
-                                    from: ctx.from,
-                                    to: ctx.to,
-                                    reason: TransportDropReason::DeadlineExceeded,
-                                });
-                            }
-                            Delivery::Partial {
-                                delivered_bytes,
-                                total_bytes,
-                            } => {
-                                // Salvage: decode whatever whole points
-                                // the delivered prefix contains and fuse
-                                // those; the receiver degrades instead
-                                // of losing the sender's scan entirely.
-                                let wire = packet.to_bytes();
-                                let cut = delivered_bytes.min(wire.len());
-                                match ExchangePacket::from_partial_bytes(&wire[..cut]) {
-                                    Ok((salvaged, _fraction)) => {
-                                        if cooper_telemetry::is_enabled() {
-                                            cooper_telemetry::counter_add(
-                                                "fleet.partial_salvaged",
-                                                1,
-                                            );
-                                        }
-                                        bytes_received[i] += delivered_bytes;
-                                        partial_counts[i] += 1;
-                                        inboxes[i].push(salvaged);
-                                        transport_drops.push(TransportDrop {
-                                            from: ctx.from,
-                                            to: ctx.to,
-                                            reason: TransportDropReason::PartialDelivery {
-                                                delivered_bytes,
-                                                total_bytes,
-                                            },
-                                        });
-                                    }
-                                    Err(error) => {
-                                        if cooper_telemetry::is_enabled() {
-                                            cooper_telemetry::counter_add(
-                                                "fleet.salvage_failed",
-                                                1,
-                                            );
-                                        }
-                                        transport_drops.push(TransportDrop {
-                                            from: ctx.from,
-                                            to: ctx.to,
-                                            reason: TransportDropReason::SalvageFailed {
-                                                kind: error.kind().to_string(),
-                                            },
-                                        });
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    stats.total_bytes += bytes_received[i] as u64;
+                if let Some(g) = governed.as_mut() {
+                    self.exchange_governed(
+                        step,
+                        channel,
+                        g,
+                        &broadcasts,
+                        ExchangeOutputs {
+                            encode_drops: &mut encode_drops,
+                            inboxes: &mut inboxes,
+                            bytes_received: &mut bytes_received,
+                            partial_counts: &mut partial_counts,
+                            transport_drops: &mut transport_drops,
+                            stats: &mut stats,
+                        },
+                    );
+                } else {
+                    self.exchange_ungoverned(
+                        step,
+                        channel,
+                        &broadcasts,
+                        ExchangeOutputs {
+                            encode_drops: &mut encode_drops,
+                            inboxes: &mut inboxes,
+                            bytes_received: &mut bytes_received,
+                            partial_counts: &mut partial_counts,
+                            transport_drops: &mut transport_drops,
+                            stats: &mut stats,
+                        },
+                    );
                 }
             }
             timings.exchange_us = exchange_start.elapsed().as_micros() as u64;
@@ -617,6 +736,369 @@ impl FleetSimulation {
             world = world.advanced(self.config.step_duration_s);
         }
         (reports, stats)
+    }
+
+    /// Ungoverned phase-2 delivery: every in-range sender's pre-built
+    /// broadcast packet is offered to every receiver, in delivery order.
+    fn exchange_ungoverned(
+        &self,
+        step: usize,
+        channel: &mut dyn ChannelModel,
+        broadcasts: &[Broadcast],
+        out: ExchangeOutputs<'_>,
+    ) {
+        for (i, me) in broadcasts.iter().enumerate() {
+            for (j, other) in broadcasts.iter().enumerate() {
+                if i == j || me.pose.delta_d(&other.pose) > self.config.comms_range_m {
+                    continue;
+                }
+                let Some(packet) = &other.packet else {
+                    continue;
+                };
+                let ctx = TransferCtx {
+                    step,
+                    from: self.vehicles[j].id,
+                    to: self.vehicles[i].id,
+                    wire_bytes: packet.wire_size(),
+                };
+                match channel.deliver_verdict(&ctx) {
+                    Delivery::Delivered => {
+                        out.bytes_received[i] += packet.wire_size();
+                        out.inboxes[i].push(packet.clone());
+                    }
+                    Delivery::Dropped => {}
+                    Delivery::DeadlineExceeded => {
+                        if cooper_telemetry::is_enabled() {
+                            cooper_telemetry::counter_add("fleet.deadline_miss", 1);
+                        }
+                        out.transport_drops.push(TransportDrop {
+                            from: ctx.from,
+                            to: ctx.to,
+                            reason: TransportDropReason::DeadlineExceeded,
+                        });
+                    }
+                    Delivery::Partial {
+                        delivered_bytes,
+                        total_bytes,
+                    } => {
+                        // Salvage: decode whatever whole points the
+                        // delivered prefix contains and fuse those; the
+                        // receiver degrades instead of losing the
+                        // sender's scan entirely.
+                        let wire = packet.to_bytes();
+                        let cut = delivered_bytes.min(wire.len());
+                        match ExchangePacket::from_partial_bytes(&wire[..cut]) {
+                            Ok((salvaged, _fraction)) => {
+                                if cooper_telemetry::is_enabled() {
+                                    cooper_telemetry::counter_add("fleet.partial_salvaged", 1);
+                                }
+                                out.bytes_received[i] += delivered_bytes;
+                                out.partial_counts[i] += 1;
+                                out.inboxes[i].push(salvaged);
+                                out.transport_drops.push(TransportDrop {
+                                    from: ctx.from,
+                                    to: ctx.to,
+                                    reason: TransportDropReason::PartialDelivery {
+                                        delivered_bytes,
+                                        total_bytes,
+                                    },
+                                });
+                            }
+                            Err(error) => {
+                                if cooper_telemetry::is_enabled() {
+                                    cooper_telemetry::counter_add("fleet.salvage_failed", 1);
+                                }
+                                out.transport_drops.push(TransportDrop {
+                                    from: ctx.from,
+                                    to: ctx.to,
+                                    reason: TransportDropReason::SalvageFailed {
+                                        kind: error.kind().to_string(),
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            out.stats.total_bytes += out.bytes_received[i] as u64;
+        }
+    }
+
+    /// Governed phase-2 delivery: per-sender codec state advances once
+    /// per step (static-map observation, keyframe/delta cadence), every
+    /// directed transfer consults the [`GovernorPolicy`], and received
+    /// v2 streams are reconstructed through per-sender decoder state
+    /// before fusion. All serial, in delivery order.
+    fn exchange_governed(
+        &self,
+        step: usize,
+        channel: &mut dyn ChannelModel,
+        g: &mut GovernedLoop<'_>,
+        broadcasts: &[Broadcast],
+        out: ExchangeOutputs<'_>,
+    ) {
+        let n = self.vehicles.len();
+        // Per-sender content preparation, in fleet order.
+        let mut frames: Vec<SenderFrame> = Vec::with_capacity(n);
+        for (j, b) in broadcasts.iter().enumerate() {
+            let id = self.vehicles[j].id;
+            let baseline_bytes = ExchangePacket::wire_size_for(b.scan.len());
+            let (kf_cloud, delta_cloud, keyframe_due, background_subtracted) =
+                if g.config.delta_encode {
+                    let state = &mut g.tx_states[j];
+                    state.map.observe(&b.scan);
+                    let foreground = state.map.subtract_background(&b.scan);
+                    let due = state.enc.keyframe_due();
+                    let novel = state.enc.novel_points(&foreground);
+                    if due {
+                        state.enc.note_keyframe(&foreground);
+                    } else {
+                        state.enc.note_delta();
+                    }
+                    (foreground, Some(novel), due, true)
+                } else {
+                    (b.scan.clone(), None, true, false)
+                };
+            let mut frame = SenderFrame {
+                ok: true,
+                keyframe_due,
+                background_subtracted,
+                baseline_bytes,
+                clouds: Default::default(),
+                packets: Default::default(),
+                candidates: Vec::new(),
+            };
+            // The probe build catches a broken pose estimate (or
+            // out-of-range coordinates) once per sender per step; every
+            // candidate is a subset of this content, so if the probe
+            // encodes, they all do.
+            match ExchangePacket::build_v2(
+                id,
+                step as u32,
+                &kf_cloud,
+                b.estimate,
+                FrameKind::Keyframe,
+                background_subtracted,
+            ) {
+                Ok(probe) => {
+                    let kinds: &[FrameKind] = if g.config.delta_encode {
+                        if keyframe_due {
+                            &[FrameKind::Keyframe, FrameKind::Delta]
+                        } else {
+                            &[FrameKind::Delta]
+                        }
+                    } else {
+                        &[FrameKind::Keyframe]
+                    };
+                    for &kind in kinds {
+                        let content = match kind {
+                            FrameKind::Keyframe => &kf_cloud,
+                            FrameKind::Delta => delta_cloud
+                                .as_ref()
+                                .expect("delta kind offered only with delta content"),
+                        };
+                        for roi in [
+                            RoiCategory::FullFrame,
+                            RoiCategory::FrontFov120,
+                            RoiCategory::ForwardOneWay,
+                        ] {
+                            let cloud = extract_roi(content, roi);
+                            let wire_bytes = ExchangePacket::wire_size_for(cloud.len());
+                            frame.candidates.push(TransferCandidate {
+                                roi,
+                                kind,
+                                wire_bytes,
+                                airtime_s: channel.airtime_for(wire_bytes),
+                            });
+                            frame.clouds[roi_index(roi)][kind_index(kind)] = Some(cloud);
+                        }
+                    }
+                    if kinds.contains(&FrameKind::Keyframe) {
+                        frame.packets[0][0] = Some(probe);
+                    }
+                }
+                Err(error) => {
+                    if cooper_telemetry::is_enabled() {
+                        cooper_telemetry::counter_add(
+                            &format!("fleet.encode_drop.{}", error.kind()),
+                            1,
+                        );
+                    }
+                    frame.ok = false;
+                    out.encode_drops.push(EncodeDrop {
+                        vehicle_id: id,
+                        kind: error.kind().to_string(),
+                    });
+                }
+            }
+            frames.push(frame);
+        }
+
+        // Delivery, in (receiver, sender) order.
+        for i in 0..n {
+            for j in 0..n {
+                if i == j
+                    || broadcasts[i].pose.delta_d(&broadcasts[j].pose) > self.config.comms_range_m
+                    || !frames[j].ok
+                {
+                    continue;
+                }
+                let from = self.vehicles[j].id;
+                let to = self.vehicles[i].id;
+                let offer = TransferOffer {
+                    step,
+                    from,
+                    to,
+                    keyframe_due: frames[j].keyframe_due,
+                    receiver_blind_sectors: &broadcasts[i].blind,
+                    candidates: &frames[j].candidates,
+                    headroom_s: channel.airtime_headroom_s(),
+                };
+                let chosen = match g.policy.decide(&offer) {
+                    GovernorVerdict::Send(candidate) => candidate,
+                    GovernorVerdict::Skip => {
+                        *out.stats.bytes_saved.entry(from).or_insert(0) +=
+                            frames[j].baseline_bytes as u64;
+                        if cooper_telemetry::is_enabled() {
+                            cooper_telemetry::counter_add("fleet.budget_skip", 1);
+                        }
+                        out.transport_drops.push(TransportDrop {
+                            from,
+                            to,
+                            reason: TransportDropReason::BudgetExceeded,
+                        });
+                        continue;
+                    }
+                };
+                let (ri, ki) = (roi_index(chosen.roi), kind_index(chosen.kind));
+                if frames[j].packets[ri][ki].is_none() {
+                    let cloud = frames[j].clouds[ri][ki]
+                        .as_ref()
+                        .expect("chosen candidate was offered, so its cloud is prepared");
+                    let built = ExchangePacket::build_v2(
+                        from,
+                        step as u32,
+                        cloud,
+                        broadcasts[j].estimate,
+                        chosen.kind,
+                        frames[j].background_subtracted,
+                    )
+                    .expect("an ROI subset of a probed frame must encode");
+                    frames[j].packets[ri][ki] = Some(built);
+                }
+                let packet = frames[j].packets[ri][ki]
+                    .clone()
+                    .expect("packet built above");
+                debug_assert_eq!(packet.wire_size(), chosen.wire_bytes);
+                *out.stats.bytes_saved.entry(from).or_insert(0) +=
+                    frames[j].baseline_bytes.saturating_sub(chosen.wire_bytes) as u64;
+                if cooper_telemetry::is_enabled() {
+                    let per_mille = (chosen.wire_bytes as u64).saturating_mul(1000)
+                        / (frames[j].baseline_bytes.max(1) as u64);
+                    cooper_telemetry::record_value("codec.v2.bytes_ratio", per_mille);
+                }
+                let ctx = TransferCtx {
+                    step,
+                    from,
+                    to,
+                    wire_bytes: chosen.wire_bytes,
+                };
+                match channel.deliver_verdict(&ctx) {
+                    Delivery::Delivered => {
+                        match Self::rx_reconstruct(&mut g.rx_decoders[i], from, &packet) {
+                            Ok(reconstructed) => {
+                                out.bytes_received[i] += chosen.wire_bytes;
+                                out.inboxes[i].push(reconstructed);
+                            }
+                            Err(error) => {
+                                if cooper_telemetry::is_enabled() {
+                                    cooper_telemetry::counter_add("fleet.salvage_failed", 1);
+                                }
+                                out.transport_drops.push(TransportDrop {
+                                    from,
+                                    to,
+                                    reason: TransportDropReason::SalvageFailed {
+                                        kind: error.kind().to_string(),
+                                    },
+                                });
+                            }
+                        }
+                    }
+                    Delivery::Dropped => {}
+                    Delivery::DeadlineExceeded => {
+                        if cooper_telemetry::is_enabled() {
+                            cooper_telemetry::counter_add("fleet.deadline_miss", 1);
+                        }
+                        out.transport_drops.push(TransportDrop {
+                            from,
+                            to,
+                            reason: TransportDropReason::DeadlineExceeded,
+                        });
+                    }
+                    Delivery::Partial {
+                        delivered_bytes,
+                        total_bytes,
+                    } => {
+                        let wire = packet.to_bytes();
+                        let cut = delivered_bytes.min(wire.len());
+                        let salvaged = ExchangePacket::from_partial_bytes(&wire[..cut]).and_then(
+                            |(prefix, _fraction)| {
+                                Self::rx_reconstruct(&mut g.rx_decoders[i], from, &prefix)
+                            },
+                        );
+                        match salvaged {
+                            Ok(reconstructed) => {
+                                if cooper_telemetry::is_enabled() {
+                                    cooper_telemetry::counter_add("fleet.partial_salvaged", 1);
+                                }
+                                out.bytes_received[i] += delivered_bytes;
+                                out.partial_counts[i] += 1;
+                                out.inboxes[i].push(reconstructed);
+                                out.transport_drops.push(TransportDrop {
+                                    from,
+                                    to,
+                                    reason: TransportDropReason::PartialDelivery {
+                                        delivered_bytes,
+                                        total_bytes,
+                                    },
+                                });
+                            }
+                            Err(error) => {
+                                if cooper_telemetry::is_enabled() {
+                                    cooper_telemetry::counter_add("fleet.salvage_failed", 1);
+                                }
+                                out.transport_drops.push(TransportDrop {
+                                    from,
+                                    to,
+                                    reason: TransportDropReason::SalvageFailed {
+                                        kind: error.kind().to_string(),
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            out.stats.total_bytes += out.bytes_received[i] as u64;
+        }
+    }
+
+    /// Receiver-side reconstruction of a delivered packet: v1 payloads
+    /// pass through; v2 payloads run through the receiver's per-sender
+    /// [`DeltaDecoder`] (caching keyframes, merging deltas) and are
+    /// re-wrapped as self-contained packets for the fusion pipeline.
+    fn rx_reconstruct(
+        decoders: &mut BTreeMap<u32, DeltaDecoder>,
+        sender: u32,
+        packet: &ExchangePacket,
+    ) -> Result<ExchangePacket, CooperError> {
+        let info = packet.frame_info()?;
+        if info.version < 2 {
+            return Ok(packet.clone());
+        }
+        let decoder = decoders.entry(sender).or_default();
+        let cloud = decoder.decode_next(packet.payload())?;
+        packet.with_cloud(&cloud)
     }
 
     /// Like [`FleetSimulation::run`], with a bare delivery callback
@@ -917,6 +1399,188 @@ mod tests {
                 TransportDropReason::SalvageFailed { .. }
             ));
         }
+    }
+
+    #[test]
+    fn governed_static_fleet_saves_bytes_and_still_delivers() {
+        use crate::governor::SendFirstPolicy;
+        // Parked vehicles: after `static_threshold` scans the static
+        // map absorbs the scene and delta frames shrink to the noise
+        // floor, so the governed run moves far fewer bytes.
+        let scene = scenario::tj_scenario_1();
+        let vehicles = vec![
+            FleetVehicle {
+                id: 1,
+                trajectory: vec![scene.observers[0]],
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+            FleetVehicle {
+                id: 2,
+                trajectory: vec![scene.observers[1]],
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+        ];
+        let sim = FleetSimulation::new(scene.world, vehicles, FleetConfig::default());
+        let p = pipeline();
+        let (_, base_stats) = sim.run(&p, 4);
+        let mut policy = SendFirstPolicy;
+        let (reports, stats) = sim.run_governed(
+            &p,
+            4,
+            &mut PerfectChannel,
+            &mut policy,
+            &GovernorConfig::default(),
+        );
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(r.encode_drops.is_empty());
+            for v in &r.per_vehicle {
+                assert_eq!(v.packets_received, 1, "every transfer still arrives");
+                assert_eq!(v.packets_dropped, 0, "reconstructed packets decode");
+            }
+        }
+        assert!(
+            stats.total_bytes < base_stats.total_bytes,
+            "governed {} >= ungoverned {}",
+            stats.total_bytes,
+            base_stats.total_bytes
+        );
+        let saved: u64 = stats.bytes_saved.values().sum();
+        assert!(saved > 0, "delta frames must save wire bytes");
+        assert_eq!(stats.bytes_saved.len(), 2, "both senders accounted");
+    }
+
+    #[test]
+    fn governed_reports_identical_across_thread_counts() {
+        use crate::governor::SendFirstPolicy;
+        let scene = scenario::tj_scenario_1();
+        let build = |threads: Option<usize>| {
+            let vehicles = vec![
+                FleetVehicle {
+                    id: 1,
+                    trajectory: straight_trajectory(scene.observers[0], 1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+                FleetVehicle {
+                    id: 2,
+                    trajectory: straight_trajectory(scene.observers[1], 1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+                FleetVehicle {
+                    id: 7,
+                    trajectory: straight_trajectory(scene.observers[0], -1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+            ];
+            FleetSimulation::new(
+                scene.world.clone(),
+                vehicles,
+                FleetConfig {
+                    seed: 99,
+                    threads,
+                    ..FleetConfig::default()
+                },
+            )
+        };
+        let p = pipeline();
+        let cfg = GovernorConfig::default();
+        let mut policy = SendFirstPolicy;
+        let (serial, serial_stats) =
+            build(Some(1)).run_governed(&p, 2, &mut PerfectChannel, &mut policy, &cfg);
+        let (parallel, parallel_stats) =
+            build(Some(4)).run_governed(&p, 2, &mut PerfectChannel, &mut policy, &cfg);
+        assert_eq!(serial_stats, parallel_stats);
+        assert!(!serial_stats.bytes_saved.is_empty());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.deterministic_view(), b.deterministic_view());
+        }
+    }
+
+    #[test]
+    fn budget_skips_surface_as_transport_drops() {
+        struct AlwaysSkip;
+        impl GovernorPolicy for AlwaysSkip {
+            fn decide(&mut self, _offer: &TransferOffer<'_>) -> GovernorVerdict {
+                GovernorVerdict::Skip
+            }
+        }
+        let sim = small_fleet();
+        let (reports, stats) = sim.run_governed(
+            &pipeline(),
+            1,
+            &mut PerfectChannel,
+            &mut AlwaysSkip,
+            &GovernorConfig::default(),
+        );
+        let r = &reports[0];
+        assert_eq!(r.transport_drops.len(), 2);
+        for d in &r.transport_drops {
+            assert_eq!(d.reason, TransportDropReason::BudgetExceeded);
+            assert_eq!(d.reason.fraction(), 0.0);
+        }
+        for v in &r.per_vehicle {
+            assert_eq!(v.packets_received, 0);
+            assert_eq!(v.bytes_received, 0);
+            assert!(
+                v.cooperative_detections >= v.single_detections
+                    || v.cooperative_detections == v.single_detections,
+                "skipped transfers leave ego perception intact"
+            );
+        }
+        assert_eq!(stats.total_bytes, 0);
+        // A skip saves the whole baseline packet per directed transfer.
+        let saved: u64 = stats.bytes_saved.values().sum();
+        assert!(saved > 0);
+    }
+
+    #[test]
+    fn governed_encode_failure_is_reported_once_per_step() {
+        use crate::governor::SendFirstPolicy;
+        let scene = scenario::tj_scenario_1();
+        let broken_pose = Pose::new(
+            scene.observers[1].position,
+            Attitude::new(f64::NAN, 0.0, 0.0),
+        );
+        let vehicles = vec![
+            FleetVehicle {
+                id: 1,
+                trajectory: vec![scene.observers[0]],
+                beams: BeamModel::vlp16().with_azimuth_steps(200),
+            },
+            FleetVehicle {
+                id: 2,
+                trajectory: vec![broken_pose],
+                beams: BeamModel::vlp16().with_azimuth_steps(200),
+            },
+        ];
+        let sim = FleetSimulation::new(scene.world.clone(), vehicles, FleetConfig::default());
+        let mut policy = SendFirstPolicy;
+        let (reports, _) = sim.run_governed(
+            &pipeline(),
+            1,
+            &mut PerfectChannel,
+            &mut policy,
+            &GovernorConfig::default(),
+        );
+        assert_eq!(reports[0].encode_drops.len(), 1);
+        assert_eq!(reports[0].encode_drops[0].vehicle_id, 2);
+        assert_eq!(reports[0].encode_drops[0].kind, "invalid_pose");
+        // Vehicle 2 still receives vehicle 1's governed packet.
+        assert_eq!(reports[0].per_vehicle[1].packets_received, 1);
+        assert_eq!(reports[0].per_vehicle[0].packets_received, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid governor config")]
+    fn governed_run_rejects_invalid_config() {
+        use crate::governor::SendFirstPolicy;
+        let sim = small_fleet();
+        let bad = GovernorConfig {
+            keyframe_every: 0,
+            ..GovernorConfig::default()
+        };
+        let mut policy = SendFirstPolicy;
+        let _ = sim.run_governed(&pipeline(), 1, &mut PerfectChannel, &mut policy, &bad);
     }
 
     #[test]

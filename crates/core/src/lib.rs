@@ -67,6 +67,7 @@ mod alignment;
 pub mod channel;
 mod error;
 pub mod fleet;
+pub mod governor;
 mod packet;
 mod pipeline;
 pub mod report;
@@ -79,6 +80,9 @@ pub mod viz;
 pub use alignment::alignment_transform;
 pub use channel::{ChannelModel, Delivery, PerfectChannel, TransferCtx};
 pub use error::CooperError;
+pub use governor::{
+    GovernorConfig, GovernorPolicy, GovernorVerdict, TransferCandidate, TransferOffer,
+};
 pub use packet::ExchangePacket;
 pub use pipeline::{CooperPipeline, CooperativeResult, FusionOutcome, PacketDrop};
 pub use request::{requests_from_blind_zones, respond_to_roi_request, RoiRequest};

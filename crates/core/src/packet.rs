@@ -10,7 +10,10 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cooper_geometry::{Attitude, GpsFix};
 use cooper_lidar_sim::PoseEstimate;
-use cooper_pointcloud::{decode_cloud, decode_cloud_prefix, encode_cloud, PointCloud};
+use cooper_pointcloud::{
+    decode_cloud, decode_cloud_prefix, encode_cloud, encode_cloud_v2, FrameInfo, FrameKind,
+    PointCloud,
+};
 
 use crate::CooperError;
 
@@ -80,6 +83,43 @@ impl ExchangePacket {
         })
     }
 
+    /// Builds a packet carrying a wire-format **v2** payload: the flags
+    /// byte records whether the cloud is a delta frame and whether its
+    /// static background was subtracted. Everything else — header,
+    /// fragmentation, salvage — is identical to [`ExchangePacket::build`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExchangePacket::build`].
+    pub fn build_v2(
+        vehicle_id: u32,
+        sequence: u32,
+        cloud: &PointCloud,
+        pose: PoseEstimate,
+        kind: FrameKind,
+        background_subtracted: bool,
+    ) -> Result<Self, CooperError> {
+        if !pose_is_finite(&pose) {
+            return Err(CooperError::InvalidPose);
+        }
+        Ok(ExchangePacket {
+            vehicle_id,
+            sequence,
+            pose,
+            payload: encode_cloud_v2(cloud, kind, background_subtracted)?,
+        })
+    }
+
+    /// Parses the payload's wire-format header — version, frame kind,
+    /// background flag and declared point count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CooperError::Codec`] for a corrupt payload.
+    pub fn frame_info(&self) -> Result<FrameInfo, CooperError> {
+        Ok(cooper_pointcloud::frame_info(&self.payload)?)
+    }
+
     /// The transmitting vehicle's identifier.
     pub fn vehicle_id(&self) -> u32 {
         self.vehicle_id
@@ -114,6 +154,38 @@ impl ExchangePacket {
     /// (Figure 12) accounts.
     pub fn wire_size(&self) -> usize {
         HEADER_BYTES + self.payload.len()
+    }
+
+    /// Wire size of a packet carrying `point_count` points, without
+    /// building one — the pricing function of the bandwidth governor
+    /// (both wire versions share the fixed per-point stride).
+    pub fn wire_size_for(point_count: usize) -> usize {
+        HEADER_BYTES + cooper_pointcloud::codec::encoded_size(point_count)
+    }
+
+    /// The raw encoded-cloud payload — what a stateful wire-format
+    /// decoder (`cooper_pointcloud::DeltaDecoder`) consumes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// A copy of this packet carrying `cloud` as a plain (v1, keyframe)
+    /// payload instead of the original one; identity and pose are kept.
+    /// The governed fleet path uses this to hand a receiver-side
+    /// reconstructed delta stream to the fusion pipeline, which expects
+    /// self-contained packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CooperError::Codec`] when `cloud` has out-of-range
+    /// coordinates.
+    pub fn with_cloud(&self, cloud: &PointCloud) -> Result<Self, CooperError> {
+        Ok(ExchangePacket {
+            vehicle_id: self.vehicle_id,
+            sequence: self.sequence,
+            pose: self.pose,
+            payload: encode_cloud(cloud)?,
+        })
     }
 
     /// Serializes the packet for transmission.
@@ -249,13 +321,28 @@ impl ExchangePacket {
         }
         let available = payload_len.min(bytes.len() - HEADER_BYTES);
         let payload = &bytes[HEADER_BYTES..HEADER_BYTES + available];
+        let info = cooper_pointcloud::frame_info(payload)?;
         let (prefix_cloud, declared_points) = decode_cloud_prefix(payload)?;
         let fraction = if declared_points == 0 {
             1.0
         } else {
             prefix_cloud.len() as f64 / declared_points as f64
         };
-        let packet = ExchangePacket::build(vehicle_id, sequence, &prefix_cloud, pose)?;
+        // Re-encode the salvaged prefix under the original payload's
+        // version and flags: a truncated delta frame stays a delta
+        // frame, so receivers keep interpreting it correctly.
+        let packet = if info.version >= 2 {
+            ExchangePacket::build_v2(
+                vehicle_id,
+                sequence,
+                &prefix_cloud,
+                pose,
+                info.kind,
+                info.background_subtracted,
+            )?
+        } else {
+            ExchangePacket::build(vehicle_id, sequence, &prefix_cloud, pose)?
+        };
         Ok((packet, fraction))
     }
 }
@@ -401,6 +488,57 @@ mod tests {
             ExchangePacket::from_partial_bytes(&bytes[..HEADER_BYTES - 1]).unwrap_err(),
             CooperError::Truncated { .. }
         ));
+    }
+
+    #[test]
+    fn v2_payload_round_trips_and_keeps_flags() {
+        let packet = ExchangePacket::build_v2(
+            4,
+            2,
+            &sample_cloud(60),
+            sample_pose(),
+            FrameKind::Delta,
+            true,
+        )
+        .unwrap();
+        let back = ExchangePacket::from_bytes(&packet.to_bytes()).unwrap();
+        assert_eq!(back, packet);
+        let info = back.frame_info().unwrap();
+        assert_eq!(info.version, 2);
+        assert_eq!(info.kind, FrameKind::Delta);
+        assert!(info.background_subtracted);
+        assert_eq!(back.cloud().unwrap().len(), 60);
+    }
+
+    #[test]
+    fn v2_partial_salvage_preserves_frame_kind() {
+        let packet = ExchangePacket::build_v2(
+            9,
+            3,
+            &sample_cloud(100),
+            sample_pose(),
+            FrameKind::Delta,
+            true,
+        )
+        .unwrap();
+        let bytes = packet.to_bytes();
+        let cut = HEADER_BYTES + 10 + 40 * 7 + 3;
+        let (salvaged, fraction) = ExchangePacket::from_partial_bytes(&bytes[..cut]).unwrap();
+        assert_eq!(salvaged.cloud().unwrap().len(), 40);
+        assert!((fraction - 0.4).abs() < 1e-12);
+        // The truncated delta stays a delta on re-encode.
+        let info = salvaged.frame_info().unwrap();
+        assert_eq!(info.version, 2);
+        assert_eq!(info.kind, FrameKind::Delta);
+        assert!(info.background_subtracted);
+    }
+
+    #[test]
+    fn v1_frame_info_reported() {
+        let packet = ExchangePacket::build(1, 1, &sample_cloud(5), sample_pose()).unwrap();
+        let info = packet.frame_info().unwrap();
+        assert_eq!(info.version, 1);
+        assert_eq!(info.kind, FrameKind::Keyframe);
     }
 
     #[test]

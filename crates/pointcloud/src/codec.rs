@@ -7,14 +7,33 @@
 //! [`WIRE_BYTES_PER_POINT`] = 7 bytes/point, so a ~30 k-point VLP-16 scan
 //! encodes to ~210 KB (≈ 1.7 Mbit, matching the ≈1.8 Mbit/frame of
 //! Figure 12).
+//!
+//! # Wire-format versions
+//!
+//! Both versions share the 10-byte header (`CPPC` magic, version byte,
+//! flags byte, `u32` point count) and the 7-byte point layout, so every
+//! decoder in this module reads either version and the fixed point
+//! stride keeps prefix salvage ([`decode_cloud_prefix`]) working on
+//! truncated frames of any version.
+//!
+//! * **v1** — the original format; the flags byte is reserved (zero).
+//! * **v2** — the bandwidth-governor format (§IV-G: "Background data
+//!   like buildings, trees are subtract\[ed\]"). The flags byte becomes
+//!   meaningful: bit 0 marks a **delta frame** (only points novel
+//!   relative to the sender's previous keyframe), bit 1 marks a frame
+//!   whose static background was removed against a
+//!   [`StaticMap`](crate::roi::StaticMap). [`DeltaEncoder`] /
+//!   [`DeltaDecoder`] implement the keyframe-cadence state machine on
+//!   top of [`encode_cloud_v2`].
 
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cooper_geometry::Vec3;
 
-use crate::{Point, PointCloud};
+use crate::{Point, PointCloud, VoxelCoord, VoxelGridConfig};
 
 /// Bytes used per encoded point: three `i16` centimetre coordinates plus
 /// one reflectance byte.
@@ -24,11 +43,42 @@ pub const WIRE_BYTES_PER_POINT: usize = 7;
 pub const WIRE_HEADER_BYTES: usize = 10;
 
 const MAGIC: &[u8; 4] = b"CPPC";
-const VERSION: u8 = 1;
+const VERSION_V1: u8 = 1;
+const VERSION_V2: u8 = 2;
+/// Flags-byte bit marking a delta frame (v2 only).
+const FLAG_DELTA: u8 = 0b0000_0001;
+/// Flags-byte bit marking a background-subtracted frame (v2 only).
+const FLAG_BACKGROUND_SUBTRACTED: u8 = 0b0000_0010;
 /// Quantization step: 1 cm, giving a ±327.67 m representable range —
 /// beyond any LiDAR's reach.
 const SCALE: f64 = 100.0;
-const COORD_LIMIT_M: f64 = i16::MAX as f64 / SCALE;
+
+/// Quantizes one coordinate to the wire's `i16` centimetre grid, or
+/// `None` when the *rounded* value falls outside the representable
+/// range. Validating the quantized value (rather than the raw one)
+/// admits boundary coordinates like 327.672 m (rounds to `i16::MAX`)
+/// and −327.68 m (exactly `i16::MIN`) that a raw `|x| > 327.67` check
+/// would reject asymmetrically.
+fn quantize_coord(v: f64) -> Option<i16> {
+    let q = (v * SCALE).round();
+    if q >= f64::from(i16::MIN) && q <= f64::from(i16::MAX) {
+        Some(q as i16)
+    } else {
+        None
+    }
+}
+
+/// Quantizes reflectance to one byte, clamping out-of-range and
+/// non-finite values explicitly instead of relying on the silent
+/// saturating `as` cast (which would also map NaN to 0 — here that
+/// mapping is a documented decision, not an accident).
+fn quantize_reflectance(r: f32) -> u8 {
+    if r.is_finite() {
+        (r.clamp(0.0, 1.0) * 255.0).round() as u8
+    } else {
+        0
+    }
+}
 
 /// Errors produced while encoding or decoding wire frames.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,14 +121,118 @@ impl fmt::Display for CodecError {
 
 impl Error for CodecError {}
 
-/// Encodes a cloud into the wire format.
+/// Whether a v2 frame carries a full snapshot or only the points novel
+/// since the sender's previous keyframe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// A complete, self-contained frame. All v1 frames are keyframes.
+    Keyframe,
+    /// Only points in voxels unoccupied by the previous keyframe.
+    /// Decodable on its own (the points it carries are real points);
+    /// [`DeltaDecoder`] additionally merges the cached keyframe back in.
+    Delta,
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FrameKind::Keyframe => "keyframe",
+            FrameKind::Delta => "delta",
+        })
+    }
+}
+
+/// Parsed header of a wire frame — what a receiver can learn without
+/// decoding any point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Wire-format version (1 or 2).
+    pub version: u8,
+    /// Keyframe or delta ([`FrameKind::Keyframe`] for every v1 frame).
+    pub kind: FrameKind,
+    /// `true` when the sender removed known-static background before
+    /// encoding (v2 flag bit 1).
+    pub background_subtracted: bool,
+    /// Points the full frame declares.
+    pub point_count: usize,
+}
+
+/// Parses the 10-byte frame header of either wire-format version.
 ///
 /// # Errors
 ///
-/// Returns [`CodecError::CoordinateOutOfRange`] when any coordinate falls
-/// outside ±327.67 m. Callers exchanging sensor-frame clouds never hit
-/// this; clouds already moved into a distant world frame must be
-/// re-centered first.
+/// Returns [`CodecError::Truncated`], [`CodecError::BadMagic`] or
+/// [`CodecError::UnsupportedVersion`] for malformed input.
+pub fn frame_info(mut bytes: &[u8]) -> Result<FrameInfo, CodecError> {
+    if bytes.len() < WIRE_HEADER_BYTES {
+        return Err(CodecError::Truncated {
+            expected: WIRE_HEADER_BYTES,
+            actual: bytes.len(),
+        });
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = bytes.get_u8();
+    if version != VERSION_V1 && version != VERSION_V2 {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let flags = bytes.get_u8();
+    let count = bytes.get_u32() as usize;
+    let (kind, background_subtracted) = if version == VERSION_V2 {
+        (
+            if flags & FLAG_DELTA != 0 {
+                FrameKind::Delta
+            } else {
+                FrameKind::Keyframe
+            },
+            flags & FLAG_BACKGROUND_SUBTRACTED != 0,
+        )
+    } else {
+        (FrameKind::Keyframe, false)
+    };
+    Ok(FrameInfo {
+        version,
+        kind,
+        background_subtracted,
+        point_count: count,
+    })
+}
+
+fn encode_with_header(cloud: &PointCloud, version: u8, flags: u8) -> Result<Bytes, CodecError> {
+    let mut buf = BytesMut::with_capacity(WIRE_HEADER_BYTES + cloud.len() * WIRE_BYTES_PER_POINT);
+    buf.put_slice(MAGIC);
+    buf.put_u8(version);
+    buf.put_u8(flags);
+    buf.put_u32(cloud.len() as u32);
+    for (index, point) in cloud.iter().enumerate() {
+        let p = point.position;
+        let (Some(x), Some(y), Some(z)) = (
+            quantize_coord(p.x),
+            quantize_coord(p.y),
+            quantize_coord(p.z),
+        ) else {
+            return Err(CodecError::CoordinateOutOfRange { index });
+        };
+        buf.put_i16(x);
+        buf.put_i16(y);
+        buf.put_i16(z);
+        buf.put_u8(quantize_reflectance(point.reflectance));
+    }
+    Ok(buf.freeze())
+}
+
+/// Encodes a cloud into the version-1 wire format.
+///
+/// # Errors
+///
+/// Returns [`CodecError::CoordinateOutOfRange`] when any coordinate
+/// quantizes outside the representable `i16` centimetre range
+/// (±327.67 m, with round-to-nearest at the boundary). Callers
+/// exchanging sensor-frame clouds never hit this; clouds already moved
+/// into a distant world frame must be re-centered first.
 ///
 /// # Examples
 ///
@@ -96,51 +250,48 @@ impl Error for CodecError {}
 /// # }
 /// ```
 pub fn encode_cloud(cloud: &PointCloud) -> Result<Bytes, CodecError> {
-    let mut buf = BytesMut::with_capacity(WIRE_HEADER_BYTES + cloud.len() * WIRE_BYTES_PER_POINT);
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u8(0); // reserved flags
-    buf.put_u32(cloud.len() as u32);
-    for (index, point) in cloud.iter().enumerate() {
-        let p = point.position;
-        if p.x.abs() > COORD_LIMIT_M || p.y.abs() > COORD_LIMIT_M || p.z.abs() > COORD_LIMIT_M {
-            return Err(CodecError::CoordinateOutOfRange { index });
-        }
-        buf.put_i16((p.x * SCALE).round() as i16);
-        buf.put_i16((p.y * SCALE).round() as i16);
-        buf.put_i16((p.z * SCALE).round() as i16);
-        buf.put_u8((point.reflectance * 255.0).round() as u8);
-    }
-    Ok(buf.freeze())
+    encode_with_header(cloud, VERSION_V1, 0)
 }
 
-/// Decodes a wire frame back into a point cloud.
+/// Encodes a cloud into the version-2 wire format, stamping the flags
+/// byte with the frame kind and whether background was subtracted.
+///
+/// The point payload is identical to v1; only the header differs, so v2
+/// frames flow through fragmentation, ARQ and prefix salvage unchanged.
+///
+/// # Errors
+///
+/// Same as [`encode_cloud`].
+pub fn encode_cloud_v2(
+    cloud: &PointCloud,
+    kind: FrameKind,
+    background_subtracted: bool,
+) -> Result<Bytes, CodecError> {
+    let mut flags = 0u8;
+    if kind == FrameKind::Delta {
+        flags |= FLAG_DELTA;
+    }
+    if background_subtracted {
+        flags |= FLAG_BACKGROUND_SUBTRACTED;
+    }
+    encode_with_header(cloud, VERSION_V2, flags)
+}
+
+/// Decodes a wire frame (either version) back into a point cloud.
 ///
 /// Positions are recovered to within 5 mm (half the quantization step),
-/// reflectance to within 1/510.
+/// reflectance to within 1/510. A v2 delta frame decodes to the points
+/// it carries; use [`DeltaDecoder`] to merge the reference keyframe
+/// back in, or [`frame_info`] to learn the kind first.
 ///
 /// # Errors
 ///
 /// Returns [`CodecError::BadMagic`], [`CodecError::UnsupportedVersion`] or
 /// [`CodecError::Truncated`] for malformed input.
 pub fn decode_cloud(mut bytes: &[u8]) -> Result<PointCloud, CodecError> {
-    if bytes.len() < WIRE_HEADER_BYTES {
-        return Err(CodecError::Truncated {
-            expected: WIRE_HEADER_BYTES,
-            actual: bytes.len(),
-        });
-    }
-    let mut magic = [0u8; 4];
-    bytes.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let version = bytes.get_u8();
-    if version != VERSION {
-        return Err(CodecError::UnsupportedVersion(version));
-    }
-    let _flags = bytes.get_u8();
-    let count = bytes.get_u32() as usize;
+    let info = frame_info(bytes)?;
+    bytes.advance(WIRE_HEADER_BYTES);
+    let count = info.point_count;
     let expected = count * WIRE_BYTES_PER_POINT;
     if bytes.remaining() < expected {
         return Err(CodecError::Truncated {
@@ -180,23 +331,9 @@ pub fn encoded_size(n: usize) -> usize {
 /// or — only when even the header is incomplete —
 /// [`CodecError::Truncated`].
 pub fn decode_cloud_prefix(mut bytes: &[u8]) -> Result<(PointCloud, usize), CodecError> {
-    if bytes.len() < WIRE_HEADER_BYTES {
-        return Err(CodecError::Truncated {
-            expected: WIRE_HEADER_BYTES,
-            actual: bytes.len(),
-        });
-    }
-    let mut magic = [0u8; 4];
-    bytes.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let version = bytes.get_u8();
-    if version != VERSION {
-        return Err(CodecError::UnsupportedVersion(version));
-    }
-    let _flags = bytes.get_u8();
-    let declared = bytes.get_u32() as usize;
+    let info = frame_info(bytes)?;
+    bytes.advance(WIRE_HEADER_BYTES);
+    let declared = info.point_count;
     let available = (bytes.remaining() / WIRE_BYTES_PER_POINT).min(declared);
     let mut cloud = PointCloud::with_capacity(available);
     for _ in 0..available {
@@ -207,6 +344,219 @@ pub fn decode_cloud_prefix(mut bytes: &[u8]) -> Result<(PointCloud, usize), Code
         cloud.push(Point::new(Vec3::new(x, y, z), reflectance));
     }
     Ok((cloud, declared))
+}
+
+/// One frame produced by [`DeltaEncoder::encode_next`].
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    /// The v2 wire bytes.
+    pub bytes: Bytes,
+    /// Keyframe or delta.
+    pub kind: FrameKind,
+    /// Points the frame carries (after delta filtering).
+    pub points_sent: usize,
+    /// Points of the input cloud.
+    pub points_total: usize,
+}
+
+impl EncodedFrame {
+    /// Wire bytes of this frame over the wire bytes of a v1 full frame
+    /// of the same input — the compression the delta mode bought.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.bytes.len() as f64 / encoded_size(self.points_total) as f64
+    }
+}
+
+/// Sender-side state machine of the v2 delta mode: every
+/// `keyframe_every`-th frame is a keyframe; the frames between carry
+/// only points in voxels the previous keyframe left unoccupied.
+///
+/// Voxel occupancy (not per-point identity) keys the delta because
+/// LiDAR returns never repeat exactly frame to frame; a voxel the
+/// keyframe already covered contributes no new structure worth air
+/// time. The grid used for keying is configurable and defaults to the
+/// detector's own voxelization, so "novel" aligns with what detection
+/// can actually use.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_geometry::Vec3;
+/// use cooper_pointcloud::codec::{DeltaDecoder, DeltaEncoder, FrameKind};
+/// use cooper_pointcloud::{Point, PointCloud, VoxelGridConfig};
+///
+/// # fn main() -> Result<(), cooper_pointcloud::CodecError> {
+/// let mut enc = DeltaEncoder::new(VoxelGridConfig::voxelnet_car(), 3);
+/// let mut dec = DeltaDecoder::new();
+/// let scan: PointCloud = (0..10)
+///     .map(|i| Point::new(Vec3::new(20.0, i as f64 - 5.0, 0.0), 0.5))
+///     .collect();
+/// let key = enc.encode_next(&scan, false)?;
+/// assert_eq!(key.kind, FrameKind::Keyframe);
+/// let delta = enc.encode_next(&scan, false)?;
+/// assert_eq!(delta.kind, FrameKind::Delta);
+/// assert_eq!(delta.points_sent, 0); // nothing moved
+/// // The decoder reconstructs the full view from keyframe + delta.
+/// assert_eq!(dec.decode_next(&key.bytes)?.len(), 10);
+/// assert_eq!(dec.decode_next(&delta.bytes)?.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaEncoder {
+    grid: VoxelGridConfig,
+    keyframe_every: u32,
+    /// Frames encoded since the last keyframe; `None` until the first
+    /// keyframe is sent.
+    since_keyframe: Option<u32>,
+    reference: HashSet<VoxelCoord>,
+}
+
+impl DeltaEncoder {
+    /// Creates an encoder that emits a keyframe every `keyframe_every`
+    /// frames (1 = every frame is a keyframe).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keyframe_every` is zero or `grid` is invalid.
+    pub fn new(grid: VoxelGridConfig, keyframe_every: u32) -> Self {
+        assert!(keyframe_every > 0, "keyframe cadence must be positive");
+        if let Err(msg) = grid.validate() {
+            panic!("invalid delta grid config: {msg}");
+        }
+        DeltaEncoder {
+            grid,
+            keyframe_every,
+            since_keyframe: None,
+            reference: HashSet::new(),
+        }
+    }
+
+    /// `true` when the cadence calls for the next frame to be a
+    /// keyframe (always true before the first keyframe).
+    pub fn keyframe_due(&self) -> bool {
+        match self.since_keyframe {
+            None => true,
+            Some(n) => n + 1 >= self.keyframe_every,
+        }
+    }
+
+    /// The subset of `cloud` a delta frame would carry right now:
+    /// points whose voxel the reference keyframe left unoccupied, plus
+    /// points outside the grid (those can never be referenced).
+    pub fn novel_points(&self, cloud: &PointCloud) -> PointCloud {
+        if self.since_keyframe.is_none() {
+            return cloud.clone();
+        }
+        cloud.filtered(|p| match self.grid.coord_of(p.position) {
+            Some(coord) => !self.reference.contains(&coord),
+            None => true,
+        })
+    }
+
+    /// Records that a keyframe built from `cloud` was sent: the voxel
+    /// occupancy of `cloud` becomes the delta reference.
+    pub fn note_keyframe(&mut self, cloud: &PointCloud) {
+        self.reference.clear();
+        for p in cloud.iter() {
+            if let Some(coord) = self.grid.coord_of(p.position) {
+                self.reference.insert(coord);
+            }
+        }
+        self.since_keyframe = Some(0);
+    }
+
+    /// Records that a delta frame was sent (advances the cadence).
+    pub fn note_delta(&mut self) {
+        if let Some(n) = self.since_keyframe.as_mut() {
+            *n += 1;
+        }
+    }
+
+    /// Encodes the next frame of the stream: a keyframe when the
+    /// cadence demands one, a delta frame otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`encode_cloud`]; on error the cadence state is
+    /// unchanged.
+    pub fn encode_next(
+        &mut self,
+        cloud: &PointCloud,
+        background_subtracted: bool,
+    ) -> Result<EncodedFrame, CodecError> {
+        if self.keyframe_due() {
+            let bytes = encode_cloud_v2(cloud, FrameKind::Keyframe, background_subtracted)?;
+            self.note_keyframe(cloud);
+            Ok(EncodedFrame {
+                bytes,
+                kind: FrameKind::Keyframe,
+                points_sent: cloud.len(),
+                points_total: cloud.len(),
+            })
+        } else {
+            let novel = self.novel_points(cloud);
+            let bytes = encode_cloud_v2(&novel, FrameKind::Delta, background_subtracted)?;
+            self.note_delta();
+            Ok(EncodedFrame {
+                bytes,
+                kind: FrameKind::Delta,
+                points_sent: novel.len(),
+                points_total: cloud.len(),
+            })
+        }
+    }
+}
+
+/// Receiver-side counterpart of [`DeltaEncoder`]: caches the last
+/// keyframe and merges it back into every delta frame, so the caller
+/// always sees a full view.
+///
+/// The reconstruction is an approximation — voxels the keyframe covered
+/// are replayed at their keyframe-time positions — which is exactly the
+/// static-background assumption the delta mode encodes: content that
+/// did not move since the keyframe is reproduced from it.
+///
+/// A delta frame arriving before any keyframe (the keyframe was lost,
+/// or the receiver joined mid-stream) decodes to just its own points:
+/// degraded, never an error.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaDecoder {
+    keyframe: Option<PointCloud>,
+}
+
+impl DeltaDecoder {
+    /// Creates a decoder with no cached keyframe.
+    pub fn new() -> Self {
+        DeltaDecoder::default()
+    }
+
+    /// Decodes the next frame of a stream, reconstructing delta frames
+    /// against the cached keyframe. v1 frames and v2 keyframes refresh
+    /// the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`decode_cloud`].
+    pub fn decode_next(&mut self, bytes: &[u8]) -> Result<PointCloud, CodecError> {
+        let info = frame_info(bytes)?;
+        let cloud = decode_cloud(bytes)?;
+        match info.kind {
+            FrameKind::Keyframe => {
+                self.keyframe = Some(cloud.clone());
+                Ok(cloud)
+            }
+            FrameKind::Delta => Ok(match &self.keyframe {
+                Some(key) => key.merged(&cloud),
+                None => cloud,
+            }),
+        }
+    }
+
+    /// The cached keyframe, if any arrived yet.
+    pub fn keyframe(&self) -> Option<&PointCloud> {
+        self.keyframe.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -362,5 +712,157 @@ mod tests {
         let mut bytes = encode_cloud(&cloud).unwrap().to_vec();
         bytes.extend_from_slice(&[0u8; 16]);
         assert_eq!(decode_cloud(&bytes).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn boundary_coordinates_encode() {
+        // 327.672 rounds to 32767 (i16::MAX) and −327.68 is exactly
+        // i16::MIN; both must encode. The old raw-value check
+        // (|x| > 327.67) rejected each asymmetrically.
+        let cloud: PointCloud = [327.672, 327.67, -327.68, -327.675]
+            .iter()
+            .map(|&x| Point::new(Vec3::new(x, 0.0, 0.0), 0.5))
+            .collect();
+        let decoded = decode_cloud(&encode_cloud(&cloud).unwrap()).unwrap();
+        assert_eq!(decoded.as_slice()[0].position.x, 327.67);
+        assert_eq!(decoded.as_slice()[2].position.x, -327.68);
+        // Just past the rounding boundary stays rejected.
+        let over: PointCloud = [327.676, -327.686]
+            .iter()
+            .map(|&x| Point::new(Vec3::new(0.0, x, 0.0), 0.5))
+            .collect();
+        assert!(matches!(
+            encode_cloud(&over),
+            Err(CodecError::CoordinateOutOfRange { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn reflectance_clamped_explicitly() {
+        let cloud: PointCloud = [2.5f32, -1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY]
+            .iter()
+            .map(|&r| Point::new(Vec3::new(1.0, 2.0, 0.0), r))
+            .collect();
+        let decoded = decode_cloud(&encode_cloud(&cloud).unwrap()).unwrap();
+        let r: Vec<f32> = decoded.iter().map(|p| p.reflectance).collect();
+        assert_eq!(r[0], 1.0); // clamped high
+        assert_eq!(r[1], 0.0); // clamped low
+        assert_eq!(r[2], 0.0); // NaN → 0, by decision not by cast accident
+        assert_eq!(r[3], 1.0);
+        assert_eq!(r[4], 0.0);
+    }
+
+    #[test]
+    fn v2_round_trip_and_frame_info() {
+        let cloud = sample_cloud(20);
+        let bytes = encode_cloud_v2(&cloud, FrameKind::Delta, true).unwrap();
+        let info = frame_info(&bytes).unwrap();
+        assert_eq!(info.version, 2);
+        assert_eq!(info.kind, FrameKind::Delta);
+        assert!(info.background_subtracted);
+        assert_eq!(info.point_count, 20);
+        assert_eq!(decode_cloud(&bytes).unwrap().len(), 20);
+
+        let key = encode_cloud_v2(&cloud, FrameKind::Keyframe, false).unwrap();
+        let info = frame_info(&key).unwrap();
+        assert_eq!(info.kind, FrameKind::Keyframe);
+        assert!(!info.background_subtracted);
+    }
+
+    #[test]
+    fn v1_frames_report_keyframe_info() {
+        let bytes = encode_cloud(&sample_cloud(3)).unwrap();
+        let info = frame_info(&bytes).unwrap();
+        assert_eq!(info.version, 1);
+        assert_eq!(info.kind, FrameKind::Keyframe);
+        assert!(!info.background_subtracted);
+    }
+
+    #[test]
+    fn v2_prefix_decode_salvages_truncated_frames() {
+        let cloud = sample_cloud(12);
+        let bytes = encode_cloud_v2(&cloud, FrameKind::Delta, true).unwrap();
+        let cut = &bytes[..WIRE_HEADER_BYTES + 7 * WIRE_BYTES_PER_POINT + 2];
+        let (prefix, declared) = decode_cloud_prefix(cut).unwrap();
+        assert_eq!(declared, 12);
+        assert_eq!(prefix.len(), 7);
+        // The salvaged prefix still carries its v2 header semantics.
+        assert_eq!(frame_info(cut).unwrap().kind, FrameKind::Delta);
+    }
+
+    #[test]
+    fn version_three_rejected() {
+        let mut bytes = encode_cloud(&sample_cloud(2)).unwrap().to_vec();
+        bytes[4] = 3;
+        assert_eq!(
+            decode_cloud(&bytes).unwrap_err(),
+            CodecError::UnsupportedVersion(3)
+        );
+        assert_eq!(
+            frame_info(&bytes).unwrap_err(),
+            CodecError::UnsupportedVersion(3)
+        );
+    }
+
+    #[test]
+    fn delta_encoder_follows_cadence() {
+        let mut enc = DeltaEncoder::new(VoxelGridConfig::voxelnet_car(), 3);
+        let cloud = sample_cloud(50);
+        let kinds: Vec<FrameKind> = (0..7)
+            .map(|_| enc.encode_next(&cloud, false).unwrap().kind)
+            .collect();
+        use FrameKind::{Delta, Keyframe};
+        assert_eq!(
+            kinds,
+            vec![Keyframe, Delta, Delta, Keyframe, Delta, Delta, Keyframe]
+        );
+    }
+
+    #[test]
+    fn delta_frames_carry_only_novel_voxels() {
+        let mut enc = DeltaEncoder::new(VoxelGridConfig::voxelnet_car(), 4);
+        let stat: PointCloud = (0..30)
+            .map(|i| Point::new(Vec3::new(10.0 + (i % 5) as f64, 3.0, 0.5), 0.4))
+            .collect();
+        let key = enc.encode_next(&stat, false).unwrap();
+        assert_eq!(key.points_sent, 30);
+
+        // Same scene plus one new object: the delta sends only the object.
+        let mut moved = stat.clone();
+        moved.push(Point::new(Vec3::new(25.0, -4.0, 0.5), 0.9));
+        let delta = enc.encode_next(&moved, false).unwrap();
+        assert_eq!(delta.kind, FrameKind::Delta);
+        assert_eq!(delta.points_sent, 1);
+        assert!(delta.bytes_ratio() < 0.2);
+
+        // The decoder reconstructs all 31 points.
+        let mut dec = DeltaDecoder::new();
+        dec.decode_next(&key.bytes).unwrap();
+        assert_eq!(dec.decode_next(&delta.bytes).unwrap().len(), 31);
+    }
+
+    #[test]
+    fn delta_decoder_degrades_without_keyframe() {
+        let mut enc = DeltaEncoder::new(VoxelGridConfig::voxelnet_car(), 2);
+        let cloud = sample_cloud(40);
+        let _lost_keyframe = enc.encode_next(&cloud, false).unwrap();
+        let delta = enc.encode_next(&cloud, false).unwrap();
+        let mut dec = DeltaDecoder::new();
+        // No keyframe cached: the delta decodes to its own points only.
+        let got = dec.decode_next(&delta.bytes).unwrap();
+        assert_eq!(got.len(), delta.points_sent);
+        assert!(dec.keyframe().is_none());
+    }
+
+    #[test]
+    fn delta_encoder_points_outside_grid_always_sent() {
+        let mut enc = DeltaEncoder::new(VoxelGridConfig::voxelnet_car(), 2);
+        // voxelnet_car's extent does not reach x = −60.
+        let outside: PointCloud =
+            std::iter::once(Point::new(Vec3::new(-60.0, 0.0, 0.0), 0.5)).collect();
+        enc.encode_next(&outside, false).unwrap();
+        let delta = enc.encode_next(&outside, false).unwrap();
+        assert_eq!(delta.kind, FrameKind::Delta);
+        assert_eq!(delta.points_sent, 1);
     }
 }

@@ -42,7 +42,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cloud;
 pub mod codec;
@@ -54,7 +54,8 @@ mod voxel;
 
 pub use cloud::PointCloud;
 pub use codec::{
-    decode_cloud, decode_cloud_prefix, encode_cloud, CodecError, WIRE_BYTES_PER_POINT,
+    decode_cloud, decode_cloud_prefix, encode_cloud, encode_cloud_v2, frame_info, CodecError,
+    DeltaDecoder, DeltaEncoder, FrameInfo, FrameKind, WIRE_BYTES_PER_POINT,
 };
 pub use point::Point;
 pub use range_image::{RangeImage, RangeImageConfig};

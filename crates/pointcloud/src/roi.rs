@@ -15,7 +15,7 @@
 
 use cooper_geometry::{normalize_angle, Vec3};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::{PointCloud, VoxelCoord, VoxelGridConfig};
 
@@ -177,26 +177,43 @@ pub fn blind_sectors(
             nearest[idx] = r;
         }
     }
-    // Walk bins (with wrap) collecting blocked runs.
+    // Walk bins collecting blocked runs, treating the bin circle as
+    // circular: a run covering the last and first bins is one sector
+    // crossing the ±π seam, not two (each possibly under `min_width`
+    // and silently dropped — the seam bug this function used to have).
     let blocked: Vec<bool> = nearest.iter().map(|&r| r < occluder_range).collect();
     let bin_width = two_pi / bins as f64;
+    if blocked.iter().all(|&b| b) {
+        // Fully surrounded: one sector covering the whole circle.
+        let min_range = nearest.iter().cloned().fold(f64::INFINITY, f64::min);
+        return vec![BlindSector {
+            start: -std::f64::consts::PI,
+            end: std::f64::consts::PI,
+            occluder_range: min_range,
+        }];
+    }
+    // Start the scan at the first clear bin so every blocked run —
+    // including one wrapping the seam — is seen contiguously.
+    let first_clear = blocked.iter().position(|&b| !b).expect("not all blocked");
     let mut sectors = Vec::new();
-    let mut i = 0;
-    while i < bins {
-        if !blocked[i] {
-            i += 1;
+    let mut k = 0;
+    while k < bins {
+        let idx = (first_clear + k) % bins;
+        if !blocked[idx] {
+            k += 1;
             continue;
         }
-        // Skip runs that wrap from the end; they are handled when the
-        // scan reaches them unless the entire circle is blocked.
-        let mut j = i;
+        let run_start = first_clear + k;
         let mut min_range = f64::INFINITY;
-        while j < bins && blocked[j] {
-            min_range = min_range.min(nearest[j]);
-            j += 1;
+        while k < bins && blocked[(first_clear + k) % bins] {
+            min_range = min_range.min(nearest[(first_clear + k) % bins]);
+            k += 1;
         }
-        let start = -std::f64::consts::PI + i as f64 * bin_width;
-        let end = -std::f64::consts::PI + j as f64 * bin_width;
+        let run_end = first_clear + k;
+        // Express the run in (-π, π] start coordinates; `end` exceeds π
+        // exactly when the run wraps the seam (the BlindSector contract).
+        let start = -std::f64::consts::PI + (run_start % bins) as f64 * bin_width;
+        let end = start + (run_end - run_start) as f64 * bin_width;
         if end - start >= min_width {
             sectors.push(BlindSector {
                 start,
@@ -204,8 +221,8 @@ pub fn blind_sectors(
                 occluder_range: min_range,
             });
         }
-        i = j;
     }
+    sectors.sort_by(|a, b| a.start.total_cmp(&b.start));
     sectors
 }
 
@@ -263,16 +280,22 @@ impl StaticMap {
     }
 
     /// Folds one scan into the map ("several times mapping measurement").
+    ///
+    /// Deterministic under the thread-count-invariance contract: the
+    /// per-voxel counts depend only on the set of voxels each scan
+    /// touches, never on point order or on hash-map iteration order, so
+    /// observing the same scans always yields the same classification
+    /// regardless of how the fleet loop parallelizes around it.
     pub fn observe(&mut self, cloud: &PointCloud) {
         self.scans_observed += 1;
-        let mut seen: HashMap<VoxelCoord, ()> = HashMap::new();
+        let mut seen: HashSet<VoxelCoord> = HashSet::new();
         for p in cloud.iter() {
             if let Some(coord) = self.config.coord_of(p.position) {
-                seen.entry(coord).or_insert(());
+                seen.insert(coord);
             }
         }
-        for coord in seen.keys() {
-            *self.observations.entry(*coord).or_insert(0) += 1;
+        for coord in seen {
+            *self.observations.entry(coord).or_insert(0) += 1;
         }
     }
 
@@ -378,6 +401,91 @@ mod tests {
         assert_eq!(RoiCategory::FullFrame.transfers_per_pair(), 2);
         assert_eq!(RoiCategory::FrontFov120.transfers_per_pair(), 2);
         assert_eq!(RoiCategory::ForwardOneWay.transfers_per_pair(), 1);
+    }
+
+    /// Points forming a near "wall" covering `[from, to]` (radians,
+    /// unwrapped — may cross ±π) at `range`, over a far background ring.
+    fn occluded_scene(from: f64, to: f64, range: f64) -> PointCloud {
+        let mut c = PointCloud::new();
+        let step = 0.5f64.to_radians();
+        let mut az = from;
+        while az <= to {
+            c.push(Point::new(
+                Vec3::new(range * az.cos(), range * az.sin(), 0.0),
+                0.5,
+            ));
+            az += step;
+        }
+        for i in 0..720 {
+            let bg = (i as f64) * step - std::f64::consts::PI;
+            c.push(Point::new(
+                Vec3::new(60.0 * bg.cos(), 60.0 * bg.sin(), 0.0),
+                0.5,
+            ));
+        }
+        c
+    }
+
+    #[test]
+    fn blind_sector_found_ahead() {
+        let c = occluded_scene(-0.3, 0.3, 5.0);
+        let sectors = blind_sectors(&c, 360, 15.0, 10f64.to_radians(), -1.0);
+        assert_eq!(sectors.len(), 1);
+        assert!(sectors[0].center().abs() < 0.05, "{}", sectors[0].center());
+        assert!(sectors[0].contains(0.0));
+        assert!(!sectors[0].contains(std::f64::consts::PI));
+    }
+
+    #[test]
+    fn blind_sector_merged_across_seam() {
+        // A 40°-wide occluder straight behind: ~20° of blocked bins on
+        // each side of ±π. With a 30° minimum width, the unmerged halves
+        // would each be dropped; the merged seam-crossing sector must
+        // survive and contain the rear direction.
+        let c = occluded_scene(
+            std::f64::consts::PI - 20f64.to_radians(),
+            std::f64::consts::PI + 20f64.to_radians(),
+            5.0,
+        );
+        let sectors = blind_sectors(&c, 360, 15.0, 30f64.to_radians(), -1.0);
+        assert_eq!(sectors.len(), 1, "seam halves must merge: {sectors:?}");
+        let s = &sectors[0];
+        assert!(
+            s.end > std::f64::consts::PI,
+            "wrapped sector end: {}",
+            s.end
+        );
+        assert!(s.width() >= 30f64.to_radians());
+        assert!(s.center().abs() > std::f64::consts::PI - 0.1, "rear center");
+        assert!(s.contains(std::f64::consts::PI));
+        assert!(s.contains(-std::f64::consts::PI + 0.05));
+        assert!(!s.contains(0.0));
+    }
+
+    #[test]
+    fn fully_surrounded_yields_single_circle_sector() {
+        let c = occluded_scene(-std::f64::consts::PI, std::f64::consts::PI, 5.0);
+        let sectors = blind_sectors(&c, 360, 15.0, 10f64.to_radians(), -1.0);
+        assert_eq!(sectors.len(), 1);
+        let s = &sectors[0];
+        assert!((s.width() - std::f64::consts::TAU).abs() < 1e-9);
+        for az in [-3.0, -1.5, 0.0, 1.5, 3.0] {
+            assert!(s.contains(az), "full-circle sector must contain {az}");
+        }
+    }
+
+    #[test]
+    fn blind_sectors_sorted_and_disjoint() {
+        // Two separate occluders: ahead and to the left.
+        let mut c = occluded_scene(-0.3, 0.3, 5.0);
+        let left = occluded_scene(1.2, 1.8, 6.0);
+        for p in left.iter() {
+            c.push(*p);
+        }
+        let sectors = blind_sectors(&c, 360, 15.0, 10f64.to_radians(), -1.0);
+        assert_eq!(sectors.len(), 2);
+        assert!(sectors[0].start < sectors[1].start);
+        assert!(sectors[0].end <= sectors[1].start + 1e-9);
     }
 
     #[test]

@@ -131,6 +131,66 @@ proptest! {
     }
 
     #[test]
+    fn blind_sector_contains_matches_membership(
+        // Sectors in the blind_sectors convention: start in (-π, π],
+        // width up to the full circle, so `end` may cross the seam and
+        // exceed π by nearly 2π.
+        start in -std::f64::consts::PI..std::f64::consts::PI,
+        width in 0.01..std::f64::consts::TAU,
+        sample in -std::f64::consts::PI..std::f64::consts::PI,
+    ) {
+        use cooper_geometry::normalize_angle;
+        use cooper_pointcloud::roi::BlindSector;
+        let s = BlindSector { start, end: start + width, occluder_range: 5.0 };
+        prop_assert!((s.width() - width).abs() < 1e-12);
+        // Membership computed directly in the unwrapped sector frame.
+        let unwrapped = {
+            let rel = normalize_angle(sample - start);
+            let rel = if rel < 0.0 { rel + std::f64::consts::TAU } else { rel };
+            rel <= width
+        };
+        // Tolerate only boundary disagreement (floating-point edges).
+        let rel_center = normalize_angle(sample - s.center()).abs();
+        let boundary = (rel_center - width * 0.5).abs() < 1e-9
+            || (normalize_angle(sample - start)).abs() < 1e-9;
+        if !boundary {
+            prop_assert_eq!(s.contains(sample), unwrapped);
+        }
+        // The center is always inside, however the sector wraps.
+        prop_assert!(s.contains(s.center()));
+        // And the center stays normalized.
+        prop_assert!(s.center() > -std::f64::consts::PI - 1e-12);
+        prop_assert!(s.center() <= std::f64::consts::PI + 1e-12);
+    }
+
+    #[test]
+    fn blind_sectors_cover_their_occluders(
+        center in -std::f64::consts::PI..std::f64::consts::PI,
+        half_width in 0.1..1.2f64,
+    ) {
+        use cooper_pointcloud::roi::blind_sectors;
+        // A near arc occluder centered anywhere — including across the
+        // seam — over a far background ring.
+        let mut c = PointCloud::new();
+        let step = 0.5f64.to_radians();
+        let mut az = center - half_width;
+        while az <= center + half_width {
+            c.push(Point::new(Vec3::new(5.0 * az.cos(), 5.0 * az.sin(), 0.0), 0.5));
+            az += step;
+        }
+        for i in 0..720 {
+            let bg = (i as f64) * step - std::f64::consts::PI;
+            c.push(Point::new(Vec3::new(60.0 * bg.cos(), 60.0 * bg.sin(), 0.0), 0.5));
+        }
+        let sectors = blind_sectors(&c, 360, 15.0, 0.05, -1.0);
+        // Exactly one merged sector, containing the occluder's center —
+        // wherever that center lies relative to ±π.
+        prop_assert_eq!(sectors.len(), 1);
+        prop_assert!(sectors[0].contains(center));
+        prop_assert!((sectors[0].width() - 2.0 * half_width).abs() < 0.1);
+    }
+
+    #[test]
     fn bounds_contain_all_points(c in cloud(200)) {
         if let Some(b) = c.bounds() {
             for p in c.iter() {
@@ -143,6 +203,57 @@ proptest! {
 }
 
 proptest! {
+    #[test]
+    fn boundary_coordinates_round_trip(
+        // Sample tightly around the ±327.675/−327.685 rounding edges so
+        // the quantized-value validation is exercised on both sides.
+        x in -327.69..327.69f64,
+        r in -2.0..3.0f32,
+    ) {
+        let c: PointCloud =
+            std::iter::once(Point::new(Vec3::new(x, -x, x / 2.0), r)).collect();
+        let q = (x * 100.0).round();
+        let in_range = (f64::from(i16::MIN)..=f64::from(i16::MAX)).contains(&q);
+        match encode_cloud(&c) {
+            Ok(bytes) => {
+                prop_assert!(in_range, "out-of-range {x} encoded");
+                let back = decode_cloud(&bytes).unwrap();
+                let p = back.as_slice()[0];
+                prop_assert!((p.position.x - x).abs() <= 0.005 + 1e-9);
+                // Reflectance decodes clamped into [0, 1].
+                prop_assert!((0.0..=1.0).contains(&p.reflectance));
+                prop_assert!((p.reflectance - r.clamp(0.0, 1.0)).abs() <= 1.0 / 255.0 + 1e-6);
+            }
+            Err(cooper_pointcloud::CodecError::CoordinateOutOfRange { .. }) => {
+                prop_assert!(!in_range, "encodable boundary value {x} rejected");
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn v2_delta_stream_round_trips(
+        c in cloud(200),
+        keyframe_every in 1u32..6,
+        frames in 1usize..8,
+    ) {
+        use cooper_pointcloud::{DeltaDecoder, DeltaEncoder, FrameKind};
+        let mut enc = DeltaEncoder::new(VoxelGridConfig::voxelnet_car(), keyframe_every);
+        let mut dec = DeltaDecoder::new();
+        for i in 0..frames {
+            let frame = enc.encode_next(&c, false).unwrap();
+            prop_assert_eq!(
+                frame.kind,
+                if i as u32 % keyframe_every == 0 { FrameKind::Keyframe } else { FrameKind::Delta }
+            );
+            prop_assert!(frame.points_sent <= c.len());
+            // A static scene reconstructs to at least the keyframe's view.
+            let got = dec.decode_next(&frame.bytes).unwrap();
+            prop_assert!(got.len() >= frame.points_sent);
+            prop_assert!(got.len() <= 2 * c.len());
+        }
+    }
+
     #[test]
     fn cloud_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
         let _ = decode_cloud(&bytes);

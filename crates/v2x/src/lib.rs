@@ -34,6 +34,7 @@ mod arq;
 mod csma;
 mod dsrc;
 mod frag;
+mod governor;
 mod scheduler;
 
 pub use arq::{transmit_with_arq, ArqConfig, ArqReport};
@@ -42,4 +43,5 @@ pub use dsrc::{
     DataRate, DsrcChannel, DsrcConfig, GilbertElliott, LossModel, LossProcess, TransmissionReport,
 };
 pub use frag::{fragment, reassemble, salvage_prefix, Fragment, ReassemblyError, SalvagedPrefix};
+pub use governor::{demand_roi, BandwidthGovernor};
 pub use scheduler::{ExchangeScheduler, RoiTrace, SharedMedium};

@@ -20,6 +20,12 @@ use serde::{Deserialize, Serialize};
 use crate::arq::transmit_with_arq;
 use crate::{ArqConfig, DsrcChannel, TransmissionReport};
 
+/// Length of one air-time accounting window, seconds. The paper's
+/// 1 Hz exchange cadence makes the window one second; utilization is
+/// always reported as a fraction *of this window*, so the two numbers
+/// coinciding numerically is a consequence, not the definition.
+pub const WINDOW_S: f64 = 1.0;
+
 /// A channel shared by all transmitting vehicles within radio range:
 /// air time spent by anyone is unavailable to everyone else.
 ///
@@ -115,7 +121,7 @@ impl SharedMedium {
         let _span = cooper_telemetry::span!("v2x.try_send");
         let needed = self.channel.airtime_for(payload_bytes);
         let mut used = self.airtime_used_s.lock();
-        if *used + needed > 1.0 {
+        if *used + needed > WINDOW_S {
             cooper_telemetry::counter_add("v2x.window_saturated", 1);
             return None;
         }
@@ -131,9 +137,28 @@ impl SharedMedium {
         Some(report)
     }
 
-    /// Air time consumed in the current window, seconds (0–1).
+    /// Fraction of the current window's air time already consumed
+    /// (0 at a fresh window, 1 at saturation; transiently above 1 when
+    /// an admitted transfer's retransmissions overshoot).
+    ///
+    /// This is `airtime_used_s / WINDOW_S` — a dimensionless ratio. The
+    /// raw seconds are available as
+    /// [`SharedMedium::airtime_used_s`]; with a one-second window the
+    /// two values coincide numerically, which is why the old
+    /// seconds-returning implementation went unnoticed.
     pub fn utilization(&self) -> f64 {
+        *self.airtime_used_s.lock() / WINDOW_S
+    }
+
+    /// Air time consumed in the current window, seconds.
+    pub fn airtime_used_s(&self) -> f64 {
         *self.airtime_used_s.lock()
+    }
+
+    /// Air time still unspent in the current window, seconds (clamped
+    /// at zero when retransmission overshoot spent past the window).
+    pub fn airtime_headroom_s(&self) -> f64 {
+        (WINDOW_S - *self.airtime_used_s.lock()).max(0.0)
     }
 
     /// Opens a new one-second window.
@@ -191,13 +216,13 @@ impl ChannelModel for SharedMedium {
         let needed = self.channel.airtime_for(tx.wire_bytes);
         {
             let used = self.airtime_used_s.lock();
-            if *used + needed > 1.0 {
+            if *used + needed > WINDOW_S {
                 cooper_telemetry::counter_add("v2x.window_saturated", 1);
                 return Delivery::Dropped;
             }
         }
         // The deadline cannot outlast the window that remains.
-        let remaining_window = 1.0 - *self.airtime_used_s.lock();
+        let remaining_window = WINDOW_S - *self.airtime_used_s.lock();
         let deadline = self.deadline_s.min(remaining_window);
         let report = transmit_with_arq(&self.channel, tx.wire_bytes, deadline, &arq, &mut rng);
         // Spend the air time actually used (retransmissions included;
@@ -246,6 +271,16 @@ impl ChannelModel for SharedMedium {
     fn on_step_begin(&mut self, step: usize) {
         self.next_second();
         self.window_step = Some(step);
+    }
+
+    /// Air time the payload needs on the underlying DSRC channel —
+    /// the bandwidth governor's size signal.
+    fn airtime_for(&self, payload_bytes: usize) -> Option<f64> {
+        Some(self.channel.airtime_for(payload_bytes))
+    }
+
+    fn airtime_headroom_s(&self) -> Option<f64> {
+        Some(SharedMedium::airtime_headroom_s(self))
     }
 }
 
@@ -518,6 +553,38 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_panics() {
         let _ = ExchangeScheduler::new(0.0, RoiCategory::FullFrame);
+    }
+
+    #[test]
+    fn utilization_is_a_window_fraction_not_seconds() {
+        // Pins the semantics the name promises: utilization is the
+        // consumed fraction of the accounting window, airtime_used_s is
+        // the raw seconds, and the two relate through WINDOW_S.
+        let m = medium();
+        let mut rng = StdRng::seed_from_u64(0);
+        let payload = 150_000;
+        m.try_send(payload, &mut rng).unwrap();
+        let spent_s = m.channel().airtime_for(payload);
+        assert!((m.airtime_used_s() - spent_s).abs() < 1e-12);
+        assert!((m.utilization() - spent_s / WINDOW_S).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&m.utilization()));
+        assert!((m.airtime_headroom_s() - (WINDOW_S - spent_s)).abs() < 1e-12);
+        m.next_second();
+        assert_eq!(m.utilization(), 0.0);
+        assert!((m.airtime_headroom_s() - WINDOW_S).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_model_airtime_hooks_report_medium_state() {
+        use cooper_core::ChannelModel as _;
+        let mut m = medium();
+        let cost = ChannelModel::airtime_for(&m, 100_000).unwrap();
+        assert!((cost - m.channel().airtime_for(100_000)).abs() < 1e-12);
+        m.on_step_begin(0);
+        assert!((ChannelModel::airtime_headroom_s(&m).unwrap() - WINDOW_S).abs() < 1e-12);
+        assert!(m.deliver(&tx(0, 1, 2, 100_000)));
+        let left = ChannelModel::airtime_headroom_s(&m).unwrap();
+        assert!(left < WINDOW_S && left > 0.0);
     }
 
     fn tx(step: usize, from: u32, to: u32, bytes: usize) -> TransferCtx {
