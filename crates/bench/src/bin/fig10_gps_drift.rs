@@ -3,11 +3,15 @@
 //! Reproduces the paper's skew protocol: the transmitter's GPS fix is
 //! skewed (both axes to max drift / one axis / double drift) before
 //! alignment, and the per-car detection scores on the fused cloud are
-//! compared against the unskewed baseline.
+//! compared against the unskewed baseline. Each skew mode runs twice —
+//! straight through fusion (guard off, the paper's setting) and through
+//! the receiver-side alignment guard (guard on), which ICP-refines
+//! recoverable skews and rejects unverifiable ones to ego-only
+//! fallback.
 
 use cooper_bench::{output_dir, render_csv, render_table, standard_pipeline, write_artifact};
 use cooper_core::report::{match_by_center_distance, EvaluationConfig};
-use cooper_core::ExchangePacket;
+use cooper_core::{AlignmentGuardConfig, ExchangePacket};
 use cooper_geometry::{Obb3, RigidTransform};
 use cooper_lidar_sim::scenario::tj_scenarios;
 use cooper_lidar_sim::{GpsImuModel, LidarScanner, SkewMode};
@@ -17,17 +21,24 @@ use rand::SeedableRng;
 fn main() {
     eprintln!("training SPOD detector…");
     let pipeline = standard_pipeline();
+    let guarded = pipeline
+        .clone()
+        .with_alignment_guard(AlignmentGuardConfig::default());
     let config = EvaluationConfig::default();
     let model = GpsImuModel::realistic();
 
     // Pool per-car scores over the T&J scenarios (the paper's Figure 10
-    // plots ~18 detected car IDs).
+    // plots ~18 detected car IDs). Each skew mode contributes a
+    // guard-off and a guard-on score column.
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     let mut car_id = 0usize;
-    let mut failures = 0usize;
+    let mut failures_off = 0usize;
+    let mut failures_on = 0usize;
     let mut improved = 0usize;
     let mut total = 0usize;
+    let mut refined = 0usize;
+    let mut rejected = 0usize;
 
     for scenario in tj_scenarios() {
         let scanner = LidarScanner::new(scenario.kind.beam_model());
@@ -46,54 +57,84 @@ fn main() {
             .map(|g| g.transformed(&world_to_a))
             .collect();
 
-        // Baseline: realistic (unskewed) measurement.
+        // Baseline: realistic (unskewed) measurement, guard off.
         let est_b = model.measure(&pose_b, &config.origin, &mut rng);
         let packet = ExchangePacket::build(1, 0, &scan_b, est_b).expect("encodes");
         let base = pipeline.perceive(&scan_a, &est_a, &[packet], &config.origin);
         let base_scores =
             match_by_center_distance(&base.detections, &gt_in_a, config.match_distance);
 
-        // The three skew modes.
-        let mut skewed_scores = Vec::new();
+        // The three skew modes, each guard off and guard on.
+        let mut off_scores = Vec::new();
+        let mut on_scores = Vec::new();
         for mode in SkewMode::ALL {
             let est_skew = model.measure_skewed(&pose_b, &config.origin, mode, &mut rng);
             let packet = ExchangePacket::build(1, 0, &scan_b, est_skew).expect("encodes");
-            let result = pipeline.perceive(&scan_a, &est_a, &[packet], &config.origin);
-            skewed_scores.push(match_by_center_distance(
-                &result.detections,
+            let off = pipeline.perceive(
+                &scan_a,
+                &est_a,
+                std::slice::from_ref(&packet),
+                &config.origin,
+            );
+            off_scores.push(match_by_center_distance(
+                &off.detections,
                 &gt_in_a,
                 config.match_distance,
             ));
+            let on = guarded.perceive(&scan_a, &est_a, &[packet], &config.origin);
+            on_scores.push(match_by_center_distance(
+                &on.detections,
+                &gt_in_a,
+                config.match_distance,
+            ));
+            for record in &on.alignment {
+                if record.decision == cooper_core::GuardDecision::AcceptedRefined {
+                    refined += 1;
+                } else if !record.decision.is_accepted() {
+                    rejected += 1;
+                }
+            }
         }
 
         for (gt_idx, base_score) in base_scores.iter().enumerate() {
-            let any_score =
-                base_score.is_some() || skewed_scores.iter().any(|s| s[gt_idx].is_some());
+            let any_score = base_score.is_some()
+                || off_scores.iter().any(|s| s[gt_idx].is_some())
+                || on_scores.iter().any(|s| s[gt_idx].is_some());
             if !any_score {
                 continue; // never detected — not a Figure-10 car ID
             }
             car_id += 1;
             let fmt = |s: Option<f32>| s.map_or("X".to_string(), |v| format!("{v:.2}"));
-            rows.push(vec![
-                car_id.to_string(),
-                fmt(*base_score),
-                fmt(skewed_scores[0][gt_idx]),
-                fmt(skewed_scores[1][gt_idx]),
-                fmt(skewed_scores[2][gt_idx]),
-            ]);
-            csv_rows.push(vec![
+            let mut row = vec![car_id.to_string(), fmt(*base_score)];
+            let mut csv_row = vec![
                 car_id.to_string(),
                 base_score.map_or(f32::NAN, |v| v).to_string(),
-                skewed_scores[0][gt_idx].map_or(f32::NAN, |v| v).to_string(),
-                skewed_scores[1][gt_idx].map_or(f32::NAN, |v| v).to_string(),
-                skewed_scores[2][gt_idx].map_or(f32::NAN, |v| v).to_string(),
-            ]);
-            for s in &skewed_scores {
+            ];
+            for mode_idx in 0..SkewMode::ALL.len() {
+                row.push(fmt(off_scores[mode_idx][gt_idx]));
+                row.push(fmt(on_scores[mode_idx][gt_idx]));
+                csv_row.push(
+                    off_scores[mode_idx][gt_idx]
+                        .map_or(f32::NAN, |v| v)
+                        .to_string(),
+                );
+                csv_row.push(
+                    on_scores[mode_idx][gt_idx]
+                        .map_or(f32::NAN, |v| v)
+                        .to_string(),
+                );
+            }
+            rows.push(row);
+            csv_rows.push(csv_row);
+            for (off, on) in off_scores.iter().zip(&on_scores) {
                 total += 1;
-                match (base_score, s[gt_idx]) {
+                match (base_score, off[gt_idx]) {
                     (Some(b), Some(v)) if v > *b => improved += 1,
-                    (Some(_), None) => failures += 1,
+                    (Some(_), None) => failures_off += 1,
                     _ => {}
+                }
+                if base_score.is_some() && on[gt_idx].is_none() {
+                    failures_on += 1;
                 }
             }
         }
@@ -102,17 +143,26 @@ fn main() {
     let headers = [
         "car_id",
         "baseline",
-        "both_axes_max",
-        "one_axis_max",
-        "double_drift",
+        "both_axes_off",
+        "both_axes_on",
+        "one_axis_off",
+        "one_axis_on",
+        "double_off",
+        "double_on",
     ];
-    println!("=== Figure 10: detection scores under GPS drift ===\n");
+    println!("=== Figure 10: detection scores under GPS drift, guard off/on ===\n");
     println!("{}", render_table(&headers, &rows));
     println!(
-        "{improved}/{total} skewed readings improved the score; {failures} caused a detection to fail."
+        "{improved}/{total} skewed readings improved the unguarded score; \
+         {failures_off} detections failed unguarded vs {failures_on} with the guard."
     );
+    println!("alignment guard: {refined} skewed clouds ICP-refined, {rejected} rejected.");
     println!("Shape check (paper): skewed scores cluster near the baseline, a few");
-    println!("improve (masking inherent drift), and a small number fail.");
+    println!("improve (masking inherent drift), and a small number fail. The paper's");
+    println!("drift envelope (~10-30 cm skews) sits under the guard's clean-residual");
+    println!("threshold, so the guard passes these through untouched — guard-on");
+    println!("columns match guard-off. Larger drifts, where the guard refines and");
+    println!("rejects, are swept by the fault_sweep benchmark.");
     write_artifact(
         output_dir().as_deref(),
         "fig10_gps_drift.csv",

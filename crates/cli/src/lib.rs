@@ -30,10 +30,10 @@ use cooper_core::fleet::TransportDropReason;
 use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle};
 use cooper_core::report::{evaluate_pair, EvaluationConfig};
 use cooper_core::viz::{render_bev, BevViewConfig};
-use cooper_core::{CooperPipeline, ExchangePacket, GovernorConfig};
+use cooper_core::{AlignmentGuardConfig, CooperPipeline, ExchangePacket, GovernorConfig};
 use cooper_geometry::GpsFix;
 use cooper_lidar_sim::scenario::{self, Scenario};
-use cooper_lidar_sim::{BeamModel, LidarScanner, PoseEstimate};
+use cooper_lidar_sim::{BeamModel, FaultPlan, LidarScanner, PoseEstimate};
 use cooper_pointcloud::io::{read_pcd, read_ply, read_xyz, write_pcd, write_ply, write_xyz};
 use cooper_pointcloud::roi::RoiCategory;
 use cooper_pointcloud::PointCloud;
@@ -89,7 +89,13 @@ pub struct ParsedArgs {
 }
 
 /// Bare flags (no value).
-const BARE_FLAGS: &[&str] = &["--bev", "--delta-encode", "--help", "--telemetry"];
+const BARE_FLAGS: &[&str] = &[
+    "--align-guard",
+    "--bev",
+    "--delta-encode",
+    "--help",
+    "--telemetry",
+];
 
 /// Parses raw arguments (without the program name).
 ///
@@ -140,6 +146,7 @@ USAGE:
   cooper simulate  --scenario NAME [--seconds N] [--seed N] [--threads N] [--weights weights.bin]
                    [--channel perfect|iid|gilbert-elliott] [--loss P] [--arq-retries N]
                    [--roi full|front120|forward] [--delta-encode] [--keyframe-every N]
+                   [--fault-plan SPEC] [--align-guard] [--icp-iters N]
   cooper convert   --input a.xyz|a.ply|a.pcd --out b.xyz|b.ply|b.pcd
   cooper scenarios
 
@@ -158,6 +165,14 @@ receiver's blind sectors and degrades gracefully under the channel's
 air-time budget. --delta-encode switches broadcasts to wire-format v2
 (static background subtracted, delta frames against the last keyframe,
 a keyframe every --keyframe-every steps, default 5).
+--fault-plan injects pose faults into the fleet's exchanged estimates;
+the spec is comma-separated VEHICLE:KIND[:PARAMS][@FROM[..UNTIL]]
+entries with kinds drift:SIGMA, bias:EAST:NORTH, yaw:RAD, freeze and
+stale:AGE (e.g. \"2:drift:0.5@3..8,1:freeze@4\"). --align-guard turns on
+the receiver-side alignment guard: every received cloud is scored on
+sender/receiver overlap, ICP-refined when recoverable (at most
+--icp-iters iterations, default 10) and rejected to ego-only fallback
+when not.
 
 Scenario names: kitti1 kitti2 kitti3 kitti4 tj1 tj2 tj3 tj4"
         .to_string()
@@ -465,6 +480,25 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                 }
             };
             let governed = roi_cap.is_some() || delta_encode;
+            // Robustness flags: pose-fault injection and the
+            // receiver-side alignment guard.
+            let fault_plan = parsed
+                .options
+                .get("--fault-plan")
+                .map(|spec| {
+                    FaultPlan::parse(spec)
+                        .map_err(|e| CliError::usage(format!("invalid --fault-plan: {e}")))
+                })
+                .transpose()?;
+            let align_guard = parsed.options.contains_key("--align-guard");
+            if parsed.options.contains_key("--icp-iters") && !align_guard {
+                return Err(CliError::usage("--icp-iters requires --align-guard"));
+            }
+            let icp_iters: usize = get_parse(
+                &parsed.options,
+                "--icp-iters",
+                AlignmentGuardConfig::default().max_icp_iters,
+            )?;
             let (rx, tx) = *scene
                 .pairs
                 .first()
@@ -493,7 +527,12 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                 Some(_) => load_or_train_detector(&parsed.options)?,
                 None => SpodDetector::new(SpodConfig::default()),
             };
-            let pipeline = CooperPipeline::new(detector);
+            let mut pipeline = CooperPipeline::new(detector);
+            if align_guard {
+                pipeline = pipeline.with_alignment_guard(
+                    AlignmentGuardConfig::default().with_max_icp_iters(icp_iters),
+                );
+            }
             let origin = GpsFix::new(33.2075, -97.1526, 190.0);
             let est_rx = PoseEstimate::from_pose(&scene.observers[rx], &origin);
             let est_tx = PoseEstimate::from_pose(&scene.observers[tx], &origin);
@@ -535,6 +574,7 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                 FleetConfig {
                     seed,
                     threads,
+                    fault_plan,
                     ..FleetConfig::default()
                 },
             );
@@ -620,6 +660,10 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                             "  step {} v{}->v{}: skipped, air-time budget exceeded",
                             report.step, drop.from, drop.to
                         ),
+                        TransportDropReason::AlignmentRejected { residual_mm } => println!(
+                            "  step {} v{}->v{}: alignment rejected (residual {residual_mm} mm)",
+                            report.step, drop.from, drop.to
+                        ),
                     }
                 }
                 eprintln!(
@@ -636,6 +680,17 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                 println!("governor bytes saved: {saved}");
                 for (id, bytes) in &stats.bytes_saved {
                     println!("  v{id}: {bytes} bytes saved");
+                }
+            }
+            if align_guard {
+                for (id, a) in &stats.alignment {
+                    let mean_before = a.residual_before_m_sum / a.evaluated.max(1) as f64;
+                    let mean_after = a.residual_after_m_sum / a.evaluated.max(1) as f64;
+                    println!(
+                        "  v{id} alignment guard: {} evaluated, {} refined, {} rejected, \
+                         mean residual {:.3} -> {:.3} m",
+                        a.evaluated, a.refined, a.rejected, mean_before, mean_after
+                    );
                 }
             }
             if let Some(((a, b), steps)) = stats.longest_connection() {
@@ -692,6 +747,42 @@ mod tests {
         let p = parse_args(&args(&["--help"])).unwrap();
         assert_eq!(p.command, "help");
         run(&p).unwrap();
+    }
+
+    #[test]
+    fn align_guard_is_a_bare_flag() {
+        let p = parse_args(&args(&["simulate", "--scenario", "tj1", "--align-guard"])).unwrap();
+        assert_eq!(p.options["--align-guard"], "true");
+    }
+
+    #[test]
+    fn bad_fault_plan_is_usage_error() {
+        let p = parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--fault-plan",
+            "bogus",
+        ]))
+        .unwrap();
+        let e = run(&p).unwrap_err();
+        assert!(e.usage);
+        assert!(e.message.contains("--fault-plan"));
+    }
+
+    #[test]
+    fn icp_iters_requires_align_guard() {
+        let p = parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--icp-iters",
+            "5",
+        ]))
+        .unwrap();
+        let e = run(&p).unwrap_err();
+        assert!(e.usage);
+        assert!(e.message.contains("--align-guard"));
     }
 
     #[test]

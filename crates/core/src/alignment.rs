@@ -1,8 +1,13 @@
 //! Alignment of received clouds into the receiver's frame — the paper's
-//! Equations 1–3 assembled end-to-end.
+//! Equations 1–3 assembled end-to-end — plus the alignment guard that
+//! validates (and, when possible, repairs) a GPS/IMU-derived transform
+//! before fusion.
 
-use cooper_geometry::{GpsFix, RigidTransform};
+use std::collections::{BTreeMap, BTreeSet};
+
+use cooper_geometry::{GpsFix, Mat3, RigidTransform, Vec3};
 use cooper_lidar_sim::PoseEstimate;
+use cooper_pointcloud::PointCloud;
 
 /// Builds the rigid transform that maps points from the transmitter's
 /// sensor frame into the receiver's sensor frame.
@@ -37,10 +42,488 @@ pub fn alignment_transform(
     RigidTransform::between(&tx_pose, &rx_pose)
 }
 
+/// Tuning knobs of the alignment guard.
+///
+/// The defaults are calibrated on the synthetic scenario library: clean
+/// GPS/IMU alignments (≤ 10 cm positional error, the paper's cited
+/// envelope) score well under `clean_residual_m`, while drifts past the
+/// Figure-10 bound are either pulled back by ICP or rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentGuardConfig {
+    /// Voxel edge used for the occupancy-agreement score, metres.
+    pub voxel_size_m: f64,
+    /// Upper bound on points sampled from each cloud; keeps the guard's
+    /// cost independent of scan density.
+    pub max_sample_points: usize,
+    /// Maximum ICP refinement iterations (`--icp-iters`).
+    pub max_icp_iters: usize,
+    /// Correspondence search radius, metres. Also bounds how much error
+    /// ICP can recover: offsets beyond it have no inliers to pull on.
+    pub max_correspondence_m: f64,
+    /// Post-refinement residual gate, metres: refined alignments worse
+    /// than this are rejected and the receiver falls back to ego-only.
+    pub accept_residual_m: f64,
+    /// Residual under which the GPS/IMU transform is accepted as-is,
+    /// skipping ICP entirely — the fast path for healthy fleets.
+    pub clean_residual_m: f64,
+    /// Minimum matched (non-ground) correspondences for the overlap to
+    /// be considered verifiable at all.
+    pub min_overlap_points: usize,
+    /// A refined transform must retain at least this fraction of the
+    /// pre-refinement occupancy agreement. A genuine correction raises
+    /// agreement; an aliased fit that snapped remote structure onto the
+    /// wrong local structure lowers it even when the point residual
+    /// looks plausible.
+    pub min_occupancy_recovery: f64,
+    /// Largest translation correction ICP is allowed to apply, metres.
+    /// GPS drift worth repairing is metre-scale; a fit that wants to
+    /// teleport the cloud further than this has almost certainly
+    /// aliased onto the wrong structure (repetitive scenes score a
+    /// plausible residual there), so the guard rejects instead.
+    pub max_correction_m: f64,
+    /// Sensor-frame height below which a point counts as ground, metres.
+    /// Ground points are excluded from ICP correspondences (on flat
+    /// terrain ground matches ground anywhere, constraining nothing in
+    /// the plane) but drive the ground-plane z residual.
+    pub ground_z_m: f64,
+}
+
+impl Default for AlignmentGuardConfig {
+    fn default() -> Self {
+        AlignmentGuardConfig {
+            voxel_size_m: 0.8,
+            max_sample_points: 600,
+            max_icp_iters: 10,
+            max_correspondence_m: 3.0,
+            accept_residual_m: 0.45,
+            clean_residual_m: 0.20,
+            min_overlap_points: 25,
+            min_occupancy_recovery: 1.0,
+            max_correction_m: 2.5,
+            ground_z_m: -1.2,
+        }
+    }
+}
+
+impl AlignmentGuardConfig {
+    /// Overrides the ICP iteration bound (the CLI's `--icp-iters`).
+    pub fn with_max_icp_iters(mut self, iters: usize) -> Self {
+        self.max_icp_iters = iters;
+        self
+    }
+}
+
+/// What the guard decided about one received cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuardDecision {
+    /// The GPS/IMU transform already scored under the clean threshold;
+    /// fused as-is without refinement.
+    AcceptedClean,
+    /// ICP pulled the alignment under the acceptance gate; fused with
+    /// the refined transform.
+    AcceptedRefined,
+    /// Refinement could not bring the residual under the gate; the
+    /// cloud is excluded and the receiver degrades to ego-only.
+    Rejected,
+    /// The claimed transform leaves too little sender/receiver overlap
+    /// to verify anything — fail safe, exclude the cloud.
+    InsufficientOverlap,
+}
+
+impl GuardDecision {
+    /// `true` when the cloud should be fused.
+    pub fn is_accepted(self) -> bool {
+        matches!(
+            self,
+            GuardDecision::AcceptedClean | GuardDecision::AcceptedRefined
+        )
+    }
+
+    /// Stable snake_case label for telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            GuardDecision::AcceptedClean => "accepted_clean",
+            GuardDecision::AcceptedRefined => "accepted_refined",
+            GuardDecision::Rejected => "rejected",
+            GuardDecision::InsufficientOverlap => "insufficient_overlap",
+        }
+    }
+}
+
+impl std::fmt::Display for GuardDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything the guard measured about one received cloud.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardReport {
+    /// The verdict.
+    pub decision: GuardDecision,
+    /// Mean matched-correspondence residual under the GPS/IMU
+    /// transform, metres. Infinite when nothing matched.
+    pub residual_before_m: f64,
+    /// Residual under the transform actually used (refined when ICP
+    /// ran, otherwise the input), metres. Infinite when nothing
+    /// matched.
+    pub residual_after_m: f64,
+    /// Fraction of the remote cloud's occupied voxels (inside the
+    /// receiver's bounds) that land on voxels the receiver also
+    /// occupies — the overlap-region agreement score.
+    pub occupancy_agreement: f64,
+    /// Absolute ground-plane height disagreement in the overlap
+    /// region, metres. Zero when either side has no ground points.
+    pub ground_dz_m: f64,
+    /// The transform to fuse with — refined iff `decision` is
+    /// [`GuardDecision::AcceptedRefined`], otherwise the input.
+    pub transform: RigidTransform,
+}
+
+/// Samples at most `max` positions from a cloud, uniformly by index.
+fn sample_positions(cloud: &PointCloud, max: usize) -> Vec<Vec3> {
+    if cloud.is_empty() || max == 0 {
+        return Vec::new();
+    }
+    let step = cloud.len().div_ceil(max);
+    cloud.iter().step_by(step).map(|p| p.position).collect()
+}
+
+/// A deterministic planar cell-hash grid over the receiver's non-ground
+/// points. Matching happens in the xy (bird's-eye) plane: the pose
+/// faults the guard detects — GPS drift, yaw bias — are planar, and a
+/// 3D metric would be dominated by the beam-ring sampling mismatch
+/// between two vantage points rather than by alignment error.
+/// Nearest-neighbour queries scan the surrounding cells in a fixed
+/// order, so results never depend on construction or thread order.
+struct CellGrid {
+    cell: f64,
+    cells: BTreeMap<(i64, i64), Vec<Vec3>>,
+}
+
+impl CellGrid {
+    fn build(points: &[Vec3], cell: f64) -> CellGrid {
+        let mut cells: BTreeMap<(i64, i64), Vec<Vec3>> = BTreeMap::new();
+        for &p in points {
+            cells.entry(Self::key_xy(p, cell)).or_default().push(p);
+        }
+        CellGrid { cell, cells }
+    }
+
+    fn key_xy(p: Vec3, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    fn key_xyz(p: Vec3, cell: f64) -> (i64, i64, i64) {
+        (
+            (p.x / cell).floor() as i64,
+            (p.y / cell).floor() as i64,
+            (p.z / cell).floor() as i64,
+        )
+    }
+
+    /// The planar distance between two points.
+    fn dist_xy(a: Vec3, b: Vec3) -> f64 {
+        let (dx, dy) = (a.x - b.x, a.y - b.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The stored point nearest to `p` in the xy plane within `radius`.
+    fn nearest(&self, p: Vec3, radius: f64) -> Option<(Vec3, f64)> {
+        let (cx, cy) = Self::key_xy(p, self.cell);
+        let reach = (radius / self.cell).ceil() as i64;
+        let mut best: Option<(Vec3, f64)> = None;
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &q in bucket {
+                    let d = Self::dist_xy(q, p);
+                    if d <= radius && best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((q, d));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Median matched-correspondence residual of `remote` (already in the
+/// receiver frame) against the receiver grid: the guard's core metric.
+/// The median, not the mean — remote points on surfaces the receiver
+/// cannot see match whatever structure happens to sit within the
+/// search radius, and those junk pairs would otherwise swamp the
+/// alignment signal.
+fn matched_residual(grid: &CellGrid, remote: &[Vec3], radius: f64) -> (f64, usize) {
+    let mut dists: Vec<f64> = remote
+        .iter()
+        .filter_map(|&p| grid.nearest(p, radius).map(|(_, d)| d))
+        .collect();
+    if dists.is_empty() {
+        return (f64::INFINITY, 0);
+    }
+    dists.sort_by(f64::total_cmp);
+    (dists[dists.len() / 2], dists.len())
+}
+
+/// One planar-Procrustes ICP update: the rigid (yaw + translation)
+/// motion that best maps the matched remote points onto their nearest
+/// receiver points. Planar because the faults being corrected — GPS
+/// drift and yaw bias — live in the ground plane; the z offset still
+/// rides along through the centroid difference.
+fn procrustes_step(pairs: &[(Vec3, Vec3)]) -> RigidTransform {
+    let n = pairs.len() as f64;
+    let a_bar = pairs.iter().map(|&(a, _)| a).fold(Vec3::ZERO, |s, v| s + v) / n;
+    let b_bar = pairs.iter().map(|&(_, b)| b).fold(Vec3::ZERO, |s, v| s + v) / n;
+    let mut sin_sum = 0.0;
+    let mut cos_sum = 0.0;
+    for &(a, b) in pairs {
+        let (ax, ay) = (a.x - a_bar.x, a.y - a_bar.y);
+        let (bx, by) = (b.x - b_bar.x, b.y - b_bar.y);
+        sin_sum += ax * by - ay * bx;
+        cos_sum += ax * bx + ay * by;
+    }
+    let theta = sin_sum.atan2(cos_sum);
+    let rotation = Mat3::rotation_z(theta);
+    let mut translation = b_bar - rotation * a_bar;
+    // Matching is planar; the z component of the centroid difference is
+    // beam-ring sampling noise, not signal. Keep the correction planar.
+    translation.z = 0.0;
+    RigidTransform::new(rotation, translation)
+}
+
+/// Validates — and when recoverable, repairs — the claimed transform of
+/// a received cloud before fusion.
+///
+/// The guard scores the sender/receiver overlap region: it samples both
+/// clouds, matches transformed remote points to their nearest receiver
+/// points, and measures the mean matched residual plus
+/// voxel-occupancy agreement and the ground-plane height gap. Clean
+/// transforms (residual ≤ [`AlignmentGuardConfig::clean_residual_m`])
+/// pass untouched; anything worse gets up to
+/// [`AlignmentGuardConfig::max_icp_iters`] rounds of planar
+/// point-to-point ICP with an annealing correspondence radius, and is
+/// accepted only if the post-refinement residual clears
+/// [`AlignmentGuardConfig::accept_residual_m`]. A cloud whose claimed
+/// transform leaves no verifiable overlap fails safe:
+/// [`GuardDecision::InsufficientOverlap`], excluded from fusion.
+///
+/// Deterministic by construction — uniform index sampling, `BTreeMap`
+/// cell grid, fixed-order neighbour scans — so guarded fleet runs stay
+/// bit-identical at any thread count.
+pub fn guard_alignment(
+    local: &PointCloud,
+    remote: &PointCloud,
+    base: &RigidTransform,
+    cfg: &AlignmentGuardConfig,
+) -> GuardReport {
+    let fail_safe = |residual: f64| GuardReport {
+        decision: GuardDecision::InsufficientOverlap,
+        residual_before_m: residual,
+        residual_after_m: residual,
+        occupancy_agreement: 0.0,
+        ground_dz_m: 0.0,
+        transform: *base,
+    };
+
+    // The receiver's own cloud is the reference: it stays at full
+    // density (minus ground) so the nearest-neighbour floor measures
+    // alignment error, not sampling sparsity. Only the remote side is
+    // downsampled.
+    let local_samples: Vec<Vec3> = local.iter().map(|p| p.position).collect();
+    let remote_samples: Vec<Vec3> = sample_positions(remote, cfg.max_sample_points)
+        .iter()
+        .map(|&p| base.apply(p))
+        .collect();
+    if local_samples.is_empty() || remote_samples.is_empty() {
+        return fail_safe(f64::INFINITY);
+    }
+
+    let is_ground = |p: &Vec3| p.z < cfg.ground_z_m;
+    let local_solid: Vec<Vec3> = local_samples
+        .iter()
+        .copied()
+        .filter(|p| !is_ground(p))
+        .collect();
+    let remote_solid: Vec<Vec3> = remote_samples
+        .iter()
+        .copied()
+        .filter(|p| !is_ground(p))
+        .collect();
+    if local_solid.len() < cfg.min_overlap_points || remote_solid.len() < cfg.min_overlap_points {
+        return fail_safe(f64::INFINITY);
+    }
+
+    let grid = CellGrid::build(&local_solid, cfg.max_correspondence_m);
+    let (residual_before, matched_before) =
+        matched_residual(&grid, &remote_solid, cfg.max_correspondence_m);
+
+    let occupancy_before = occupancy_agreement(
+        &local_samples,
+        &remote_samples,
+        cfg.voxel_size_m,
+        cfg.max_correspondence_m,
+    );
+    let ground_dz_before = ground_dz(&local_samples, &remote_samples, cfg);
+
+    if matched_before < cfg.min_overlap_points {
+        // The claimed geometry puts the clouds apart: nothing to verify
+        // against, nothing for ICP to pull on. Fail safe.
+        let mut report = fail_safe(residual_before);
+        report.occupancy_agreement = occupancy_before;
+        report.ground_dz_m = ground_dz_before;
+        return report;
+    }
+
+    if residual_before <= cfg.clean_residual_m && ground_dz_before <= cfg.accept_residual_m {
+        return GuardReport {
+            decision: GuardDecision::AcceptedClean,
+            residual_before_m: residual_before,
+            residual_after_m: residual_before,
+            occupancy_agreement: occupancy_before,
+            ground_dz_m: ground_dz_before,
+            transform: *base,
+        };
+    }
+
+    // Bounded planar ICP with an annealing correspondence radius: wide
+    // first pulls gross offsets in, narrow last stops far outliers from
+    // dragging the fit.
+    let mut refined = *base;
+    let mut moved = remote_solid.clone();
+    let mut radius = cfg.max_correspondence_m;
+    for _ in 0..cfg.max_icp_iters {
+        // Adaptive trim: drop pairs matched much farther than the
+        // median — the non-overlap junk that would drag the fit — while
+        // keeping the far-but-informative pairs (structure perpendicular
+        // to the error direction) that a fixed best-k trim would lose.
+        let mut dists: Vec<f64> = Vec::new();
+        let all_pairs: Vec<(Vec3, Vec3, f64)> = moved
+            .iter()
+            .filter_map(|&p| grid.nearest(p, radius).map(|(q, d)| (p, q, d)))
+            .collect();
+        for &(_, _, d) in &all_pairs {
+            dists.push(d);
+        }
+        dists.sort_by(f64::total_cmp);
+        let Some(&median) = dists.get(dists.len() / 2) else {
+            break;
+        };
+        let keep = (2.0 * median).max(0.5 * radius);
+        let pairs: Vec<(Vec3, Vec3)> = all_pairs
+            .into_iter()
+            .filter(|&(_, _, d)| d <= keep)
+            .map(|(a, b, _)| (a, b))
+            .collect();
+        if pairs.len() < cfg.min_overlap_points {
+            break;
+        }
+        let delta = procrustes_step(&pairs);
+        refined = delta.compose(&refined);
+        for p in &mut moved {
+            *p = delta.apply(*p);
+        }
+        let step_norm = delta.apply(Vec3::ZERO).norm();
+        radius = (radius * 0.7).max(cfg.accept_residual_m * 2.0);
+        if step_norm < 1e-3 {
+            break;
+        }
+    }
+
+    let (residual_after, matched_after) = matched_residual(&grid, &moved, cfg.max_correspondence_m);
+    let remote_refined: Vec<Vec3> = sample_positions(remote, cfg.max_sample_points)
+        .iter()
+        .map(|&p| refined.apply(p))
+        .collect();
+    let ground_dz_after = ground_dz(&local_samples, &remote_refined, cfg);
+    let occupancy_after = occupancy_agreement(
+        &local_samples,
+        &remote_refined,
+        cfg.voxel_size_m,
+        cfg.max_correspondence_m,
+    );
+
+    let correction_m = (refined.apply(Vec3::ZERO) - base.apply(Vec3::ZERO)).norm();
+    if matched_after >= cfg.min_overlap_points
+        && residual_after <= cfg.accept_residual_m
+        && ground_dz_after <= cfg.accept_residual_m
+        && occupancy_after >= occupancy_before * cfg.min_occupancy_recovery
+        && correction_m <= cfg.max_correction_m
+    {
+        GuardReport {
+            decision: GuardDecision::AcceptedRefined,
+            residual_before_m: residual_before,
+            residual_after_m: residual_after,
+            occupancy_agreement: occupancy_after,
+            ground_dz_m: ground_dz_after,
+            transform: refined,
+        }
+    } else {
+        GuardReport {
+            decision: GuardDecision::Rejected,
+            residual_before_m: residual_before,
+            residual_after_m: residual_after,
+            occupancy_agreement: occupancy_after,
+            ground_dz_m: ground_dz_after,
+            transform: *base,
+        }
+    }
+}
+
+/// Fraction of remote-occupied voxels (restricted to the receiver's
+/// bounding box, grown by `margin`) that the receiver also occupies.
+fn occupancy_agreement(local: &[Vec3], remote: &[Vec3], voxel: f64, margin: f64) -> f64 {
+    let Some(bounds) = cooper_geometry::Aabb3::from_points(local.iter().copied()) else {
+        return 0.0;
+    };
+    let lo = bounds.min() - Vec3::new(margin, margin, margin);
+    let hi = bounds.max() + Vec3::new(margin, margin, margin);
+    let in_bounds = |p: &Vec3| {
+        p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z && p.z <= hi.z
+    };
+    let voxels = |pts: &[Vec3]| -> BTreeSet<(i64, i64, i64)> {
+        pts.iter()
+            .filter(|p| in_bounds(p))
+            .map(|&p| CellGrid::key_xyz(p, voxel))
+            .collect()
+    };
+    let local_vox = voxels(local);
+    let remote_vox = voxels(remote);
+    if remote_vox.is_empty() {
+        return 0.0;
+    }
+    let hits = remote_vox.iter().filter(|v| local_vox.contains(v)).count();
+    hits as f64 / remote_vox.len() as f64
+}
+
+/// Absolute difference of mean ground heights in the shared region, or
+/// zero when either side contributes no ground points.
+fn ground_dz(local: &[Vec3], remote: &[Vec3], cfg: &AlignmentGuardConfig) -> f64 {
+    let mean_ground = |pts: &[Vec3]| {
+        let heights: Vec<f64> = pts
+            .iter()
+            .filter(|p| p.z < cfg.ground_z_m)
+            .map(|p| p.z)
+            .collect();
+        if heights.is_empty() {
+            None
+        } else {
+            Some(heights.iter().sum::<f64>() / heights.len() as f64)
+        }
+    };
+    match (mean_ground(local), mean_ground(remote)) {
+        (Some(a), Some(b)) => (a - b).abs(),
+        _ => 0.0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cooper_geometry::{Attitude, Pose, Vec3};
+    use cooper_geometry::{Attitude, Pose};
+    use cooper_lidar_sim::{scenario, LidarScanner};
 
     fn origin() -> GpsFix {
         GpsFix::new(33.2075, -97.1526, 190.0)
@@ -82,5 +565,102 @@ mod tests {
         // receiver's left.
         let p = t.apply(Vec3::new(5.0, 0.0, 0.0));
         assert!((p - Vec3::new(0.0, 5.0, 0.0)).norm() < 1e-4, "{p}");
+    }
+
+    /// Two scans of the same scene plus the ground-truth transform and
+    /// a skewed variant with `offset` error injected.
+    fn guarded_pair(offset: Vec3) -> (PointCloud, PointCloud, RigidTransform, RigidTransform) {
+        let scene = scenario::tj_scenario_1();
+        let scanner = LidarScanner::new(scene.kind.beam_model().noiseless());
+        let rx_pose = scene.observers[0];
+        let tx_pose = scene.observers[1];
+        let local = scanner.scan(&scene.world, &rx_pose, 1);
+        let remote = scanner.scan(&scene.world, &tx_pose, 2);
+        let truth = RigidTransform::between(&tx_pose, &rx_pose);
+        let mut skewed_est = estimate(&tx_pose);
+        skewed_est.gps = skewed_est.gps.offset_by(offset);
+        let skewed = alignment_transform(&skewed_est, &estimate(&rx_pose), &origin());
+        (local, remote, truth, skewed)
+    }
+
+    #[test]
+    fn clean_alignment_is_accepted_without_icp() {
+        let (local, remote, truth, _) = guarded_pair(Vec3::ZERO);
+        let report = guard_alignment(&local, &remote, &truth, &AlignmentGuardConfig::default());
+        assert_eq!(report.decision, GuardDecision::AcceptedClean, "{report:?}");
+        assert!(report.residual_before_m <= 0.20, "{report:?}");
+        assert!(report.occupancy_agreement > 0.1, "{report:?}");
+    }
+
+    #[test]
+    fn icp_recovers_double_drift_offsets() {
+        // 2 m planar error — 2× an extended 1 m drift bound, far past
+        // the paper's 0.1 m envelope.
+        let d = 2.0 / 2f64.sqrt();
+        let (local, remote, truth, skewed) = guarded_pair(Vec3::new(d, d, 0.0));
+        let cfg = AlignmentGuardConfig::default();
+        let report = guard_alignment(&local, &remote, &skewed, &cfg);
+        assert_eq!(
+            report.decision,
+            GuardDecision::AcceptedRefined,
+            "{report:?}"
+        );
+        assert!(
+            report.residual_after_m < report.residual_before_m,
+            "{report:?}"
+        );
+        // The refined transform should land near the ground truth.
+        let probe = Vec3::new(5.0, 2.0, 0.0);
+        let err = (report.transform.apply(probe) - truth.apply(probe)).norm();
+        assert!(err < 0.5, "refined-vs-truth error {err}");
+    }
+
+    #[test]
+    fn unrecoverable_error_is_rejected_or_unverifiable() {
+        // 30 m of error: far beyond the correspondence radius, nothing
+        // for ICP to pull on.
+        let (local, remote, _, skewed) = guarded_pair(Vec3::new(30.0, -20.0, 0.0));
+        let report = guard_alignment(&local, &remote, &skewed, &AlignmentGuardConfig::default());
+        assert!(
+            !report.decision.is_accepted(),
+            "gross error must not be fused: {report:?}"
+        );
+    }
+
+    #[test]
+    fn empty_clouds_fail_safe() {
+        let empty = PointCloud::new();
+        let report = guard_alignment(
+            &empty,
+            &empty,
+            &RigidTransform::IDENTITY,
+            &AlignmentGuardConfig::default(),
+        );
+        assert_eq!(report.decision, GuardDecision::InsufficientOverlap);
+    }
+
+    #[test]
+    fn guard_is_deterministic() {
+        let d = 1.0;
+        let (local, remote, _, skewed) = guarded_pair(Vec3::new(d, -d, 0.0));
+        let cfg = AlignmentGuardConfig::default();
+        let a = guard_alignment(&local, &remote, &skewed, &cfg);
+        let b = guard_alignment(&local, &remote, &skewed, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decision_labels_are_stable() {
+        for d in [
+            GuardDecision::AcceptedClean,
+            GuardDecision::AcceptedRefined,
+            GuardDecision::Rejected,
+            GuardDecision::InsufficientOverlap,
+        ] {
+            assert!(!d.label().is_empty());
+            assert_eq!(format!("{d}"), d.label());
+        }
+        assert!(GuardDecision::AcceptedRefined.is_accepted());
+        assert!(!GuardDecision::Rejected.is_accepted());
     }
 }

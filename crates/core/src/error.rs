@@ -25,6 +25,14 @@ pub enum CooperError {
     /// A received pose contained non-finite values — alignment would
     /// produce garbage, so the packet is rejected.
     InvalidPose,
+    /// The alignment guard could not verify (or repair) the claimed
+    /// transform; the cloud was excluded from fusion and the receiver
+    /// degraded to ego-only perception.
+    AlignmentRejected {
+        /// Post-refinement matched residual, metres. Infinite residuals
+        /// (no verifiable overlap) are reported as `f64::INFINITY`.
+        residual_m: f64,
+    },
 }
 
 impl CooperError {
@@ -38,6 +46,7 @@ impl CooperError {
             CooperError::BadMagic => "bad_magic",
             CooperError::UnsupportedVersion(_) => "unsupported_version",
             CooperError::InvalidPose => "invalid_pose",
+            CooperError::AlignmentRejected { .. } => "alignment_rejected",
         }
     }
 }
@@ -55,6 +64,12 @@ impl fmt::Display for CooperError {
             CooperError::BadMagic => write!(f, "packet does not start with COOP magic"),
             CooperError::UnsupportedVersion(v) => write!(f, "unsupported packet version {v}"),
             CooperError::InvalidPose => write!(f, "received pose contains non-finite values"),
+            CooperError::AlignmentRejected { residual_m } => {
+                write!(
+                    f,
+                    "alignment guard rejected the cloud (residual {residual_m:.3} m)"
+                )
+            }
         }
     }
 }
@@ -89,6 +104,7 @@ mod tests {
             CooperError::BadMagic,
             CooperError::UnsupportedVersion(9),
             CooperError::InvalidPose,
+            CooperError::AlignmentRejected { residual_m: 1.5 },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
@@ -109,6 +125,7 @@ mod tests {
             CooperError::BadMagic,
             CooperError::UnsupportedVersion(9),
             CooperError::InvalidPose,
+            CooperError::AlignmentRejected { residual_m: 1.5 },
         ];
         let kinds: Vec<&str> = errs.iter().map(CooperError::kind).collect();
         let mut unique = kinds.clone();

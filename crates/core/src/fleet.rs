@@ -34,7 +34,9 @@ use std::collections::BTreeMap;
 
 use cooper_exec::Executor;
 use cooper_geometry::{GpsFix, Pose};
-use cooper_lidar_sim::{BeamModel, GpsImuModel, LidarScanner, PoseEstimate, World};
+use cooper_lidar_sim::{
+    BeamModel, FaultInjector, FaultPlan, GpsImuModel, LidarScanner, PoseEstimate, World,
+};
 use cooper_pointcloud::roi::{blind_sectors, extract_roi, BlindSector, RoiCategory, StaticMap};
 use cooper_pointcloud::{DeltaDecoder, DeltaEncoder, FrameKind, PointCloud};
 use rand::rngs::StdRng;
@@ -43,7 +45,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::channel::{ChannelModel, Delivery, PerfectChannel, TransferCtx};
 use crate::governor::{GovernorConfig, GovernorPolicy, GovernorVerdict, TransferCandidate};
-use crate::{CooperError, CooperPipeline, ExchangePacket, TransferOffer};
+use crate::{CooperError, CooperPipeline, ExchangePacket, GuardDecision, TransferOffer};
 
 /// One vehicle in the fleet: an id, a pose trajectory (one pose per
 /// step) and its LiDAR unit.
@@ -95,6 +97,12 @@ pub struct FleetConfig {
     /// default ([`cooper_exec::default_threads`]); the reports are
     /// bit-identical for every setting.
     pub threads: Option<usize>,
+    /// Pose faults injected into the exchanged (and receive-side) pose
+    /// estimates — GPS drift and bias, IMU yaw bias, frozen poses,
+    /// stale scan stamps. `None` (or an empty plan) runs fault-free.
+    /// Faults are drawn from per-(vehicle, step) streams, so faulted
+    /// runs keep the bit-identical-at-any-thread-count contract.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for FleetConfig {
@@ -107,6 +115,7 @@ impl Default for FleetConfig {
             seed: 0,
             step_duration_s: 1.0,
             threads: None,
+            fault_plan: None,
         }
     }
 }
@@ -116,6 +125,19 @@ impl Default for FleetConfig {
 /// receive-side pose measurement.
 const TX_MEASURE_STREAM: u64 = 0x7A5E_11DA_7E00_0001;
 const RX_MEASURE_STREAM: u64 = 0x7A5E_11DA_7E00_0002;
+
+/// Converts a guard residual in metres to the millimetre fixed-point
+/// representation carried by
+/// [`TransportDropReason::AlignmentRejected`]; non-finite or
+/// out-of-range residuals saturate to `u32::MAX`.
+fn residual_to_mm(residual_m: f64) -> u32 {
+    let mm = (residual_m * 1000.0).round();
+    if mm.is_finite() && (0.0..u32::MAX as f64).contains(&mm) {
+        mm as u32
+    } else {
+        u32::MAX
+    }
+}
 
 /// Derives the seed of one (vehicle, step, salt) RNG stream from the
 /// fleet seed — a SplitMix64 finalizer over the combined identity.
@@ -181,6 +203,15 @@ pub enum TransportDropReason {
     /// encoding — not even the narrowest ROI as a delta frame — fit the
     /// channel's remaining air-time budget. Nothing was put on the wire.
     BudgetExceeded,
+    /// The packet arrived but the receiver's alignment guard could not
+    /// verify (or ICP-repair) the claimed transform; the cloud was
+    /// excluded from fusion and the receiver degraded to ego-only
+    /// perception for this sender.
+    AlignmentRejected {
+        /// Post-refinement matched residual, millimetres
+        /// (`u32::MAX` when no verifiable overlap existed at all).
+        residual_mm: u32,
+    },
 }
 
 impl TransportDropReason {
@@ -260,7 +291,9 @@ pub struct FleetStepReport {
     /// Broadcasts that failed to encode this step, in fleet order.
     pub encode_drops: Vec<EncodeDrop>,
     /// Transfers that missed their deadline or arrived partially this
-    /// step, in delivery-decision order.
+    /// step (in delivery-decision order), followed by clouds the
+    /// receivers' alignment guards rejected (in fleet order, then
+    /// packet order).
     pub transport_drops: Vec<TransportDrop>,
     /// Where this step's wall-clock time went.
     pub timings: StepTimings,
@@ -298,6 +331,10 @@ pub struct FleetStats {
     /// count. Empty for ungoverned runs. Ordered map, so iteration is
     /// deterministic.
     pub bytes_saved: BTreeMap<u32, u64>,
+    /// Per receiving vehicle, what its alignment guard concluded over
+    /// the whole run. Empty when the pipeline has no guard (or nothing
+    /// was received). Ordered map, so iteration is deterministic.
+    pub alignment: BTreeMap<u32, AlignmentVehicleStats>,
 }
 
 impl FleetStats {
@@ -308,6 +345,41 @@ impl FleetStats {
             .iter()
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
             .map(|(&pair, &steps)| (pair, steps))
+    }
+}
+
+/// One receiver's aggregate alignment-guard outcomes over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AlignmentVehicleStats {
+    /// Received clouds the guard scored.
+    pub evaluated: u64,
+    /// Clouds accepted only after ICP refinement.
+    pub refined: u64,
+    /// Clouds rejected (unverifiable or unrepairable) and excluded
+    /// from fusion.
+    pub rejected: u64,
+    /// Sum of finite pre-refinement residuals, metres — divide by
+    /// [`AlignmentVehicleStats::evaluated`] for the mean.
+    pub residual_before_m_sum: f64,
+    /// Sum of finite post-refinement residuals, metres.
+    pub residual_after_m_sum: f64,
+}
+
+impl AlignmentVehicleStats {
+    /// Folds one pipeline verdict into the aggregate.
+    fn absorb(&mut self, record: &crate::AlignmentRecord) {
+        self.evaluated += 1;
+        match record.decision {
+            GuardDecision::AcceptedRefined => self.refined += 1,
+            GuardDecision::Rejected | GuardDecision::InsufficientOverlap => self.rejected += 1,
+            GuardDecision::AcceptedClean => {}
+        }
+        if record.residual_before_m.is_finite() {
+            self.residual_before_m_sum += record.residual_before_m;
+        }
+        if record.residual_after_m.is_finite() {
+            self.residual_after_m_sum += record.residual_after_m;
+        }
     }
 }
 
@@ -328,6 +400,9 @@ struct Broadcast {
     scan: PointCloud,
     pose: Pose,
     estimate: PoseEstimate,
+    /// Frame stamp the vehicle puts on its packets — the current step,
+    /// unless a stale-scan fault re-stamped it.
+    stamp: u32,
     packet: Option<ExchangePacket>,
     blind: Vec<BlindSector>,
 }
@@ -520,6 +595,19 @@ impl FleetSimulation {
     ) -> (Vec<FleetStepReport>, FleetStats) {
         let _run_span = cooper_telemetry::span!("fleet.run");
         let governed_cfg = governed.as_ref().map(|g| g.config.clone());
+        let injector = self
+            .config
+            .fault_plan
+            .as_ref()
+            .filter(|plan| !plan.is_empty())
+            .map(|plan| {
+                FaultInjector::new(
+                    plan.clone(),
+                    self.config.sensor_model,
+                    self.config.origin,
+                    self.config.seed,
+                )
+            });
         let executor = Executor::new(self.config.threads);
         let mut reports = Vec::with_capacity(steps);
         let mut stats = FleetStats::default();
@@ -548,10 +636,17 @@ impl FleetSimulation {
                         step,
                         TX_MEASURE_STREAM,
                     ));
-                    let estimate =
+                    let clean =
                         self.config
                             .sensor_model
                             .measure(&pose, &self.config.origin, &mut rng);
+                    let (estimate, stamp) = match &injector {
+                        Some(inj) => {
+                            let faulted = inj.measure(v.id, step, &|s| v.pose_at(s), clean);
+                            (faulted.estimate, faulted.stamp_step as u32)
+                        }
+                        None => (clean, step as u32),
+                    };
                     if let Some(gcfg) = &governed_cfg {
                         // Governed mode: packets are built per transfer
                         // in phase 2; phase 1 computes this vehicle's
@@ -568,6 +663,7 @@ impl FleetSimulation {
                                 scan,
                                 pose,
                                 estimate,
+                                stamp,
                                 packet: None,
                                 blind,
                             },
@@ -575,12 +671,13 @@ impl FleetSimulation {
                         );
                     }
                     let roi_scan = extract_roi(&scan, self.config.roi);
-                    match ExchangePacket::build(v.id, step as u32, &roi_scan, estimate) {
+                    match ExchangePacket::build(v.id, stamp, &roi_scan, estimate) {
                         Ok(packet) => (
                             Broadcast {
                                 scan,
                                 pose,
                                 estimate,
+                                stamp,
                                 packet: Some(packet),
                                 blind: Vec::new(),
                             },
@@ -598,6 +695,7 @@ impl FleetSimulation {
                                     scan,
                                     pose,
                                     estimate,
+                                    stamp,
                                     packet: None,
                                     blind: Vec::new(),
                                 },
@@ -675,9 +773,12 @@ impl FleetSimulation {
             timings.exchange_us = exchange_start.elapsed().as_micros() as u64;
 
             // Phase 3 (parallel): every vehicle fuses its inbox and
-            // detects.
+            // detects. Each closure also returns its alignment-guard
+            // fallout (rejection drops and verdict aggregates), merged
+            // serially below in fleet order to keep the report surface
+            // deterministic.
             let perceive_start = std::time::Instant::now();
-            let per_vehicle: Vec<VehicleStepReport> = {
+            let phase3: Vec<(VehicleStepReport, Vec<TransportDrop>, AlignmentVehicleStats)> = {
                 let _perceive_span = cooper_telemetry::span!("fleet.perceive");
                 executor.map(&broadcasts, |i, me| {
                     let id = self.vehicles[i].id;
@@ -687,14 +788,39 @@ impl FleetSimulation {
                         step,
                         RX_MEASURE_STREAM,
                     ));
-                    let my_estimate =
+                    let clean =
                         self.config
                             .sensor_model
                             .measure(&me.pose, &self.config.origin, &mut rng);
+                    let my_estimate = match &injector {
+                        Some(inj) => {
+                            inj.measure(id, step, &|s| self.vehicles[i].pose_at(s), clean)
+                                .estimate
+                        }
+                        None => clean,
+                    };
                     let single = pipeline.perceive_single(&me.scan).len();
                     let outcome =
                         pipeline.perceive(&me.scan, &my_estimate, &inboxes[i], &self.config.origin);
-                    VehicleStepReport {
+                    let mut align_stats = AlignmentVehicleStats::default();
+                    for record in &outcome.alignment {
+                        align_stats.absorb(record);
+                    }
+                    let align_drops: Vec<TransportDrop> = outcome
+                        .drops
+                        .iter()
+                        .filter_map(|drop| match drop.error {
+                            CooperError::AlignmentRejected { residual_m } => Some(TransportDrop {
+                                from: drop.vehicle_id,
+                                to: id,
+                                reason: TransportDropReason::AlignmentRejected {
+                                    residual_mm: residual_to_mm(residual_m),
+                                },
+                            }),
+                            _ => None,
+                        })
+                        .collect();
+                    let report = VehicleStepReport {
                         vehicle_id: id,
                         single_detections: single,
                         cooperative_detections: outcome.detections.len(),
@@ -702,9 +828,23 @@ impl FleetSimulation {
                         packets_dropped: outcome.drops.len(),
                         packets_partial: partial_counts[i],
                         bytes_received: bytes_received[i],
-                    }
+                    };
+                    (report, align_drops, align_stats)
                 })
             };
+            let mut per_vehicle = Vec::with_capacity(phase3.len());
+            for (i, (report, align_drops, align_stats)) in phase3.into_iter().enumerate() {
+                if align_stats.evaluated > 0 {
+                    let entry = stats.alignment.entry(self.vehicles[i].id).or_default();
+                    entry.evaluated += align_stats.evaluated;
+                    entry.refined += align_stats.refined;
+                    entry.rejected += align_stats.rejected;
+                    entry.residual_before_m_sum += align_stats.residual_before_m_sum;
+                    entry.residual_after_m_sum += align_stats.residual_after_m_sum;
+                }
+                transport_drops.extend(align_drops);
+                per_vehicle.push(report);
+            }
             timings.perceive_us = perceive_start.elapsed().as_micros() as u64;
 
             if cooper_telemetry::is_enabled() {
@@ -874,7 +1014,7 @@ impl FleetSimulation {
             // encodes, they all do.
             match ExchangePacket::build_v2(
                 id,
-                step as u32,
+                b.stamp,
                 &kf_cloud,
                 b.estimate,
                 FrameKind::Keyframe,
@@ -977,7 +1117,7 @@ impl FleetSimulation {
                         .expect("chosen candidate was offered, so its cloud is prepared");
                     let built = ExchangePacket::build_v2(
                         from,
-                        step as u32,
+                        broadcasts[j].stamp,
                         cloud,
                         broadcasts[j].estimate,
                         chosen.kind,
@@ -1099,24 +1239,6 @@ impl FleetSimulation {
         let decoder = decoders.entry(sender).or_default();
         let cloud = decoder.decode_next(packet.payload())?;
         packet.with_cloud(&cloud)
-    }
-
-    /// Like [`FleetSimulation::run`], with a bare delivery callback
-    /// receiving `(step, from_id, to_id, wire_bytes)`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run_with_channel` — closures implement `ChannelModel` directly"
-    )]
-    pub fn run_with_packet_filter<F>(
-        &self,
-        pipeline: &CooperPipeline,
-        steps: usize,
-        mut deliver: F,
-    ) -> (Vec<FleetStepReport>, FleetStats)
-    where
-        F: FnMut(usize, u32, u32, usize) -> bool,
-    {
-        self.run_with_channel(pipeline, steps, &mut deliver)
     }
 }
 
@@ -1581,6 +1703,183 @@ mod tests {
         };
         let mut policy = SendFirstPolicy;
         let _ = sim.run_governed(&pipeline(), 1, &mut PerfectChannel, &mut policy, &bad);
+    }
+
+    #[test]
+    fn guarded_fleet_rejects_faulted_sender_and_falls_back() {
+        use crate::AlignmentGuardConfig;
+        // Vehicle 2 broadcasts with a 40 m GPS bias: the guard on each
+        // receiver must reject what that pose misaligns, surface the
+        // rejection as a transport drop, and leave ego perception
+        // intact. Vehicle 2's own receive-side estimate carries the
+        // same bias, so it rejects vehicle 1's (honest) packet too.
+        let scene = scenario::tj_scenario_1();
+        let vehicles = vec![
+            FleetVehicle {
+                id: 1,
+                trajectory: vec![scene.observers[0]],
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+            FleetVehicle {
+                id: 2,
+                trajectory: vec![scene.observers[1]],
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+        ];
+        let config = FleetConfig {
+            sensor_model: GpsImuModel::ideal(),
+            fault_plan: Some(FaultPlan::parse("2:bias:40:0").unwrap()),
+            ..FleetConfig::default()
+        };
+        let sim = FleetSimulation::new(scene.world, vehicles, config);
+        let p = pipeline().with_alignment_guard(AlignmentGuardConfig::default());
+        let (reports, stats) = sim.run(&p, 1);
+        let r = &reports[0];
+        for v in &r.per_vehicle {
+            assert_eq!(v.packets_received, 1);
+            assert_eq!(v.packets_dropped, 1, "guard rejects the misaligned cloud");
+            assert_eq!(
+                v.single_detections, v.cooperative_detections,
+                "rejection degrades to ego-only perception"
+            );
+        }
+        let rejected: Vec<_> = r
+            .transport_drops
+            .iter()
+            .filter(|d| matches!(d.reason, TransportDropReason::AlignmentRejected { .. }))
+            .collect();
+        assert_eq!(rejected.len(), 2);
+        assert_eq!((rejected[0].from, rejected[0].to), (2, 1));
+        assert_eq!((rejected[1].from, rejected[1].to), (1, 2));
+        for vehicle_id in [1u32, 2] {
+            let a = stats.alignment.get(&vehicle_id).expect("guard ran");
+            assert_eq!(a.evaluated, 1);
+            assert_eq!(a.rejected, 1);
+        }
+    }
+
+    #[test]
+    fn clean_guarded_fleet_accepts_everything() {
+        use crate::AlignmentGuardConfig;
+        let scene = scenario::tj_scenario_1();
+        let vehicles = vec![
+            FleetVehicle {
+                id: 1,
+                trajectory: vec![scene.observers[0]],
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+            FleetVehicle {
+                id: 2,
+                trajectory: vec![scene.observers[1]],
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+        ];
+        let config = FleetConfig {
+            sensor_model: GpsImuModel::ideal(),
+            ..FleetConfig::default()
+        };
+        let sim = FleetSimulation::new(scene.world, vehicles, config);
+        let p = pipeline().with_alignment_guard(AlignmentGuardConfig::default());
+        let (reports, stats) = sim.run(&p, 1);
+        for v in &reports[0].per_vehicle {
+            assert_eq!(v.packets_received, 1);
+            assert_eq!(v.packets_dropped, 0, "clean alignment must pass the guard");
+        }
+        for vehicle_id in [1u32, 2] {
+            let a = stats.alignment.get(&vehicle_id).expect("guard ran");
+            assert_eq!(a.evaluated, 1);
+            assert_eq!(a.rejected, 0);
+        }
+    }
+
+    #[test]
+    fn faulted_guarded_reports_identical_across_thread_counts() {
+        use crate::AlignmentGuardConfig;
+        let scene = scenario::tj_scenario_1();
+        let plan = FaultPlan::parse("1:drift:0.5@0,2:freeze@1,7:yaw:0.1@0..2").unwrap();
+        let build = |threads: Option<usize>| {
+            let vehicles = vec![
+                FleetVehicle {
+                    id: 1,
+                    trajectory: straight_trajectory(scene.observers[0], 1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+                FleetVehicle {
+                    id: 2,
+                    trajectory: straight_trajectory(scene.observers[1], 1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+                FleetVehicle {
+                    id: 7,
+                    trajectory: straight_trajectory(scene.observers[0], -1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+            ];
+            FleetSimulation::new(
+                scene.world.clone(),
+                vehicles,
+                FleetConfig {
+                    seed: 99,
+                    threads,
+                    fault_plan: Some(plan.clone()),
+                    ..FleetConfig::default()
+                },
+            )
+        };
+        let p = pipeline().with_alignment_guard(AlignmentGuardConfig::default());
+        let (serial, serial_stats) = build(Some(1)).run(&p, 3);
+        let (parallel, parallel_stats) = build(Some(4)).run(&p, 3);
+        assert_eq!(serial_stats, parallel_stats);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.deterministic_view(), b.deterministic_view());
+        }
+    }
+
+    #[test]
+    fn stale_fault_restamps_broadcast_packets() {
+        // A stale-scan fault re-stamps the packet with the historic
+        // step; the packet must still decode and fuse.
+        let scene = scenario::tj_scenario_1();
+        let vehicles = vec![
+            FleetVehicle {
+                id: 1,
+                trajectory: straight_trajectory(scene.observers[0], 1.0, 4),
+                beams: BeamModel::vlp16().with_azimuth_steps(200),
+            },
+            FleetVehicle {
+                id: 2,
+                trajectory: straight_trajectory(scene.observers[1], 1.0, 4),
+                beams: BeamModel::vlp16().with_azimuth_steps(200),
+            },
+        ];
+        let config = FleetConfig {
+            sensor_model: GpsImuModel::ideal(),
+            fault_plan: Some(FaultPlan::parse("2:stale:2@3").unwrap()),
+            ..FleetConfig::default()
+        };
+        let sim = FleetSimulation::new(scene.world, vehicles, config);
+        // The stamp rides in the exchange packet; reuse the probe build
+        // in phase 1 by inspecting what arrives through a run.
+        let (reports, _) = sim.run(&pipeline(), 4);
+        // Steps 0..3 are clean; at step 3 the stale fault re-stamps
+        // vehicle 2's broadcast as step 1 — the packet still decodes
+        // and fuses, so nothing is dropped.
+        for r in &reports {
+            assert!(r.encode_drops.is_empty());
+            for v in &r.per_vehicle {
+                assert_eq!(v.packets_received, 1);
+                assert_eq!(v.packets_dropped, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_mm_saturates() {
+        assert_eq!(residual_to_mm(0.4517), 452);
+        assert_eq!(residual_to_mm(f64::INFINITY), u32::MAX);
+        assert_eq!(residual_to_mm(f64::NAN), u32::MAX);
+        assert_eq!(residual_to_mm(-1.0), u32::MAX);
+        assert_eq!(residual_to_mm(1.0e9), u32::MAX);
     }
 
     #[test]

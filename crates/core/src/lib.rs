@@ -77,14 +77,16 @@ pub mod temporal;
 pub mod tracking;
 pub mod viz;
 
-pub use alignment::alignment_transform;
+pub use alignment::{
+    alignment_transform, guard_alignment, AlignmentGuardConfig, GuardDecision, GuardReport,
+};
 pub use channel::{ChannelModel, Delivery, PerfectChannel, TransferCtx};
 pub use error::CooperError;
 pub use governor::{
     GovernorConfig, GovernorPolicy, GovernorVerdict, TransferCandidate, TransferOffer,
 };
 pub use packet::ExchangePacket;
-pub use pipeline::{CooperPipeline, CooperativeResult, FusionOutcome, PacketDrop};
+pub use pipeline::{AlignmentRecord, CooperPipeline, CooperativeResult, FusionOutcome, PacketDrop};
 pub use request::{requests_from_blind_zones, respond_to_roi_request, RoiRequest};
 pub use stats::{CooperDifficulty, DistanceBand, ScoreImprovement};
 

@@ -5,7 +5,10 @@ use cooper_lidar_sim::{ObjectClass, PoseEstimate};
 use cooper_pointcloud::PointCloud;
 use cooper_spod::{Detection, SpodDetector};
 
-use crate::{alignment_transform, CooperError, ExchangePacket};
+use crate::{
+    alignment_transform, guard_alignment, AlignmentGuardConfig, CooperError, ExchangePacket,
+    GuardDecision,
+};
 
 /// The outcome of one cooperative perception step.
 #[derive(Debug, Clone)]
@@ -38,6 +41,9 @@ pub struct FusionOutcome {
     /// One entry per packet that failed to decode, identifying the
     /// sender and the error. Empty on a clean fuse.
     pub drops: Vec<PacketDrop>,
+    /// One entry per packet the alignment guard evaluated, in input
+    /// order. Empty when the pipeline runs without a guard.
+    pub alignment: Vec<AlignmentRecord>,
 }
 
 impl FusionOutcome {
@@ -71,25 +77,69 @@ pub struct PacketDrop {
     pub error: CooperError,
 }
 
+/// What the alignment guard concluded about one received packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentRecord {
+    /// Position of the packet in the input slice.
+    pub index: usize,
+    /// Transmitting vehicle's identifier from the packet header.
+    pub vehicle_id: u32,
+    /// The guard's verdict for this packet.
+    pub decision: GuardDecision,
+    /// Matched residual under the GPS/IMU transform, metres.
+    pub residual_before_m: f64,
+    /// Matched residual under the transform actually used, metres.
+    pub residual_after_m: f64,
+}
+
 /// Aligns and merges every decodable packet into a copy of
-/// `local_cloud`, collecting a [`PacketDrop`] per failure. Shared by
-/// the strict and lossy pipeline entry points so their fusion
-/// semantics and telemetry cannot drift apart.
+/// `local_cloud`, collecting a [`PacketDrop`] per failure. All fusion
+/// entry points share this helper so their semantics and telemetry
+/// cannot drift apart.
+///
+/// With a `guard`, every decoded cloud is validated (and possibly
+/// ICP-refined) before merging; guard-rejected clouds surface as
+/// [`CooperError::AlignmentRejected`] drops, and every verdict is
+/// recorded as an [`AlignmentRecord`].
 fn fuse_packets(
     local_cloud: &PointCloud,
     local_pose: &PoseEstimate,
     packets: &[ExchangePacket],
     origin: &GpsFix,
-) -> (PointCloud, usize, Vec<PacketDrop>) {
+    guard: Option<&AlignmentGuardConfig>,
+) -> (PointCloud, usize, Vec<PacketDrop>, Vec<AlignmentRecord>) {
     let _span = cooper_telemetry::span!("pipeline.fuse");
     let mut fused = local_cloud.clone();
     let mut fused_count = 0usize;
     let mut merged_points = 0u64;
     let mut drops = Vec::new();
+    let mut alignment = Vec::new();
     for (index, packet) in packets.iter().enumerate() {
         match packet.cloud() {
             Ok(remote_cloud) => {
-                let transform = alignment_transform(packet.pose(), local_pose, origin);
+                let mut transform = alignment_transform(packet.pose(), local_pose, origin);
+                if let Some(cfg) = guard {
+                    let report = guard_alignment(local_cloud, &remote_cloud, &transform, cfg);
+                    record_guard_telemetry(&report);
+                    alignment.push(AlignmentRecord {
+                        index,
+                        vehicle_id: packet.vehicle_id(),
+                        decision: report.decision,
+                        residual_before_m: report.residual_before_m,
+                        residual_after_m: report.residual_after_m,
+                    });
+                    if !report.decision.is_accepted() {
+                        drops.push(PacketDrop {
+                            index,
+                            vehicle_id: packet.vehicle_id(),
+                            error: CooperError::AlignmentRejected {
+                                residual_m: report.residual_after_m,
+                            },
+                        });
+                        continue;
+                    }
+                    transform = report.transform;
+                }
                 merged_points += remote_cloud.len() as u64;
                 fused.merge(&remote_cloud.transformed(&transform));
                 fused_count += 1;
@@ -109,7 +159,30 @@ fn fuse_packets(
     cooper_telemetry::counter_add("pipeline.packets_fused", fused_count as u64);
     cooper_telemetry::counter_add("pipeline.packets_dropped", drops.len() as u64);
     cooper_telemetry::counter_add("pipeline.points_merged", merged_points);
-    (fused, fused_count, drops)
+    (fused, fused_count, drops, alignment)
+}
+
+/// Emits the guard's per-packet telemetry: `align.residual` (the
+/// post-decision residual in millimetres, finite values only) and the
+/// `align.refined` / `align.rejected` / `align.evaluated` counters.
+fn record_guard_telemetry(report: &crate::GuardReport) {
+    if !cooper_telemetry::is_enabled() {
+        return;
+    }
+    cooper_telemetry::counter_add("align.evaluated", 1);
+    if report.residual_after_m.is_finite() {
+        cooper_telemetry::record_value(
+            "align.residual",
+            (report.residual_after_m * 1000.0).round() as u64,
+        );
+    }
+    match report.decision {
+        GuardDecision::AcceptedRefined => cooper_telemetry::counter_add("align.refined", 1),
+        GuardDecision::Rejected | GuardDecision::InsufficientOverlap => {
+            cooper_telemetry::counter_add("align.rejected", 1)
+        }
+        GuardDecision::AcceptedClean => {}
+    }
 }
 
 /// The Cooper perception pipeline: a trained SPOD detector plus the
@@ -122,6 +195,7 @@ fn fuse_packets(
 pub struct CooperPipeline {
     detector: SpodDetector,
     score_threshold: f32,
+    guard: Option<AlignmentGuardConfig>,
 }
 
 impl CooperPipeline {
@@ -132,6 +206,7 @@ impl CooperPipeline {
         CooperPipeline {
             detector,
             score_threshold,
+            guard: None,
         }
     }
 
@@ -139,6 +214,20 @@ impl CooperPipeline {
     pub fn with_score_threshold(mut self, threshold: f32) -> Self {
         self.score_threshold = threshold;
         self
+    }
+
+    /// Enables the alignment guard: every received cloud is validated
+    /// (and, when recoverable, ICP-refined) before fusion; unverifiable
+    /// clouds are excluded and reported as
+    /// [`CooperError::AlignmentRejected`] drops.
+    pub fn with_alignment_guard(mut self, cfg: AlignmentGuardConfig) -> Self {
+        self.guard = Some(cfg);
+        self
+    }
+
+    /// The active alignment-guard configuration, if any.
+    pub fn alignment_guard(&self) -> Option<&AlignmentGuardConfig> {
+        self.guard.as_ref()
     }
 
     /// The underlying detector.
@@ -175,7 +264,13 @@ impl CooperPipeline {
         packets: &[ExchangePacket],
         origin: &GpsFix,
     ) -> Result<PointCloud, CooperError> {
-        let (fused, _, drops) = fuse_packets(local_cloud, local_pose, packets, origin);
+        let (fused, _, drops, _) = fuse_packets(
+            local_cloud,
+            local_pose,
+            packets,
+            origin,
+            self.guard.as_ref(),
+        );
         match drops.into_iter().next() {
             Some(drop) => Err(drop.error),
             None => Ok(fused),
@@ -195,59 +290,21 @@ impl CooperPipeline {
         origin: &GpsFix,
     ) -> FusionOutcome {
         let _span = cooper_telemetry::span!("pipeline.perceive");
-        let (fused_cloud, fused_count, drops) =
-            fuse_packets(local_cloud, local_pose, packets, origin);
+        let (fused_cloud, fused_count, drops, alignment) = fuse_packets(
+            local_cloud,
+            local_pose,
+            packets,
+            origin,
+            self.guard.as_ref(),
+        );
         let detections = self.perceive_single(&fused_cloud);
         FusionOutcome {
             fused_cloud,
             detections,
             packets_fused: fused_count,
             drops,
+            alignment,
         }
-    }
-
-    /// Full cooperative perception with strict error semantics.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first packet decoding error encountered.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `CooperPipeline::perceive` and inspect `FusionOutcome::drops` \
-                (or call `FusionOutcome::into_strict`)"
-    )]
-    pub fn perceive_cooperative(
-        &self,
-        local_cloud: &PointCloud,
-        local_pose: &PoseEstimate,
-        packets: &[ExchangePacket],
-        origin: &GpsFix,
-    ) -> Result<CooperativeResult, CooperError> {
-        self.perceive(local_cloud, local_pose, packets, origin)
-            .into_strict()
-    }
-
-    /// Full cooperative perception, skipping undecodable packets.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `CooperPipeline::perceive`; `FusionOutcome` carries the drops"
-    )]
-    pub fn perceive_cooperative_lossy(
-        &self,
-        local_cloud: &PointCloud,
-        local_pose: &PoseEstimate,
-        packets: &[ExchangePacket],
-        origin: &GpsFix,
-    ) -> (CooperativeResult, Vec<PacketDrop>) {
-        let outcome = self.perceive(local_cloud, local_pose, packets, origin);
-        (
-            CooperativeResult {
-                fused_cloud: outcome.fused_cloud,
-                detections: outcome.detections,
-                packets_fused: outcome.packets_fused,
-            },
-            outcome.drops,
-        )
     }
 }
 
@@ -369,35 +426,49 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_perceive() {
+    fn guarded_perceive_rejects_bad_pose_and_accepts_clean() {
+        let pipeline = untrained_pipeline().with_alignment_guard(AlignmentGuardConfig::default());
+        let scene = scenario::tj_scenario_1();
+        let scanner = LidarScanner::new(scene.kind.beam_model().noiseless());
+        let rx_pose = scene.observers[0];
+        let tx_pose = scene.observers[1];
+        let local = scanner.scan(&scene.world, &rx_pose, 1);
+        let remote = scanner.scan(&scene.world, &tx_pose, 2);
+        let rx_est = PoseEstimate::from_pose(&rx_pose, &origin());
+        let tx_est = PoseEstimate::from_pose(&tx_pose, &origin());
+
+        // Clean pose: fused, recorded as accepted.
+        let good = ExchangePacket::build(2, 0, &remote, tx_est).unwrap();
+        let outcome = pipeline.perceive(&local, &rx_est, &[good], &origin());
+        assert_eq!(outcome.packets_fused, 1);
+        assert_eq!(outcome.alignment.len(), 1);
+        assert!(outcome.alignment[0].decision.is_accepted());
+
+        // Grossly wrong pose: excluded, reported as AlignmentRejected,
+        // detections equal the ego-only result.
+        let mut bad_est = tx_est;
+        bad_est.gps = bad_est.gps.offset_by(Vec3::new(40.0, -25.0, 0.0));
+        let bad = ExchangePacket::build(2, 1, &remote, bad_est).unwrap();
+        let outcome = pipeline.perceive(&local, &rx_est, &[bad], &origin());
+        assert_eq!(outcome.packets_fused, 0);
+        assert_eq!(outcome.fused_cloud.len(), local.len());
+        assert_eq!(outcome.drops.len(), 1);
+        assert_eq!(outcome.drops[0].error.kind(), "alignment_rejected");
+        assert!(!outcome.alignment[0].decision.is_accepted());
+        let ego = pipeline.perceive_single(&local);
+        assert_eq!(outcome.detections.len(), ego.len());
+    }
+
+    #[test]
+    fn unguarded_perceive_records_no_alignment() {
         let pipeline = untrained_pipeline();
+        assert!(pipeline.alignment_guard().is_none());
         let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
         let est = PoseEstimate::from_pose(&pose, &origin());
-        let mut cloud = PointCloud::new();
-        cloud.push(cooper_pointcloud::Point::new(
-            Vec3::new(5.0, 0.0, -1.0),
-            0.5,
-        ));
-        let good = ExchangePacket::build(1, 0, &cloud, est).unwrap();
-        let bad = corrupt_payload(&good);
-
-        let strict = pipeline
-            .perceive_cooperative(&cloud, &est, &[good.clone()], &origin())
-            .unwrap();
-        let (lossy, dropped) = pipeline.perceive_cooperative_lossy(
-            &cloud,
-            &est,
-            &[good.clone(), bad.clone()],
-            &origin(),
-        );
-        let outcome = pipeline.perceive(&cloud, &est, &[good.clone(), bad], &origin());
-        assert_eq!(strict.packets_fused, 1);
-        assert_eq!(lossy.packets_fused, outcome.packets_fused);
-        assert_eq!(dropped.len(), outcome.drops.len());
-        assert!(pipeline
-            .perceive_cooperative(&cloud, &est, &[corrupt_payload(&good)], &origin())
-            .is_err());
+        let cloud = PointCloud::new();
+        let p1 = ExchangePacket::build(1, 0, &cloud, est).unwrap();
+        let outcome = pipeline.perceive(&cloud, &est, &[p1], &origin());
+        assert!(outcome.alignment.is_empty());
     }
 
     #[test]

@@ -69,6 +69,22 @@ proptest! {
     }
 
     #[test]
+    fn alignment_transforms_compose_to_identity(a in pose(), b in pose(), px in -50.0..50.0f64, py in -50.0..50.0f64) {
+        let est_a = PoseEstimate::from_pose(&a, &origin());
+        let est_b = PoseEstimate::from_pose(&b, &origin());
+        let forward = alignment_transform(&est_a, &est_b, &origin());
+        let back = alignment_transform(&est_b, &est_a, &origin());
+        let p = Vec3::new(px, py, -1.0);
+        // Aligning a→b then b→a must return every point to where it
+        // started (up to the equirectangular approximation error).
+        prop_assert!(
+            (back.apply(forward.apply(p)) - p).norm() < 1e-6,
+            "composition moved {p} by {}",
+            (back.apply(forward.apply(p)) - p).norm()
+        );
+    }
+
+    #[test]
     fn truncation_never_panics(c in cloud(50), p in pose(), cut_fraction in 0.0..1.0f64) {
         let est = PoseEstimate::from_pose(&p, &origin());
         let packet = ExchangePacket::build(0, 0, &c, est).unwrap();

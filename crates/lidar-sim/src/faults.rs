@@ -1,0 +1,565 @@
+//! Pose-fault injection: scheduled GPS/IMU failures for robustness
+//! campaigns.
+//!
+//! The paper's Figure 10 skews a single transmitter's GPS fix once; a
+//! fleet-scale robustness study needs faults that are *scheduled* —
+//! per vehicle, per step window — and *reproducible* at any thread
+//! count. A [`FaultPlan`] lists [`FaultSpec`]s; a [`FaultInjector`]
+//! applies the active ones to each clean pose measurement. Every
+//! random draw comes from a per-(vehicle, step) SplitMix64-derived
+//! stream, so a faulted run is bit-identical no matter how the fleet
+//! phases are parallelised.
+//!
+//! # Fault taxonomy
+//!
+//! * [`FaultKind::GpsDrift`] — random-walk position drift: a planar
+//!   Gaussian increment accumulates every step from the fault's onset,
+//!   the classic slow GPS wander past the paper's drift bound.
+//! * [`FaultKind::GpsBias`] — a fixed east/north offset, the paper's
+//!   Figure-10 skew generalised to any magnitude and window.
+//! * [`FaultKind::ImuYawBias`] — a constant heading error; small
+//!   angles produce alignment error growing with range.
+//! * [`FaultKind::FrozenPose`] — the estimate latches at the onset
+//!   step (a hung GPS/IMU pipeline) while the vehicle keeps moving.
+//! * [`FaultKind::StaleScan`] — the reading (and the packet's frame
+//!   stamp) lags `age_steps` behind real time.
+//!
+//! # Examples
+//!
+//! ```
+//! use cooper_lidar_sim::{FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::parse("2:drift:0.5@3..8,1:freeze@4").unwrap();
+//! assert_eq!(plan.faults().len(), 2);
+//! assert!(matches!(
+//!     plan.faults()[0].kind,
+//!     FaultKind::GpsDrift { .. }
+//! ));
+//! ```
+
+use cooper_geometry::{normalize_angle, GpsFix, Pose, Vec3};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{GaussianNoise, GpsImuModel, PoseEstimate};
+
+/// One kind of scheduled pose fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// GPS random-walk drift: each step since onset adds an independent
+    /// planar Gaussian increment with this standard deviation (metres),
+    /// so the expected error grows with the square root of the fault's
+    /// age.
+    GpsDrift {
+        /// Per-step increment standard deviation, metres.
+        sigma_m_per_step: f64,
+    },
+    /// A fixed GPS offset in the local east-north frame — the paper's
+    /// Figure-10 skew at an arbitrary magnitude.
+    GpsBias {
+        /// East offset, metres.
+        east_m: f64,
+        /// North offset, metres.
+        north_m: f64,
+    },
+    /// A constant IMU yaw bias, radians.
+    ImuYawBias {
+        /// Heading error, radians.
+        bias_rad: f64,
+    },
+    /// The pose estimate freezes at the fault's onset step: the vehicle
+    /// keeps broadcasting where it *was* while it keeps moving.
+    FrozenPose,
+    /// The reading lags behind real time: at step `s` the vehicle
+    /// reports the measurement (and stamps its packets) from step
+    /// `s - age_steps`.
+    StaleScan {
+        /// How many steps the reading lags, at least 1.
+        age_steps: usize,
+    },
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::GpsDrift { sigma_m_per_step } => {
+                write!(f, "gps drift σ={sigma_m_per_step} m/step")
+            }
+            FaultKind::GpsBias { east_m, north_m } => {
+                write!(f, "gps bias ({east_m}, {north_m}) m")
+            }
+            FaultKind::ImuYawBias { bias_rad } => write!(f, "yaw bias {bias_rad} rad"),
+            FaultKind::FrozenPose => f.write_str("frozen pose"),
+            FaultKind::StaleScan { age_steps } => write!(f, "stale by {age_steps} steps"),
+        }
+    }
+}
+
+/// One scheduled fault: which vehicle, which step window, which
+/// failure. The window is `from_step..until_step` (half-open);
+/// `until_step == None` means the fault persists to the end of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The affected vehicle.
+    pub vehicle_id: u32,
+    /// First step (inclusive) the fault is active.
+    pub from_step: usize,
+    /// First step the fault is no longer active; `None` = forever.
+    pub until_step: Option<usize>,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// Whether this fault is active for `vehicle_id` at `step`.
+    pub fn active_at(&self, vehicle_id: u32, step: usize) -> bool {
+        self.vehicle_id == vehicle_id
+            && step >= self.from_step
+            && self.until_step.is_none_or(|until| step < until)
+    }
+}
+
+/// A schedule of pose faults for a fleet run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from explicit specs.
+    pub fn new(faults: Vec<FaultSpec>) -> Self {
+        FaultPlan { faults }
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// `true` when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parses the compact CLI grammar, one entry per comma:
+    ///
+    /// ```text
+    /// entry := VEHICLE ':' kind ['@' FROM ['..' [UNTIL]]]
+    /// kind  := 'drift:' SIGMA | 'bias:' EAST ':' NORTH
+    ///        | 'yaw:' RAD | 'freeze' | 'stale:' AGE
+    /// ```
+    ///
+    /// Examples: `2:drift:0.5`, `1:bias:2.0:-1.0@3..7`, `3:freeze@4`,
+    /// `1:yaw:0.05@2..`, `2:stale:3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending entry.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            faults.push(Self::parse_entry(entry)?);
+        }
+        if faults.is_empty() {
+            return Err("fault plan is empty".to_string());
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    fn parse_entry(entry: &str) -> Result<FaultSpec, String> {
+        let bad = |why: &str| format!("invalid fault entry {entry:?}: {why}");
+        let (head, window) = match entry.split_once('@') {
+            Some((head, window)) => (head, Some(window)),
+            None => (entry, None),
+        };
+        let (from_step, until_step) = match window {
+            None => (0, None),
+            Some(w) => match w.split_once("..") {
+                None => {
+                    let from = w.parse().map_err(|_| bad("bad start step"))?;
+                    (from, None)
+                }
+                Some((from, "")) => {
+                    let from = from.parse().map_err(|_| bad("bad start step"))?;
+                    (from, None)
+                }
+                Some((from, until)) => {
+                    let from: usize = from.parse().map_err(|_| bad("bad start step"))?;
+                    let until: usize = until.parse().map_err(|_| bad("bad end step"))?;
+                    if until <= from {
+                        return Err(bad("window end must be after its start"));
+                    }
+                    (from, Some(until))
+                }
+            },
+        };
+        let mut parts = head.split(':');
+        let vehicle_id: u32 = parts
+            .next()
+            .ok_or_else(|| bad("missing vehicle id"))?
+            .parse()
+            .map_err(|_| bad("bad vehicle id"))?;
+        let kind_name = parts.next().ok_or_else(|| bad("missing fault kind"))?;
+        let mut param = |what: &str| -> Result<f64, String> {
+            parts
+                .next()
+                .ok_or_else(|| bad(&format!("missing {what}")))?
+                .parse()
+                .map_err(|_| bad(&format!("bad {what}")))
+        };
+        let kind = match kind_name {
+            "drift" => {
+                let sigma = param("drift sigma")?;
+                if !(sigma > 0.0 && sigma.is_finite()) {
+                    return Err(bad("drift sigma must be positive and finite"));
+                }
+                FaultKind::GpsDrift {
+                    sigma_m_per_step: sigma,
+                }
+            }
+            "bias" => {
+                let east_m = param("east offset")?;
+                let north_m = param("north offset")?;
+                if !(east_m.is_finite() && north_m.is_finite()) {
+                    return Err(bad("bias offsets must be finite"));
+                }
+                FaultKind::GpsBias { east_m, north_m }
+            }
+            "yaw" => {
+                let bias_rad = param("yaw bias")?;
+                if !bias_rad.is_finite() {
+                    return Err(bad("yaw bias must be finite"));
+                }
+                FaultKind::ImuYawBias { bias_rad }
+            }
+            "freeze" => FaultKind::FrozenPose,
+            "stale" => {
+                let age = param("stale age")?;
+                if age < 1.0 || age.fract() != 0.0 {
+                    return Err(bad("stale age must be a positive integer"));
+                }
+                FaultKind::StaleScan {
+                    age_steps: age as usize,
+                }
+            }
+            other => return Err(bad(&format!("unknown fault kind {other:?}"))),
+        };
+        if parts.next().is_some() {
+            return Err(bad("trailing parameters"));
+        }
+        Ok(FaultSpec {
+            vehicle_id,
+            from_step,
+            until_step,
+            kind,
+        })
+    }
+}
+
+/// A faulted pose measurement: the estimate the vehicle would attach
+/// to its broadcasts plus the frame stamp it would put on the packet
+/// (differs from the true step only under [`FaultKind::StaleScan`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultedMeasurement {
+    /// The (possibly faulted) pose estimate.
+    pub estimate: PoseEstimate,
+    /// The step the packet is stamped with.
+    pub stamp_step: usize,
+    /// `true` when at least one fault was active.
+    pub faulted: bool,
+}
+
+/// Salt separating the fault-injection RNG streams from the scan and
+/// measurement streams derived from the same fleet seed.
+const FAULT_STREAM: u64 = 0x7A5E_11DA_7E00_00F1;
+
+/// Derives the seed of the (vehicle, step) fault stream — the same
+/// SplitMix64 finalizer the fleet uses for its measurement streams, so
+/// faulted draws are independent of execution order.
+fn fault_stream_seed(seed: u64, vehicle_id: u32, step: usize) -> u64 {
+    let mut z = seed
+        ^ FAULT_STREAM
+        ^ u64::from(vehicle_id).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (step as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Applies a [`FaultPlan`] to clean pose measurements.
+///
+/// The injector is immutable and side-effect free: the faulted
+/// estimate for a given (vehicle, step) depends only on the plan, the
+/// seed and the trajectory, never on which measurements were computed
+/// before it — the property that keeps faulted fleet runs bit-identical
+/// at any thread count.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    model: GpsImuModel,
+    origin: GpsFix,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Binds a plan to the sensor model, shared origin and fleet seed.
+    pub fn new(plan: FaultPlan, model: GpsImuModel, origin: GpsFix, seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            model,
+            origin,
+            seed,
+        }
+    }
+
+    /// The plan this injector applies.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Applies every fault active for `vehicle_id` at `step` to the
+    /// clean measurement `clean`. `pose_at` must return the vehicle's
+    /// true pose at any past step (used by frozen/stale faults).
+    ///
+    /// Faults compose in plan order; replacement faults (freeze,
+    /// stale) re-measure from the historic pose with a deterministic
+    /// fault-stream RNG, additive faults (drift, bias, yaw) offset
+    /// whatever estimate the preceding faults produced.
+    pub fn measure(
+        &self,
+        vehicle_id: u32,
+        step: usize,
+        pose_at: &dyn Fn(usize) -> Pose,
+        clean: PoseEstimate,
+    ) -> FaultedMeasurement {
+        let mut estimate = clean;
+        let mut stamp_step = step;
+        let mut faulted = false;
+        for spec in &self.plan.faults {
+            if !spec.active_at(vehicle_id, step) {
+                continue;
+            }
+            faulted = true;
+            match spec.kind {
+                FaultKind::GpsDrift { sigma_m_per_step } => {
+                    let walk = self.random_walk(vehicle_id, spec.from_step, step, sigma_m_per_step);
+                    estimate.gps = estimate.gps.offset_by(walk);
+                }
+                FaultKind::GpsBias { east_m, north_m } => {
+                    estimate.gps = estimate.gps.offset_by(Vec3::new(east_m, north_m, 0.0));
+                }
+                FaultKind::ImuYawBias { bias_rad } => {
+                    estimate.attitude.yaw = normalize_angle(estimate.attitude.yaw + bias_rad);
+                }
+                FaultKind::FrozenPose => {
+                    estimate = self.measure_at(vehicle_id, spec.from_step, pose_at);
+                }
+                FaultKind::StaleScan { age_steps } => {
+                    let src = step.saturating_sub(age_steps);
+                    estimate = self.measure_at(vehicle_id, src, pose_at);
+                    stamp_step = src;
+                }
+            }
+        }
+        FaultedMeasurement {
+            estimate,
+            stamp_step,
+            faulted,
+        }
+    }
+
+    /// Re-measures the vehicle's pose as of `src_step` with the
+    /// deterministic fault-stream RNG: the same value no matter which
+    /// later step asks for it.
+    fn measure_at(
+        &self,
+        vehicle_id: u32,
+        src_step: usize,
+        pose_at: &dyn Fn(usize) -> Pose,
+    ) -> PoseEstimate {
+        let mut rng = StdRng::seed_from_u64(fault_stream_seed(self.seed, vehicle_id, src_step));
+        self.model
+            .measure(&pose_at(src_step), &self.origin, &mut rng)
+    }
+
+    /// The accumulated random walk at `step` for a drift fault that
+    /// began at `from_step`: the sum of one planar Gaussian increment
+    /// per elapsed step, each drawn from its own (vehicle, step)
+    /// stream so the sum is execution-order independent.
+    fn random_walk(&self, vehicle_id: u32, from_step: usize, step: usize, sigma: f64) -> Vec3 {
+        let noise = GaussianNoise::new(sigma);
+        let mut walk = Vec3::ZERO;
+        for k in from_step..=step {
+            let mut rng = StdRng::seed_from_u64(fault_stream_seed(self.seed, vehicle_id, k));
+            walk.x += noise.sample(&mut rng);
+            walk.y += noise.sample(&mut rng);
+        }
+        walk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooper_geometry::{Attitude, Pose};
+
+    fn origin() -> GpsFix {
+        GpsFix::new(33.2075, -97.1526, 190.0)
+    }
+
+    fn injector(plan: FaultPlan) -> FaultInjector {
+        FaultInjector::new(plan, GpsImuModel::ideal(), origin(), 7)
+    }
+
+    fn straight(step: usize) -> Pose {
+        Pose::new(Vec3::new(step as f64 * 2.0, 0.0, 1.8), Attitude::level())
+    }
+
+    fn clean_at(step: usize) -> PoseEstimate {
+        PoseEstimate::from_pose(&straight(step), &origin())
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let plan = FaultPlan::parse(
+            "2:drift:0.5@3..8, 1:bias:2.0:-1.0, 3:freeze@4.., 1:yaw:0.05@2, 4:stale:3",
+        )
+        .unwrap();
+        assert_eq!(plan.faults().len(), 5);
+        assert_eq!(
+            plan.faults()[0],
+            FaultSpec {
+                vehicle_id: 2,
+                from_step: 3,
+                until_step: Some(8),
+                kind: FaultKind::GpsDrift {
+                    sigma_m_per_step: 0.5
+                },
+            }
+        );
+        assert_eq!(plan.faults()[1].from_step, 0);
+        assert_eq!(plan.faults()[1].until_step, None);
+        assert_eq!(plan.faults()[2].kind, FaultKind::FrozenPose);
+        assert_eq!(plan.faults()[3].from_step, 2);
+        assert_eq!(plan.faults()[4].kind, FaultKind::StaleScan { age_steps: 3 });
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "x:drift:0.5",
+            "1:drift",
+            "1:drift:-1",
+            "1:explode:9",
+            "1:freeze@5..2",
+            "1:stale:0",
+            "1:bias:1.0",
+            "1:yaw:0.1:extra",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn windows_gate_activity() {
+        let spec = FaultPlan::parse("2:freeze@3..6").unwrap().faults()[0];
+        assert!(!spec.active_at(2, 2));
+        assert!(spec.active_at(2, 3));
+        assert!(spec.active_at(2, 5));
+        assert!(!spec.active_at(2, 6));
+        assert!(!spec.active_at(1, 4));
+    }
+
+    #[test]
+    fn unaffected_vehicles_pass_through() {
+        let inj = injector(FaultPlan::parse("2:bias:5.0:0.0").unwrap());
+        let clean = clean_at(1);
+        let out = inj.measure(1, 1, &straight, clean);
+        assert!(!out.faulted);
+        assert_eq!(out.estimate, clean);
+        assert_eq!(out.stamp_step, 1);
+    }
+
+    #[test]
+    fn bias_offsets_east_north() {
+        let inj = injector(FaultPlan::parse("1:bias:3.0:-4.0").unwrap());
+        let out = inj.measure(1, 2, &straight, clean_at(2));
+        let delta = out.estimate.to_pose(&origin()).position - straight(2).position;
+        assert!((delta - Vec3::new(3.0, -4.0, 0.0)).norm() < 1e-4, "{delta}");
+        assert!(out.faulted);
+    }
+
+    #[test]
+    fn drift_is_deterministic_and_accumulates() {
+        let inj = injector(FaultPlan::parse("1:drift:0.5@2").unwrap());
+        let at = |step: usize| {
+            inj.measure(1, step, &straight, clean_at(step))
+                .estimate
+                .to_pose(&origin())
+                .position
+                - straight(step).position
+        };
+        // Same step, repeated or out-of-order queries: identical.
+        let a = at(5);
+        let _ = at(3);
+        assert!((at(5) - a).norm() < 1e-12);
+        // The walk is a prefix sum: consecutive steps differ by exactly
+        // one increment.
+        let step6_minus_step5 = at(6) - at(5);
+        assert!(step6_minus_step5.norm() > 0.0);
+        assert!(
+            step6_minus_step5.norm() < 0.5 * 6.0,
+            "increment implausibly large"
+        );
+        // Before onset, no drift.
+        let before = inj.measure(1, 1, &straight, clean_at(1));
+        assert!(!before.faulted);
+    }
+
+    #[test]
+    fn frozen_pose_latches_at_onset() {
+        let inj = injector(FaultPlan::parse("1:freeze@3").unwrap());
+        let at4 = inj.measure(1, 4, &straight, clean_at(4)).estimate;
+        let at9 = inj.measure(1, 9, &straight, clean_at(9)).estimate;
+        assert_eq!(at4, at9, "frozen estimate must not move");
+        let frozen_pos = at4.to_pose(&origin()).position;
+        assert!((frozen_pos - straight(3).position).norm() < 1e-4);
+    }
+
+    #[test]
+    fn stale_scan_lags_and_restamps() {
+        let inj = injector(FaultPlan::parse("1:stale:3@5").unwrap());
+        let out = inj.measure(1, 6, &straight, clean_at(6));
+        assert_eq!(out.stamp_step, 3);
+        let pos = out.estimate.to_pose(&origin()).position;
+        assert!((pos - straight(3).position).norm() < 1e-4);
+        // Clamps at step 0.
+        let inj0 = injector(FaultPlan::parse("1:stale:9@0").unwrap());
+        assert_eq!(inj0.measure(1, 2, &straight, clean_at(2)).stamp_step, 0);
+    }
+
+    #[test]
+    fn faults_compose_in_plan_order() {
+        // Freeze first, then bias: the bias applies on top of the
+        // frozen estimate.
+        let inj = injector(FaultPlan::parse("1:freeze@2,1:bias:10.0:0.0").unwrap());
+        let out = inj.measure(1, 5, &straight, clean_at(5));
+        let pos = out.estimate.to_pose(&origin()).position;
+        assert!((pos - (straight(2).position + Vec3::new(10.0, 0.0, 0.0))).norm() < 1e-4);
+    }
+
+    #[test]
+    fn yaw_bias_wraps() {
+        let inj = injector(FaultPlan::parse("1:yaw:3.0").unwrap());
+        let mut clean = clean_at(0);
+        clean.attitude.yaw = 1.0;
+        let out = inj.measure(1, 0, &straight, clean);
+        assert!((out.estimate.attitude.yaw - normalize_angle(4.0)).abs() < 1e-12);
+    }
+}

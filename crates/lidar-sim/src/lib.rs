@@ -38,6 +38,7 @@
 mod beam;
 pub mod dataset;
 mod entity;
+mod faults;
 mod noise;
 mod ray;
 mod scanner;
@@ -47,6 +48,7 @@ mod world;
 
 pub use beam::BeamModel;
 pub use entity::{Entity, EntityId, ObjectClass};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultedMeasurement};
 pub use noise::GaussianNoise;
 pub use scanner::LidarScanner;
 pub use sensors::{GpsImuModel, PoseEstimate, SkewMode};

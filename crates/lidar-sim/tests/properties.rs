@@ -86,6 +86,31 @@ proptest! {
     }
 
     #[test]
+    fn pose_estimate_round_trips_under_arbitrary_origins(
+        x in -200.0..200.0f64, y in -200.0..200.0f64, z in 0.5..3.0f64,
+        yaw in -3.0..3.0f64, pitch in -0.1..0.1f64, roll in -0.1..0.1f64,
+        lat in -60.0..60.0f64, lon in -179.0..179.0f64, alt in -100.0..500.0f64,
+    ) {
+        use cooper_geometry::GpsFix;
+        use cooper_lidar_sim::PoseEstimate;
+        let origin = GpsFix::new(lat, lon, alt);
+        let pose = Pose::new(Vec3::new(x, y, z), Attitude::new(yaw, pitch, roll));
+        let back = PoseEstimate::from_pose(&pose, &origin).to_pose(&origin);
+        // from_pose/to_pose invert each other through the
+        // equirectangular GPS mapping: position error stays sub-mm at
+        // V2V ranges for any plausible origin, attitude is copied
+        // verbatim.
+        prop_assert!(
+            (back.position - pose.position).norm() < 1e-3,
+            "round-trip drift {} at origin ({lat}, {lon})",
+            (back.position - pose.position).norm()
+        );
+        prop_assert!((back.attitude.yaw - pose.attitude.yaw).abs() < 1e-12);
+        prop_assert!((back.attitude.pitch - pose.attitude.pitch).abs() < 1e-12);
+        prop_assert!((back.attitude.roll - pose.attitude.roll).abs() < 1e-12);
+    }
+
+    #[test]
     fn more_beams_never_fewer_points(cars in car_layout()) {
         let world = world_with(&cars);
         let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());

@@ -1,7 +1,7 @@
 //! Failure-injection tests: lossy channels, truncated frames, missing
 //! fragments, extreme pose errors.
 
-use cooper_core::{CooperError, CooperPipeline, ExchangePacket};
+use cooper_core::{AlignmentGuardConfig, CooperError, CooperPipeline, ExchangePacket};
 use cooper_geometry::{Attitude, GpsFix, Pose, Vec3};
 use cooper_lidar_sim::{scenario, GpsImuModel, LidarScanner, PoseEstimate, SkewMode};
 use cooper_pointcloud::{Point, PointCloud};
@@ -169,6 +169,41 @@ fn grossly_wrong_pose_still_fails_safe() {
     let packet = ExchangePacket::build(1, 0, &cloud, est_tx).expect("encodes");
     let result = pipeline.perceive(&cloud, &est_rx, &[packet], &origin());
     assert_eq!(result.fused_cloud.len(), 200);
+}
+
+#[test]
+fn guard_rejects_extreme_pose_error_and_falls_back_to_ego_only() {
+    // A transmitter pose 40 m off is far beyond what ICP can repair:
+    // the alignment guard must reject the packet (never panic) and the
+    // receiver must fall back to exactly its ego-only perception.
+    let detector = SpodDetector::train_default(&cooper_spod::train::TrainingConfig::fast());
+    let guarded =
+        CooperPipeline::new(detector).with_alignment_guard(AlignmentGuardConfig::default());
+    let scene = scenario::tj_scenario_1();
+    let scanner = LidarScanner::new(scene.kind.beam_model());
+    let (rx, tx) = scene.pairs[0];
+    let local = scanner.scan(&scene.world, &scene.observers[rx], 1);
+    let remote = scanner.scan(&scene.world, &scene.observers[tx], 2);
+    let est_rx = PoseEstimate::from_pose(&scene.observers[rx], &origin());
+    let mut est_tx = PoseEstimate::from_pose(&scene.observers[tx], &origin());
+    est_tx.gps = est_tx.gps.offset_by(Vec3::new(40.0, 0.0, 0.0));
+    let packet = ExchangePacket::build(1, 0, &remote, est_tx).expect("encodes");
+
+    let coop = guarded.perceive(&local, &est_rx, &[packet], &origin());
+    assert_eq!(coop.packets_fused, 0);
+    assert_eq!(coop.drops.len(), 1);
+    assert!(
+        matches!(
+            coop.drops[0].error,
+            CooperError::AlignmentRejected { residual_m } if residual_m.is_finite()
+        ),
+        "expected alignment rejection, got {:?}",
+        coop.drops[0].error
+    );
+
+    let ego = guarded.perceive(&local, &est_rx, &[], &origin());
+    assert_eq!(coop.fused_cloud.len(), local.len());
+    assert_eq!(coop.detections, ego.detections);
 }
 
 #[test]

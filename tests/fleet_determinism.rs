@@ -8,8 +8,8 @@
 use cooper_core::fleet::{
     straight_trajectory, FleetConfig, FleetSimulation, FleetStats, FleetStepReport, FleetVehicle,
 };
-use cooper_core::{ChannelModel, CooperPipeline};
-use cooper_lidar_sim::{scenario, BeamModel};
+use cooper_core::{AlignmentGuardConfig, ChannelModel, CooperPipeline};
+use cooper_lidar_sim::{scenario, BeamModel, FaultPlan};
 use cooper_pointcloud::roi::RoiCategory;
 use cooper_spod::{SpodConfig, SpodDetector};
 use cooper_v2x::{
@@ -71,6 +71,44 @@ fn perfect_channel_run_is_thread_count_invariant() {
         .per_vehicle
         .iter()
         .any(|v| v.packets_received > 0));
+}
+
+#[test]
+fn guarded_fault_run_is_thread_count_invariant() {
+    // Pose faults draw from per-(vehicle, step) seeded streams and the
+    // alignment guard runs inside the parallel fuse phase; neither may
+    // introduce thread-count dependence.
+    let p = pipeline().with_alignment_guard(AlignmentGuardConfig::default());
+    let plan = FaultPlan::parse("1:drift:0.5@0,2:freeze@1,3:yaw:0.1@0..2").expect("valid plan");
+    let run = |threads: Option<usize>| {
+        let scene = scenario::tj_scenario_1();
+        let vehicles: Vec<FleetVehicle> = scene
+            .observers
+            .iter()
+            .enumerate()
+            .map(|(i, pose)| FleetVehicle {
+                id: i as u32 + 1,
+                trajectory: straight_trajectory(*pose, 1.0, 3),
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            })
+            .collect();
+        FleetSimulation::new(
+            scene.world.clone(),
+            vehicles,
+            FleetConfig {
+                seed: 2024,
+                threads,
+                fault_plan: Some(plan.clone()),
+                ..FleetConfig::default()
+            },
+        )
+        .run(&p, 3)
+    };
+    let serial = run(Some(1));
+    let parallel = run(Some(4));
+    assert_reports_identical(&serial, &parallel);
+    // The guard actually ran: every receiver evaluated incoming clouds.
+    assert!(serial.1.alignment.values().any(|s| s.evaluated > 0));
 }
 
 #[test]
