@@ -16,7 +16,7 @@
 //! exchange — is enforced by this binary's unit tests, where CI sees
 //! it.
 
-use cooper_bench::{output_dir, render_table, standard_pipeline, write_artifact};
+use cooper_bench::{ledger, output_dir, render_table, standard_pipeline, write_artifact};
 use cooper_core::channel::PerfectChannel;
 use cooper_core::fleet::{
     straight_trajectory, FleetConfig, FleetSimulation, FleetStats, FleetStepReport, FleetVehicle,
@@ -160,7 +160,8 @@ fn roi_name(cap: Option<RoiCategory>) -> &'static str {
 
 /// `--check`: run only the baseline and the headline configuration and
 /// verify the acceptance criteria — the CI smoke mode. Exits non-zero
-/// on violation, writes no artifact.
+/// on violation; appends the normalized result to the bench regression
+/// ledger instead of writing a figure artifact.
 fn run_check() {
     let pipeline = standard_pipeline();
     let baseline = run_baseline(&pipeline);
@@ -175,6 +176,18 @@ fn run_check() {
     if reduction < 3.0 || drift > 0.05 {
         eprintln!("bandwidth_sweep check FAILED");
         std::process::exit(1);
+    }
+    let dir = output_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
+    let record = ledger::BenchRecord::new(
+        "bandwidth_sweep",
+        &[
+            ("reduction", reduction),
+            ("detection_drift", drift),
+            ("headline_wire_bytes", headline.wire_bytes as f64),
+        ],
+    );
+    if let Err(e) = ledger::append(&dir.join(ledger::HISTORY_FILE), &record) {
+        eprintln!("warning: cannot append to bench ledger: {e}");
     }
     println!("bandwidth_sweep check passed");
 }

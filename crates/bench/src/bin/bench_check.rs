@@ -1,0 +1,57 @@
+//! CI gate over the bench regression ledger.
+//!
+//! Reads `results/BENCH_history.jsonl` (override with `--history
+//! <path>`), compares the latest record of each bench against its
+//! baseline with the per-metric tolerances in
+//! [`cooper_bench::ledger::tolerance_for`], prints the verdict table
+//! and exits non-zero when any gated metric regressed. An empty or
+//! missing ledger also fails: CI is expected to have run the `--check`
+//! benches first.
+
+use std::path::PathBuf;
+
+use cooper_bench::ledger;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--history")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(ledger::default_history_path);
+
+    let records = match ledger::read_history(&path) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            std::process::exit(1);
+        }
+    };
+    if records.is_empty() {
+        eprintln!(
+            "bench_check: {} holds no records — run the --check benches first",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+
+    let report = ledger::check_history(&records);
+    println!(
+        "bench_check: {} records across {} benches in {}",
+        records.len(),
+        report
+            .verdicts
+            .iter()
+            .map(|v| v.bench.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        path.display()
+    );
+    print!("{report}");
+    if report.failed() {
+        eprintln!("bench_check FAILED: gated metric regressed past tolerance");
+        std::process::exit(1);
+    }
+    println!("bench_check passed");
+}

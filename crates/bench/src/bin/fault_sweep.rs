@@ -13,7 +13,7 @@
 //! gate (guard on). Emits `BENCH_fault.json`; `--check` runs the CI
 //! acceptance subset.
 
-use cooper_bench::{output_dir, render_table, standard_pipeline, write_artifact};
+use cooper_bench::{ledger, output_dir, render_table, standard_pipeline, write_artifact};
 use cooper_core::report::{match_by_center_distance, EvaluationConfig};
 use cooper_core::{AlignmentGuardConfig, CooperPipeline, ExchangePacket, GuardDecision};
 use cooper_geometry::{Obb3, RigidTransform, Vec3};
@@ -203,6 +203,20 @@ fn run_check() {
     if !point_passes(&point) {
         eprintln!("fault_sweep check FAILED: guard must recover >= 50% of the drift gap and never fall below ego-only recall");
         std::process::exit(1);
+    }
+    let dir = output_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
+    let record = ledger::BenchRecord::new(
+        "fault_sweep",
+        &[
+            ("drift_m", point.drift_m),
+            ("ego_recall", point.ego),
+            ("clean_recall", point.clean),
+            ("guard_off_recall", point.guard_off),
+            ("guard_on_recall", point.guard_on),
+        ],
+    );
+    if let Err(e) = ledger::append(&dir.join(ledger::HISTORY_FILE), &record) {
+        eprintln!("warning: cannot append to bench ledger: {e}");
     }
     println!("fault_sweep check passed");
 }

@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use cooper_bench::{output_dir, render_table, write_artifact};
+use cooper_bench::{ledger, output_dir, render_table, write_artifact};
 use cooper_core::fleet::{
     straight_trajectory, FleetConfig, FleetSimulation, FleetStepReport, FleetVehicle,
 };
@@ -70,7 +70,51 @@ fn deterministic_view(reports: &[FleetStepReport]) -> Vec<String> {
         .collect()
 }
 
+/// `--check`: run only the 4-vehicle fleet at 1 and 4 worker threads,
+/// verify the determinism contract (reports bit-identical across
+/// thread counts) and append the normalized result to the bench
+/// regression ledger — the CI smoke mode. Exits non-zero on violation.
+fn run_check() {
+    let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()));
+    let mut views = Vec::new();
+    let mut timings = Vec::new();
+    for threads in [1usize, 4] {
+        let sim = fleet(4, threads);
+        let started = Instant::now();
+        let (reports, _) = sim.run(&pipeline, STEPS);
+        timings.push((threads, started.elapsed().as_micros() as u64));
+        views.push(deterministic_view(&reports));
+    }
+    let deterministic = views[0] == views[1];
+    let speedup = timings[0].1.max(1) as f64 / timings[1].1.max(1) as f64;
+    println!(
+        "check: 4 vehicles x {STEPS} steps, deterministic across 1/4 threads: {deterministic}, 4-thread speedup {speedup:.2}x"
+    );
+    if !deterministic {
+        eprintln!("parallel_fleet check FAILED: reports differ across thread counts");
+        std::process::exit(1);
+    }
+    let dir = output_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
+    let record = ledger::BenchRecord::new(
+        "parallel_fleet",
+        &[
+            ("deterministic", 1.0),
+            ("speedup_4_threads", speedup),
+            ("total_1t_us", timings[0].1 as f64),
+            ("total_4t_us", timings[1].1 as f64),
+        ],
+    );
+    if let Err(e) = ledger::append(&dir.join(ledger::HISTORY_FILE), &record) {
+        eprintln!("warning: cannot append to bench ledger: {e}");
+    }
+    println!("parallel_fleet check passed");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        run_check();
+        return;
+    }
     let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()));
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())

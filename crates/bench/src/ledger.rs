@@ -1,0 +1,378 @@
+//! The bench regression ledger: a JSON-lines history of normalized
+//! `--check` results under `results/BENCH_history.jsonl`, and the
+//! comparison logic `bench_check` runs in CI.
+//!
+//! Every bench binary's `--check` mode appends one [`BenchRecord`] per
+//! run — the bench name plus a flat map of scalar metrics. The ledger
+//! reuses the [`TelemetryEvent`] JSON-lines codec (kind = bench name,
+//! fields = metrics), so the file is greppable, `jq`-able and parseable
+//! with the same tooling as telemetry sinks. `bench_check` then
+//! compares the *latest* record of each bench against its *baseline*
+//! (the oldest record on file) with per-metric tolerance: quality
+//! metrics regress the build, timing/throughput metrics are recorded
+//! but informational, because CI machines are not a benchmarking lab.
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use cooper_telemetry::event::{FieldValue, TelemetryEvent};
+
+/// File name of the ledger inside the results directory.
+pub const HISTORY_FILE: &str = "BENCH_history.jsonl";
+
+/// Default ledger path relative to the repo root.
+pub fn default_history_path() -> PathBuf {
+    PathBuf::from("results").join(HISTORY_FILE)
+}
+
+/// One normalized `--check` result: a bench name and scalar metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// The bench binary that produced the record (e.g. `fault_sweep`).
+    pub bench: String,
+    /// Metric name → value, in insertion order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// Creates a record for `bench` with the given metrics.
+    pub fn new(bench: impl Into<String>, metrics: &[(&str, f64)]) -> Self {
+        BenchRecord {
+            bench: bench.into(),
+            metrics: metrics
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+        }
+    }
+
+    /// Looks up a metric value.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Encodes as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut event = TelemetryEvent::new(self.bench.clone());
+        for (key, value) in &self.metrics {
+            event = event.with(key.clone(), *value);
+        }
+        event.to_json_line()
+    }
+
+    /// Decodes a ledger line. Integer-encoded metrics are widened to
+    /// `f64`; non-numeric fields are rejected.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let event = TelemetryEvent::from_json_line(line).map_err(|e| e.to_string())?;
+        let mut metrics = Vec::new();
+        for (key, value) in event.fields() {
+            let v = match value {
+                FieldValue::F64(v) => *v,
+                FieldValue::U64(v) => *v as f64,
+                FieldValue::I64(v) => *v as f64,
+                other => {
+                    return Err(format!("metric {key:?} is not numeric: {other:?}"));
+                }
+            };
+            metrics.push((key.to_string(), v));
+        }
+        Ok(BenchRecord {
+            bench: event.kind().to_string(),
+            metrics,
+        })
+    }
+}
+
+/// Appends `record` to the ledger at `path`, creating parent
+/// directories and the file as needed.
+pub fn append(path: &Path, record: &BenchRecord) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(file, "{}", record.to_json_line())
+}
+
+/// Reads every record from the ledger at `path`, oldest first. Blank
+/// lines are skipped; a malformed line is an error (a corrupt ledger
+/// must not silently pass CI).
+pub fn read_history(path: &Path) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = BenchRecord::from_json_line(line)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Which way a metric is allowed to move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// A drop below baseline − tolerance is a regression.
+    HigherIsBetter,
+    /// A rise above baseline + tolerance is a regression.
+    LowerIsBetter,
+}
+
+/// Allowed movement of a checked metric relative to its baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tolerance {
+    /// Which direction counts as worse.
+    pub direction: Direction,
+    /// Relative slack as a fraction of `|baseline|`.
+    pub rel: f64,
+    /// Absolute slack in metric units.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    fn slack(&self, baseline: f64) -> f64 {
+        (self.rel * baseline.abs()).max(self.abs)
+    }
+
+    /// `true` when `latest` has regressed past the slack window.
+    pub fn regressed(&self, baseline: f64, latest: f64) -> bool {
+        match self.direction {
+            Direction::HigherIsBetter => latest < baseline - self.slack(baseline),
+            Direction::LowerIsBetter => latest > baseline + self.slack(baseline),
+        }
+    }
+}
+
+/// The per-metric policy: which metrics gate CI and with how much
+/// slack. `None` means informational — recorded in the ledger and the
+/// report, never failing the build. Timing, byte and speedup metrics
+/// are informational by design: CI hosts are shared and noisy, and a
+/// wall-clock delta there is not evidence of a code regression.
+pub fn tolerance_for(bench: &str, metric: &str) -> Option<Tolerance> {
+    // Measured-time / throughput metrics never gate.
+    if metric.ends_with("_us") || metric.ends_with("_ms") || metric.ends_with("_bytes") {
+        return None;
+    }
+    let t = |direction, rel, abs| {
+        Some(Tolerance {
+            direction,
+            rel,
+            abs,
+        })
+    };
+    match (bench, metric) {
+        // Wire-byte reduction of the headline governed configuration
+        // vs the v1 full-frame exchange; detection drift it costs.
+        ("bandwidth_sweep", "reduction") => t(Direction::HigherIsBetter, 0.15, 0.0),
+        ("bandwidth_sweep", "detection_drift") => t(Direction::LowerIsBetter, 0.0, 0.02),
+        // Recall arms of the pose-fault study. The guard-off arm is the
+        // intentionally broken one — informational.
+        ("fault_sweep", "ego_recall") => t(Direction::HigherIsBetter, 0.0, 0.02),
+        ("fault_sweep", "clean_recall") => t(Direction::HigherIsBetter, 0.0, 0.02),
+        ("fault_sweep", "guard_on_recall") => t(Direction::HigherIsBetter, 0.0, 0.02),
+        // The determinism contract is binary: 1.0 or the build is wrong.
+        ("parallel_fleet", "deterministic") => t(Direction::HigherIsBetter, 0.0, 0.0),
+        _ => None,
+    }
+}
+
+/// The comparison of one metric: latest vs baseline under its policy.
+#[derive(Clone, Debug)]
+pub struct MetricVerdict {
+    /// Bench the metric belongs to.
+    pub bench: String,
+    /// Metric name.
+    pub metric: String,
+    /// Value in the oldest record on file.
+    pub baseline: f64,
+    /// Value in the newest record on file.
+    pub latest: f64,
+    /// `None` when the metric is informational.
+    pub tolerance: Option<Tolerance>,
+    /// `true` when the metric moved past its slack window.
+    pub regressed: bool,
+}
+
+/// The full `bench_check` comparison across every bench in the ledger.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// One verdict per (bench, metric) present in the latest records.
+    pub verdicts: Vec<MetricVerdict>,
+}
+
+impl CheckReport {
+    /// `true` when any gated metric regressed.
+    pub fn failed(&self) -> bool {
+        self.verdicts.iter().any(|v| v.regressed)
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:<18} {:>12} {:>12}  verdict",
+            "bench", "metric", "baseline", "latest"
+        )?;
+        for v in &self.verdicts {
+            let verdict = match (&v.tolerance, v.regressed) {
+                (None, _) => "info",
+                (Some(_), false) => "ok",
+                (Some(_), true) => "REGRESSED",
+            };
+            writeln!(
+                f,
+                "{:<16} {:<18} {:>12.4} {:>12.4}  {verdict}",
+                v.bench, v.metric, v.baseline, v.latest
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares the latest record of each bench against its baseline (the
+/// oldest record of the same bench), applying [`tolerance_for`] per
+/// metric. Benches with a single record compare against themselves and
+/// trivially pass — the first run *defines* the baseline.
+pub fn check_history(records: &[BenchRecord]) -> CheckReport {
+    let mut benches: Vec<&str> = Vec::new();
+    for r in records {
+        if !benches.contains(&r.bench.as_str()) {
+            benches.push(&r.bench);
+        }
+    }
+    let mut report = CheckReport::default();
+    for bench in benches {
+        let baseline = records
+            .iter()
+            .find(|r| r.bench == bench)
+            .expect("bench came from records");
+        let latest = records
+            .iter()
+            .rev()
+            .find(|r| r.bench == bench)
+            .expect("bench came from records");
+        for (metric, latest_value) in &latest.metrics {
+            // A metric absent from the baseline has no reference point
+            // yet; treat the latest value as its baseline.
+            let baseline_value = baseline.metric(metric).unwrap_or(*latest_value);
+            let tolerance = tolerance_for(bench, metric);
+            report.verdicts.push(MetricVerdict {
+                bench: bench.to_string(),
+                metric: metric.clone(),
+                baseline: baseline_value,
+                latest: *latest_value,
+                regressed: tolerance
+                    .map(|t| t.regressed(baseline_value, *latest_value))
+                    .unwrap_or(false),
+                tolerance,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let record = BenchRecord::new(
+            "bandwidth_sweep",
+            &[("reduction", 3.41), ("detection_drift", 0.0)],
+        );
+        let line = record.to_json_line();
+        let back = BenchRecord::from_json_line(&line).expect("parses");
+        assert_eq!(back.bench, "bandwidth_sweep");
+        assert_eq!(back.metric("reduction"), Some(3.41));
+        assert_eq!(back.metric("detection_drift"), Some(0.0));
+    }
+
+    #[test]
+    fn append_and_read_preserve_order() {
+        let dir = std::env::temp_dir().join("cooper-ledger-test-order");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join(HISTORY_FILE);
+        append(&path, &BenchRecord::new("a", &[("m", 1.0)])).expect("append");
+        append(&path, &BenchRecord::new("b", &[("m", 2.0)])).expect("append");
+        append(&path, &BenchRecord::new("a", &[("m", 3.0)])).expect("append");
+        let records = read_history(&path).expect("reads");
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].bench, "a");
+        assert_eq!(records[2].metric("m"), Some(3.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_record_is_its_own_baseline_and_passes() {
+        let report = check_history(&[BenchRecord::new("fault_sweep", &[("guard_on_recall", 0.8)])]);
+        assert!(!report.failed());
+        assert_eq!(report.verdicts.len(), 1);
+        assert_eq!(report.verdicts[0].baseline, report.verdicts[0].latest);
+    }
+
+    #[test]
+    fn injected_regression_fails_the_check() {
+        let history = [
+            BenchRecord::new("fault_sweep", &[("guard_on_recall", 0.80)]),
+            BenchRecord::new("fault_sweep", &[("guard_on_recall", 0.70)]),
+        ];
+        let report = check_history(&history);
+        assert!(report.failed(), "a 0.10 recall drop must gate");
+        let v = &report.verdicts[0];
+        assert!(v.regressed);
+        assert_eq!(v.baseline, 0.80);
+        assert_eq!(v.latest, 0.70);
+    }
+
+    #[test]
+    fn movement_within_tolerance_passes() {
+        let history = [
+            BenchRecord::new("bandwidth_sweep", &[("reduction", 3.4)]),
+            BenchRecord::new("bandwidth_sweep", &[("reduction", 3.1)]),
+        ];
+        assert!(!check_history(&history).failed(), "within 15% slack");
+        let history = [
+            BenchRecord::new("bandwidth_sweep", &[("reduction", 3.4)]),
+            BenchRecord::new("bandwidth_sweep", &[("reduction", 2.0)]),
+        ];
+        assert!(check_history(&history).failed(), "past 15% slack");
+    }
+
+    #[test]
+    fn lower_is_better_gates_upward_movement() {
+        let history = [
+            BenchRecord::new("bandwidth_sweep", &[("detection_drift", 0.00)]),
+            BenchRecord::new("bandwidth_sweep", &[("detection_drift", 0.04)]),
+        ];
+        assert!(check_history(&history).failed());
+    }
+
+    #[test]
+    fn timing_metrics_are_informational() {
+        let history = [
+            BenchRecord::new("parallel_fleet", &[("perceive_us", 1000.0)]),
+            BenchRecord::new("parallel_fleet", &[("perceive_us", 9000.0)]),
+        ];
+        let report = check_history(&history);
+        assert!(!report.failed(), "a 9x wall-clock delta must not gate");
+        assert!(report.verdicts[0].tolerance.is_none());
+    }
+
+    #[test]
+    fn determinism_has_zero_slack() {
+        let history = [
+            BenchRecord::new("parallel_fleet", &[("deterministic", 1.0)]),
+            BenchRecord::new("parallel_fleet", &[("deterministic", 0.0)]),
+        ];
+        assert!(check_history(&history).failed());
+    }
+}

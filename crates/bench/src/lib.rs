@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ledger;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 

@@ -9,6 +9,7 @@
 //! cooper detect    --input cloud.ply|cloud.xyz [--weights weights.bin] [--threshold T] [--bev]
 //! cooper evaluate  --scenario NAME [--pair N] [--weights weights.bin]
 //! cooper simulate  --scenario NAME [--seconds N] [--seed N] [--threads N] [--weights weights.bin]
+//! cooper profile   --scenario NAME [--vehicles N] [--steps N] [--trace-out trace.json]
 //! cooper convert   --input a.xyz --out b.ply
 //! cooper scenarios
 //! ```
@@ -31,7 +32,7 @@ use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, Flee
 use cooper_core::report::{evaluate_pair, EvaluationConfig};
 use cooper_core::viz::{render_bev, BevViewConfig};
 use cooper_core::{AlignmentGuardConfig, CooperPipeline, ExchangePacket, GovernorConfig};
-use cooper_geometry::GpsFix;
+use cooper_geometry::{GpsFix, Pose, Vec3};
 use cooper_lidar_sim::scenario::{self, Scenario};
 use cooper_lidar_sim::{BeamModel, FaultPlan, LidarScanner, PoseEstimate};
 use cooper_pointcloud::io::{read_pcd, read_ply, read_xyz, write_pcd, write_ply, write_xyz};
@@ -147,6 +148,8 @@ USAGE:
                    [--channel perfect|iid|gilbert-elliott] [--loss P] [--arq-retries N]
                    [--roi full|front120|forward] [--delta-encode] [--keyframe-every N]
                    [--fault-plan SPEC] [--align-guard] [--icp-iters N]
+  cooper profile   --scenario NAME [--vehicles N] [--steps N] [--threads N] [--seed N]
+                   [--trace-out trace.json]
   cooper convert   --input a.xyz|a.ply|a.pcd --out b.xyz|b.ply|b.pcd
   cooper scenarios
 
@@ -173,6 +176,13 @@ the receiver-side alignment guard: every received cloud is scored on
 sender/receiver overlap, ICP-refined when recoverable (at most
 --icp-iters iterations, default 10) and rejected to ego-only fallback
 when not.
+`profile` runs a fleet (default 4 vehicles, 2 steps) with the tracing
+profiler on: it prints a ranked self-time table over the SPOD sub-phases
+(preprocess, voxelize, vfe, conv1, conv2, bev, rpn, nms) and the
+coverage of pipeline.perceive they explain, and with --trace-out PATH
+writes a Chrome trace-event JSON (open in chrome://tracing or Perfetto;
+one lane per worker thread) of every span and per-transfer trace mark.
+`--scene` is accepted as an alias of --scenario.
 
 Scenario names: kitti1 kitti2 kitti3 kitti4 tj1 tj2 tj3 tj4"
         .to_string()
@@ -269,6 +279,135 @@ fn require<'a>(options: &'a HashMap<String, String>, flag: &str) -> Result<&'a s
         .get(flag)
         .map(String::as_str)
         .ok_or_else(|| CliError::usage(format!("{flag} is required")))
+}
+
+/// Everything `cooper profile` measured, returned as data so callers
+/// (and the profile smoke test) can assert on it without capturing
+/// stdout.
+#[derive(Debug)]
+pub struct ProfileReport {
+    /// Vehicles in the profiled fleet.
+    pub vehicles: usize,
+    /// Simulation steps profiled.
+    pub steps: usize,
+    /// Percentage of summed `pipeline.perceive` span time attributed to
+    /// the named SPOD sub-phases' self time.
+    pub coverage_pct: f64,
+    /// Ranked self-time table (stage, count, self_ms, total_ms, share).
+    pub table: String,
+    /// Chrome trace-event JSON for the whole run (spans as duration
+    /// slices on per-thread lanes, per-transfer marks as instants).
+    pub trace_json: String,
+    /// Number of distinct thread lanes in the trace.
+    pub lane_count: usize,
+}
+
+/// Runs the perceive-phase profiler: a fleet simulation over `scene_name`
+/// with telemetry and tracing enabled, returning the ranked self-time
+/// table, the SPOD sub-phase coverage of `pipeline.perceive`, and the
+/// Chrome trace.
+///
+/// Owns the global telemetry registry for the duration of the call
+/// (resets it before and after), so callers must not run it concurrently
+/// with other registry users.
+///
+/// # Errors
+///
+/// Returns a usage error for a zero `vehicle_count`/`steps` or an
+/// unknown scenario.
+pub fn run_profile(
+    scene_name: &str,
+    vehicle_count: usize,
+    steps: usize,
+    threads: Option<usize>,
+    seed: u64,
+) -> Result<ProfileReport, CliError> {
+    if vehicle_count == 0 {
+        return Err(CliError::usage("--vehicles must be at least 1"));
+    }
+    if steps == 0 {
+        return Err(CliError::usage("--steps must be at least 1"));
+    }
+    let scene = scenario_by_name(scene_name)?;
+    // Fleets larger than the scenario's observer set reuse the observer
+    // poses shifted sideways ring by ring, so every vehicle still scans
+    // meaningful geometry.
+    let vehicles: Vec<FleetVehicle> = (0..vehicle_count)
+        .map(|i| {
+            let base = scene.observers[i % scene.observers.len()];
+            let ring = (i / scene.observers.len()) as f64;
+            let start = Pose::new(
+                base.position + Vec3::new(3.0 * ring, 3.0 * ring, 0.0),
+                base.attitude,
+            );
+            FleetVehicle {
+                id: i as u32 + 1,
+                trajectory: straight_trajectory(start, 1.0, steps),
+                beams: scene.kind.beam_model(),
+            }
+        })
+        .collect();
+    // Untrained detector: the profiler measures where time goes, not
+    // detection accuracy, and training would dwarf the traced run.
+    let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()));
+    let sim = FleetSimulation::new(
+        scene.world.clone(),
+        vehicles,
+        FleetConfig {
+            seed,
+            threads,
+            ..FleetConfig::default()
+        },
+    );
+    cooper_telemetry::reset();
+    cooper_telemetry::enable();
+    cooper_telemetry::set_tracing(true);
+    let mut channel = PerfectChannel;
+    let (_reports, _stats) = sim.run_with_channel(&pipeline, steps, &mut channel);
+    let snapshot = cooper_telemetry::snapshot();
+    let trace = cooper_telemetry::take_trace();
+    cooper_telemetry::set_tracing(false);
+    cooper_telemetry::disable();
+    cooper_telemetry::reset();
+
+    let subphase_self: u64 = snapshot
+        .self_times_by_name()
+        .iter()
+        .filter(|e| cooper_telemetry::names::SPOD_SUBPHASES.contains(&e.name.as_str()))
+        .map(|e| e.self_us)
+        .sum();
+    // Perceive-phase CPU total: every entry into the pipeline during
+    // phase 3 — cooperative `pipeline.perceive` plus the standalone
+    // ego-baseline `pipeline.perceive_single` roots (the ones not
+    // already nested inside a `pipeline.perceive`). Summing totals over
+    // entry points counts each worker thread's time once, so the ratio
+    // is meaningful at any thread count.
+    let perceive_total: u64 = snapshot
+        .spans
+        .iter()
+        .filter(|s| {
+            s.name == cooper_telemetry::names::SPAN_PIPELINE_PERCEIVE
+                || (s.name == cooper_telemetry::names::SPAN_PIPELINE_PERCEIVE_SINGLE
+                    && !s
+                        .path
+                        .split('/')
+                        .any(|seg| seg == cooper_telemetry::names::SPAN_PIPELINE_PERCEIVE))
+        })
+        .map(|s| s.total_us)
+        .sum();
+    let coverage_pct = if perceive_total == 0 {
+        0.0
+    } else {
+        subphase_self as f64 / perceive_total as f64 * 100.0
+    };
+    Ok(ProfileReport {
+        vehicles: vehicle_count,
+        steps,
+        coverage_pct,
+        table: snapshot.render_self_time_table(),
+        trace_json: trace.to_chrome_json(),
+        lane_count: trace.lane_count,
+    })
 }
 
 /// Executes a parsed command, printing results to stdout.
@@ -698,6 +837,48 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "profile" => {
+            let scene_name = parsed
+                .options
+                .get("--scenario")
+                .or_else(|| parsed.options.get("--scene"))
+                .map(String::as_str)
+                .ok_or_else(|| CliError::usage("--scenario (or --scene) is required"))?;
+            let vehicle_count: usize = get_parse(&parsed.options, "--vehicles", 4)?;
+            let steps: usize = get_parse(&parsed.options, "--steps", 2)?;
+            let seed: u64 = get_parse(&parsed.options, "--seed", 1)?;
+            let threads = parsed
+                .options
+                .get("--threads")
+                .map(|raw| {
+                    raw.parse::<usize>().map_err(|_| {
+                        CliError::usage(format!("invalid value for --threads: {raw:?}"))
+                    })
+                })
+                .transpose()?;
+            if threads == Some(0) {
+                return Err(CliError::usage("--threads must be at least 1"));
+            }
+            let report = run_profile(scene_name, vehicle_count, steps, threads, seed)?;
+            println!(
+                "profile: {} vehicles × {} steps on {}",
+                report.vehicles, report.steps, scene_name
+            );
+            print!("{}", report.table);
+            println!(
+                "perceive coverage: {:.1}% of pipeline.perceive time in named SPOD sub-phases",
+                report.coverage_pct
+            );
+            if let Some(path) = parsed.options.get("--trace-out") {
+                std::fs::write(path, &report.trace_json)
+                    .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+                println!(
+                    "wrote Chrome trace ({} thread lanes) to {path}",
+                    report.lane_count
+                );
+            }
+            Ok(())
+        }
         "convert" => {
             let cloud = read_cloud(require(&parsed.options, "--input")?)?;
             let out = require(&parsed.options, "--out")?;
@@ -859,6 +1040,32 @@ mod tests {
             run(&parse_args(&args(&["detect", "--input", "/definitely/not/here.xyz"])).unwrap())
                 .unwrap_err();
         assert!(!e.usage);
+    }
+
+    #[test]
+    fn profile_rejects_bad_arguments() {
+        // Argument validation only — these paths never touch the
+        // global registry, which `simulate_covers_core_spod_and_v2x_spans`
+        // owns within this test binary.
+        let e = run(&parse_args(&args(&["profile"])).unwrap()).unwrap_err();
+        assert!(e.usage);
+        assert!(e.message.contains("--scenario"));
+        let e = run(&parse_args(&args(&["profile", "--scene", "nope"])).unwrap()).unwrap_err();
+        assert!(e.message.contains("unknown scenario"));
+        let e =
+            run(&parse_args(&args(&["profile", "--scenario", "tj1", "--vehicles", "0"])).unwrap())
+                .unwrap_err();
+        assert!(e.usage);
+        assert!(e.message.contains("--vehicles"));
+        let e = run(&parse_args(&args(&["profile", "--scenario", "tj1", "--steps", "0"])).unwrap())
+            .unwrap_err();
+        assert!(e.usage);
+        assert!(e.message.contains("--steps"));
+        let e =
+            run(&parse_args(&args(&["profile", "--scenario", "tj1", "--threads", "0"])).unwrap())
+                .unwrap_err();
+        assert!(e.usage);
+        assert!(e.message.contains("--threads"));
     }
 
     #[test]

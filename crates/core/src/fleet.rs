@@ -39,6 +39,9 @@ use cooper_lidar_sim::{
 };
 use cooper_pointcloud::roi::{blind_sectors, extract_roi, BlindSector, RoiCategory, StaticMap};
 use cooper_pointcloud::{DeltaDecoder, DeltaEncoder, FrameKind, PointCloud};
+use cooper_telemetry::names as telemetry_names;
+use cooper_telemetry::trace::stage as trace_stage;
+use cooper_telemetry::TraceId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -593,7 +596,7 @@ impl FleetSimulation {
         channel: &mut dyn ChannelModel,
         mut governed: Option<GovernedLoop<'_>>,
     ) -> (Vec<FleetStepReport>, FleetStats) {
-        let _run_span = cooper_telemetry::span!("fleet.run");
+        let _run_span = cooper_telemetry::span!(telemetry_names::SPAN_FLEET_RUN);
         let governed_cfg = governed.as_ref().map(|g| g.config.clone());
         let injector = self
             .config
@@ -614,14 +617,14 @@ impl FleetSimulation {
         let mut world = self.world.clone();
 
         for step in 0..steps {
-            let _step_span = cooper_telemetry::span!("fleet.step");
+            let _step_span = cooper_telemetry::span!(telemetry_names::SPAN_FLEET_STEP);
             let mut timings = StepTimings::default();
 
             // Phase 1 (parallel): every vehicle scans, measures its
             // pose and builds its broadcast packet.
             let scan_start = std::time::Instant::now();
             let phase1: Vec<(Broadcast, Option<EncodeDrop>)> = {
-                let _scan_span = cooper_telemetry::span!("fleet.scan");
+                let _scan_span = cooper_telemetry::span!(telemetry_names::SPAN_FLEET_SCAN);
                 executor.map(&self.vehicles, |idx, v| {
                     let pose = v.pose_at(step);
                     let scanner = LidarScanner::new(v.beams.clone());
@@ -686,7 +689,11 @@ impl FleetSimulation {
                         Err(error) => {
                             if cooper_telemetry::is_enabled() {
                                 cooper_telemetry::counter_add(
-                                    &format!("fleet.encode_drop.{}", error.kind()),
+                                    &format!(
+                                        "{}{}",
+                                        telemetry_names::FLEET_ENCODE_DROP_PREFIX,
+                                        error.kind()
+                                    ),
                                     1,
                                 );
                             }
@@ -725,7 +732,7 @@ impl FleetSimulation {
             let mut partial_counts = vec![0usize; self.vehicles.len()];
             let mut transport_drops: Vec<TransportDrop> = Vec::new();
             {
-                let _exchange_span = cooper_telemetry::span!("fleet.exchange");
+                let _exchange_span = cooper_telemetry::span!(telemetry_names::SPAN_FLEET_EXCHANGE);
                 channel.on_step_begin(step);
                 for i in 0..self.vehicles.len() {
                     for j in (i + 1)..self.vehicles.len() {
@@ -779,7 +786,7 @@ impl FleetSimulation {
             // deterministic.
             let perceive_start = std::time::Instant::now();
             let phase3: Vec<(VehicleStepReport, Vec<TransportDrop>, AlignmentVehicleStats)> = {
-                let _perceive_span = cooper_telemetry::span!("fleet.perceive");
+                let _perceive_span = cooper_telemetry::span!(telemetry_names::SPAN_FLEET_PERCEIVE);
                 executor.map(&broadcasts, |i, me| {
                     let id = self.vehicles[i].id;
                     let mut rng = StdRng::seed_from_u64(stream_seed(
@@ -820,6 +827,35 @@ impl FleetSimulation {
                             _ => None,
                         })
                         .collect();
+                    // Terminal trace marks: every delivered packet's
+                    // causal chain ends here — fused into detection
+                    // input, rejected by the alignment guard, or
+                    // dropped by a decode failure.
+                    if cooper_telemetry::is_tracing() {
+                        for (k, pkt) in inboxes[i].iter().enumerate() {
+                            let trace = TraceId::new(step, pkt.vehicle_id(), id);
+                            match outcome.drops.iter().find(|d| d.index == k) {
+                                Some(drop) => match drop.error {
+                                    CooperError::AlignmentRejected { residual_m } => {
+                                        cooper_telemetry::trace_mark_with(
+                                            trace,
+                                            trace_stage::ALIGN_REJECTED,
+                                            true,
+                                            u64::from(residual_to_mm(residual_m)),
+                                        );
+                                    }
+                                    _ => cooper_telemetry::trace_mark(
+                                        trace,
+                                        trace_stage::DECODE_FAILED,
+                                        true,
+                                    ),
+                                },
+                                None => {
+                                    cooper_telemetry::trace_mark(trace, trace_stage::FUSED, true)
+                                }
+                            }
+                        }
+                    }
                     let report = VehicleStepReport {
                         vehicle_id: id,
                         single_detections: single,
@@ -848,21 +884,38 @@ impl FleetSimulation {
             timings.perceive_us = perceive_start.elapsed().as_micros() as u64;
 
             if cooper_telemetry::is_enabled() {
-                cooper_telemetry::record_value("fleet.phase.scan_us", timings.scan_us);
-                cooper_telemetry::record_value("fleet.phase.exchange_us", timings.exchange_us);
-                cooper_telemetry::record_value("fleet.phase.perceive_us", timings.perceive_us);
-                cooper_telemetry::gauge_set("fleet.threads", executor.threads() as f64);
+                cooper_telemetry::record_value(
+                    telemetry_names::FLEET_PHASE_SCAN_US,
+                    timings.scan_us,
+                );
+                cooper_telemetry::record_value(
+                    telemetry_names::FLEET_PHASE_EXCHANGE_US,
+                    timings.exchange_us,
+                );
+                cooper_telemetry::record_value(
+                    telemetry_names::FLEET_PHASE_PERCEIVE_US,
+                    timings.perceive_us,
+                );
+                cooper_telemetry::gauge_set(
+                    telemetry_names::FLEET_THREADS,
+                    executor.threads() as f64,
+                );
                 for v in &per_vehicle {
-                    cooper_telemetry::counter_add("fleet.bytes_received", v.bytes_received as u64);
+                    cooper_telemetry::counter_add(
+                        telemetry_names::FLEET_BYTES_RECEIVED,
+                        v.bytes_received as u64,
+                    );
                     cooper_telemetry::emit(
-                        cooper_telemetry::TelemetryEvent::new("fleet.vehicle_step")
-                            .with("step", step)
-                            .with("vehicle", v.vehicle_id)
-                            .with("single_detections", v.single_detections)
-                            .with("cooperative_detections", v.cooperative_detections)
-                            .with("packets_received", v.packets_received)
-                            .with("packets_dropped", v.packets_dropped)
-                            .with("bytes_received", v.bytes_received),
+                        cooper_telemetry::TelemetryEvent::new(
+                            telemetry_names::EVENT_FLEET_VEHICLE_STEP,
+                        )
+                        .with("step", step)
+                        .with("vehicle", v.vehicle_id)
+                        .with("single_detections", v.single_detections)
+                        .with("cooperative_detections", v.cooperative_detections)
+                        .with("packets_received", v.packets_received)
+                        .with("packets_dropped", v.packets_dropped)
+                        .with("bytes_received", v.bytes_received),
                     );
                 }
             }
@@ -901,16 +954,26 @@ impl FleetSimulation {
                     to: self.vehicles[i].id,
                     wire_bytes: packet.wire_size(),
                 };
+                let trace = TraceId::new(step, ctx.from, ctx.to);
                 match channel.deliver_verdict(&ctx) {
                     Delivery::Delivered => {
+                        cooper_telemetry::trace_mark_with(
+                            trace,
+                            trace_stage::DELIVERED,
+                            false,
+                            ctx.wire_bytes as u64,
+                        );
                         out.bytes_received[i] += packet.wire_size();
                         out.inboxes[i].push(packet.clone());
                     }
-                    Delivery::Dropped => {}
+                    Delivery::Dropped => {
+                        cooper_telemetry::trace_mark(trace, trace_stage::CHANNEL_DROPPED, true);
+                    }
                     Delivery::DeadlineExceeded => {
                         if cooper_telemetry::is_enabled() {
-                            cooper_telemetry::counter_add("fleet.deadline_miss", 1);
+                            cooper_telemetry::counter_add(telemetry_names::FLEET_DEADLINE_MISS, 1);
                         }
+                        cooper_telemetry::trace_mark(trace, trace_stage::DEADLINE_EXCEEDED, true);
                         out.transport_drops.push(TransportDrop {
                             from: ctx.from,
                             to: ctx.to,
@@ -925,13 +988,23 @@ impl FleetSimulation {
                         // delivered prefix contains and fuse those; the
                         // receiver degrades instead of losing the
                         // sender's scan entirely.
+                        cooper_telemetry::trace_mark_with(
+                            trace,
+                            trace_stage::PARTIAL,
+                            false,
+                            delivered_bytes as u64,
+                        );
                         let wire = packet.to_bytes();
                         let cut = delivered_bytes.min(wire.len());
                         match ExchangePacket::from_partial_bytes(&wire[..cut]) {
                             Ok((salvaged, _fraction)) => {
                                 if cooper_telemetry::is_enabled() {
-                                    cooper_telemetry::counter_add("fleet.partial_salvaged", 1);
+                                    cooper_telemetry::counter_add(
+                                        telemetry_names::FLEET_PARTIAL_SALVAGED,
+                                        1,
+                                    );
                                 }
+                                cooper_telemetry::trace_mark(trace, trace_stage::SALVAGED, false);
                                 out.bytes_received[i] += delivered_bytes;
                                 out.partial_counts[i] += 1;
                                 out.inboxes[i].push(salvaged);
@@ -946,8 +1019,16 @@ impl FleetSimulation {
                             }
                             Err(error) => {
                                 if cooper_telemetry::is_enabled() {
-                                    cooper_telemetry::counter_add("fleet.salvage_failed", 1);
+                                    cooper_telemetry::counter_add(
+                                        telemetry_names::FLEET_SALVAGE_FAILED,
+                                        1,
+                                    );
                                 }
+                                cooper_telemetry::trace_mark(
+                                    trace,
+                                    trace_stage::SALVAGE_FAILED,
+                                    true,
+                                );
                                 out.transport_drops.push(TransportDrop {
                                     from: ctx.from,
                                     to: ctx.to,
@@ -1060,7 +1141,11 @@ impl FleetSimulation {
                 Err(error) => {
                     if cooper_telemetry::is_enabled() {
                         cooper_telemetry::counter_add(
-                            &format!("fleet.encode_drop.{}", error.kind()),
+                            &format!(
+                                "{}{}",
+                                telemetry_names::FLEET_ENCODE_DROP_PREFIX,
+                                error.kind()
+                            ),
                             1,
                         );
                     }
@@ -1100,8 +1185,13 @@ impl FleetSimulation {
                         *out.stats.bytes_saved.entry(from).or_insert(0) +=
                             frames[j].baseline_bytes as u64;
                         if cooper_telemetry::is_enabled() {
-                            cooper_telemetry::counter_add("fleet.budget_skip", 1);
+                            cooper_telemetry::counter_add(telemetry_names::FLEET_BUDGET_SKIP, 1);
                         }
+                        cooper_telemetry::trace_mark(
+                            TraceId::new(step, from, to),
+                            trace_stage::GOVERN_SKIP,
+                            true,
+                        );
                         out.transport_drops.push(TransportDrop {
                             from,
                             to,
@@ -1135,7 +1225,10 @@ impl FleetSimulation {
                 if cooper_telemetry::is_enabled() {
                     let per_mille = (chosen.wire_bytes as u64).saturating_mul(1000)
                         / (frames[j].baseline_bytes.max(1) as u64);
-                    cooper_telemetry::record_value("codec.v2.bytes_ratio", per_mille);
+                    cooper_telemetry::record_value(
+                        telemetry_names::CODEC_V2_BYTES_RATIO,
+                        per_mille,
+                    );
                 }
                 let ctx = TransferCtx {
                     step,
@@ -1143,8 +1236,21 @@ impl FleetSimulation {
                     to,
                     wire_bytes: chosen.wire_bytes,
                 };
+                let trace = TraceId::new(step, from, to);
+                cooper_telemetry::trace_mark_with(
+                    trace,
+                    trace_stage::GOVERN_SEND,
+                    false,
+                    chosen.wire_bytes as u64,
+                );
                 match channel.deliver_verdict(&ctx) {
                     Delivery::Delivered => {
+                        cooper_telemetry::trace_mark_with(
+                            trace,
+                            trace_stage::DELIVERED,
+                            false,
+                            ctx.wire_bytes as u64,
+                        );
                         match Self::rx_reconstruct(&mut g.rx_decoders[i], from, &packet) {
                             Ok(reconstructed) => {
                                 out.bytes_received[i] += chosen.wire_bytes;
@@ -1152,8 +1258,16 @@ impl FleetSimulation {
                             }
                             Err(error) => {
                                 if cooper_telemetry::is_enabled() {
-                                    cooper_telemetry::counter_add("fleet.salvage_failed", 1);
+                                    cooper_telemetry::counter_add(
+                                        telemetry_names::FLEET_SALVAGE_FAILED,
+                                        1,
+                                    );
                                 }
+                                cooper_telemetry::trace_mark(
+                                    trace,
+                                    trace_stage::SALVAGE_FAILED,
+                                    true,
+                                );
                                 out.transport_drops.push(TransportDrop {
                                     from,
                                     to,
@@ -1164,11 +1278,14 @@ impl FleetSimulation {
                             }
                         }
                     }
-                    Delivery::Dropped => {}
+                    Delivery::Dropped => {
+                        cooper_telemetry::trace_mark(trace, trace_stage::CHANNEL_DROPPED, true);
+                    }
                     Delivery::DeadlineExceeded => {
                         if cooper_telemetry::is_enabled() {
-                            cooper_telemetry::counter_add("fleet.deadline_miss", 1);
+                            cooper_telemetry::counter_add(telemetry_names::FLEET_DEADLINE_MISS, 1);
                         }
+                        cooper_telemetry::trace_mark(trace, trace_stage::DEADLINE_EXCEEDED, true);
                         out.transport_drops.push(TransportDrop {
                             from,
                             to,
@@ -1179,6 +1296,12 @@ impl FleetSimulation {
                         delivered_bytes,
                         total_bytes,
                     } => {
+                        cooper_telemetry::trace_mark_with(
+                            trace,
+                            trace_stage::PARTIAL,
+                            false,
+                            delivered_bytes as u64,
+                        );
                         let wire = packet.to_bytes();
                         let cut = delivered_bytes.min(wire.len());
                         let salvaged = ExchangePacket::from_partial_bytes(&wire[..cut]).and_then(
@@ -1189,8 +1312,12 @@ impl FleetSimulation {
                         match salvaged {
                             Ok(reconstructed) => {
                                 if cooper_telemetry::is_enabled() {
-                                    cooper_telemetry::counter_add("fleet.partial_salvaged", 1);
+                                    cooper_telemetry::counter_add(
+                                        telemetry_names::FLEET_PARTIAL_SALVAGED,
+                                        1,
+                                    );
                                 }
+                                cooper_telemetry::trace_mark(trace, trace_stage::SALVAGED, false);
                                 out.bytes_received[i] += delivered_bytes;
                                 out.partial_counts[i] += 1;
                                 out.inboxes[i].push(reconstructed);
@@ -1205,8 +1332,16 @@ impl FleetSimulation {
                             }
                             Err(error) => {
                                 if cooper_telemetry::is_enabled() {
-                                    cooper_telemetry::counter_add("fleet.salvage_failed", 1);
+                                    cooper_telemetry::counter_add(
+                                        telemetry_names::FLEET_SALVAGE_FAILED,
+                                        1,
+                                    );
                                 }
+                                cooper_telemetry::trace_mark(
+                                    trace,
+                                    trace_stage::SALVAGE_FAILED,
+                                    true,
+                                );
                                 out.transport_drops.push(TransportDrop {
                                     from,
                                     to,

@@ -14,6 +14,7 @@ use cooper_pointcloud::{
     decode_cloud, decode_cloud_prefix, encode_cloud, encode_cloud_v2, FrameInfo, FrameKind,
     PointCloud,
 };
+use cooper_telemetry::names as telemetry_names;
 
 use crate::CooperError;
 
@@ -141,7 +142,7 @@ impl ExchangePacket {
     ///
     /// Returns [`CooperError::Codec`] for a corrupt payload.
     pub fn cloud(&self) -> Result<PointCloud, CooperError> {
-        let _span = cooper_telemetry::span!("packet.payload_decode");
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_PACKET_PAYLOAD_DECODE);
         Ok(decode_cloud(&self.payload)?)
     }
 
@@ -190,8 +191,8 @@ impl ExchangePacket {
 
     /// Serializes the packet for transmission.
     pub fn to_bytes(&self) -> Bytes {
-        let _span = cooper_telemetry::span!("packet.encode");
-        cooper_telemetry::record_value("packet.wire_bytes", self.wire_size() as u64);
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_PACKET_ENCODE);
+        cooper_telemetry::record_value(telemetry_names::PACKET_WIRE_BYTES, self.wire_size() as u64);
         let mut buf = BytesMut::with_capacity(self.wire_size());
         buf.put_slice(MAGIC);
         buf.put_u8(VERSION);
@@ -216,7 +217,7 @@ impl ExchangePacket {
     /// [`CooperError::UnsupportedVersion`] or [`CooperError::InvalidPose`]
     /// for malformed input.
     pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, CooperError> {
-        let _span = cooper_telemetry::span!("packet.decode");
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_PACKET_DECODE);
         if bytes.len() < HEADER_BYTES {
             return Err(CooperError::Truncated {
                 expected: HEADER_BYTES,
@@ -282,7 +283,7 @@ impl ExchangePacket {
     /// [`ExchangePacket::from_bytes`], plus [`CooperError::Truncated`]
     /// when not even the payload's own header survived.
     pub fn from_partial_bytes(bytes: &[u8]) -> Result<(Self, f64), CooperError> {
-        let _span = cooper_telemetry::span!("packet.decode_partial");
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_PACKET_DECODE_PARTIAL);
         if bytes.len() < HEADER_BYTES {
             return Err(CooperError::Truncated {
                 expected: HEADER_BYTES,

@@ -4,6 +4,7 @@ use cooper_geometry::GpsFix;
 use cooper_lidar_sim::{ObjectClass, PoseEstimate};
 use cooper_pointcloud::PointCloud;
 use cooper_spod::{Detection, SpodDetector};
+use cooper_telemetry::names as telemetry_names;
 
 use crate::{
     alignment_transform, guard_alignment, AlignmentGuardConfig, CooperError, ExchangePacket,
@@ -108,12 +109,14 @@ fn fuse_packets(
     origin: &GpsFix,
     guard: Option<&AlignmentGuardConfig>,
 ) -> (PointCloud, usize, Vec<PacketDrop>, Vec<AlignmentRecord>) {
-    let _span = cooper_telemetry::span!("pipeline.fuse");
-    let mut fused = local_cloud.clone();
+    let _span = cooper_telemetry::span!(telemetry_names::SPAN_PIPELINE_FUSE);
     let mut fused_count = 0usize;
     let mut merged_points = 0u64;
     let mut drops = Vec::new();
     let mut alignment = Vec::new();
+    // Pass 1: decode and (optionally) guard every packet, keeping the
+    // accepted clouds with their alignment transforms.
+    let mut accepted = Vec::with_capacity(packets.len());
     for (index, packet) in packets.iter().enumerate() {
         match packet.cloud() {
             Ok(remote_cloud) => {
@@ -141,12 +144,15 @@ fn fuse_packets(
                     transform = report.transform;
                 }
                 merged_points += remote_cloud.len() as u64;
-                fused.merge(&remote_cloud.transformed(&transform));
                 fused_count += 1;
+                accepted.push((remote_cloud, transform));
             }
             Err(error) => {
                 if cooper_telemetry::is_enabled() {
-                    cooper_telemetry::counter_add(&format!("pipeline.drop.{}", error.kind()), 1);
+                    cooper_telemetry::counter_add(
+                        &format!("{}{}", telemetry_names::PIPELINE_DROP_PREFIX, error.kind()),
+                        1,
+                    );
                 }
                 drops.push(PacketDrop {
                     index,
@@ -156,9 +162,21 @@ fn fuse_packets(
             }
         }
     }
-    cooper_telemetry::counter_add("pipeline.packets_fused", fused_count as u64);
-    cooper_telemetry::counter_add("pipeline.packets_dropped", drops.len() as u64);
-    cooper_telemetry::counter_add("pipeline.points_merged", merged_points);
+    // Pass 2: one exact-capacity allocation for the union — knowing
+    // every accepted cloud's size up front avoids the grow-and-copy
+    // churn of merging into an incrementally reallocated buffer.
+    let total: usize = local_cloud.len() + accepted.iter().map(|(c, _)| c.len()).sum::<usize>();
+    let mut fused = PointCloud::with_capacity(total);
+    fused.merge(local_cloud);
+    for (remote_cloud, transform) in &accepted {
+        fused.merge_transformed(remote_cloud, transform);
+    }
+    cooper_telemetry::counter_add(telemetry_names::PIPELINE_PACKETS_FUSED, fused_count as u64);
+    cooper_telemetry::counter_add(
+        telemetry_names::PIPELINE_PACKETS_DROPPED,
+        drops.len() as u64,
+    );
+    cooper_telemetry::counter_add(telemetry_names::PIPELINE_POINTS_MERGED, merged_points);
     (fused, fused_count, drops, alignment)
 }
 
@@ -169,17 +187,19 @@ fn record_guard_telemetry(report: &crate::GuardReport) {
     if !cooper_telemetry::is_enabled() {
         return;
     }
-    cooper_telemetry::counter_add("align.evaluated", 1);
+    cooper_telemetry::counter_add(telemetry_names::ALIGN_EVALUATED, 1);
     if report.residual_after_m.is_finite() {
         cooper_telemetry::record_value(
-            "align.residual",
+            telemetry_names::ALIGN_RESIDUAL,
             (report.residual_after_m * 1000.0).round() as u64,
         );
     }
     match report.decision {
-        GuardDecision::AcceptedRefined => cooper_telemetry::counter_add("align.refined", 1),
+        GuardDecision::AcceptedRefined => {
+            cooper_telemetry::counter_add(telemetry_names::ALIGN_REFINED, 1)
+        }
         GuardDecision::Rejected | GuardDecision::InsufficientOverlap => {
-            cooper_telemetry::counter_add("align.rejected", 1)
+            cooper_telemetry::counter_add(telemetry_names::ALIGN_REJECTED, 1)
         }
         GuardDecision::AcceptedClean => {}
     }
@@ -238,7 +258,7 @@ impl CooperPipeline {
     /// Single-shot perception: detect cars on one vehicle's own scan —
     /// the paper's baseline.
     pub fn perceive_single(&self, cloud: &PointCloud) -> Vec<Detection> {
-        let _span = cooper_telemetry::span!("pipeline.perceive_single");
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_PIPELINE_PERCEIVE_SINGLE);
         self.detector
             .detect_class(cloud, ObjectClass::Car, self.score_threshold)
     }
@@ -289,7 +309,7 @@ impl CooperPipeline {
         packets: &[ExchangePacket],
         origin: &GpsFix,
     ) -> FusionOutcome {
-        let _span = cooper_telemetry::span!("pipeline.perceive");
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_PIPELINE_PERCEIVE);
         let (fused_cloud, fused_count, drops, alignment) = fuse_packets(
             local_cloud,
             local_pose,

@@ -102,6 +102,15 @@ impl PointCloud {
         self.points.extend_from_slice(&other.points);
     }
 
+    /// Appends all points of `other` transformed by `t`: the fusion
+    /// fast path, equivalent to `merge(&other.transformed(t))` without
+    /// materialising the intermediate transformed copy.
+    pub fn merge_transformed(&mut self, other: &PointCloud, t: &RigidTransform) {
+        self.points.reserve(other.points.len());
+        self.points
+            .extend(other.points.iter().map(|p| p.transformed(t)));
+    }
+
     /// Returns the union of this cloud and `other` as a new cloud.
     pub fn merged(&self, other: &PointCloud) -> PointCloud {
         let mut out = self.clone();
@@ -256,6 +265,18 @@ mod tests {
         for (p, q) in cloud.iter().zip(back.iter()) {
             assert!((p.position - q.position).norm() < 1e-9);
         }
+    }
+
+    #[test]
+    fn merge_transformed_matches_transform_then_merge() {
+        let local = line_cloud(4);
+        let remote = line_cloud(7);
+        let t = RigidTransform::new(Mat3::rotation_z(0.3), Vec3::new(1.0, 2.0, 3.0));
+        let mut expected = local.clone();
+        expected.merge(&remote.transformed(&t));
+        let mut fused = local;
+        fused.merge_transformed(&remote, &t);
+        assert_eq!(fused, expected);
     }
 
     #[test]

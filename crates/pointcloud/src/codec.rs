@@ -299,15 +299,24 @@ pub fn decode_cloud(mut bytes: &[u8]) -> Result<PointCloud, CodecError> {
             actual: WIRE_HEADER_BYTES + bytes.remaining(),
         });
     }
+    Ok(decode_points(&bytes[..expected], count))
+}
+
+/// Decodes `count` fixed-stride points from a payload slice of exactly
+/// `count * WIRE_BYTES_PER_POINT` bytes. Working on whole 7-byte chunks
+/// instead of a byte cursor lets the bounds check happen once per point
+/// — this is the fusion hot path, run for every received packet.
+fn decode_points(payload: &[u8], count: usize) -> PointCloud {
+    debug_assert_eq!(payload.len(), count * WIRE_BYTES_PER_POINT);
     let mut cloud = PointCloud::with_capacity(count);
-    for _ in 0..count {
-        let x = f64::from(bytes.get_i16()) / SCALE;
-        let y = f64::from(bytes.get_i16()) / SCALE;
-        let z = f64::from(bytes.get_i16()) / SCALE;
-        let reflectance = f32::from(bytes.get_u8()) / 255.0;
+    for chunk in payload.chunks_exact(WIRE_BYTES_PER_POINT) {
+        let x = f64::from(i16::from_be_bytes([chunk[0], chunk[1]])) / SCALE;
+        let y = f64::from(i16::from_be_bytes([chunk[2], chunk[3]])) / SCALE;
+        let z = f64::from(i16::from_be_bytes([chunk[4], chunk[5]])) / SCALE;
+        let reflectance = f32::from(chunk[6]) / 255.0;
         cloud.push(Point::new(Vec3::new(x, y, z), reflectance));
     }
-    Ok(cloud)
+    cloud
 }
 
 /// Size in bytes of the wire frame for a cloud of `n` points.
@@ -335,14 +344,7 @@ pub fn decode_cloud_prefix(mut bytes: &[u8]) -> Result<(PointCloud, usize), Code
     bytes.advance(WIRE_HEADER_BYTES);
     let declared = info.point_count;
     let available = (bytes.remaining() / WIRE_BYTES_PER_POINT).min(declared);
-    let mut cloud = PointCloud::with_capacity(available);
-    for _ in 0..available {
-        let x = f64::from(bytes.get_i16()) / SCALE;
-        let y = f64::from(bytes.get_i16()) / SCALE;
-        let z = f64::from(bytes.get_i16()) / SCALE;
-        let reflectance = f32::from(bytes.get_u8()) / 255.0;
-        cloud.push(Point::new(Vec3::new(x, y, z), reflectance));
-    }
+    let cloud = decode_points(&bytes[..available * WIRE_BYTES_PER_POINT], available);
     Ok((cloud, declared))
 }
 

@@ -3,6 +3,7 @@
 use cooper_geometry::{Aabb3, Obb3, Vec3};
 use cooper_lidar_sim::ObjectClass;
 use cooper_pointcloud::{PointCloud, VoxelGrid, VoxelGridConfig};
+use cooper_telemetry::names as telemetry_names;
 use serde::{Deserialize, Serialize};
 
 use crate::anchors::AnchorConfig;
@@ -215,9 +216,9 @@ impl SpodDetector {
     /// Exposed so the trainer and ablation benches can reuse the exact
     /// inference path (C-INTERMEDIATE).
     pub fn featurize(&self, cloud: &PointCloud) -> BevMap {
-        let _span = cooper_telemetry::span!("spod.featurize");
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_FEATURIZE);
         let dense = {
-            let _stage = cooper_telemetry::span!("spod.preprocess");
+            let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_PREPROCESS);
             let mut dense = densify(cloud, &self.config.preprocess);
             if let Some(margin) = self.config.ground_removal_margin {
                 let cutoff = -self.config.mount_height + margin;
@@ -226,7 +227,7 @@ impl SpodDetector {
             dense
         };
         let grid = {
-            let _stage = cooper_telemetry::span!("spod.voxelize");
+            let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_VOXELIZE);
             // Chunked even when the executor is sequential: fixed chunk
             // boundaries make the float accumulators (and hence every
             // downstream feature) bit-identical at any thread count.
@@ -237,13 +238,26 @@ impl SpodDetector {
                 VOXELIZE_CHUNK_POINTS,
                 &executor,
             );
-            cooper_telemetry::counter_add("spod.voxels_occupied", grid.occupied_count() as u64);
+            cooper_telemetry::counter_add(
+                telemetry_names::SPOD_VOXELS_OCCUPIED,
+                grid.occupied_count() as u64,
+            );
             grid
         };
-        let _stage = cooper_telemetry::span!("spod.middle");
-        let embedded = self.vfe.encode(&grid);
-        let mid = self.conv1.forward(&embedded);
-        let deep = self.conv2.forward(&mid);
+        let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_MIDDLE);
+        let embedded = {
+            let _layer = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_VFE);
+            self.vfe.encode(&grid)
+        };
+        let mid = {
+            let _layer = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_CONV1);
+            self.conv1.forward(&embedded)
+        };
+        let deep = {
+            let _layer = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_CONV2);
+            self.conv2.forward(&mid)
+        };
+        let _layer = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_BEV);
         BevMap::collapse(&deep)
     }
 
@@ -260,7 +274,7 @@ impl SpodDetector {
     pub fn detect_with_threshold(&self, cloud: &PointCloud, threshold: f32) -> Vec<Detection> {
         let bev = self.featurize(cloud);
         let detections = {
-            let _stage = cooper_telemetry::span!("spod.rpn");
+            let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_RPN);
             let mut detections = Vec::new();
             for (&(x, y), _) in bev.iter() {
                 let features = bev.window_features(x, y, self.config.window_radius);
@@ -285,7 +299,7 @@ impl SpodDetector {
             }
             detections
         };
-        let _stage = cooper_telemetry::span!("spod.nms");
+        let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_NMS);
         crate::nms::non_max_suppression_with_distance(
             detections,
             self.config.nms_iou,
@@ -306,7 +320,7 @@ impl SpodDetector {
             return Vec::new();
         };
         let detections = {
-            let _stage = cooper_telemetry::span!("spod.rpn");
+            let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_RPN);
             let mut detections = Vec::new();
             for (&(x, y), _) in bev.iter() {
                 let features = bev.window_features(x, y, self.config.window_radius);
@@ -328,7 +342,7 @@ impl SpodDetector {
             }
             detections
         };
-        let _stage = cooper_telemetry::span!("spod.nms");
+        let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_NMS);
         crate::nms::non_max_suppression_with_distance(
             detections,
             self.config.nms_iou,

@@ -49,15 +49,18 @@
 
 pub mod event;
 pub mod histogram;
+pub mod names;
 pub mod registry;
 pub mod sink;
 pub mod snapshot;
+pub mod trace;
 
 pub use event::{FieldValue, TelemetryEvent};
 pub use histogram::Histogram;
 pub use registry::{Registry, SpanGuard};
 pub use sink::{JsonLinesSink, MemorySink, TelemetrySink};
-pub use snapshot::{SpanSummary, TelemetrySnapshot, ValueSummary};
+pub use snapshot::{SelfTimeEntry, SpanSummary, TelemetrySnapshot, ValueSummary};
+pub use trace::{ChromeTrace, TraceEvent, TraceId};
 
 use std::sync::Arc;
 
@@ -121,6 +124,32 @@ pub fn clear_sink() {
 /// Snapshots the global registry.
 pub fn snapshot() -> TelemetrySnapshot {
     GLOBAL.snapshot()
+}
+
+/// Turns global trace capture on or off (see [`Registry::set_tracing`];
+/// effective only while [`enable`]d).
+pub fn set_tracing(on: bool) {
+    GLOBAL.set_tracing(on);
+}
+
+/// Whether the global registry currently captures trace events.
+pub fn is_tracing() -> bool {
+    GLOBAL.is_tracing()
+}
+
+/// Appends a per-transfer stage mark to the global trace buffer.
+pub fn trace_mark(trace: TraceId, stage: &str, terminal: bool) {
+    GLOBAL.trace_mark(trace, stage, terminal);
+}
+
+/// [`trace_mark`] with a stage-specific numeric detail.
+pub fn trace_mark_with(trace: TraceId, stage: &str, terminal: bool, detail: u64) {
+    GLOBAL.trace_mark_with(trace, stage, terminal, detail);
+}
+
+/// Drains the global trace buffer.
+pub fn take_trace() -> ChromeTrace {
+    GLOBAL.take_trace()
 }
 
 /// Clears all global recordings (keeps the enabled flag and sink).

@@ -10,6 +10,7 @@ use crate::event::TelemetryEvent;
 use crate::histogram::Histogram;
 use crate::sink::TelemetrySink;
 use crate::snapshot::{SpanSummary, TelemetrySnapshot, ValueSummary};
+use crate::trace::{ChromeTrace, TraceEvent, TraceId};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,11 +29,43 @@ struct Inner {
     /// the handful of threads a simulation run uses.
     stacks: Vec<(ThreadId, Vec<&'static str>)>,
     sink: Option<Arc<dyn TelemetrySink>>,
+    /// Time zero of the trace buffer, set lazily at the first traced
+    /// event so timestamps start near zero.
+    trace_epoch: Option<Instant>,
+    /// Completed span slices and per-transfer stage marks, in
+    /// completion order.
+    trace_events: Vec<TraceEvent>,
+    /// Stable thread → lane mapping; index in this vec is the lane.
+    trace_lanes: Vec<ThreadId>,
+}
+
+impl Inner {
+    /// Lane index for `thread`, assigning the next free lane on first
+    /// sight.
+    fn lane_for(&mut self, thread: ThreadId) -> usize {
+        match self.trace_lanes.iter().position(|id| *id == thread) {
+            Some(lane) => lane,
+            None => {
+                self.trace_lanes.push(thread);
+                self.trace_lanes.len() - 1
+            }
+        }
+    }
+
+    /// Microseconds since the trace epoch, establishing it on first
+    /// use.
+    fn trace_now_us(&mut self) -> u64 {
+        let epoch = *self.trace_epoch.get_or_insert_with(Instant::now);
+        epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
 }
 
 /// A thread-safe telemetry registry, usable as a `static`.
 pub struct Registry {
     enabled: AtomicBool,
+    /// Whether completed spans and stage marks are additionally
+    /// captured into the trace buffer; only effective while `enabled`.
+    tracing: AtomicBool,
     inner: Mutex<Inner>,
 }
 
@@ -47,6 +80,7 @@ impl Registry {
     pub const fn new() -> Self {
         Registry {
             enabled: AtomicBool::new(false),
+            tracing: AtomicBool::new(false),
             inner: Mutex::new(Inner {
                 spans: BTreeMap::new(),
                 counters: BTreeMap::new(),
@@ -54,6 +88,9 @@ impl Registry {
                 values: BTreeMap::new(),
                 stacks: Vec::new(),
                 sink: None,
+                trace_epoch: None,
+                trace_events: Vec::new(),
+                trace_lanes: Vec::new(),
             }),
         }
     }
@@ -71,6 +108,61 @@ impl Registry {
     /// Whether instrumentation points currently record.
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns trace capture on or off. Tracing only records while the
+    /// registry is also enabled.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether completed spans and stage marks currently land in the
+    /// trace buffer.
+    pub fn is_tracing(&self) -> bool {
+        self.is_enabled() && self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Appends a per-transfer stage mark to the trace buffer. No-op
+    /// unless tracing.
+    pub fn trace_mark(&self, trace: TraceId, stage: &str, terminal: bool) {
+        self.trace_mark_inner(trace, stage, terminal, None);
+    }
+
+    /// [`Registry::trace_mark`] with a stage-specific numeric detail
+    /// (bytes, retransmit count, residual, ...).
+    pub fn trace_mark_with(&self, trace: TraceId, stage: &str, terminal: bool, detail: u64) {
+        self.trace_mark_inner(trace, stage, terminal, Some(detail));
+    }
+
+    fn trace_mark_inner(&self, trace: TraceId, stage: &str, terminal: bool, detail: Option<u64>) {
+        if !self.is_tracing() {
+            return;
+        }
+        let thread = std::thread::current().id();
+        let mut inner = self.inner.lock();
+        let ts_us = inner.trace_now_us();
+        let lane = inner.lane_for(thread);
+        inner.trace_events.push(TraceEvent {
+            name: stage.to_string(),
+            trace: Some(trace),
+            lane,
+            ts_us,
+            dur_us: 0,
+            instant: true,
+            terminal,
+            detail,
+        });
+    }
+
+    /// Drains the trace buffer, returning everything captured since
+    /// tracing was enabled (or last drained). The epoch and lane
+    /// mapping are kept so successive drains stay on one time base.
+    pub fn take_trace(&self) -> ChromeTrace {
+        let mut inner = self.inner.lock();
+        ChromeTrace {
+            events: std::mem::take(&mut inner.trace_events),
+            lane_count: inner.trace_lanes.len(),
+        }
     }
 
     /// Opens a timing span; the returned guard records the elapsed
@@ -110,6 +202,20 @@ impl Registry {
             }
             _ => name.to_string(),
         };
+        if self.tracing.load(Ordering::Relaxed) {
+            let now_us = inner.trace_now_us();
+            let lane = inner.lane_for(thread);
+            inner.trace_events.push(TraceEvent {
+                name: path.clone(),
+                trace: None,
+                lane,
+                ts_us: now_us.saturating_sub(elapsed_us),
+                dur_us: elapsed_us,
+                instant: false,
+                terminal: false,
+                detail: None,
+            });
+        }
         inner.spans.entry(path).or_default().record(elapsed_us);
     }
 
@@ -183,7 +289,8 @@ impl Registry {
     }
 
     /// Clears all recorded data (spans, counters, gauges, values, open
-    /// span stacks). The enabled flag and sink are kept.
+    /// span stacks, and the trace buffer). The enabled and tracing
+    /// flags and the sink are kept.
     pub fn reset(&self) {
         let mut inner = self.inner.lock();
         inner.spans.clear();
@@ -191,6 +298,9 @@ impl Registry {
         inner.gauges.clear();
         inner.values.clear();
         inner.stacks.clear();
+        inner.trace_epoch = None;
+        inner.trace_events.clear();
+        inner.trace_lanes.clear();
     }
 
     /// Copies current state into an immutable, serializable summary.
@@ -388,6 +498,75 @@ mod tests {
         let snap = reg.snapshot();
         assert!(snap.counters.is_empty());
         assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn tracing_captures_spans_and_marks_with_lanes() {
+        let reg = Registry::new();
+        reg.enable();
+        reg.set_tracing(true);
+        assert!(reg.is_tracing());
+        let id = TraceId::new(0, 1, 2);
+        {
+            let _outer = reg.span("outer");
+            let _inner = reg.span("inner");
+            reg.trace_mark(id, crate::trace::stage::DELIVERED, false);
+        }
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _other = reg.span("other");
+                reg.trace_mark_with(id, crate::trace::stage::FUSED, true, 7);
+            });
+        });
+        let trace = reg.take_trace();
+        assert_eq!(trace.lane_count, 2, "one lane per recording thread");
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.name == "outer/inner" && !e.instant));
+        assert!(trace.has_terminal(id));
+        let chain = trace.events_for(id);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[1].detail, Some(7));
+        // Drained: a second take is empty.
+        assert!(reg.take_trace().events.is_empty());
+        // Metrics side is unaffected by tracing.
+        assert_eq!(reg.snapshot().span("outer").unwrap().count, 1);
+    }
+
+    #[test]
+    fn tracing_is_inert_when_disabled_or_off() {
+        let reg = Registry::new();
+        reg.set_tracing(true);
+        // Enabled flag off: nothing records.
+        reg.trace_mark(TraceId::new(0, 0, 1), "x", true);
+        assert!(!reg.is_tracing());
+        assert!(reg.take_trace().events.is_empty());
+        // Enabled but tracing off: spans record, buffer stays empty.
+        reg.enable();
+        reg.set_tracing(false);
+        {
+            let _s = reg.span("plain");
+        }
+        reg.trace_mark(TraceId::new(0, 0, 1), "x", true);
+        assert!(reg.take_trace().events.is_empty());
+        assert_eq!(reg.snapshot().span("plain").unwrap().count, 1);
+    }
+
+    #[test]
+    fn reset_clears_trace_buffer_and_lanes() {
+        let reg = Registry::new();
+        reg.enable();
+        reg.set_tracing(true);
+        {
+            let _s = reg.span("s");
+        }
+        reg.trace_mark(TraceId::new(1, 2, 3), "x", true);
+        reg.reset();
+        let trace = reg.take_trace();
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.lane_count, 0);
+        assert!(reg.is_tracing(), "tracing flag survives reset");
     }
 
     #[test]

@@ -53,21 +53,32 @@ impl TelemetrySink for MemorySink {
 /// Writes each event as one JSON line to the wrapped writer.
 /// Write errors are swallowed: telemetry must never take down the
 /// pipeline it observes.
+///
+/// The sink is line-buffered: every line is flushed as it is written,
+/// and any buffered bytes are flushed again when the sink drops —
+/// including during unwinding — so a truncated or panicking run still
+/// leaves a parseable JSON-lines file.
 pub struct JsonLinesSink<W: Write + Send> {
-    writer: Mutex<W>,
+    /// `None` only after [`JsonLinesSink::into_inner`] took the writer.
+    writer: Mutex<Option<W>>,
 }
 
 impl<W: Write + Send> JsonLinesSink<W> {
     /// Wraps a writer.
     pub fn new(writer: W) -> Self {
         JsonLinesSink {
-            writer: Mutex::new(writer),
+            writer: Mutex::new(Some(writer)),
         }
     }
 
     /// Flushes and returns the writer.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the writer is only absent after a previous
+    /// `into_inner`, which consumes the sink.
     pub fn into_inner(self) -> W {
-        let mut writer = self.writer.into_inner();
+        let mut writer = self.writer.lock().take().expect("writer present");
         let _ = writer.flush();
         writer
     }
@@ -75,8 +86,19 @@ impl<W: Write + Send> JsonLinesSink<W> {
 
 impl<W: Write + Send> TelemetrySink for JsonLinesSink<W> {
     fn record(&self, event: &TelemetryEvent) {
-        let mut writer = self.writer.lock();
-        let _ = writeln!(writer, "{}", event.to_json_line());
+        let mut guard = self.writer.lock();
+        if let Some(writer) = guard.as_mut() {
+            let _ = writeln!(writer, "{}", event.to_json_line());
+            let _ = writer.flush();
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonLinesSink<W> {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.get_mut().as_mut() {
+            let _ = writer.flush();
+        }
     }
 }
 
@@ -94,6 +116,60 @@ mod tests {
         assert_eq!(events[0].kind(), "a");
         assert_eq!(events[1].kind(), "b");
         assert!(sink.is_empty());
+    }
+
+    /// Shared writer that counts flushes and exposes the bytes written
+    /// so far, surviving the sink it is installed in.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<Mutex<(Vec<u8>, usize)>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().0.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.0.lock().1 += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn json_lines_sink_flushes_every_line_and_on_drop() {
+        let shared = SharedBuf::default();
+        let sink = JsonLinesSink::new(shared.clone());
+        sink.record(&TelemetryEvent::new("first").with("n", 1u64));
+        {
+            // The line is already visible without into_inner: the sink
+            // flushed it as it was written.
+            let state = shared.0.lock();
+            let text = String::from_utf8(state.0.clone()).expect("utf-8");
+            assert_eq!(text.lines().count(), 1);
+            TelemetryEvent::from_json_line(text.lines().next().unwrap()).expect("parses");
+            assert!(state.1 >= 1, "flushed at least once per line");
+        }
+        let flushes_before_drop = shared.0.lock().1;
+        drop(sink);
+        assert!(
+            shared.0.lock().1 > flushes_before_drop,
+            "drop flushes the writer"
+        );
+    }
+
+    #[test]
+    fn json_lines_sink_survives_a_panicking_run() {
+        let shared = SharedBuf::default();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let sink = JsonLinesSink::new(shared.clone());
+            sink.record(&TelemetryEvent::new("before_panic"));
+            panic!("simulated truncated run");
+        }));
+        assert!(result.is_err());
+        let state = shared.0.lock();
+        let text = String::from_utf8(state.0.clone()).expect("utf-8");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        TelemetryEvent::from_json_line(lines[0]).expect("line parses after panic");
     }
 
     #[test]

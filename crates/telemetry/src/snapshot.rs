@@ -47,6 +47,21 @@ pub struct ValueSummary {
     pub max: u64,
 }
 
+/// Time spent in a span path itself, excluding its direct children.
+#[derive(Clone, Debug, Serialize)]
+pub struct SelfTimeEntry {
+    /// Full `/`-joined path.
+    pub path: String,
+    /// Leaf name.
+    pub name: String,
+    /// Completed executions.
+    pub count: u64,
+    /// Total wall-clock microseconds including children.
+    pub total_us: u64,
+    /// Microseconds not attributed to any direct child span.
+    pub self_us: u64,
+}
+
 /// A point-in-time copy of everything a registry has recorded.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct TelemetrySnapshot {
@@ -152,6 +167,93 @@ impl TelemetrySnapshot {
         out
     }
 
+    /// Self time per span path: total time minus the summed totals of
+    /// its direct children, sorted by descending self time. This is
+    /// the profiler's primary view — the paths at the top are where
+    /// the time actually goes, not just where it accumulates.
+    pub fn self_times(&self) -> Vec<SelfTimeEntry> {
+        let mut entries: Vec<SelfTimeEntry> = self
+            .spans
+            .iter()
+            .map(|span| {
+                let child_total: u64 = self
+                    .spans
+                    .iter()
+                    .filter(|other| {
+                        other
+                            .path
+                            .strip_prefix(&span.path)
+                            .and_then(|rest| rest.strip_prefix('/'))
+                            .is_some_and(|rest| !rest.contains('/'))
+                    })
+                    .map(|child| child.total_us)
+                    .sum();
+                SelfTimeEntry {
+                    path: span.path.clone(),
+                    name: span.name.clone(),
+                    count: span.count,
+                    total_us: span.total_us,
+                    self_us: span.total_us.saturating_sub(child_total),
+                }
+            })
+            .collect();
+        entries.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.path.cmp(&b.path)));
+        entries
+    }
+
+    /// Self time aggregated by leaf span name across all paths (the
+    /// same stage can run under several parents and on several
+    /// threads), sorted by descending self time.
+    pub fn self_times_by_name(&self) -> Vec<SelfTimeEntry> {
+        let mut by_name: Vec<SelfTimeEntry> = Vec::new();
+        for entry in self.self_times() {
+            match by_name.iter_mut().find(|e| e.name == entry.name) {
+                Some(existing) => {
+                    existing.count += entry.count;
+                    existing.total_us += entry.total_us;
+                    existing.self_us += entry.self_us;
+                }
+                None => by_name.push(SelfTimeEntry {
+                    path: entry.name.clone(),
+                    ..entry
+                }),
+            }
+        }
+        by_name.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+        by_name
+    }
+
+    /// Renders the ranked self-time table produced by
+    /// [`TelemetrySnapshot::self_times_by_name`], with each stage's
+    /// share of the summed self time.
+    pub fn render_self_time_table(&self) -> String {
+        let entries = self.self_times_by_name();
+        let grand_total: u64 = entries.iter().map(|e| e.self_us).sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<32} {:>8} {:>12} {:>12} {:>7}",
+            "stage", "count", "self_ms", "total_ms", "share"
+        );
+        for entry in &entries {
+            let share = if grand_total == 0 {
+                0.0
+            } else {
+                entry.self_us as f64 / grand_total as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<32} {:>8} {:>12.3} {:>12.3} {:>6.1}%",
+                entry.name,
+                entry.count,
+                entry.self_us as f64 / 1_000.0,
+                entry.total_us as f64 / 1_000.0,
+                share
+            );
+        }
+        out
+    }
+
     /// Renders span timings as CSV with header
     /// `stage,count,p50_us,p95_us,p99_us`.
     pub fn to_csv(&self) -> String {
@@ -246,6 +348,79 @@ mod tests {
         let table = TelemetrySnapshot::default().render_table();
         assert!(table.contains("no data"));
         assert!(TelemetrySnapshot::default().is_empty());
+    }
+
+    fn span(path: &str, count: u64, total_us: u64) -> SpanSummary {
+        SpanSummary {
+            path: path.into(),
+            name: path.rsplit('/').next().unwrap().into(),
+            depth: path.matches('/').count(),
+            count,
+            total_us,
+            mean_us: 0.0,
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+            max_us: 0,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let snap = TelemetrySnapshot {
+            spans: vec![
+                span("a", 1, 1_000),
+                span("a/b", 2, 600),
+                span("a/b/c", 2, 500),
+                span("a/d", 1, 100),
+            ],
+            ..TelemetrySnapshot::default()
+        };
+        let times = snap.self_times();
+        let find = |p: &str| times.iter().find(|e| e.path == p).unwrap();
+        // a: 1000 - (600 + 100); grandchild c must NOT be subtracted.
+        assert_eq!(find("a").self_us, 300);
+        assert_eq!(find("a/b").self_us, 100);
+        assert_eq!(find("a/b/c").self_us, 500);
+        assert_eq!(find("a/d").self_us, 100);
+        // Ranked descending by self time.
+        assert_eq!(times[0].path, "a/b/c");
+        // Over-subscribed parents saturate to zero rather than wrap.
+        let snap2 = TelemetrySnapshot {
+            spans: vec![span("p", 1, 10), span("p/q", 1, 50)],
+            ..TelemetrySnapshot::default()
+        };
+        assert_eq!(
+            snap2
+                .self_times()
+                .iter()
+                .find(|e| e.path == "p")
+                .unwrap()
+                .self_us,
+            0
+        );
+    }
+
+    #[test]
+    fn self_time_by_name_merges_paths_and_renders() {
+        let snap = TelemetrySnapshot {
+            spans: vec![
+                span("x/stage", 1, 300),
+                span("y/stage", 2, 200),
+                span("x", 1, 400),
+                span("y", 2, 250),
+            ],
+            ..TelemetrySnapshot::default()
+        };
+        let by_name = snap.self_times_by_name();
+        let stage = by_name.iter().find(|e| e.name == "stage").unwrap();
+        assert_eq!(stage.count, 3);
+        assert_eq!(stage.self_us, 500);
+        assert_eq!(by_name[0].name, "stage", "largest self time first");
+        let table = snap.render_self_time_table();
+        assert!(table.contains("stage"));
+        assert!(table.contains("share"));
+        assert!(table.contains('%'));
     }
 
     #[test]

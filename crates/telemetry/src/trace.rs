@@ -1,0 +1,312 @@
+//! Per-transfer causal tracing and Chrome trace-event export.
+//!
+//! A [`TraceId`] identifies one packet transfer — `(step, sender,
+//! receiver)` — and threads through the transfer's whole life:
+//! governor decision, channel/ARQ rounds, salvage, alignment guard, and
+//! fusion. Each stage appends an instant mark carrying the id; span
+//! guards additionally record their durations as slices. The collected
+//! buffer exports as Chrome trace-event JSON (the `traceEvents` array
+//! format), viewable in Perfetto or `chrome://tracing`, with one lane
+//! per recording thread.
+//!
+//! Stage marks whose [`TraceEvent::terminal`] flag is set end the
+//! transfer's causal chain: either the packet fused into a detection or
+//! a `TransportDropReason`-shaped stage explains why it never did.
+
+use std::fmt;
+
+/// Identity of one packet transfer: simulation step, sender vehicle,
+/// receiver vehicle. Formats as `s<step>:<from>-><to>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId {
+    /// Simulation step index.
+    pub step: u32,
+    /// Sender vehicle id.
+    pub from: u32,
+    /// Receiver vehicle id.
+    pub to: u32,
+}
+
+impl TraceId {
+    /// Builds the id for one `(step, sender, receiver)` transfer.
+    pub fn new(step: usize, from: u32, to: u32) -> Self {
+        TraceId {
+            step: step.min(u32::MAX as usize) as u32,
+            from,
+            to,
+        }
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}:{}->{}", self.step, self.from, self.to)
+    }
+}
+
+/// Stage names for per-transfer trace marks. Marks flagged *terminal*
+/// end a transfer's causal chain.
+pub mod stage {
+    /// Governor admitted the transfer (detail: wire bytes).
+    pub const GOVERN_SEND: &str = "transfer.govern.send";
+    /// Terminal: governor skipped the transfer over budget.
+    pub const GOVERN_SKIP: &str = "transfer.govern.skip";
+    /// Channel transmitted frames (detail: frames sent).
+    pub const V2X_TRANSMIT: &str = "v2x.transmit";
+    /// ARQ retransmitted lost fragments (detail: retransmit count).
+    pub const V2X_ARQ_RETRY: &str = "v2x.arq.retry";
+    /// Channel delivered the complete payload.
+    pub const DELIVERED: &str = "transfer.delivered";
+    /// Terminal: the channel dropped the whole payload.
+    pub const CHANNEL_DROPPED: &str = "transfer.channel_dropped";
+    /// Terminal: the delivery deadline expired mid-transfer.
+    pub const DEADLINE_EXCEEDED: &str = "transfer.deadline_exceeded";
+    /// A contiguous prefix arrived (detail: delivered bytes).
+    pub const PARTIAL: &str = "transfer.partial";
+    /// Prefix salvage decoded a usable packet (detail: points kept).
+    pub const SALVAGED: &str = "transfer.salvaged";
+    /// Terminal: the delivered prefix could not be decoded.
+    pub const SALVAGE_FAILED: &str = "transfer.salvage_failed";
+    /// Terminal: packet decode failed at fusion time.
+    pub const DECODE_FAILED: &str = "transfer.decode_failed";
+    /// Terminal: alignment guard rejected the packet (detail: residual
+    /// in millimetres).
+    pub const ALIGN_REJECTED: &str = "transfer.align_rejected";
+    /// Terminal: the packet fused into the receiver's detection input.
+    pub const FUSED: &str = "transfer.fused";
+
+    /// Every stage name, for validation.
+    pub const ALL: &[&str] = &[
+        GOVERN_SEND,
+        GOVERN_SKIP,
+        V2X_TRANSMIT,
+        V2X_ARQ_RETRY,
+        DELIVERED,
+        CHANNEL_DROPPED,
+        DEADLINE_EXCEEDED,
+        PARTIAL,
+        SALVAGED,
+        SALVAGE_FAILED,
+        DECODE_FAILED,
+        ALIGN_REJECTED,
+        FUSED,
+    ];
+}
+
+/// One recorded trace entry: a completed span slice (`instant ==
+/// false`) or a per-transfer stage mark (`instant == true`).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Span path or stage name.
+    pub name: String,
+    /// Transfer this event belongs to; `None` for plain span slices.
+    pub trace: Option<TraceId>,
+    /// Recording lane (stable per-thread index).
+    pub lane: usize,
+    /// Start time, microseconds since the trace epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds; zero for instant marks.
+    pub dur_us: u64,
+    /// `true` for instant stage marks, `false` for span slices.
+    pub instant: bool,
+    /// `true` when this mark ends its transfer's causal chain.
+    pub terminal: bool,
+    /// Optional stage-specific detail (bytes, retransmits, ...).
+    pub detail: Option<u64>,
+}
+
+/// A drained trace buffer ready for export.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTrace {
+    /// Recorded events in completion order.
+    pub events: Vec<TraceEvent>,
+    /// Number of per-thread lanes referenced by the events.
+    pub lane_count: usize,
+}
+
+impl ChromeTrace {
+    /// Events belonging to one transfer, in recording order.
+    pub fn events_for(&self, trace: TraceId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|event| event.trace == Some(trace))
+            .collect()
+    }
+
+    /// Every distinct transfer id that appears in the buffer.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut ids: Vec<TraceId> = self.events.iter().filter_map(|event| event.trace).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// `true` when the transfer's chain contains a terminal stage mark.
+    pub fn has_terminal(&self, trace: TraceId) -> bool {
+        self.events
+            .iter()
+            .any(|event| event.trace == Some(trace) && event.terminal)
+    }
+
+    /// Serializes the buffer as Chrome trace-event JSON: an object with
+    /// a `traceEvents` array of `ph: "X"` duration slices and `ph: "i"`
+    /// instant marks, plus `thread_name` metadata naming each lane.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for lane in 0..self.lane_count {
+            push_sep(&mut out, &mut first);
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\
+                 \"args\":{{\"name\":\"lane-{lane}\"}}}}"
+            ));
+        }
+        for event in &self.events {
+            push_sep(&mut out, &mut first);
+            out.push('{');
+            out.push_str(&format!("\"name\":\"{}\"", escape(&event.name)));
+            if event.instant {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            } else {
+                out.push_str(&format!(",\"ph\":\"X\",\"dur\":{}", event.dur_us));
+            }
+            out.push_str(&format!(
+                ",\"ts\":{},\"pid\":1,\"tid\":{}",
+                event.ts_us, event.lane
+            ));
+            out.push_str(",\"args\":{");
+            let mut first_arg = true;
+            if let Some(trace) = event.trace {
+                push_sep(&mut out, &mut first_arg);
+                out.push_str(&format!("\"trace\":\"{trace}\""));
+            }
+            if event.terminal {
+                push_sep(&mut out, &mut first_arg);
+                out.push_str("\"terminal\":true");
+            }
+            if let Some(detail) = event.detail {
+                push_sep(&mut out, &mut first_arg);
+                out.push_str(&format!("\"detail\":{detail}"));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChromeTrace {
+        let id = TraceId::new(3, 1, 2);
+        ChromeTrace {
+            events: vec![
+                TraceEvent {
+                    name: "fleet.exchange".into(),
+                    trace: None,
+                    lane: 0,
+                    ts_us: 10,
+                    dur_us: 500,
+                    instant: false,
+                    terminal: false,
+                    detail: None,
+                },
+                TraceEvent {
+                    name: stage::PARTIAL.into(),
+                    trace: Some(id),
+                    lane: 0,
+                    ts_us: 120,
+                    dur_us: 0,
+                    instant: true,
+                    terminal: false,
+                    detail: Some(4096),
+                },
+                TraceEvent {
+                    name: stage::FUSED.into(),
+                    trace: Some(id),
+                    lane: 1,
+                    ts_us: 400,
+                    dur_us: 0,
+                    instant: true,
+                    terminal: true,
+                    detail: None,
+                },
+            ],
+            lane_count: 2,
+        }
+    }
+
+    #[test]
+    fn trace_id_formats_as_step_sender_receiver() {
+        assert_eq!(TraceId::new(3, 1, 2).to_string(), "s3:1->2");
+    }
+
+    #[test]
+    fn chain_queries_join_by_trace_id() {
+        let trace = sample();
+        let id = TraceId::new(3, 1, 2);
+        assert_eq!(trace.events_for(id).len(), 2);
+        assert!(trace.has_terminal(id));
+        assert!(!trace.has_terminal(TraceId::new(0, 9, 9)));
+        assert_eq!(trace.trace_ids(), vec![id]);
+    }
+
+    #[test]
+    fn chrome_json_has_lanes_slices_and_marks() {
+        let json = sample().to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"args\":{\"name\":\"lane-1\"}"));
+        assert!(json.contains("\"ph\":\"X\",\"dur\":500"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"trace\":\"s3:1->2\""));
+        assert!(json.contains("\"terminal\":true"));
+        assert!(json.contains("\"detail\":4096"));
+        // Balanced braces and brackets — a cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close}");
+        }
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn stage_names_are_distinct() {
+        for (i, a) in stage::ALL.iter().enumerate() {
+            assert!(!stage::ALL[i + 1..].contains(a), "duplicate stage {a}");
+        }
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::dsrc::DsrcChannel;
 use cooper_telemetry as telemetry;
+use cooper_telemetry::names as telemetry_names;
 use rand::Rng;
 
 /// Retransmission policy for one (sender, receiver, message) transfer.
@@ -201,9 +202,9 @@ pub fn transmit_with_arq<R: Rng + ?Sized>(
     let contiguous_prefix = delivered.iter().take_while(|d| **d).count();
     let retransmits = frames_sent.saturating_sub(fragments.min(frames_sent));
     if telemetry::is_enabled() {
-        telemetry::counter_add("v2x.arq.retransmits", retransmits as u64);
+        telemetry::counter_add(telemetry_names::V2X_ARQ_RETRANSMITS, retransmits as u64);
         if deadline_exceeded {
-            telemetry::counter_add("v2x.arq.deadline_miss", 1);
+            telemetry::counter_add(telemetry_names::V2X_ARQ_DEADLINE_MISS, 1);
         }
     }
     ArqReport {

@@ -28,6 +28,7 @@
 use cooper_core::{GovernorPolicy, GovernorVerdict, TransferCandidate, TransferOffer};
 use cooper_pointcloud::roi::{BlindSector, RoiCategory};
 use cooper_pointcloud::FrameKind;
+use cooper_telemetry::names as telemetry_names;
 
 /// Half-angle of the frontal wedge used to classify demand: blind
 /// sectors whose centers all lie within ±60° are served by the
@@ -135,15 +136,15 @@ impl GovernorPolicy for BandwidthGovernor {
                     continue;
                 }
                 if roi != base {
-                    cooper_telemetry::counter_add("v2x.governor.roi_narrowed", 1);
+                    cooper_telemetry::counter_add(telemetry_names::V2X_GOVERNOR_ROI_NARROWED, 1);
                 }
                 if kind == FrameKind::Delta {
-                    cooper_telemetry::counter_add("v2x.governor.delta_frames", 1);
+                    cooper_telemetry::counter_add(telemetry_names::V2X_GOVERNOR_DELTA_FRAMES, 1);
                 }
                 return GovernorVerdict::Send(candidate);
             }
         }
-        cooper_telemetry::counter_add("v2x.governor.budget_skips", 1);
+        cooper_telemetry::counter_add(telemetry_names::V2X_GOVERNOR_BUDGET_SKIPS, 1);
         GovernorVerdict::Skip
     }
 }

@@ -12,6 +12,9 @@ use cooper_geometry::{Attitude, GpsFix};
 use cooper_lidar_sim::PoseEstimate;
 use cooper_pointcloud::roi::{extract_roi, RoiCategory};
 use cooper_pointcloud::PointCloud;
+use cooper_telemetry::names as telemetry_names;
+use cooper_telemetry::trace::stage as trace_stage;
+use cooper_telemetry::TraceId;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -118,22 +121,22 @@ impl SharedMedium {
         payload_bytes: usize,
         rng: &mut R,
     ) -> Option<TransmissionReport> {
-        let _span = cooper_telemetry::span!("v2x.try_send");
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_V2X_TRY_SEND);
         let needed = self.channel.airtime_for(payload_bytes);
         let mut used = self.airtime_used_s.lock();
         if *used + needed > WINDOW_S {
-            cooper_telemetry::counter_add("v2x.window_saturated", 1);
+            cooper_telemetry::counter_add(telemetry_names::V2X_WINDOW_SATURATED, 1);
             return None;
         }
         *used += needed;
         drop(used);
         let report = self.channel.transmit_sized(payload_bytes, rng);
-        cooper_telemetry::counter_add("v2x.frames", report.frames as u64);
+        cooper_telemetry::counter_add(telemetry_names::V2X_FRAMES, report.frames as u64);
         cooper_telemetry::counter_add(
-            "v2x.frames_lost",
+            telemetry_names::V2X_FRAMES_LOST,
             (report.frames - report.frames_delivered) as u64,
         );
-        cooper_telemetry::counter_add("v2x.tx_bytes", report.bytes_on_air as u64);
+        cooper_telemetry::counter_add(telemetry_names::V2X_TX_BYTES, report.bytes_on_air as u64);
         Some(report)
     }
 
@@ -217,7 +220,7 @@ impl ChannelModel for SharedMedium {
         {
             let used = self.airtime_used_s.lock();
             if *used + needed > WINDOW_S {
-                cooper_telemetry::counter_add("v2x.window_saturated", 1);
+                cooper_telemetry::counter_add(telemetry_names::V2X_WINDOW_SATURATED, 1);
                 return Delivery::Dropped;
             }
         }
@@ -225,18 +228,35 @@ impl ChannelModel for SharedMedium {
         let remaining_window = WINDOW_S - *self.airtime_used_s.lock();
         let deadline = self.deadline_s.min(remaining_window);
         let report = transmit_with_arq(&self.channel, tx.wire_bytes, deadline, &arq, &mut rng);
+        if cooper_telemetry::is_tracing() {
+            let trace = TraceId::new(tx.step, tx.from, tx.to);
+            cooper_telemetry::trace_mark_with(
+                trace,
+                trace_stage::V2X_TRANSMIT,
+                false,
+                report.frames_sent as u64,
+            );
+            if report.retransmits > 0 {
+                cooper_telemetry::trace_mark_with(
+                    trace,
+                    trace_stage::V2X_ARQ_RETRY,
+                    false,
+                    report.retransmits as u64,
+                );
+            }
+        }
         // Spend the air time actually used (retransmissions included;
         // backoff waits cost no air time).
         let airtime_spent = report.bytes_on_air as f64 * 8.0
             / self.channel.config().data_rate.bits_per_second()
             + report.frames_sent as f64 * self.channel.config().per_frame_access_time;
         *self.airtime_used_s.lock() += airtime_spent;
-        cooper_telemetry::counter_add("v2x.frames", report.frames_sent as u64);
+        cooper_telemetry::counter_add(telemetry_names::V2X_FRAMES, report.frames_sent as u64);
         cooper_telemetry::counter_add(
-            "v2x.frames_lost",
+            telemetry_names::V2X_FRAMES_LOST,
             (report.frames_sent - report.fragments_delivered.min(report.frames_sent)) as u64,
         );
-        cooper_telemetry::counter_add("v2x.tx_bytes", report.bytes_on_air as u64);
+        cooper_telemetry::counter_add(telemetry_names::V2X_TX_BYTES, report.bytes_on_air as u64);
 
         if report.complete {
             return Delivery::Delivered;
@@ -256,7 +276,7 @@ impl ChannelModel for SharedMedium {
         };
         if cooper_telemetry::is_enabled() {
             cooper_telemetry::record_value(
-                "v2x.partial.fraction",
+                telemetry_names::V2X_PARTIAL_FRACTION,
                 (verdict.fraction() * 1000.0).round() as u64,
             );
         }
@@ -371,7 +391,7 @@ impl ExchangeScheduler {
         medium: &SharedMedium,
         rng: &mut R,
     ) -> RoiTrace {
-        let _span = cooper_telemetry::span!("v2x.simulate");
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_V2X_SIMULATE);
         let mut per_second_mbit = Vec::with_capacity(per_second_scans.len());
         let mut peak_utilization = 0.0f64;
         let mut transfers_dropped = 0usize;

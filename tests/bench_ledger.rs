@@ -1,0 +1,107 @@
+//! The bench regression ledger's CI contract, exercised through the
+//! real `bench_check` binary: a healthy history passes (exit 0), an
+//! injected regression past tolerance fails (exit non-zero), and a
+//! corrupt or empty ledger also fails rather than silently passing.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use cooper_bench::ledger::{append, BenchRecord, HISTORY_FILE};
+
+fn bench_check(history: &std::path::Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_check"))
+        .args(["--history", history.to_str().expect("utf-8 path")])
+        .output()
+        .expect("bench_check runs")
+}
+
+fn temp_ledger(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cooper-bench-ledger-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.join(HISTORY_FILE)
+}
+
+#[test]
+fn bench_check_gates_on_injected_regression() {
+    // A healthy two-run history across all three --check benches: small
+    // in-tolerance movement, noisy-but-informational timings.
+    let path = temp_ledger("healthy");
+    for record in [
+        BenchRecord::new(
+            "bandwidth_sweep",
+            &[("reduction", 3.40), ("detection_drift", 0.00)],
+        ),
+        BenchRecord::new(
+            "fault_sweep",
+            &[("guard_on_recall", 0.82), ("guard_off_recall", 0.40)],
+        ),
+        BenchRecord::new(
+            "parallel_fleet",
+            &[("deterministic", 1.0), ("total_4t_us", 1_000_000.0)],
+        ),
+        BenchRecord::new(
+            "bandwidth_sweep",
+            &[("reduction", 3.25), ("detection_drift", 0.01)],
+        ),
+        BenchRecord::new(
+            "fault_sweep",
+            &[("guard_on_recall", 0.81), ("guard_off_recall", 0.35)],
+        ),
+        BenchRecord::new(
+            "parallel_fleet",
+            &[("deterministic", 1.0), ("total_4t_us", 7_000_000.0)],
+        ),
+    ] {
+        append(&path, &record).expect("append");
+    }
+    let out = bench_check(&path);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "healthy history must pass: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("bench_check passed"), "{stdout}");
+
+    // Inject a regression: the guard's recall collapses past tolerance.
+    append(
+        &path,
+        &BenchRecord::new(
+            "fault_sweep",
+            &[("guard_on_recall", 0.60), ("guard_off_recall", 0.35)],
+        ),
+    )
+    .expect("append");
+    let out = bench_check(&path);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "regressed history must fail: {stdout}"
+    );
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stderr.contains("bench_check FAILED"), "{stderr}");
+}
+
+#[test]
+fn bench_check_rejects_missing_empty_and_corrupt_ledgers() {
+    let missing = temp_ledger("missing");
+    let out = bench_check(&missing);
+    assert!(!out.status.success(), "missing ledger must fail");
+
+    let empty = temp_ledger("empty");
+    std::fs::create_dir_all(empty.parent().expect("has parent")).expect("mkdir");
+    std::fs::write(&empty, "\n\n").expect("write");
+    let out = bench_check(&empty);
+    assert!(!out.status.success(), "empty ledger must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no records"),
+        "diagnostic names the problem"
+    );
+
+    let corrupt = temp_ledger("corrupt");
+    std::fs::create_dir_all(corrupt.parent().expect("has parent")).expect("mkdir");
+    std::fs::write(&corrupt, "{\"kind\":\"a\",\"m\":1.0}\nnot json\n").expect("write");
+    let out = bench_check(&corrupt);
+    assert!(!out.status.success(), "corrupt ledger must fail");
+}

@@ -1,0 +1,96 @@
+//! Every metric and span the workspace emits must be declared in
+//! [`cooper_telemetry::names`]. The test drives the heaviest emitting
+//! path — a governed, guarded, lossy fleet run — snapshots the global
+//! registry, and fails on any name the const module does not know.
+//! One test function owns the global registry (this file is its own
+//! test binary).
+
+use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle};
+use cooper_core::{AlignmentGuardConfig, CooperPipeline, GovernorConfig};
+use cooper_lidar_sim::{scenario, BeamModel, FaultPlan};
+use cooper_pointcloud::roi::RoiCategory;
+use cooper_spod::{SpodConfig, SpodDetector};
+use cooper_telemetry::names;
+use cooper_v2x::{
+    ArqConfig, BandwidthGovernor, DsrcChannel, DsrcConfig, GilbertElliott, LossModel, SharedMedium,
+};
+
+#[test]
+fn every_emitted_name_is_registered() {
+    let scene = scenario::tj_scenario_1();
+    let vehicles: Vec<FleetVehicle> = scene
+        .observers
+        .iter()
+        .enumerate()
+        .map(|(i, pose)| FleetVehicle {
+            id: i as u32 + 1,
+            trajectory: straight_trajectory(*pose, 1.0, 3),
+            beams: BeamModel::vlp16().with_azimuth_steps(900),
+        })
+        .collect();
+    let sim = FleetSimulation::new(
+        scene.world.clone(),
+        vehicles,
+        FleetConfig {
+            seed: 2024,
+            threads: Some(2),
+            fault_plan: Some(FaultPlan::parse("2:drift:8.0@0..3").expect("valid plan")),
+            ..FleetConfig::default()
+        },
+    );
+    let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()))
+        .with_alignment_guard(AlignmentGuardConfig::default());
+    // Governed + delta-encode + lossy ARQ medium: exercises the
+    // governor counters, codec ratio values, ARQ counters, partial
+    // salvage, and the alignment guard in one run.
+    let mut medium = SharedMedium::new(DsrcChannel::new(DsrcConfig {
+        data_rate: cooper_v2x::DataRate::Mbps3,
+        loss_model: LossModel::GilbertElliott(GilbertElliott::from_loss_rate(0.1)),
+        ..DsrcConfig::default()
+    }))
+    .with_seed(7)
+    .with_arq(ArqConfig::default());
+    let mut policy = BandwidthGovernor::new(RoiCategory::FullFrame);
+    let governor = GovernorConfig {
+        delta_encode: true,
+        keyframe_every: 2,
+        ..GovernorConfig::default()
+    };
+
+    cooper_telemetry::reset();
+    cooper_telemetry::enable();
+    let (reports, _) = sim.run_governed(&pipeline, 3, &mut medium, &mut policy, &governor);
+    let snapshot = cooper_telemetry::snapshot();
+    cooper_telemetry::disable();
+    cooper_telemetry::reset();
+
+    assert_eq!(reports.len(), 3);
+    assert!(!snapshot.spans.is_empty(), "run recorded no spans");
+    assert!(!snapshot.counters.is_empty(), "run recorded no counters");
+    for (name, _) in &snapshot.counters {
+        assert!(
+            names::is_registered_metric(name),
+            "unregistered counter {name:?} — declare it in cooper_telemetry::names"
+        );
+    }
+    for (name, _) in &snapshot.gauges {
+        assert!(
+            names::is_registered_metric(name),
+            "unregistered gauge {name:?} — declare it in cooper_telemetry::names"
+        );
+    }
+    for value in &snapshot.values {
+        assert!(
+            names::is_registered_metric(&value.name),
+            "unregistered value histogram {:?} — declare it in cooper_telemetry::names",
+            value.name
+        );
+    }
+    for span in &snapshot.spans {
+        assert!(
+            names::is_registered_span(&span.path),
+            "unregistered span path {:?} — declare its segments in cooper_telemetry::names",
+            span.path
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! [`cooper_telemetry::reset`] must actually clear aggregated state
+//! between fleet runs: running the same governed simulation twice with
+//! a reset in between must yield an identical snapshot both times. A
+//! leaky reset would double counters and inflate latency histogram
+//! counts, silently corrupting bench comparisons across runs. One test
+//! function owns the global registry (this file is its own test
+//! binary).
+
+use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle};
+use cooper_core::{CooperPipeline, GovernorConfig};
+use cooper_lidar_sim::{scenario, BeamModel};
+use cooper_pointcloud::roi::RoiCategory;
+use cooper_spod::{SpodConfig, SpodDetector};
+use cooper_telemetry::TelemetrySnapshot;
+use cooper_v2x::{BandwidthGovernor, DsrcChannel, DsrcConfig, SharedMedium};
+
+fn run_once() -> TelemetrySnapshot {
+    let scene = scenario::tj_scenario_1();
+    let vehicles: Vec<FleetVehicle> = scene
+        .observers
+        .iter()
+        .enumerate()
+        .map(|(i, pose)| FleetVehicle {
+            id: i as u32 + 1,
+            trajectory: straight_trajectory(*pose, 1.0, 2),
+            beams: BeamModel::vlp16().with_azimuth_steps(300),
+        })
+        .collect();
+    let sim = FleetSimulation::new(
+        scene.world.clone(),
+        vehicles,
+        FleetConfig {
+            seed: 2024,
+            threads: Some(2),
+            ..FleetConfig::default()
+        },
+    );
+    let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()));
+    let mut medium = SharedMedium::new(DsrcChannel::new(DsrcConfig::default())).with_seed(5);
+    let mut policy = BandwidthGovernor::new(RoiCategory::FullFrame);
+    let governor = GovernorConfig::default();
+
+    cooper_telemetry::reset();
+    cooper_telemetry::enable();
+    let _ = sim.run_governed(&pipeline, 2, &mut medium, &mut policy, &governor);
+    let snapshot = cooper_telemetry::snapshot();
+    cooper_telemetry::disable();
+    cooper_telemetry::reset();
+    snapshot
+}
+
+#[test]
+fn back_to_back_runs_see_identical_fresh_registries() {
+    let first = run_once();
+    let second = run_once();
+
+    assert!(!first.counters.is_empty(), "run recorded no counters");
+    assert!(!first.spans.is_empty(), "run recorded no spans");
+
+    // Counters: identical names and values — a leaky reset would double
+    // every count in the second run.
+    assert_eq!(first.counters, second.counters);
+    assert_eq!(first.gauges, second.gauges);
+
+    // Spans and value histograms carry wall-clock durations, which
+    // cannot be compared bit-for-bit; their *counts* must match exactly
+    // — an unreset registry would inflate execution counts and shift
+    // the latency percentiles' sample base.
+    assert_eq!(first.spans.len(), second.spans.len());
+    for (a, b) in first.spans.iter().zip(second.spans.iter()) {
+        assert_eq!(a.path, b.path);
+        assert_eq!(
+            a.count, b.count,
+            "span {} count changed across reset: {} vs {}",
+            a.path, a.count, b.count
+        );
+    }
+    assert_eq!(first.values.len(), second.values.len());
+    for (a, b) in first.values.iter().zip(second.values.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.count, b.count,
+            "value {} count changed across reset: {} vs {}",
+            a.name, a.count, b.count
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end trace-context propagation: every packet transfer the
+//! fleet attempts — across ARQ retries, partial salvage, and alignment
+//! rejection — must leave a causal chain in the trace buffer that is
+//! joinable by [`TraceId`] and ends in exactly the terminal stage its
+//! reported outcome claims. One test function owns the global registry
+//! for the whole file (this file is its own test binary), running the
+//! three channel regimes sequentially with a reset in between.
+
+use cooper_core::fleet::{
+    straight_trajectory, FleetConfig, FleetSimulation, FleetStepReport, FleetVehicle,
+    TransportDropReason,
+};
+use cooper_core::{AlignmentGuardConfig, CooperPipeline, PerfectChannel};
+use cooper_lidar_sim::{scenario, BeamModel, FaultPlan};
+use cooper_spod::{SpodConfig, SpodDetector};
+use cooper_telemetry::trace::stage;
+use cooper_telemetry::{ChromeTrace, TraceId};
+use cooper_v2x::{ArqConfig, DsrcChannel, DsrcConfig, GilbertElliott, LossModel, SharedMedium};
+
+fn pipeline() -> CooperPipeline {
+    CooperPipeline::new(SpodDetector::new(SpodConfig::default()))
+}
+
+fn fleet(azimuth_steps: usize, fault_plan: Option<FaultPlan>) -> FleetSimulation {
+    let scene = scenario::tj_scenario_1();
+    let vehicles: Vec<FleetVehicle> = scene
+        .observers
+        .iter()
+        .enumerate()
+        .map(|(i, pose)| FleetVehicle {
+            id: i as u32 + 1,
+            trajectory: straight_trajectory(*pose, 1.0, 3),
+            beams: BeamModel::vlp16().with_azimuth_steps(azimuth_steps),
+        })
+        .collect();
+    FleetSimulation::new(
+        scene.world.clone(),
+        vehicles,
+        FleetConfig {
+            seed: 2024,
+            threads: Some(2),
+            fault_plan,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+/// The join the tracing exists for: every reported transport drop must
+/// resolve, by its `(step, from, to)` identity, to a trace chain that
+/// reaches a terminal stage — and the terminal must be consistent with
+/// the reported [`TransportDropReason`].
+fn assert_drops_join(reports: &[FleetStepReport], trace: &ChromeTrace) {
+    for report in reports {
+        for drop in &report.transport_drops {
+            let id = TraceId::new(report.step, drop.from, drop.to);
+            let chain = trace.events_for(id);
+            assert!(
+                !chain.is_empty(),
+                "transport drop {id} ({:?}) has no trace events",
+                drop.reason
+            );
+            assert!(
+                trace.has_terminal(id),
+                "transport drop {id} ({:?}) has no terminal stage",
+                drop.reason
+            );
+            let has_stage = |name: &str| chain.iter().any(|e| e.name == name);
+            match &drop.reason {
+                TransportDropReason::DeadlineExceeded => {
+                    assert!(has_stage(stage::DEADLINE_EXCEEDED), "{id}: {chain:?}");
+                }
+                // A salvaged partial is reported as a drop (the transfer
+                // degraded) but its chain continues into fusion, so the
+                // terminal is whatever phase 3 decided.
+                TransportDropReason::PartialDelivery { .. } => {
+                    assert!(has_stage(stage::PARTIAL), "{id}: {chain:?}");
+                }
+                TransportDropReason::SalvageFailed { .. } => {
+                    assert!(has_stage(stage::SALVAGE_FAILED), "{id}: {chain:?}");
+                }
+                TransportDropReason::BudgetExceeded => {
+                    assert!(has_stage(stage::GOVERN_SKIP), "{id}: {chain:?}");
+                }
+                TransportDropReason::AlignmentRejected { residual_mm } => {
+                    let mark = chain
+                        .iter()
+                        .find(|e| e.name == stage::ALIGN_REJECTED)
+                        .unwrap_or_else(|| panic!("{id}: no align_rejected in {chain:?}"));
+                    assert_eq!(mark.detail, Some(u64::from(*residual_mm)));
+                }
+            }
+        }
+    }
+    // Stronger: *every* transfer the trace knows about ended somewhere —
+    // fused, rejected, dropped, or skipped. No chain dangles.
+    for id in trace.trace_ids() {
+        assert!(trace.has_terminal(id), "transfer {id} never terminated");
+    }
+}
+
+fn traced<R>(run: impl FnOnce() -> R) -> (R, ChromeTrace) {
+    cooper_telemetry::reset();
+    cooper_telemetry::enable();
+    cooper_telemetry::set_tracing(true);
+    let out = run();
+    let trace = cooper_telemetry::take_trace();
+    cooper_telemetry::set_tracing(false);
+    cooper_telemetry::disable();
+    cooper_telemetry::reset();
+    (out, trace)
+}
+
+#[test]
+fn every_transfer_outcome_joins_to_a_terminal_trace_chain() {
+    let p = pipeline();
+
+    // Regime 1 — bursty loss with fragment ARQ: retries and whole-frame
+    // losses. The trace must show v2x transmit activity, at least one
+    // ARQ retry mark, and a terminal for every transfer.
+    let ((reports, _), trace) = traced(|| {
+        let mut medium = SharedMedium::new(DsrcChannel::new(DsrcConfig {
+            loss_model: LossModel::GilbertElliott(GilbertElliott::from_loss_rate(0.1)),
+            ..DsrcConfig::default()
+        }))
+        .with_seed(77)
+        .with_arq(ArqConfig::default());
+        fleet(900, None).run_with_channel(&p, 2, &mut medium)
+    });
+    assert_drops_join(&reports, &trace);
+    assert!(
+        trace.events.iter().any(|e| e.name == stage::V2X_TRANSMIT),
+        "ARQ medium recorded no transmit marks"
+    );
+    assert!(
+        trace.events.iter().any(|e| e.name == stage::V2X_ARQ_RETRY),
+        "lossy ARQ run recorded no retry marks"
+    );
+    assert!(
+        trace.events.iter().any(|e| e.name == stage::FUSED),
+        "no transfer fused"
+    );
+
+    // Regime 2 — a 3 Mbit/s medium with ARQ and a tight 5 Hz delivery
+    // deadline: transfers are cut mid-flight, producing partial
+    // deliveries whose salvage chains must continue into fusion.
+    let ((reports, _), trace) = traced(|| {
+        let mut medium = SharedMedium::new(DsrcChannel::new(DsrcConfig {
+            data_rate: cooper_v2x::DataRate::Mbps3,
+            ..DsrcConfig::default()
+        }))
+        .with_seed(11)
+        .with_arq(ArqConfig::default())
+        .with_rate_hz(5.0);
+        fleet(1500, None).run_with_channel(&p, 2, &mut medium)
+    });
+    assert_drops_join(&reports, &trace);
+    let partials = reports
+        .iter()
+        .flat_map(|r| &r.transport_drops)
+        .filter(|d| matches!(d.reason, TransportDropReason::PartialDelivery { .. }))
+        .count();
+    assert!(
+        partials > 0,
+        "saturated medium produced no partial deliveries"
+    );
+    assert!(
+        trace.events.iter().any(|e| e.name == stage::SALVAGED),
+        "no partial delivery was salvaged"
+    );
+
+    // Regime 3 — perfect channel, heavy pose drift, alignment guard:
+    // rejected packets must terminate with the rejection residual on
+    // the mark.
+    let guarded = pipeline().with_alignment_guard(AlignmentGuardConfig::default());
+    let plan = FaultPlan::parse("2:drift:8.0@0..3").expect("valid plan");
+    let ((reports, _), trace) = traced(|| {
+        let mut channel = PerfectChannel;
+        fleet(300, Some(plan)).run_with_channel(&guarded, 3, &mut channel)
+    });
+    assert_drops_join(&reports, &trace);
+    let rejected = reports
+        .iter()
+        .flat_map(|r| &r.transport_drops)
+        .filter(|d| matches!(d.reason, TransportDropReason::AlignmentRejected { .. }))
+        .count();
+    assert!(rejected > 0, "drifting sender was never rejected");
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| e.name == stage::ALIGN_REJECTED && e.terminal),
+        "no terminal align_rejected mark"
+    );
+}
