@@ -70,16 +70,25 @@ fn deterministic_view(reports: &[FleetStepReport]) -> Vec<String> {
         .collect()
 }
 
-/// `--check`: run only the 4-vehicle fleet at 1 and 4 worker threads,
+/// `--check`: run the 8-vehicle fleet at 1 and 4 worker threads,
 /// verify the determinism contract (reports bit-identical across
 /// thread counts) and append the normalized result to the bench
 /// regression ledger — the CI smoke mode. Exits non-zero on violation.
+///
+/// The record carries `hardware_threads` next to the measured speedup:
+/// [`ledger::floor_for`] holds `speedup_4_threads` to an absolute
+/// ≥2.5x floor, but only on hosts with at least 4 hardware threads —
+/// a narrower runner physically cannot express the speedup, so its
+/// honest ~1.0x measurement is recorded without gating.
 fn run_check() {
     let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()));
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut views = Vec::new();
     let mut timings = Vec::new();
     for threads in [1usize, 4] {
-        let sim = fleet(4, threads);
+        let sim = fleet(8, threads);
         let started = Instant::now();
         let (reports, _) = sim.run(&pipeline, STEPS);
         timings.push((threads, started.elapsed().as_micros() as u64));
@@ -88,7 +97,8 @@ fn run_check() {
     let deterministic = views[0] == views[1];
     let speedup = timings[0].1.max(1) as f64 / timings[1].1.max(1) as f64;
     println!(
-        "check: 4 vehicles x {STEPS} steps, deterministic across 1/4 threads: {deterministic}, 4-thread speedup {speedup:.2}x"
+        "check: 8 vehicles x {STEPS} steps on {hardware_threads} hardware thread(s), \
+         deterministic across 1/4 threads: {deterministic}, 4-thread speedup {speedup:.2}x"
     );
     if !deterministic {
         eprintln!("parallel_fleet check FAILED: reports differ across thread counts");
@@ -100,6 +110,7 @@ fn run_check() {
         &[
             ("deterministic", 1.0),
             ("speedup_4_threads", speedup),
+            ("hardware_threads", hardware_threads as f64),
             ("total_1t_us", timings[0].1 as f64),
             ("total_4t_us", timings[1].1 as f64),
         ],

@@ -12,7 +12,7 @@ use cooper_bench::{output_dir, render_csv, render_table, standard_pipeline, writ
 use cooper_lidar_sim::dataset::{generate_scene, SceneConfig};
 use cooper_lidar_sim::{BeamModel, ObjectClass};
 use cooper_spod::eval::{average_precision, precision_recall_curve_by_center, RangeDifficulty};
-use cooper_spod::Detection;
+use cooper_spod::{DetectOptions, DetectScratch, Detection};
 
 fn main() {
     eprintln!("training SPOD detector…");
@@ -35,6 +35,9 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
+    // One scratch for the whole sweep: the rulebook arena warms up on
+    // the first scene and is reused by every later detect call.
+    let mut scratch = DetectScratch::new();
     for class in ObjectClass::TARGETS {
         let mut cells = vec![class.to_string()];
         for difficulty in RangeDifficulty::ALL {
@@ -42,11 +45,14 @@ fn main() {
             // sweep) and same-class ground truth in the difficulty band
             // with at least a handful of points (KITTI also only counts
             // annotatable objects).
+            let options = DetectOptions::default()
+                .with_class(class)
+                .with_threshold(0.05);
             let frames: Vec<(Vec<Detection>, Vec<cooper_geometry::Obb3>)> = scenes
                 .iter()
                 .map(|scene| {
                     let dets: Vec<Detection> = detector
-                        .detect_class(&scene.cloud, class, 0.05)
+                        .detect_with(&scene.cloud, &options, &mut scratch)
                         .into_iter()
                         .filter(|d| RangeDifficulty::of(&d.obb) == difficulty)
                         .collect();

@@ -183,6 +183,56 @@ pub fn tolerance_for(bench: &str, metric: &str) -> Option<Tolerance> {
     }
 }
 
+/// An absolute floor the *latest* record of a bench must clear.
+///
+/// Unlike [`Tolerance`], which compares against the oldest record on
+/// file, a floor encodes an external requirement the current build has
+/// to meet regardless of history — useful when the baseline predates
+/// the feature being gated (a pre-parallelization speedup of ~1.0 would
+/// make any relative tolerance meaningless). The optional gate metric
+/// lets hardware-dependent floors apply only on hosts that can express
+/// them: a single-core runner cannot measure a parallel speedup.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Floor {
+    /// Minimum acceptable value of the metric.
+    pub min: f64,
+    /// `Some((name, threshold))`: the floor applies only when the same
+    /// record carries metric `name` at or above `threshold`; a record
+    /// without the gate metric is exempt.
+    pub gate: Option<(&'static str, f64)>,
+}
+
+impl Floor {
+    /// `true` when this floor applies to `record` — its gate metric,
+    /// if any, is present and at or above the threshold.
+    pub fn applies(&self, record: &BenchRecord) -> bool {
+        match self.gate {
+            None => true,
+            Some((name, threshold)) => record.metric(name).is_some_and(|v| v >= threshold),
+        }
+    }
+
+    /// `true` when `latest` falls below the floor.
+    pub fn violated(&self, latest: f64) -> bool {
+        latest < self.min
+    }
+}
+
+/// Absolute floors, applied to the newest record of each bench only
+/// (see [`Floor`]). The parallel-fleet speedup floor backs the PR 7
+/// chunk-parallel SPOD hot path: on a host with at least 4 hardware
+/// threads, the 8-vehicle fleet must run at least 2.5x faster at 4
+/// worker threads than at 1.
+pub fn floor_for(bench: &str, metric: &str) -> Option<Floor> {
+    match (bench, metric) {
+        ("parallel_fleet", "speedup_4_threads") => Some(Floor {
+            min: 2.5,
+            gate: Some(("hardware_threads", 4.0)),
+        }),
+        _ => None,
+    }
+}
+
 /// The comparison of one metric: latest vs baseline under its policy.
 #[derive(Clone, Debug)]
 pub struct MetricVerdict {
@@ -196,7 +246,11 @@ pub struct MetricVerdict {
     pub latest: f64,
     /// `None` when the metric is informational.
     pub tolerance: Option<Tolerance>,
-    /// `true` when the metric moved past its slack window.
+    /// The absolute floor in force for this metric, if any —
+    /// `None` also when a gated floor does not apply to this record.
+    pub floor: Option<Floor>,
+    /// `true` when the metric moved past its slack window or fell
+    /// below its floor.
     pub regressed: bool,
 }
 
@@ -222,10 +276,11 @@ impl fmt::Display for CheckReport {
             "bench", "metric", "baseline", "latest"
         )?;
         for v in &self.verdicts {
-            let verdict = match (&v.tolerance, v.regressed) {
-                (None, _) => "info",
-                (Some(_), false) => "ok",
-                (Some(_), true) => "REGRESSED",
+            let verdict = match (&v.tolerance, &v.floor, v.regressed) {
+                (_, Some(f), true) if f.violated(v.latest) => "BELOW FLOOR",
+                (None, None, _) => "info",
+                (_, _, false) => "ok",
+                (_, _, true) => "REGRESSED",
             };
             writeln!(
                 f,
@@ -264,15 +319,19 @@ pub fn check_history(records: &[BenchRecord]) -> CheckReport {
             // yet; treat the latest value as its baseline.
             let baseline_value = baseline.metric(metric).unwrap_or(*latest_value);
             let tolerance = tolerance_for(bench, metric);
+            let floor = floor_for(bench, metric).filter(|f| f.applies(latest));
+            let regressed = tolerance
+                .map(|t| t.regressed(baseline_value, *latest_value))
+                .unwrap_or(false)
+                || floor.is_some_and(|f| f.violated(*latest_value));
             report.verdicts.push(MetricVerdict {
                 bench: bench.to_string(),
                 metric: metric.clone(),
                 baseline: baseline_value,
                 latest: *latest_value,
-                regressed: tolerance
-                    .map(|t| t.regressed(baseline_value, *latest_value))
-                    .unwrap_or(false),
+                regressed,
                 tolerance,
+                floor,
             });
         }
     }
@@ -365,6 +424,49 @@ mod tests {
         let report = check_history(&history);
         assert!(!report.failed(), "a 9x wall-clock delta must not gate");
         assert!(report.verdicts[0].tolerance.is_none());
+    }
+
+    #[test]
+    fn speedup_floor_gates_on_capable_hosts() {
+        // Baseline predates the parallel hot path (speedup ~0.9); the
+        // floor judges the latest record absolutely, not relatively.
+        let history = [
+            BenchRecord::new("parallel_fleet", &[("speedup_4_threads", 0.9)]),
+            BenchRecord::new(
+                "parallel_fleet",
+                &[("speedup_4_threads", 1.2), ("hardware_threads", 8.0)],
+            ),
+        ];
+        let report = check_history(&history);
+        assert!(report.failed(), "1.2x on an 8-thread host is below floor");
+        assert!(format!("{report}").contains("BELOW FLOOR"));
+        let history = [
+            BenchRecord::new("parallel_fleet", &[("speedup_4_threads", 0.9)]),
+            BenchRecord::new(
+                "parallel_fleet",
+                &[("speedup_4_threads", 3.1), ("hardware_threads", 8.0)],
+            ),
+        ];
+        assert!(!check_history(&history).failed(), "3.1x clears the floor");
+    }
+
+    #[test]
+    fn speedup_floor_is_exempt_on_narrow_hosts() {
+        // A single-core runner cannot express a parallel speedup; the
+        // gate metric turns the floor off rather than failing noise.
+        let history = [BenchRecord::new(
+            "parallel_fleet",
+            &[("speedup_4_threads", 1.0), ("hardware_threads", 1.0)],
+        )];
+        let report = check_history(&history);
+        assert!(!report.failed());
+        assert!(report.verdicts.iter().all(|v| v.floor.is_none()));
+        // Records that never measured the gate metric are exempt too.
+        let legacy = [BenchRecord::new(
+            "parallel_fleet",
+            &[("speedup_4_threads", 0.9)],
+        )];
+        assert!(!check_history(&legacy).failed());
     }
 
     #[test]

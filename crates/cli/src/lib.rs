@@ -39,7 +39,7 @@ use cooper_pointcloud::io::{read_pcd, read_ply, read_xyz, write_pcd, write_ply, 
 use cooper_pointcloud::roi::RoiCategory;
 use cooper_pointcloud::PointCloud;
 use cooper_spod::train::{train, TrainingConfig};
-use cooper_spod::{SpodConfig, SpodDetector};
+use cooper_spod::{DetectOptions, DetectScratch, SpodConfig, SpodDetector};
 use cooper_v2x::{
     ArqConfig, BandwidthGovernor, DsrcChannel, DsrcConfig, ExchangeScheduler, GilbertElliott,
     LossModel, SharedMedium,
@@ -507,7 +507,8 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
             let cloud = read_cloud(require(&parsed.options, "--input")?)?;
             let detector = load_or_train_detector(&parsed.options)?;
             let threshold: f32 = get_parse(&parsed.options, "--threshold", 0.5)?;
-            let detections = detector.detect_with_threshold(&cloud, threshold);
+            let options = DetectOptions::default().with_threshold(threshold);
+            let detections = detector.detect_with(&cloud, &options, &mut DetectScratch::new());
             println!("{} detections on {} points:", detections.len(), cloud.len());
             for d in &detections {
                 println!("  {d}");

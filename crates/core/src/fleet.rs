@@ -39,6 +39,7 @@ use cooper_lidar_sim::{
 };
 use cooper_pointcloud::roi::{blind_sectors, extract_roi, BlindSector, RoiCategory, StaticMap};
 use cooper_pointcloud::{DeltaDecoder, DeltaEncoder, FrameKind, PointCloud};
+use cooper_spod::DetectScratch;
 use cooper_telemetry::names as telemetry_names;
 use cooper_telemetry::trace::stage as trace_stage;
 use cooper_telemetry::TraceId;
@@ -408,6 +409,29 @@ struct Broadcast {
     stamp: u32,
     packet: Option<ExchangePacket>,
     blind: Vec<BlindSector>,
+}
+
+/// One unit of phase-3 work, indexed by vehicle position: the vehicle's
+/// ego-only detection, or its cooperative fuse-and-detect. Splitting the
+/// two roughly doubles the parallelism available to the fuse/detect
+/// phase (2n independent detector runs instead of n paired ones), which
+/// is where nearly all of a step's wall-clock time goes.
+#[derive(Debug, Clone, Copy)]
+enum PerceiveTask {
+    Single(usize),
+    Cooperative(usize),
+}
+
+/// What one [`PerceiveTask`] produced. The cooperative variant's report
+/// carries a placeholder `single_detections`; the serial merge loop
+/// fills it from the matching [`PerceiveTaskOutput::Single`] result.
+enum PerceiveTaskOutput {
+    Single(usize),
+    Cooperative {
+        report: VehicleStepReport,
+        align_drops: Vec<TransportDrop>,
+        align_stats: AlignmentVehicleStats,
+    },
 }
 
 /// Per-vehicle transmit-side codec state of a governed run: the static
@@ -780,96 +804,147 @@ impl FleetSimulation {
             timings.exchange_us = exchange_start.elapsed().as_micros() as u64;
 
             // Phase 3 (parallel): every vehicle fuses its inbox and
-            // detects. Each closure also returns its alignment-guard
-            // fallout (rejection drops and verdict aggregates), merged
-            // serially below in fleet order to keep the report surface
-            // deterministic.
+            // detects, fanned out as 2n independent tasks — each
+            // vehicle's ego-only detection and its cooperative perceive
+            // are separate work items, dynamically claimed by workers
+            // that each carry a reusable [`DetectScratch`] arena. The
+            // detector runs its internals sequentially here: with 2n
+            // tasks the fan-out already saturates the workers, and
+            // nested spawning would oversubscribe them. Cooperative
+            // tasks also return their alignment-guard fallout (rejection
+            // drops and verdict aggregates), merged serially below in
+            // fleet order to keep the report surface deterministic.
             let perceive_start = std::time::Instant::now();
-            let phase3: Vec<(VehicleStepReport, Vec<TransportDrop>, AlignmentVehicleStats)> = {
+            let inner = Executor::sequential();
+            let tasks: Vec<PerceiveTask> = (0..broadcasts.len())
+                .flat_map(|i| [PerceiveTask::Single(i), PerceiveTask::Cooperative(i)])
+                .collect();
+            let phase3: Vec<PerceiveTaskOutput> = {
                 let _perceive_span = cooper_telemetry::span!(telemetry_names::SPAN_FLEET_PERCEIVE);
-                executor.map(&broadcasts, |i, me| {
-                    let id = self.vehicles[i].id;
-                    let mut rng = StdRng::seed_from_u64(stream_seed(
-                        self.config.seed,
-                        id,
-                        step,
-                        RX_MEASURE_STREAM,
-                    ));
-                    let clean =
-                        self.config
-                            .sensor_model
-                            .measure(&me.pose, &self.config.origin, &mut rng);
-                    let my_estimate = match &injector {
-                        Some(inj) => {
-                            inj.measure(id, step, &|s| self.vehicles[i].pose_at(s), clean)
-                                .estimate
+                executor.map_in(&tasks, DetectScratch::new, |_, task, scratch| match *task {
+                    PerceiveTask::Single(i) => PerceiveTaskOutput::Single(
+                        pipeline
+                            .perceive_single_with(&broadcasts[i].scan, &inner, scratch)
+                            .len(),
+                    ),
+                    PerceiveTask::Cooperative(i) => {
+                        let me = &broadcasts[i];
+                        let id = self.vehicles[i].id;
+                        let mut rng = StdRng::seed_from_u64(stream_seed(
+                            self.config.seed,
+                            id,
+                            step,
+                            RX_MEASURE_STREAM,
+                        ));
+                        let clean = self.config.sensor_model.measure(
+                            &me.pose,
+                            &self.config.origin,
+                            &mut rng,
+                        );
+                        let my_estimate = match &injector {
+                            Some(inj) => {
+                                inj.measure(id, step, &|s| self.vehicles[i].pose_at(s), clean)
+                                    .estimate
+                            }
+                            None => clean,
+                        };
+                        let outcome = pipeline.perceive_with(
+                            &me.scan,
+                            &my_estimate,
+                            &inboxes[i],
+                            &self.config.origin,
+                            &inner,
+                            scratch,
+                        );
+                        let mut align_stats = AlignmentVehicleStats::default();
+                        for record in &outcome.alignment {
+                            align_stats.absorb(record);
                         }
-                        None => clean,
-                    };
-                    let single = pipeline.perceive_single(&me.scan).len();
-                    let outcome =
-                        pipeline.perceive(&me.scan, &my_estimate, &inboxes[i], &self.config.origin);
-                    let mut align_stats = AlignmentVehicleStats::default();
-                    for record in &outcome.alignment {
-                        align_stats.absorb(record);
-                    }
-                    let align_drops: Vec<TransportDrop> = outcome
-                        .drops
-                        .iter()
-                        .filter_map(|drop| match drop.error {
-                            CooperError::AlignmentRejected { residual_m } => Some(TransportDrop {
-                                from: drop.vehicle_id,
-                                to: id,
-                                reason: TransportDropReason::AlignmentRejected {
-                                    residual_mm: residual_to_mm(residual_m),
-                                },
-                            }),
-                            _ => None,
-                        })
-                        .collect();
-                    // Terminal trace marks: every delivered packet's
-                    // causal chain ends here — fused into detection
-                    // input, rejected by the alignment guard, or
-                    // dropped by a decode failure.
-                    if cooper_telemetry::is_tracing() {
-                        for (k, pkt) in inboxes[i].iter().enumerate() {
-                            let trace = TraceId::new(step, pkt.vehicle_id(), id);
-                            match outcome.drops.iter().find(|d| d.index == k) {
-                                Some(drop) => match drop.error {
-                                    CooperError::AlignmentRejected { residual_m } => {
-                                        cooper_telemetry::trace_mark_with(
+                        let align_drops: Vec<TransportDrop> = outcome
+                            .drops
+                            .iter()
+                            .filter_map(|drop| match drop.error {
+                                CooperError::AlignmentRejected { residual_m } => {
+                                    Some(TransportDrop {
+                                        from: drop.vehicle_id,
+                                        to: id,
+                                        reason: TransportDropReason::AlignmentRejected {
+                                            residual_mm: residual_to_mm(residual_m),
+                                        },
+                                    })
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        // Terminal trace marks: every delivered packet's
+                        // causal chain ends here — fused into detection
+                        // input, rejected by the alignment guard, or
+                        // dropped by a decode failure.
+                        if cooper_telemetry::is_tracing() {
+                            for (k, pkt) in inboxes[i].iter().enumerate() {
+                                let trace = TraceId::new(step, pkt.vehicle_id(), id);
+                                match outcome.drops.iter().find(|d| d.index == k) {
+                                    Some(drop) => match drop.error {
+                                        CooperError::AlignmentRejected { residual_m } => {
+                                            cooper_telemetry::trace_mark_with(
+                                                trace,
+                                                trace_stage::ALIGN_REJECTED,
+                                                true,
+                                                u64::from(residual_to_mm(residual_m)),
+                                            );
+                                        }
+                                        _ => cooper_telemetry::trace_mark(
                                             trace,
-                                            trace_stage::ALIGN_REJECTED,
+                                            trace_stage::DECODE_FAILED,
                                             true,
-                                            u64::from(residual_to_mm(residual_m)),
-                                        );
-                                    }
-                                    _ => cooper_telemetry::trace_mark(
+                                        ),
+                                    },
+                                    None => cooper_telemetry::trace_mark(
                                         trace,
-                                        trace_stage::DECODE_FAILED,
+                                        trace_stage::FUSED,
                                         true,
                                     ),
-                                },
-                                None => {
-                                    cooper_telemetry::trace_mark(trace, trace_stage::FUSED, true)
                                 }
                             }
                         }
+                        let report = VehicleStepReport {
+                            vehicle_id: id,
+                            single_detections: 0,
+                            cooperative_detections: outcome.detections.len(),
+                            packets_received: inboxes[i].len(),
+                            packets_dropped: outcome.drops.len(),
+                            packets_partial: partial_counts[i],
+                            bytes_received: bytes_received[i],
+                        };
+                        PerceiveTaskOutput::Cooperative {
+                            report,
+                            align_drops,
+                            align_stats,
+                        }
                     }
-                    let report = VehicleStepReport {
-                        vehicle_id: id,
-                        single_detections: single,
-                        cooperative_detections: outcome.detections.len(),
-                        packets_received: inboxes[i].len(),
-                        packets_dropped: outcome.drops.len(),
-                        packets_partial: partial_counts[i],
-                        bytes_received: bytes_received[i],
-                    };
-                    (report, align_drops, align_stats)
                 })
             };
-            let mut per_vehicle = Vec::with_capacity(phase3.len());
-            for (i, (report, align_drops, align_stats)) in phase3.into_iter().enumerate() {
+            // Serial merge in fleet order: results arrive in input order
+            // (Single(i) at 2i, Cooperative(i) at 2i+1), so zip the
+            // pairs back into one report per vehicle.
+            let mut per_vehicle = Vec::with_capacity(broadcasts.len());
+            let mut outputs = phase3.into_iter();
+            for i in 0..broadcasts.len() {
+                let (Some(single_out), Some(coop_out)) = (outputs.next(), outputs.next()) else {
+                    unreachable!("phase 3 returns two outputs per vehicle");
+                };
+                let PerceiveTaskOutput::Single(single) = single_out else {
+                    unreachable!("phase-3 results keep input order");
+                };
+                let PerceiveTaskOutput::Cooperative {
+                    mut report,
+                    align_drops,
+                    align_stats,
+                } = coop_out
+                else {
+                    unreachable!("phase-3 results keep input order");
+                };
+                report.single_detections = single;
                 if align_stats.evaluated > 0 {
                     let entry = stats.alignment.entry(self.vehicles[i].id).or_default();
                     entry.evaluated += align_stats.evaluated;

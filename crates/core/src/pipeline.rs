@@ -1,9 +1,10 @@
 //! The cooperative-perception pipeline: fuse, then detect.
 
+use cooper_exec::Executor;
 use cooper_geometry::GpsFix;
 use cooper_lidar_sim::{ObjectClass, PoseEstimate};
 use cooper_pointcloud::PointCloud;
-use cooper_spod::{Detection, SpodDetector};
+use cooper_spod::{DetectOptions, DetectScratch, Detection, SpodDetector};
 use cooper_telemetry::names as telemetry_names;
 
 use crate::{
@@ -258,15 +259,32 @@ impl CooperPipeline {
     /// Single-shot perception: detect cars on one vehicle's own scan —
     /// the paper's baseline.
     pub fn perceive_single(&self, cloud: &PointCloud) -> Vec<Detection> {
+        self.perceive_single_with(cloud, &Executor::sequential(), &mut DetectScratch::new())
+    }
+
+    /// [`perceive_single`](Self::perceive_single) with an explicit
+    /// executor and a caller-owned scratch arena, for callers (the fleet
+    /// stepper, benches) that run many perceive calls and want to
+    /// parallelize the detector internals while reusing its buffers.
+    pub fn perceive_single_with(
+        &self,
+        cloud: &PointCloud,
+        executor: &Executor,
+        scratch: &mut DetectScratch,
+    ) -> Vec<Detection> {
         let _span = cooper_telemetry::span!(telemetry_names::SPAN_PIPELINE_PERCEIVE_SINGLE);
-        self.detector
-            .detect_class(cloud, ObjectClass::Car, self.score_threshold)
+        let options = DetectOptions::default()
+            .with_class(ObjectClass::Car)
+            .with_threshold(self.score_threshold)
+            .with_executor(*executor);
+        self.detector.detect_with(cloud, &options, scratch)
     }
 
     /// Single-shot perception over all target classes.
     pub fn perceive_single_all_classes(&self, cloud: &PointCloud) -> Vec<Detection> {
+        let options = DetectOptions::default().with_threshold(self.score_threshold);
         self.detector
-            .detect_with_threshold(cloud, self.score_threshold)
+            .detect_with(cloud, &options, &mut DetectScratch::new())
     }
 
     /// Fuses remote packets into the receiver's frame (Equations 1–3 +
@@ -309,6 +327,29 @@ impl CooperPipeline {
         packets: &[ExchangePacket],
         origin: &GpsFix,
     ) -> FusionOutcome {
+        self.perceive_with(
+            local_cloud,
+            local_pose,
+            packets,
+            origin,
+            &Executor::sequential(),
+            &mut DetectScratch::new(),
+        )
+    }
+
+    /// [`perceive`](Self::perceive) with an explicit executor and a
+    /// caller-owned scratch arena; the executor parallelizes the SPOD
+    /// internals on the fused cloud, and the scratch's rulebook arena is
+    /// reused across calls.
+    pub fn perceive_with(
+        &self,
+        local_cloud: &PointCloud,
+        local_pose: &PoseEstimate,
+        packets: &[ExchangePacket],
+        origin: &GpsFix,
+        executor: &Executor,
+        scratch: &mut DetectScratch,
+    ) -> FusionOutcome {
         let _span = cooper_telemetry::span!(telemetry_names::SPAN_PIPELINE_PERCEIVE);
         let (fused_cloud, fused_count, drops, alignment) = fuse_packets(
             local_cloud,
@@ -317,7 +358,7 @@ impl CooperPipeline {
             origin,
             self.guard.as_ref(),
         );
-        let detections = self.perceive_single(&fused_cloud);
+        let detections = self.perceive_single_with(&fused_cloud, executor, scratch);
         FusionOutcome {
             fused_cloud,
             detections,

@@ -108,9 +108,38 @@ impl Executor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.map_in(items, || (), |i, item, ()| f(i, item))
+    }
+
+    /// Like [`Executor::map`], but every worker gets a private scratch
+    /// value built by `scratch_factory`, passed to `f` as `&mut S`. Hot
+    /// loops reuse the scratch's allocations across all items a worker
+    /// processes instead of allocating per item.
+    ///
+    /// Which items share a scratch depends on work-claiming order, so
+    /// the determinism guarantee puts one obligation on `f`: treat the
+    /// scratch as **reusable buffers, never as carried state** — the
+    /// result for an item must not depend on what previous items left
+    /// in it.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic after all workers have joined.
+    pub fn map_in<T, S, R, FS, F>(&self, items: &[T], scratch_factory: FS, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(usize, &T, &mut S) -> R + Sync,
+    {
         let workers = self.threads.min(items.len());
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut scratch = scratch_factory();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t, &mut scratch))
+                .collect();
         }
 
         let cursor = AtomicUsize::new(0);
@@ -118,11 +147,12 @@ impl Executor {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let mut scratch = scratch_factory();
                         let mut local = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(i) else { break };
-                            local.push((i, f(i, item)));
+                            local.push((i, f(i, item, &mut scratch)));
                         }
                         local
                     })
@@ -172,9 +202,36 @@ impl Executor {
         R: Send,
         F: Fn(usize, &[T]) -> R + Sync,
     {
+        self.map_chunks_in(items, chunk_size, || (), |i, chunk, ()| f(i, chunk))
+    }
+
+    /// [`Executor::map_chunks`] with per-worker scratch: the chunked
+    /// counterpart of [`Executor::map_in`], combining fixed chunk
+    /// boundaries with reusable per-worker buffers. `f` receives
+    /// `(chunk_index, chunk, &mut scratch)` and the same scratch
+    /// obligation applies — buffers only, no carried state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk_size` is 0; re-raises worker panics.
+    pub fn map_chunks_in<T, S, R, FS, F>(
+        &self,
+        items: &[T],
+        chunk_size: usize,
+        scratch_factory: FS,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(usize, &[T], &mut S) -> R + Sync,
+    {
         assert!(chunk_size > 0, "chunk size must be positive");
         let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
-        self.map(&chunks, |i, chunk| f(i, chunk))
+        self.map_in(&chunks, scratch_factory, |i, chunk, scratch| {
+            f(i, chunk, scratch)
+        })
     }
 }
 
@@ -270,5 +327,56 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_size_rejected() {
         let _ = Executor::sequential().map_chunks(&[1], 0, |_, c: &[i32]| c.len());
+    }
+
+    #[test]
+    fn map_in_reuses_scratch_and_keeps_order() {
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 3, 8] {
+            let exec = Executor::new(Some(threads));
+            let out = exec.map_in(&items, Vec::<u32>::new, |i, &x, buf| {
+                // Scratch used as a buffer: cleared per item, so the
+                // result never depends on what a previous item left.
+                buf.clear();
+                buf.extend(0..=x);
+                (i, buf.iter().sum::<u32>())
+            });
+            let expect: Vec<_> = items
+                .iter()
+                .map(|&x| (x as usize, x * (x + 1) / 2))
+                .collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn map_chunks_in_matches_map_chunks() {
+        let items: Vec<u64> = (0..1000).map(|i| i * 7 % 101).collect();
+        let plain =
+            Executor::new(Some(4)).map_chunks(&items, 128, |ci, c| (ci, c.iter().sum::<u64>()));
+        let scratched =
+            Executor::new(Some(4)).map_chunks_in(&items, 128, Vec::<u64>::new, |ci, c, buf| {
+                buf.clear();
+                buf.extend_from_slice(c);
+                (ci, buf.iter().sum::<u64>())
+            });
+        assert_eq!(plain, scratched);
+    }
+
+    #[test]
+    fn map_in_scratch_built_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let factories = AtomicUsize::new(0);
+        let items: Vec<u8> = vec![0; 64];
+        let exec = Executor::new(Some(4));
+        let _ = exec.map_in(
+            &items,
+            || {
+                factories.fetch_add(1, Ordering::Relaxed);
+            },
+            |i, _, ()| i,
+        );
+        // One scratch per spawned worker, not one per item.
+        assert!(factories.load(Ordering::Relaxed) <= 4);
     }
 }

@@ -6,7 +6,6 @@
 //! group points by voxel, and keep only non-empty voxels — the sparsity
 //! that the sparse convolutional middle layers then exploit.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use cooper_geometry::{Aabb3, Vec3};
@@ -227,19 +226,95 @@ impl Voxel {
     }
 }
 
-/// Accumulates a run of points into a fresh voxel map.
-fn accumulate_points(points: &[Point], config: &VoxelGridConfig) -> BTreeMap<VoxelCoord, Voxel> {
-    let mut voxels: BTreeMap<VoxelCoord, Voxel> = BTreeMap::new();
-    for point in points {
-        let Some(coord) = config.coord_of(point.position) else {
-            continue;
-        };
-        voxels
-            .entry(coord)
-            .or_default()
-            .accumulate(point, config.max_points_per_voxel);
+/// Accumulates a run of points into sorted SoA voxel arrays.
+///
+/// `keys` is reusable scratch for the `(coordinate, point index)` sort
+/// buffer. The stable sort groups points by voxel while preserving cloud
+/// order within each voxel, so each voxel's accumulator sees exactly the
+/// point sequence a per-point map insertion would have fed it — float
+/// sums and the capped sample list come out identical, but without any
+/// per-point tree-node traffic.
+fn accumulate_sorted(
+    points: &[Point],
+    config: &VoxelGridConfig,
+    keys: &mut Vec<(VoxelCoord, u32)>,
+) -> (Vec<VoxelCoord>, Vec<Voxel>) {
+    keys.clear();
+    keys.reserve(points.len());
+    for (i, point) in points.iter().enumerate() {
+        if let Some(coord) = config.coord_of(point.position) {
+            keys.push((coord, i as u32));
+        }
     }
-    voxels
+    keys.sort_by_key(|&(coord, _)| coord);
+
+    let mut coords = Vec::new();
+    let mut voxels: Vec<Voxel> = Vec::new();
+    for &(coord, index) in keys.iter() {
+        if coords.last() != Some(&coord) {
+            coords.push(coord);
+            voxels.push(Voxel::default());
+        }
+        let voxel = voxels.last_mut().expect("pushed above");
+        voxel.accumulate(&points[index as usize], config.max_points_per_voxel);
+    }
+    (coords, voxels)
+}
+
+/// Merges two sorted SoA voxel runs, absorbing `other` into `base` where
+/// coordinates collide. Both inputs are consumed; the result stays
+/// sorted. Absorption order (base first, then other) matches the old
+/// chunk-order map merge, so float accumulators are bit-identical.
+fn merge_sorted(
+    base: (Vec<VoxelCoord>, Vec<Voxel>),
+    other: (Vec<VoxelCoord>, Vec<Voxel>),
+    cap: usize,
+) -> (Vec<VoxelCoord>, Vec<Voxel>) {
+    let (a_coords, a_voxels) = base;
+    let (b_coords, b_voxels) = other;
+    if b_coords.is_empty() {
+        return (a_coords, a_voxels);
+    }
+    if a_coords.is_empty() {
+        return (b_coords, b_voxels);
+    }
+    let mut coords = Vec::with_capacity(a_coords.len() + b_coords.len());
+    let mut voxels = Vec::with_capacity(a_voxels.len() + b_voxels.len());
+    let mut a = a_coords.into_iter().zip(a_voxels).peekable();
+    let mut b = b_coords.into_iter().zip(b_voxels).peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some((ca, _)), Some((cb, _))) => {
+                if ca < cb {
+                    let (c, v) = a.next().expect("peeked");
+                    coords.push(c);
+                    voxels.push(v);
+                } else if cb < ca {
+                    let (c, v) = b.next().expect("peeked");
+                    coords.push(c);
+                    voxels.push(v);
+                } else {
+                    let (c, mut v) = a.next().expect("peeked");
+                    let (_, vb) = b.next().expect("peeked");
+                    v.absorb(vb, cap);
+                    coords.push(c);
+                    voxels.push(v);
+                }
+            }
+            (Some(_), None) => {
+                let (c, v) = a.next().expect("peeked");
+                coords.push(c);
+                voxels.push(v);
+            }
+            (None, Some(_)) => {
+                let (c, v) = b.next().expect("peeked");
+                coords.push(c);
+                voxels.push(v);
+            }
+            (None, None) => break,
+        }
+    }
+    (coords, voxels)
 }
 
 /// A sparse voxel grid: only occupied voxels are stored.
@@ -260,7 +335,11 @@ fn accumulate_points(points: &[Point], config: &VoxelGridConfig) -> BTreeMap<Vox
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VoxelGrid {
     config: VoxelGridConfig,
-    voxels: BTreeMap<VoxelCoord, Voxel>,
+    /// Occupied voxel coordinates in ascending order.
+    coords: Vec<VoxelCoord>,
+    /// Voxel payloads, parallel to `coords` (SoA layout: the hot
+    /// downstream passes walk flat arrays instead of tree nodes).
+    voxels: Vec<Voxel>,
 }
 
 impl VoxelGrid {
@@ -274,8 +353,13 @@ impl VoxelGrid {
         if let Err(msg) = config.validate() {
             panic!("invalid voxel grid config: {msg}");
         }
-        let voxels = accumulate_points(cloud.as_slice(), &config);
-        VoxelGrid { config, voxels }
+        let mut keys = Vec::new();
+        let (coords, voxels) = accumulate_sorted(cloud.as_slice(), &config, &mut keys);
+        VoxelGrid {
+            config,
+            coords,
+            voxels,
+        }
     }
 
     /// Voxelizes a cloud in fixed-size chunks mapped over `executor`,
@@ -303,23 +387,20 @@ impl VoxelGrid {
             panic!("invalid voxel grid config: {msg}");
         }
         assert!(chunk_size > 0, "chunk size must be positive");
-        let partials = executor.map_chunks(cloud.as_slice(), chunk_size, |_, points| {
-            accumulate_points(points, &config)
-        });
-        let mut voxels: BTreeMap<VoxelCoord, Voxel> = BTreeMap::new();
+        let partials =
+            executor.map_chunks_in(cloud.as_slice(), chunk_size, Vec::new, |_, points, keys| {
+                accumulate_sorted(points, &config, keys)
+            });
+        let mut merged = (Vec::new(), Vec::new());
         for partial in partials {
-            for (coord, voxel) in partial {
-                match voxels.entry(coord) {
-                    std::collections::btree_map::Entry::Vacant(slot) => {
-                        slot.insert(voxel);
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut slot) => {
-                        slot.get_mut().absorb(voxel, config.max_points_per_voxel);
-                    }
-                }
-            }
+            merged = merge_sorted(merged, partial, config.max_points_per_voxel);
         }
-        VoxelGrid { config, voxels }
+        let (coords, voxels) = merged;
+        VoxelGrid {
+            config,
+            coords,
+            voxels,
+        }
     }
 
     /// The grid configuration.
@@ -334,19 +415,34 @@ impl VoxelGrid {
 
     /// Total number of in-extent points that were voxelized.
     pub fn total_points(&self) -> usize {
-        self.voxels.values().map(|v| v.count).sum()
+        self.voxels.iter().map(|v| v.count).sum()
     }
 
-    /// Looks up one voxel.
+    /// Looks up one voxel by binary search over the sorted coordinates.
     pub fn get(&self, coord: VoxelCoord) -> Option<&Voxel> {
-        self.voxels.get(&coord)
+        self.coords
+            .binary_search(&coord)
+            .ok()
+            .map(|i| &self.voxels[i])
     }
 
     /// Iterates over `(coordinate, voxel)` pairs in ascending coordinate
     /// order. The fixed order keeps downstream feature encoding and
     /// float accumulations deterministic run to run.
     pub fn iter(&self) -> impl Iterator<Item = (&VoxelCoord, &Voxel)> {
-        self.voxels.iter()
+        self.coords.iter().zip(self.voxels.iter())
+    }
+
+    /// The occupied voxel coordinates in ascending order. Parallel
+    /// downstream stages index this slice directly (SoA access) instead
+    /// of walking an iterator.
+    pub fn coords(&self) -> &[VoxelCoord] {
+        &self.coords
+    }
+
+    /// The voxel payloads, parallel to [`VoxelGrid::coords`].
+    pub fn voxels(&self) -> &[Voxel] {
+        &self.voxels
     }
 
     /// Occupancy ratio: occupied voxels over total voxels in the extent.

@@ -87,6 +87,51 @@ proptest! {
     }
 
     #[test]
+    fn soa_voxelization_matches_btreemap_reference(c in cloud(500)) {
+        // The SoA grid (sorted coordinate + payload arrays) replaced a
+        // per-point BTreeMap accumulation. The stable sort keeps cloud
+        // order within each voxel, so the result — including every
+        // floating-point aggregate and the capped sample list — must
+        // equal the old map's output bit for bit.
+        use std::collections::BTreeMap;
+        use cooper_pointcloud::{Voxel, VoxelCoord};
+        let config = VoxelGridConfig::voxelnet_car();
+        let mut reference: BTreeMap<VoxelCoord, Voxel> = BTreeMap::new();
+        for p in c.iter() {
+            if let Some(coord) = config.coord_of(p.position) {
+                let v = reference.entry(coord).or_default();
+                if v.samples.len() < config.max_points_per_voxel {
+                    v.samples.push(*p);
+                }
+                v.count += 1;
+                v.position_sum += p.position;
+                v.reflectance_sum += f64::from(p.reflectance);
+                v.min_position = v.min_position.min(p.position);
+                v.max_position = v.max_position.max(p.position);
+                let range_xy = p.range_xy();
+                v.min_range_xy = v.min_range_xy.min(range_xy);
+                v.max_range_xy = v.max_range_xy.max(range_xy);
+            }
+        }
+        let grid = VoxelGrid::from_cloud(&c, config);
+        prop_assert_eq!(grid.occupied_count(), reference.len());
+        for ((coord, voxel), (ref_coord, ref_voxel)) in grid.iter().zip(reference.iter()) {
+            prop_assert_eq!(coord, ref_coord);
+            prop_assert_eq!(voxel, ref_voxel);
+        }
+        // The chunk-parallel path agrees on the discrete surface (its
+        // float sums may differ in the last bits because chunking
+        // regroups them) and is invariant to executor width.
+        let chunked1 =
+            VoxelGrid::from_cloud_chunked(&c, config, 64, &cooper_exec::Executor::new(Some(1)));
+        let chunked4 =
+            VoxelGrid::from_cloud_chunked(&c, config, 64, &cooper_exec::Executor::new(Some(4)));
+        prop_assert_eq!(&chunked1, &chunked4);
+        prop_assert_eq!(chunked1.coords(), grid.coords());
+        prop_assert_eq!(chunked1.total_points(), grid.total_points());
+    }
+
+    #[test]
     fn voxel_centroid_inside_voxel(c in cloud(400)) {
         let grid = VoxelGrid::from_cloud(&c, VoxelGridConfig::voxelnet_car());
         for (coord, v) in grid.iter() {
@@ -244,7 +289,11 @@ proptest! {
             let frame = enc.encode_next(&c, false).unwrap();
             prop_assert_eq!(
                 frame.kind,
-                if i as u32 % keyframe_every == 0 { FrameKind::Keyframe } else { FrameKind::Delta }
+                if (i as u32).is_multiple_of(keyframe_every) {
+                    FrameKind::Keyframe
+                } else {
+                    FrameKind::Delta
+                }
             );
             prop_assert!(frame.points_sent <= c.len());
             // A static scene reconstructs to at least the keyframe's view.

@@ -6,8 +6,6 @@
 //! column and stays sparse: only columns with at least one active voxel
 //! exist.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::tensor::SparseTensor3;
@@ -24,6 +22,10 @@ pub const Z_STRUCTURE_CHANNELS: usize = 3;
 /// A sparse BEV feature map: one feature vector per active `(x, y)`
 /// column. Each vector is the per-channel max over z of the input tensor
 /// followed by [`Z_STRUCTURE_CHANNELS`] vertical-structure statistics.
+///
+/// Storage is structure-of-arrays: a sorted `(x, y)` cell array plus a
+/// flat feature buffer. Window extraction range-scans one contiguous
+/// cell run per window column instead of probing a map per cell.
 ///
 /// # Examples
 ///
@@ -43,7 +45,10 @@ pub const Z_STRUCTURE_CHANNELS: usize = 3;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BevMap {
     channels: usize,
-    cells: BTreeMap<(i32, i32), Vec<f32>>,
+    /// Active cells in ascending `(x, y)` order.
+    cells: Vec<(i32, i32)>,
+    /// Flat feature storage, `channels` values per cell.
+    features: Vec<f32>,
 }
 
 /// Normalizer for z-structure statistics: a column taller than this many
@@ -53,45 +58,50 @@ const Z_NORM: f32 = 8.0;
 impl BevMap {
     /// Collapses a sparse 3-D tensor over z: per-channel max pooling plus
     /// the vertical-structure channels.
+    ///
+    /// The tensor's sites are sorted by `(x, y, z)`, so every `(x, y)`
+    /// column is one contiguous run — the collapse is a single linear
+    /// pass, and z ascends within each run (the run's first site is the
+    /// column base, the last its top).
     pub fn collapse(tensor: &SparseTensor3) -> Self {
         let in_channels = tensor.channels();
         let channels = in_channels + Z_STRUCTURE_CHANNELS;
-        struct Column {
-            features: Vec<f32>,
-            levels: u32,
-            z_min: i32,
-            z_max: i32,
-        }
-        let mut columns: BTreeMap<(i32, i32), Column> = BTreeMap::new();
-        for (coord, features) in tensor.iter() {
-            let col = columns.entry((coord.x, coord.y)).or_insert_with(|| Column {
-                features: vec![f32::NEG_INFINITY; in_channels],
-                levels: 0,
-                z_min: i32::MAX,
-                z_max: i32::MIN,
-            });
-            for (c, f) in col.features.iter_mut().zip(features) {
-                *c = c.max(*f);
+        let sites = tensor.coord_slice();
+        let mut cells: Vec<(i32, i32)> = Vec::new();
+        let mut features: Vec<f32> = Vec::new();
+        let mut run = 0;
+        while run < sites.len() {
+            let cell = (sites[run].x, sites[run].y);
+            let mut end = run + 1;
+            while end < sites.len() && (sites[end].x, sites[end].y) == cell {
+                end += 1;
             }
-            col.levels += 1;
-            col.z_min = col.z_min.min(coord.z);
-            col.z_max = col.z_max.max(coord.z);
+            let base = features.len();
+            features.extend(std::iter::repeat_n(f32::NEG_INFINITY, in_channels));
+            for site in run..end {
+                for (c, f) in features[base..].iter_mut().zip(tensor.feature_at(site)) {
+                    *c = c.max(*f);
+                }
+            }
+            for v in features[base..].iter_mut() {
+                if !v.is_finite() {
+                    *v = 0.0;
+                }
+            }
+            let levels = (end - run) as u32;
+            let z_min = sites[run].z;
+            let z_max = sites[end - 1].z;
+            features.push((levels as f32 / Z_NORM).min(1.0));
+            features.push(((z_max - z_min + 1) as f32 / Z_NORM).min(1.0));
+            features.push((z_min as f32 / Z_NORM).clamp(-1.0, 1.0));
+            cells.push(cell);
+            run = end;
         }
-        let cells = columns
-            .into_iter()
-            .map(|(cell, col)| {
-                let mut f: Vec<f32> = col
-                    .features
-                    .into_iter()
-                    .map(|v| if v.is_finite() { v } else { 0.0 })
-                    .collect();
-                f.push((col.levels as f32 / Z_NORM).min(1.0));
-                f.push(((col.z_max - col.z_min + 1) as f32 / Z_NORM).min(1.0));
-                f.push((col.z_min as f32 / Z_NORM).clamp(-1.0, 1.0));
-                (cell, f)
-            })
-            .collect();
-        BevMap { channels, cells }
+        BevMap {
+            channels,
+            cells,
+            features,
+        }
     }
 
     /// Features per cell.
@@ -106,14 +116,35 @@ impl BevMap {
 
     /// The feature vector of column `(x, y)`, or `None` when inactive.
     pub fn get(&self, x: i32, y: i32) -> Option<&[f32]> {
-        self.cells.get(&(x, y)).map(Vec::as_slice)
+        self.cells
+            .binary_search(&(x, y))
+            .ok()
+            .map(|i| &self.features[i * self.channels..(i + 1) * self.channels])
     }
 
     /// Iterates over active `((x, y), features)` pairs in ascending
     /// `(x, y)` order, so consumers that accumulate or tie-break over
     /// cells behave identically run to run.
-    pub fn iter(&self) -> impl Iterator<Item = (&(i32, i32), &Vec<f32>)> {
-        self.cells.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (&(i32, i32), &[f32])> {
+        self.cells
+            .iter()
+            .zip(self.features.chunks_exact(self.channels))
+    }
+
+    /// The active cells as a slice (ascending `(x, y)` order) — the SoA
+    /// access path for stages that chunk cells across workers.
+    pub fn cell_slice(&self) -> &[(i32, i32)] {
+        &self.cells
+    }
+
+    /// The feature slice of the cell at `index` (cells are in ascending
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.active_cells()`.
+    pub fn feature_at(&self, index: usize) -> &[f32] {
+        &self.features[index * self.channels..(index + 1) * self.channels]
     }
 
     /// Concatenated features of the `(2·radius+1)²` window centered at
@@ -126,17 +157,36 @@ impl BevMap {
     /// resolution), otherwise box regression cannot see where the object
     /// ends.
     pub fn window_features(&self, x: i32, y: i32, radius: i32) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.window_features_into(x, y, radius, &mut out);
+        out
+    }
+
+    /// [`BevMap::window_features`] writing into a reusable buffer: the
+    /// hot RPN path calls this once per anchor cell and reuses `out`
+    /// across calls, avoiding one allocation per cell. The buffer is
+    /// cleared and refilled; layout matches `window_features` exactly
+    /// (dy outer, dx inner).
+    pub fn window_features_into(&self, x: i32, y: i32, radius: i32, out: &mut Vec<f32>) {
         let side = (2 * radius + 1) as usize;
-        let mut out = Vec::with_capacity(side * side * self.channels);
-        for dy in -radius..=radius {
-            for dx in -radius..=radius {
-                match self.get(x + dx, y + dy) {
-                    Some(f) => out.extend_from_slice(f),
-                    None => out.extend(std::iter::repeat_n(0.0, self.channels)),
+        out.clear();
+        out.resize(side * side * self.channels, 0.0);
+        // Cells sort by (x, y), so each window column x+dx is one
+        // contiguous cell run: binary-search its start, then scan.
+        for (dx_idx, dx) in (-radius..=radius).enumerate() {
+            let col = x + dx;
+            let start = self.cells.partition_point(|&c| c < (col, y - radius));
+            for i in start..self.cells.len() {
+                let (cx, cy) = self.cells[i];
+                if cx != col || cy > y + radius {
+                    break;
                 }
+                let dy_idx = (cy - (y - radius)) as usize;
+                let block = (dy_idx * side + dx_idx) * self.channels;
+                out[block..block + self.channels]
+                    .copy_from_slice(&self.features[i * self.channels..(i + 1) * self.channels]);
             }
         }
-        out
     }
 }
 
@@ -204,6 +254,26 @@ mod tests {
         assert_eq!(w[5 * c], 2.0);
         // A wider radius widens the vector accordingly.
         assert_eq!(bev.window_features(0, 0, 3).len(), 49 * c);
+    }
+
+    #[test]
+    fn window_into_reuses_buffer_and_matches() {
+        let mut t = SparseTensor3::new(2);
+        t.set(VoxelCoord::new(0, -1, 0), vec![1.0, -1.0]);
+        t.set(VoxelCoord::new(2, 3, 1), vec![0.5, 0.25]);
+        t.set(VoxelCoord::new(-1, 2, 0), vec![4.0, 2.0]);
+        let bev = BevMap::collapse(&t);
+        let mut buf = vec![9.0; 3]; // stale contents must be discarded
+        for (x, y) in [(0, 0), (2, 3), (-1, 2), (10, 10)] {
+            for radius in [1, 2, 3] {
+                bev.window_features_into(x, y, radius, &mut buf);
+                assert_eq!(
+                    buf,
+                    bev.window_features(x, y, radius),
+                    "at ({x},{y}) r{radius}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The assembled SPOD detector pipeline.
 
+use cooper_exec::Executor;
 use cooper_geometry::{Aabb3, Obb3, Vec3};
 use cooper_lidar_sim::ObjectClass;
 use cooper_pointcloud::{PointCloud, VoxelGrid, VoxelGridConfig};
@@ -10,7 +11,7 @@ use crate::anchors::AnchorConfig;
 use crate::bev::BevMap;
 use crate::head::DetectionHead;
 use crate::preprocess::{densify, PreprocessConfig};
-use crate::sparse_conv::SparseConv3;
+use crate::sparse_conv::{ConvRulebook, SparseConv3};
 use crate::train::{train, TrainingConfig};
 use crate::vfe::VoxelFeatureEncoder;
 
@@ -98,6 +99,97 @@ impl Default for SpodConfig {
 /// so a typical densified scan splits into enough chunks to occupy a
 /// small work pool without drowning in merge overhead.
 const VOXELIZE_CHUNK_POINTS: usize = 16_384;
+
+/// BEV cells per parallel RPN chunk. Fixed boundaries keep the
+/// detection emission order — and thus the NMS input and its outcome —
+/// identical at any thread count.
+const RPN_CHUNK_CELLS: usize = 512;
+
+/// Options for [`SpodDetector::detect_with`] — the single detection
+/// entry point the old `detect`/`detect_with_threshold`/`detect_class`
+/// trio collapsed into.
+///
+/// # Examples
+///
+/// ```
+/// use cooper_exec::Executor;
+/// use cooper_lidar_sim::ObjectClass;
+/// use cooper_spod::DetectOptions;
+///
+/// let options = DetectOptions::default()
+///     .with_threshold(0.4)
+///     .with_class(ObjectClass::Car)
+///     .with_executor(Executor::sequential());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectOptions {
+    /// Score threshold; `None` uses [`SpodConfig::score_threshold`].
+    pub threshold: Option<f32>,
+    /// Restrict detection to one class; `None` runs every head.
+    pub class: Option<ObjectClass>,
+    /// Executor driving the chunk-parallel stages (voxelize, VFE,
+    /// rulebook, sparse conv, RPN). Output is bit-identical at any
+    /// thread budget; callers already parallel at a coarser grain (the
+    /// fleet fans out per receiver) should pass
+    /// [`Executor::sequential`] to avoid nested thread spawn.
+    pub executor: Executor,
+}
+
+impl Default for DetectOptions {
+    fn default() -> Self {
+        DetectOptions {
+            threshold: None,
+            class: None,
+            executor: Executor::new(None),
+        }
+    }
+}
+
+impl DetectOptions {
+    /// Sets an explicit score threshold (PR-curve sweeps).
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// Restricts detection to one class (cheaper when only cars matter,
+    /// as in the Cooper evaluation).
+    pub fn with_class(mut self, class: ObjectClass) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Sets the executor for the chunk-parallel stages.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+}
+
+/// Reusable scratch arenas for [`SpodDetector::detect_with`].
+///
+/// The hot path's largest recurring allocation is the submanifold
+/// convolution rulebook (27 neighbour indices per active site, shared
+/// by both conv layers). Keeping one `DetectScratch` per vehicle (or
+/// per worker) across steps lets those buffers keep their capacity
+/// instead of being reallocated every frame.
+///
+/// Contents are buffers, never carried state: every call fully
+/// overwrites what it later reads, so reusing a scratch cannot change
+/// any result bit.
+#[derive(Debug, Default)]
+pub struct DetectScratch {
+    /// Conv neighbour table, rebuilt per featurize, reused by conv1 and
+    /// conv2 (submanifold convolutions keep the active set fixed).
+    rulebook: ConvRulebook,
+}
+
+impl DetectScratch {
+    /// An empty scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        DetectScratch::default()
+    }
+}
 
 /// The SPOD 3-D object detector (Figure 1 of the paper): preprocessing →
 /// voxel feature extractor → sparse convolutional middle layers → BEV
@@ -214,9 +306,30 @@ impl SpodDetector {
     /// VFE, two sparse convolutions and the BEV collapse.
     ///
     /// Exposed so the trainer and ablation benches can reuse the exact
-    /// inference path (C-INTERMEDIATE).
+    /// inference path (C-INTERMEDIATE). Thin shim over
+    /// [`SpodDetector::featurize_with`] with default options and a
+    /// throwaway scratch.
     pub fn featurize(&self, cloud: &PointCloud) -> BevMap {
+        self.featurize_with(cloud, &DetectOptions::default(), &mut DetectScratch::new())
+    }
+
+    /// The feature-extraction trunk with explicit options and scratch:
+    /// every stage past preprocessing is chunk-parallel over
+    /// `options.executor`, and the conv rulebook arena lives in
+    /// `scratch` (built once here, reused by both conv layers and kept
+    /// allocated across calls).
+    ///
+    /// Chunk boundaries are fixed and partial results merge in chunk
+    /// order, so the returned map is **bit-identical at any thread
+    /// count** — and bit-identical to the sequential path.
+    pub fn featurize_with(
+        &self,
+        cloud: &PointCloud,
+        options: &DetectOptions,
+        scratch: &mut DetectScratch,
+    ) -> BevMap {
         let _span = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_FEATURIZE);
+        let executor = &options.executor;
         let dense = {
             let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_PREPROCESS);
             let mut dense = densify(cloud, &self.config.preprocess);
@@ -231,12 +344,11 @@ impl SpodDetector {
             // Chunked even when the executor is sequential: fixed chunk
             // boundaries make the float accumulators (and hence every
             // downstream feature) bit-identical at any thread count.
-            let executor = cooper_exec::Executor::new(None);
             let grid = VoxelGrid::from_cloud_chunked(
                 &dense,
                 self.config.voxel_grid,
                 VOXELIZE_CHUNK_POINTS,
-                &executor,
+                executor,
             );
             cooper_telemetry::counter_add(
                 telemetry_names::SPOD_VOXELS_OCCUPIED,
@@ -247,15 +359,22 @@ impl SpodDetector {
         let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_MIDDLE);
         let embedded = {
             let _layer = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_VFE);
-            self.vfe.encode(&grid)
+            self.vfe.encode_with(&grid, executor)
         };
+        {
+            let _layer = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_RULEBOOK);
+            // Submanifold convolutions never change the active set, so
+            // one neighbour table serves both conv layers.
+            scratch.rulebook.rebuild(embedded.coord_slice(), executor);
+        }
         let mid = {
             let _layer = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_CONV1);
-            self.conv1.forward(&embedded)
+            self.conv1
+                .forward_with(&embedded, &scratch.rulebook, executor)
         };
         let deep = {
             let _layer = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_CONV2);
-            self.conv2.forward(&mid)
+            self.conv2.forward_with(&mid, &scratch.rulebook, executor)
         };
         let _layer = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_BEV);
         BevMap::collapse(&deep)
@@ -264,81 +383,102 @@ impl SpodDetector {
     /// Detects objects in a sensor-frame cloud.
     ///
     /// Works identically on single-shot and fused cooperative clouds —
-    /// the input is just points.
+    /// the input is just points. Thin shim over
+    /// [`SpodDetector::detect_with`] with default options.
     pub fn detect(&self, cloud: &PointCloud) -> Vec<Detection> {
-        self.detect_with_threshold(cloud, self.config.score_threshold)
+        self.detect_with(cloud, &DetectOptions::default(), &mut DetectScratch::new())
     }
 
     /// Detects with an explicit score threshold (used by PR-curve
-    /// evaluation, which sweeps thresholds).
+    /// evaluation, which sweeps thresholds). Thin shim over
+    /// [`SpodDetector::detect_with`].
     pub fn detect_with_threshold(&self, cloud: &PointCloud, threshold: f32) -> Vec<Detection> {
-        let bev = self.featurize(cloud);
-        let detections = {
-            let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_RPN);
-            let mut detections = Vec::new();
-            for (&(x, y), _) in bev.iter() {
-                let features = bev.window_features(x, y, self.config.window_radius);
-                for head in &self.heads {
-                    for yaw_idx in 0..AnchorConfig::YAWS.len() {
-                        let score = head.score(&features, yaw_idx);
-                        if score < threshold {
-                            continue;
-                        }
-                        let anchor =
-                            head.config()
-                                .anchor_at(&self.config.voxel_grid, (x, y), yaw_idx);
-                        let residual = head.residual(&features, yaw_idx);
-                        let obb = crate::anchors::decode_box(&anchor, &residual);
-                        detections.push(Detection {
-                            class: head.config().class,
-                            obb,
-                            score,
-                        });
-                    }
-                }
-            }
-            detections
-        };
-        let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_NMS);
-        crate::nms::non_max_suppression_with_distance(
-            detections,
-            self.config.nms_iou,
-            self.config.nms_distance_factor,
+        self.detect_with(
+            cloud,
+            &DetectOptions::default().with_threshold(threshold),
+            &mut DetectScratch::new(),
         )
     }
 
     /// Detects only the given class (cheaper when only cars matter, as
-    /// in the Cooper evaluation).
+    /// in the Cooper evaluation). Thin shim over
+    /// [`SpodDetector::detect_with`].
     pub fn detect_class(
         &self,
         cloud: &PointCloud,
         class: ObjectClass,
         threshold: f32,
     ) -> Vec<Detection> {
-        let bev = self.featurize(cloud);
-        let Some(head) = self.heads.iter().find(|h| h.config().class == class) else {
-            return Vec::new();
+        self.detect_with(
+            cloud,
+            &DetectOptions::default()
+                .with_class(class)
+                .with_threshold(threshold),
+            &mut DetectScratch::new(),
+        )
+    }
+
+    /// The single detection entry point: featurize, score every BEV
+    /// cell's anchors with the RPN heads, decode boxes above the
+    /// threshold, suppress duplicates.
+    ///
+    /// The RPN fans BEV cells out in fixed-size chunks over
+    /// `options.executor`, each worker reusing one window buffer; chunk
+    /// results concatenate in chunk order, so the NMS input — and with
+    /// it every returned detection bit — is identical at any thread
+    /// count.
+    pub fn detect_with(
+        &self,
+        cloud: &PointCloud,
+        options: &DetectOptions,
+        scratch: &mut DetectScratch,
+    ) -> Vec<Detection> {
+        let bev = self.featurize_with(cloud, options, scratch);
+        let threshold = options.threshold.unwrap_or(self.config.score_threshold);
+        let heads: Vec<&DetectionHead> = match options.class {
+            Some(class) => self
+                .heads
+                .iter()
+                .filter(|h| h.config().class == class)
+                .collect(),
+            None => self.heads.iter().collect(),
         };
         let detections = {
             let _stage = cooper_telemetry::span!(telemetry_names::SPAN_SPOD_RPN);
-            let mut detections = Vec::new();
-            for (&(x, y), _) in bev.iter() {
-                let features = bev.window_features(x, y, self.config.window_radius);
-                for yaw_idx in 0..AnchorConfig::YAWS.len() {
-                    let score = head.score(&features, yaw_idx);
-                    if score < threshold {
-                        continue;
+            let parts = options.executor.map_chunks_in(
+                bev.cell_slice(),
+                RPN_CHUNK_CELLS,
+                Vec::new,
+                |_, cells, window| {
+                    let mut local = Vec::new();
+                    for &(x, y) in cells {
+                        bev.window_features_into(x, y, self.config.window_radius, window);
+                        for head in &heads {
+                            for yaw_idx in 0..AnchorConfig::YAWS.len() {
+                                let score = head.score(window, yaw_idx);
+                                if score < threshold {
+                                    continue;
+                                }
+                                let anchor = head.config().anchor_at(
+                                    &self.config.voxel_grid,
+                                    (x, y),
+                                    yaw_idx,
+                                );
+                                let residual = head.residual(window, yaw_idx);
+                                local.push(Detection {
+                                    class: head.config().class,
+                                    obb: crate::anchors::decode_box(&anchor, &residual),
+                                    score,
+                                });
+                            }
+                        }
                     }
-                    let anchor = head
-                        .config()
-                        .anchor_at(&self.config.voxel_grid, (x, y), yaw_idx);
-                    let residual = head.residual(&features, yaw_idx);
-                    detections.push(Detection {
-                        class,
-                        obb: crate::anchors::decode_box(&anchor, &residual),
-                        score,
-                    });
-                }
+                    local
+                },
+            );
+            let mut detections = Vec::new();
+            for part in parts {
+                detections.extend(part);
             }
             detections
         };
@@ -410,6 +550,60 @@ mod tests {
         let det = SpodDetector::new(SpodConfig::default());
         let dets = det.detect_class(&toy_cloud(), ObjectClass::Car, 0.4);
         assert!(dets.iter().all(|d| d.class == ObjectClass::Car));
+    }
+
+    #[test]
+    fn detect_with_matches_shims() {
+        let det = SpodDetector::new(SpodConfig::default());
+        let cloud = toy_cloud();
+        let mut scratch = DetectScratch::new();
+        let via_options = det.detect_with(
+            &cloud,
+            &DetectOptions::default()
+                .with_class(ObjectClass::Car)
+                .with_threshold(0.4)
+                .with_executor(Executor::sequential()),
+            &mut scratch,
+        );
+        assert_eq!(via_options, det.detect_class(&cloud, ObjectClass::Car, 0.4));
+        let all_classes = det.detect_with(
+            &cloud,
+            &DetectOptions::default()
+                .with_threshold(0.4)
+                .with_executor(Executor::sequential()),
+            &mut scratch,
+        );
+        assert_eq!(all_classes, det.detect_with_threshold(&cloud, 0.4));
+    }
+
+    #[test]
+    fn detect_with_is_thread_count_invariant_and_scratch_reusable() {
+        let det = SpodDetector::new(SpodConfig::default());
+        let cloud = toy_cloud();
+        let mut scratch = DetectScratch::new();
+        let baseline = det.detect_with(
+            &cloud,
+            &DetectOptions::default()
+                .with_threshold(0.4)
+                .with_executor(Executor::new(Some(1))),
+            &mut scratch,
+        );
+        let baseline_bev = det.featurize_with(
+            &cloud,
+            &DetectOptions::default().with_executor(Executor::new(Some(1))),
+            &mut scratch,
+        );
+        for threads in [2, 4] {
+            let options = DetectOptions::default()
+                .with_threshold(0.4)
+                .with_executor(Executor::new(Some(threads)));
+            // Same scratch reused across thread counts: results may not
+            // depend on what a previous call left in the arenas.
+            let dets = det.detect_with(&cloud, &options, &mut scratch);
+            assert_eq!(baseline, dets, "detections diverged at {threads} threads");
+            let bev = det.featurize_with(&cloud, &options, &mut scratch);
+            assert_eq!(baseline_bev, bev, "features diverged at {threads} threads");
+        }
     }
 
     #[test]

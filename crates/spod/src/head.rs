@@ -89,7 +89,10 @@ impl DetectionHead {
     /// Panics when `yaw_idx` is out of range or `features` has the wrong
     /// length.
     pub fn objectness_logit(&self, features: &[f32], yaw_idx: usize) -> f32 {
-        self.objectness[yaw_idx].forward(features)[0]
+        // Scalar path: the RPN scores every anchor of every BEV cell, so
+        // the allocation-free dot product matters; bits match
+        // `forward(features)[0]` exactly.
+        self.objectness[yaw_idx].forward_scalar(features)
     }
 
     /// Detection score (sigmoid of the logit) in `[0, 1]`.

@@ -63,6 +63,6 @@ mod tensor;
 pub mod train;
 pub mod vfe;
 
-pub use detector::{Detection, SpodConfig, SpodDetector};
+pub use detector::{DetectOptions, DetectScratch, Detection, SpodConfig, SpodDetector};
 pub use nms::non_max_suppression;
 pub use tensor::SparseTensor3;

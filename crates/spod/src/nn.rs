@@ -114,6 +114,36 @@ impl Linear {
         y
     }
 
+    /// Forward pass into a caller-provided buffer, so hot loops reuse
+    /// one allocation across calls. The buffer is cleared and refilled;
+    /// the arithmetic (and therefore the result bits) matches
+    /// [`Linear::forward`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != in_dim`.
+    pub fn forward_into(&self, x: &[f32], y: &mut Vec<f32>) {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        y.clear();
+        y.extend_from_slice(&self.b);
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            *yo += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>();
+        }
+    }
+
+    /// Forward pass of a single-output layer without allocating: the
+    /// scalar `w·x + b`. Bitwise equal to `forward(x)[0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out_dim != 1` or `x.len() != in_dim`.
+    pub fn forward_scalar(&self, x: &[f32]) -> f32 {
+        assert_eq!(self.out_dim, 1, "forward_scalar needs a 1-output layer");
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        self.b[0] + self.w.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>()
+    }
+
     /// One SGD step on a single output unit `out` given input `x` and the
     /// gradient `dl_dy` of the loss w.r.t. that unit's pre-activation.
     ///
@@ -210,6 +240,18 @@ mod tests {
         assert_eq!(l.forward(&[0.0; 5]).len(), 2);
         // Zero input yields the bias (zero at init).
         assert_eq!(l.forward(&[0.0; 5]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_into_and_scalar_match_forward() {
+        let l = Linear::seeded(6, 3, 13);
+        let x = [0.3, -0.7, 1.2, 0.0, -2.0, 0.5];
+        let direct = l.forward(&x);
+        let mut buf = vec![99.0; 1];
+        l.forward_into(&x, &mut buf);
+        assert_eq!(buf, direct);
+        let scalar_layer = Linear::seeded(6, 1, 14);
+        assert_eq!(scalar_layer.forward_scalar(&x), scalar_layer.forward(&x)[0]);
     }
 
     #[test]

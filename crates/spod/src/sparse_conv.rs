@@ -14,6 +14,7 @@
 //! nothing, so cost scales with the number of active sites — not the
 //! grid volume.
 
+use cooper_exec::Executor;
 use cooper_pointcloud::VoxelCoord;
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,12 @@ use crate::tensor::SparseTensor3;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Sites per parallel chunk when building rulebooks and running the
+/// convolution. Fixed (never derived from the thread count) so chunk
+/// boundaries — and thus float accumulation grouping — are identical at
+/// any parallelism.
+const CONV_CHUNK_SITES: usize = 1024;
 
 /// A 3×3×3 submanifold sparse convolution layer with ReLU.
 ///
@@ -52,6 +59,69 @@ pub struct SparseConv3 {
 /// The 27 kernel offsets in a fixed order.
 fn kernel_offsets() -> impl Iterator<Item = (i32, i32, i32)> {
     (-1..=1).flat_map(|dz| (-1..=1).flat_map(move |dy| (-1..=1).map(move |dx| (dx, dy, dz))))
+}
+
+/// A neighbour-index table ("rulebook") for submanifold convolution over
+/// a fixed active set: for every site, the flat index of each of its 27
+/// kernel neighbours in the sorted coordinate array, or `-1` when that
+/// neighbour is inactive.
+///
+/// Submanifold convolutions never change the active set, so one rulebook
+/// built from the VFE output serves *every* conv layer in the stack —
+/// the detector builds it once per featurize and reuses it as a scratch
+/// arena across frames (the backing `Vec` keeps its capacity).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvRulebook {
+    site_count: usize,
+    /// `site_count × 27` neighbour indices in [`kernel_offsets`] order.
+    neighbors: Vec<i32>,
+}
+
+impl ConvRulebook {
+    /// An empty rulebook (zero sites) — the reusable-arena starting
+    /// state.
+    pub fn new() -> Self {
+        ConvRulebook::default()
+    }
+
+    /// Number of sites the table covers.
+    pub fn site_count(&self) -> usize {
+        self.site_count
+    }
+
+    /// Builds a rulebook for a sorted active set.
+    pub fn build(coords: &[VoxelCoord], executor: &Executor) -> Self {
+        let mut rulebook = ConvRulebook::new();
+        rulebook.rebuild(coords, executor);
+        rulebook
+    }
+
+    /// Rebuilds the table in place for a (sorted) active set, reusing
+    /// the backing allocation. Neighbour lookups are binary searches
+    /// over `coords`, chunk-parallel across `executor`.
+    pub fn rebuild(&mut self, coords: &[VoxelCoord], executor: &Executor) {
+        let offsets: Vec<(i32, i32, i32)> = kernel_offsets().collect();
+        let parts = executor.map_chunks(coords, CONV_CHUNK_SITES, |_, chunk| {
+            let mut table = Vec::with_capacity(chunk.len() * 27);
+            for coord in chunk {
+                for &(dx, dy, dz) in &offsets {
+                    let neighbor = VoxelCoord::new(coord.x + dx, coord.y + dy, coord.z + dz);
+                    let index = match coords.binary_search(&neighbor) {
+                        Ok(i) => i as i32,
+                        Err(_) => -1,
+                    };
+                    table.push(index);
+                }
+            }
+            table
+        });
+        self.neighbors.clear();
+        self.neighbors.reserve(coords.len() * 27);
+        for part in parts {
+            self.neighbors.extend_from_slice(&part);
+        }
+        self.site_count = coords.len();
+    }
 }
 
 impl SparseConv3 {
@@ -144,29 +214,70 @@ impl SparseConv3 {
     ///
     /// Panics when `input.channels() != self.in_channels()`.
     pub fn forward(&self, input: &SparseTensor3) -> SparseTensor3 {
+        let executor = Executor::sequential();
+        let rulebook = ConvRulebook::build(input.coord_slice(), &executor);
+        self.forward_with(input, &rulebook, &executor)
+    }
+
+    /// Applies the convolution using a prebuilt [`ConvRulebook`] over
+    /// `executor`, chunk-parallel across sites. Because the active set
+    /// is fixed, per-site accumulation (bias, then the 27 taps in fixed
+    /// offset order) is independent of chunking — the output is
+    /// bit-identical at any thread count and to the sequential
+    /// [`SparseConv3::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input channel count or the rulebook's site count
+    /// does not match the input.
+    pub fn forward_with(
+        &self,
+        input: &SparseTensor3,
+        rulebook: &ConvRulebook,
+        executor: &Executor,
+    ) -> SparseTensor3 {
         assert_eq!(input.channels(), self.in_channels, "channel mismatch");
-        let mut out = SparseTensor3::new(self.out_channels);
-        for (coord, _) in input.iter() {
-            let mut acc = self.bias.clone();
-            for (k, (dx, dy, dz)) in kernel_offsets().enumerate() {
-                let neighbor = VoxelCoord::new(coord.x + dx, coord.y + dy, coord.z + dz);
-                let Some(features) = input.get(neighbor) else {
-                    continue;
-                };
-                let w = &self.kernel[k];
-                for (o, a) in acc.iter_mut().enumerate() {
-                    let row = &w[o * self.in_channels..(o + 1) * self.in_channels];
-                    *a += row
-                        .iter()
-                        .zip(features)
-                        .map(|(wi, xi)| wi * xi)
-                        .sum::<f32>();
+        assert_eq!(
+            rulebook.site_count(),
+            input.active_sites(),
+            "rulebook site count mismatch"
+        );
+        let in_c = self.in_channels;
+        let out_c = self.out_channels;
+        let feats = input.feature_slice();
+        let parts = executor.map_chunks(input.coord_slice(), CONV_CHUNK_SITES, |ci, chunk| {
+            let base = ci * CONV_CHUNK_SITES;
+            let mut out_chunk = vec![0.0f32; chunk.len() * out_c];
+            for s in 0..chunk.len() {
+                let site = base + s;
+                let acc = &mut out_chunk[s * out_c..(s + 1) * out_c];
+                acc.copy_from_slice(&self.bias);
+                let taps = &rulebook.neighbors[site * 27..site * 27 + 27];
+                for (k, &j) in taps.iter().enumerate() {
+                    if j < 0 {
+                        continue;
+                    }
+                    let j = j as usize;
+                    let features = &feats[j * in_c..(j + 1) * in_c];
+                    let w = &self.kernel[k];
+                    for (o, a) in acc.iter_mut().enumerate() {
+                        let row = &w[o * in_c..(o + 1) * in_c];
+                        *a += row
+                            .iter()
+                            .zip(features)
+                            .map(|(wi, xi)| wi * xi)
+                            .sum::<f32>();
+                    }
                 }
+                relu_in_place(acc);
             }
-            relu_in_place(&mut acc);
-            out.set(*coord, acc);
+            out_chunk
+        });
+        let mut features = Vec::with_capacity(input.active_sites() * out_c);
+        for part in parts {
+            features.extend_from_slice(&part);
         }
-        out
+        SparseTensor3::from_sorted_parts(out_c, input.coord_slice().to_vec(), features)
     }
 }
 
@@ -292,5 +403,45 @@ mod tests {
         let layer = SparseConv3::seeded(2, 2, 0);
         let out = layer.forward(&SparseTensor3::new(2));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rulebook_forward_matches_sequential_at_any_thread_count() {
+        let coords: Vec<(i32, i32, i32)> = (0..4)
+            .flat_map(|x| (0..4).flat_map(move |y| (0..3).map(move |z| (x, y, z))))
+            .collect();
+        let input = tensor_with(&coords, 3);
+        let layer = SparseConv3::seeded(3, 5, 21);
+        let sequential = layer.forward(&input);
+        for threads in [1, 2, 4] {
+            let executor = Executor::new(Some(threads));
+            let rulebook = ConvRulebook::build(input.coord_slice(), &executor);
+            let parallel = layer.forward_with(&input, &rulebook, &executor);
+            assert_eq!(sequential, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn rulebook_is_reusable_across_layers() {
+        let input = tensor_with(&[(0, 0, 0), (1, 0, 0), (0, 1, 0)], 2);
+        let executor = Executor::sequential();
+        let mut rulebook = ConvRulebook::new();
+        assert_eq!(rulebook.site_count(), 0);
+        rulebook.rebuild(input.coord_slice(), &executor);
+        let a = SparseConv3::seeded(2, 4, 1);
+        let b = SparseConv3::seeded(4, 4, 2);
+        // Same active set through the stack: one rulebook serves both.
+        let mid = a.forward_with(&input, &rulebook, &executor);
+        let out = b.forward_with(&mid, &rulebook, &executor);
+        assert_eq!(out, b.forward(&a.forward(&input)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rulebook site count mismatch")]
+    fn stale_rulebook_rejected() {
+        let input = tensor_with(&[(0, 0, 0), (1, 0, 0)], 2);
+        let layer = SparseConv3::seeded(2, 2, 3);
+        let rulebook = ConvRulebook::new();
+        let _ = layer.forward_with(&input, &rulebook, &Executor::sequential());
     }
 }

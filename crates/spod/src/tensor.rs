@@ -1,6 +1,5 @@
 //! Sparse 3-D feature tensors.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use cooper_pointcloud::VoxelCoord;
@@ -12,6 +11,12 @@ use cooper_pointcloud::VoxelCoord;
 /// active (occupied) sites are stored; LiDAR grids are typically < 1 %
 /// occupied, which is exactly the sparsity the sparse convolution engine
 /// exploits.
+///
+/// Storage is structure-of-arrays: a sorted coordinate array plus one
+/// flat `f32` buffer with `channels` values per site. The sorted order
+/// keeps every downstream float accumulation deterministic, and the flat
+/// layout lets the convolution and BEV stages stream features without
+/// per-site pointer chasing.
 ///
 /// # Examples
 ///
@@ -27,7 +32,10 @@ use cooper_pointcloud::VoxelCoord;
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseTensor3 {
     channels: usize,
-    sites: BTreeMap<VoxelCoord, Vec<f32>>,
+    /// Active coordinates in ascending order.
+    coords: Vec<VoxelCoord>,
+    /// Flat feature storage, `channels` values per coordinate.
+    features: Vec<f32>,
 }
 
 impl SparseTensor3 {
@@ -40,7 +48,35 @@ impl SparseTensor3 {
         assert!(channels > 0, "channel count must be positive");
         SparseTensor3 {
             channels,
-            sites: BTreeMap::new(),
+            coords: Vec::new(),
+            features: Vec::new(),
+        }
+    }
+
+    /// Builds a tensor directly from its SoA parts: `coords` must be
+    /// strictly ascending and `features` must hold `channels` values per
+    /// coordinate. This is the bulk constructor the parallel VFE and
+    /// convolution stages use — no per-site insertion cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero, the buffer length does not match,
+    /// or the coordinates are not strictly ascending.
+    pub fn from_sorted_parts(channels: usize, coords: Vec<VoxelCoord>, features: Vec<f32>) -> Self {
+        assert!(channels > 0, "channel count must be positive");
+        assert_eq!(
+            features.len(),
+            coords.len() * channels,
+            "feature buffer length mismatch"
+        );
+        assert!(
+            coords.windows(2).all(|w| w[0] < w[1]),
+            "coordinates must be strictly ascending"
+        );
+        SparseTensor3 {
+            channels,
+            coords,
+            features,
         }
     }
 
@@ -51,15 +87,18 @@ impl SparseTensor3 {
 
     /// Number of active sites.
     pub fn active_sites(&self) -> usize {
-        self.sites.len()
+        self.coords.len()
     }
 
     /// `true` when no site is active.
     pub fn is_empty(&self) -> bool {
-        self.sites.is_empty()
+        self.coords.is_empty()
     }
 
-    /// Sets the feature vector at a site.
+    /// Sets the feature vector at a site, inserting it in sorted
+    /// position or overwriting an existing one. This is the convenience
+    /// path for tests and small constructions; bulk builders should use
+    /// [`SparseTensor3::from_sorted_parts`].
     ///
     /// # Panics
     ///
@@ -70,33 +109,69 @@ impl SparseTensor3 {
             self.channels,
             "feature length mismatch at {coord}"
         );
-        self.sites.insert(coord, features);
+        match self.coords.binary_search(&coord) {
+            Ok(i) => {
+                self.features[i * self.channels..(i + 1) * self.channels]
+                    .copy_from_slice(&features);
+            }
+            Err(i) => {
+                self.coords.insert(i, coord);
+                // Splice the new site's features into the flat buffer.
+                let at = i * self.channels;
+                self.features.splice(at..at, features);
+            }
+        }
     }
 
     /// The feature vector at a site, or `None` when inactive.
     pub fn get(&self, coord: VoxelCoord) -> Option<&[f32]> {
-        self.sites.get(&coord).map(Vec::as_slice)
+        self.coords
+            .binary_search(&coord)
+            .ok()
+            .map(|i| &self.features[i * self.channels..(i + 1) * self.channels])
+    }
+
+    /// The feature slice of the site at `index` (sites are in ascending
+    /// coordinate order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.active_sites()`.
+    pub fn feature_at(&self, index: usize) -> &[f32] {
+        &self.features[index * self.channels..(index + 1) * self.channels]
     }
 
     /// Iterates over `(coordinate, features)` in ascending coordinate
     /// order. The fixed order keeps every downstream float accumulation
     /// deterministic run to run.
-    pub fn iter(&self) -> impl Iterator<Item = (&VoxelCoord, &Vec<f32>)> {
-        self.sites.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (&VoxelCoord, &[f32])> {
+        self.coords
+            .iter()
+            .zip(self.features.chunks_exact(self.channels))
     }
 
     /// The active coordinates, in ascending order.
     pub fn coords(&self) -> impl Iterator<Item = &VoxelCoord> {
-        self.sites.keys()
+        self.coords.iter()
+    }
+
+    /// The active coordinates as a slice (ascending order) — the SoA
+    /// access path for stages that index sites in parallel.
+    pub fn coord_slice(&self) -> &[VoxelCoord] {
+        &self.coords
+    }
+
+    /// The flat feature buffer (`channels` values per coordinate, in
+    /// coordinate order).
+    pub fn feature_slice(&self) -> &[f32] {
+        &self.features
     }
 
     /// Applies ReLU in place.
     pub fn relu(&mut self) {
-        for f in self.sites.values_mut() {
-            for v in f.iter_mut() {
-                if *v < 0.0 {
-                    *v = 0.0;
-                }
+        for v in self.features.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
             }
         }
     }
@@ -104,10 +179,7 @@ impl SparseTensor3 {
     /// The maximum absolute feature value (0 when empty) — useful for
     /// numeric sanity checks.
     pub fn max_abs(&self) -> f32 {
-        self.sites
-            .values()
-            .flat_map(|f| f.iter())
-            .fold(0.0f32, |acc, v| acc.max(v.abs()))
+        self.features.iter().fold(0.0f32, |acc, v| acc.max(v.abs()))
     }
 }
 
@@ -116,7 +188,7 @@ impl fmt::Display for SparseTensor3 {
         write!(
             f,
             "sparse tensor ({} sites × {} channels)",
-            self.sites.len(),
+            self.coords.len(),
             self.channels
         )
     }
@@ -130,13 +202,21 @@ mod tests {
     fn set_get_iter() {
         let mut t = SparseTensor3::new(2);
         assert!(t.is_empty());
-        t.set(VoxelCoord::new(0, 0, 0), vec![1.0, -2.0]);
         t.set(VoxelCoord::new(5, 5, 5), vec![3.0, 4.0]);
+        t.set(VoxelCoord::new(0, 0, 0), vec![1.0, -2.0]);
         assert_eq!(t.active_sites(), 2);
         assert_eq!(t.get(VoxelCoord::new(0, 0, 0)), Some(&[1.0, -2.0][..]));
         assert_eq!(t.get(VoxelCoord::new(9, 9, 9)), None);
         assert_eq!(t.iter().count(), 2);
         assert_eq!(t.coords().count(), 2);
+        // Out-of-order insertion still yields ascending iteration.
+        let order: Vec<_> = t.coords().copied().collect();
+        assert_eq!(
+            order,
+            vec![VoxelCoord::new(0, 0, 0), VoxelCoord::new(5, 5, 5)]
+        );
+        assert_eq!(t.feature_at(0), &[1.0, -2.0][..]);
+        assert_eq!(t.feature_slice(), &[1.0, -2.0, 3.0, 4.0][..]);
     }
 
     #[test]
@@ -146,6 +226,21 @@ mod tests {
         t.set(VoxelCoord::new(0, 0, 0), vec![2.0]);
         assert_eq!(t.active_sites(), 1);
         assert_eq!(t.get(VoxelCoord::new(0, 0, 0)), Some(&[2.0][..]));
+    }
+
+    #[test]
+    fn from_sorted_parts_round_trip() {
+        let coords = vec![VoxelCoord::new(0, 0, 0), VoxelCoord::new(0, 0, 2)];
+        let t = SparseTensor3::from_sorted_parts(2, coords, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.active_sites(), 2);
+        assert_eq!(t.get(VoxelCoord::new(0, 0, 2)), Some(&[3.0, 4.0][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_unsorted_parts_panics() {
+        let coords = vec![VoxelCoord::new(1, 0, 0), VoxelCoord::new(0, 0, 0)];
+        let _ = SparseTensor3::from_sorted_parts(1, coords, vec![1.0, 2.0]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! layer into the channel space consumed by the sparse convolutional
 //! middle layers.
 
+use cooper_exec::Executor;
 use cooper_pointcloud::{Voxel, VoxelGrid};
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +18,10 @@ use crate::tensor::SparseTensor3;
 
 /// Number of raw statistics computed per voxel before embedding.
 pub const RAW_FEATURES: usize = 9;
+
+/// Voxels per parallel chunk in [`VoxelFeatureEncoder::encode_with`].
+/// Fixed boundaries keep the output layout independent of thread count.
+const VFE_CHUNK_VOXELS: usize = 2048;
 
 /// The voxel feature encoder: raw voxel statistics → embedded channels.
 ///
@@ -107,14 +112,37 @@ impl VoxelFeatureEncoder {
     /// Encodes every occupied voxel of `grid` into a sparse feature
     /// tensor.
     pub fn encode(&self, grid: &VoxelGrid) -> SparseTensor3 {
-        let mut out = SparseTensor3::new(self.channels());
-        for (coord, voxel) in grid.iter() {
-            let raw = Self::raw_features(grid, *coord, voxel);
-            let mut f = self.embed.forward(&raw);
-            relu_in_place(&mut f);
-            out.set(*coord, f);
+        self.encode_with(grid, &Executor::sequential())
+    }
+
+    /// [`VoxelFeatureEncoder::encode`] chunk-parallel over `executor`.
+    /// Voxels are independent, so fixed chunk boundaries make the result
+    /// bit-identical to the sequential path at any thread count.
+    pub fn encode_with(&self, grid: &VoxelGrid, executor: &Executor) -> SparseTensor3 {
+        let channels = self.channels();
+        let coords = grid.coords();
+        let voxels = grid.voxels();
+        let parts = executor.map_chunks_in(
+            coords,
+            VFE_CHUNK_VOXELS,
+            || Vec::with_capacity(channels),
+            |ci, chunk, buf| {
+                let base = ci * VFE_CHUNK_VOXELS;
+                let mut out_chunk = Vec::with_capacity(chunk.len() * channels);
+                for (s, coord) in chunk.iter().enumerate() {
+                    let raw = Self::raw_features(grid, *coord, &voxels[base + s]);
+                    self.embed.forward_into(&raw, buf);
+                    relu_in_place(buf);
+                    out_chunk.extend_from_slice(buf);
+                }
+                out_chunk
+            },
+        );
+        let mut features = Vec::with_capacity(coords.len() * channels);
+        for part in parts {
+            features.extend_from_slice(&part);
         }
-        out
+        SparseTensor3::from_sorted_parts(channels, coords.to_vec(), features)
     }
 }
 
@@ -185,6 +213,30 @@ mod tests {
         let a = VoxelFeatureEncoder::seeded(4, 9).encode(&grid);
         let b = VoxelFeatureEncoder::seeded(4, 9).encode(&grid);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encode_with_matches_sequential_at_any_thread_count() {
+        let grid = grid_of(
+            (0..400)
+                .map(|i| {
+                    Point::new(
+                        Vec3::new(
+                            5.0 + (i % 40) as f64 * 0.7,
+                            -15.0 + (i / 40) as f64 * 2.3,
+                            -1.0 + (i % 5) as f64 * 0.4,
+                        ),
+                        0.1 + (i % 9) as f32 * 0.1,
+                    )
+                })
+                .collect(),
+        );
+        let enc = VoxelFeatureEncoder::seeded(8, 3);
+        let sequential = enc.encode(&grid);
+        for threads in [2, 4] {
+            let parallel = enc.encode_with(&grid, &Executor::new(Some(threads)));
+            assert_eq!(sequential, parallel, "diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -127,6 +127,9 @@ pub const SPAN_SPOD_VFE: &str = "spod.vfe";
 pub const SPAN_SPOD_CONV1: &str = "spod.conv1";
 /// Second sparse convolution block.
 pub const SPAN_SPOD_CONV2: &str = "spod.conv2";
+/// Submanifold conv neighbour-table construction (shared by both conv
+/// layers).
+pub const SPAN_SPOD_RULEBOOK: &str = "spod.rulebook";
 /// BEV collapse of the deep feature volume.
 pub const SPAN_SPOD_BEV: &str = "spod.bev";
 /// Region proposal head.
@@ -198,6 +201,7 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_SPOD_VFE,
     SPAN_SPOD_CONV1,
     SPAN_SPOD_CONV2,
+    SPAN_SPOD_RULEBOOK,
     SPAN_SPOD_BEV,
     SPAN_SPOD_RPN,
     SPAN_SPOD_NMS,
@@ -218,6 +222,7 @@ pub const SPOD_SUBPHASES: &[&str] = &[
     SPAN_SPOD_MIDDLE,
     SPAN_SPOD_CONV1,
     SPAN_SPOD_CONV2,
+    SPAN_SPOD_RULEBOOK,
     SPAN_SPOD_BEV,
     SPAN_SPOD_RPN,
     SPAN_SPOD_NMS,

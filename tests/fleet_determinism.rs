@@ -9,9 +9,10 @@ use cooper_core::fleet::{
     straight_trajectory, FleetConfig, FleetSimulation, FleetStats, FleetStepReport, FleetVehicle,
 };
 use cooper_core::{AlignmentGuardConfig, ChannelModel, CooperPipeline};
-use cooper_lidar_sim::{scenario, BeamModel, FaultPlan};
+use cooper_exec::Executor;
+use cooper_lidar_sim::{scenario, BeamModel, FaultPlan, LidarScanner};
 use cooper_pointcloud::roi::RoiCategory;
-use cooper_spod::{SpodConfig, SpodDetector};
+use cooper_spod::{DetectOptions, DetectScratch, SpodConfig, SpodDetector};
 use cooper_v2x::{
     ArqConfig, DsrcChannel, DsrcConfig, ExchangeScheduler, GilbertElliott, LossModel, SharedMedium,
 };
@@ -71,6 +72,46 @@ fn perfect_channel_run_is_thread_count_invariant() {
         .per_vehicle
         .iter()
         .any(|v| v.packets_received > 0));
+}
+
+#[test]
+fn featurize_and_fleet_are_identical_at_1_2_4_threads() {
+    // The SoA hot path (chunked voxelization, VFE, rulebook sparse
+    // conv, BEV collapse) must produce bit-identical feature maps at
+    // every executor width: chunk boundaries are fixed constants and
+    // every float accumulation order is pinned.
+    let scene = scenario::tj_scenario_1();
+    let scanner = LidarScanner::new(BeamModel::vlp16().with_azimuth_steps(600));
+    let cloud = scanner.scan(&scene.world, &scene.observers[0], 5);
+    let detector = SpodDetector::new(SpodConfig::default());
+    let featurize = |threads: usize| {
+        detector.featurize_with(
+            &cloud,
+            &DetectOptions::default().with_executor(Executor::new(Some(threads))),
+            &mut DetectScratch::new(),
+        )
+    };
+    let baseline = featurize(1);
+    assert!(
+        baseline.active_cells() > 0,
+        "scene must produce occupied BEV cells"
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(
+            baseline,
+            featurize(threads),
+            "featurize diverged at {threads} threads"
+        );
+    }
+    // And end to end: full fleet reports bit-identical at 1/2/4 worker
+    // threads, now that phase 3 fans out per receiver with per-worker
+    // detector scratch.
+    let p = pipeline();
+    let serial = fleet(Some(1)).run(&p, 2);
+    for threads in [2usize, 4] {
+        let parallel = fleet(Some(threads)).run(&p, 2);
+        assert_reports_identical(&serial, &parallel);
+    }
 }
 
 #[test]
