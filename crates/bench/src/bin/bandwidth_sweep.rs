@@ -11,10 +11,19 @@
 //! headline configuration over a shared DSRC medium to show budget
 //! skips engaging. Emits `BENCH_bandwidth.json`.
 //!
-//! The acceptance criterion — delta + forward ROI cuts wire bytes at
+//! The sweep also charts the third tier of the degradation ladder: the
+//! F-Cooper feature-exchange configurations, where senders ship
+//! quantized BEV feature maps (wire format v3) instead of points and
+//! receivers fuse them ahead of the RPN head. Together the output is a
+//! three-way bytes-vs-recall frontier — raw points vs ROI+delta points
+//! vs feature maps.
+//!
+//! Two acceptance criteria are enforced by this binary's unit tests
+//! and the `--check` CI smoke: delta + forward ROI cuts wire bytes at
 //! least 3x while fused detections stay within 5% of the full-frame
-//! exchange — is enforced by this binary's unit tests, where CI sees
-//! it.
+//! exchange, and the feature tier moves fewer wire bytes than
+//! front120+delta while fused detections stay within 3% of the raw
+//! baseline.
 
 use cooper_bench::{ledger, output_dir, render_table, standard_pipeline, write_artifact};
 use cooper_core::channel::PerfectChannel;
@@ -65,6 +74,7 @@ struct SweepPoint {
     label: &'static str,
     roi_cap: Option<RoiCategory>,
     delta: bool,
+    features: bool,
     wire_bytes: u64,
     bytes_saved: u64,
     fused_detections: usize,
@@ -76,6 +86,7 @@ fn summarize(
     label: &'static str,
     roi_cap: Option<RoiCategory>,
     delta: bool,
+    features: bool,
     reports: &[FleetStepReport],
     stats: &FleetStats,
 ) -> SweepPoint {
@@ -83,6 +94,7 @@ fn summarize(
         label,
         roi_cap,
         delta,
+        features,
         wire_bytes: stats.total_bytes,
         bytes_saved: stats.bytes_saved.values().sum(),
         fused_detections: reports
@@ -106,7 +118,7 @@ fn summarize(
 fn run_baseline(pipeline: &CooperPipeline) -> SweepPoint {
     let mut channel = PerfectChannel;
     let (reports, stats) = fleet().run_with_channel(pipeline, STEPS, &mut channel);
-    summarize("v1-full-frame", None, false, &reports, &stats)
+    summarize("v1-full-frame", None, false, false, &reports, &stats)
 }
 
 fn run_governed(
@@ -124,7 +136,27 @@ fn run_governed(
     };
     let (reports, stats) =
         fleet().run_governed(pipeline, STEPS, &mut channel, &mut policy, &governor);
-    summarize(label, Some(cap), delta, &reports, &stats)
+    summarize(label, Some(cap), delta, false, &reports, &stats)
+}
+
+/// The feature-exchange tier: senders offer quantized BEV feature
+/// frames (wire format v3) alongside raw candidates, and a
+/// feature-preferring policy picks them every step, capped at `cap`.
+fn run_governed_features(
+    pipeline: &CooperPipeline,
+    label: &'static str,
+    cap: RoiCategory,
+) -> SweepPoint {
+    let mut channel = PerfectChannel;
+    let mut policy = BandwidthGovernor::new(cap).with_features();
+    let governor = GovernorConfig {
+        features: true,
+        keyframe_every: KEYFRAME_EVERY,
+        ..GovernorConfig::default()
+    };
+    let (reports, stats) =
+        fleet().run_governed(pipeline, STEPS, &mut channel, &mut policy, &governor);
+    summarize(label, Some(cap), false, true, &reports, &stats)
 }
 
 /// The headline configuration again, but over a shared DSRC medium so
@@ -144,6 +176,7 @@ fn run_governed_dsrc(pipeline: &CooperPipeline) -> SweepPoint {
         "forward+delta/dsrc",
         Some(RoiCategory::ForwardOneWay),
         true,
+        false,
         &reports,
         &stats,
     )
@@ -158,7 +191,7 @@ fn roi_name(cap: Option<RoiCategory>) -> &'static str {
     }
 }
 
-/// `--check`: run only the baseline and the headline configuration and
+/// `--check`: run only the baseline and the two frontier headliners and
 /// verify the acceptance criteria — the CI smoke mode. Exits non-zero
 /// on violation; appends the normalized result to the bench regression
 /// ledger instead of writing a figure artifact.
@@ -166,15 +199,30 @@ fn run_check() {
     let pipeline = standard_pipeline();
     let baseline = run_baseline(&pipeline);
     let headline = run_governed(&pipeline, "forward+delta", RoiCategory::ForwardOneWay, true);
+    let front120 = run_governed(&pipeline, "front120+delta", RoiCategory::FrontFov120, true);
+    let feature = run_governed_features(&pipeline, "features+full", RoiCategory::FullFrame);
     let reduction = baseline.wire_bytes as f64 / headline.wire_bytes.max(1) as f64;
     let drift = (headline.fused_detections as f64 - baseline.fused_detections as f64).abs()
+        / baseline.fused_detections.max(1) as f64;
+    let feature_reduction = baseline.wire_bytes as f64 / feature.wire_bytes.max(1) as f64;
+    let feature_drift = (feature.fused_detections as f64 - baseline.fused_detections as f64).abs()
         / baseline.fused_detections.max(1) as f64;
     println!(
         "check: reduction {reduction:.2}x (need >= 3), detection drift {:.1}% (need <= 5%)",
         drift * 100.0
     );
+    println!(
+        "check: feature tier {} wire bytes vs front120+delta {} (need <), feature drift {:.1}% (need <= 3%)",
+        feature.wire_bytes,
+        front120.wire_bytes,
+        feature_drift * 100.0
+    );
     if reduction < 3.0 || drift > 0.05 {
         eprintln!("bandwidth_sweep check FAILED");
+        std::process::exit(1);
+    }
+    if feature.wire_bytes >= front120.wire_bytes || feature_drift > 0.03 {
+        eprintln!("bandwidth_sweep feature-tier check FAILED");
         std::process::exit(1);
     }
     let dir = output_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
@@ -184,6 +232,9 @@ fn run_check() {
             ("reduction", reduction),
             ("detection_drift", drift),
             ("headline_wire_bytes", headline.wire_bytes as f64),
+            ("feature_reduction", feature_reduction),
+            ("feature_drift", feature_drift),
+            ("feature_wire_bytes", feature.wire_bytes as f64),
         ],
     );
     if let Err(e) = ledger::append(&dir.join(ledger::HISTORY_FILE), &record) {
@@ -212,6 +263,8 @@ fn main() {
             false,
         ),
         run_governed(&pipeline, "forward+delta", RoiCategory::ForwardOneWay, true),
+        run_governed_features(&pipeline, "features+full", RoiCategory::FullFrame),
+        run_governed_features(&pipeline, "features+forward", RoiCategory::ForwardOneWay),
         run_governed_dsrc(&pipeline),
     ];
 
@@ -219,6 +272,7 @@ fn main() {
         "config",
         "roi_cap",
         "delta",
+        "features",
         "wire_kb",
         "saved_kb",
         "reduction",
@@ -231,6 +285,7 @@ fn main() {
             p.label.to_string(),
             roi_name(p.roi_cap).to_string(),
             p.delta.to_string(),
+            p.features.to_string(),
             format!("{:.1}", p.wire_bytes as f64 / 1e3),
             format!("{:.1}", p.bytes_saved as f64 / 1e3),
             format!(
@@ -250,8 +305,19 @@ fn main() {
         .iter()
         .find(|p| p.label == "forward+delta")
         .expect("sweep covers the headline configuration");
+    let front120 = points
+        .iter()
+        .find(|p| p.label == "front120+delta")
+        .expect("sweep covers the front120+delta configuration");
+    let feature = points
+        .iter()
+        .find(|p| p.label == "features+full")
+        .expect("sweep covers the feature-tier configuration");
     let reduction = baseline.wire_bytes as f64 / headline.wire_bytes.max(1) as f64;
     let det_drift = (headline.fused_detections as f64 - baseline.fused_detections as f64)
+        / baseline.fused_detections.max(1) as f64;
+    let feature_reduction = baseline.wire_bytes as f64 / feature.wire_bytes.max(1) as f64;
+    let feature_drift = (feature.fused_detections as f64 - baseline.fused_detections as f64)
         / baseline.fused_detections.max(1) as f64;
     println!(
         "Delta + forward ROI moves {:.1} KB where v1 full frames move {:.1} KB ({reduction:.1}x less wire), fused detections {} vs {} ({:+.1}%).",
@@ -261,15 +327,25 @@ fn main() {
         baseline.fused_detections,
         det_drift * 100.0,
     );
+    println!(
+        "Three-way frontier: raw {:.1} KB, ROI+delta (front120) {:.1} KB, feature tier {:.1} KB ({feature_reduction:.1}x less wire than raw), feature-fused detections {} vs {} ({:+.1}%).",
+        baseline.wire_bytes as f64 / 1e3,
+        front120.wire_bytes as f64 / 1e3,
+        feature.wire_bytes as f64 / 1e3,
+        feature.fused_detections,
+        baseline.fused_detections,
+        feature_drift * 100.0,
+    );
 
     let json_points: Vec<String> = std::iter::once(&baseline)
         .chain(points.iter())
         .map(|p| {
             format!(
-                "    {{\"config\": \"{}\", \"roi_cap\": \"{}\", \"delta\": {}, \"wire_bytes\": {}, \"bytes_saved\": {}, \"reduction\": {:.3}, \"fused_detections\": {}, \"packets_received\": {}, \"budget_skips\": {}}}",
+                "    {{\"config\": \"{}\", \"roi_cap\": \"{}\", \"delta\": {}, \"features\": {}, \"wire_bytes\": {}, \"bytes_saved\": {}, \"reduction\": {:.3}, \"fused_detections\": {}, \"packets_received\": {}, \"budget_skips\": {}}}",
                 p.label,
                 roi_name(p.roi_cap),
                 p.delta,
+                p.features,
                 p.wire_bytes,
                 p.bytes_saved,
                 baseline.wire_bytes as f64 / p.wire_bytes.max(1) as f64,
@@ -279,9 +355,14 @@ fn main() {
             )
         })
         .collect();
+    let frontier = format!(
+        "{{\"raw_wire_bytes\": {}, \"roi_delta_wire_bytes\": {}, \"feature_wire_bytes\": {}, \"feature_reduction\": {feature_reduction:.3}, \"feature_drift\": {feature_drift:.4}}}",
+        baseline.wire_bytes, front120.wire_bytes, feature.wire_bytes,
+    );
     let json = format!(
-        "{{\n  \"steps\": {STEPS},\n  \"keyframe_every\": {KEYFRAME_EVERY},\n  \"speed_m_per_step\": {SPEED_M_PER_STEP},\n  \"sweep\": [\n{}\n  ],\n  \"headline\": {{\"reduction\": {reduction:.3}, \"detection_drift\": {det_drift:.4}}}\n}}\n",
+        "{{\n  \"steps\": {STEPS},\n  \"keyframe_every\": {KEYFRAME_EVERY},\n  \"speed_m_per_step\": {SPEED_M_PER_STEP},\n  \"sweep\": [\n{}\n  ],\n  \"headline\": {{\"reduction\": {reduction:.3}, \"detection_drift\": {det_drift:.4}}},\n  \"frontier\": {}\n}}\n",
         json_points.join(",\n"),
+        frontier,
     );
     let dir = output_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
     write_artifact(Some(&dir), "BENCH_bandwidth.json", &json);
@@ -316,6 +397,37 @@ mod tests {
             drift * 100.0,
             governed.fused_detections,
             baseline.fused_detections
+        );
+    }
+
+    /// The feature-tier acceptance criterion: shipping quantized BEV
+    /// feature maps must move fewer wire bytes than the tightest
+    /// ROI+delta *point* configuration (front120+delta) while the
+    /// fused detection count stays within 3% of the raw v1 baseline.
+    #[test]
+    fn feature_tier_undercuts_front120_delta_within_3pct_of_raw() {
+        let pipeline = standard_pipeline();
+        let baseline = run_baseline(&pipeline);
+        let front120 = run_governed(&pipeline, "front120+delta", RoiCategory::FrontFov120, true);
+        let feature = run_governed_features(&pipeline, "features+full", RoiCategory::FullFrame);
+        assert!(
+            feature.wire_bytes < front120.wire_bytes,
+            "feature tier moved {} bytes, not under the {}-byte front120+delta point",
+            feature.wire_bytes,
+            front120.wire_bytes
+        );
+        let drift = (feature.fused_detections as f64 - baseline.fused_detections as f64).abs()
+            / baseline.fused_detections.max(1) as f64;
+        assert!(
+            drift <= 0.03,
+            "feature-fused detections drifted {:.1}% from raw (feature {} vs baseline {})",
+            drift * 100.0,
+            feature.fused_detections,
+            baseline.fused_detections
+        );
+        assert!(
+            feature.packets_received > 0,
+            "feature tier delivered nothing"
         );
     }
 

@@ -39,7 +39,7 @@ use cooper_pointcloud::io::{read_pcd, read_ply, read_xyz, write_pcd, write_ply, 
 use cooper_pointcloud::roi::RoiCategory;
 use cooper_pointcloud::PointCloud;
 use cooper_spod::train::{train, TrainingConfig};
-use cooper_spod::{DetectOptions, DetectScratch, SpodConfig, SpodDetector};
+use cooper_spod::{DetectOptions, DetectScratch, FeatureFusionMode, SpodConfig, SpodDetector};
 use cooper_v2x::{
     ArqConfig, BandwidthGovernor, DsrcChannel, DsrcConfig, ExchangeScheduler, GilbertElliott,
     LossModel, SharedMedium,
@@ -94,6 +94,7 @@ const BARE_FLAGS: &[&str] = &[
     "--align-guard",
     "--bev",
     "--delta-encode",
+    "--features",
     "--help",
     "--telemetry",
 ];
@@ -147,6 +148,7 @@ USAGE:
   cooper simulate  --scenario NAME [--seconds N] [--seed N] [--threads N] [--weights weights.bin]
                    [--channel perfect|iid|gilbert-elliott] [--loss P] [--arq-retries N]
                    [--roi full|front120|forward] [--delta-encode] [--keyframe-every N]
+                   [--features] [--fusion max|adaptive]
                    [--fault-plan SPEC] [--align-guard] [--icp-iters N]
   cooper profile   --scenario NAME [--vehicles N] [--steps N] [--threads N] [--seed N]
                    [--trace-out trace.json]
@@ -167,7 +169,12 @@ governor: per transfer it picks an ROI (capped at --roi) from the
 receiver's blind sectors and degrades gracefully under the channel's
 air-time budget. --delta-encode switches broadcasts to wire-format v2
 (static background subtracted, delta frames against the last keyframe,
-a keyframe every --keyframe-every steps, default 5).
+a keyframe every --keyframe-every steps, default 5). --features adds
+the feature-exchange tier to the governed candidate menu: senders offer
+quantized BEV feature maps (wire-format v3) next to the raw frames and
+a feature-preferring governor ships those instead of points; receivers
+fuse them ahead of the detection head, elementwise max by default or
+confidence-weighted with --fusion adaptive.
 --fault-plan injects pose faults into the fleet's exchanged estimates;
 the spec is comma-separated VEHICLE:KIND[:PARAMS][@FROM[..UNTIL]]
 entries with kinds drift:SIGMA, bias:EAST:NORTH, yaw:RAD, freeze and
@@ -601,13 +608,21 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                     )))
                 }
             };
-            // Governor flags: either one turns the governed exchange
+            // Governor flags: any one turns the governed exchange
             // path on.
             let delta_encode = parsed.options.contains_key("--delta-encode");
+            let features = parsed.options.contains_key("--features");
             let keyframe_every: u32 = get_parse(&parsed.options, "--keyframe-every", 5)?;
             if keyframe_every == 0 {
                 return Err(CliError::usage("--keyframe-every must be at least 1"));
             }
+            if parsed.options.contains_key("--fusion") && !features {
+                return Err(CliError::usage("--fusion requires --features"));
+            }
+            let fusion_mode: FeatureFusionMode = match parsed.options.get("--fusion") {
+                None => FeatureFusionMode::Max,
+                Some(name) => name.parse().map_err(CliError::usage)?,
+            };
             let roi_cap = match parsed.options.get("--roi").map(String::as_str) {
                 None => None,
                 Some("full") => Some(RoiCategory::FullFrame),
@@ -619,7 +634,7 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                     )))
                 }
             };
-            let governed = roi_cap.is_some() || delta_encode;
+            let governed = roi_cap.is_some() || delta_encode || features;
             // Robustness flags: pose-fault injection and the
             // receiver-side alignment guard.
             let fault_plan = parsed
@@ -667,7 +682,7 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                 Some(_) => load_or_train_detector(&parsed.options)?,
                 None => SpodDetector::new(SpodConfig::default()),
             };
-            let mut pipeline = CooperPipeline::new(detector);
+            let mut pipeline = CooperPipeline::new(detector).with_fusion_mode(fusion_mode);
             if align_guard {
                 pipeline = pipeline.with_alignment_guard(
                     AlignmentGuardConfig::default().with_max_icp_iters(icp_iters),
@@ -738,9 +753,13 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
             };
             let (reports, stats) = if governed {
                 let mut policy = BandwidthGovernor::new(roi_cap.unwrap_or(RoiCategory::FullFrame));
+                if features {
+                    policy = policy.with_features();
+                }
                 let governor = GovernorConfig {
                     delta_encode,
                     keyframe_every,
+                    features,
                     ..GovernorConfig::default()
                 };
                 sim.run_governed(
@@ -1195,6 +1214,51 @@ mod tests {
         ]))
         .unwrap())
         .unwrap();
+    }
+
+    #[test]
+    fn simulate_runs_feature_exchange() {
+        // Feature tier alone turns the governed path on; adaptive
+        // fusion exercises the non-default receiver-side combine.
+        run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--seconds",
+            "2",
+            "--features",
+            "--fusion",
+            "adaptive",
+        ]))
+        .unwrap())
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_fusion_flags() {
+        let orphan = run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--fusion",
+            "adaptive",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(orphan.usage);
+        assert!(orphan.message.contains("--features"));
+        let unknown = run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--features",
+            "--fusion",
+            "median",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(unknown.usage);
+        assert!(unknown.message.contains("fusion mode"));
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub enum CooperError {
     /// A received pose contained non-finite values — alignment would
     /// produce garbage, so the packet is rejected.
     InvalidPose,
+    /// A received feature frame's channel count does not match the
+    /// receiver's detector heads — fusing it would feed the RPN garbage,
+    /// so the packet is excluded from fusion.
+    FeatureMismatch {
+        /// Channels the receiver's detector expects.
+        expected: usize,
+        /// Channels the received frame carries.
+        actual: usize,
+    },
     /// The alignment guard could not verify (or repair) the claimed
     /// transform; the cloud was excluded from fusion and the receiver
     /// degraded to ego-only perception.
@@ -46,6 +55,7 @@ impl CooperError {
             CooperError::BadMagic => "bad_magic",
             CooperError::UnsupportedVersion(_) => "unsupported_version",
             CooperError::InvalidPose => "invalid_pose",
+            CooperError::FeatureMismatch { .. } => "feature_mismatch",
             CooperError::AlignmentRejected { .. } => "alignment_rejected",
         }
     }
@@ -64,6 +74,12 @@ impl fmt::Display for CooperError {
             CooperError::BadMagic => write!(f, "packet does not start with COOP magic"),
             CooperError::UnsupportedVersion(v) => write!(f, "unsupported packet version {v}"),
             CooperError::InvalidPose => write!(f, "received pose contains non-finite values"),
+            CooperError::FeatureMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "feature frame carries {actual} channels, detector expects {expected}"
+                )
+            }
             CooperError::AlignmentRejected { residual_m } => {
                 write!(
                     f,
@@ -104,6 +120,10 @@ mod tests {
             CooperError::BadMagic,
             CooperError::UnsupportedVersion(9),
             CooperError::InvalidPose,
+            CooperError::FeatureMismatch {
+                expected: 11,
+                actual: 8,
+            },
             CooperError::AlignmentRejected { residual_m: 1.5 },
         ];
         for e in errs {
@@ -125,6 +145,10 @@ mod tests {
             CooperError::BadMagic,
             CooperError::UnsupportedVersion(9),
             CooperError::InvalidPose,
+            CooperError::FeatureMismatch {
+                expected: 11,
+                actual: 8,
+            },
             CooperError::AlignmentRejected { residual_m: 1.5 },
         ];
         let kinds: Vec<&str> = errs.iter().map(CooperError::kind).collect();

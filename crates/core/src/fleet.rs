@@ -38,8 +38,8 @@ use cooper_lidar_sim::{
     BeamModel, FaultInjector, FaultPlan, GpsImuModel, LidarScanner, PoseEstimate, World,
 };
 use cooper_pointcloud::roi::{blind_sectors, extract_roi, BlindSector, RoiCategory, StaticMap};
-use cooper_pointcloud::{DeltaDecoder, DeltaEncoder, FrameKind, PointCloud};
-use cooper_spod::DetectScratch;
+use cooper_pointcloud::{DeltaDecoder, DeltaEncoder, FeatureFrame, FrameKind, PointCloud};
+use cooper_spod::{filter_bev_roi, DetectOptions, DetectScratch};
 use cooper_telemetry::names as telemetry_names;
 use cooper_telemetry::trace::stage as trace_stage;
 use cooper_telemetry::TraceId;
@@ -409,6 +409,10 @@ struct Broadcast {
     stamp: u32,
     packet: Option<ExchangePacket>,
     blind: Vec<BlindSector>,
+    /// ROI-filtered quantized BEV feature frames per [`roi_index`],
+    /// prepared in phase 1 when the governed config enables the feature
+    /// tier ([`GovernorConfig::features`]); `None` otherwise.
+    feature_frames: [Option<FeatureFrame>; 3],
 }
 
 /// One unit of phase-3 work, indexed by vehicle position: the vehicle's
@@ -469,6 +473,9 @@ struct SenderFrame {
     clouds: [[Option<PointCloud>; 2]; 3],
     /// Packets built on first use per `[roi_index][kind_index]`.
     packets: [[Option<ExchangePacket>; 2]; 3],
+    /// Feature-tier (v3) packets built on first use per `[roi_index]`;
+    /// their content lives in [`Broadcast::feature_frames`].
+    feature_packets: [Option<ExchangePacket>; 3],
     candidates: Vec<TransferCandidate>,
 }
 
@@ -484,6 +491,9 @@ fn kind_index(kind: FrameKind) -> usize {
     match kind {
         FrameKind::Keyframe => 0,
         FrameKind::Delta => 1,
+        FrameKind::Features => {
+            unreachable!("feature frames are stored per ROI, outside the point kind arrays")
+        }
     }
 }
 
@@ -677,7 +687,10 @@ impl FleetSimulation {
                     if let Some(gcfg) = &governed_cfg {
                         // Governed mode: packets are built per transfer
                         // in phase 2; phase 1 computes this vehicle's
-                        // receive-side demand instead.
+                        // receive-side demand instead — plus, with the
+                        // feature tier enabled, the SPOD front half over
+                        // its own scan, ROI-clipped per wedge so phase 2
+                        // only has to price and wrap the frames.
                         let blind = blind_sectors(
                             &scan,
                             gcfg.blind_bins,
@@ -685,6 +698,25 @@ impl FleetSimulation {
                             gcfg.min_sector_width_rad,
                             gcfg.ground_z_below_m,
                         );
+                        let feature_frames = if gcfg.features {
+                            // Sequential internals: the per-vehicle
+                            // fan-out of phase 1 already saturates the
+                            // workers, exactly like phase 3.
+                            let bev = pipeline.detector().featurize_with(
+                                &scan,
+                                &DetectOptions::default().with_executor(Executor::sequential()),
+                                &mut DetectScratch::new(),
+                            );
+                            let grid = &pipeline.detector().config().voxel_grid;
+                            [
+                                RoiCategory::FullFrame,
+                                RoiCategory::FrontFov120,
+                                RoiCategory::ForwardOneWay,
+                            ]
+                            .map(|roi| Some(filter_bev_roi(&bev, grid, roi).to_feature_frame()))
+                        } else {
+                            Default::default()
+                        };
                         return (
                             Broadcast {
                                 scan,
@@ -693,6 +725,7 @@ impl FleetSimulation {
                                 stamp,
                                 packet: None,
                                 blind,
+                                feature_frames,
                             },
                             None,
                         );
@@ -707,6 +740,7 @@ impl FleetSimulation {
                                 stamp,
                                 packet: Some(packet),
                                 blind: Vec::new(),
+                                feature_frames: Default::default(),
                             },
                             None,
                         ),
@@ -729,6 +763,7 @@ impl FleetSimulation {
                                     stamp,
                                     packet: None,
                                     blind: Vec::new(),
+                                    feature_frames: Default::default(),
                                 },
                                 Some(EncodeDrop {
                                     vehicle_id: v.id,
@@ -1162,6 +1197,7 @@ impl FleetSimulation {
                 baseline_bytes,
                 clouds: Default::default(),
                 packets: Default::default(),
+                feature_packets: Default::default(),
                 candidates: Vec::new(),
             };
             // The probe build catches a broken pose estimate (or
@@ -1192,6 +1228,9 @@ impl FleetSimulation {
                             FrameKind::Delta => delta_cloud
                                 .as_ref()
                                 .expect("delta kind offered only with delta content"),
+                            FrameKind::Features => {
+                                unreachable!("the point kinds slice never offers features")
+                            }
                         };
                         for roi in [
                             RoiCategory::FullFrame,
@@ -1211,6 +1250,28 @@ impl FleetSimulation {
                     }
                     if kinds.contains(&FrameKind::Keyframe) {
                         frame.packets[0][0] = Some(probe);
+                    }
+                    // Feature-tier candidates ride at the end of the
+                    // menu, so the ungoverned [`SendFirstPolicy`] (and
+                    // any policy indexing the raw ladder) is unaffected
+                    // unless it asks for them.
+                    if g.config.features {
+                        for roi in [
+                            RoiCategory::FullFrame,
+                            RoiCategory::FrontFov120,
+                            RoiCategory::ForwardOneWay,
+                        ] {
+                            if let Some(ff) = &b.feature_frames[roi_index(roi)] {
+                                let wire_bytes =
+                                    ExchangePacket::wire_size_for_features(ff.len(), ff.channels());
+                                frame.candidates.push(TransferCandidate {
+                                    roi,
+                                    kind: FrameKind::Features,
+                                    wire_bytes,
+                                    airtime_s: channel.airtime_for(wire_bytes),
+                                });
+                            }
+                        }
                     }
                 }
                 Err(error) => {
@@ -1275,35 +1336,63 @@ impl FleetSimulation {
                         continue;
                     }
                 };
-                let (ri, ki) = (roi_index(chosen.roi), kind_index(chosen.kind));
-                if frames[j].packets[ri][ki].is_none() {
-                    let cloud = frames[j].clouds[ri][ki]
-                        .as_ref()
-                        .expect("chosen candidate was offered, so its cloud is prepared");
-                    let built = ExchangePacket::build_v2(
-                        from,
-                        broadcasts[j].stamp,
-                        cloud,
-                        broadcasts[j].estimate,
-                        chosen.kind,
-                        frames[j].background_subtracted,
-                    )
-                    .expect("an ROI subset of a probed frame must encode");
-                    frames[j].packets[ri][ki] = Some(built);
-                }
-                let packet = frames[j].packets[ri][ki]
-                    .clone()
-                    .expect("packet built above");
+                let packet = if chosen.kind == FrameKind::Features {
+                    let ri = roi_index(chosen.roi);
+                    if frames[j].feature_packets[ri].is_none() {
+                        let ff = broadcasts[j].feature_frames[ri]
+                            .as_ref()
+                            .expect("feature candidate was offered, so its frame is prepared");
+                        let built = ExchangePacket::build_features(
+                            from,
+                            broadcasts[j].stamp,
+                            ff,
+                            broadcasts[j].estimate,
+                        )
+                        .expect("a probed sender's feature frame must encode");
+                        frames[j].feature_packets[ri] = Some(built);
+                    }
+                    frames[j].feature_packets[ri]
+                        .clone()
+                        .expect("packet built above")
+                } else {
+                    let (ri, ki) = (roi_index(chosen.roi), kind_index(chosen.kind));
+                    if frames[j].packets[ri][ki].is_none() {
+                        let cloud = frames[j].clouds[ri][ki]
+                            .as_ref()
+                            .expect("chosen candidate was offered, so its cloud is prepared");
+                        let built = ExchangePacket::build_v2(
+                            from,
+                            broadcasts[j].stamp,
+                            cloud,
+                            broadcasts[j].estimate,
+                            chosen.kind,
+                            frames[j].background_subtracted,
+                        )
+                        .expect("an ROI subset of a probed frame must encode");
+                        frames[j].packets[ri][ki] = Some(built);
+                    }
+                    frames[j].packets[ri][ki]
+                        .clone()
+                        .expect("packet built above")
+                };
                 debug_assert_eq!(packet.wire_size(), chosen.wire_bytes);
                 *out.stats.bytes_saved.entry(from).or_insert(0) +=
                     frames[j].baseline_bytes.saturating_sub(chosen.wire_bytes) as u64;
                 if cooper_telemetry::is_enabled() {
                     let per_mille = (chosen.wire_bytes as u64).saturating_mul(1000)
                         / (frames[j].baseline_bytes.max(1) as u64);
-                    cooper_telemetry::record_value(
-                        telemetry_names::CODEC_V2_BYTES_RATIO,
-                        per_mille,
-                    );
+                    if chosen.kind == FrameKind::Features {
+                        cooper_telemetry::counter_add(telemetry_names::FLEET_FEATURE_SENDS, 1);
+                        cooper_telemetry::record_value(
+                            telemetry_names::CODEC_V3_BYTES_RATIO,
+                            per_mille,
+                        );
+                    } else {
+                        cooper_telemetry::record_value(
+                            telemetry_names::CODEC_V2_BYTES_RATIO,
+                            per_mille,
+                        );
+                    }
                 }
                 let ctx = TransferCtx {
                     step,
@@ -1434,16 +1523,18 @@ impl FleetSimulation {
     }
 
     /// Receiver-side reconstruction of a delivered packet: v1 payloads
-    /// pass through; v2 payloads run through the receiver's per-sender
-    /// [`DeltaDecoder`] (caching keyframes, merging deltas) and are
-    /// re-wrapped as self-contained packets for the fusion pipeline.
+    /// and v3 feature frames pass through untouched (feature frames are
+    /// self-contained; the pipeline fuses them at the BEV level); v2
+    /// payloads run through the receiver's per-sender [`DeltaDecoder`]
+    /// (caching keyframes, merging deltas) and are re-wrapped as
+    /// self-contained packets for the fusion pipeline.
     fn rx_reconstruct(
         decoders: &mut BTreeMap<u32, DeltaDecoder>,
         sender: u32,
         packet: &ExchangePacket,
     ) -> Result<ExchangePacket, CooperError> {
         let info = packet.frame_info()?;
-        if info.version < 2 {
+        if info.version != 2 {
             return Ok(packet.clone());
         }
         let decoder = decoders.entry(sender).or_default();

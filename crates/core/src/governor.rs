@@ -11,6 +11,13 @@
 //! [`GovernorPolicy`] which encoding to send — or whether to skip the
 //! transfer entirely rather than blow the exchange deadline.
 //!
+//! The menu spans **four tiers** of degradation, cheapest content last:
+//! raw keyframes, raw deltas (background subtracted, keyed to the last
+//! keyframe), ROI-clipped variants of either, and — with
+//! [`GovernorConfig::features`] — quantized BEV **feature frames**
+//! (wire-format v3, the F-Cooper exchange level), where the sender runs
+//! the SPOD front half and ships per-cell features instead of points.
+//!
 //! The policy lives behind a trait because the reference
 //! implementation (`cooper_v2x::BandwidthGovernor`) belongs with the
 //! channel models in `cooper-v2x`, which depends on this crate — the
@@ -26,7 +33,8 @@ use cooper_pointcloud::{FrameKind, VoxelGridConfig};
 pub struct TransferCandidate {
     /// ROI category applied to the sender's content.
     pub roi: RoiCategory,
-    /// Keyframe or delta encoding of that content.
+    /// Encoding of that content: raw keyframe, raw delta, or a
+    /// quantized BEV feature frame (the v3 feature-exchange tier).
     pub kind: FrameKind,
     /// Total wire size of the resulting exchange packet, bytes.
     pub wire_bytes: usize,
@@ -131,6 +139,12 @@ pub struct GovernorConfig {
     /// Returns below this sensor-frame height are ground, not
     /// occluders, metres.
     pub ground_z_below_m: f64,
+    /// Offer the feature-exchange tier: senders run the SPOD front half
+    /// over their own scan and the candidate menu gains wire-format v3
+    /// quantized BEV feature frames per ROI (F-Cooper), priced by their
+    /// real encoded size. Policies that never pick a
+    /// [`FrameKind::Features`] candidate behave exactly as before.
+    pub features: bool,
 }
 
 impl Default for GovernorConfig {
@@ -144,6 +158,7 @@ impl Default for GovernorConfig {
             occluder_range_m: 15.0,
             min_sector_width_rad: 10f64.to_radians(),
             ground_z_below_m: -1.0,
+            features: false,
         }
     }
 }

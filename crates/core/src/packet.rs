@@ -11,7 +11,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cooper_geometry::{Attitude, GpsFix};
 use cooper_lidar_sim::PoseEstimate;
 use cooper_pointcloud::{
-    decode_cloud, decode_cloud_prefix, encode_cloud, encode_cloud_v2, FrameInfo, FrameKind,
+    decode_cloud, decode_cloud_prefix, decode_features, decode_features_prefix, encode_cloud,
+    encode_cloud_v2, encode_features, encoded_feature_size, FeatureFrame, FrameInfo, FrameKind,
     PointCloud,
 };
 use cooper_telemetry::names as telemetry_names;
@@ -111,6 +112,34 @@ impl ExchangePacket {
         })
     }
 
+    /// Builds a packet carrying a wire-format **v3** quantized BEV
+    /// feature payload (F-Cooper's feature-level fusion tier) instead of
+    /// points. The exchange header — identity, pose, fragmentation,
+    /// salvage — is identical to [`ExchangePacket::build`]; only the
+    /// payload codec differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CooperError::Codec`] when a feature cell's coordinates
+    /// overflow the wire range and [`CooperError::InvalidPose`] when the
+    /// pose is not finite.
+    pub fn build_features(
+        vehicle_id: u32,
+        sequence: u32,
+        frame: &FeatureFrame,
+        pose: PoseEstimate,
+    ) -> Result<Self, CooperError> {
+        if !pose_is_finite(&pose) {
+            return Err(CooperError::InvalidPose);
+        }
+        Ok(ExchangePacket {
+            vehicle_id,
+            sequence,
+            pose,
+            payload: encode_features(frame)?,
+        })
+    }
+
     /// Parses the payload's wire-format header — version, frame kind,
     /// background flag and declared point count.
     ///
@@ -146,6 +175,19 @@ impl ExchangePacket {
         Ok(decode_cloud(&self.payload)?)
     }
 
+    /// Decodes the embedded quantized BEV feature frame (transmitter's
+    /// sensor frame) — the v3 counterpart of
+    /// [`cloud`](ExchangePacket::cloud).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CooperError::Codec`] for a corrupt payload or when the
+    /// payload carries points (v1/v2) instead of features.
+    pub fn feature_frame(&self) -> Result<FeatureFrame, CooperError> {
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_PACKET_PAYLOAD_DECODE);
+        Ok(decode_features(&self.payload)?)
+    }
+
     /// Size of the encoded cloud payload, bytes.
     pub fn payload_len(&self) -> usize {
         self.payload.len()
@@ -162,6 +204,13 @@ impl ExchangePacket {
     /// (both wire versions share the fixed per-point stride).
     pub fn wire_size_for(point_count: usize) -> usize {
         HEADER_BYTES + cooper_pointcloud::codec::encoded_size(point_count)
+    }
+
+    /// Wire size of a packet carrying a v3 feature payload with `cells`
+    /// active BEV cells of `channels` channels each, without building
+    /// one — prices the feature tier in the governor's candidate menu.
+    pub fn wire_size_for_features(cells: usize, channels: usize) -> usize {
+        HEADER_BYTES + encoded_feature_size(cells, channels)
     }
 
     /// The raw encoded-cloud payload — what a stateful wire-format
@@ -323,6 +372,18 @@ impl ExchangePacket {
         let available = payload_len.min(bytes.len() - HEADER_BYTES);
         let payload = &bytes[HEADER_BYTES..HEADER_BYTES + available];
         let info = cooper_pointcloud::frame_info(payload)?;
+        if info.kind == FrameKind::Features {
+            // v3 salvage: recover whole feature cells and re-encode
+            // them as a shorter, self-consistent feature frame.
+            let (prefix_frame, declared_cells) = decode_features_prefix(payload)?;
+            let fraction = if declared_cells == 0 {
+                1.0
+            } else {
+                prefix_frame.len() as f64 / declared_cells as f64
+            };
+            let packet = ExchangePacket::build_features(vehicle_id, sequence, &prefix_frame, pose)?;
+            return Ok((packet, fraction));
+        }
         let (prefix_cloud, declared_points) = decode_cloud_prefix(payload)?;
         let fraction = if declared_points == 0 {
             1.0
@@ -540,6 +601,66 @@ mod tests {
         let info = packet.frame_info().unwrap();
         assert_eq!(info.version, 1);
         assert_eq!(info.kind, FrameKind::Keyframe);
+    }
+
+    fn sample_features(cells: usize, channels: usize) -> FeatureFrame {
+        let coords: Vec<(i32, i32)> = (0..cells as i32).map(|i| (i, i * 2)).collect();
+        let values: Vec<f32> = (0..cells * channels)
+            .map(|i| (i as f32 * 0.37).sin())
+            .collect();
+        FeatureFrame::new(channels, coords, values)
+    }
+
+    #[test]
+    fn feature_packet_round_trips() {
+        let frame = sample_features(40, 11);
+        let packet = ExchangePacket::build_features(7, 5, &frame, sample_pose()).unwrap();
+        assert_eq!(
+            packet.wire_size(),
+            ExchangePacket::wire_size_for_features(40, 11)
+        );
+        let back = ExchangePacket::from_bytes(&packet.to_bytes()).unwrap();
+        assert_eq!(back, packet);
+        let info = back.frame_info().unwrap();
+        assert_eq!(info.version, 3);
+        assert_eq!(info.kind, FrameKind::Features);
+        let decoded = back.feature_frame().unwrap();
+        assert_eq!(decoded.cells(), frame.cells());
+        let bound = f64::from(frame.quantization_scale()) / 254.0 + 1e-6;
+        for (a, b) in decoded.features().iter().zip(frame.features()) {
+            assert!((f64::from(*a) - f64::from(*b)).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn feature_packet_rejects_point_decoder_and_vice_versa() {
+        let feature_packet =
+            ExchangePacket::build_features(1, 1, &sample_features(4, 3), sample_pose()).unwrap();
+        assert!(matches!(feature_packet.cloud(), Err(CooperError::Codec(_))));
+        let point_packet = ExchangePacket::build(1, 1, &sample_cloud(4), sample_pose()).unwrap();
+        assert!(matches!(
+            point_packet.feature_frame(),
+            Err(CooperError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn v3_partial_salvage_recovers_whole_cells() {
+        let frame = sample_features(50, 8);
+        let packet = ExchangePacket::build_features(9, 3, &frame, sample_pose()).unwrap();
+        let bytes = packet.to_bytes();
+        // Exchange header + feature header (15) + 20 whole cells of
+        // stride 4 + 8, plus a ragged half-cell.
+        let cut = HEADER_BYTES + 15 + 20 * 12 + 5;
+        let (salvaged, fraction) = ExchangePacket::from_partial_bytes(&bytes[..cut]).unwrap();
+        assert_eq!(salvaged.vehicle_id(), 9);
+        assert!((fraction - 0.4).abs() < 1e-12);
+        let recovered = salvaged.feature_frame().unwrap();
+        assert_eq!(recovered.len(), 20);
+        assert_eq!(recovered.cells(), &frame.cells()[..20]);
+        // The salvaged packet stays a feature frame on the wire.
+        let info = salvaged.frame_info().unwrap();
+        assert_eq!(info.kind, FrameKind::Features);
     }
 
     #[test]

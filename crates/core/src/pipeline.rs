@@ -3,8 +3,12 @@
 use cooper_exec::Executor;
 use cooper_geometry::GpsFix;
 use cooper_lidar_sim::{ObjectClass, PoseEstimate};
-use cooper_pointcloud::PointCloud;
-use cooper_spod::{DetectOptions, DetectScratch, Detection, SpodDetector};
+use cooper_pointcloud::{FrameKind, PointCloud};
+use cooper_spod::bev::{BevMap, Z_STRUCTURE_CHANNELS};
+use cooper_spod::{
+    fuse_bev, transform_bev, DetectOptions, DetectScratch, Detection, FeatureFusionMode,
+    SpodDetector,
+};
 use cooper_telemetry::names as telemetry_names;
 
 use crate::{
@@ -217,6 +221,7 @@ pub struct CooperPipeline {
     detector: SpodDetector,
     score_threshold: f32,
     guard: Option<AlignmentGuardConfig>,
+    fusion_mode: FeatureFusionMode,
 }
 
 impl CooperPipeline {
@@ -228,6 +233,7 @@ impl CooperPipeline {
             detector,
             score_threshold,
             guard: None,
+            fusion_mode: FeatureFusionMode::Max,
         }
     }
 
@@ -235,6 +241,20 @@ impl CooperPipeline {
     pub fn with_score_threshold(mut self, threshold: f32) -> Self {
         self.score_threshold = threshold;
         self
+    }
+
+    /// Selects how received BEV feature frames (wire-format v3) are
+    /// fused with the receiver's own features: elementwise max
+    /// (F-Cooper's operator, the default) or adaptive per-cell
+    /// confidence weighting. Point-cloud packets are unaffected.
+    pub fn with_fusion_mode(mut self, mode: FeatureFusionMode) -> Self {
+        self.fusion_mode = mode;
+        self
+    }
+
+    /// The active feature-fusion operator.
+    pub fn fusion_mode(&self) -> FeatureFusionMode {
+        self.fusion_mode
     }
 
     /// Enables the alignment guard: every received cloud is validated
@@ -341,6 +361,16 @@ impl CooperPipeline {
     /// caller-owned scratch arena; the executor parallelizes the SPOD
     /// internals on the fused cloud, and the scratch's rulebook arena is
     /// reused across calls.
+    ///
+    /// Inboxes may mix payload levels. Point-cloud packets (v1/v2) fuse
+    /// at the raw level as before; feature-frame packets (v3) are
+    /// decoded, re-binned into the receiver's BEV grid under the GPS/IMU
+    /// transform, and fused with the receiver's own features by the
+    /// configured [`FeatureFusionMode`] before the RPN head (F-Cooper).
+    /// The alignment guard only applies to point packets — a feature
+    /// frame carries no raw points to verify with ICP, so its GPS/IMU
+    /// transform is trusted as-is. [`FusionOutcome::fused_cloud`] holds
+    /// the point-level union only; feature packets contribute no points.
     pub fn perceive_with(
         &self,
         local_cloud: &PointCloud,
@@ -351,14 +381,77 @@ impl CooperPipeline {
         scratch: &mut DetectScratch,
     ) -> FusionOutcome {
         let _span = cooper_telemetry::span!(telemetry_names::SPAN_PIPELINE_PERCEIVE);
-        let (fused_cloud, fused_count, drops, alignment) = fuse_packets(
+        // Partition the inbox: v3 payloads fuse at the feature level,
+        // everything else (including undecodable headers, which the
+        // point path reports as drops) at the point level.
+        let mut point_packets = Vec::with_capacity(packets.len());
+        let mut point_indices = Vec::with_capacity(packets.len());
+        let mut feature_packets = Vec::new();
+        for (index, packet) in packets.iter().enumerate() {
+            let is_features = packet
+                .frame_info()
+                .is_ok_and(|info| info.kind == FrameKind::Features);
+            if is_features {
+                feature_packets.push((index, packet));
+            } else {
+                point_indices.push(index);
+                point_packets.push(packet.clone());
+            }
+        }
+        if feature_packets.is_empty() {
+            let (fused_cloud, fused_count, drops, alignment) = fuse_packets(
+                local_cloud,
+                local_pose,
+                packets,
+                origin,
+                self.guard.as_ref(),
+            );
+            let detections = self.perceive_single_with(&fused_cloud, executor, scratch);
+            return FusionOutcome {
+                fused_cloud,
+                detections,
+                packets_fused: fused_count,
+                drops,
+                alignment,
+            };
+        }
+        let (fused_cloud, mut fused_count, mut drops, mut alignment) = fuse_packets(
             local_cloud,
             local_pose,
-            packets,
+            &point_packets,
             origin,
             self.guard.as_ref(),
         );
-        let detections = self.perceive_single_with(&fused_cloud, executor, scratch);
+        // fuse_packets saw the point subset; restore input positions.
+        for drop in &mut drops {
+            drop.index = point_indices[drop.index];
+        }
+        for record in &mut alignment {
+            record.index = point_indices[record.index];
+        }
+        let remote_maps = self.decode_feature_maps(
+            &feature_packets,
+            local_pose,
+            origin,
+            &mut fused_count,
+            &mut drops,
+        );
+        drops.sort_by_key(|d| d.index);
+        let options = DetectOptions::default()
+            .with_class(ObjectClass::Car)
+            .with_threshold(self.score_threshold)
+            .with_executor(*executor);
+        let local_bev = self
+            .detector
+            .featurize_with(&fused_cloud, &options, scratch);
+        let fused_bev = {
+            let _fuse_span = cooper_telemetry::span!(telemetry_names::SPAN_PIPELINE_FUSE_FEATURES);
+            let mut maps: Vec<&BevMap> = Vec::with_capacity(1 + remote_maps.len());
+            maps.push(&local_bev);
+            maps.extend(remote_maps.iter());
+            fuse_bev(&maps, self.fusion_mode)
+        };
+        let detections = self.detector.detect_bev(&fused_bev, &options);
         FusionOutcome {
             fused_cloud,
             detections,
@@ -366,6 +459,69 @@ impl CooperPipeline {
             drops,
             alignment,
         }
+    }
+
+    /// Decodes and aligns every v3 packet into the receiver's BEV grid,
+    /// recording undecodable or channel-mismatched frames as drops.
+    fn decode_feature_maps(
+        &self,
+        feature_packets: &[(usize, &ExchangePacket)],
+        local_pose: &PoseEstimate,
+        origin: &GpsFix,
+        fused_count: &mut usize,
+        drops: &mut Vec<PacketDrop>,
+    ) -> Vec<BevMap> {
+        let expected_channels = self.detector.config().channels + Z_STRUCTURE_CHANNELS;
+        let grid = &self.detector.config().voxel_grid;
+        let mut remote_maps = Vec::with_capacity(feature_packets.len());
+        let mut dropped = 0u64;
+        for &(index, packet) in feature_packets {
+            let outcome = packet.feature_frame().and_then(|frame| {
+                if frame.channels() == expected_channels {
+                    Ok(frame)
+                } else {
+                    Err(CooperError::FeatureMismatch {
+                        expected: expected_channels,
+                        actual: frame.channels(),
+                    })
+                }
+            });
+            match outcome {
+                Ok(frame) => {
+                    let transform = alignment_transform(packet.pose(), local_pose, origin);
+                    remote_maps.push(transform_bev(
+                        &BevMap::from_feature_frame(&frame),
+                        &transform,
+                        grid,
+                    ));
+                    *fused_count += 1;
+                }
+                Err(error) => {
+                    if cooper_telemetry::is_enabled() {
+                        cooper_telemetry::counter_add(
+                            &format!("{}{}", telemetry_names::PIPELINE_DROP_PREFIX, error.kind()),
+                            1,
+                        );
+                    }
+                    dropped += 1;
+                    drops.push(PacketDrop {
+                        index,
+                        vehicle_id: packet.vehicle_id(),
+                        error,
+                    });
+                }
+            }
+        }
+        cooper_telemetry::counter_add(
+            telemetry_names::PIPELINE_FEATURES_FUSED,
+            remote_maps.len() as u64,
+        );
+        cooper_telemetry::counter_add(
+            telemetry_names::PIPELINE_PACKETS_FUSED,
+            remote_maps.len() as u64,
+        );
+        cooper_telemetry::counter_add(telemetry_names::PIPELINE_PACKETS_DROPPED, dropped);
+        remote_maps
     }
 }
 
@@ -530,6 +686,63 @@ mod tests {
         let p1 = ExchangePacket::build(1, 0, &cloud, est).unwrap();
         let outcome = pipeline.perceive(&cloud, &est, &[p1], &origin());
         assert!(outcome.alignment.is_empty());
+    }
+
+    #[test]
+    fn perceive_fuses_feature_packets_at_the_bev_level() {
+        let pipeline = untrained_pipeline();
+        assert_eq!(pipeline.fusion_mode(), cooper_spod::FeatureFusionMode::Max);
+        let scene = scenario::tj_scenario_1();
+        let scanner = LidarScanner::new(scene.kind.beam_model().noiseless());
+        let rx_pose = scene.observers[0];
+        let tx_pose = scene.observers[1];
+        let local = scanner.scan(&scene.world, &rx_pose, 1);
+        let remote = scanner.scan(&scene.world, &tx_pose, 2);
+        let rx_est = PoseEstimate::from_pose(&rx_pose, &origin());
+        let tx_est = PoseEstimate::from_pose(&tx_pose, &origin());
+        // The sender runs the SPOD front half and ships features.
+        let frame = pipeline.detector().featurize(&remote).to_feature_frame();
+        assert!(!frame.is_empty());
+        let packet = ExchangePacket::build_features(2, 0, &frame, tx_est).unwrap();
+        assert_eq!(packet.frame_info().unwrap().kind, FrameKind::Features);
+        let outcome = pipeline.perceive(&local, &rx_est, &[packet], &origin());
+        assert_eq!(outcome.packets_fused, 1);
+        assert!(outcome.drops.is_empty());
+        // Feature packets contribute no raw points.
+        assert_eq!(outcome.fused_cloud.len(), local.len());
+        // The guard never sees feature frames.
+        assert!(outcome.alignment.is_empty());
+    }
+
+    #[test]
+    fn perceive_reports_feature_channel_mismatch_with_input_index() {
+        let pipeline = untrained_pipeline();
+        let pose = Pose::new(Vec3::new(0.0, 0.0, 1.8), Attitude::level());
+        let est = PoseEstimate::from_pose(&pose, &origin());
+        let mut cloud = PointCloud::new();
+        cloud.push(cooper_pointcloud::Point::new(
+            Vec3::new(5.0, 0.0, -1.0),
+            0.5,
+        ));
+        let good = ExchangePacket::build(1, 0, &cloud, est).unwrap();
+        let frame = cooper_pointcloud::FeatureFrame::new(2, vec![(0, 0)], vec![0.5, 0.25]);
+        let bad = ExchangePacket::build_features(3, 0, &frame, est).unwrap();
+        let outcome = pipeline.perceive(&cloud, &est, &[good, bad], &origin());
+        assert_eq!(outcome.packets_fused, 1);
+        assert_eq!(outcome.drops.len(), 1);
+        assert_eq!(outcome.drops[0].index, 1);
+        assert_eq!(outcome.drops[0].vehicle_id, 3);
+        assert_eq!(outcome.drops[0].error.kind(), "feature_mismatch");
+    }
+
+    #[test]
+    fn fusion_mode_builder_selects_adaptive() {
+        let pipeline =
+            untrained_pipeline().with_fusion_mode(cooper_spod::FeatureFusionMode::Adaptive);
+        assert_eq!(
+            pipeline.fusion_mode(),
+            cooper_spod::FeatureFusionMode::Adaptive
+        );
     }
 
     #[test]

@@ -25,6 +25,16 @@
 //!   [`StaticMap`](crate::roi::StaticMap). [`DeltaEncoder`] /
 //!   [`DeltaDecoder`] implement the keyframe-cadence state machine on
 //!   top of [`encode_cloud_v2`].
+//! * **v3** — the feature-exchange format (F-Cooper style): instead of
+//!   points, the payload carries a quantized sparse BEV **feature map**
+//!   ([`FeatureFrame`]) — one `i16` cell coordinate pair plus one signed
+//!   byte per channel per active cell, dequantized through a per-frame
+//!   `f32` scale carried in an extended header. The count field holds
+//!   the cell count and the stride is fixed per frame, so prefix salvage
+//!   ([`decode_features_prefix`]) recovers whole cells exactly like the
+//!   point decoders recover whole points. Point decoders reject v3
+//!   frames (and the feature decoder rejects v1/v2 frames) with
+//!   [`CodecError::PayloadKindMismatch`] — never by misreading bytes.
 
 use std::collections::HashSet;
 use std::error::Error;
@@ -45,6 +55,7 @@ pub const WIRE_HEADER_BYTES: usize = 10;
 const MAGIC: &[u8; 4] = b"CPPC";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
+const VERSION_V3: u8 = 3;
 /// Flags-byte bit marking a delta frame (v2 only).
 const FLAG_DELTA: u8 = 0b0000_0001;
 /// Flags-byte bit marking a background-subtracted frame (v2 only).
@@ -99,6 +110,14 @@ pub enum CodecError {
     BadMagic,
     /// The frame version is not supported by this decoder.
     UnsupportedVersion(u8),
+    /// A v3 feature frame was offered to a point decoder, or a v1/v2
+    /// point frame was offered to the feature decoder. The payload is
+    /// well-formed — it just carries the other content type; route it
+    /// through the matching decoder instead.
+    PayloadKindMismatch {
+        /// Version byte of the frame that was offered.
+        version: u8,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -115,14 +134,21 @@ impl fmt::Display for CodecError {
             }
             CodecError::BadMagic => write!(f, "frame does not start with CPPC magic"),
             CodecError::UnsupportedVersion(v) => write!(f, "unsupported frame version {v}"),
+            CodecError::PayloadKindMismatch { version } => {
+                write!(
+                    f,
+                    "version {version} frame offered to the wrong decoder (points vs features)"
+                )
+            }
         }
     }
 }
 
 impl Error for CodecError {}
 
-/// Whether a v2 frame carries a full snapshot or only the points novel
-/// since the sender's previous keyframe.
+/// What content a wire frame carries: a full point snapshot, the points
+/// novel since the sender's previous keyframe, or (v3) a quantized BEV
+/// feature map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FrameKind {
     /// A complete, self-contained frame. All v1 frames are keyframes.
@@ -131,6 +157,11 @@ pub enum FrameKind {
     /// Decodable on its own (the points it carries are real points);
     /// [`DeltaDecoder`] additionally merges the cached keyframe back in.
     Delta,
+    /// A v3 frame carrying a [`FeatureFrame`] instead of points:
+    /// sender-side detector features quantized for the wire,
+    /// self-contained (no delta state) and decodable only through
+    /// [`decode_features`].
+    Features,
 }
 
 impl fmt::Display for FrameKind {
@@ -138,6 +169,7 @@ impl fmt::Display for FrameKind {
         f.write_str(match self {
             FrameKind::Keyframe => "keyframe",
             FrameKind::Delta => "delta",
+            FrameKind::Features => "features",
         })
     }
 }
@@ -146,14 +178,16 @@ impl fmt::Display for FrameKind {
 /// decoding any point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameInfo {
-    /// Wire-format version (1 or 2).
+    /// Wire-format version (1, 2 or 3).
     pub version: u8,
-    /// Keyframe or delta ([`FrameKind::Keyframe`] for every v1 frame).
+    /// Keyframe or delta ([`FrameKind::Keyframe`] for every v1 frame);
+    /// [`FrameKind::Features`] for every v3 frame.
     pub kind: FrameKind,
     /// `true` when the sender removed known-static background before
     /// encoding (v2 flag bit 1).
     pub background_subtracted: bool,
-    /// Points the full frame declares.
+    /// Points the full frame declares — active BEV cells for a v3
+    /// feature frame.
     pub point_count: usize,
 }
 
@@ -176,22 +210,22 @@ pub fn frame_info(mut bytes: &[u8]) -> Result<FrameInfo, CodecError> {
         return Err(CodecError::BadMagic);
     }
     let version = bytes.get_u8();
-    if version != VERSION_V1 && version != VERSION_V2 {
+    if version != VERSION_V1 && version != VERSION_V2 && version != VERSION_V3 {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let flags = bytes.get_u8();
     let count = bytes.get_u32() as usize;
-    let (kind, background_subtracted) = if version == VERSION_V2 {
-        (
+    let (kind, background_subtracted) = match version {
+        VERSION_V2 => (
             if flags & FLAG_DELTA != 0 {
                 FrameKind::Delta
             } else {
                 FrameKind::Keyframe
             },
             flags & FLAG_BACKGROUND_SUBTRACTED != 0,
-        )
-    } else {
-        (FrameKind::Keyframe, false)
+        ),
+        VERSION_V3 => (FrameKind::Features, false),
+        _ => (FrameKind::Keyframe, false),
     };
     Ok(FrameInfo {
         version,
@@ -262,11 +296,20 @@ pub fn encode_cloud(cloud: &PointCloud) -> Result<Bytes, CodecError> {
 /// # Errors
 ///
 /// Same as [`encode_cloud`].
+///
+/// # Panics
+///
+/// Panics when `kind` is [`FrameKind::Features`]: feature frames carry
+/// no points and are encoded with [`encode_features`].
 pub fn encode_cloud_v2(
     cloud: &PointCloud,
     kind: FrameKind,
     background_subtracted: bool,
 ) -> Result<Bytes, CodecError> {
+    assert!(
+        kind != FrameKind::Features,
+        "feature frames are encoded with encode_features, not encode_cloud_v2"
+    );
     let mut flags = 0u8;
     if kind == FrameKind::Delta {
         flags |= FLAG_DELTA;
@@ -287,9 +330,16 @@ pub fn encode_cloud_v2(
 /// # Errors
 ///
 /// Returns [`CodecError::BadMagic`], [`CodecError::UnsupportedVersion`] or
-/// [`CodecError::Truncated`] for malformed input.
+/// [`CodecError::Truncated`] for malformed input, and
+/// [`CodecError::PayloadKindMismatch`] for a (well-formed) v3 feature
+/// frame — use [`decode_features`] for those.
 pub fn decode_cloud(mut bytes: &[u8]) -> Result<PointCloud, CodecError> {
     let info = frame_info(bytes)?;
+    if info.kind == FrameKind::Features {
+        return Err(CodecError::PayloadKindMismatch {
+            version: info.version,
+        });
+    }
     bytes.advance(WIRE_HEADER_BYTES);
     let count = info.point_count;
     let expected = count * WIRE_BYTES_PER_POINT;
@@ -338,14 +388,281 @@ pub fn encoded_size(n: usize) -> usize {
 ///
 /// Returns [`CodecError::BadMagic`], [`CodecError::UnsupportedVersion`]
 /// or — only when even the header is incomplete —
-/// [`CodecError::Truncated`].
+/// [`CodecError::Truncated`]. A v3 feature frame is rejected with
+/// [`CodecError::PayloadKindMismatch`]; salvage those with
+/// [`decode_features_prefix`].
 pub fn decode_cloud_prefix(mut bytes: &[u8]) -> Result<(PointCloud, usize), CodecError> {
     let info = frame_info(bytes)?;
+    if info.kind == FrameKind::Features {
+        return Err(CodecError::PayloadKindMismatch {
+            version: info.version,
+        });
+    }
     bytes.advance(WIRE_HEADER_BYTES);
     let declared = info.point_count;
     let available = (bytes.remaining() / WIRE_BYTES_PER_POINT).min(declared);
     let cloud = decode_points(&bytes[..available * WIRE_BYTES_PER_POINT], available);
     Ok((cloud, declared))
+}
+
+/// Extra header bytes of a v3 frame beyond the common 10-byte header:
+/// a `u8` channel count and the `f32` dequantization scale.
+pub const WIRE_FEATURE_SUBHEADER_BYTES: usize = 5;
+
+/// Total header bytes of a v3 feature frame.
+pub const WIRE_FEATURE_HEADER_BYTES: usize = WIRE_HEADER_BYTES + WIRE_FEATURE_SUBHEADER_BYTES;
+
+/// Magnitude of the largest quantized feature step: values are mapped
+/// to signed bytes in `[-127, 127]` against the per-frame scale.
+const FEATURE_Q_MAX: f32 = 127.0;
+
+/// Wire bytes of one encoded feature cell: two `i16` BEV cell indices
+/// plus one signed byte per channel.
+pub fn feature_cell_stride(channels: usize) -> usize {
+    4 + channels
+}
+
+/// Size in bytes of the v3 wire frame for `cells` active BEV cells of
+/// `channels` features each.
+pub fn encoded_feature_size(cells: usize, channels: usize) -> usize {
+    WIRE_FEATURE_HEADER_BYTES + cells * feature_cell_stride(channels)
+}
+
+/// A sparse BEV feature map in wire-interchange form: active `(x, y)`
+/// grid cells in ascending order, each carrying `channels` `f32`
+/// features. This is the payload of a v3 frame — the detector-side
+/// `BevMap` converts to and from it, and the codec quantizes it for the
+/// wire ([`encode_features`] / [`decode_features`]).
+///
+/// The type lives here (not in the detector crate) so the codec stays
+/// free of detector dependencies; it is deliberately a plain cells +
+/// flat-features container with the same layout contract as the
+/// detector's BEV map (cells strictly ascending, `channels` values per
+/// cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureFrame {
+    channels: usize,
+    /// Active cells in strictly ascending `(x, y)` order.
+    cells: Vec<(i32, i32)>,
+    /// Flat feature storage, `channels` values per cell.
+    features: Vec<f32>,
+}
+
+impl FeatureFrame {
+    /// Builds a frame from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features.len() != cells.len() * channels` or the
+    /// cells are not strictly ascending — both are programmer errors
+    /// (wire-side validation happens in [`decode_features`]).
+    pub fn new(channels: usize, cells: Vec<(i32, i32)>, features: Vec<f32>) -> Self {
+        assert_eq!(
+            features.len(),
+            cells.len() * channels,
+            "feature storage must hold `channels` values per cell"
+        );
+        assert!(
+            cells.windows(2).all(|w| w[0] < w[1]),
+            "feature cells must be strictly ascending"
+        );
+        FeatureFrame {
+            channels,
+            cells,
+            features,
+        }
+    }
+
+    /// Features per cell.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of active cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no cell is active.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The active cells in ascending `(x, y)` order.
+    pub fn cells(&self) -> &[(i32, i32)] {
+        &self.cells
+    }
+
+    /// The flat feature buffer (`channels` values per cell).
+    pub fn features(&self) -> &[f32] {
+        &self.features
+    }
+
+    /// The feature slice of the cell at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn feature_at(&self, index: usize) -> &[f32] {
+        &self.features[index * self.channels..(index + 1) * self.channels]
+    }
+
+    /// The symmetric per-frame quantization scale [`encode_features`]
+    /// would use: the largest finite absolute feature value (zero for an
+    /// all-zero or empty frame). The worst-case per-value round-trip
+    /// error is `scale / (2 · 127)`.
+    pub fn quantization_scale(&self) -> f32 {
+        self.features
+            .iter()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |acc, v| acc.max(v.abs()))
+    }
+}
+
+/// Encodes a sparse BEV feature map into the version-3 wire format.
+///
+/// Each feature value is quantized to a signed byte against the frame's
+/// symmetric scale (`q = round(v / scale · 127)`), so the worst-case
+/// reconstruction error is `scale / 254` per value. Non-finite values
+/// encode as zero — the same defensive mapping the point codec applies
+/// to reflectance. An all-zero frame stores a zero scale and decodes to
+/// exact zeros.
+///
+/// # Errors
+///
+/// Returns [`CodecError::CoordinateOutOfRange`] when a cell index
+/// exceeds the `i16` range (±32 767 cells — far beyond any detector
+/// grid) and [`CodecError::UnsupportedVersion`] when `channels`
+/// exceeds 255.
+pub fn encode_features(frame: &FeatureFrame) -> Result<Bytes, CodecError> {
+    if frame.channels > u8::MAX as usize {
+        return Err(CodecError::UnsupportedVersion(VERSION_V3));
+    }
+    let scale = frame.quantization_scale();
+    let mut buf = BytesMut::with_capacity(encoded_feature_size(frame.len(), frame.channels));
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION_V3);
+    buf.put_u8(0);
+    buf.put_u32(frame.len() as u32);
+    buf.put_u8(frame.channels as u8);
+    buf.put_f32(scale);
+    for (index, &(x, y)) in frame.cells.iter().enumerate() {
+        let (Ok(cx), Ok(cy)) = (i16::try_from(x), i16::try_from(y)) else {
+            return Err(CodecError::CoordinateOutOfRange { index });
+        };
+        buf.put_i16(cx);
+        buf.put_i16(cy);
+        for &v in &frame.features[index * frame.channels..(index + 1) * frame.channels] {
+            let q: i8 = if v.is_finite() && scale > 0.0 {
+                (v / scale * FEATURE_Q_MAX).round().clamp(-127.0, 127.0) as i8
+            } else {
+                0
+            };
+            buf.put_u8(q as u8);
+        }
+    }
+    Ok(buf.freeze())
+}
+
+/// Parses the v3 extended subheader, returning `(channels, scale)`.
+fn feature_subheader(bytes: &[u8]) -> Result<(usize, f32), CodecError> {
+    if bytes.len() < WIRE_FEATURE_HEADER_BYTES {
+        return Err(CodecError::Truncated {
+            expected: WIRE_FEATURE_HEADER_BYTES,
+            actual: bytes.len(),
+        });
+    }
+    let mut sub = &bytes[WIRE_HEADER_BYTES..];
+    let channels = sub.get_u8() as usize;
+    let scale = sub.get_f32();
+    let scale = if scale.is_finite() { scale.abs() } else { 0.0 };
+    Ok((channels, scale))
+}
+
+/// Decodes `count` fixed-stride feature cells from a payload slice.
+fn decode_feature_cells(payload: &[u8], count: usize, channels: usize, scale: f32) -> FeatureFrame {
+    let stride = feature_cell_stride(channels);
+    debug_assert_eq!(payload.len(), count * stride);
+    let mut cells = Vec::with_capacity(count);
+    let mut features = Vec::with_capacity(count * channels);
+    for chunk in payload.chunks_exact(stride) {
+        let x = i32::from(i16::from_be_bytes([chunk[0], chunk[1]]));
+        let y = i32::from(i16::from_be_bytes([chunk[2], chunk[3]]));
+        cells.push((x, y));
+        for &q in &chunk[4..] {
+            features.push(f32::from(q as i8) * scale / FEATURE_Q_MAX);
+        }
+    }
+    FeatureFrame {
+        channels,
+        cells,
+        features,
+    }
+}
+
+/// Decodes a version-3 wire frame back into a sparse feature map.
+///
+/// Values are recovered to within `scale / 254` of the encoded input.
+/// Cell order is preserved from the wire (ascending, as
+/// [`encode_features`] wrote it).
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadMagic`], [`CodecError::UnsupportedVersion`]
+/// or [`CodecError::Truncated`] for malformed input, and
+/// [`CodecError::PayloadKindMismatch`] when offered a v1/v2 point frame.
+pub fn decode_features(bytes: &[u8]) -> Result<FeatureFrame, CodecError> {
+    let info = frame_info(bytes)?;
+    if info.kind != FrameKind::Features {
+        return Err(CodecError::PayloadKindMismatch {
+            version: info.version,
+        });
+    }
+    let (channels, scale) = feature_subheader(bytes)?;
+    let count = info.point_count;
+    let expected = count * feature_cell_stride(channels);
+    let payload = &bytes[WIRE_FEATURE_HEADER_BYTES..];
+    if payload.len() < expected {
+        return Err(CodecError::Truncated {
+            expected: WIRE_FEATURE_HEADER_BYTES + expected,
+            actual: bytes.len(),
+        });
+    }
+    Ok(decode_feature_cells(
+        &payload[..expected],
+        count,
+        channels,
+        scale,
+    ))
+}
+
+/// Decodes as many *whole* feature cells as a truncated v3 frame
+/// contains — the salvage path for partial deliveries, mirroring
+/// [`decode_cloud_prefix`]: the fixed per-cell stride means any prefix
+/// covering the extended header decodes cleanly up to the last complete
+/// cell. Returns the salvaged frame and the cell count the full frame
+/// declared.
+///
+/// # Errors
+///
+/// Same as [`decode_features`], with [`CodecError::Truncated`] only
+/// when even the 15-byte extended header is incomplete.
+pub fn decode_features_prefix(bytes: &[u8]) -> Result<(FeatureFrame, usize), CodecError> {
+    let info = frame_info(bytes)?;
+    if info.kind != FrameKind::Features {
+        return Err(CodecError::PayloadKindMismatch {
+            version: info.version,
+        });
+    }
+    let (channels, scale) = feature_subheader(bytes)?;
+    let declared = info.point_count;
+    let stride = feature_cell_stride(channels);
+    let payload = &bytes[WIRE_FEATURE_HEADER_BYTES..];
+    let available = (payload.len() / stride).min(declared);
+    Ok((
+        decode_feature_cells(&payload[..available * stride], available, channels, scale),
+        declared,
+    ))
 }
 
 /// One frame produced by [`DeltaEncoder::encode_next`].
@@ -552,6 +869,10 @@ impl DeltaDecoder {
                 Some(key) => key.merged(&cloud),
                 None => cloud,
             }),
+            // decode_cloud above already rejected feature frames.
+            FrameKind::Features => Err(CodecError::PayloadKindMismatch {
+                version: info.version,
+            }),
         }
     }
 
@@ -664,6 +985,7 @@ mod tests {
                 actual: 5,
             }),
             Box::new(CodecError::CoordinateOutOfRange { index: 7 }),
+            Box::new(CodecError::PayloadKindMismatch { version: 3 }),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
@@ -793,17 +1115,167 @@ mod tests {
     }
 
     #[test]
-    fn version_three_rejected() {
+    fn version_three_is_a_feature_frame_to_point_decoders() {
+        // A v3-stamped frame parses as a feature frame at the header
+        // level, but every point decoder must reject it cleanly rather
+        // than misread feature bytes as point strides.
         let mut bytes = encode_cloud(&sample_cloud(2)).unwrap().to_vec();
         bytes[4] = 3;
+        let info = frame_info(&bytes).unwrap();
+        assert_eq!(info.version, 3);
+        assert_eq!(info.kind, FrameKind::Features);
         assert_eq!(
             decode_cloud(&bytes).unwrap_err(),
-            CodecError::UnsupportedVersion(3)
+            CodecError::PayloadKindMismatch { version: 3 }
         );
         assert_eq!(
-            frame_info(&bytes).unwrap_err(),
-            CodecError::UnsupportedVersion(3)
+            decode_cloud_prefix(&bytes).unwrap_err(),
+            CodecError::PayloadKindMismatch { version: 3 }
         );
+        assert_eq!(
+            DeltaDecoder::new().decode_next(&bytes).unwrap_err(),
+            CodecError::PayloadKindMismatch { version: 3 }
+        );
+    }
+
+    #[test]
+    fn version_four_still_unsupported() {
+        let mut bytes = encode_cloud(&sample_cloud(2)).unwrap().to_vec();
+        bytes[4] = 4;
+        assert_eq!(
+            frame_info(&bytes).unwrap_err(),
+            CodecError::UnsupportedVersion(4)
+        );
+    }
+
+    fn sample_features(cells: usize, channels: usize, seed: u32) -> FeatureFrame {
+        // Deterministic pseudo-random features spanning positive,
+        // negative and zero values.
+        let mut state = seed.wrapping_mul(2_654_435_761).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            (state as f32 / u32::MAX as f32) * 8.0 - 4.0
+        };
+        let cell_list: Vec<(i32, i32)> = (0..cells as i32).map(|i| (i % 41 - 20, i / 41)).collect();
+        let mut cell_list = cell_list;
+        cell_list.sort_unstable();
+        cell_list.dedup();
+        let features = (0..cell_list.len() * channels).map(|_| next()).collect();
+        FeatureFrame::new(channels, cell_list, features)
+    }
+
+    #[test]
+    fn feature_round_trip_within_quantization_bound() {
+        // Property: for many frame shapes and value distributions, every
+        // value survives the wire within scale/254 of its input.
+        for (cells, channels, seed) in [(1, 1, 7), (40, 11, 1), (300, 5, 99), (17, 32, 3)] {
+            let frame = sample_features(cells, channels, seed);
+            let bytes = encode_features(&frame).unwrap();
+            assert_eq!(bytes.len(), encoded_feature_size(frame.len(), channels));
+            let decoded = decode_features(&bytes).unwrap();
+            assert_eq!(decoded.cells(), frame.cells());
+            assert_eq!(decoded.channels(), channels);
+            let bound = frame.quantization_scale() / 254.0 + 1e-6;
+            for (a, b) in frame.features().iter().zip(decoded.features()) {
+                assert!((a - b).abs() <= bound, "{a} vs {b} exceeds {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn feature_frame_info_reports_cell_count() {
+        let frame = sample_features(25, 4, 11);
+        let bytes = encode_features(&frame).unwrap();
+        let info = frame_info(&bytes).unwrap();
+        assert_eq!(info.version, 3);
+        assert_eq!(info.kind, FrameKind::Features);
+        assert!(!info.background_subtracted);
+        assert_eq!(info.point_count, frame.len());
+    }
+
+    #[test]
+    fn all_zero_feature_frame_round_trips_exactly() {
+        let cells = vec![(-3, 1), (0, 0), (5, -2)];
+        let mut cells = cells;
+        cells.sort_unstable();
+        let frame = FeatureFrame::new(2, cells, vec![0.0; 6]);
+        assert_eq!(frame.quantization_scale(), 0.0);
+        let decoded = decode_features(&encode_features(&frame).unwrap()).unwrap();
+        assert!(decoded.features().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn non_finite_features_encode_as_zero() {
+        let frame = FeatureFrame::new(3, vec![(0, 0)], vec![f32::NAN, f32::INFINITY, 2.0]);
+        let decoded = decode_features(&encode_features(&frame).unwrap()).unwrap();
+        assert_eq!(decoded.feature_at(0)[0], 0.0);
+        assert_eq!(decoded.feature_at(0)[1], 0.0);
+        assert!((decoded.feature_at(0)[2] - 2.0).abs() < 2.0 / 254.0 + 1e-6);
+    }
+
+    #[test]
+    fn feature_prefix_decode_recovers_whole_cells() {
+        let frame = sample_features(30, 6, 5);
+        let bytes = encode_features(&frame).unwrap();
+        let stride = feature_cell_stride(6);
+        // Cut mid-cell: 12 whole cells plus 3 bytes of the 13th.
+        let cut = &bytes[..WIRE_FEATURE_HEADER_BYTES + 12 * stride + 3];
+        let (prefix, declared) = decode_features_prefix(cut).unwrap();
+        assert_eq!(declared, frame.len());
+        assert_eq!(prefix.len(), 12);
+        assert_eq!(prefix.cells(), &frame.cells()[..12]);
+    }
+
+    #[test]
+    fn feature_decoder_rejects_point_frames_and_junk() {
+        let points = encode_cloud(&sample_cloud(3)).unwrap();
+        assert_eq!(
+            decode_features(&points).unwrap_err(),
+            CodecError::PayloadKindMismatch { version: 1 }
+        );
+        let v2 = encode_cloud_v2(&sample_cloud(3), FrameKind::Delta, true).unwrap();
+        assert_eq!(
+            decode_features_prefix(&v2).unwrap_err(),
+            CodecError::PayloadKindMismatch { version: 2 }
+        );
+        // A v3 header cut before the extended subheader is truncated.
+        let frame = sample_features(4, 2, 1);
+        let bytes = encode_features(&frame).unwrap();
+        assert!(matches!(
+            decode_features(&bytes[..WIRE_HEADER_BYTES + 2]).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+        // Declared cells beyond the payload are truncated for the full
+        // decoder, salvage for the prefix decoder.
+        let cut = &bytes[..bytes.len() - 1];
+        assert!(matches!(
+            decode_features(cut).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+        assert_eq!(decode_features_prefix(cut).unwrap().0.len(), 3);
+    }
+
+    #[test]
+    fn feature_cell_out_of_i16_range_rejected() {
+        let frame = FeatureFrame::new(1, vec![(40_000, 0)], vec![1.0]);
+        assert_eq!(
+            encode_features(&frame).unwrap_err(),
+            CodecError::CoordinateOutOfRange { index: 0 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn feature_frame_rejects_unsorted_cells() {
+        let _ = FeatureFrame::new(1, vec![(1, 0), (0, 0)], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature frames are encoded with encode_features")]
+    fn point_encoder_rejects_feature_kind() {
+        let _ = encode_cloud_v2(&sample_cloud(1), FrameKind::Features, false);
     }
 
     #[test]

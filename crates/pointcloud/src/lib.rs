@@ -54,8 +54,9 @@ mod voxel;
 
 pub use cloud::PointCloud;
 pub use codec::{
-    decode_cloud, decode_cloud_prefix, encode_cloud, encode_cloud_v2, frame_info, CodecError,
-    DeltaDecoder, DeltaEncoder, FrameInfo, FrameKind, WIRE_BYTES_PER_POINT,
+    decode_cloud, decode_cloud_prefix, decode_features, decode_features_prefix, encode_cloud,
+    encode_cloud_v2, encode_features, encoded_feature_size, frame_info, CodecError, DeltaDecoder,
+    DeltaEncoder, FeatureFrame, FrameInfo, FrameKind, WIRE_BYTES_PER_POINT,
 };
 pub use point::Point;
 pub use range_image::{RangeImage, RangeImageConfig};

@@ -6,6 +6,7 @@
 //! column and stays sparse: only columns with at least one active voxel
 //! exist.
 
+use cooper_pointcloud::FeatureFrame;
 use serde::{Deserialize, Serialize};
 
 use crate::tensor::SparseTensor3;
@@ -102,6 +103,65 @@ impl BevMap {
             cells,
             features,
         }
+    }
+
+    /// Builds a map directly from its parts, sorting cells and
+    /// max-merging duplicates — the constructor for maps that did not
+    /// come out of [`BevMap::collapse`]: wire-decoded feature frames and
+    /// re-binned (transformed) maps, whose cells may arrive in any order
+    /// and may collide.
+    ///
+    /// Duplicate cells merge by per-channel max, matching the collapse
+    /// semantics (and the F-Cooper fusion rule), so the result is
+    /// independent of input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features.len() != cells.len() * channels`.
+    pub fn from_parts(channels: usize, cells: Vec<(i32, i32)>, features: Vec<f32>) -> Self {
+        assert_eq!(
+            features.len(),
+            cells.len() * channels,
+            "feature storage must hold `channels` values per cell"
+        );
+        let mut order: Vec<usize> = (0..cells.len()).collect();
+        order.sort_unstable_by_key(|&i| cells[i]);
+        let mut out_cells: Vec<(i32, i32)> = Vec::with_capacity(cells.len());
+        let mut out_features: Vec<f32> = Vec::with_capacity(features.len());
+        for &i in &order {
+            let row = &features[i * channels..(i + 1) * channels];
+            if out_cells.last() == Some(&cells[i]) {
+                let base = out_features.len() - channels;
+                for (acc, &v) in out_features[base..].iter_mut().zip(row) {
+                    *acc = acc.max(v);
+                }
+            } else {
+                out_cells.push(cells[i]);
+                out_features.extend_from_slice(row);
+            }
+        }
+        BevMap {
+            channels,
+            cells: out_cells,
+            features: out_features,
+        }
+    }
+
+    /// Converts the map into the codec's wire-interchange form for v3
+    /// feature frames (a straight copy — the layouts match by design).
+    pub fn to_feature_frame(&self) -> FeatureFrame {
+        FeatureFrame::new(self.channels, self.cells.clone(), self.features.clone())
+    }
+
+    /// Rebuilds a map from a wire-decoded feature frame. Wire frames
+    /// are sorted by construction, but salvaged or foreign frames get
+    /// the same defensive sort-and-merge as [`BevMap::from_parts`].
+    pub fn from_feature_frame(frame: &FeatureFrame) -> Self {
+        BevMap::from_parts(
+            frame.channels(),
+            frame.cells().to_vec(),
+            frame.features().to_vec(),
+        )
     }
 
     /// Features per cell.

@@ -434,6 +434,31 @@ impl SpodDetector {
         scratch: &mut DetectScratch,
     ) -> Vec<Detection> {
         let bev = self.featurize_with(cloud, options, scratch);
+        self.detect_bev(&bev, options)
+    }
+
+    /// The detector back half: scores a **pre-built BEV feature map**
+    /// with the RPN heads and suppresses duplicates — the entry point
+    /// for feature-level cooperative perception, where the map being
+    /// scored is the fusion of several vehicles' featurized views
+    /// ([`crate::fusion::fuse_bev`]) rather than the output of this
+    /// detector's own trunk. [`SpodDetector::detect_with`] is exactly
+    /// [`SpodDetector::featurize_with`] followed by this.
+    ///
+    /// Deterministic like the rest of the pipeline: fixed RPN chunk
+    /// boundaries make the output bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the map's channel count does not match what the
+    /// heads were trained against
+    /// (`config.channels + Z_STRUCTURE_CHANNELS`).
+    pub fn detect_bev(&self, bev: &BevMap, options: &DetectOptions) -> Vec<Detection> {
+        assert_eq!(
+            bev.channels(),
+            self.config.channels + crate::bev::Z_STRUCTURE_CHANNELS,
+            "BEV map channels must match the trained heads"
+        );
         let threshold = options.threshold.unwrap_or(self.config.score_threshold);
         let heads: Vec<&DetectionHead> = match options.class {
             Some(class) => self
@@ -603,6 +628,52 @@ mod tests {
             assert_eq!(baseline, dets, "detections diverged at {threads} threads");
             let bev = det.featurize_with(&cloud, &options, &mut scratch);
             assert_eq!(baseline_bev, bev, "features diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn detect_bev_matches_detect_with() {
+        // detect_with must be exactly featurize + detect_bev, so a
+        // pre-fused map routed through detect_bev scores identically.
+        let det = SpodDetector::new(SpodConfig::default());
+        let cloud = toy_cloud();
+        let mut scratch = DetectScratch::new();
+        let options = DetectOptions::default()
+            .with_threshold(0.4)
+            .with_executor(Executor::sequential());
+        let bev = det.featurize_with(&cloud, &options, &mut scratch);
+        assert_eq!(
+            det.detect_bev(&bev, &options),
+            det.detect_with(&cloud, &options, &mut scratch)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "channels must match")]
+    fn detect_bev_rejects_channel_mismatch() {
+        let det = SpodDetector::new(SpodConfig::default());
+        let wrong = BevMap::from_parts(2, vec![(0, 0)], vec![1.0, 2.0]);
+        let _ = det.detect_bev(&wrong, &DetectOptions::default());
+    }
+
+    #[test]
+    fn featurized_map_survives_the_wire() {
+        // The feature tier's sender path: featurize → feature frame →
+        // v3 encode → decode → map. Quantization is the only loss.
+        let det = SpodDetector::new(SpodConfig::default());
+        let bev = det.featurize(&toy_cloud());
+        let frame = bev.to_feature_frame();
+        let bytes = cooper_pointcloud::encode_features(&frame).unwrap();
+        let decoded =
+            BevMap::from_feature_frame(&cooper_pointcloud::decode_features(&bytes).unwrap());
+        assert_eq!(decoded.active_cells(), bev.active_cells());
+        assert_eq!(decoded.channels(), bev.channels());
+        let bound = frame.quantization_scale() / 254.0 + 1e-6;
+        for (i, (cell, row)) in bev.iter().enumerate() {
+            assert_eq!(cell, &decoded.cell_slice()[i]);
+            for (a, b) in row.iter().zip(decoded.feature_at(i)) {
+                assert!((a - b).abs() <= bound);
+            }
         }
     }
 

@@ -1,0 +1,344 @@
+//! Feature-level fusion of BEV maps (the F-Cooper family).
+//!
+//! Cooper exchanges raw points; its successor F-Cooper (Chen et al.,
+//! SEC 2019) exchanges intermediate *features* instead: each vehicle
+//! runs the detector front half locally and ships its sparse BEV
+//! feature map, and the receiver fuses incoming maps with its own by
+//! **elementwise maximum** before running the RPN head. This module
+//! implements that fusion rule plus an adaptive per-cell
+//! confidence-weighted variant, together with the geometric plumbing a
+//! receiver needs: re-binning a sender's map into the receiver's grid
+//! under the alignment transform, and ROI-clipping a map to the same
+//! wedges the raw-point tiers use.
+//!
+//! Everything here is deterministic: fusion walks cells in ascending
+//! order with fixed contributor order, so fused maps — and the
+//! detections behind them — are bit-identical at any thread count.
+
+use cooper_geometry::{RigidTransform, Vec3};
+use cooper_pointcloud::roi::RoiCategory;
+use cooper_pointcloud::VoxelGridConfig;
+
+use crate::bev::BevMap;
+
+/// Floor added to every adaptive-fusion weight so a cell whose
+/// contributors are all zero still averages instead of dividing by zero.
+const ADAPTIVE_WEIGHT_EPS: f32 = 1e-6;
+
+/// How a receiver combines overlapping BEV feature cells from several
+/// vehicles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FeatureFusionMode {
+    /// F-Cooper's rule: per-channel elementwise maximum over all
+    /// contributors. Order-independent by construction and idempotent —
+    /// fusing a map with itself changes nothing.
+    Max,
+    /// Adaptive per-cell confidence weighting: each contributor's cell
+    /// is weighted by its feature-vector L2 norm (a magnitude proxy for
+    /// how much point evidence produced it), and the fused cell is the
+    /// weighted mean. Cells seen by only one vehicle pass through
+    /// unchanged; contested cells lean toward the vehicle that actually
+    /// observed structure there.
+    Adaptive,
+}
+
+impl std::fmt::Display for FeatureFusionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FeatureFusionMode::Max => "max",
+            FeatureFusionMode::Adaptive => "adaptive",
+        })
+    }
+}
+
+impl std::str::FromStr for FeatureFusionMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "max" => Ok(FeatureFusionMode::Max),
+            "adaptive" => Ok(FeatureFusionMode::Adaptive),
+            other => Err(format!(
+                "unknown fusion mode '{other}' (expected 'max' or 'adaptive')"
+            )),
+        }
+    }
+}
+
+/// Fuses several BEV feature maps into one over the union of their
+/// active cells.
+///
+/// With [`FeatureFusionMode::Max`] each output channel is the maximum
+/// over the contributors active at that cell (F-Cooper's `max(f_i)`);
+/// with [`FeatureFusionMode::Adaptive`] it is the L2-norm-weighted mean
+/// `Σ wᵢ·fᵢ / Σ wᵢ`, `wᵢ = ε + ‖fᵢ‖₂`. Either way a cell only one map
+/// observed passes through unchanged, so fusing with an empty map is the
+/// identity.
+///
+/// # Panics
+///
+/// Panics when `maps` is empty or the maps disagree on channel count —
+/// both programmer errors (wire-side channel mismatches are rejected
+/// before maps get here).
+pub fn fuse_bev(maps: &[&BevMap], mode: FeatureFusionMode) -> BevMap {
+    assert!(!maps.is_empty(), "fusion needs at least one map");
+    let channels = maps[0].channels();
+    assert!(
+        maps.iter().all(|m| m.channels() == channels),
+        "fused maps must agree on channel count"
+    );
+    let mut heads = vec![0usize; maps.len()];
+    let mut cells: Vec<(i32, i32)> = Vec::new();
+    let mut features: Vec<f32> = Vec::new();
+    loop {
+        let mut cell: Option<(i32, i32)> = None;
+        for (k, m) in maps.iter().enumerate() {
+            if heads[k] < m.active_cells() {
+                let c = m.cell_slice()[heads[k]];
+                if cell.is_none_or(|best| c < best) {
+                    cell = Some(c);
+                }
+            }
+        }
+        let Some(cell) = cell else { break };
+        let base = features.len();
+        match mode {
+            FeatureFusionMode::Max => {
+                features.extend(std::iter::repeat_n(f32::NEG_INFINITY, channels));
+                for (k, m) in maps.iter().enumerate() {
+                    if heads[k] < m.active_cells() && m.cell_slice()[heads[k]] == cell {
+                        for (acc, &v) in features[base..].iter_mut().zip(m.feature_at(heads[k])) {
+                            *acc = acc.max(v);
+                        }
+                        heads[k] += 1;
+                    }
+                }
+                for v in features[base..].iter_mut() {
+                    if !v.is_finite() {
+                        *v = 0.0;
+                    }
+                }
+            }
+            FeatureFusionMode::Adaptive => {
+                features.extend(std::iter::repeat_n(0.0f32, channels));
+                let mut weight_sum = 0.0f32;
+                for (k, m) in maps.iter().enumerate() {
+                    if heads[k] < m.active_cells() && m.cell_slice()[heads[k]] == cell {
+                        let row = m.feature_at(heads[k]);
+                        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+                        let w = ADAPTIVE_WEIGHT_EPS + if norm.is_finite() { norm } else { 0.0 };
+                        for (acc, &v) in features[base..].iter_mut().zip(row) {
+                            *acc += w * if v.is_finite() { v } else { 0.0 };
+                        }
+                        weight_sum += w;
+                        heads[k] += 1;
+                    }
+                }
+                for v in features[base..].iter_mut() {
+                    *v /= weight_sum;
+                }
+            }
+        }
+        cells.push(cell);
+    }
+    BevMap::from_parts(channels, cells, features)
+}
+
+/// Re-bins a sender's BEV feature map into the receiver's grid under
+/// the sender→receiver alignment transform.
+///
+/// Each cell's planar center is pushed through `transform` and re-binned
+/// by nearest cell; cells landing outside the receiver's extent are
+/// dropped (the feature-tier analogue of points leaving the detection
+/// range), and cells that collide after re-binning max-merge — the same
+/// rule fusion itself would apply. The resampling is nearest-neighbor by
+/// design: at the detector's 0.5 m cell pitch, sub-cell interpolation
+/// buys nothing the quantized wire features could express.
+pub fn transform_bev(map: &BevMap, transform: &RigidTransform, grid: &VoxelGridConfig) -> BevMap {
+    let min = grid.extent.min();
+    let max = grid.extent.max();
+    let size = grid.voxel_size;
+    let mut cells: Vec<(i32, i32)> = Vec::with_capacity(map.active_cells());
+    let mut features: Vec<f32> = Vec::with_capacity(map.active_cells() * map.channels());
+    for (i, &(x, y)) in map.cell_slice().iter().enumerate() {
+        let center = Vec3::new(
+            min.x + (f64::from(x) + 0.5) * size.x,
+            min.y + (f64::from(y) + 0.5) * size.y,
+            0.0,
+        );
+        let moved = transform.apply(center);
+        if moved.x < min.x || moved.x >= max.x || moved.y < min.y || moved.y >= max.y {
+            continue;
+        }
+        cells.push((
+            ((moved.x - min.x) / size.x).floor() as i32,
+            ((moved.y - min.y) / size.y).floor() as i32,
+        ));
+        features.extend_from_slice(map.feature_at(i));
+    }
+    BevMap::from_parts(map.channels(), cells, features)
+}
+
+/// Clips a BEV feature map to an ROI category, mirroring the wedges
+/// [`cooper_pointcloud::roi::extract_roi`] applies to raw points:
+/// [`RoiCategory::FrontFov120`] keeps cells whose center azimuth (from
+/// the sensor origin) is within ±60°, [`RoiCategory::ForwardOneWay`]
+/// within ±30° and 50 m range. Azimuth and range are measured at the
+/// cell's planar center, so the clip agrees with the point-tier ROI to
+/// within half a cell.
+pub fn filter_bev_roi(map: &BevMap, grid: &VoxelGridConfig, roi: RoiCategory) -> BevMap {
+    let (half_angle, max_range) = match roi {
+        RoiCategory::FullFrame => return map.clone(),
+        // extract_roi: sector(cloud, 0.0, 120°) — half-angle 60°.
+        RoiCategory::FrontFov120 => (60f64.to_radians(), f64::INFINITY),
+        // extract_roi: 60° sector limited to 50 m.
+        RoiCategory::ForwardOneWay => (30f64.to_radians(), 50.0),
+    };
+    let min = grid.extent.min();
+    let size = grid.voxel_size;
+    let mut cells: Vec<(i32, i32)> = Vec::new();
+    let mut features: Vec<f32> = Vec::new();
+    for (i, &(x, y)) in map.cell_slice().iter().enumerate() {
+        let cx = min.x + (f64::from(x) + 0.5) * size.x;
+        let cy = min.y + (f64::from(y) + 0.5) * size.y;
+        let range = (cx * cx + cy * cy).sqrt();
+        if range > max_range || cy.atan2(cx).abs() > half_angle {
+            continue;
+        }
+        cells.push((x, y));
+        features.extend_from_slice(map.feature_at(i));
+    }
+    BevMap::from_parts(map.channels(), cells, features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooper_geometry::{Attitude, Pose};
+
+    fn map_of(channels: usize, entries: &[((i32, i32), &[f32])]) -> BevMap {
+        let mut cells = Vec::new();
+        let mut features = Vec::new();
+        for &(cell, row) in entries {
+            assert_eq!(row.len(), channels);
+            cells.push(cell);
+            features.extend_from_slice(row);
+        }
+        BevMap::from_parts(channels, cells, features)
+    }
+
+    #[test]
+    fn max_fusion_takes_elementwise_max_over_union() {
+        let a = map_of(2, &[((0, 0), &[1.0, 5.0]), ((2, 1), &[3.0, 0.0])]);
+        let b = map_of(2, &[((0, 0), &[4.0, 2.0]), ((7, 7), &[1.0, 1.0])]);
+        let fused = fuse_bev(&[&a, &b], FeatureFusionMode::Max);
+        assert_eq!(fused.active_cells(), 3);
+        assert_eq!(fused.get(0, 0).unwrap(), &[4.0, 5.0][..]);
+        assert_eq!(fused.get(2, 1).unwrap(), &[3.0, 0.0][..]);
+        assert_eq!(fused.get(7, 7).unwrap(), &[1.0, 1.0][..]);
+    }
+
+    #[test]
+    fn max_fusion_is_idempotent_and_identity_with_empty() {
+        let a = map_of(
+            3,
+            &[((1, -4), &[0.5, -2.0, 1.0]), ((3, 3), &[0.0, 0.0, 9.0])],
+        );
+        let empty = map_of(3, &[]);
+        assert_eq!(fuse_bev(&[&a, &a], FeatureFusionMode::Max), a);
+        assert_eq!(fuse_bev(&[&a, &empty], FeatureFusionMode::Max), a);
+    }
+
+    #[test]
+    fn adaptive_fusion_weights_by_magnitude() {
+        // A strong cell (norm 4) against a weak one (norm 1): the fused
+        // value must sit much closer to the strong contributor.
+        let strong = map_of(1, &[((0, 0), &[4.0])]);
+        let weak = map_of(1, &[((0, 0), &[1.0])]);
+        let fused = fuse_bev(&[&strong, &weak], FeatureFusionMode::Adaptive);
+        let v = fused.get(0, 0).unwrap()[0];
+        // (4·4 + 1·1) / (4 + 1) = 3.4
+        assert!((v - 3.4).abs() < 1e-3, "got {v}");
+        // Single-contributor cells pass through unchanged.
+        let other = map_of(1, &[((5, 5), &[2.0])]);
+        let fused = fuse_bev(&[&strong, &other], FeatureFusionMode::Adaptive);
+        assert!((fused.get(5, 5).unwrap()[0] - 2.0).abs() < 1e-5);
+        assert!((fused.get(0, 0).unwrap()[0] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adaptive_fusion_survives_all_zero_cells() {
+        let a = map_of(2, &[((0, 0), &[0.0, 0.0])]);
+        let b = map_of(2, &[((0, 0), &[0.0, 0.0])]);
+        let fused = fuse_bev(&[&a, &b], FeatureFusionMode::Adaptive);
+        assert_eq!(fused.get(0, 0).unwrap(), &[0.0, 0.0][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count")]
+    fn fusion_rejects_channel_mismatch() {
+        let a = map_of(2, &[((0, 0), &[1.0, 2.0])]);
+        let b = map_of(3, &[((0, 0), &[1.0, 2.0, 3.0])]);
+        let _ = fuse_bev(&[&a, &b], FeatureFusionMode::Max);
+    }
+
+    #[test]
+    fn transform_shifts_cells_by_whole_voxels() {
+        let grid = crate::SpodConfig::default().voxel_grid;
+        // One cell at the receiver-grid origin area.
+        let map = map_of(1, &[((160, 160), &[7.0])]);
+        // Sender sits 2 m ahead of the receiver (same heading): its
+        // cells land 2 m (= 4 cells at 0.5 m) forward in receiver frame.
+        let sender = Pose::new(Vec3::new(2.0, 0.0, 0.0), Attitude::level());
+        let receiver = Pose::origin();
+        let t = RigidTransform::between(&sender, &receiver);
+        let moved = transform_bev(&map, &t, &grid);
+        assert_eq!(moved.active_cells(), 1);
+        assert_eq!(moved.get(164, 160).unwrap(), &[7.0][..]);
+    }
+
+    #[test]
+    fn transform_drops_cells_leaving_the_extent() {
+        let grid = crate::SpodConfig::default().voxel_grid;
+        let map = map_of(1, &[((319, 160), &[1.0])]); // near +x edge
+        let sender = Pose::new(Vec3::new(50.0, 0.0, 0.0), Attitude::level());
+        let t = RigidTransform::between(&sender, &Pose::origin());
+        assert_eq!(transform_bev(&map, &t, &grid).active_cells(), 0);
+    }
+
+    #[test]
+    fn roi_filter_mirrors_point_wedges() {
+        let grid = crate::SpodConfig::default().voxel_grid;
+        // Cell centers: (160,160) ≈ (0.25, 0.25) — forward; (100,160) ≈
+        // (-29.75, 0.25) — behind; (200,160) ≈ (20.25, 0.25) — forward
+        // at 20 m.
+        let map = map_of(
+            1,
+            &[
+                ((100, 160), &[1.0]),
+                ((160, 160), &[2.0]),
+                ((200, 160), &[3.0]),
+            ],
+        );
+        let full = filter_bev_roi(&map, &grid, RoiCategory::FullFrame);
+        assert_eq!(full.active_cells(), 3);
+        let front = filter_bev_roi(&map, &grid, RoiCategory::FrontFov120);
+        assert_eq!(front.active_cells(), 2);
+        assert!(front.get(100, 160).is_none(), "behind-cell must be clipped");
+        // (160,160)'s center sits at 45° azimuth: inside the 120° FOV
+        // but outside the ±30° forward wedge.
+        let forward = filter_bev_roi(&map, &grid, RoiCategory::ForwardOneWay);
+        assert_eq!(forward.active_cells(), 1);
+        assert!(forward.get(200, 160).is_some());
+        // A forward cell beyond 50 m is clipped by the range limit.
+        let far = map_of(1, &[((280, 160), &[1.0])]); // ≈ (60.25, 0.25)
+        assert_eq!(
+            filter_bev_roi(&far, &grid, RoiCategory::ForwardOneWay).active_cells(),
+            0
+        );
+        assert_eq!(
+            filter_bev_roi(&far, &grid, RoiCategory::FrontFov120).active_cells(),
+            1
+        );
+    }
+}

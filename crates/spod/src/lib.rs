@@ -53,6 +53,7 @@ pub mod anchors;
 pub mod bev;
 mod detector;
 pub mod eval;
+pub mod fusion;
 pub mod head;
 mod nms;
 pub mod nn;
@@ -64,5 +65,6 @@ pub mod train;
 pub mod vfe;
 
 pub use detector::{DetectOptions, DetectScratch, Detection, SpodConfig, SpodDetector};
+pub use fusion::{filter_bev_roi, fuse_bev, transform_bev, FeatureFusionMode};
 pub use nms::non_max_suppression;
 pub use tensor::SparseTensor3;

@@ -33,6 +33,12 @@ pub const FLEET_PARTIAL_SALVAGED: &str = "fleet.partial_salvaged";
 pub const FLEET_SALVAGE_FAILED: &str = "fleet.salvage_failed";
 /// Transfers the bandwidth governor skipped over budget.
 pub const FLEET_BUDGET_SKIP: &str = "fleet.budget_skip";
+/// Governed transfers sent as quantized BEV feature frames (v3).
+pub const FLEET_FEATURE_SENDS: &str = "fleet.feature_sends";
+/// Remote feature frames fused at the BEV level (F-Cooper path).
+pub const PIPELINE_FEATURES_FUSED: &str = "pipeline.features_fused";
+/// Governor decisions that sent a feature frame instead of points.
+pub const V2X_GOVERNOR_FEATURE_FRAMES: &str = "v2x.governor.feature_frames";
 /// Governor decisions that narrowed the payload to the ROI.
 pub const V2X_GOVERNOR_ROI_NARROWED: &str = "v2x.governor.roi_narrowed";
 /// Governor decisions that sent a background delta frame.
@@ -75,6 +81,8 @@ pub const FLEET_PHASE_EXCHANGE_US: &str = "fleet.phase.exchange_us";
 pub const FLEET_PHASE_PERCEIVE_US: &str = "fleet.phase.perceive_us";
 /// v2 codec wire size as a per-mille ratio of the v1 size.
 pub const CODEC_V2_BYTES_RATIO: &str = "codec.v2.bytes_ratio";
+/// v3 feature-frame wire size as a per-mille ratio of the v1 raw size.
+pub const CODEC_V3_BYTES_RATIO: &str = "codec.v3.bytes_ratio";
 /// Alignment-guard residual, millimetres.
 pub const ALIGN_RESIDUAL: &str = "align.residual";
 /// Encoded packet wire size, bytes.
@@ -105,6 +113,8 @@ pub const SPAN_PIPELINE_PERCEIVE: &str = "pipeline.perceive";
 pub const SPAN_PIPELINE_PERCEIVE_SINGLE: &str = "pipeline.perceive_single";
 /// Packet fusion into the local cloud.
 pub const SPAN_PIPELINE_FUSE: &str = "pipeline.fuse";
+/// BEV-feature fusion of remote feature frames (F-Cooper path).
+pub const SPAN_PIPELINE_FUSE_FEATURES: &str = "pipeline.fuse_features";
 /// Packet encode to wire bytes.
 pub const SPAN_PACKET_ENCODE: &str = "packet.encode";
 /// Packet decode from wire bytes.
@@ -155,6 +165,9 @@ pub const ALL_METRICS: &[&str] = &[
     FLEET_PARTIAL_SALVAGED,
     FLEET_SALVAGE_FAILED,
     FLEET_BUDGET_SKIP,
+    FLEET_FEATURE_SENDS,
+    PIPELINE_FEATURES_FUSED,
+    V2X_GOVERNOR_FEATURE_FRAMES,
     V2X_GOVERNOR_ROI_NARROWED,
     V2X_GOVERNOR_DELTA_FRAMES,
     V2X_GOVERNOR_BUDGET_SKIPS,
@@ -170,6 +183,7 @@ pub const ALL_METRICS: &[&str] = &[
     FLEET_PHASE_EXCHANGE_US,
     FLEET_PHASE_PERCEIVE_US,
     CODEC_V2_BYTES_RATIO,
+    CODEC_V3_BYTES_RATIO,
     ALIGN_RESIDUAL,
     PACKET_WIRE_BYTES,
     V2X_PARTIAL_FRACTION,
@@ -190,6 +204,7 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_PIPELINE_PERCEIVE,
     SPAN_PIPELINE_PERCEIVE_SINGLE,
     SPAN_PIPELINE_FUSE,
+    SPAN_PIPELINE_FUSE_FEATURES,
     SPAN_PACKET_ENCODE,
     SPAN_PACKET_DECODE,
     SPAN_PACKET_DECODE_PARTIAL,

@@ -18,6 +18,13 @@
 //!    fits — the fleet records the skip as a budget drop rather than
 //!    blowing the exchange window for every later sender.
 //!
+//! With [`BandwidthGovernor::with_features`], a rung precedes the raw
+//! ladder: the widest fitting [`FrameKind::Features`] candidate (a
+//! quantized BEV feature frame, wire-format v3) at or inside the
+//! demanded ROI is sent instead of points — the F-Cooper exchange
+//! level, typically an order of magnitude fewer bytes than the raw
+//! front-FoV delta at comparable recall.
+//!
 //! Candidates whose air time is unknown (the channel model keeps no
 //! accounting) always fit: an unmetered channel imposes no budget.
 //!
@@ -75,12 +82,34 @@ pub fn demand_roi(blind_sectors: &[BlindSector]) -> RoiCategory {
 pub struct BandwidthGovernor {
     /// Widest ROI category the governor may ever choose.
     cap: RoiCategory,
+    /// Prefer the feature-exchange tier: when the offer carries
+    /// [`FrameKind::Features`] candidates, pick the widest fitting one
+    /// before walking the raw-point ladder.
+    prefer_features: bool,
 }
 
 impl BandwidthGovernor {
     /// A governor allowed to use ROIs up to and including `cap`.
     pub fn new(cap: RoiCategory) -> Self {
-        BandwidthGovernor { cap }
+        BandwidthGovernor {
+            cap,
+            prefer_features: false,
+        }
+    }
+
+    /// Prefers quantized BEV feature frames (wire-format v3) over raw
+    /// points whenever the sender offers them: the widest fitting
+    /// feature candidate at or inside the demanded ROI wins; the raw
+    /// ladder remains the fallback when no feature candidate fits.
+    /// Offers without feature candidates decide exactly as before.
+    pub fn with_features(mut self) -> Self {
+        self.prefer_features = true;
+        self
+    }
+
+    /// Whether the feature-exchange tier is preferred.
+    pub fn prefers_features(&self) -> bool {
+        self.prefer_features
     }
 
     /// The configured widest category.
@@ -118,6 +147,24 @@ impl Default for BandwidthGovernor {
 impl GovernorPolicy for BandwidthGovernor {
     fn decide(&mut self, offer: &TransferOffer<'_>) -> GovernorVerdict {
         let base = self.base_roi(offer.receiver_blind_sectors);
+        if self.prefer_features {
+            for roi in WIDEST_FIRST
+                .into_iter()
+                .filter(|r| narrowness(*r) >= narrowness(base))
+            {
+                let Some(candidate) = offer.candidate(roi, FrameKind::Features) else {
+                    continue;
+                };
+                if !Self::fits(&candidate, offer.headroom_s) {
+                    continue;
+                }
+                if roi != base {
+                    cooper_telemetry::counter_add(telemetry_names::V2X_GOVERNOR_ROI_NARROWED, 1);
+                }
+                cooper_telemetry::counter_add(telemetry_names::V2X_GOVERNOR_FEATURE_FRAMES, 1);
+                return GovernorVerdict::Send(candidate);
+            }
+        }
         // Cadence kind first; delta-only is the late degradation rung.
         let kinds = if offer.keyframe_due {
             [FrameKind::Keyframe, FrameKind::Delta]
@@ -307,6 +354,54 @@ mod tests {
         let mut gov = BandwidthGovernor::default();
         match gov.decide(&offer(&menu, &[], true, Some(1e-9))) {
             GovernorVerdict::Send(c) => assert_eq!(c.wire_bytes, 1_000_000),
+            GovernorVerdict::Skip => panic!("expected a send"),
+        }
+    }
+
+    #[test]
+    fn feature_preference_picks_feature_candidates_first() {
+        let mut menu = full_menu();
+        menu.push(candidate(
+            RoiCategory::FullFrame,
+            FrameKind::Features,
+            4_000,
+            Some(4e-3),
+        ));
+        menu.push(candidate(
+            RoiCategory::ForwardOneWay,
+            FrameKind::Features,
+            900,
+            Some(9e-4),
+        ));
+        // Without the preference the feature candidates are ignored.
+        let mut plain = BandwidthGovernor::default();
+        match plain.decide(&offer(&menu, &[], true, None)) {
+            GovernorVerdict::Send(c) => assert_eq!(c.kind, FrameKind::Keyframe),
+            GovernorVerdict::Skip => panic!("expected a send"),
+        }
+        // With it, the demanded ROI's feature frame wins.
+        let mut gov = BandwidthGovernor::default().with_features();
+        assert!(gov.prefers_features());
+        let behind = [sector_at(3.0)];
+        match gov.decide(&offer(&menu, &behind, true, None)) {
+            GovernorVerdict::Send(c) => {
+                assert_eq!(c.kind, FrameKind::Features);
+                assert_eq!(c.roi, RoiCategory::FullFrame);
+            }
+            GovernorVerdict::Skip => panic!("expected a send"),
+        }
+        // Over-budget feature frames degrade to narrower feature ROIs,
+        // then fall back to the raw ladder.
+        match gov.decide(&offer(&menu, &behind, true, Some(1e-3))) {
+            GovernorVerdict::Send(c) => {
+                assert_eq!(c.kind, FrameKind::Features);
+                assert_eq!(c.roi, RoiCategory::ForwardOneWay);
+            }
+            GovernorVerdict::Skip => panic!("expected a send"),
+        }
+        let feature_free = full_menu();
+        match gov.decide(&offer(&feature_free, &[], true, None)) {
+            GovernorVerdict::Send(c) => assert_eq!(c.kind, FrameKind::Keyframe),
             GovernorVerdict::Skip => panic!("expected a send"),
         }
     }

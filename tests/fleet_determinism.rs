@@ -8,13 +8,17 @@
 use cooper_core::fleet::{
     straight_trajectory, FleetConfig, FleetSimulation, FleetStats, FleetStepReport, FleetVehicle,
 };
-use cooper_core::{AlignmentGuardConfig, ChannelModel, CooperPipeline};
+use cooper_core::{
+    AlignmentGuardConfig, ChannelModel, CooperPipeline, GovernorConfig, PerfectChannel,
+};
 use cooper_exec::Executor;
 use cooper_lidar_sim::{scenario, BeamModel, FaultPlan, LidarScanner};
 use cooper_pointcloud::roi::RoiCategory;
 use cooper_spod::{DetectOptions, DetectScratch, SpodConfig, SpodDetector};
+use cooper_telemetry::names;
 use cooper_v2x::{
-    ArqConfig, DsrcChannel, DsrcConfig, ExchangeScheduler, GilbertElliott, LossModel, SharedMedium,
+    ArqConfig, BandwidthGovernor, DsrcChannel, DsrcConfig, ExchangeScheduler, GilbertElliott,
+    LossModel, SharedMedium,
 };
 
 fn pipeline() -> CooperPipeline {
@@ -112,6 +116,41 @@ fn featurize_and_fleet_are_identical_at_1_2_4_threads() {
         let parallel = fleet(Some(threads)).run(&p, 2);
         assert_reports_identical(&serial, &parallel);
     }
+}
+
+#[test]
+fn feature_fused_governed_run_is_thread_count_invariant() {
+    // The feature-exchange tier adds per-vehicle featurization to the
+    // parallel scan phase and BEV-level fusion to the parallel perceive
+    // phase; neither may introduce thread-count dependence. Reports of
+    // a governed feature-preferring run must stay bit-identical at
+    // 1/2/4 worker threads.
+    let p = pipeline();
+    let governor = GovernorConfig {
+        features: true,
+        ..GovernorConfig::default()
+    };
+    let run = |threads: Option<usize>| {
+        let mut channel = PerfectChannel;
+        let mut policy = BandwidthGovernor::default().with_features();
+        fleet(threads).run_governed(&p, 2, &mut channel, &mut policy, &governor)
+    };
+    cooper_telemetry::enable();
+    let serial = run(Some(1));
+    let snapshot = cooper_telemetry::snapshot();
+    cooper_telemetry::disable();
+    for threads in [2usize, 4] {
+        assert_reports_identical(&serial, &run(Some(threads)));
+    }
+    // The run really exchanged feature frames, not points.
+    assert!(
+        snapshot
+            .counters
+            .iter()
+            .any(|(name, value)| name == names::FLEET_FEATURE_SENDS && *value > 0),
+        "feature tier never engaged"
+    );
+    assert!(serial.1.total_bytes > 0);
 }
 
 #[test]

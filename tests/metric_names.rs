@@ -50,10 +50,13 @@ fn every_emitted_name_is_registered() {
     }))
     .with_seed(7)
     .with_arq(ArqConfig::default());
-    let mut policy = BandwidthGovernor::new(RoiCategory::FullFrame);
+    // Feature preference + feature tier: the v3 codec ratio, feature
+    // send counters and the BEV-fusion span all get emitted too.
+    let mut policy = BandwidthGovernor::new(RoiCategory::FullFrame).with_features();
     let governor = GovernorConfig {
         delta_encode: true,
         keyframe_every: 2,
+        features: true,
         ..GovernorConfig::default()
     };
 
