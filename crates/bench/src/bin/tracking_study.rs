@@ -3,14 +3,17 @@
 //!
 //! §II-A says CAVs "monitor the motion \[of\] surrounding vehicles"; the
 //! paper itself stops at per-frame detection. This binary closes the
-//! loop: a two-vehicle convoy on the highway scenario runs a
-//! nearest-neighbour tracker over its detections, once on single-shot
-//! frames and once on fused frames, and compares confirmed-track yield
-//! and velocity-estimate quality against the known 25 m/s ground truth.
+//! loop: a two-vehicle convoy on the highway scenario runs the
+//! pipeline's track-level temporal fusion
+//! ([`CooperPipeline::with_tracker`]) over its detections, once on
+//! single-shot frames and once on fused frames, and compares
+//! confirmed-track yield and velocity-estimate quality against the
+//! known 25 m/s ground truth. Results are appended to the bench
+//! regression ledger.
 
-use cooper_bench::{output_dir, render_csv, render_table, standard_pipeline, write_artifact};
+use cooper_bench::{ledger, output_dir, render_table, standard_pipeline};
 use cooper_core::report::EvaluationConfig;
-use cooper_core::tracking::{Tracker, TrackerConfig};
+use cooper_core::tracking::TrackerConfig;
 use cooper_core::{CooperPipeline, ExchangePacket};
 use cooper_lidar_sim::scenario::highway;
 use cooper_lidar_sim::{LidarScanner, PoseEstimate};
@@ -27,18 +30,9 @@ fn run_tracking(pipeline: &CooperPipeline, cooperative: bool) -> RunStats {
     let scanner = LidarScanner::new(scene.kind.beam_model());
     let (rx, tx) = scene.pairs[0];
     let dt = 0.5f64;
-    // The tracker gate must admit a 25 m/s car moving 12.5 m per frame:
-    // prediction covers the motion once velocity converges, but the
-    // first re-association needs a generous gate.
-    let mut tracker = Tracker::new(TrackerConfig {
-        gate_distance: 14.0,
-        // Fast gains: at 25 m/s and 0.5 s frames the velocity estimate
-        // must converge within ~2 associations or the gate loses the
-        // track.
-        alpha: 0.8,
-        beta: 0.7,
-        ..TrackerConfig::default()
-    });
+    let mut tracker = pipeline
+        .make_tracker()
+        .expect("the pipeline is built with a tracker");
 
     let mut world = scene.world.clone();
     for step in 0..8u64 {
@@ -80,17 +74,35 @@ fn run_tracking(pipeline: &CooperPipeline, cooperative: bool) -> RunStats {
 
 fn main() {
     eprintln!("training SPOD detector…");
-    let pipeline = standard_pipeline();
+    // The tracker gate must admit a 25 m/s car moving 12.5 m per frame:
+    // prediction covers the motion once velocity converges, but the
+    // first re-association needs a generous gate — and fast gains, so
+    // the velocity estimate converges within ~2 associations.
+    let pipeline = standard_pipeline().with_tracker(TrackerConfig {
+        gate_distance: 14.0,
+        alpha: 0.8,
+        beta: 0.7,
+        ..TrackerConfig::default()
+    });
 
     println!("=== Extension: tracking moving traffic (highway, 8 frames) ===\n");
     let mut rows = Vec::new();
-    for (label, cooperative) in [("single shot", false), ("cooperative", true)] {
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    for (label, key, cooperative) in [
+        ("single shot", "single", false),
+        ("cooperative", "coop", true),
+    ] {
         let stats = run_tracking(&pipeline, cooperative);
         let mean_err = if stats.velocity_errors.is_empty() {
             f64::NAN
         } else {
             stats.velocity_errors.iter().sum::<f64>() / stats.velocity_errors.len() as f64
         };
+        metrics.push((format!("{key}_confirmed"), stats.confirmed as f64));
+        metrics.push((format!("{key}_moving"), stats.moving as f64));
+        if mean_err.is_finite() {
+            metrics.push((format!("{key}_speed_error_m_s"), mean_err));
+        }
         rows.push(vec![
             label.to_string(),
             stats.confirmed.to_string(),
@@ -108,9 +120,11 @@ fn main() {
     println!("Shape check: fused frames confirm more tracks (the cooperator sees");
     println!("traffic the ego vehicle's own returns are too thin to hold), closing");
     println!("the paper's §II-A motion-monitoring loop on top of raw fusion.");
-    write_artifact(
-        output_dir().as_deref(),
-        "tracking_study.csv",
-        &render_csv(&headers, &rows),
-    );
+
+    let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let record = ledger::BenchRecord::new("tracking_study", &metric_refs);
+    let dir = output_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
+    if let Err(e) = ledger::append(&dir.join(ledger::HISTORY_FILE), &record) {
+        eprintln!("warning: cannot append to bench ledger: {e}");
+    }
 }

@@ -179,6 +179,10 @@ pub fn tolerance_for(bench: &str, metric: &str) -> Option<Tolerance> {
         ("fault_sweep", "guard_on_recall") => t(Direction::HigherIsBetter, 0.0, 0.02),
         // The determinism contract is binary: 1.0 or the build is wrong.
         ("parallel_fleet", "deterministic") => t(Direction::HigherIsBetter, 0.0, 0.0),
+        // Incremental perception is an optimisation, never a semantic
+        // change: its detections must stay bit-identical to the
+        // from-scratch path, with zero slack.
+        ("temporal_sweep", "bit_identical") => t(Direction::HigherIsBetter, 0.0, 0.0),
         _ => None,
     }
 }
@@ -228,6 +232,14 @@ pub fn floor_for(bench: &str, metric: &str) -> Option<Floor> {
         ("parallel_fleet", "speedup_4_threads") => Some(Floor {
             min: 2.5,
             gate: Some(("hardware_threads", 4.0)),
+        }),
+        // The incremental-perception cache must make an unchanged scene
+        // at least 2x cheaper per step than re-perceiving from scratch.
+        // Pure algorithmic reuse on a fixed workload — no hardware
+        // gate: any host can express it.
+        ("temporal_sweep", "low_change_speedup") => Some(Floor {
+            min: 2.0,
+            gate: None,
         }),
         _ => None,
     }
@@ -467,6 +479,34 @@ mod tests {
             &[("speedup_4_threads", 0.9)],
         )];
         assert!(!check_history(&legacy).failed());
+    }
+
+    #[test]
+    fn temporal_sweep_floor_and_bit_identity_gate() {
+        // The 2x low-change floor is absolute and ungated: a first
+        // record below it already fails.
+        let slow = [BenchRecord::new(
+            "temporal_sweep",
+            &[("bit_identical", 1.0), ("low_change_speedup", 1.4)],
+        )];
+        assert!(check_history(&slow).failed(), "1.4x is below the 2x floor");
+        let ok = [BenchRecord::new(
+            "temporal_sweep",
+            &[("bit_identical", 1.0), ("low_change_speedup", 2.4)],
+        )];
+        assert!(!check_history(&ok).failed());
+        // Bit identity gates with zero slack.
+        let diverged = [
+            BenchRecord::new(
+                "temporal_sweep",
+                &[("bit_identical", 1.0), ("low_change_speedup", 3.0)],
+            ),
+            BenchRecord::new(
+                "temporal_sweep",
+                &[("bit_identical", 0.0), ("low_change_speedup", 3.0)],
+            ),
+        ];
+        assert!(check_history(&diverged).failed());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use cooper_core::channel::{ChannelModel, PerfectChannel};
 use cooper_core::fleet::TransportDropReason;
 use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle};
 use cooper_core::report::{evaluate_pair, EvaluationConfig};
+use cooper_core::tracking::TrackerConfig;
 use cooper_core::viz::{render_bev, BevViewConfig};
 use cooper_core::{AlignmentGuardConfig, CooperPipeline, ExchangePacket, GovernorConfig};
 use cooper_geometry::{GpsFix, Pose, Vec3};
@@ -96,7 +97,9 @@ const BARE_FLAGS: &[&str] = &[
     "--delta-encode",
     "--features",
     "--help",
+    "--incremental",
     "--telemetry",
+    "--tracker",
 ];
 
 /// Parses raw arguments (without the program name).
@@ -150,6 +153,7 @@ USAGE:
                    [--roi full|front120|forward] [--delta-encode] [--keyframe-every N]
                    [--features] [--fusion max|adaptive]
                    [--fault-plan SPEC] [--align-guard] [--icp-iters N]
+                   [--tracker] [--incremental]
   cooper profile   --scenario NAME [--vehicles N] [--steps N] [--threads N] [--seed N]
                    [--trace-out trace.json]
   cooper convert   --input a.xyz|a.ply|a.pcd --out b.xyz|b.ply|b.pcd
@@ -175,6 +179,14 @@ quantized BEV feature maps (wire-format v3) next to the raw frames and
 a feature-preferring governor ships those instead of points; receivers
 fuse them ahead of the detection head, elementwise max by default or
 confidence-weighted with --fusion adaptive.
+--tracker smooths each vehicle's cooperative detections across steps
+with a track-level temporal filter (nearest-neighbour association,
+confirm-after-2-hits, coast-through-misses): per-vehicle confirmed and
+coasting track counts join the step lines and a per-vehicle tracker
+summary is printed after the run. --incremental keeps a per-vehicle
+perception cache across steps and routes detection through the
+incremental SPOD path, so per-step perceive cost scales with how much
+the scene changed; the printed reports are bit-identical either way.
 --fault-plan injects pose faults into the fleet's exchanged estimates;
 the spec is comma-separated VEHICLE:KIND[:PARAMS][@FROM[..UNTIL]]
 entries with kinds drift:SIGMA, bias:EAST:NORTH, yaw:RAD, freeze and
@@ -649,6 +661,10 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
             if parsed.options.contains_key("--icp-iters") && !align_guard {
                 return Err(CliError::usage("--icp-iters requires --align-guard"));
             }
+            // Temporal flags: track-level fusion and incremental
+            // (change-proportional) perception.
+            let tracker = parsed.options.contains_key("--tracker");
+            let incremental = parsed.options.contains_key("--incremental");
             let icp_iters: usize = get_parse(
                 &parsed.options,
                 "--icp-iters",
@@ -687,6 +703,12 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                 pipeline = pipeline.with_alignment_guard(
                     AlignmentGuardConfig::default().with_max_icp_iters(icp_iters),
                 );
+            }
+            if tracker {
+                pipeline = pipeline.with_tracker(TrackerConfig::default());
+            }
+            if incremental {
+                pipeline = pipeline.with_incremental();
             }
             let origin = GpsFix::new(33.2075, -97.1526, 190.0);
             let est_rx = PoseEstimate::from_pose(&scene.observers[rx], &origin);
@@ -780,8 +802,16 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
             );
             for report in &reports {
                 for v in &report.per_vehicle {
+                    let track_suffix = if tracker {
+                        format!(
+                            " tracks {} ({} coasting)",
+                            v.confirmed_tracks, v.coasting_tracks
+                        )
+                    } else {
+                        String::new()
+                    };
                     println!(
-                        "  step {} v{}: single {} coop {} rx {} partial {} drops {} bytes {}",
+                        "  step {} v{}: single {} coop {} rx {} partial {} drops {} bytes {}{}",
                         report.step,
                         v.vehicle_id,
                         v.single_detections,
@@ -789,7 +819,8 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                         v.packets_received,
                         v.packets_partial,
                         v.packets_dropped,
-                        v.bytes_received
+                        v.bytes_received,
+                        track_suffix
                     );
                 }
                 for drop in &report.encode_drops {
@@ -839,6 +870,15 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                 println!("governor bytes saved: {saved}");
                 for (id, bytes) in &stats.bytes_saved {
                     println!("  v{id}: {bytes} bytes saved");
+                }
+            }
+            if tracker {
+                for (id, t) in &stats.tracks {
+                    println!(
+                        "  v{id} tracker: {} detections in, {} matched, {} spawned, \
+                         {} promoted, {} coasted, {} dropped",
+                        t.detections_in, t.matched, t.spawned, t.promoted, t.coasted, t.dropped
+                    );
                 }
             }
             if align_guard {
@@ -1211,6 +1251,45 @@ mod tests {
             "iid",
             "--loss",
             "0.1",
+        ]))
+        .unwrap())
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_runs_temporal_flags() {
+        // Tracker + incremental perception over the governed delta
+        // exchange: the full temporal composition must run end to end.
+        run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--seconds",
+            "2",
+            "--delta-encode",
+            "--tracker",
+            "--incremental",
+        ]))
+        .unwrap())
+        .unwrap();
+        // Each flag also works alone.
+        run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--seconds",
+            "1",
+            "--tracker",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse_args(&args(&[
+            "simulate",
+            "--scenario",
+            "tj1",
+            "--seconds",
+            "1",
+            "--incremental",
         ]))
         .unwrap())
         .unwrap();

@@ -49,7 +49,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::channel::{ChannelModel, Delivery, PerfectChannel, TransferCtx};
 use crate::governor::{GovernorConfig, GovernorPolicy, GovernorVerdict, TransferCandidate};
-use crate::{CooperError, CooperPipeline, ExchangePacket, GuardDecision, TransferOffer};
+use crate::tracking::{Tracker, TrackerStepSummary};
+use crate::{
+    CooperError, CooperPipeline, Detection, ExchangePacket, GuardDecision, PerceptionCache,
+    TransferOffer,
+};
 
 /// One vehicle in the fleet: an id, a pose trajectory (one pose per
 /// step) and its LiDAR unit.
@@ -178,6 +182,14 @@ pub struct VehicleStepReport {
     pub packets_partial: usize,
     /// Exchange bytes received this step.
     pub bytes_received: usize,
+    /// Confirmed tracks held by this vehicle's tracker after the step's
+    /// update. Zero when the pipeline has no tracker
+    /// ([`CooperPipeline::with_tracker`]).
+    pub confirmed_tracks: usize,
+    /// Of the confirmed tracks, how many are coasting — held alive
+    /// through a momentary miss instead of being re-detected this step.
+    /// Zero when the pipeline has no tracker.
+    pub coasting_tracks: usize,
 }
 
 /// Why an in-range transfer the channel was asked about did not arrive
@@ -339,6 +351,11 @@ pub struct FleetStats {
     /// the whole run. Empty when the pipeline has no guard (or nothing
     /// was received). Ordered map, so iteration is deterministic.
     pub alignment: BTreeMap<u32, AlignmentVehicleStats>,
+    /// Per vehicle, what its tracker did over the whole run. Empty when
+    /// the pipeline has no tracker
+    /// ([`CooperPipeline::with_tracker`]). Ordered map, so iteration is
+    /// deterministic.
+    pub tracks: BTreeMap<u32, TrackVehicleStats>,
 }
 
 impl FleetStats {
@@ -384,6 +401,37 @@ impl AlignmentVehicleStats {
         if record.residual_after_m.is_finite() {
             self.residual_after_m_sum += record.residual_after_m;
         }
+    }
+}
+
+/// One vehicle's aggregate tracker activity over a run — what happened
+/// to its cooperative detections once the temporal layer smoothed them
+/// across steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackVehicleStats {
+    /// Cooperative detections fed into the tracker.
+    pub detections_in: u64,
+    /// Detections associated with an existing track.
+    pub matched: u64,
+    /// New tentative tracks spawned from unmatched detections.
+    pub spawned: u64,
+    /// Tracks promoted to confirmed.
+    pub promoted: u64,
+    /// Confirmed tracks that coasted through a missed step.
+    pub coasted: u64,
+    /// Tracks dropped after exhausting their miss budget.
+    pub dropped: u64,
+}
+
+impl TrackVehicleStats {
+    /// Folds one step's tracker summary into the aggregate.
+    fn absorb(&mut self, detections_in: usize, summary: &TrackerStepSummary) {
+        self.detections_in += detections_in as u64;
+        self.matched += summary.matched as u64;
+        self.spawned += summary.spawned as u64;
+        self.promoted += summary.promoted as u64;
+        self.coasted += summary.coasted as u64;
+        self.dropped += summary.dropped as u64;
     }
 }
 
@@ -433,6 +481,10 @@ enum PerceiveTaskOutput {
     Single(usize),
     Cooperative {
         report: VehicleStepReport,
+        /// The cooperative detections themselves — the serial merge
+        /// loop feeds them to the vehicle's tracker (when the pipeline
+        /// has one) in fleet order, keeping track state deterministic.
+        detections: Vec<Detection>,
         align_drops: Vec<TransportDrop>,
         align_stats: AlignmentVehicleStats,
     },
@@ -649,6 +701,25 @@ impl FleetSimulation {
         let mut reports = Vec::with_capacity(steps);
         let mut stats = FleetStats::default();
         let mut world = self.world.clone();
+        // Per-vehicle temporal state, persistent across steps: a
+        // tracker when the pipeline enables track-level fusion, and a
+        // perception cache when it enables incremental perception. Both
+        // are indexed like `vehicles`; each cache is touched only by
+        // its own vehicle's phase-3 tasks, so the parallel fan-out
+        // stays deterministic.
+        let mut trackers: Vec<Option<Tracker>> = self
+            .vehicles
+            .iter()
+            .map(|_| pipeline.make_tracker())
+            .collect();
+        let caches: Vec<PerceptionCache> = if pipeline.incremental() {
+            self.vehicles
+                .iter()
+                .map(|_| PerceptionCache::new())
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         for step in 0..steps {
             let _step_span = cooper_telemetry::span!(telemetry_names::SPAN_FLEET_STEP);
@@ -857,11 +928,22 @@ impl FleetSimulation {
             let phase3: Vec<PerceiveTaskOutput> = {
                 let _perceive_span = cooper_telemetry::span!(telemetry_names::SPAN_FLEET_PERCEIVE);
                 executor.map_in(&tasks, DetectScratch::new, |_, task, scratch| match *task {
-                    PerceiveTask::Single(i) => PerceiveTaskOutput::Single(
-                        pipeline
-                            .perceive_single_with(&broadcasts[i].scan, &inner, scratch)
-                            .len(),
-                    ),
+                    PerceiveTask::Single(i) => {
+                        PerceiveTaskOutput::Single(if pipeline.incremental() {
+                            pipeline
+                                .perceive_single_cached(
+                                    &broadcasts[i].scan,
+                                    &inner,
+                                    scratch,
+                                    &caches[i],
+                                )
+                                .len()
+                        } else {
+                            pipeline
+                                .perceive_single_with(&broadcasts[i].scan, &inner, scratch)
+                                .len()
+                        })
+                    }
                     PerceiveTask::Cooperative(i) => {
                         let me = &broadcasts[i];
                         let id = self.vehicles[i].id;
@@ -883,14 +965,26 @@ impl FleetSimulation {
                             }
                             None => clean,
                         };
-                        let outcome = pipeline.perceive_with(
-                            &me.scan,
-                            &my_estimate,
-                            &inboxes[i],
-                            &self.config.origin,
-                            &inner,
-                            scratch,
-                        );
+                        let outcome = if pipeline.incremental() {
+                            pipeline.perceive_cached(
+                                &me.scan,
+                                &my_estimate,
+                                &inboxes[i],
+                                &self.config.origin,
+                                &inner,
+                                scratch,
+                                &caches[i],
+                            )
+                        } else {
+                            pipeline.perceive_with(
+                                &me.scan,
+                                &my_estimate,
+                                &inboxes[i],
+                                &self.config.origin,
+                                &inner,
+                                scratch,
+                            )
+                        };
                         let mut align_stats = AlignmentVehicleStats::default();
                         for record in &outcome.alignment {
                             align_stats.absorb(record);
@@ -950,9 +1044,12 @@ impl FleetSimulation {
                             packets_dropped: outcome.drops.len(),
                             packets_partial: partial_counts[i],
                             bytes_received: bytes_received[i],
+                            confirmed_tracks: 0,
+                            coasting_tracks: 0,
                         };
                         PerceiveTaskOutput::Cooperative {
                             report,
+                            detections: outcome.detections,
                             align_drops,
                             align_stats,
                         }
@@ -961,10 +1058,12 @@ impl FleetSimulation {
             };
             // Serial merge in fleet order: results arrive in input order
             // (Single(i) at 2i, Cooperative(i) at 2i+1), so zip the
-            // pairs back into one report per vehicle.
+            // pairs back into one report per vehicle. Tracker updates
+            // happen here rather than inside the parallel tasks so the
+            // temporal state advances in one global order.
             let mut per_vehicle = Vec::with_capacity(broadcasts.len());
             let mut outputs = phase3.into_iter();
-            for i in 0..broadcasts.len() {
+            for (i, tracker_slot) in trackers.iter_mut().enumerate() {
                 let (Some(single_out), Some(coop_out)) = (outputs.next(), outputs.next()) else {
                     unreachable!("phase 3 returns two outputs per vehicle");
                 };
@@ -973,6 +1072,7 @@ impl FleetSimulation {
                 };
                 let PerceiveTaskOutput::Cooperative {
                     mut report,
+                    detections,
                     align_drops,
                     align_stats,
                 } = coop_out
@@ -980,6 +1080,39 @@ impl FleetSimulation {
                     unreachable!("phase-3 results keep input order");
                 };
                 report.single_detections = single;
+                if let Some(tracker) = tracker_slot.as_mut() {
+                    let summary = tracker.update(&detections, self.config.step_duration_s);
+                    let (_tentative, confirmed, coasting) = tracker.state_counts();
+                    report.confirmed_tracks = confirmed;
+                    report.coasting_tracks = coasting;
+                    stats
+                        .tracks
+                        .entry(self.vehicles[i].id)
+                        .or_default()
+                        .absorb(detections.len(), &summary);
+                    if cooper_telemetry::is_enabled() {
+                        cooper_telemetry::counter_add(
+                            telemetry_names::TRACK_DETECTIONS_IN,
+                            detections.len() as u64,
+                        );
+                        cooper_telemetry::counter_add(
+                            telemetry_names::TRACK_SPAWNED,
+                            summary.spawned as u64,
+                        );
+                        cooper_telemetry::counter_add(
+                            telemetry_names::TRACK_PROMOTED,
+                            summary.promoted as u64,
+                        );
+                        cooper_telemetry::counter_add(
+                            telemetry_names::TRACK_COASTED,
+                            summary.coasted as u64,
+                        );
+                        cooper_telemetry::counter_add(
+                            telemetry_names::TRACK_DROPPED,
+                            summary.dropped as u64,
+                        );
+                    }
+                }
                 if align_stats.evaluated > 0 {
                     let entry = stats.alignment.entry(self.vehicles[i].id).or_default();
                     entry.evaluated += align_stats.evaluated;
@@ -1025,7 +1158,9 @@ impl FleetSimulation {
                         .with("cooperative_detections", v.cooperative_detections)
                         .with("packets_received", v.packets_received)
                         .with("packets_dropped", v.packets_dropped)
-                        .with("bytes_received", v.bytes_received),
+                        .with("bytes_received", v.bytes_received)
+                        .with("confirmed_tracks", v.confirmed_tracks)
+                        .with("coasting_tracks", v.coasting_tracks),
                     );
                 }
             }
@@ -2171,6 +2306,95 @@ mod tests {
                 assert_eq!(v.packets_received, 1);
                 assert_eq!(v.packets_dropped, 0);
             }
+        }
+    }
+
+    #[test]
+    fn incremental_fleet_matches_from_scratch() {
+        // Same fleet, same seed: routing phase 3 through the per-vehicle
+        // perception caches must leave the deterministic report surface
+        // bit-identical to the stateless path.
+        let sim = small_fleet();
+        let (base, base_stats) = sim.run(&pipeline(), 3);
+        let (inc, inc_stats) = sim.run(&pipeline().with_incremental(), 3);
+        assert_eq!(base_stats, inc_stats);
+        for (a, b) in base.iter().zip(&inc) {
+            assert_eq!(a.deterministic_view(), b.deterministic_view());
+        }
+    }
+
+    #[test]
+    fn tracker_enabled_run_fills_track_stats() {
+        use crate::tracking::TrackerConfig;
+        let sim = small_fleet();
+        let p = pipeline().with_tracker(TrackerConfig::default());
+        let (reports, stats) = sim.run(&p, 3);
+        // Every vehicle's tracker ran every step, so both appear in the
+        // aggregate even if the untrained detector produced nothing.
+        assert_eq!(stats.tracks.len(), 2);
+        for (vehicle, t) in &stats.tracks {
+            assert!(
+                t.detections_in
+                    == reports
+                        .iter()
+                        .flat_map(|r| &r.per_vehicle)
+                        .filter(|v| v.vehicle_id == *vehicle)
+                        .map(|v| v.cooperative_detections as u64)
+                        .sum::<u64>(),
+                "tracker input must equal the cooperative detections"
+            );
+            assert!(t.matched + t.spawned <= t.detections_in + t.spawned);
+        }
+        for r in &reports {
+            for v in &r.per_vehicle {
+                assert!(v.coasting_tracks <= v.confirmed_tracks);
+            }
+        }
+        // Without a tracker the aggregate (and the report fields) stay
+        // empty.
+        let (plain_reports, plain_stats) = sim.run(&pipeline(), 1);
+        assert!(plain_stats.tracks.is_empty());
+        for v in &plain_reports[0].per_vehicle {
+            assert_eq!(v.confirmed_tracks, 0);
+            assert_eq!(v.coasting_tracks, 0);
+        }
+    }
+
+    #[test]
+    fn tracked_incremental_reports_identical_across_thread_counts() {
+        use crate::tracking::TrackerConfig;
+        let scene = scenario::tj_scenario_1();
+        let build = |threads: Option<usize>| {
+            let vehicles = vec![
+                FleetVehicle {
+                    id: 1,
+                    trajectory: straight_trajectory(scene.observers[0], 1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+                FleetVehicle {
+                    id: 2,
+                    trajectory: straight_trajectory(scene.observers[1], 1.0, 3),
+                    beams: BeamModel::vlp16().with_azimuth_steps(200),
+                },
+            ];
+            FleetSimulation::new(
+                scene.world.clone(),
+                vehicles,
+                FleetConfig {
+                    seed: 7,
+                    threads,
+                    ..FleetConfig::default()
+                },
+            )
+        };
+        let p = pipeline()
+            .with_tracker(TrackerConfig::default())
+            .with_incremental();
+        let (serial, serial_stats) = build(Some(1)).run(&p, 2);
+        let (parallel, parallel_stats) = build(Some(4)).run(&p, 2);
+        assert_eq!(serial_stats, parallel_stats);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.deterministic_view(), b.deterministic_view());
         }
     }
 

@@ -86,7 +86,9 @@ pub use governor::{
     GovernorConfig, GovernorPolicy, GovernorVerdict, TransferCandidate, TransferOffer,
 };
 pub use packet::ExchangePacket;
-pub use pipeline::{AlignmentRecord, CooperPipeline, CooperativeResult, FusionOutcome, PacketDrop};
+pub use pipeline::{
+    AlignmentRecord, CooperPipeline, CooperativeResult, FusionOutcome, PacketDrop, PerceptionCache,
+};
 pub use request::{requests_from_blind_zones, respond_to_roi_request, RoiRequest};
 pub use stats::{CooperDifficulty, DistanceBand, ScoreImprovement};
 

@@ -1,20 +1,60 @@
 //! The cooperative-perception pipeline: fuse, then detect.
 
+use std::sync::Mutex;
+
 use cooper_exec::Executor;
-use cooper_geometry::GpsFix;
+use cooper_geometry::{GpsFix, Pose};
 use cooper_lidar_sim::{ObjectClass, PoseEstimate};
 use cooper_pointcloud::{FrameKind, PointCloud};
 use cooper_spod::bev::{BevMap, Z_STRUCTURE_CHANNELS};
 use cooper_spod::{
     fuse_bev, transform_bev, DetectOptions, DetectScratch, Detection, FeatureFusionMode,
-    SpodDetector,
+    FeaturizeCache, SpodDetector,
 };
 use cooper_telemetry::names as telemetry_names;
 
+use crate::temporal::TemporalAggregator;
+use crate::tracking::{Tracker, TrackerConfig};
 use crate::{
     alignment_transform, guard_alignment, AlignmentGuardConfig, CooperError, ExchangePacket,
     GuardDecision,
 };
+
+/// Per-receiver carried perception state for the incremental perceive
+/// paths ([`CooperPipeline::perceive_single_cached`] /
+/// [`CooperPipeline::perceive_cached`]).
+///
+/// A receiver runs two detection streams per step — its own scan and
+/// the cooperative fused cloud — whose inputs evolve independently, so
+/// each stream gets its own [`FeaturizeCache`]. The fields are wrapped
+/// in mutexes so a fleet can hold one `PerceptionCache` per vehicle in
+/// a shared slice while its single/cooperative perceive tasks run on
+/// different workers; each stream's cache is only ever locked by that
+/// stream's task, so lock order cannot affect results.
+#[derive(Debug, Default)]
+pub struct PerceptionCache {
+    single: Mutex<FeaturizeCache>,
+    cooperative: Mutex<FeaturizeCache>,
+}
+
+impl PerceptionCache {
+    /// An empty cache; first perceives through it run from scratch.
+    pub fn new() -> Self {
+        PerceptionCache::default()
+    }
+
+    /// Drops all carried state for both streams.
+    pub fn clear(&self) {
+        self.single
+            .lock()
+            .expect("perception cache poisoned")
+            .clear();
+        self.cooperative
+            .lock()
+            .expect("perception cache poisoned")
+            .clear();
+    }
+}
 
 /// The outcome of one cooperative perception step.
 #[derive(Debug, Clone)]
@@ -222,6 +262,8 @@ pub struct CooperPipeline {
     score_threshold: f32,
     guard: Option<AlignmentGuardConfig>,
     fusion_mode: FeatureFusionMode,
+    tracker: Option<TrackerConfig>,
+    incremental: bool,
 }
 
 impl CooperPipeline {
@@ -234,7 +276,51 @@ impl CooperPipeline {
             score_threshold,
             guard: None,
             fusion_mode: FeatureFusionMode::Max,
+            tracker: None,
+            incremental: false,
         }
+    }
+
+    /// Enables track-level temporal fusion: fleet runs keep one
+    /// [`Tracker`] per vehicle and feed it the cooperative detections
+    /// every step, smoothing positions and carrying confidence across
+    /// detection gaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`TrackerConfig::validate`].
+    pub fn with_tracker(mut self, config: TrackerConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid tracker config: {msg}");
+        }
+        self.tracker = Some(config);
+        self
+    }
+
+    /// The tracker configuration, when track-level fusion is enabled.
+    pub fn tracker_config(&self) -> Option<&TrackerConfig> {
+        self.tracker.as_ref()
+    }
+
+    /// A fresh tracker built from the configured parameters, or `None`
+    /// when tracking is not enabled.
+    pub fn make_tracker(&self) -> Option<Tracker> {
+        self.tracker.map(Tracker::new)
+    }
+
+    /// Enables incremental perception: fleet runs keep one
+    /// [`PerceptionCache`] per vehicle and route detection through
+    /// [`SpodDetector::detect_incremental`], so per-step perceive cost
+    /// scales with scene *change* instead of scene *size*. Results are
+    /// bit-identical to the from-scratch path.
+    pub fn with_incremental(mut self) -> Self {
+        self.incremental = true;
+        self
+    }
+
+    /// `true` when incremental perception is enabled.
+    pub fn incremental(&self) -> bool {
+        self.incremental
     }
 
     /// Overrides the detection score threshold.
@@ -298,6 +384,45 @@ impl CooperPipeline {
             .with_threshold(self.score_threshold)
             .with_executor(*executor);
         self.detector.detect_with(cloud, &options, scratch)
+    }
+
+    /// [`perceive_single_with`](Self::perceive_single_with) with
+    /// change-proportional cost: carries perception state in `cache`
+    /// across steps and recomputes only what the scan changed
+    /// ([`SpodDetector::detect_incremental`]). Bit-identical to the
+    /// from-scratch path on any input.
+    pub fn perceive_single_cached(
+        &self,
+        cloud: &PointCloud,
+        executor: &Executor,
+        scratch: &mut DetectScratch,
+        cache: &PerceptionCache,
+    ) -> Vec<Detection> {
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_PIPELINE_PERCEIVE_SINGLE);
+        let options = DetectOptions::default()
+            .with_class(ObjectClass::Car)
+            .with_threshold(self.score_threshold)
+            .with_executor(*executor);
+        let mut stream = cache.single.lock().expect("perception cache poisoned");
+        self.detector
+            .detect_incremental(cloud, &options, scratch, &mut stream)
+    }
+
+    /// Temporal self-fusion perception — the paper's Figure-2 procedure
+    /// as an online step: fuse the retained past frames into the
+    /// current scan's frame ([`TemporalAggregator::fused_in`]), detect
+    /// on the densified union, then record the current frame for future
+    /// steps.
+    pub fn perceive_temporal(
+        &self,
+        aggregator: &mut TemporalAggregator,
+        pose: &Pose,
+        scan: &PointCloud,
+    ) -> Vec<Detection> {
+        let fused = aggregator.fused_in(pose, scan);
+        let detections = self.perceive_single(&fused);
+        aggregator.push(*pose, scan.clone());
+        detections
     }
 
     /// Single-shot perception over all target classes.
@@ -452,6 +577,61 @@ impl CooperPipeline {
             fuse_bev(&maps, self.fusion_mode)
         };
         let detections = self.detector.detect_bev(&fused_bev, &options);
+        FusionOutcome {
+            fused_cloud,
+            detections,
+            packets_fused: fused_count,
+            drops,
+            alignment,
+        }
+    }
+
+    /// [`perceive_with`](Self::perceive_with) with change-proportional
+    /// cost: the fused point cloud is detected through the cooperative
+    /// stream of `cache`, so steps whose fused cloud is bitwise-stable
+    /// (static scenes, delta-frame reconstructions) skip most of the
+    /// SPOD trunk. Bit-identical to the from-scratch path.
+    ///
+    /// Inboxes containing v3 feature frames fall back to
+    /// [`perceive_with`](Self::perceive_with) — feature fusion happens
+    /// at the BEV level, past the stages the cache carries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn perceive_cached(
+        &self,
+        local_cloud: &PointCloud,
+        local_pose: &PoseEstimate,
+        packets: &[ExchangePacket],
+        origin: &GpsFix,
+        executor: &Executor,
+        scratch: &mut DetectScratch,
+        cache: &PerceptionCache,
+    ) -> FusionOutcome {
+        let any_features = packets.iter().any(|packet| {
+            packet
+                .frame_info()
+                .is_ok_and(|info| info.kind == FrameKind::Features)
+        });
+        if any_features {
+            return self.perceive_with(local_cloud, local_pose, packets, origin, executor, scratch);
+        }
+        let _span = cooper_telemetry::span!(telemetry_names::SPAN_PIPELINE_PERCEIVE);
+        let (fused_cloud, fused_count, drops, alignment) = fuse_packets(
+            local_cloud,
+            local_pose,
+            packets,
+            origin,
+            self.guard.as_ref(),
+        );
+        let detections = {
+            let _single = cooper_telemetry::span!(telemetry_names::SPAN_PIPELINE_PERCEIVE_SINGLE);
+            let options = DetectOptions::default()
+                .with_class(ObjectClass::Car)
+                .with_threshold(self.score_threshold)
+                .with_executor(*executor);
+            let mut stream = cache.cooperative.lock().expect("perception cache poisoned");
+            self.detector
+                .detect_incremental(&fused_cloud, &options, scratch, &mut stream)
+        };
         FusionOutcome {
             fused_cloud,
             detections,
@@ -733,6 +913,114 @@ mod tests {
         assert_eq!(outcome.drops[0].index, 1);
         assert_eq!(outcome.drops[0].vehicle_id, 3);
         assert_eq!(outcome.drops[0].error.kind(), "feature_mismatch");
+    }
+
+    #[test]
+    fn perceive_cached_matches_perceive_over_steps() {
+        let pipeline = untrained_pipeline().with_score_threshold(0.4);
+        let scene = scenario::tj_scenario_1();
+        let scanner = LidarScanner::new(scene.kind.beam_model().noiseless());
+        let rx_pose = scene.observers[0];
+        let rx_est = PoseEstimate::from_pose(&rx_pose, &origin());
+        let local = scanner.scan(&scene.world, &rx_pose, 1);
+        let cache = PerceptionCache::new();
+        let executor = Executor::sequential();
+        let mut scratch = DetectScratch::new();
+        // Three steps: the sender's scan changes, repeats, then changes
+        // again — every step must match the uncached path bit for bit.
+        for seed in [2u64, 2, 5] {
+            let tx_pose = scene.observers[1];
+            let remote = scanner.scan(&scene.world, &tx_pose, seed);
+            let tx_est = PoseEstimate::from_pose(&tx_pose, &origin());
+            let packet = ExchangePacket::build(2, 0, &remote, tx_est).unwrap();
+            let cached = pipeline.perceive_cached(
+                &local,
+                &rx_est,
+                &[packet.clone()],
+                &origin(),
+                &executor,
+                &mut scratch,
+                &cache,
+            );
+            let plain = pipeline.perceive(&local, &rx_est, &[packet], &origin());
+            assert_eq!(cached.detections, plain.detections);
+            assert_eq!(cached.fused_cloud, plain.fused_cloud);
+            assert_eq!(cached.packets_fused, plain.packets_fused);
+        }
+        // Clearing resets without changing results.
+        cache.clear();
+        let single_cached =
+            pipeline.perceive_single_cached(&local, &executor, &mut scratch, &cache);
+        assert_eq!(single_cached, pipeline.perceive_single(&local));
+    }
+
+    #[test]
+    fn perceive_cached_falls_back_on_feature_packets() {
+        let pipeline = untrained_pipeline();
+        let scene = scenario::tj_scenario_1();
+        let scanner = LidarScanner::new(scene.kind.beam_model().noiseless());
+        let rx_est = PoseEstimate::from_pose(&scene.observers[0], &origin());
+        let tx_est = PoseEstimate::from_pose(&scene.observers[1], &origin());
+        let local = scanner.scan(&scene.world, &scene.observers[0], 1);
+        let remote = scanner.scan(&scene.world, &scene.observers[1], 2);
+        let frame = pipeline.detector().featurize(&remote).to_feature_frame();
+        let packet = ExchangePacket::build_features(2, 0, &frame, tx_est).unwrap();
+        let cache = PerceptionCache::new();
+        let cached = pipeline.perceive_cached(
+            &local,
+            &rx_est,
+            &[packet.clone()],
+            &origin(),
+            &Executor::sequential(),
+            &mut DetectScratch::new(),
+            &cache,
+        );
+        let plain = pipeline.perceive(&local, &rx_est, &[packet], &origin());
+        assert_eq!(cached.detections, plain.detections);
+        assert_eq!(cached.packets_fused, plain.packets_fused);
+    }
+
+    #[test]
+    fn tracker_builder_round_trip() {
+        let pipeline = untrained_pipeline();
+        assert!(pipeline.tracker_config().is_none());
+        assert!(pipeline.make_tracker().is_none());
+        assert!(!pipeline.incremental());
+        let pipeline = pipeline
+            .with_tracker(crate::tracking::TrackerConfig::default())
+            .with_incremental();
+        assert!(pipeline.tracker_config().is_some());
+        assert!(pipeline.make_tracker().unwrap().tracks().is_empty());
+        assert!(pipeline.incremental());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tracker config")]
+    fn with_tracker_rejects_bad_config() {
+        let bad = crate::tracking::TrackerConfig {
+            gate_distance: -1.0,
+            ..Default::default()
+        };
+        let _ = untrained_pipeline().with_tracker(bad);
+    }
+
+    #[test]
+    fn perceive_temporal_fuses_then_records() {
+        let pipeline = untrained_pipeline().with_score_threshold(0.4);
+        let scene = scenario::t_junction();
+        let scanner = LidarScanner::new(scene.kind.beam_model().noiseless());
+        let mut agg = TemporalAggregator::new(3);
+        let past_pose = scene.observers[1];
+        let past_scan = scanner.scan(&scene.world, &past_pose, 7);
+        agg.push(past_pose, past_scan);
+        let pose = scene.observers[0];
+        let scan = scanner.scan(&scene.world, &pose, 8);
+        // Reference: detect on the fused cloud directly.
+        let expected = pipeline.perceive_single(&agg.fused_in(&pose, &scan));
+        let got = pipeline.perceive_temporal(&mut agg, &pose, &scan);
+        assert_eq!(got, expected);
+        // The current frame was recorded for the next step.
+        assert_eq!(agg.len(), 2);
     }
 
     #[test]

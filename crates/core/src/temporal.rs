@@ -83,11 +83,18 @@ impl TemporalAggregator {
     /// Aligns every retained frame into `current_pose`'s sensor frame
     /// (Equations 1–3, with the vehicle's own past poses as the
     /// "transmitters") and merges them with `current_scan`.
+    ///
+    /// The output is allocated once at its exact final size and each
+    /// past frame is transformed directly into it
+    /// ([`PointCloud::merge_transformed`]) — no per-frame intermediate
+    /// clone.
     pub fn fused_in(&self, current_pose: &Pose, current_scan: &PointCloud) -> PointCloud {
-        let mut fused = current_scan.clone();
+        let total = current_scan.len() + self.frames.iter().map(|(_, s)| s.len()).sum::<usize>();
+        let mut fused = PointCloud::with_capacity(total);
+        fused.merge(current_scan);
         for (past_pose, past_scan) in &self.frames {
             let align = RigidTransform::between(past_pose, current_pose);
-            fused.merge(&past_scan.transformed(&align));
+            fused.merge_transformed(past_scan, &align);
         }
         fused
     }
@@ -191,6 +198,30 @@ mod tests {
             fused_coverage > single_coverage,
             "fused {fused_coverage} vs single {single_coverage}"
         );
+    }
+
+    #[test]
+    fn fused_in_matches_per_frame_clone_path() {
+        // The single-allocation merge_transformed path must be
+        // bit-identical to the original transformed()-then-merge
+        // implementation it replaced.
+        let scene = scenario::t_junction();
+        let scanner = LidarScanner::new(scene.kind.beam_model().with_azimuth_steps(300));
+        let mut agg = TemporalAggregator::new(3);
+        for (i, pose) in scene.observers.iter().enumerate() {
+            agg.push(*pose, scanner.scan(&scene.world, pose, i as u64 + 1));
+        }
+        let current_pose = scene.observers[0];
+        let current_scan = scanner.scan(&scene.world, &current_pose, 99);
+
+        let fused = agg.fused_in(&current_pose, &current_scan);
+        // Reference: the old implementation, per-frame clones.
+        let mut expected = current_scan.clone();
+        for (past_pose, past_scan) in &agg.frames {
+            let align = RigidTransform::between(past_pose, &current_pose);
+            expected.merge(&past_scan.transformed(&align));
+        }
+        assert_eq!(fused, expected);
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub struct TrackerConfig {
     pub alpha: f64,
     /// Velocity gain (beta), `0..=1`.
     pub beta: f64,
+    /// Confidence decay applied to [`Track::last_score`] on every missed
+    /// frame, `(0, 1]`. A hit restores the carried confidence to at
+    /// least the new detection's score (see [`Tracker::update`]).
+    pub score_decay: f32,
 }
 
 impl Default for TrackerConfig {
@@ -84,6 +88,7 @@ impl Default for TrackerConfig {
             drop_after: 3,
             alpha: 0.6,
             beta: 0.3,
+            score_decay: 0.9,
         }
     }
 }
@@ -104,8 +109,27 @@ impl TrackerConfig {
         if !(0.0..=1.0).contains(&self.alpha) || !(0.0..=1.0).contains(&self.beta) {
             return Err("alpha/beta must be in [0, 1]".into());
         }
+        if !(self.score_decay > 0.0 && self.score_decay <= 1.0) {
+            return Err("score decay must be in (0, 1]".into());
+        }
         Ok(())
     }
+}
+
+/// What one [`Tracker::update`] call did, for per-step reporting and
+/// telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrackerStepSummary {
+    /// Detections associated with an existing track.
+    pub matched: usize,
+    /// New tentative tracks spawned from unmatched detections.
+    pub spawned: usize,
+    /// Tracks promoted (or restored) to [`TrackState::Confirmed`].
+    pub promoted: usize,
+    /// Confirmed tracks that missed and went [`TrackState::Coasting`].
+    pub coasted: usize,
+    /// Tracks retired after too many consecutive misses.
+    pub dropped: usize,
 }
 
 /// A greedy nearest-neighbour multi-object tracker with alpha-beta
@@ -168,15 +192,36 @@ impl Tracker {
             .collect()
     }
 
+    /// Live tracks per lifecycle state:
+    /// `(tentative, confirmed, coasting)`.
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for t in &self.tracks {
+            match t.state {
+                TrackState::Tentative => counts.0 += 1,
+                TrackState::Confirmed => counts.1 += 1,
+                TrackState::Coasting => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
     /// Advances the tracker by one frame: predict, associate (greedy
     /// best-distance, same class, within the gate), update hits/misses
     /// and spawn tracks for unmatched detections.
     ///
+    /// Confidence is carried across frames: a hit raises
+    /// [`Track::last_score`] to at least the new detection's score but
+    /// never lowers it, and every miss decays it by
+    /// [`TrackerConfig::score_decay`] — so a briefly occluded object
+    /// keeps most of the confidence its evidence earned.
+    ///
     /// # Panics
     ///
     /// Panics when `dt` is not positive and finite.
-    pub fn update(&mut self, detections: &[Detection], dt: f64) {
+    pub fn update(&mut self, detections: &[Detection], dt: f64) -> TrackerStepSummary {
         assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
+        let mut summary = TrackerStepSummary::default();
         // Predict.
         for t in &mut self.tracks {
             t.position += t.velocity * dt;
@@ -204,6 +249,7 @@ impl Tracker {
             }
             track_used[ti] = true;
             det_used[di] = true;
+            summary.matched += 1;
             let t = &mut self.tracks[ti];
             let d = &detections[di];
             let residual = d.obb.center - t.position;
@@ -211,8 +257,15 @@ impl Tracker {
             t.velocity += residual * (self.config.beta / dt);
             t.hits += 1;
             t.misses = 0;
-            t.last_score = d.score;
-            if t.hits >= self.config.confirm_after {
+            t.last_score = d.score.max(t.last_score);
+            // A Coasting track was already confirmed once; the preceding
+            // miss zeroed `hits`, so waiting for `confirm_after` fresh
+            // hits would strand it in Coasting under alternating
+            // hit/miss. Re-association restores Confirmed immediately.
+            if t.state == TrackState::Coasting || t.hits >= self.config.confirm_after {
+                if t.state != TrackState::Confirmed {
+                    summary.promoted += 1;
+                }
                 t.state = TrackState::Confirmed;
             }
         }
@@ -222,18 +275,23 @@ impl Tracker {
                 let t = &mut self.tracks[ti];
                 t.misses += 1;
                 t.hits = 0;
+                t.last_score *= self.config.score_decay;
                 if t.state == TrackState::Confirmed {
                     t.state = TrackState::Coasting;
+                    summary.coasted += 1;
                 }
             }
         }
         let drop_after = self.config.drop_after;
+        let before = self.tracks.len();
         self.tracks.retain(|t| t.misses < drop_after);
+        summary.dropped = before - self.tracks.len();
         // Unmatched detections spawn tentative tracks.
         for (di, d) in detections.iter().enumerate() {
             if det_used[di] {
                 continue;
             }
+            summary.spawned += 1;
             self.next_id += 1;
             self.tracks.push(Track {
                 id: TrackId(self.next_id),
@@ -246,6 +304,7 @@ impl Tracker {
                 last_score: d.score,
             });
         }
+        summary
     }
 }
 
@@ -354,6 +413,87 @@ mod tests {
         tr.update(&[det(15.0, 0.0)], 0.1);
         let t = tr.tracks().iter().find(|t| t.id == id).expect("track kept");
         assert_eq!(t.misses, 0);
+        assert_eq!(t.state, TrackState::Confirmed, "reacquired track confirms");
+    }
+
+    #[test]
+    fn coasting_track_reconfirms_on_rehit() {
+        // Regression: hit → hit (confirm) → miss (coast) → hit. The miss
+        // zeroes `hits`, so the re-hit leaves `hits = 1 < confirm_after`;
+        // before the fix the track stayed Coasting forever under
+        // alternating hit/miss even though it was already confirmed.
+        let mut tr = Tracker::new(TrackerConfig::default());
+        tr.update(&[det(10.0, 0.0)], 0.1);
+        tr.update(&[det(10.0, 0.0)], 0.1);
+        assert_eq!(tr.tracks()[0].state, TrackState::Confirmed);
+        tr.update(&[], 0.1);
+        assert_eq!(tr.tracks()[0].state, TrackState::Coasting);
+        let summary = tr.update(&[det(10.0, 0.0)], 0.1);
+        let t = &tr.tracks()[0];
+        assert_eq!(t.hits, 1, "miss reset the hit streak");
+        assert_eq!(
+            t.state,
+            TrackState::Confirmed,
+            "re-associated Coasting track must restore Confirmed immediately"
+        );
+        assert_eq!(summary.promoted, 1);
+        // Alternating hit/miss keeps the already-confirmed object
+        // flapping between Confirmed and Coasting, never Tentative.
+        for _ in 0..3 {
+            tr.update(&[], 0.1);
+            assert_eq!(tr.tracks()[0].state, TrackState::Coasting);
+            tr.update(&[det(10.0, 0.0)], 0.1);
+            assert_eq!(tr.tracks()[0].state, TrackState::Confirmed);
+        }
+    }
+
+    #[test]
+    fn confidence_carries_across_misses() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let strong = Detection {
+            score: 0.9,
+            ..det(10.0, 0.0)
+        };
+        let weak = Detection {
+            score: 0.3,
+            ..det(10.0, 0.0)
+        };
+        tr.update(&[strong], 0.1);
+        tr.update(&[], 0.1);
+        let decayed = tr.tracks()[0].last_score;
+        assert!((decayed - 0.9 * 0.9).abs() < 1e-6, "miss decays the score");
+        tr.update(&[weak], 0.1);
+        assert!(
+            tr.tracks()[0].last_score > weak.score,
+            "a weak re-hit must not erase carried confidence"
+        );
+    }
+
+    #[test]
+    fn update_summary_counts_transitions() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let s = tr.update(&[det(10.0, 0.0), det(30.0, 5.0)], 0.1);
+        assert_eq!(s.spawned, 2);
+        assert_eq!(s.matched, 0);
+        let s = tr.update(&[det(10.0, 0.0)], 0.1);
+        assert_eq!(s.matched, 1);
+        assert_eq!(s.promoted, 1);
+        assert_eq!(tr.state_counts(), (1, 1, 0));
+        let s = tr.update(&[], 0.1);
+        assert_eq!(s.coasted, 1);
+        let s = tr.update(&[], 0.1);
+        let s2 = tr.update(&[], 0.1);
+        assert_eq!(s.dropped + s2.dropped, 2, "both tracks retire");
+        assert!(tr.tracks().is_empty());
+    }
+
+    #[test]
+    fn config_rejects_bad_score_decay() {
+        let bad = TrackerConfig {
+            score_decay: 0.0,
+            ..TrackerConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("score decay"));
     }
 
     #[test]

@@ -50,6 +50,19 @@ impl Point {
         self.position.range_xy()
     }
 
+    /// Bitwise equality (`to_bits` on every float field).
+    ///
+    /// Stricter than `PartialEq`: `-0.0 != 0.0` and NaNs never match.
+    /// The incremental perception caches key on this, so reuse only
+    /// ever happens on byte-for-byte identical inputs.
+    #[inline]
+    pub fn bits_eq(&self, other: &Point) -> bool {
+        self.position.x.to_bits() == other.position.x.to_bits()
+            && self.position.y.to_bits() == other.position.y.to_bits()
+            && self.position.z.to_bits() == other.position.z.to_bits()
+            && self.reflectance.to_bits() == other.reflectance.to_bits()
+    }
+
     /// Returns this point with its position mapped through `t`,
     /// preserving reflectance — one application of the paper's Equation 3.
     #[inline]

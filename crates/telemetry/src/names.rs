@@ -59,6 +59,23 @@ pub const V2X_FRAMES_LOST: &str = "v2x.frames_lost";
 pub const V2X_TX_BYTES: &str = "v2x.tx_bytes";
 /// Occupied voxels after voxelization.
 pub const SPOD_VOXELS_OCCUPIED: &str = "spod.voxels_occupied";
+/// Incremental perceive calls answered entirely from cache (input
+/// bitwise-unchanged).
+pub const SPOD_INCREMENTAL_HITS: &str = "spod.incremental.hits";
+/// Voxelization chunk partials reused across steps.
+pub const SPOD_INCREMENTAL_CHUNKS_REUSED: &str = "spod.incremental.chunks_reused";
+/// Cached VFE rows copied instead of re-encoded.
+pub const SPOD_INCREMENTAL_VOXELS_REUSED: &str = "spod.incremental.voxels_reused";
+/// Detections fed into per-vehicle trackers.
+pub const TRACK_DETECTIONS_IN: &str = "track.detections_in";
+/// New tentative tracks spawned.
+pub const TRACK_SPAWNED: &str = "track.spawned";
+/// Tracks promoted (or restored) to Confirmed.
+pub const TRACK_PROMOTED: &str = "track.promoted";
+/// Confirmed tracks that fell back to Coasting on a miss.
+pub const TRACK_COASTED: &str = "track.coasted";
+/// Tracks dropped after exceeding the miss budget.
+pub const TRACK_DROPPED: &str = "track.dropped";
 
 /// Prefix of the per-kind fusion drop counters: `pipeline.drop.<kind>`.
 pub const PIPELINE_DROP_PREFIX: &str = "pipeline.drop.";
@@ -178,6 +195,14 @@ pub const ALL_METRICS: &[&str] = &[
     V2X_FRAMES_LOST,
     V2X_TX_BYTES,
     SPOD_VOXELS_OCCUPIED,
+    SPOD_INCREMENTAL_HITS,
+    SPOD_INCREMENTAL_CHUNKS_REUSED,
+    SPOD_INCREMENTAL_VOXELS_REUSED,
+    TRACK_DETECTIONS_IN,
+    TRACK_SPAWNED,
+    TRACK_PROMOTED,
+    TRACK_COASTED,
+    TRACK_DROPPED,
     FLEET_THREADS,
     FLEET_PHASE_SCAN_US,
     FLEET_PHASE_EXCHANGE_US,
