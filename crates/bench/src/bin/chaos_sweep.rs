@@ -1,0 +1,444 @@
+//! Chaos sweep: the composed adversarial campaign of ROADMAP item 5 —
+//! burst loss, GPS drift, channel corruption and a ghost-injecting
+//! sender in *one* fleet run, proving the whole defense stack (CRC
+//! trailer, alignment guard, consistency guard, trust ledger)
+//! composes.
+//!
+//! The campaign runs a 4-vehicle fleet over a Gilbert–Elliott channel
+//! at 10% long-run burst loss with a 1% per-frame corruption process,
+//! while vehicle 2 appends ghost car clusters to every broadcast and
+//! vehicle 3's GPS random-walks at twice the realistic sensor model's
+//! rated drift ceiling. With the trust layer on, the run must hold
+//! three floors, recorded in the bench regression ledger and enforced
+//! by `--check` in CI:
+//!
+//! * fused detections never fall below the ego-only baseline — the
+//!   defenses must not quarantine the honest fleet into isolation;
+//! * the ghost sender is quarantined within a bounded number of steps;
+//! * at least 80% of its delivered ghost broadcasts are rejected
+//!   before fusion (consistency rejects before quarantine, blocked
+//!   transfers after).
+//!
+//! Everything is measured at 1 and 4 worker threads and must be
+//! bit-identical — the adversarial streams ride the same
+//! per-(vehicle, step) RNG contract as the benign ones. Emits
+//! `BENCH_chaos.json`.
+
+use cooper_bench::{ledger, output_dir, render_table, standard_pipeline, write_artifact};
+use cooper_core::fleet::{
+    straight_trajectory, FleetConfig, FleetSimulation, FleetStats, FleetStepReport, FleetVehicle,
+    TransportDropReason, TrustGuardConfig,
+};
+use cooper_core::{AlignmentGuardConfig, CooperPipeline, TrustConfig};
+use cooper_geometry::{Pose, Vec3};
+use cooper_lidar_sim::scenario::tj_scenario_1;
+use cooper_lidar_sim::{BeamModel, FaultPlan, GpsImuModel};
+use cooper_v2x::{DsrcChannel, DsrcConfig, GilbertElliott, LossModel, SharedMedium};
+
+const SEED: u64 = 41;
+const VEHICLES: usize = 4;
+const STEPS: usize = 14;
+/// Vehicle appending ghost clusters to every broadcast.
+const GHOST_SENDER: u32 = 2;
+/// Step the ghost fault switches on (active to the end of the run).
+const GHOST_ONSET: usize = 1;
+/// Ghost car clusters per broadcast.
+const GHOST_CLUSTERS: usize = 5;
+/// Vehicle whose GPS random-walks away from truth.
+const DRIFT_VEHICLE: u32 = 3;
+/// Long-run Gilbert–Elliott burst-loss rate.
+const BURST_LOSS_RATE: f64 = 0.10;
+/// Per-delivered-frame channel corruption probability.
+const CORRUPTION_RATE: f64 = 0.01;
+/// Floor on the fraction of delivered ghost broadcasts rejected.
+const GHOST_REJECTION_FLOOR: f64 = 0.8;
+/// The ghost sender must be quarantined within this many steps of the
+/// fault onset.
+const QUARANTINE_LATENCY_BOUND_STEPS: usize = 6;
+
+/// Per-step drift sigma: twice the realistic model's rated ceiling.
+fn drift_sigma_m() -> f64 {
+    2.0 * GpsImuModel::realistic().max_drift_m()
+}
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::parse(&format!(
+        "{GHOST_SENDER}:ghost:{GHOST_CLUSTERS}@{GHOST_ONSET},{DRIFT_VEHICLE}:drift:{:.3}",
+        drift_sigma_m()
+    ))
+    .expect("chaos fault plan parses")
+}
+
+fn chaos_channel() -> SharedMedium {
+    SharedMedium::new(DsrcChannel::new(DsrcConfig {
+        loss_model: LossModel::GilbertElliott(GilbertElliott::from_loss_rate(BURST_LOSS_RATE)),
+        corruption_probability: CORRUPTION_RATE,
+        ..DsrcConfig::default()
+    }))
+    .with_seed(SEED)
+}
+
+fn fleet(threads: usize, trust_on: bool) -> FleetSimulation {
+    let scene = tj_scenario_1();
+    // Vehicles anchor on the scenario's observer poses (shifted ring by
+    // ring once the observer set is exhausted, like the CLI profiler):
+    // those poses are placed to share scene structure, which the
+    // alignment guard needs — scans without verifiable overlap are
+    // rejected no matter how honest the sender is.
+    let vehicles: Vec<FleetVehicle> = (0..VEHICLES)
+        .map(|i| {
+            let base = scene.observers[i % scene.observers.len()];
+            let ring = (i / scene.observers.len()) as f64;
+            let start = Pose::new(
+                base.position + Vec3::new(3.0 * ring, 3.0 * ring, 0.0),
+                base.attitude,
+            );
+            FleetVehicle {
+                id: i as u32 + 1,
+                trajectory: straight_trajectory(start, 0.5, STEPS),
+                beams: BeamModel::vlp16().with_azimuth_steps(400),
+            }
+        })
+        .collect();
+    FleetSimulation::new(
+        scene.world.clone(),
+        vehicles,
+        FleetConfig {
+            seed: SEED,
+            threads: Some(threads),
+            fault_plan: Some(chaos_plan()),
+            trust: trust_on.then(|| {
+                let mut guard = TrustGuardConfig::default();
+                // Calibrated for a realistic-noise, moving fleet: one
+                // injected ghost cluster carries 60 points, while
+                // sparse-scan discretization puts up to ~40 points of
+                // an honest cloud into bins the ego undersampled as
+                // free. 50 rejects every ghost broadcast without
+                // quarantining honest senders over sampling noise.
+                guard.consistency.min_ghost_points = 50;
+                // Wartime trust posture: two strikes and a hold that
+                // outlasts the attack. A receiver can only flag the
+                // ghost broadcasts whose clusters land in space it
+                // observed as free — the state machine has to carry
+                // the defense across the steps where the clusters
+                // land in territory that vantage cannot verify.
+                guard.trust = TrustConfig {
+                    suspect_after: 1,
+                    quarantine_after: 2,
+                    quarantine_steps: 12,
+                    probation_clean_steps: 3,
+                };
+                guard
+            }),
+            ..FleetConfig::default()
+        },
+    )
+}
+
+/// Everything one campaign arm is judged on.
+struct ArmOutcome {
+    /// Mean ego-only detections per vehicle-step.
+    ego_mean: f64,
+    /// Mean fused detections per vehicle-step.
+    fused_mean: f64,
+    /// Ghost broadcasts rejected / ghost broadcasts delivered.
+    ghost_rejection_rate: f64,
+    /// Steps from ghost onset until some receiver holds the sender in
+    /// quarantine; `STEPS` when it never happens.
+    quarantine_latency_steps: usize,
+    /// Total quarantine transitions recorded over the run.
+    quarantines: u64,
+    /// The deterministic slice of the reports, for cross-thread diffs.
+    view: Vec<String>,
+}
+
+/// Guard-level rejections charged to the ghost sender: the packet was
+/// delivered (or deterministically blocked) and the defense stack
+/// excluded it from fusion.
+fn is_guard_rejection(reason: &TransportDropReason) -> bool {
+    matches!(
+        reason,
+        TransportDropReason::IntegrityFailed
+            | TransportDropReason::Quarantined
+            | TransportDropReason::AlignmentRejected { .. }
+            | TransportDropReason::ConsistencyRejected { .. }
+    )
+}
+
+/// Channel-level losses: the payload never reached the guard stack, so
+/// the transfer counts as undelivered rather than unrejected.
+fn is_channel_loss(reason: &TransportDropReason) -> bool {
+    matches!(
+        reason,
+        TransportDropReason::DeadlineExceeded
+            | TransportDropReason::SalvageFailed { .. }
+            | TransportDropReason::Corrupted
+            | TransportDropReason::BudgetExceeded
+    )
+}
+
+fn summarize(reports: &[FleetStepReport], stats: &FleetStats) -> ArmOutcome {
+    let mut ego_sum = 0usize;
+    let mut fused_sum = 0usize;
+    let mut samples = 0usize;
+    let mut rejected = 0usize;
+    let mut channel_lost = 0usize;
+    let mut quarantine_step: Option<usize> = None;
+    for report in reports {
+        for v in &report.per_vehicle {
+            ego_sum += v.single_detections;
+            fused_sum += v.cooperative_detections;
+            samples += 1;
+            if v.quarantined_peers > 0 && quarantine_step.is_none() {
+                quarantine_step = Some(report.step);
+            }
+        }
+        if report.step < GHOST_ONSET {
+            continue;
+        }
+        for drop in &report.transport_drops {
+            if drop.from != GHOST_SENDER {
+                continue;
+            }
+            if is_guard_rejection(&drop.reason) {
+                rejected += 1;
+            } else if is_channel_loss(&drop.reason) {
+                channel_lost += 1;
+            }
+        }
+    }
+    // Every in-range receiver sees one directed transfer per active
+    // step; the fleet stays inside comms range by construction.
+    let attempts = (STEPS - GHOST_ONSET) * (VEHICLES - 1);
+    let delivered = attempts.saturating_sub(channel_lost).max(1);
+    ArmOutcome {
+        ego_mean: ego_sum as f64 / samples.max(1) as f64,
+        fused_mean: fused_sum as f64 / samples.max(1) as f64,
+        ghost_rejection_rate: rejected as f64 / delivered as f64,
+        quarantine_latency_steps: quarantine_step
+            .map(|s| s.saturating_sub(GHOST_ONSET))
+            .unwrap_or(STEPS),
+        quarantines: stats.trust.values().map(|t| t.quarantines).sum(),
+        view: reports
+            .iter()
+            .map(|r| format!("{:?}", r.deterministic_view()))
+            .collect(),
+    }
+}
+
+fn run_arm(pipeline: &CooperPipeline, threads: usize, trust_on: bool) -> ArmOutcome {
+    let sim = fleet(threads, trust_on);
+    let mut channel = chaos_channel();
+    let (reports, stats) = sim.run_with_channel(pipeline, STEPS, &mut channel);
+    summarize(&reports, &stats)
+}
+
+fn guarded_pipeline() -> CooperPipeline {
+    standard_pipeline().with_alignment_guard(AlignmentGuardConfig::default())
+}
+
+struct CheckPoint {
+    trusted: ArmOutcome,
+    deterministic: bool,
+}
+
+fn measure() -> CheckPoint {
+    let pipeline = guarded_pipeline();
+    let trusted = run_arm(&pipeline, 1, true);
+    let trusted_4t = run_arm(&pipeline, 4, true);
+    let deterministic = trusted.view == trusted_4t.view;
+    CheckPoint {
+        trusted,
+        deterministic,
+    }
+}
+
+fn floors_pass(point: &CheckPoint) -> bool {
+    point.deterministic
+        && point.trusted.fused_mean + 1e-9 >= point.trusted.ego_mean
+        && point.trusted.ghost_rejection_rate + 1e-9 >= GHOST_REJECTION_FLOOR
+        && point.trusted.quarantine_latency_steps <= QUARANTINE_LATENCY_BOUND_STEPS
+}
+
+fn ledger_record(point: &CheckPoint) -> ledger::BenchRecord {
+    let t = &point.trusted;
+    ledger::BenchRecord::new(
+        "chaos_sweep",
+        &[
+            ("deterministic", f64::from(point.deterministic)),
+            ("ghost_rejection_rate", t.ghost_rejection_rate),
+            ("recall_delta", t.fused_mean - t.ego_mean),
+            (
+                "quarantine_latency_steps",
+                t.quarantine_latency_steps as f64,
+            ),
+            (
+                "quarantine_within_bound",
+                f64::from(t.quarantine_latency_steps <= QUARANTINE_LATENCY_BOUND_STEPS),
+            ),
+            ("fused_mean", t.fused_mean),
+            ("ego_mean", t.ego_mean),
+        ],
+    )
+}
+
+/// `--check`: run the trust-guarded composed campaign at 1 and 4
+/// threads, verify every floor, and append the normalized result to
+/// the bench regression ledger — the CI smoke mode. Exits non-zero on
+/// violation.
+fn run_check() {
+    let point = measure();
+    let t = &point.trusted;
+    println!(
+        "check: {VEHICLES} vehicles x {STEPS} steps under {:.0}% burst loss, {:.0}% corruption, \
+         {:.2} m/step drift, {GHOST_CLUSTERS} ghost clusters/step",
+        BURST_LOSS_RATE * 100.0,
+        CORRUPTION_RATE * 100.0,
+        drift_sigma_m(),
+    );
+    println!(
+        "  fused {:.2} vs ego {:.2} det/vehicle-step, ghost rejection {:.1}%, \
+         quarantine latency {} step(s), deterministic 1t/4t: {}",
+        t.fused_mean,
+        t.ego_mean,
+        t.ghost_rejection_rate * 100.0,
+        t.quarantine_latency_steps,
+        point.deterministic,
+    );
+    if !floors_pass(&point) {
+        eprintln!(
+            "chaos_sweep check FAILED: requires fused >= ego, ghost rejection >= \
+             {GHOST_REJECTION_FLOOR}, quarantine within {QUARANTINE_LATENCY_BOUND_STEPS} steps, \
+             and bit-identical reports at 1 vs 4 threads"
+        );
+        std::process::exit(1);
+    }
+    let dir = output_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
+    if let Err(e) = ledger::append(&dir.join(ledger::HISTORY_FILE), &ledger_record(&point)) {
+        eprintln!("warning: cannot append to bench ledger: {e}");
+    }
+    println!("chaos_sweep check passed");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        run_check();
+        return;
+    }
+    println!("=== Chaos sweep: composed faults, trust layer off vs on ===\n");
+    eprintln!("training SPOD detector…");
+    let pipeline = guarded_pipeline();
+    let unguarded = run_arm(&pipeline, 1, false);
+    let point = measure();
+    let t = &point.trusted;
+
+    let headers = [
+        "arm",
+        "ego_mean",
+        "fused_mean",
+        "ghost_rejected",
+        "quarantine_step",
+        "quarantines",
+    ];
+    let row = |name: &str, arm: &ArmOutcome| {
+        vec![
+            name.to_string(),
+            format!("{:.2}", arm.ego_mean),
+            format!("{:.2}", arm.fused_mean),
+            format!("{:.1}%", arm.ghost_rejection_rate * 100.0),
+            if arm.quarantine_latency_steps >= STEPS {
+                "never".to_string()
+            } else {
+                format!("onset+{}", arm.quarantine_latency_steps)
+            },
+            arm.quarantines.to_string(),
+        ]
+    };
+    let rows = vec![row("trust off", &unguarded), row("trust on", t)];
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "Floors: fused >= ego ({:.2} vs {:.2}), ghost rejection >= {:.0}% ({:.1}%),",
+        t.fused_mean,
+        t.ego_mean,
+        GHOST_REJECTION_FLOOR * 100.0,
+        t.ghost_rejection_rate * 100.0,
+    );
+    println!(
+        "quarantine within {QUARANTINE_LATENCY_BOUND_STEPS} steps (took {}), deterministic at 1/4 threads ({}): {}.",
+        t.quarantine_latency_steps,
+        point.deterministic,
+        if floors_pass(&point) { "met" } else { "NOT met" },
+    );
+
+    let arm_json = |arm: &ArmOutcome| {
+        format!(
+            "{{\"ego_mean\": {:.4}, \"fused_mean\": {:.4}, \"ghost_rejection_rate\": {:.4}, \"quarantine_latency_steps\": {}, \"quarantines\": {}}}",
+            arm.ego_mean,
+            arm.fused_mean,
+            arm.ghost_rejection_rate,
+            arm.quarantine_latency_steps,
+            arm.quarantines
+        )
+    };
+    let json = format!(
+        "{{\n  \"campaign\": {{\"vehicles\": {VEHICLES}, \"steps\": {STEPS}, \"burst_loss\": {BURST_LOSS_RATE}, \"corruption\": {CORRUPTION_RATE}, \"drift_sigma_m\": {:.3}, \"ghost_clusters\": {GHOST_CLUSTERS}}},\n  \"trust_off\": {},\n  \"trust_on\": {},\n  \"deterministic\": {},\n  \"passes\": {}\n}}\n",
+        drift_sigma_m(),
+        arm_json(&unguarded),
+        arm_json(t),
+        point.deterministic,
+        floors_pass(&point),
+    );
+    let dir = output_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
+    write_artifact(Some(&dir), "BENCH_chaos.json", &json);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drop taxonomy: every reason is either a guard rejection, a
+    /// channel loss, or a salvage that still fused — never two of
+    /// those at once.
+    #[test]
+    fn drop_reasons_classify_exclusively() {
+        let reasons = [
+            TransportDropReason::DeadlineExceeded,
+            TransportDropReason::PartialDelivery {
+                delivered_bytes: 10,
+                total_bytes: 20,
+            },
+            TransportDropReason::SalvageFailed {
+                kind: "decode".to_string(),
+            },
+            TransportDropReason::BudgetExceeded,
+            TransportDropReason::AlignmentRejected { residual_mm: 900 },
+            TransportDropReason::Corrupted,
+            TransportDropReason::IntegrityFailed,
+            TransportDropReason::Quarantined,
+            TransportDropReason::ConsistencyRejected { ghost_points: 40 },
+        ];
+        for reason in &reasons {
+            assert!(
+                !(is_guard_rejection(reason) && is_channel_loss(reason)),
+                "{reason:?} classified as both"
+            );
+        }
+        assert!(is_guard_rejection(&TransportDropReason::Quarantined));
+        assert!(is_channel_loss(&TransportDropReason::Corrupted));
+        // A salvaged partial delivery reaches fusion: neither bucket.
+        let partial = TransportDropReason::PartialDelivery {
+            delivered_bytes: 10,
+            total_bytes: 20,
+        };
+        assert!(!is_guard_rejection(&partial) && !is_channel_loss(&partial));
+    }
+
+    /// The composed fault plan must parse and target the right
+    /// vehicles — a typo here would silently run a benign campaign.
+    #[test]
+    fn chaos_plan_targets_ghost_and_drift_vehicles() {
+        let plan = chaos_plan();
+        assert!(plan.faults().iter().any(|f| f.vehicle_id == GHOST_SENDER));
+        assert!(plan.faults().iter().any(|f| f.vehicle_id == DRIFT_VEHICLE));
+    }
+}

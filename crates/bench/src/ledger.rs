@@ -179,6 +179,13 @@ pub fn tolerance_for(bench: &str, metric: &str) -> Option<Tolerance> {
         ("fault_sweep", "guard_on_recall") => t(Direction::HigherIsBetter, 0.0, 0.02),
         // The determinism contract is binary: 1.0 or the build is wrong.
         ("parallel_fleet", "deterministic") => t(Direction::HigherIsBetter, 0.0, 0.0),
+        // The composed chaos campaign: determinism is binary, the
+        // defense-quality metrics get a little count-noise slack on
+        // top of their absolute floors below.
+        ("chaos_sweep", "deterministic") => t(Direction::HigherIsBetter, 0.0, 0.0),
+        ("chaos_sweep", "ghost_rejection_rate") => t(Direction::HigherIsBetter, 0.0, 0.05),
+        ("chaos_sweep", "recall_delta") => t(Direction::HigherIsBetter, 0.0, 0.25),
+        ("chaos_sweep", "quarantine_latency_steps") => t(Direction::LowerIsBetter, 0.0, 1.0),
         // Incremental perception is an optimisation, never a semantic
         // change: its detections must stay bit-identical to the
         // from-scratch path, with zero slack.
@@ -239,6 +246,29 @@ pub fn floor_for(bench: &str, metric: &str) -> Option<Floor> {
         // gate: any host can express it.
         ("temporal_sweep", "low_change_speedup") => Some(Floor {
             min: 2.0,
+            gate: None,
+        }),
+        // The chaos campaign's defense floors (ISSUE 10): under
+        // composed burst loss + drift + corruption + ghost injection,
+        // the trust-guarded fleet must reject at least 80% of the
+        // ghost sender's delivered broadcasts, never fall below
+        // ego-only detections, quarantine the attacker within the
+        // bench's bound, and stay bit-identical across thread counts.
+        // Absolute requirements of the build, not relative baselines.
+        ("chaos_sweep", "ghost_rejection_rate") => Some(Floor {
+            min: 0.8,
+            gate: None,
+        }),
+        ("chaos_sweep", "recall_delta") => Some(Floor {
+            min: 0.0,
+            gate: None,
+        }),
+        ("chaos_sweep", "quarantine_within_bound") => Some(Floor {
+            min: 1.0,
+            gate: None,
+        }),
+        ("chaos_sweep", "deterministic") => Some(Floor {
+            min: 1.0,
             gate: None,
         }),
         _ => None,
@@ -507,6 +537,79 @@ mod tests {
             ),
         ];
         assert!(check_history(&diverged).failed());
+    }
+
+    #[test]
+    fn chaos_floors_are_absolute() {
+        // A first record already fails when a defense floor is broken —
+        // there is no baseline grace period for the trust layer.
+        let weak = [BenchRecord::new(
+            "chaos_sweep",
+            &[
+                ("deterministic", 1.0),
+                ("ghost_rejection_rate", 0.6),
+                ("recall_delta", 0.4),
+                ("quarantine_within_bound", 1.0),
+            ],
+        )];
+        assert!(
+            check_history(&weak).failed(),
+            "60% ghost rejection is below the 80% floor"
+        );
+        let isolated = [BenchRecord::new(
+            "chaos_sweep",
+            &[
+                ("deterministic", 1.0),
+                ("ghost_rejection_rate", 0.95),
+                ("recall_delta", -0.2),
+                ("quarantine_within_bound", 1.0),
+            ],
+        )];
+        assert!(
+            check_history(&isolated).failed(),
+            "fused below ego means the guard quarantined the honest fleet"
+        );
+        let late = [BenchRecord::new(
+            "chaos_sweep",
+            &[
+                ("deterministic", 1.0),
+                ("ghost_rejection_rate", 0.95),
+                ("recall_delta", 0.4),
+                ("quarantine_within_bound", 0.0),
+            ],
+        )];
+        assert!(
+            check_history(&late).failed(),
+            "unbounded quarantine latency"
+        );
+        let healthy = [BenchRecord::new(
+            "chaos_sweep",
+            &[
+                ("deterministic", 1.0),
+                ("ghost_rejection_rate", 0.95),
+                ("recall_delta", 0.4),
+                ("quarantine_within_bound", 1.0),
+                ("quarantine_latency_steps", 3.0),
+            ],
+        )];
+        assert!(!check_history(&healthy).failed());
+    }
+
+    #[test]
+    fn chaos_quarantine_latency_gates_upward_movement() {
+        let history = [
+            BenchRecord::new("chaos_sweep", &[("quarantine_latency_steps", 2.0)]),
+            BenchRecord::new("chaos_sweep", &[("quarantine_latency_steps", 6.0)]),
+        ];
+        assert!(
+            check_history(&history).failed(),
+            "a 4-step latency regression must gate"
+        );
+        let within = [
+            BenchRecord::new("chaos_sweep", &[("quarantine_latency_steps", 2.0)]),
+            BenchRecord::new("chaos_sweep", &[("quarantine_latency_steps", 3.0)]),
+        ];
+        assert!(!check_history(&within).failed(), "one step of slack");
     }
 
     #[test]

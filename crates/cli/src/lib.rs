@@ -28,7 +28,9 @@ use std::path::Path;
 
 use cooper_core::channel::{ChannelModel, PerfectChannel};
 use cooper_core::fleet::TransportDropReason;
-use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle};
+use cooper_core::fleet::{
+    straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle, TrustGuardConfig,
+};
 use cooper_core::report::{evaluate_pair, EvaluationConfig};
 use cooper_core::tracking::TrackerConfig;
 use cooper_core::viz::{render_bev, BevViewConfig};
@@ -100,6 +102,7 @@ const BARE_FLAGS: &[&str] = &[
     "--incremental",
     "--telemetry",
     "--tracker",
+    "--trust-guard",
 ];
 
 /// Parses raw arguments (without the program name).
@@ -153,6 +156,7 @@ USAGE:
                    [--roi full|front120|forward] [--delta-encode] [--keyframe-every N]
                    [--features] [--fusion max|adaptive]
                    [--fault-plan SPEC] [--align-guard] [--icp-iters N]
+                   [--corruption P] [--trust-guard]
                    [--tracker] [--incremental]
   cooper profile   --scenario NAME [--vehicles N] [--steps N] [--threads N] [--seed N]
                    [--trace-out trace.json]
@@ -187,14 +191,27 @@ summary is printed after the run. --incremental keeps a per-vehicle
 perception cache across steps and routes detection through the
 incremental SPOD path, so per-step perceive cost scales with how much
 the scene changed; the printed reports are bit-identical either way.
---fault-plan injects pose faults into the fleet's exchanged estimates;
-the spec is comma-separated VEHICLE:KIND[:PARAMS][@FROM[..UNTIL]]
-entries with kinds drift:SIGMA, bias:EAST:NORTH, yaw:RAD, freeze and
-stale:AGE (e.g. \"2:drift:0.5@3..8,1:freeze@4\"). --align-guard turns on
-the receiver-side alignment guard: every received cloud is scored on
-sender/receiver overlap, ICP-refined when recoverable (at most
---icp-iters iterations, default 10) and rejected to ego-only fallback
-when not.
+--fault-plan injects faults into the fleet's broadcasts; the spec is
+comma-separated VEHICLE:KIND[:PARAMS][@FROM[..UNTIL]] entries with pose
+kinds drift:SIGMA, bias:EAST:NORTH, yaw:RAD, freeze and stale:AGE, plus
+adversarial sender kinds ghost:N (N fabricated car-sized clusters in
+every transmitted scan), replay (retransmit the scan captured at fault
+onset, stamp and all) and corrupt:RATE (flip roughly RATE of outgoing
+payload bytes at the source) — e.g. \"2:drift:0.5@3..8,3:ghost:2@4\".
+--align-guard turns on the receiver-side alignment guard: every
+received cloud is scored on sender/receiver overlap, ICP-refined when
+recoverable (at most --icp-iters iterations, default 10) and rejected
+to ego-only fallback when not. --corruption P (with a lossy channel)
+damages delivered frames in flight with probability P — bit flips or
+mid-frame truncation the link layer reports as corrupted. --trust-guard
+turns on the content-integrity and sender-trust layer: broadcasts carry
+CRC-32 trailers verified at the receiver, every delivered cloud is
+screened against the ego scan's observed free space and the sender's
+motion history (ghost clusters, teleports, replayed stamps), and
+senders that keep failing are quarantined per receiver — their
+transfers are skipped until the quarantine elapses and a clean
+probation earns them back. Step lines gain per-vehicle violation and
+quarantine columns, and a per-vehicle trust summary follows the run.
 `profile` runs a fleet (default 4 vehicles, 2 steps) with the tracing
 profiler on: it prints a ranked self-time table over the SPOD sub-phases
 (preprocess, voxelize, vfe, conv1, conv2, bev, rpn, nms) and the
@@ -661,6 +678,19 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
             if parsed.options.contains_key("--icp-iters") && !align_guard {
                 return Err(CliError::usage("--icp-iters requires --align-guard"));
             }
+            // Integrity flags: in-flight frame corruption and the
+            // receiver-side trust layer (CRC trailers, consistency
+            // guard, per-sender quarantine).
+            let corruption: f64 = get_parse(&parsed.options, "--corruption", 0.0)?;
+            if !(0.0..1.0).contains(&corruption) {
+                return Err(CliError::usage("--corruption must be in [0, 1)"));
+            }
+            if corruption > 0.0 && fleet_loss_model.is_none() {
+                return Err(CliError::usage(
+                    "--corruption requires a lossy --channel (iid or gilbert-elliott)",
+                ));
+            }
+            let trust_guard = parsed.options.contains_key("--trust-guard");
             // Temporal flags: track-level fusion and incremental
             // (change-proportional) perception.
             let tracker = parsed.options.contains_key("--tracker");
@@ -752,6 +782,7 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                     seed,
                     threads,
                     fault_plan,
+                    trust: trust_guard.then(TrustGuardConfig::default),
                     ..FleetConfig::default()
                 },
             );
@@ -761,6 +792,7 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                     let config = DsrcConfig {
                         loss_probability: if channel_kind == "iid" { loss } else { 0.0 },
                         loss_model,
+                        corruption_probability: corruption,
                         ..DsrcConfig::default()
                     };
                     let mut medium = SharedMedium::new(DsrcChannel::new(config)).with_seed(seed);
@@ -810,8 +842,16 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                     } else {
                         String::new()
                     };
+                    let trust_suffix = if trust_guard {
+                        format!(
+                            " violations {} quarantined {}",
+                            v.trust_violations, v.quarantined_peers
+                        )
+                    } else {
+                        String::new()
+                    };
                     println!(
-                        "  step {} v{}: single {} coop {} rx {} partial {} drops {} bytes {}{}",
+                        "  step {} v{}: single {} coop {} rx {} partial {} drops {} bytes {}{}{}",
                         report.step,
                         v.vehicle_id,
                         v.single_detections,
@@ -820,7 +860,8 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                         v.packets_partial,
                         v.packets_dropped,
                         v.bytes_received,
-                        track_suffix
+                        track_suffix,
+                        trust_suffix
                     );
                 }
                 for drop in &report.encode_drops {
@@ -852,6 +893,22 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                         ),
                         TransportDropReason::AlignmentRejected { residual_mm } => println!(
                             "  step {} v{}->v{}: alignment rejected (residual {residual_mm} mm)",
+                            report.step, drop.from, drop.to
+                        ),
+                        TransportDropReason::Corrupted => println!(
+                            "  step {} v{}->v{}: corrupted in flight",
+                            report.step, drop.from, drop.to
+                        ),
+                        TransportDropReason::IntegrityFailed => println!(
+                            "  step {} v{}->v{}: integrity check failed (CRC mismatch)",
+                            report.step, drop.from, drop.to
+                        ),
+                        TransportDropReason::Quarantined => println!(
+                            "  step {} v{}->v{}: sender quarantined",
+                            report.step, drop.from, drop.to
+                        ),
+                        TransportDropReason::ConsistencyRejected { ghost_points } => println!(
+                            "  step {} v{}->v{}: consistency rejected ({ghost_points} ghost points)",
                             report.step, drop.from, drop.to
                         ),
                     }
@@ -889,6 +946,15 @@ fn dispatch(parsed: &ParsedArgs) -> Result<(), CliError> {
                         "  v{id} alignment guard: {} evaluated, {} refined, {} rejected, \
                          mean residual {:.3} -> {:.3} m",
                         a.evaluated, a.refined, a.rejected, mean_before, mean_after
+                    );
+                }
+            }
+            if trust_guard {
+                for (id, t) in &stats.trust {
+                    println!(
+                        "  v{id} trust: {} violations charged, {} quarantines, \
+                         {} transfers blocked, {} reinstated",
+                        t.violations, t.quarantines, t.blocked_transfers, t.reinstated
                     );
                 }
             }

@@ -61,6 +61,11 @@ pub enum Delivery {
         /// Total wire bytes of the packet.
         total_bytes: usize,
     },
+    /// The packet arrived but bytes were damaged in flight (bit flips
+    /// or mid-frame truncation the link layer detected). Nothing of it
+    /// is trustworthy — content-integrity checks, not salvage, decide
+    /// what happens next.
+    Corrupted,
 }
 
 impl Delivery {
@@ -68,7 +73,7 @@ impl Delivery {
     pub fn fraction(&self) -> f64 {
         match self {
             Delivery::Delivered => 1.0,
-            Delivery::Dropped | Delivery::DeadlineExceeded => 0.0,
+            Delivery::Dropped | Delivery::DeadlineExceeded | Delivery::Corrupted => 0.0,
             Delivery::Partial {
                 delivered_bytes,
                 total_bytes,
@@ -204,6 +209,7 @@ mod tests {
         assert_eq!(Delivery::Delivered.fraction(), 1.0);
         assert_eq!(Delivery::Dropped.fraction(), 0.0);
         assert_eq!(Delivery::DeadlineExceeded.fraction(), 0.0);
+        assert_eq!(Delivery::Corrupted.fraction(), 0.0);
         let half = Delivery::Partial {
             delivered_bytes: 50,
             total_bytes: 100,

@@ -33,12 +33,14 @@
 use std::collections::BTreeMap;
 
 use cooper_exec::Executor;
-use cooper_geometry::{GpsFix, Pose};
+use cooper_geometry::{GpsFix, Pose, RigidTransform, Vec3};
 use cooper_lidar_sim::{
     BeamModel, FaultInjector, FaultPlan, GpsImuModel, LidarScanner, PoseEstimate, World,
 };
 use cooper_pointcloud::roi::{blind_sectors, extract_roi, BlindSector, RoiCategory, StaticMap};
-use cooper_pointcloud::{DeltaDecoder, DeltaEncoder, FeatureFrame, FrameKind, PointCloud};
+use cooper_pointcloud::{
+    DeltaDecoder, DeltaEncoder, FeatureFrame, FrameKind, PointCloud, CRC_TRAILER_BYTES,
+};
 use cooper_spod::{filter_bev_roi, DetectOptions, DetectScratch};
 use cooper_telemetry::names as telemetry_names;
 use cooper_telemetry::trace::stage as trace_stage;
@@ -48,11 +50,13 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::channel::{ChannelModel, Delivery, PerfectChannel, TransferCtx};
+use crate::consistency::{check_consistency, ConsistencyConfig, FreeSpaceIndex, SenderHistory};
 use crate::governor::{GovernorConfig, GovernorPolicy, GovernorVerdict, TransferCandidate};
 use crate::tracking::{Tracker, TrackerStepSummary};
+use crate::trust::{TrustConfig, TrustLedger, TrustTransition, TrustVehicleStats};
 use crate::{
-    CooperError, CooperPipeline, Detection, ExchangePacket, GuardDecision, PerceptionCache,
-    TransferOffer,
+    alignment_transform, CooperError, CooperPipeline, Detection, ExchangePacket, GuardDecision,
+    PerceptionCache, TransferOffer,
 };
 
 /// One vehicle in the fleet: an id, a pose trajectory (one pose per
@@ -110,7 +114,41 @@ pub struct FleetConfig {
     /// stale scan stamps. `None` (or an empty plan) runs fault-free.
     /// Faults are drawn from per-(vehicle, step) streams, so faulted
     /// runs keep the bit-identical-at-any-thread-count contract.
+    /// Adversarial kinds (`ghost:`, `replay`, `corrupt:`) tamper with
+    /// the vehicle's *broadcast* content instead of its measurements.
     pub fault_plan: Option<FaultPlan>,
+    /// Content-integrity and sender-trust layer. `None` (the default)
+    /// runs exactly as before. When set, senders CRC-frame their
+    /// payloads and receivers verify them on arrival, every received
+    /// cloud passes the [`crate::consistency`] guard before fusion, and
+    /// a per-(receiver, sender) [`TrustLedger`] quarantines peers whose
+    /// packets keep failing — their transfers are skipped outright (the
+    /// governor never prices their candidates) until probation
+    /// re-admits them.
+    pub trust: Option<TrustGuardConfig>,
+}
+
+/// Configuration of the integrity-and-trust layer
+/// ([`FleetConfig::trust`]): the trust state machine plus the
+/// content-consistency guard it draws violations from.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrustGuardConfig {
+    /// Trust state-machine thresholds.
+    pub trust: TrustConfig,
+    /// Consistency-guard tuning.
+    pub consistency: ConsistencyConfig,
+}
+
+impl TrustGuardConfig {
+    /// Checks both halves of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.trust.validate()?;
+        self.consistency.validate()
+    }
 }
 
 impl Default for FleetConfig {
@@ -124,6 +162,7 @@ impl Default for FleetConfig {
             step_duration_s: 1.0,
             threads: None,
             fault_plan: None,
+            trust: None,
         }
     }
 }
@@ -133,6 +172,9 @@ impl Default for FleetConfig {
 /// receive-side pose measurement.
 const TX_MEASURE_STREAM: u64 = 0x7A5E_11DA_7E00_0001;
 const RX_MEASURE_STREAM: u64 = 0x7A5E_11DA_7E00_0002;
+/// Stream salt for at-source payload bit flips
+/// ([`cooper_lidar_sim::FaultKind::PayloadCorruption`]).
+const TX_CORRUPT_STREAM: u64 = 0x7A5E_11DA_7E00_0003;
 
 /// Converts a guard residual in metres to the millimetre fixed-point
 /// representation carried by
@@ -159,6 +201,34 @@ fn stream_seed(seed: u64, vehicle_id: u32, step: usize, salt: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Applies the trust layer's CRC trailer and any active at-source
+/// corruption fault to an outgoing packet, in that order — flips land
+/// *after* the checksum is computed, so a corrupting sender's frames
+/// fail the receiver's integrity check instead of carrying a fresh
+/// valid CRC over garbage.
+fn finalize_tx_packet(
+    packet: ExchangePacket,
+    trust_on: bool,
+    corrupt_rate: f64,
+    seed: u64,
+    vehicle_id: u32,
+    step: usize,
+) -> Result<ExchangePacket, CooperError> {
+    let packet = if trust_on {
+        packet.with_integrity()?
+    } else {
+        packet
+    };
+    if corrupt_rate > 0.0 {
+        Ok(packet.with_flipped_payload_bytes(
+            corrupt_rate,
+            stream_seed(seed, vehicle_id, step, TX_CORRUPT_STREAM),
+        ))
+    } else {
+        Ok(packet)
+    }
 }
 
 /// Per-vehicle outcome of one step.
@@ -190,6 +260,14 @@ pub struct VehicleStepReport {
     /// through a momentary miss instead of being re-detected this step.
     /// Zero when the pipeline has no tracker.
     pub coasting_tracks: usize,
+    /// Packets this vehicle excluded for integrity or content reasons
+    /// this step — CRC failures, alignment rejections, consistency
+    /// violations — each charged to its sender as a trust violation.
+    /// Zero when the trust layer is off ([`FleetConfig::trust`]).
+    pub trust_violations: u32,
+    /// Senders this vehicle currently holds in quarantine (after this
+    /// step's trust update). Zero when the trust layer is off.
+    pub quarantined_peers: u32,
 }
 
 /// Why an in-range transfer the channel was asked about did not arrive
@@ -227,6 +305,29 @@ pub enum TransportDropReason {
         /// Post-refinement matched residual, millimetres
         /// (`u32::MAX` when no verifiable overlap existed at all).
         residual_mm: u32,
+    },
+    /// The link layer delivered the payload damaged — bit flips or a
+    /// mid-frame truncation past ARQ's clean prefix; nothing of it was
+    /// usable and the receiver fell back to ego-only perception for
+    /// this sender.
+    Corrupted,
+    /// The packet arrived whole but its CRC-32 integrity trailer failed
+    /// verification at the receiver; the content was discarded before
+    /// decode and the failure charged to the sender as a trust
+    /// violation.
+    IntegrityFailed,
+    /// The receiver has the sender quarantined
+    /// ([`crate::TrustLedger`]): the transfer was skipped before
+    /// anything was priced or put on the air.
+    Quarantined,
+    /// The consistency guard ([`crate::consistency`]) flagged the
+    /// packet's content as physically impossible — ghost points in
+    /// ego-observed free space, a teleporting centroid, or a replayed
+    /// stamp — and excluded it from fusion.
+    ConsistencyRejected {
+        /// Remote points found in ego-observed free space (zero for
+        /// teleport and replay verdicts).
+        ghost_points: u32,
     },
 }
 
@@ -356,6 +457,12 @@ pub struct FleetStats {
     /// ([`CooperPipeline::with_tracker`]). Ordered map, so iteration is
     /// deterministic.
     pub tracks: BTreeMap<u32, TrackVehicleStats>,
+    /// Per receiving vehicle, its trust-layer activity over the whole
+    /// run — violations charged, quarantines imposed, transfers
+    /// blocked, senders reinstated. Empty when the trust layer is off
+    /// ([`FleetConfig::trust`]). Ordered map, so iteration is
+    /// deterministic.
+    pub trust: BTreeMap<u32, TrustVehicleStats>,
 }
 
 impl FleetStats {
@@ -461,6 +568,26 @@ struct Broadcast {
     /// prepared in phase 1 when the governed config enables the feature
     /// tier ([`GovernorConfig::features`]); `None` otherwise.
     feature_frames: [Option<FeatureFrame>; 3],
+    /// The scan as the vehicle *transmits* it, when adversarial fault
+    /// kinds made it diverge from [`Broadcast::scan`]: a replayed
+    /// capture, ghost clusters appended, or both. `None` = honest.
+    tx_scan: Option<PointCloud>,
+    /// Estimate attached to outgoing packets (the replayed capture's
+    /// under [`cooper_lidar_sim::FaultKind::ScanReplay`]).
+    tx_estimate: PoseEstimate,
+    /// Stamp attached to outgoing packets.
+    tx_stamp: u32,
+    /// At-source payload bit-flip rate applied to outgoing packets;
+    /// zero when no corruption fault is active.
+    tx_corrupt_rate: f64,
+}
+
+impl Broadcast {
+    /// The scan the vehicle broadcasts — tampered when an adversarial
+    /// fault is active, the honest sensor scan otherwise.
+    fn tx_scan(&self) -> &PointCloud {
+        self.tx_scan.as_ref().unwrap_or(&self.scan)
+    }
 }
 
 /// One unit of phase-3 work, indexed by vehicle position: the vehicle's
@@ -487,6 +614,12 @@ enum PerceiveTaskOutput {
         detections: Vec<Detection>,
         align_drops: Vec<TransportDrop>,
         align_stats: AlignmentVehicleStats,
+        /// Packets the consistency guard excluded from fusion (trust
+        /// layer on only).
+        consistency_drops: Vec<TransportDrop>,
+        /// Fresh per-sender motion histories, applied to the shared map
+        /// by the serial merge loop.
+        history_updates: Vec<((u32, u32), SenderHistory)>,
     },
 }
 
@@ -554,6 +687,12 @@ fn kind_index(kind: FrameKind) -> usize {
 struct ExchangeOutputs<'a> {
     encode_drops: &'a mut Vec<EncodeDrop>,
     inboxes: &'a mut [Vec<ExchangePacket>],
+    /// Parallel to `inboxes`: `true` when the entry was reconstructed
+    /// from a delta stream and therefore mixes points captured at the
+    /// keyframe step with the current one. The consistency guard skips
+    /// its free-space sweep for such composites — a moving sender's
+    /// smeared keyframe points sit in genuinely free space.
+    composite: &'a mut [Vec<bool>],
     bytes_received: &'a mut [usize],
     partial_counts: &'a mut [usize],
     transport_drops: &'a mut Vec<TransportDrop>,
@@ -697,10 +836,25 @@ impl FleetSimulation {
                     self.config.seed,
                 )
             });
+        if let Some(tg) = &self.config.trust {
+            if let Err(message) = tg.validate() {
+                panic!("invalid trust config: {message}");
+            }
+        }
+        let trust_guard = self.config.trust;
         let executor = Executor::new(self.config.threads);
         let mut reports = Vec::with_capacity(steps);
         let mut stats = FleetStats::default();
         let mut world = self.world.clone();
+        // Trust-layer state, all owned here and advanced serially: the
+        // per-(receiver, sender) ledger, the consistency guard's
+        // per-pair histories (read in parallel phase 3, written in the
+        // serial merge), and per-vehicle replayed-broadcast captures
+        // (read in parallel phase 1, written serially after it).
+        let mut trust_ledger = TrustLedger::new();
+        let mut histories: BTreeMap<(u32, u32), SenderHistory> = BTreeMap::new();
+        let mut replay_cache: Vec<Option<(usize, PointCloud, PoseEstimate, u32)>> =
+            self.vehicles.iter().map(|_| None).collect();
         // Per-vehicle temporal state, persistent across steps: a
         // tracker when the pipeline enables track-level fusion, and a
         // perception cache when it enables incremental perception. Both
@@ -755,6 +909,41 @@ impl FleetSimulation {
                         }
                         None => (clean, step as u32),
                     };
+                    // Adversarial sender faults: what this vehicle
+                    // *transmits* may diverge from what it senses — a
+                    // replayed capture, ghost clusters, or an at-source
+                    // corruption rate. The honest `scan`/`estimate`
+                    // still drive its own perception in phase 3.
+                    let scan_faults = injector
+                        .as_ref()
+                        .map(|inj| inj.scan_faults(v.id, step))
+                        .unwrap_or_default();
+                    let mut tx_scan: Option<PointCloud> = None;
+                    let mut tx_estimate = estimate;
+                    let mut tx_stamp = stamp;
+                    if let Some(onset) = scan_faults.replay_from {
+                        // The capture happens serially after phase 1, so
+                        // the onset step itself still transmits live.
+                        if let Some((cached_onset, cached_scan, cached_estimate, cached_stamp)) =
+                            replay_cache[idx].as_ref()
+                        {
+                            if *cached_onset == onset {
+                                tx_scan = Some(cached_scan.clone());
+                                tx_estimate = *cached_estimate;
+                                tx_stamp = *cached_stamp;
+                            }
+                        }
+                    }
+                    if scan_faults.ghost_clusters > 0 {
+                        if let Some(inj) = &injector {
+                            let mut cloud = tx_scan.take().unwrap_or_else(|| scan.clone());
+                            for point in inj.ghost_cloud(v.id, step).iter() {
+                                cloud.push(*point);
+                            }
+                            tx_scan = Some(cloud);
+                        }
+                    }
+                    let tx_corrupt_rate = scan_faults.corrupt_rate;
                     if let Some(gcfg) = &governed_cfg {
                         // Governed mode: packets are built per transfer
                         // in phase 2; phase 1 computes this vehicle's
@@ -772,9 +961,11 @@ impl FleetSimulation {
                         let feature_frames = if gcfg.features {
                             // Sequential internals: the per-vehicle
                             // fan-out of phase 1 already saturates the
-                            // workers, exactly like phase 3.
+                            // workers, exactly like phase 3. Features
+                            // describe what the vehicle *transmits*, so
+                            // an adversarial tx scan is featurized too.
                             let bev = pipeline.detector().featurize_with(
-                                &scan,
+                                tx_scan.as_ref().unwrap_or(&scan),
                                 &DetectOptions::default().with_executor(Executor::sequential()),
                                 &mut DetectScratch::new(),
                             );
@@ -797,12 +988,27 @@ impl FleetSimulation {
                                 packet: None,
                                 blind,
                                 feature_frames,
+                                tx_scan,
+                                tx_estimate,
+                                tx_stamp,
+                                tx_corrupt_rate,
                             },
                             None,
                         );
                     }
-                    let roi_scan = extract_roi(&scan, self.config.roi);
-                    match ExchangePacket::build(v.id, stamp, &roi_scan, estimate) {
+                    let roi_scan = extract_roi(tx_scan.as_ref().unwrap_or(&scan), self.config.roi);
+                    let built = ExchangePacket::build(v.id, tx_stamp, &roi_scan, tx_estimate)
+                        .and_then(|packet| {
+                            finalize_tx_packet(
+                                packet,
+                                trust_guard.is_some(),
+                                tx_corrupt_rate,
+                                self.config.seed,
+                                v.id,
+                                step,
+                            )
+                        });
+                    match built {
                         Ok(packet) => (
                             Broadcast {
                                 scan,
@@ -812,6 +1018,10 @@ impl FleetSimulation {
                                 packet: Some(packet),
                                 blind: Vec::new(),
                                 feature_frames: Default::default(),
+                                tx_scan,
+                                tx_estimate,
+                                tx_stamp,
+                                tx_corrupt_rate,
                             },
                             None,
                         ),
@@ -835,6 +1045,10 @@ impl FleetSimulation {
                                     packet: None,
                                     blind: Vec::new(),
                                     feature_frames: Default::default(),
+                                    tx_scan,
+                                    tx_estimate,
+                                    tx_stamp,
+                                    tx_corrupt_rate,
                                 },
                                 Some(EncodeDrop {
                                     vehicle_id: v.id,
@@ -851,6 +1065,24 @@ impl FleetSimulation {
                 broadcasts.push(broadcast);
                 encode_drops.extend(drop);
             }
+            // Serial replay-capture update: a scan-replay fault captures
+            // the sender's broadcast at its onset step and freezes it;
+            // phase 1 above reads the capture immutably, so every later
+            // step retransmits the same frame with the same stamp.
+            if let Some(inj) = &injector {
+                for (idx, b) in broadcasts.iter().enumerate() {
+                    match inj.scan_faults(self.vehicles[idx].id, step).replay_from {
+                        Some(onset) => {
+                            let captured = replay_cache[idx].as_ref().map(|(o, ..)| *o);
+                            if captured != Some(onset) {
+                                replay_cache[idx] =
+                                    Some((onset, b.scan.clone(), b.estimate, b.stamp));
+                            }
+                        }
+                        None => replay_cache[idx] = None,
+                    }
+                }
+            }
             timings.scan_us = scan_start.elapsed().as_micros() as u64;
 
             // Phase 2 (serial): connection tracking and delivery
@@ -858,6 +1090,7 @@ impl FleetSimulation {
             let exchange_start = std::time::Instant::now();
             let mut inboxes: Vec<Vec<ExchangePacket>> = Vec::new();
             inboxes.resize_with(self.vehicles.len(), Vec::new);
+            let mut inbox_composite: Vec<Vec<bool>> = vec![Vec::new(); self.vehicles.len()];
             let mut bytes_received = vec![0usize; self.vehicles.len()];
             let mut partial_counts = vec![0usize; self.vehicles.len()];
             let mut transport_drops: Vec<TransportDrop> = Vec::new();
@@ -876,15 +1109,18 @@ impl FleetSimulation {
                         }
                     }
                 }
+                let ledger = trust_guard.is_some().then_some(&trust_ledger);
                 if let Some(g) = governed.as_mut() {
                     self.exchange_governed(
                         step,
                         channel,
+                        ledger,
                         g,
                         &broadcasts,
                         ExchangeOutputs {
                             encode_drops: &mut encode_drops,
                             inboxes: &mut inboxes,
+                            composite: &mut inbox_composite,
                             bytes_received: &mut bytes_received,
                             partial_counts: &mut partial_counts,
                             transport_drops: &mut transport_drops,
@@ -895,10 +1131,12 @@ impl FleetSimulation {
                     self.exchange_ungoverned(
                         step,
                         channel,
+                        ledger,
                         &broadcasts,
                         ExchangeOutputs {
                             encode_drops: &mut encode_drops,
                             inboxes: &mut inboxes,
+                            composite: &mut inbox_composite,
                             bytes_received: &mut bytes_received,
                             partial_counts: &mut partial_counts,
                             transport_drops: &mut transport_drops,
@@ -965,11 +1203,112 @@ impl FleetSimulation {
                             }
                             None => clean,
                         };
+                        // Consistency guard (trust layer on): screen
+                        // every delivered cloud against the ego scan's
+                        // observed free space and the sender's motion
+                        // history before it reaches fusion. Histories
+                        // are read from the snapshot taken before the
+                        // parallel fan-out; updates apply serially.
+                        let mut consistency_drops: Vec<TransportDrop> = Vec::new();
+                        let mut history_updates: Vec<((u32, u32), SenderHistory)> = Vec::new();
+                        let filtered: Option<Vec<ExchangePacket>> = trust_guard.map(|tg| {
+                            let ego_index = FreeSpaceIndex::build(&me.scan, &tg.consistency);
+                            // Composite (delta-reconstructed) clouds mix
+                            // keyframe-step points with current ones; a
+                            // moving sender smears those through space
+                            // the ego genuinely observed as free. Skip
+                            // the free-space sweep for them (an empty
+                            // index yields zero ghost evidence) while
+                            // keeping the replay and teleport checks.
+                            let empty_index =
+                                FreeSpaceIndex::build(&PointCloud::new(), &tg.consistency);
+                            let mut kept = Vec::with_capacity(inboxes[i].len());
+                            for (k, pkt) in inboxes[i].iter().enumerate() {
+                                let Ok(cloud) = pkt.cloud() else {
+                                    // Feature frames and undecodable
+                                    // payloads flow through; the fusion
+                                    // pipeline owns those verdicts.
+                                    kept.push(pkt.clone());
+                                    continue;
+                                };
+                                let sweep_index =
+                                    if inbox_composite[i].get(k).copied().unwrap_or(false) {
+                                        &empty_index
+                                    } else {
+                                        &ego_index
+                                    };
+                                if cooper_telemetry::is_enabled() {
+                                    cooper_telemetry::counter_add(
+                                        telemetry_names::GUARD_CONSISTENCY_CHECKS,
+                                        1,
+                                    );
+                                }
+                                let align = alignment_transform(
+                                    pkt.pose(),
+                                    &my_estimate,
+                                    &self.config.origin,
+                                );
+                                let in_ego = cloud.transformed(&align);
+                                let mut centroid = Vec3::new(0.0, 0.0, 0.0);
+                                for p in cloud.iter() {
+                                    centroid += p.position;
+                                }
+                                centroid /= cloud.len().max(1) as f64;
+                                let world_centroid = RigidTransform::from_pose(
+                                    &pkt.pose().to_pose(&self.config.origin),
+                                )
+                                .apply(centroid);
+                                let key = (id, pkt.vehicle_id());
+                                let (verdict, next) = check_consistency(
+                                    sweep_index,
+                                    &in_ego,
+                                    world_centroid,
+                                    pkt.sequence(),
+                                    histories.get(&key),
+                                    self.config.step_duration_s,
+                                    &tg.consistency,
+                                );
+                                history_updates.push((key, next));
+                                if verdict.is_consistent() {
+                                    kept.push(pkt.clone());
+                                    continue;
+                                }
+                                let ghost_points = verdict.ghost_points();
+                                if cooper_telemetry::is_enabled() {
+                                    cooper_telemetry::counter_add(
+                                        telemetry_names::GUARD_CONSISTENCY_REJECTS,
+                                        1,
+                                    );
+                                    cooper_telemetry::counter_add(
+                                        telemetry_names::GUARD_CONSISTENCY_GHOST_POINTS,
+                                        ghost_points as u64,
+                                    );
+                                }
+                                if cooper_telemetry::is_tracing() {
+                                    cooper_telemetry::trace_mark_with(
+                                        TraceId::new(step, pkt.vehicle_id(), id),
+                                        trace_stage::CONSISTENCY_REJECTED,
+                                        true,
+                                        ghost_points as u64,
+                                    );
+                                }
+                                consistency_drops.push(TransportDrop {
+                                    from: pkt.vehicle_id(),
+                                    to: id,
+                                    reason: TransportDropReason::ConsistencyRejected {
+                                        ghost_points: ghost_points as u32,
+                                    },
+                                });
+                            }
+                            kept
+                        });
+                        let fusion_inbox: &[ExchangePacket] =
+                            filtered.as_deref().unwrap_or(&inboxes[i]);
                         let outcome = if pipeline.incremental() {
                             pipeline.perceive_cached(
                                 &me.scan,
                                 &my_estimate,
-                                &inboxes[i],
+                                fusion_inbox,
                                 &self.config.origin,
                                 &inner,
                                 scratch,
@@ -979,7 +1318,7 @@ impl FleetSimulation {
                             pipeline.perceive_with(
                                 &me.scan,
                                 &my_estimate,
-                                &inboxes[i],
+                                fusion_inbox,
                                 &self.config.origin,
                                 &inner,
                                 scratch,
@@ -1010,7 +1349,7 @@ impl FleetSimulation {
                         // input, rejected by the alignment guard, or
                         // dropped by a decode failure.
                         if cooper_telemetry::is_tracing() {
-                            for (k, pkt) in inboxes[i].iter().enumerate() {
+                            for (k, pkt) in fusion_inbox.iter().enumerate() {
                                 let trace = TraceId::new(step, pkt.vehicle_id(), id);
                                 match outcome.drops.iter().find(|d| d.index == k) {
                                     Some(drop) => match drop.error {
@@ -1041,17 +1380,21 @@ impl FleetSimulation {
                             single_detections: 0,
                             cooperative_detections: outcome.detections.len(),
                             packets_received: inboxes[i].len(),
-                            packets_dropped: outcome.drops.len(),
+                            packets_dropped: outcome.drops.len() + consistency_drops.len(),
                             packets_partial: partial_counts[i],
                             bytes_received: bytes_received[i],
                             confirmed_tracks: 0,
                             coasting_tracks: 0,
+                            trust_violations: 0,
+                            quarantined_peers: 0,
                         };
                         PerceiveTaskOutput::Cooperative {
                             report,
                             detections: outcome.detections,
                             align_drops,
                             align_stats,
+                            consistency_drops,
+                            history_updates,
                         }
                     }
                 })
@@ -1075,11 +1418,16 @@ impl FleetSimulation {
                     detections,
                     align_drops,
                     align_stats,
+                    consistency_drops,
+                    history_updates,
                 } = coop_out
                 else {
                     unreachable!("phase-3 results keep input order");
                 };
                 report.single_detections = single;
+                for (key, history) in history_updates {
+                    histories.insert(key, history);
+                }
                 if let Some(tracker) = tracker_slot.as_mut() {
                     let summary = tracker.update(&detections, self.config.step_duration_s);
                     let (_tentative, confirmed, coasting) = tracker.state_counts();
@@ -1122,7 +1470,70 @@ impl FleetSimulation {
                     entry.residual_after_m_sum += align_stats.residual_after_m_sum;
                 }
                 transport_drops.extend(align_drops);
+                transport_drops.extend(consistency_drops);
                 per_vehicle.push(report);
+            }
+            // End-of-step trust update (trust layer on): charge this
+            // step's violations to their senders, advance every pair's
+            // state machine, and stamp the per-vehicle trust columns.
+            if let Some(tg) = &trust_guard {
+                let mut violations: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+                for drop in &transport_drops {
+                    if matches!(
+                        drop.reason,
+                        TransportDropReason::IntegrityFailed
+                            | TransportDropReason::AlignmentRejected { .. }
+                            | TransportDropReason::ConsistencyRejected { .. }
+                    ) {
+                        *violations.entry((drop.to, drop.from)).or_insert(0) += 1;
+                    }
+                }
+                let mut checked: Vec<(u32, u32)> = Vec::new();
+                for (idx, inbox) in inboxes.iter().enumerate() {
+                    let to = self.vehicles[idx].id;
+                    for pkt in inbox {
+                        checked.push((to, pkt.vehicle_id()));
+                    }
+                }
+                checked.extend(violations.keys().copied());
+                let transitions = trust_ledger.end_step(&violations, &checked, &tg.trust);
+                if cooper_telemetry::is_enabled() {
+                    let charged: u64 = violations.values().map(|&v| u64::from(v)).sum();
+                    if charged > 0 {
+                        cooper_telemetry::counter_add(telemetry_names::TRUST_VIOLATIONS, charged);
+                    }
+                }
+                for ((receiver, _sender), transition) in &transitions {
+                    let entry = stats.trust.entry(*receiver).or_default();
+                    match transition {
+                        TrustTransition::Quarantined => {
+                            entry.quarantines += 1;
+                            if cooper_telemetry::is_enabled() {
+                                cooper_telemetry::counter_add(
+                                    telemetry_names::TRUST_QUARANTINES,
+                                    1,
+                                );
+                            }
+                        }
+                        TrustTransition::Reinstated => {
+                            entry.reinstated += 1;
+                            if cooper_telemetry::is_enabled() {
+                                cooper_telemetry::counter_add(telemetry_names::TRUST_REINSTATED, 1);
+                            }
+                        }
+                        TrustTransition::Paroled | TrustTransition::None => {}
+                    }
+                }
+                for (idx, report) in per_vehicle.iter_mut().enumerate() {
+                    let id = self.vehicles[idx].id;
+                    report.trust_violations = violations
+                        .range((id, u32::MIN)..=(id, u32::MAX))
+                        .map(|(_, &v)| v)
+                        .sum();
+                    report.quarantined_peers = trust_ledger.quarantined_count(id) as u32;
+                    stats.trust.entry(id).or_default().violations +=
+                        u64::from(report.trust_violations);
+                }
             }
             timings.perceive_us = perceive_start.elapsed().as_micros() as u64;
 
@@ -1182,6 +1593,7 @@ impl FleetSimulation {
         &self,
         step: usize,
         channel: &mut dyn ChannelModel,
+        trust_ledger: Option<&TrustLedger>,
         broadcasts: &[Broadcast],
         out: ExchangeOutputs<'_>,
     ) {
@@ -1193,15 +1605,50 @@ impl FleetSimulation {
                 let Some(packet) = &other.packet else {
                     continue;
                 };
+                let from = self.vehicles[j].id;
+                let to = self.vehicles[i].id;
+                if trust_ledger.is_some_and(|ledger| ledger.blocks(to, from)) {
+                    Self::record_quarantine_skip(step, from, to, &mut *out.stats);
+                    out.transport_drops.push(TransportDrop {
+                        from,
+                        to,
+                        reason: TransportDropReason::Quarantined,
+                    });
+                    continue;
+                }
                 let ctx = TransferCtx {
                     step,
-                    from: self.vehicles[j].id,
-                    to: self.vehicles[i].id,
+                    from,
+                    to,
                     wire_bytes: packet.wire_size(),
                 };
                 let trace = TraceId::new(step, ctx.from, ctx.to);
                 match channel.deliver_verdict(&ctx) {
                     Delivery::Delivered => {
+                        if trust_ledger.is_some() && !matches!(packet.verify_integrity(), Ok(_)) {
+                            // The frame arrived whole but its CRC-32
+                            // trailer does not match — at-source
+                            // corruption the link layer cannot see.
+                            // Bytes were still burned on the air.
+                            if cooper_telemetry::is_enabled() {
+                                cooper_telemetry::counter_add(
+                                    telemetry_names::V2X_INTEGRITY_CRC_FAIL,
+                                    1,
+                                );
+                            }
+                            cooper_telemetry::trace_mark(
+                                trace,
+                                trace_stage::INTEGRITY_FAILED,
+                                true,
+                            );
+                            out.bytes_received[i] += packet.wire_size();
+                            out.transport_drops.push(TransportDrop {
+                                from,
+                                to,
+                                reason: TransportDropReason::IntegrityFailed,
+                            });
+                            continue;
+                        }
                         cooper_telemetry::trace_mark_with(
                             trace,
                             trace_stage::DELIVERED,
@@ -1210,9 +1657,24 @@ impl FleetSimulation {
                         );
                         out.bytes_received[i] += packet.wire_size();
                         out.inboxes[i].push(packet.clone());
+                        out.composite[i].push(false);
                     }
                     Delivery::Dropped => {
                         cooper_telemetry::trace_mark(trace, trace_stage::CHANNEL_DROPPED, true);
+                    }
+                    Delivery::Corrupted => {
+                        if cooper_telemetry::is_enabled() {
+                            cooper_telemetry::counter_add(
+                                telemetry_names::V2X_INTEGRITY_CORRUPTED_FRAMES,
+                                1,
+                            );
+                        }
+                        cooper_telemetry::trace_mark(trace, trace_stage::V2X_CORRUPTED, true);
+                        out.transport_drops.push(TransportDrop {
+                            from,
+                            to,
+                            reason: TransportDropReason::Corrupted,
+                        });
                     }
                     Delivery::DeadlineExceeded => {
                         if cooper_telemetry::is_enabled() {
@@ -1253,6 +1715,7 @@ impl FleetSimulation {
                                 out.bytes_received[i] += delivered_bytes;
                                 out.partial_counts[i] += 1;
                                 out.inboxes[i].push(salvaged);
+                                out.composite[i].push(false);
                                 out.transport_drops.push(TransportDrop {
                                     from: ctx.from,
                                     to: ctx.to,
@@ -1299,21 +1762,32 @@ impl FleetSimulation {
         &self,
         step: usize,
         channel: &mut dyn ChannelModel,
+        trust_ledger: Option<&TrustLedger>,
         g: &mut GovernedLoop<'_>,
         broadcasts: &[Broadcast],
         out: ExchangeOutputs<'_>,
     ) {
         let n = self.vehicles.len();
-        // Per-sender content preparation, in fleet order.
+        // With the trust layer on, every candidate carries a CRC-32
+        // trailer; price it so the wire-size assertion below holds.
+        let crc_bytes = if trust_ledger.is_some() {
+            CRC_TRAILER_BYTES
+        } else {
+            0
+        };
+        // Per-sender content preparation, in fleet order. All content
+        // flows from the *transmitted* scan — an adversarial sender's
+        // codec state tracks what it puts on the air, not what it saw.
         let mut frames: Vec<SenderFrame> = Vec::with_capacity(n);
         for (j, b) in broadcasts.iter().enumerate() {
             let id = self.vehicles[j].id;
-            let baseline_bytes = ExchangePacket::wire_size_for(b.scan.len());
+            let tx_scan = b.tx_scan();
+            let baseline_bytes = ExchangePacket::wire_size_for(tx_scan.len()) + crc_bytes;
             let (kf_cloud, delta_cloud, keyframe_due, background_subtracted) =
                 if g.config.delta_encode {
                     let state = &mut g.tx_states[j];
-                    state.map.observe(&b.scan);
-                    let foreground = state.map.subtract_background(&b.scan);
+                    state.map.observe(tx_scan);
+                    let foreground = state.map.subtract_background(tx_scan);
                     let due = state.enc.keyframe_due();
                     let novel = state.enc.novel_points(&foreground);
                     if due {
@@ -1323,7 +1797,7 @@ impl FleetSimulation {
                     }
                     (foreground, Some(novel), due, true)
                 } else {
-                    (b.scan.clone(), None, true, false)
+                    (tx_scan.clone(), None, true, false)
                 };
             let mut frame = SenderFrame {
                 ok: true,
@@ -1341,12 +1815,22 @@ impl FleetSimulation {
             // encodes, they all do.
             match ExchangePacket::build_v2(
                 id,
-                b.stamp,
+                b.tx_stamp,
                 &kf_cloud,
-                b.estimate,
+                b.tx_estimate,
                 FrameKind::Keyframe,
                 background_subtracted,
-            ) {
+            )
+            .and_then(|probe| {
+                finalize_tx_packet(
+                    probe,
+                    trust_ledger.is_some(),
+                    b.tx_corrupt_rate,
+                    self.config.seed,
+                    id,
+                    step,
+                )
+            }) {
                 Ok(probe) => {
                     let kinds: &[FrameKind] = if g.config.delta_encode {
                         if keyframe_due {
@@ -1373,7 +1857,7 @@ impl FleetSimulation {
                             RoiCategory::ForwardOneWay,
                         ] {
                             let cloud = extract_roi(content, roi);
-                            let wire_bytes = ExchangePacket::wire_size_for(cloud.len());
+                            let wire_bytes = ExchangePacket::wire_size_for(cloud.len()) + crc_bytes;
                             frame.candidates.push(TransferCandidate {
                                 roi,
                                 kind,
@@ -1398,7 +1882,8 @@ impl FleetSimulation {
                         ] {
                             if let Some(ff) = &b.feature_frames[roi_index(roi)] {
                                 let wire_bytes =
-                                    ExchangePacket::wire_size_for_features(ff.len(), ff.channels());
+                                    ExchangePacket::wire_size_for_features(ff.len(), ff.channels())
+                                        + crc_bytes;
                                 frame.candidates.push(TransferCandidate {
                                     roi,
                                     kind: FrameKind::Features,
@@ -1441,6 +1926,17 @@ impl FleetSimulation {
                 }
                 let from = self.vehicles[j].id;
                 let to = self.vehicles[i].id;
+                if trust_ledger.is_some_and(|ledger| ledger.blocks(to, from)) {
+                    // Quarantined senders are skipped before anything is
+                    // priced: the governor never sees the offer.
+                    Self::record_quarantine_skip(step, from, to, &mut *out.stats);
+                    out.transport_drops.push(TransportDrop {
+                        from,
+                        to,
+                        reason: TransportDropReason::Quarantined,
+                    });
+                    continue;
+                }
                 let offer = TransferOffer {
                     step,
                     from,
@@ -1479,10 +1975,20 @@ impl FleetSimulation {
                             .expect("feature candidate was offered, so its frame is prepared");
                         let built = ExchangePacket::build_features(
                             from,
-                            broadcasts[j].stamp,
+                            broadcasts[j].tx_stamp,
                             ff,
-                            broadcasts[j].estimate,
+                            broadcasts[j].tx_estimate,
                         )
+                        .and_then(|packet| {
+                            finalize_tx_packet(
+                                packet,
+                                trust_ledger.is_some(),
+                                broadcasts[j].tx_corrupt_rate,
+                                self.config.seed,
+                                from,
+                                step,
+                            )
+                        })
                         .expect("a probed sender's feature frame must encode");
                         frames[j].feature_packets[ri] = Some(built);
                     }
@@ -1497,12 +2003,22 @@ impl FleetSimulation {
                             .expect("chosen candidate was offered, so its cloud is prepared");
                         let built = ExchangePacket::build_v2(
                             from,
-                            broadcasts[j].stamp,
+                            broadcasts[j].tx_stamp,
                             cloud,
-                            broadcasts[j].estimate,
+                            broadcasts[j].tx_estimate,
                             chosen.kind,
                             frames[j].background_subtracted,
                         )
+                        .and_then(|packet| {
+                            finalize_tx_packet(
+                                packet,
+                                trust_ledger.is_some(),
+                                broadcasts[j].tx_corrupt_rate,
+                                self.config.seed,
+                                from,
+                                step,
+                            )
+                        })
                         .expect("an ROI subset of a probed frame must encode");
                         frames[j].packets[ri][ki] = Some(built);
                     }
@@ -1544,6 +2060,26 @@ impl FleetSimulation {
                 );
                 match channel.deliver_verdict(&ctx) {
                     Delivery::Delivered => {
+                        if trust_ledger.is_some() && !matches!(packet.verify_integrity(), Ok(_)) {
+                            if cooper_telemetry::is_enabled() {
+                                cooper_telemetry::counter_add(
+                                    telemetry_names::V2X_INTEGRITY_CRC_FAIL,
+                                    1,
+                                );
+                            }
+                            cooper_telemetry::trace_mark(
+                                trace,
+                                trace_stage::INTEGRITY_FAILED,
+                                true,
+                            );
+                            out.bytes_received[i] += chosen.wire_bytes;
+                            out.transport_drops.push(TransportDrop {
+                                from,
+                                to,
+                                reason: TransportDropReason::IntegrityFailed,
+                            });
+                            continue;
+                        }
                         cooper_telemetry::trace_mark_with(
                             trace,
                             trace_stage::DELIVERED,
@@ -1551,9 +2087,10 @@ impl FleetSimulation {
                             ctx.wire_bytes as u64,
                         );
                         match Self::rx_reconstruct(&mut g.rx_decoders[i], from, &packet) {
-                            Ok(reconstructed) => {
+                            Ok((reconstructed, composite)) => {
                                 out.bytes_received[i] += chosen.wire_bytes;
                                 out.inboxes[i].push(reconstructed);
+                                out.composite[i].push(composite);
                             }
                             Err(error) => {
                                 if cooper_telemetry::is_enabled() {
@@ -1579,6 +2116,20 @@ impl FleetSimulation {
                     }
                     Delivery::Dropped => {
                         cooper_telemetry::trace_mark(trace, trace_stage::CHANNEL_DROPPED, true);
+                    }
+                    Delivery::Corrupted => {
+                        if cooper_telemetry::is_enabled() {
+                            cooper_telemetry::counter_add(
+                                telemetry_names::V2X_INTEGRITY_CORRUPTED_FRAMES,
+                                1,
+                            );
+                        }
+                        cooper_telemetry::trace_mark(trace, trace_stage::V2X_CORRUPTED, true);
+                        out.transport_drops.push(TransportDrop {
+                            from,
+                            to,
+                            reason: TransportDropReason::Corrupted,
+                        });
                     }
                     Delivery::DeadlineExceeded => {
                         if cooper_telemetry::is_enabled() {
@@ -1609,7 +2160,7 @@ impl FleetSimulation {
                             },
                         );
                         match salvaged {
-                            Ok(reconstructed) => {
+                            Ok((reconstructed, composite)) => {
                                 if cooper_telemetry::is_enabled() {
                                     cooper_telemetry::counter_add(
                                         telemetry_names::FLEET_PARTIAL_SALVAGED,
@@ -1620,6 +2171,7 @@ impl FleetSimulation {
                                 out.bytes_received[i] += delivered_bytes;
                                 out.partial_counts[i] += 1;
                                 out.inboxes[i].push(reconstructed);
+                                out.composite[i].push(composite);
                                 out.transport_drops.push(TransportDrop {
                                     from,
                                     to,
@@ -1663,18 +2215,32 @@ impl FleetSimulation {
     /// payloads run through the receiver's per-sender [`DeltaDecoder`]
     /// (caching keyframes, merging deltas) and are re-wrapped as
     /// self-contained packets for the fusion pipeline.
+    /// Records one transfer skipped because the receiver holds the
+    /// sender in quarantine: counter, terminal trace mark, and the
+    /// receiver's per-vehicle trust stats.
+    fn record_quarantine_skip(step: usize, from: u32, to: u32, stats: &mut FleetStats) {
+        if cooper_telemetry::is_enabled() {
+            cooper_telemetry::counter_add(telemetry_names::TRUST_BLOCKED_TRANSFERS, 1);
+        }
+        cooper_telemetry::trace_mark(TraceId::new(step, from, to), trace_stage::QUARANTINED, true);
+        stats.trust.entry(to).or_default().blocked_transfers += 1;
+    }
+
     fn rx_reconstruct(
         decoders: &mut BTreeMap<u32, DeltaDecoder>,
         sender: u32,
         packet: &ExchangePacket,
-    ) -> Result<ExchangePacket, CooperError> {
+    ) -> Result<(ExchangePacket, bool), CooperError> {
         let info = packet.frame_info()?;
         if info.version != 2 {
-            return Ok(packet.clone());
+            return Ok((packet.clone(), false));
         }
+        // A delta frame merges the receiver's cached keyframe with this
+        // step's novel points: the result spans capture instants.
+        let composite = info.kind == FrameKind::Delta;
         let decoder = decoders.entry(sender).or_default();
         let cloud = decoder.decode_next(packet.payload())?;
-        packet.with_cloud(&cloud)
+        Ok((packet.with_cloud(&cloud)?, composite))
     }
 }
 
@@ -2456,5 +3022,209 @@ mod tests {
     #[should_panic(expected = "at least one vehicle")]
     fn empty_fleet_rejected() {
         let _ = FleetSimulation::new(World::new(), vec![], FleetConfig::default());
+    }
+
+    /// Two stationary vehicles, trust layer on, with an optional fault
+    /// plan and an aggressive trust config so transitions happen within
+    /// a handful of steps.
+    fn trust_fleet(plan: Option<&str>, steps: usize, threads: Option<usize>) -> FleetSimulation {
+        let scene = scenario::tj_scenario_1();
+        let vehicles = vec![
+            FleetVehicle {
+                id: 1,
+                trajectory: straight_trajectory(scene.observers[0], 0.0, steps),
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+            FleetVehicle {
+                id: 2,
+                trajectory: straight_trajectory(scene.observers[1], 0.0, steps),
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+        ];
+        let config = FleetConfig {
+            seed: 11,
+            threads,
+            sensor_model: GpsImuModel::ideal(),
+            fault_plan: plan.map(|p| FaultPlan::parse(p).unwrap()),
+            trust: Some(TrustGuardConfig {
+                trust: TrustConfig {
+                    suspect_after: 1,
+                    quarantine_after: 2,
+                    quarantine_steps: 2,
+                    probation_clean_steps: 2,
+                },
+                ..TrustGuardConfig::default()
+            }),
+            ..FleetConfig::default()
+        };
+        FleetSimulation::new(scene.world, vehicles, config)
+    }
+
+    #[test]
+    fn trust_clean_fleet_passes_everything() {
+        let sim = trust_fleet(None, 3, None);
+        let (reports, stats) = sim.run(&pipeline(), 3);
+        for r in &reports {
+            for v in &r.per_vehicle {
+                assert_eq!(v.packets_received, 1, "CRC-framed packets still flow");
+                assert_eq!(v.packets_dropped, 0, "no false positives on honest senders");
+                assert_eq!(v.trust_violations, 0);
+                assert_eq!(v.quarantined_peers, 0);
+            }
+        }
+        for t in stats.trust.values() {
+            assert_eq!(t.violations, 0);
+            assert_eq!(t.quarantines, 0);
+        }
+    }
+
+    #[test]
+    fn corrupting_sender_is_quarantined_then_reinstated() {
+        // Vehicle 2 flips its own payload bytes at the source for steps
+        // 0..3. CRC checks fail on receiver 1 → quarantine after 2
+        // violations; the fault then clears, quarantine elapses, and a
+        // clean probation earns the sender back.
+        let sim = trust_fleet(Some("2:corrupt:0.4@0..3"), 12, None);
+        let (reports, stats) = sim.run(&pipeline(), 12);
+        let drops_of = |reason_match: fn(&TransportDropReason) -> bool| -> Vec<usize> {
+            reports
+                .iter()
+                .filter(|r| r.transport_drops.iter().any(|d| reason_match(&d.reason)))
+                .map(|r| r.step)
+                .collect()
+        };
+        let integrity = drops_of(|r| matches!(r, TransportDropReason::IntegrityFailed));
+        let quarantined = drops_of(|r| matches!(r, TransportDropReason::Quarantined));
+        assert!(
+            !integrity.is_empty(),
+            "at-source corruption must fail the receiver's CRC check"
+        );
+        assert!(
+            !quarantined.is_empty(),
+            "repeated violations must quarantine the sender"
+        );
+        assert!(
+            integrity[0] < quarantined[0],
+            "violations precede quarantine"
+        );
+        let t = stats.trust.get(&1).expect("receiver 1 charged violations");
+        assert!(t.violations >= 2);
+        assert_eq!(t.quarantines, 1);
+        assert!(t.blocked_transfers >= 1);
+        assert_eq!(t.reinstated, 1, "clean probation re-admits the sender");
+        // After re-admission the exchange works again.
+        let last = reports.last().unwrap();
+        let v1 = &last.per_vehicle[0];
+        assert_eq!(v1.packets_received, 1);
+        assert_eq!(v1.quarantined_peers, 0);
+    }
+
+    #[test]
+    fn ghost_injecting_sender_is_rejected_not_fused() {
+        // Vehicle 2 fabricates three car-sized clusters per transmitted
+        // scan. The consistency guard on receiver 1 must reject those
+        // packets (ghost points in ego-observed free space) and fall
+        // back to ego-only perception — never below it.
+        let sim = trust_fleet(Some("2:ghost:3@0..4"), 4, None);
+        let (reports, _stats) = sim.run(&pipeline(), 4);
+        let mut rejected = 0usize;
+        for r in &reports {
+            for d in &r.transport_drops {
+                if let TransportDropReason::ConsistencyRejected { ghost_points } = d.reason {
+                    assert_eq!((d.from, d.to), (2, 1));
+                    assert!(ghost_points >= 15, "verdict carries the ghost evidence");
+                    rejected += 1;
+                }
+            }
+            let v1 = &r.per_vehicle[0];
+            assert!(
+                v1.cooperative_detections >= v1.single_detections,
+                "fused recall must never fall below ego-only"
+            );
+        }
+        assert!(rejected >= 1, "ghost injection must be caught");
+    }
+
+    #[test]
+    fn replaying_sender_is_rejected_after_onset() {
+        // Vehicle 2 freezes its broadcast at step 1 and replays it from
+        // step 2 on: the stamp stops advancing and the consistency
+        // guard's replay check fires on every later packet.
+        let sim = trust_fleet(Some("2:replay@1"), 4, None);
+        let (reports, _stats) = sim.run(&pipeline(), 4);
+        let mut replay_steps = Vec::new();
+        for r in &reports {
+            for d in &r.transport_drops {
+                if matches!(
+                    d.reason,
+                    TransportDropReason::ConsistencyRejected { ghost_points: 0 }
+                ) && (d.from, d.to) == (2, 1)
+                {
+                    replay_steps.push(r.step);
+                }
+            }
+        }
+        assert!(
+            replay_steps.contains(&2),
+            "first replayed retransmission is flagged, got {replay_steps:?}"
+        );
+    }
+
+    #[test]
+    fn trust_guarded_adversarial_reports_identical_across_thread_counts() {
+        let plan = "2:ghost:2@0..3,2:corrupt:0.3@3..5";
+        let run = |threads: Option<usize>| trust_fleet(Some(plan), 6, threads).run(&pipeline(), 6);
+        let (serial, serial_stats) = run(Some(1));
+        let (two, two_stats) = run(Some(2));
+        let (parallel, parallel_stats) = run(Some(4));
+        assert_eq!(serial_stats, two_stats);
+        assert_eq!(serial_stats, parallel_stats);
+        for (a, b) in serial.iter().zip(&two) {
+            assert_eq!(a.deterministic_view(), b.deterministic_view());
+        }
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.deterministic_view(), b.deterministic_view());
+        }
+    }
+
+    #[test]
+    fn governed_trust_fleet_prices_crc_and_survives() {
+        // Trust layer + governed exchange: candidates are priced with
+        // the CRC trailer (the wire-size assertion inside the exchange
+        // would fire otherwise) and v2 reconstruction tolerates the
+        // trailer bytes.
+        let scene = scenario::tj_scenario_1();
+        let vehicles = vec![
+            FleetVehicle {
+                id: 1,
+                trajectory: straight_trajectory(scene.observers[0], 1.0, 3),
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+            FleetVehicle {
+                id: 2,
+                trajectory: straight_trajectory(scene.observers[1], 1.0, 3),
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            },
+        ];
+        let config = FleetConfig {
+            seed: 5,
+            sensor_model: GpsImuModel::ideal(),
+            trust: Some(TrustGuardConfig::default()),
+            ..FleetConfig::default()
+        };
+        let sim = FleetSimulation::new(scene.world.clone(), vehicles, config);
+        let governor = GovernorConfig {
+            delta_encode: true,
+            ..GovernorConfig::default()
+        };
+        let mut policy = crate::governor::SendFirstPolicy;
+        let (reports, _stats) =
+            sim.run_governed(&pipeline(), 3, &mut PerfectChannel, &mut policy, &governor);
+        for r in &reports {
+            for v in &r.per_vehicle {
+                assert_eq!(v.packets_received, 1);
+                assert_eq!(v.packets_dropped, 0);
+            }
+        }
     }
 }

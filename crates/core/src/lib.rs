@@ -65,6 +65,7 @@
 
 mod alignment;
 pub mod channel;
+pub mod consistency;
 mod error;
 pub mod fleet;
 pub mod governor;
@@ -75,12 +76,16 @@ mod request;
 pub mod stats;
 pub mod temporal;
 pub mod tracking;
+pub mod trust;
 pub mod viz;
 
 pub use alignment::{
     alignment_transform, guard_alignment, AlignmentGuardConfig, GuardDecision, GuardReport,
 };
 pub use channel::{ChannelModel, Delivery, PerfectChannel, TransferCtx};
+pub use consistency::{
+    check_consistency, ConsistencyConfig, ConsistencyVerdict, FreeSpaceIndex, SenderHistory,
+};
 pub use error::CooperError;
 pub use governor::{
     GovernorConfig, GovernorPolicy, GovernorVerdict, TransferCandidate, TransferOffer,
@@ -91,5 +96,6 @@ pub use pipeline::{
 };
 pub use request::{requests_from_blind_zones, respond_to_roi_request, RoiRequest};
 pub use stats::{CooperDifficulty, DistanceBand, ScoreImprovement};
+pub use trust::{TrustConfig, TrustLedger, TrustLevel, TrustState, TrustVehicleStats};
 
 pub use cooper_spod::Detection;

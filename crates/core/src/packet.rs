@@ -238,6 +238,63 @@ impl ExchangePacket {
         })
     }
 
+    /// A copy of this packet whose payload carries the CRC-32 integrity
+    /// trailer ([`cooper_pointcloud::append_crc`]). Identity and pose
+    /// are kept; receivers without the check still decode the payload —
+    /// legacy decoders ignore trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CooperError::Codec`] when the payload header is
+    /// malformed.
+    pub fn with_integrity(&self) -> Result<Self, CooperError> {
+        Ok(ExchangePacket {
+            vehicle_id: self.vehicle_id,
+            sequence: self.sequence,
+            pose: self.pose,
+            payload: cooper_pointcloud::append_crc(&self.payload)?,
+        })
+    }
+
+    /// Verifies the payload's CRC-32 trailer without decoding it.
+    /// Returns `Ok(true)` when a trailer is present and matches,
+    /// `Ok(false)` when the payload was never CRC-framed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CooperError::Codec`] when the trailer mismatches the
+    /// content or the payload header is malformed.
+    pub fn verify_integrity(&self) -> Result<bool, CooperError> {
+        Ok(cooper_pointcloud::verify_frame_crc(&self.payload)?)
+    }
+
+    /// A copy of this packet with roughly `rate` of its payload bytes
+    /// bit-flipped, drawn from a deterministic stream seeded by `seed`
+    /// — the at-source tampering a malicious sender applies before
+    /// broadcast ([`cooper_lidar_sim::FaultKind::PayloadCorruption`]).
+    /// The payload *header* is left intact so the damage is content
+    /// corruption, not framing garbage; a CRC trailer, if present, is
+    /// deliberately **not** recomputed.
+    pub fn with_flipped_payload_bytes(&self, rate: f64, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut payload = self.payload.to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Skip the payload's own header so frame_info still parses.
+        let start = cooper_pointcloud::codec::WIRE_HEADER_BYTES.min(payload.len());
+        for byte in &mut payload[start..] {
+            if rng.gen::<f64>() < rate {
+                *byte ^= 1u8 << rng.gen_range(0..8);
+            }
+        }
+        ExchangePacket {
+            vehicle_id: self.vehicle_id,
+            sequence: self.sequence,
+            pose: self.pose,
+            payload: Bytes::from(payload),
+        }
+    }
+
     /// Serializes the packet for transmission.
     pub fn to_bytes(&self) -> Bytes {
         let _span = cooper_telemetry::span!(telemetry_names::SPAN_PACKET_ENCODE);
@@ -661,6 +718,40 @@ mod tests {
         // The salvaged packet stays a feature frame on the wire.
         let info = salvaged.frame_info().unwrap();
         assert_eq!(info.kind, FrameKind::Features);
+    }
+
+    #[test]
+    fn integrity_trailer_round_trips_and_detects_tampering() {
+        let packet = ExchangePacket::build(3, 8, &sample_cloud(30), sample_pose()).unwrap();
+        assert!(!packet.verify_integrity().unwrap(), "no trailer yet");
+        let framed = packet.with_integrity().unwrap();
+        assert!(framed.verify_integrity().unwrap());
+        assert_eq!(framed.cloud().unwrap().len(), 30);
+        // Survives the wire round trip.
+        let rt = ExchangePacket::from_bytes(&framed.to_bytes()).unwrap();
+        assert!(rt.verify_integrity().unwrap());
+        // At-source tampering breaks the trailer — and the decoder
+        // refuses the payload outright.
+        let tampered = framed.with_flipped_payload_bytes(0.2, 99);
+        assert!(matches!(
+            tampered.verify_integrity(),
+            Err(CooperError::Codec(_))
+        ));
+        assert!(matches!(tampered.cloud(), Err(CooperError::Codec(_))));
+    }
+
+    #[test]
+    fn flipped_payload_is_deterministic_and_undetected_without_crc() {
+        let packet = ExchangePacket::build(1, 1, &sample_cloud(50), sample_pose()).unwrap();
+        let a = packet.with_flipped_payload_bytes(0.1, 7);
+        let b = packet.with_flipped_payload_bytes(0.1, 7);
+        assert_eq!(a, b);
+        assert_ne!(a.payload(), packet.payload());
+        let c = packet.with_flipped_payload_bytes(0.1, 8);
+        assert_ne!(a.payload(), c.payload(), "seed varies the damage");
+        // Without a trailer the damage sails through verification —
+        // the motivating gap for the integrity layer.
+        assert!(!a.verify_integrity().unwrap());
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Per-sender trust state for Byzantine-tolerant fusion.
+//!
+//! Transport-level integrity ([`crate::ExchangePacket::verify_integrity`])
+//! and the content guards ([`crate::guard_alignment`],
+//! [`crate::consistency`]) each reject individual bad packets. This
+//! module adds the *policy* layer on top: every receiver keeps one
+//! [`TrustState`] per sender, feeds it the step's verdicts, and stops
+//! spending bandwidth, governor budget and fusion compute on peers
+//! whose packets keep failing.
+//!
+//! The state machine:
+//!
+//! ```text
+//! Trusted ──violations ≥ suspect_after──► Suspect
+//! Suspect ──violations ≥ quarantine_after──► Quarantined
+//! Suspect ──clean ≥ probation_clean_steps──► Trusted
+//! Quarantined ──quarantine_steps elapsed──► Probation
+//! Probation ──any violation──► Quarantined (timer restarts)
+//! Probation ──clean ≥ probation_clean_steps──► Trusted
+//! ```
+//!
+//! While a sender is quarantined the receiver skips its transfers
+//! entirely (a [`crate::fleet::TransportDropReason::Quarantined`]
+//! drop): nothing is offered to the governor, nothing crosses the
+//! channel, nothing is decoded. Probation re-admits the sender's
+//! packets — they flow and are fused again — but one more violation
+//! sends it straight back.
+//!
+//! All transitions are driven from the fleet loop's serial merge, in
+//! fleet order, so trust-guarded runs keep the deterministic-reports
+//! contract.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the trust layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrustConfig {
+    /// Violations (over the sender's lifetime with this receiver) that
+    /// turn Trusted into Suspect.
+    pub suspect_after: u32,
+    /// Violations that turn Suspect into Quarantined.
+    pub quarantine_after: u32,
+    /// Steps a quarantine lasts before the sender is put on probation.
+    pub quarantine_steps: u32,
+    /// Consecutive clean steps (with at least one delivered packet
+    /// checked) needed on probation — or as a suspect — to return to
+    /// Trusted.
+    pub probation_clean_steps: u32,
+}
+
+impl Default for TrustConfig {
+    fn default() -> Self {
+        TrustConfig {
+            suspect_after: 1,
+            quarantine_after: 3,
+            quarantine_steps: 6,
+            probation_clean_steps: 3,
+        }
+    }
+}
+
+impl TrustConfig {
+    /// Checks the configuration for nonsensical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.suspect_after == 0 || self.quarantine_after == 0 {
+            return Err("trust thresholds must be at least 1".into());
+        }
+        if self.quarantine_after < self.suspect_after {
+            return Err("quarantine threshold cannot be below the suspect threshold".into());
+        }
+        if self.quarantine_steps == 0 || self.probation_clean_steps == 0 {
+            return Err("trust durations must be at least 1 step".into());
+        }
+        Ok(())
+    }
+}
+
+/// Where one sender stands with one receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrustLevel {
+    /// No open concerns; packets flow and fuse normally.
+    Trusted,
+    /// Violations observed; packets still flow, the counter is armed.
+    Suspect,
+    /// Transfers are skipped entirely until the quarantine elapses.
+    Quarantined,
+    /// Re-admitted on a trial basis after a quarantine.
+    Probation,
+}
+
+impl std::fmt::Display for TrustLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TrustLevel::Trusted => "trusted",
+            TrustLevel::Suspect => "suspect",
+            TrustLevel::Quarantined => "quarantined",
+            TrustLevel::Probation => "probation",
+        })
+    }
+}
+
+/// One receiver's running assessment of one sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrustState {
+    /// Current level.
+    pub level: TrustLevel,
+    /// Violations accumulated since the last return to Trusted.
+    pub violations: u32,
+    /// Steps remaining in the current quarantine (only meaningful while
+    /// [`TrustLevel::Quarantined`]).
+    pub quarantine_remaining: u32,
+    /// Consecutive clean checked steps while Suspect or on Probation.
+    pub clean_streak: u32,
+}
+
+impl Default for TrustState {
+    fn default() -> Self {
+        TrustState {
+            level: TrustLevel::Trusted,
+            violations: 0,
+            quarantine_remaining: 0,
+            clean_streak: 0,
+        }
+    }
+}
+
+/// What one [`TrustState::note_step`] transition did — the ledger
+/// surfaces these so the fleet can count quarantines and reinstatements
+/// without diffing states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustTransition {
+    /// No level change.
+    None,
+    /// The sender entered (or re-entered) quarantine this step.
+    Quarantined,
+    /// The quarantine elapsed; the sender is on probation.
+    Paroled,
+    /// The sender earned its way back to Trusted.
+    Reinstated,
+}
+
+impl TrustState {
+    /// `true` while the receiver should skip this sender's transfers.
+    pub fn blocks(&self) -> bool {
+        self.level == TrustLevel::Quarantined
+    }
+
+    /// Advances the state by one step. `violations` is how many of the
+    /// sender's packets failed a check this step; `checked` is whether
+    /// any packet from the sender was actually examined (clean streaks
+    /// only grow on steps with evidence).
+    pub fn note_step(
+        &mut self,
+        violations: u32,
+        checked: bool,
+        cfg: &TrustConfig,
+    ) -> TrustTransition {
+        match self.level {
+            TrustLevel::Quarantined => {
+                self.quarantine_remaining = self.quarantine_remaining.saturating_sub(1);
+                if self.quarantine_remaining == 0 {
+                    self.level = TrustLevel::Probation;
+                    self.clean_streak = 0;
+                    TrustTransition::Paroled
+                } else {
+                    TrustTransition::None
+                }
+            }
+            TrustLevel::Trusted | TrustLevel::Suspect | TrustLevel::Probation if violations > 0 => {
+                self.violations = self.violations.saturating_add(violations);
+                self.clean_streak = 0;
+                if self.level == TrustLevel::Probation || self.violations >= cfg.quarantine_after {
+                    self.level = TrustLevel::Quarantined;
+                    self.quarantine_remaining = cfg.quarantine_steps;
+                    TrustTransition::Quarantined
+                } else {
+                    if self.violations >= cfg.suspect_after {
+                        self.level = TrustLevel::Suspect;
+                    }
+                    TrustTransition::None
+                }
+            }
+            TrustLevel::Suspect | TrustLevel::Probation => {
+                if checked {
+                    self.clean_streak = self.clean_streak.saturating_add(1);
+                    if self.clean_streak >= cfg.probation_clean_steps {
+                        *self = TrustState::default();
+                        return TrustTransition::Reinstated;
+                    }
+                }
+                TrustTransition::None
+            }
+            TrustLevel::Trusted => TrustTransition::None,
+        }
+    }
+}
+
+/// Aggregate trust activity of one receiver over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrustVehicleStats {
+    /// Packet-level violations this receiver charged to its senders.
+    pub violations: u64,
+    /// Times a sender entered quarantine with this receiver.
+    pub quarantines: u64,
+    /// Transfers skipped because the sender was quarantined.
+    pub blocked_transfers: u64,
+    /// Times a sender earned its way back to Trusted.
+    pub reinstated: u64,
+}
+
+/// Every (receiver, sender) trust state of a fleet run. Ordered map, so
+/// iteration — and the derived report columns — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrustLedger {
+    states: BTreeMap<(u32, u32), TrustState>,
+}
+
+impl TrustLedger {
+    /// Creates an empty ledger (everyone starts Trusted).
+    pub fn new() -> Self {
+        TrustLedger::default()
+    }
+
+    /// `true` when `receiver` should skip transfers from `sender`.
+    pub fn blocks(&self, receiver: u32, sender: u32) -> bool {
+        self.states
+            .get(&(receiver, sender))
+            .is_some_and(TrustState::blocks)
+    }
+
+    /// The state of one (receiver, sender) pair, if any concern or
+    /// history exists.
+    pub fn state(&self, receiver: u32, sender: u32) -> Option<&TrustState> {
+        self.states.get(&(receiver, sender))
+    }
+
+    /// How many senders `receiver` currently has quarantined.
+    pub fn quarantined_count(&self, receiver: u32) -> usize {
+        self.states
+            .range((receiver, u32::MIN)..=(receiver, u32::MAX))
+            .filter(|(_, s)| s.blocks())
+            .count()
+    }
+
+    /// Advances every tracked pair by one step and books the step's
+    /// evidence: `violations` maps (receiver, sender) to how many of
+    /// that sender's packets failed a check; `checked` holds the pairs
+    /// whose packets were examined at all. Returns the transitions that
+    /// occurred, in pair order.
+    pub fn end_step(
+        &mut self,
+        violations: &BTreeMap<(u32, u32), u32>,
+        checked: &[(u32, u32)],
+        cfg: &TrustConfig,
+    ) -> Vec<((u32, u32), TrustTransition)> {
+        for pair in violations.keys() {
+            self.states.entry(*pair).or_default();
+        }
+        for pair in checked {
+            self.states.entry(*pair).or_default();
+        }
+        let checked: std::collections::BTreeSet<(u32, u32)> = checked.iter().copied().collect();
+        let mut transitions = Vec::new();
+        for (pair, state) in &mut self.states {
+            let v = violations.get(pair).copied().unwrap_or(0);
+            let transition = state.note_step(v, checked.contains(pair), cfg);
+            if transition != TrustTransition::None {
+                transitions.push((*pair, transition));
+            }
+        }
+        transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrustConfig {
+        TrustConfig::default()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(cfg().validate().is_ok());
+        for bad in [
+            TrustConfig {
+                suspect_after: 0,
+                ..cfg()
+            },
+            TrustConfig {
+                quarantine_after: 0,
+                ..cfg()
+            },
+            TrustConfig {
+                suspect_after: 5,
+                quarantine_after: 2,
+                ..cfg()
+            },
+            TrustConfig {
+                quarantine_steps: 0,
+                ..cfg()
+            },
+            TrustConfig {
+                probation_clean_steps: 0,
+                ..cfg()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn violations_walk_trusted_to_quarantined() {
+        let mut state = TrustState::default();
+        assert_eq!(state.note_step(1, true, &cfg()), TrustTransition::None);
+        assert_eq!(state.level, TrustLevel::Suspect);
+        assert_eq!(state.note_step(1, true, &cfg()), TrustTransition::None);
+        assert_eq!(
+            state.note_step(1, true, &cfg()),
+            TrustTransition::Quarantined
+        );
+        assert!(state.blocks());
+    }
+
+    #[test]
+    fn quarantine_elapses_into_probation_then_trusted() {
+        let mut state = TrustState {
+            level: TrustLevel::Quarantined,
+            violations: 3,
+            quarantine_remaining: 2,
+            clean_streak: 0,
+        };
+        assert_eq!(state.note_step(0, false, &cfg()), TrustTransition::None);
+        assert_eq!(state.note_step(0, false, &cfg()), TrustTransition::Paroled);
+        assert_eq!(state.level, TrustLevel::Probation);
+        assert!(!state.blocks());
+        // Clean checked steps walk probation back to trusted; unchecked
+        // steps (sender out of range) do not count.
+        assert_eq!(state.note_step(0, false, &cfg()), TrustTransition::None);
+        for _ in 0..2 {
+            assert_eq!(state.note_step(0, true, &cfg()), TrustTransition::None);
+        }
+        assert_eq!(
+            state.note_step(0, true, &cfg()),
+            TrustTransition::Reinstated
+        );
+        assert_eq!(state, TrustState::default());
+    }
+
+    #[test]
+    fn probation_violation_requarantines_immediately() {
+        let mut state = TrustState {
+            level: TrustLevel::Probation,
+            violations: 3,
+            quarantine_remaining: 0,
+            clean_streak: 2,
+        };
+        assert_eq!(
+            state.note_step(1, true, &cfg()),
+            TrustTransition::Quarantined
+        );
+        assert_eq!(state.quarantine_remaining, cfg().quarantine_steps);
+    }
+
+    #[test]
+    fn ledger_tracks_pairs_independently_and_in_order() {
+        let mut ledger = TrustLedger::new();
+        assert!(!ledger.blocks(1, 2));
+        let mut violations = BTreeMap::new();
+        violations.insert((1, 2), 3u32);
+        let transitions = ledger.end_step(&violations, &[(1, 2), (1, 3)], &cfg());
+        assert_eq!(transitions, vec![((1, 2), TrustTransition::Quarantined)]);
+        assert!(ledger.blocks(1, 2));
+        assert!(!ledger.blocks(1, 3));
+        assert!(!ledger.blocks(3, 2), "trust is per receiver");
+        assert_eq!(ledger.quarantined_count(1), 1);
+        assert_eq!(ledger.quarantined_count(3), 0);
+        assert_eq!(ledger.state(1, 3).unwrap().level, TrustLevel::Trusted);
+    }
+
+    #[test]
+    fn levels_format_for_reports() {
+        assert_eq!(TrustLevel::Quarantined.to_string(), "quarantined");
+        assert_eq!(TrustLevel::Probation.to_string(), "probation");
+    }
+}

@@ -105,4 +105,50 @@ proptest! {
     fn roi_request_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         let _ = cooper_core::RoiRequest::from_bytes(&bytes);
     }
+
+    #[test]
+    fn partial_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = ExchangePacket::from_partial_bytes(&bytes);
+    }
+
+    #[test]
+    fn partial_salvage_of_truncated_packets_is_bounded(
+        c in cloud(80),
+        p in pose(),
+        integrity in any::<bool>(),
+        cut_fraction in 0.0..1.0f64,
+        flip_at in 0usize..4096,
+        flip_mask in 0u8..=255,
+    ) {
+        // Structure-aware salvage fuzz: a real packet (optionally
+        // CRC-framed), truncated anywhere and with one byte mutated.
+        // The salvage path must never panic, and on success the
+        // recovered packet must be self-consistent: decodable, no
+        // larger than the original, and with a sane salvage fraction.
+        let est = PoseEstimate::from_pose(&p, &origin());
+        let mut packet = ExchangePacket::build(7, 3, &c, est).unwrap();
+        if integrity {
+            packet = packet.with_integrity().unwrap();
+        }
+        let bytes = packet.to_bytes();
+        let cut = (((bytes.len() as f64) * cut_fraction) as usize).min(bytes.len());
+        let mut partial = bytes[..cut].to_vec();
+        if flip_mask != 0 {
+            let flip_index = flip_at.min(partial.len().saturating_sub(1));
+            if let Some(b) = partial.get_mut(flip_index) {
+                *b ^= flip_mask;
+            }
+        }
+        match ExchangePacket::from_partial_bytes(&partial) {
+            Ok((salvaged, fraction)) => {
+                prop_assert!((0.0..=1.0).contains(&fraction));
+                let recovered = salvaged.cloud().unwrap();
+                prop_assert!(recovered.len() <= c.len());
+                // The re-encoded salvage must itself round-trip.
+                let again = ExchangePacket::from_bytes(&salvaged.to_bytes()).unwrap();
+                prop_assert_eq!(again.cloud().unwrap().len(), recovered.len());
+            }
+            Err(_) => {}
+        }
+    }
 }

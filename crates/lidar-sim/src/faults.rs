@@ -24,6 +24,25 @@
 //! * [`FaultKind::StaleScan`] — the reading (and the packet's frame
 //!   stamp) lags `age_steps` behind real time.
 //!
+//! # Adversarial (content-level) kinds
+//!
+//! Three kinds model a *misbehaving sender* rather than a failed
+//! sensor: they leave the vehicle's own pose estimate untouched and
+//! instead direct the fleet loop to tamper with what the vehicle
+//! **broadcasts** — its own perception stays honest, its peers' inputs
+//! do not.
+//!
+//! * [`FaultKind::GhostClusters`] — car-sized point clusters injected
+//!   into the broadcast cloud at plausible ranges, fabricating objects
+//!   that do not exist ([`FaultInjector::ghost_cloud`] generates them
+//!   deterministically per (vehicle, step)).
+//! * [`FaultKind::ScanReplay`] — the broadcast scan, pose estimate and
+//!   frame stamp freeze at the fault's onset: every peer receives the
+//!   same stale content re-stamped step after step.
+//! * [`FaultKind::PayloadCorruption`] — at-source byte flips in the
+//!   encoded broadcast payload, modeling a faulty encoder or deliberate
+//!   bit-twiddling that wire CRC checks must catch.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,8 +57,9 @@
 //! ```
 
 use cooper_geometry::{normalize_angle, GpsFix, Pose, Vec3};
+use cooper_pointcloud::{Point, PointCloud};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::{GaussianNoise, GpsImuModel, PoseEstimate};
@@ -78,6 +98,24 @@ pub enum FaultKind {
         /// How many steps the reading lags, at least 1.
         age_steps: usize,
     },
+    /// Adversarial: the vehicle injects car-sized ghost point clusters
+    /// into every cloud it broadcasts, fabricating objects for its
+    /// peers to fuse. Its own perception is unaffected.
+    GhostClusters {
+        /// Ghost clusters injected per broadcast.
+        clusters: usize,
+    },
+    /// Adversarial: the broadcast content (scan, pose estimate, frame
+    /// stamp) freezes at the fault's onset step — peers keep receiving
+    /// the identical stale frame with a duplicate stamp.
+    ScanReplay,
+    /// Adversarial: random byte flips are applied to the encoded
+    /// broadcast payload at the source, before the channel ever sees
+    /// it.
+    PayloadCorruption {
+        /// Fraction of payload bytes flipped, in `(0, 1]`.
+        rate: f64,
+    },
 }
 
 impl std::fmt::Display for FaultKind {
@@ -92,6 +130,13 @@ impl std::fmt::Display for FaultKind {
             FaultKind::ImuYawBias { bias_rad } => write!(f, "yaw bias {bias_rad} rad"),
             FaultKind::FrozenPose => f.write_str("frozen pose"),
             FaultKind::StaleScan { age_steps } => write!(f, "stale by {age_steps} steps"),
+            FaultKind::GhostClusters { clusters } => {
+                write!(f, "ghost injection ({clusters} clusters)")
+            }
+            FaultKind::ScanReplay => f.write_str("scan replay"),
+            FaultKind::PayloadCorruption { rate } => {
+                write!(f, "payload corruption ({rate} of bytes)")
+            }
         }
     }
 }
@@ -148,10 +193,12 @@ impl FaultPlan {
     /// entry := VEHICLE ':' kind ['@' FROM ['..' [UNTIL]]]
     /// kind  := 'drift:' SIGMA | 'bias:' EAST ':' NORTH
     ///        | 'yaw:' RAD | 'freeze' | 'stale:' AGE
+    ///        | 'ghost:' CLUSTERS | 'replay' | 'corrupt:' RATE
     /// ```
     ///
     /// Examples: `2:drift:0.5`, `1:bias:2.0:-1.0@3..7`, `3:freeze@4`,
-    /// `1:yaw:0.05@2..`, `2:stale:3`.
+    /// `1:yaw:0.05@2..`, `2:stale:3`; adversarial senders:
+    /// `2:ghost:3@4`, `1:replay@5..12`, `3:corrupt:0.02`.
     ///
     /// # Errors
     ///
@@ -247,6 +294,23 @@ impl FaultPlan {
                     age_steps: age as usize,
                 }
             }
+            "ghost" => {
+                let clusters = param("ghost cluster count")?;
+                if clusters < 1.0 || clusters.fract() != 0.0 {
+                    return Err(bad("ghost cluster count must be a positive integer"));
+                }
+                FaultKind::GhostClusters {
+                    clusters: clusters as usize,
+                }
+            }
+            "replay" => FaultKind::ScanReplay,
+            "corrupt" => {
+                let rate = param("corruption rate")?;
+                if !(rate > 0.0 && rate <= 1.0) {
+                    return Err(bad("corruption rate must be in (0, 1]"));
+                }
+                FaultKind::PayloadCorruption { rate }
+            }
             other => return Err(bad(&format!("unknown fault kind {other:?}"))),
         };
         if parts.next().is_some() {
@@ -274,9 +338,43 @@ pub struct FaultedMeasurement {
     pub faulted: bool,
 }
 
+/// The adversarial broadcast behavior a fault plan prescribes for one
+/// (vehicle, step): what the vehicle tampers with before transmitting.
+/// The measurement path never sees these — the vehicle's own perception
+/// stays honest, which is exactly what makes the attacks hard to spot
+/// from the outside.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScanFaults {
+    /// Ghost clusters to inject into the broadcast scan (summed over
+    /// active [`FaultKind::GhostClusters`] specs).
+    pub ghost_clusters: usize,
+    /// `Some(step)` when a [`FaultKind::ScanReplay`] fault is active:
+    /// the vehicle rebroadcasts the scan, estimate, and stamp it
+    /// captured at `step` (the earliest active onset).
+    pub replay_from: Option<usize>,
+    /// Fraction of broadcast payload bytes to flip at the source
+    /// (summed over active specs, capped at 1.0); zero when inactive.
+    pub corrupt_rate: f64,
+}
+
+impl ScanFaults {
+    /// `true` when any adversarial broadcast behavior is active.
+    pub fn any(&self) -> bool {
+        self.ghost_clusters > 0 || self.replay_from.is_some() || self.corrupt_rate > 0.0
+    }
+}
+
 /// Salt separating the fault-injection RNG streams from the scan and
 /// measurement streams derived from the same fleet seed.
 const FAULT_STREAM: u64 = 0x7A5E_11DA_7E00_00F1;
+
+/// Salt separating ghost-cluster geometry draws from the pose-fault
+/// streams sharing the same (seed, vehicle, step).
+const GHOST_STREAM: u64 = 0x7A5E_11DA_7E00_00F7;
+
+/// Points per injected ghost cluster — dense enough that SPOD treats
+/// the cluster as a real car-sized object.
+const GHOST_POINTS_PER_CLUSTER: usize = 60;
 
 /// Derives the seed of the (vehicle, step) fault stream — the same
 /// SplitMix64 finalizer the fleet uses for its measurement streams, so
@@ -344,6 +442,19 @@ impl FaultInjector {
             if !spec.active_at(vehicle_id, step) {
                 continue;
             }
+            // Adversarial kinds tamper with broadcast *content*, not
+            // the pose measurement: the fleet loop applies them via
+            // `scan_faults` / `ghost_cloud`, and the sensor reading
+            // itself stays honest — they do not mark the measurement
+            // as faulted.
+            if matches!(
+                spec.kind,
+                FaultKind::GhostClusters { .. }
+                    | FaultKind::ScanReplay
+                    | FaultKind::PayloadCorruption { .. }
+            ) {
+                continue;
+            }
             faulted = true;
             match spec.kind {
                 FaultKind::GpsDrift { sigma_m_per_step } => {
@@ -364,6 +475,11 @@ impl FaultInjector {
                     estimate = self.measure_at(vehicle_id, src, pose_at);
                     stamp_step = src;
                 }
+                // Filtered out above — broadcast-content kinds never
+                // reach the measurement path.
+                FaultKind::GhostClusters { .. }
+                | FaultKind::ScanReplay
+                | FaultKind::PayloadCorruption { .. } => {}
             }
         }
         FaultedMeasurement {
@@ -385,6 +501,69 @@ impl FaultInjector {
         let mut rng = StdRng::seed_from_u64(fault_stream_seed(self.seed, vehicle_id, src_step));
         self.model
             .measure(&pose_at(src_step), &self.origin, &mut rng)
+    }
+
+    /// The adversarial broadcast behavior active for `vehicle_id` at
+    /// `step` — what the fleet loop consults when assembling the
+    /// vehicle's outgoing broadcast.
+    pub fn scan_faults(&self, vehicle_id: u32, step: usize) -> ScanFaults {
+        let mut out = ScanFaults::default();
+        for spec in &self.plan.faults {
+            if !spec.active_at(vehicle_id, step) {
+                continue;
+            }
+            match spec.kind {
+                FaultKind::GhostClusters { clusters } => out.ghost_clusters += clusters,
+                FaultKind::ScanReplay => {
+                    out.replay_from = Some(
+                        out.replay_from
+                            .map_or(spec.from_step, |f| f.min(spec.from_step)),
+                    );
+                }
+                FaultKind::PayloadCorruption { rate } => {
+                    out.corrupt_rate = (out.corrupt_rate + rate).min(1.0);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The ghost clusters `vehicle_id` injects into its broadcast at
+    /// `step`, as points in the vehicle's own sensor frame — empty when
+    /// no [`FaultKind::GhostClusters`] fault is active. Each cluster is
+    /// a car-sized box of points at a plausible range, drawn from the
+    /// (vehicle, step) fault stream so the injection is bit-identical
+    /// at any thread count.
+    pub fn ghost_cloud(&self, vehicle_id: u32, step: usize) -> PointCloud {
+        let clusters = self.scan_faults(vehicle_id, step).ghost_clusters;
+        let mut cloud = PointCloud::new();
+        if clusters == 0 {
+            return cloud;
+        }
+        let mut rng = StdRng::seed_from_u64(fault_stream_seed(
+            self.seed ^ GHOST_STREAM,
+            vehicle_id,
+            step,
+        ));
+        for _ in 0..clusters {
+            // A plausible car: 8–20 m out at a random bearing, roughly
+            // 4.2 x 1.8 x 1.4 m of returns centred at car mid-height
+            // (the sensor sits ~1.8 m up, so the cluster is below it).
+            let range = 8.0 + rng.gen::<f64>() * 12.0;
+            let azimuth = rng.gen::<f64>() * std::f64::consts::TAU;
+            let center = Vec3::new(range * azimuth.cos(), range * azimuth.sin(), -1.0);
+            for _ in 0..GHOST_POINTS_PER_CLUSTER {
+                let offset = Vec3::new(
+                    (rng.gen::<f64>() - 0.5) * 4.2,
+                    (rng.gen::<f64>() - 0.5) * 1.8,
+                    (rng.gen::<f64>() - 0.5) * 1.4,
+                );
+                let reflectance = (0.45 + rng.gen::<f64>() * 0.4) as f32;
+                cloud.push(Point::new(center + offset, reflectance));
+            }
+        }
+        cloud
     }
 
     /// The accumulated random walk at `step` for a drift fault that
@@ -561,5 +740,85 @@ mod tests {
         clean.attitude.yaw = 1.0;
         let out = inj.measure(1, 0, &straight, clean);
         assert!((out.estimate.attitude.yaw - normalize_angle(4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_adversarial_kinds() {
+        let plan = FaultPlan::parse("2:ghost:3@4, 1:replay@5..12, 3:corrupt:0.02").unwrap();
+        assert_eq!(
+            plan.faults()[0].kind,
+            FaultKind::GhostClusters { clusters: 3 }
+        );
+        assert_eq!(plan.faults()[0].from_step, 4);
+        assert_eq!(plan.faults()[1].kind, FaultKind::ScanReplay);
+        assert_eq!(plan.faults()[1].until_step, Some(12));
+        assert_eq!(
+            plan.faults()[2].kind,
+            FaultKind::PayloadCorruption { rate: 0.02 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_adversarial_garbage() {
+        for bad in [
+            "1:ghost:0",
+            "1:ghost",
+            "1:ghost:1.5",
+            "1:replay:extra",
+            "1:corrupt:0",
+            "1:corrupt:1.5",
+            "1:corrupt",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn adversarial_kinds_leave_the_measurement_honest() {
+        let inj = injector(FaultPlan::parse("1:ghost:2, 1:replay, 1:corrupt:0.5").unwrap());
+        let out = inj.measure(1, 3, &straight, clean_at(3));
+        assert!(!out.faulted);
+        assert_eq!(out.stamp_step, 3);
+        assert_eq!(out.estimate, clean_at(3));
+    }
+
+    #[test]
+    fn scan_faults_accumulate_over_active_specs() {
+        let inj = injector(
+            FaultPlan::parse("1:ghost:2@3, 1:ghost:1@5, 1:replay@4, 1:corrupt:0.6, 1:corrupt:0.7")
+                .unwrap(),
+        );
+        let at5 = inj.scan_faults(1, 5);
+        assert_eq!(at5.ghost_clusters, 3);
+        assert_eq!(at5.replay_from, Some(4));
+        assert!((at5.corrupt_rate - 1.0).abs() < 1e-12, "rate caps at 1.0");
+        assert!(at5.any());
+        let clean = inj.scan_faults(2, 5);
+        assert_eq!(clean, ScanFaults::default());
+        assert!(!clean.any());
+    }
+
+    #[test]
+    fn ghost_cloud_is_deterministic_and_car_sized() {
+        let inj = injector(FaultPlan::parse("1:ghost:2@3").unwrap());
+        assert!(inj.ghost_cloud(1, 0).is_empty(), "inactive before onset");
+        let a = inj.ghost_cloud(1, 4);
+        let b = inj.ghost_cloud(1, 4);
+        assert_eq!(a.len(), 120);
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            assert_eq!(pa.position, pb.position);
+        }
+        // Different steps draw different geometry.
+        let c = inj.ghost_cloud(1, 5);
+        assert!(a
+            .iter()
+            .zip(c.iter())
+            .any(|(x, y)| x.position != y.position));
+        // Every point sits at a plausible car range from the sensor.
+        for p in a.iter() {
+            let planar = (p.position.x * p.position.x + p.position.y * p.position.y).sqrt();
+            assert!((5.0..23.0).contains(&planar), "range {planar}");
+            assert!(p.position.z < 0.5, "below the sensor");
+        }
     }
 }

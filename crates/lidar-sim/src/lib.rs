@@ -48,7 +48,7 @@ mod world;
 
 pub use beam::BeamModel;
 pub use entity::{Entity, EntityId, ObjectClass};
-pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultedMeasurement};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultedMeasurement, ScanFaults};
 pub use noise::GaussianNoise;
 pub use scanner::LidarScanner;
 pub use sensors::{GpsImuModel, PoseEstimate, SkewMode};

@@ -60,6 +60,49 @@ const VERSION_V3: u8 = 3;
 const FLAG_DELTA: u8 = 0b0000_0001;
 /// Flags-byte bit marking a background-subtracted frame (v2 only).
 const FLAG_BACKGROUND_SUBTRACTED: u8 = 0b0000_0010;
+/// Flags-byte bit marking a frame that carries a CRC-32 trailer after
+/// its payload (valid in every version). Decoders that predate the bit
+/// read the declared count and ignore trailing bytes, so flagged frames
+/// still decode on legacy receivers — the trailer is purely additive.
+const FLAG_CRC32: u8 = 0b0000_0100;
+
+/// Bytes of the CRC-32 trailer a [`FLAG_CRC32`]-flagged frame appends
+/// after its declared payload.
+pub const CRC_TRAILER_BYTES: usize = 4;
+
+/// CRC-32/ISO-HDLC (the IEEE 802.3 polynomial, reflected): the trailer
+/// checksum of integrity-flagged frames. Table-driven and hand-rolled —
+/// the build environment vendors no checksum crate.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Computes the CRC-32 (ISO-HDLC / IEEE 802.3) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 /// Quantization step: 1 cm, giving a ±327.67 m representable range —
 /// beyond any LiDAR's reach.
 const SCALE: f64 = 100.0;
@@ -118,6 +161,14 @@ pub enum CodecError {
         /// Version byte of the frame that was offered.
         version: u8,
     },
+    /// The frame carries a CRC-32 trailer and it does not match the
+    /// frame content: bytes were corrupted in flight.
+    ChecksumMismatch {
+        /// The CRC the trailer declared.
+        expected: u32,
+        /// The CRC the received bytes actually hash to.
+        actual: u32,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -138,6 +189,12 @@ impl fmt::Display for CodecError {
                 write!(
                     f,
                     "version {version} frame offered to the wrong decoder (points vs features)"
+                )
+            }
+            CodecError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "CRC-32 mismatch: trailer declares {expected:#010x}, content hashes to {actual:#010x}"
                 )
             }
         }
@@ -186,6 +243,10 @@ pub struct FrameInfo {
     /// `true` when the sender removed known-static background before
     /// encoding (v2 flag bit 1).
     pub background_subtracted: bool,
+    /// `true` when the frame appends a CRC-32 trailer after its payload
+    /// (flag bit 2, any version). Decoders verify it; legacy receivers
+    /// ignore the trailing bytes.
+    pub has_crc: bool,
     /// Points the full frame declares — active BEV cells for a v3
     /// feature frame.
     pub point_count: usize,
@@ -231,8 +292,106 @@ pub fn frame_info(mut bytes: &[u8]) -> Result<FrameInfo, CodecError> {
         version,
         kind,
         background_subtracted,
+        has_crc: flags & FLAG_CRC32 != 0,
         point_count: count,
     })
+}
+
+/// Bytes the frame's header declares for header + payload — the region
+/// a CRC trailer covers and the offset at which it sits.
+///
+/// # Errors
+///
+/// For a v3 frame, [`CodecError::Truncated`] when the extended
+/// subheader (which carries the channel count the stride depends on) is
+/// incomplete.
+fn declared_body_len(bytes: &[u8], info: &FrameInfo) -> Result<usize, CodecError> {
+    match info.kind {
+        FrameKind::Features => {
+            let (channels, _) = feature_subheader(bytes)?;
+            Ok(WIRE_FEATURE_HEADER_BYTES + info.point_count * feature_cell_stride(channels))
+        }
+        _ => Ok(WIRE_HEADER_BYTES + info.point_count * WIRE_BYTES_PER_POINT),
+    }
+}
+
+/// Verifies the CRC-32 trailer of an integrity-flagged frame; a no-op
+/// for frames without the flag.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] when the flagged trailer did not fully
+/// arrive, [`CodecError::ChecksumMismatch`] when it disagrees with the
+/// frame content.
+fn verify_crc(bytes: &[u8], info: &FrameInfo) -> Result<(), CodecError> {
+    if !info.has_crc {
+        return Ok(());
+    }
+    let body = declared_body_len(bytes, info)?;
+    let framed = body + CRC_TRAILER_BYTES;
+    if bytes.len() < framed {
+        return Err(CodecError::Truncated {
+            expected: framed,
+            actual: bytes.len(),
+        });
+    }
+    let expected = u32::from_be_bytes([
+        bytes[body],
+        bytes[body + 1],
+        bytes[body + 2],
+        bytes[body + 3],
+    ]);
+    let actual = crc32(&bytes[..body]);
+    if actual != expected {
+        return Err(CodecError::ChecksumMismatch { expected, actual });
+    }
+    Ok(())
+}
+
+/// Verifies an encoded frame's CRC-32 integrity trailer without
+/// decoding the payload. Returns `Ok(true)` when the frame carries a
+/// trailer that matches its content, `Ok(false)` when the frame was
+/// never CRC-framed (nothing to verify).
+///
+/// # Errors
+///
+/// The header errors of [`frame_info`], [`CodecError::Truncated`] when
+/// the declared trailer is missing, and
+/// [`CodecError::ChecksumMismatch`] when the content does not hash to
+/// the trailer's value.
+pub fn verify_frame_crc(bytes: &[u8]) -> Result<bool, CodecError> {
+    let info = frame_info(bytes)?;
+    verify_crc(bytes, &info)?;
+    Ok(info.has_crc)
+}
+
+/// Re-frames an encoded wire frame (any version) with the CRC-32
+/// integrity trailer: sets [`FLAG_CRC32`] in the flags byte, hashes the
+/// declared header + payload and appends the 4-byte big-endian trailer.
+/// Trailing bytes beyond the declared payload are dropped.
+///
+/// The operation is idempotent — re-framing an already-flagged frame
+/// recomputes the same trailer.
+///
+/// # Errors
+///
+/// The header errors of [`frame_info`], and [`CodecError::Truncated`]
+/// when `frame` is shorter than its declared payload.
+pub fn append_crc(frame: &[u8]) -> Result<Bytes, CodecError> {
+    let info = frame_info(frame)?;
+    let body = declared_body_len(frame, &info)?;
+    if frame.len() < body {
+        return Err(CodecError::Truncated {
+            expected: body,
+            actual: frame.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(body + CRC_TRAILER_BYTES);
+    out.extend_from_slice(&frame[..body]);
+    out[5] |= FLAG_CRC32;
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_be_bytes());
+    Ok(Bytes::from(out))
 }
 
 fn encode_with_header(cloud: &PointCloud, version: u8, flags: u8) -> Result<Bytes, CodecError> {
@@ -333,23 +492,23 @@ pub fn encode_cloud_v2(
 /// [`CodecError::Truncated`] for malformed input, and
 /// [`CodecError::PayloadKindMismatch`] for a (well-formed) v3 feature
 /// frame — use [`decode_features`] for those.
-pub fn decode_cloud(mut bytes: &[u8]) -> Result<PointCloud, CodecError> {
+pub fn decode_cloud(bytes: &[u8]) -> Result<PointCloud, CodecError> {
     let info = frame_info(bytes)?;
     if info.kind == FrameKind::Features {
         return Err(CodecError::PayloadKindMismatch {
             version: info.version,
         });
     }
-    bytes.advance(WIRE_HEADER_BYTES);
     let count = info.point_count;
-    let expected = count * WIRE_BYTES_PER_POINT;
-    if bytes.remaining() < expected {
+    let body = WIRE_HEADER_BYTES + count * WIRE_BYTES_PER_POINT;
+    if bytes.len() < body {
         return Err(CodecError::Truncated {
-            expected: WIRE_HEADER_BYTES + expected,
-            actual: WIRE_HEADER_BYTES + bytes.remaining(),
+            expected: body,
+            actual: bytes.len(),
         });
     }
-    Ok(decode_points(&bytes[..expected], count))
+    verify_crc(bytes, &info)?;
+    Ok(decode_points(&bytes[WIRE_HEADER_BYTES..body], count))
 }
 
 /// Decodes `count` fixed-stride points from a payload slice of exactly
@@ -390,18 +549,26 @@ pub fn encoded_size(n: usize) -> usize {
 /// or — only when even the header is incomplete —
 /// [`CodecError::Truncated`]. A v3 feature frame is rejected with
 /// [`CodecError::PayloadKindMismatch`]; salvage those with
-/// [`decode_features_prefix`].
-pub fn decode_cloud_prefix(mut bytes: &[u8]) -> Result<(PointCloud, usize), CodecError> {
+/// [`decode_features_prefix`]. When an integrity-flagged frame arrived
+/// *complete* (payload and trailer), its CRC is verified and a mismatch
+/// returns [`CodecError::ChecksumMismatch`]; a genuine prefix carries
+/// no verifiable trailer, so its whole points are salvaged unchecked —
+/// per-fragment integrity is the transport's job.
+pub fn decode_cloud_prefix(bytes: &[u8]) -> Result<(PointCloud, usize), CodecError> {
     let info = frame_info(bytes)?;
     if info.kind == FrameKind::Features {
         return Err(CodecError::PayloadKindMismatch {
             version: info.version,
         });
     }
-    bytes.advance(WIRE_HEADER_BYTES);
     let declared = info.point_count;
-    let available = (bytes.remaining() / WIRE_BYTES_PER_POINT).min(declared);
-    let cloud = decode_points(&bytes[..available * WIRE_BYTES_PER_POINT], available);
+    let body = WIRE_HEADER_BYTES + declared * WIRE_BYTES_PER_POINT;
+    if info.has_crc && bytes.len() >= body + CRC_TRAILER_BYTES {
+        verify_crc(bytes, &info)?;
+    }
+    let payload = &bytes[WIRE_HEADER_BYTES..];
+    let available = (payload.len() / WIRE_BYTES_PER_POINT).min(declared);
+    let cloud = decode_points(&payload[..available * WIRE_BYTES_PER_POINT], available);
     Ok((cloud, declared))
 }
 
@@ -628,6 +795,7 @@ pub fn decode_features(bytes: &[u8]) -> Result<FeatureFrame, CodecError> {
             actual: bytes.len(),
         });
     }
+    verify_crc(bytes, &info)?;
     Ok(decode_feature_cells(
         &payload[..expected],
         count,
@@ -657,6 +825,11 @@ pub fn decode_features_prefix(bytes: &[u8]) -> Result<(FeatureFrame, usize), Cod
     let (channels, scale) = feature_subheader(bytes)?;
     let declared = info.point_count;
     let stride = feature_cell_stride(channels);
+    if info.has_crc
+        && bytes.len() >= WIRE_FEATURE_HEADER_BYTES + declared * stride + CRC_TRAILER_BYTES
+    {
+        verify_crc(bytes, &info)?;
+    }
     let payload = &bytes[WIRE_FEATURE_HEADER_BYTES..];
     let available = (payload.len() / stride).min(declared);
     Ok((
@@ -986,6 +1159,10 @@ mod tests {
             }),
             Box::new(CodecError::CoordinateOutOfRange { index: 7 }),
             Box::new(CodecError::PayloadKindMismatch { version: 3 }),
+            Box::new(CodecError::ChecksumMismatch {
+                expected: 0xDEAD_BEEF,
+                actual: 0,
+            }),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
@@ -1326,6 +1503,133 @@ mod tests {
         let got = dec.decode_next(&delta.bytes).unwrap();
         assert_eq!(got.len(), delta.points_sent);
         assert!(dec.keyframe().is_none());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc_framed_clouds_round_trip_all_versions() {
+        let cloud = sample_cloud(20);
+        for bytes in [
+            encode_cloud(&cloud).unwrap(),
+            encode_cloud_v2(&cloud, FrameKind::Delta, true).unwrap(),
+        ] {
+            let framed = append_crc(&bytes).unwrap();
+            assert_eq!(framed.len(), bytes.len() + CRC_TRAILER_BYTES);
+            let info = frame_info(&framed).unwrap();
+            assert!(info.has_crc);
+            assert_eq!(decode_cloud(&framed).unwrap().len(), 20);
+            // The original header semantics survive the flag bit.
+            assert_eq!(info.point_count, 20);
+        }
+        let frame = sample_features(12, 4, 2);
+        let framed = append_crc(&encode_features(&frame).unwrap()).unwrap();
+        assert!(frame_info(&framed).unwrap().has_crc);
+        assert_eq!(decode_features(&framed).unwrap().cells(), frame.cells());
+    }
+
+    #[test]
+    fn append_crc_is_idempotent() {
+        let bytes = encode_cloud(&sample_cloud(5)).unwrap();
+        let once = append_crc(&bytes).unwrap();
+        let twice = append_crc(&once).unwrap();
+        assert_eq!(&once[..], &twice[..]);
+    }
+
+    #[test]
+    fn corrupted_crc_frame_rejected() {
+        let framed = append_crc(&encode_cloud(&sample_cloud(8)).unwrap())
+            .unwrap()
+            .to_vec();
+        for flip_at in [WIRE_HEADER_BYTES + 3, framed.len() - 1] {
+            let mut bad = framed.clone();
+            bad[flip_at] ^= 0x40;
+            assert!(
+                matches!(
+                    decode_cloud(&bad).unwrap_err(),
+                    CodecError::ChecksumMismatch { .. }
+                ),
+                "flip at {flip_at} must fail the CRC"
+            );
+        }
+        // An unflagged frame with the same payload flip decodes fine —
+        // the corruption is silent without the trailer.
+        let mut silent = encode_cloud(&sample_cloud(8)).unwrap().to_vec();
+        silent[WIRE_HEADER_BYTES + 3] ^= 0x40;
+        assert!(decode_cloud(&silent).is_ok());
+    }
+
+    #[test]
+    fn corrupted_feature_crc_rejected() {
+        let frame = sample_features(10, 3, 7);
+        let mut framed = append_crc(&encode_features(&frame).unwrap())
+            .unwrap()
+            .to_vec();
+        framed[WIRE_FEATURE_HEADER_BYTES + 1] ^= 0x08;
+        assert!(matches!(
+            decode_features(&framed).unwrap_err(),
+            CodecError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn crc_frame_with_missing_trailer_is_truncated() {
+        let framed = append_crc(&encode_cloud(&sample_cloud(4)).unwrap()).unwrap();
+        let cut = &framed[..framed.len() - 2];
+        assert!(matches!(
+            decode_cloud(cut).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn crc_prefix_salvage_skips_unverifiable_cuts_and_checks_full_frames() {
+        let framed = append_crc(&encode_cloud(&sample_cloud(10)).unwrap()).unwrap();
+        // A genuine prefix has no trailer to verify: whole points salvage.
+        let cut = &framed[..WIRE_HEADER_BYTES + 6 * WIRE_BYTES_PER_POINT + 3];
+        let (prefix, declared) = decode_cloud_prefix(cut).unwrap();
+        assert_eq!((prefix.len(), declared), (6, 10));
+        // The complete frame verifies — and a payload flip is caught
+        // even on the salvage path (the trailer bytes are never decoded
+        // as points either way).
+        assert_eq!(decode_cloud_prefix(&framed).unwrap().0.len(), 10);
+        let mut bad = framed.to_vec();
+        bad[WIRE_HEADER_BYTES] ^= 0x01;
+        assert!(matches!(
+            decode_cloud_prefix(&bad).unwrap_err(),
+            CodecError::ChecksumMismatch { .. }
+        ));
+        // Feature frames mirror the same contract.
+        let f = append_crc(&encode_features(&sample_features(8, 2, 3)).unwrap()).unwrap();
+        let stride = feature_cell_stride(2);
+        let fcut = &f[..WIRE_FEATURE_HEADER_BYTES + 4 * stride + 1];
+        assert_eq!(decode_features_prefix(fcut).unwrap().0.len(), 4);
+        let mut fbad = f.to_vec();
+        fbad[WIRE_FEATURE_HEADER_BYTES] ^= 0x10;
+        assert!(matches!(
+            decode_features_prefix(&fbad).unwrap_err(),
+            CodecError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn append_crc_rejects_short_frames() {
+        let bytes = encode_cloud(&sample_cloud(4)).unwrap();
+        assert!(matches!(
+            append_crc(&bytes[..bytes.len() - 1]).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+        assert_eq!(append_crc(&[0u8; 3]).unwrap_err(), {
+            CodecError::Truncated {
+                expected: WIRE_HEADER_BYTES,
+                actual: 3,
+            }
+        });
     }
 
     #[test]

@@ -338,6 +338,116 @@ proptest! {
     #[test]
     fn cloud_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
         let _ = decode_cloud(&bytes);
+        let _ = cooper_pointcloud::decode_cloud_prefix(&bytes);
+    }
+
+    #[test]
+    fn feature_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = cooper_pointcloud::decode_features(&bytes);
+        let _ = cooper_pointcloud::decode_features_prefix(&bytes);
+        let _ = cooper_pointcloud::verify_frame_crc(&bytes);
+    }
+
+    #[test]
+    fn hostile_headers_never_over_allocate(
+        // A syntactically valid header whose declared count is hostile:
+        // up to u32::MAX points over an (almost) empty payload. The
+        // decoders must bound-check the declared count against the
+        // bytes that actually arrived *before* reserving storage — a
+        // 14-byte frame claiming 4 billion points must cost an error,
+        // not a 28 GB allocation.
+        version_index in 0usize..3,
+        flags in any::<u8>(),
+        count in any::<u32>(),
+        tail in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let version = [1u8, 2, 3][version_index];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(b"CPR1");
+        frame.push(version);
+        frame.push(flags);
+        frame.extend_from_slice(&count.to_be_bytes());
+        frame.extend_from_slice(&tail);
+        // Whole-frame decoders reject a payload shorter than declared.
+        if count as usize > tail.len() {
+            prop_assert!(decode_cloud(&frame).is_err());
+            prop_assert!(cooper_pointcloud::decode_features(&frame).is_err());
+        }
+        // Prefix salvage never recovers more than the bytes on hand
+        // can hold, whatever the header claims.
+        if let Ok((salvaged, declared)) = cooper_pointcloud::decode_cloud_prefix(&frame) {
+            prop_assert_eq!(declared, count as usize);
+            prop_assert!(salvaged.len() * cooper_pointcloud::WIRE_BYTES_PER_POINT <= tail.len());
+        }
+        if let Ok((salvaged, declared)) = cooper_pointcloud::decode_features_prefix(&frame) {
+            prop_assert_eq!(declared, count as usize);
+            prop_assert!(salvaged.len() <= tail.len());
+        }
+    }
+
+    #[test]
+    fn truncated_and_mutated_frames_never_panic(
+        c in cloud(60),
+        with_crc in any::<bool>(),
+        cut in 0usize..600,
+        flip_at in 0usize..600,
+        flip_mask in 1u8..=255,
+    ) {
+        // Structure-aware fuzz: a well-formed frame, truncated at an
+        // arbitrary byte and with one byte XOR-mutated. Every decoder
+        // must return Ok or Err — never panic — and prefix salvage must
+        // stay within the byte budget it was handed.
+        let encoded = encode_cloud(&c).unwrap();
+        let framed: Vec<u8> = if with_crc {
+            cooper_pointcloud::append_crc(&encoded).unwrap().to_vec()
+        } else {
+            encoded.to_vec()
+        };
+        let mut bytes = framed[..cut.min(framed.len())].to_vec();
+        let flip_index = flip_at.min(bytes.len().saturating_sub(1));
+        if let Some(b) = bytes.get_mut(flip_index) {
+            *b ^= flip_mask;
+        }
+        let _ = decode_cloud(&bytes);
+        let _ = cooper_pointcloud::decode_features(&bytes);
+        let _ = cooper_pointcloud::verify_frame_crc(&bytes);
+        if let Ok((salvaged, _)) = cooper_pointcloud::decode_cloud_prefix(&bytes) {
+            let budget = bytes.len().saturating_sub(10);
+            prop_assert!(salvaged.len() * cooper_pointcloud::WIRE_BYTES_PER_POINT <= budget);
+        }
+    }
+
+    #[test]
+    fn truncated_feature_frames_never_panic(
+        channels in 1usize..6,
+        raw_cells in prop::collection::vec((-50i32..50, -50i32..50), 0..30),
+        with_crc in any::<bool>(),
+        cut in 0usize..400,
+        flip_at in 0usize..400,
+        flip_mask in 1u8..=255,
+    ) {
+        use cooper_pointcloud::FeatureFrame;
+        let mut cells: Vec<(i32, i32)> = raw_cells;
+        cells.sort_unstable();
+        cells.dedup();
+        let features = vec![0.25f32; cells.len() * channels];
+        let frame = FeatureFrame::new(channels, cells, features);
+        let encoded = cooper_pointcloud::encode_features(&frame).unwrap();
+        let framed: Vec<u8> = if with_crc {
+            cooper_pointcloud::append_crc(&encoded).unwrap().to_vec()
+        } else {
+            encoded.to_vec()
+        };
+        let mut bytes = framed[..cut.min(framed.len())].to_vec();
+        let flip_index = flip_at.min(bytes.len().saturating_sub(1));
+        if let Some(b) = bytes.get_mut(flip_index) {
+            *b ^= flip_mask;
+        }
+        let _ = cooper_pointcloud::decode_features(&bytes);
+        let _ = cooper_pointcloud::verify_frame_crc(&bytes);
+        if let Ok((salvaged, declared)) = cooper_pointcloud::decode_features_prefix(&bytes) {
+            prop_assert!(salvaged.len() <= declared.max(frame.len()));
+        }
     }
 
     #[test]

@@ -76,6 +76,26 @@ pub const TRACK_PROMOTED: &str = "track.promoted";
 pub const TRACK_COASTED: &str = "track.coasted";
 /// Tracks dropped after exceeding the miss budget.
 pub const TRACK_DROPPED: &str = "track.dropped";
+/// Link-layer frames delivered with damaged content (bit flips or
+/// mid-frame truncation the FCS caught).
+pub const V2X_INTEGRITY_CORRUPTED_FRAMES: &str = "v2x.integrity.corrupted_frames";
+/// Received packets whose CRC-32 trailer failed verification.
+pub const V2X_INTEGRITY_CRC_FAIL: &str = "v2x.integrity.crc_fail";
+/// Trust violations recorded against senders (CRC failures, alignment
+/// rejections, consistency violations).
+pub const TRUST_VIOLATIONS: &str = "trust.violations";
+/// Sender links escalated to Quarantined.
+pub const TRUST_QUARANTINES: &str = "trust.quarantines";
+/// Sender links re-admitted to Trusted after clean probation.
+pub const TRUST_REINSTATED: &str = "trust.reinstated";
+/// Transfers skipped because the sender link was quarantined.
+pub const TRUST_BLOCKED_TRANSFERS: &str = "trust.blocked_transfers";
+/// Consistency-guard evaluations of remote packets.
+pub const GUARD_CONSISTENCY_CHECKS: &str = "guard.consistency.checks";
+/// Remote packets the consistency guard rejected.
+pub const GUARD_CONSISTENCY_REJECTS: &str = "guard.consistency.rejects";
+/// Remote points flagged as ghosts in ego-observed free space.
+pub const GUARD_CONSISTENCY_GHOST_POINTS: &str = "guard.consistency.ghost_points";
 
 /// Prefix of the per-kind fusion drop counters: `pipeline.drop.<kind>`.
 pub const PIPELINE_DROP_PREFIX: &str = "pipeline.drop.";
@@ -203,6 +223,15 @@ pub const ALL_METRICS: &[&str] = &[
     TRACK_PROMOTED,
     TRACK_COASTED,
     TRACK_DROPPED,
+    V2X_INTEGRITY_CORRUPTED_FRAMES,
+    V2X_INTEGRITY_CRC_FAIL,
+    TRUST_VIOLATIONS,
+    TRUST_QUARANTINES,
+    TRUST_REINSTATED,
+    TRUST_BLOCKED_TRANSFERS,
+    GUARD_CONSISTENCY_CHECKS,
+    GUARD_CONSISTENCY_REJECTS,
+    GUARD_CONSISTENCY_GHOST_POINTS,
     FLEET_THREADS,
     FLEET_PHASE_SCAN_US,
     FLEET_PHASE_EXCHANGE_US,

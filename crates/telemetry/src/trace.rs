@@ -74,6 +74,18 @@ pub mod stage {
     pub const ALIGN_REJECTED: &str = "transfer.align_rejected";
     /// Terminal: the packet fused into the receiver's detection input.
     pub const FUSED: &str = "transfer.fused";
+    /// Terminal: the link layer delivered the payload damaged (bit
+    /// flips or mid-frame truncation) — nothing of it is usable.
+    pub const V2X_CORRUPTED: &str = "transfer.corrupted";
+    /// Terminal: the packet's CRC-32 integrity trailer failed
+    /// verification at the receiver (detail: CRC the content hashed to).
+    pub const INTEGRITY_FAILED: &str = "transfer.integrity_failed";
+    /// Terminal: the transfer was skipped because the receiver has the
+    /// sender quarantined.
+    pub const QUARANTINED: &str = "transfer.quarantined";
+    /// Terminal: the consistency guard rejected the packet content
+    /// (detail: ghost points flagged).
+    pub const CONSISTENCY_REJECTED: &str = "transfer.consistency_rejected";
 
     /// Every stage name, for validation.
     pub const ALL: &[&str] = &[
@@ -90,6 +102,10 @@ pub mod stage {
         DECODE_FAILED,
         ALIGN_REJECTED,
         FUSED,
+        V2X_CORRUPTED,
+        INTEGRITY_FAILED,
+        QUARANTINED,
+        CONSISTENCY_REJECTED,
     ];
 }
 

@@ -211,6 +211,12 @@ pub struct DsrcConfig {
     /// the delivery latency. Zero (the default) disables jitter and
     /// consumes no randomness.
     pub jitter_s: f64,
+    /// Probability that a *delivered* frame arrives damaged (bit flips
+    /// or mid-frame truncation that slipped past the PHY) — sampled
+    /// independently of loss, per frame. Zero (the default) disables
+    /// the corruption process and consumes no randomness, so enabling
+    /// it never perturbs the random streams of corruption-free runs.
+    pub corruption_probability: f64,
 }
 
 impl Default for DsrcConfig {
@@ -223,6 +229,7 @@ impl Default for DsrcConfig {
             loss_probability: 0.0,
             loss_model: LossModel::Independent,
             jitter_s: 0.0,
+            corruption_probability: 0.0,
         }
     }
 }
@@ -245,6 +252,9 @@ impl DsrcConfig {
         }
         if !(self.jitter_s >= 0.0 && self.jitter_s.is_finite()) {
             return Err("jitter must be non-negative and finite".into());
+        }
+        if !(0.0..1.0).contains(&self.corruption_probability) {
+            return Err("corruption probability must be in [0, 1)".into());
         }
         if let LossModel::GilbertElliott(ge) = &self.loss_model {
             ge.validate()?;

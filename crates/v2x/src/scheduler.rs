@@ -170,6 +170,30 @@ impl SharedMedium {
     }
 }
 
+/// Samples the link-layer corruption process over `frames` delivered
+/// frames: each frame is independently damaged with the channel's
+/// corruption probability. Returns `(clean_prefix, corrupted)` — the
+/// frames before the first damaged one (the per-fragment FCS lets the
+/// receiver trust exactly that contiguous prefix) and the total number
+/// damaged. Draws **no** randomness when the probability is zero, so
+/// enabling corruption never perturbs the streams of corruption-free
+/// runs; when it does draw, it draws strictly *after* every loss/ARQ
+/// draw of the same per-transfer stream.
+fn sample_corruption<R: rand::Rng + ?Sized>(p: f64, frames: usize, rng: &mut R) -> (usize, u64) {
+    if p <= 0.0 {
+        return (frames, 0);
+    }
+    let mut clean_prefix = frames;
+    let mut corrupted = 0u64;
+    for i in 0..frames {
+        if rng.gen::<f64>() < p {
+            clean_prefix = clean_prefix.min(i);
+            corrupted += 1;
+        }
+    }
+    (clean_prefix, corrupted)
+}
+
 /// Derives the seed of one transfer's frame-loss stream from the
 /// transfer's identity, so delivery randomness is independent of how
 /// many transfers preceded it (SplitMix64 finalizer).
@@ -207,9 +231,23 @@ impl ChannelModel for SharedMedium {
             self.window_step = Some(tx.step);
         }
         let mut rng = StdRng::seed_from_u64(transfer_seed(self.seed, tx));
+        let corruption_p = self.channel.config().corruption_probability;
         let Some(arq) = self.arq else {
             return match self.try_send(tx.wire_bytes, &mut rng) {
-                Some(report) if report.complete => Delivery::Delivered,
+                Some(report) if report.complete => {
+                    // Without ARQ there is no per-fragment salvage path:
+                    // one damaged frame spoils the whole packet.
+                    let (_, corrupted) = sample_corruption(corruption_p, report.frames, &mut rng);
+                    if corrupted > 0 {
+                        cooper_telemetry::counter_add(
+                            telemetry_names::V2X_INTEGRITY_CORRUPTED_FRAMES,
+                            corrupted,
+                        );
+                        Delivery::Corrupted
+                    } else {
+                        Delivery::Delivered
+                    }
+                }
                 Some(_) | None => Delivery::Dropped,
             };
         };
@@ -258,18 +296,37 @@ impl ChannelModel for SharedMedium {
         );
         cooper_telemetry::counter_add(telemetry_names::V2X_TX_BYTES, report.bytes_on_air as u64);
 
-        if report.complete {
+        // Per-fragment FCS semantics: damage inside a delivered fragment
+        // cuts the trustworthy contiguous prefix at the first damaged
+        // frame — salvage then proceeds exactly as for a deadline-
+        // truncated delivery. A damaged first fragment leaves nothing
+        // usable at all.
+        let delivered_frames = if report.complete {
+            self.channel.frames_for(tx.wire_bytes)
+        } else {
+            report.contiguous_prefix
+        };
+        let (clean_prefix, corrupted) = sample_corruption(corruption_p, delivered_frames, &mut rng);
+        if corrupted > 0 {
+            cooper_telemetry::counter_add(
+                telemetry_names::V2X_INTEGRITY_CORRUPTED_FRAMES,
+                corrupted,
+            );
+        }
+        if report.complete && corrupted == 0 {
             return Delivery::Delivered;
         }
-        if report.contiguous_prefix == 0 {
+        if clean_prefix == 0 {
+            if corrupted > 0 {
+                return Delivery::Corrupted;
+            }
             return if report.deadline_exceeded {
                 Delivery::DeadlineExceeded
             } else {
                 Delivery::Dropped
             };
         }
-        let delivered_bytes =
-            (report.contiguous_prefix * self.channel.config().mtu).min(tx.wire_bytes);
+        let delivered_bytes = (clean_prefix * self.channel.config().mtu).min(tx.wire_bytes);
         let verdict = Delivery::Partial {
             delivered_bytes,
             total_bytes: tx.wire_bytes,

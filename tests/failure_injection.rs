@@ -218,6 +218,158 @@ fn nan_pose_rejected_before_it_can_poison_fusion() {
 }
 
 #[test]
+fn quarantine_round_trip_recovers_transient_corruption() {
+    use cooper_core::fleet::{
+        straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle, TransportDropReason,
+        TrustGuardConfig,
+    };
+    use cooper_core::TrustConfig;
+    use cooper_lidar_sim::{BeamModel, FaultPlan};
+    use cooper_v2x::SharedMedium;
+
+    // Vehicle 2 flips its own payload bytes at the source for steps
+    // 0..3, then the fault clears. Over a real fragmented DSRC
+    // transport the receiver's CRC check must fail while the fault is
+    // live, the trust ledger must quarantine the sender, and once the
+    // quarantine elapses a clean probation must re-admit it — the full
+    // Trusted → Suspect → Quarantined → Probation → Trusted loop.
+    let scene = scenario::tj_scenario_1();
+    let steps = 12usize;
+    let vehicles = vec![
+        FleetVehicle {
+            id: 1,
+            trajectory: straight_trajectory(scene.observers[0], 0.0, steps),
+            beams: BeamModel::vlp16().with_azimuth_steps(300),
+        },
+        FleetVehicle {
+            id: 2,
+            trajectory: straight_trajectory(scene.observers[1], 0.0, steps),
+            beams: BeamModel::vlp16().with_azimuth_steps(300),
+        },
+    ];
+    let sim = FleetSimulation::new(
+        scene.world,
+        vehicles,
+        FleetConfig {
+            seed: 11,
+            sensor_model: GpsImuModel::ideal(),
+            fault_plan: Some(FaultPlan::parse("2:corrupt:0.4@0..3").unwrap()),
+            trust: Some(TrustGuardConfig {
+                trust: TrustConfig {
+                    suspect_after: 1,
+                    quarantine_after: 2,
+                    quarantine_steps: 2,
+                    probation_clean_steps: 2,
+                },
+                ..TrustGuardConfig::default()
+            }),
+            ..FleetConfig::default()
+        },
+    );
+    let pipeline = CooperPipeline::new(SpodDetector::new(SpodConfig::default()))
+        .with_alignment_guard(AlignmentGuardConfig::default());
+    let mut medium = SharedMedium::new(DsrcChannel::new(DsrcConfig::default())).with_seed(9);
+    let (reports, stats) = sim.run_with_channel(&pipeline, steps, &mut medium);
+
+    let steps_with = |f: fn(&TransportDropReason) -> bool| -> Vec<usize> {
+        reports
+            .iter()
+            .filter(|r| r.transport_drops.iter().any(|d| f(&d.reason)))
+            .map(|r| r.step)
+            .collect()
+    };
+    let integrity = steps_with(|r| matches!(r, TransportDropReason::IntegrityFailed));
+    let quarantined = steps_with(|r| matches!(r, TransportDropReason::Quarantined));
+    assert!(
+        !integrity.is_empty(),
+        "at-source corruption must fail the receiver's CRC check"
+    );
+    assert!(
+        !quarantined.is_empty(),
+        "repeated integrity violations must quarantine the sender"
+    );
+    assert!(
+        integrity[0] < quarantined[0],
+        "violations precede the quarantine they earn"
+    );
+    let t = stats.trust.get(&1).expect("receiver 1 charged violations");
+    assert!(t.violations >= 2);
+    assert!(t.quarantines >= 1);
+    assert!(t.blocked_transfers >= 1);
+    assert!(t.reinstated >= 1, "clean probation re-admits the sender");
+    // After re-admission the exchange is fully restored: the last step
+    // shows vehicle 1 fusing vehicle 2's packet with no quarantine.
+    let last = reports.last().unwrap();
+    let v1 = &last.per_vehicle[0];
+    assert_eq!(v1.packets_received, 1, "re-admitted sender fuses again");
+    assert_eq!(v1.quarantined_peers, 0);
+}
+
+#[test]
+fn ghost_injection_never_drops_fused_below_ego() {
+    use cooper_core::fleet::{
+        straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle, TransportDropReason,
+        TrustGuardConfig,
+    };
+    use cooper_lidar_sim::{BeamModel, FaultPlan};
+
+    // Vehicle 2 appends fabricated car clusters to every broadcast. The
+    // consistency guard must convict on ego-observed free space, and —
+    // the regression this test pins — rejecting the poisoned packets
+    // must degrade the receiver to ego-only perception, never below it.
+    let detector = SpodDetector::train_default(&cooper_spod::train::TrainingConfig::fast());
+    let pipeline =
+        CooperPipeline::new(detector).with_alignment_guard(AlignmentGuardConfig::default());
+    let scene = scenario::tj_scenario_1();
+    let steps = 5usize;
+    let vehicles = vec![
+        FleetVehicle {
+            id: 1,
+            trajectory: straight_trajectory(scene.observers[0], 0.0, steps),
+            beams: BeamModel::vlp16().with_azimuth_steps(300),
+        },
+        FleetVehicle {
+            id: 2,
+            trajectory: straight_trajectory(scene.observers[1], 0.0, steps),
+            beams: BeamModel::vlp16().with_azimuth_steps(300),
+        },
+    ];
+    let sim = FleetSimulation::new(
+        scene.world,
+        vehicles,
+        FleetConfig {
+            seed: 11,
+            sensor_model: GpsImuModel::ideal(),
+            fault_plan: Some(FaultPlan::parse("2:ghost:4@0").unwrap()),
+            trust: Some(TrustGuardConfig::default()),
+            ..FleetConfig::default()
+        },
+    );
+    let (reports, _stats) = sim.run(&pipeline, steps);
+    let mut rejected = 0usize;
+    for r in &reports {
+        for d in &r.transport_drops {
+            if let TransportDropReason::ConsistencyRejected { ghost_points } = d.reason {
+                assert_eq!((d.from, d.to), (2, 1), "only the ghost sender is convicted");
+                assert!(ghost_points > 0, "verdict carries the ghost evidence");
+                rejected += 1;
+            }
+        }
+        for v in &r.per_vehicle {
+            assert!(
+                v.cooperative_detections >= v.single_detections,
+                "step {} vehicle {}: fused {} fell below ego {}",
+                r.step,
+                v.vehicle_id,
+                v.cooperative_detections,
+                v.single_detections
+            );
+        }
+    }
+    assert!(rejected >= 1, "ghost injection must be caught");
+}
+
+#[test]
 fn lossy_fleet_degrades_gracefully() {
     use cooper_core::fleet::{straight_trajectory, FleetConfig, FleetSimulation, FleetVehicle};
     use cooper_lidar_sim::BeamModel;

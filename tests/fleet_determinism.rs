@@ -192,6 +192,56 @@ fn guarded_fault_run_is_thread_count_invariant() {
 }
 
 #[test]
+fn trust_guarded_adversarial_run_is_identical_at_1_2_4_threads() {
+    // The integrity-and-trust layer adds CRC verification, consistency
+    // checks and a per-(receiver, sender) trust ledger to the exchange,
+    // while the fault plan injects ghost clusters and at-source
+    // corruption from per-(vehicle, step) seeded streams and the
+    // channel corrupts frames from its own seeded process. None of it
+    // may introduce thread-count dependence.
+    use cooper_core::fleet::TrustGuardConfig;
+    let p = pipeline().with_alignment_guard(AlignmentGuardConfig::default());
+    let plan = FaultPlan::parse("2:ghost:3@0,1:corrupt:0.3@0..2").expect("valid plan");
+    let run = |threads: Option<usize>| {
+        let scene = scenario::tj_scenario_1();
+        let vehicles: Vec<FleetVehicle> = scene
+            .observers
+            .iter()
+            .enumerate()
+            .map(|(i, pose)| FleetVehicle {
+                id: i as u32 + 1,
+                trajectory: straight_trajectory(*pose, 0.5, 3),
+                beams: BeamModel::vlp16().with_azimuth_steps(300),
+            })
+            .collect();
+        let mut medium = SharedMedium::new(DsrcChannel::new(DsrcConfig {
+            loss_model: LossModel::GilbertElliott(GilbertElliott::from_loss_rate(0.1)),
+            corruption_probability: 0.01,
+            ..DsrcConfig::default()
+        }))
+        .with_seed(5);
+        FleetSimulation::new(
+            scene.world.clone(),
+            vehicles,
+            FleetConfig {
+                seed: 2024,
+                threads,
+                fault_plan: Some(plan.clone()),
+                trust: Some(TrustGuardConfig::default()),
+                ..FleetConfig::default()
+            },
+        )
+        .run_with_channel(&p, 3, &mut medium)
+    };
+    let serial = run(Some(1));
+    for threads in [2usize, 4] {
+        assert_reports_identical(&serial, &run(Some(threads)));
+    }
+    // The trust layer actually engaged: violations were charged.
+    assert!(serial.1.trust.values().any(|t| t.violations > 0));
+}
+
+#[test]
 fn shared_medium_drives_the_fleet_and_stays_deterministic() {
     // A 3 Mbit/s medium cannot carry a full mesh of raw frames in one
     // second: delivery decisions depend on shared air-time state, the

@@ -1,14 +1,15 @@
 //! End-to-end trace-context propagation: every packet transfer the
-//! fleet attempts — across ARQ retries, partial salvage, and alignment
-//! rejection — must leave a causal chain in the trace buffer that is
+//! fleet attempts — across ARQ retries, partial salvage, alignment
+//! rejection, channel corruption, consistency conviction and
+//! quarantine — must leave a causal chain in the trace buffer that is
 //! joinable by [`TraceId`] and ends in exactly the terminal stage its
 //! reported outcome claims. One test function owns the global registry
 //! for the whole file (this file is its own test binary), running the
-//! three channel regimes sequentially with a reset in between.
+//! four channel regimes sequentially with a reset in between.
 
 use cooper_core::fleet::{
     straight_trajectory, FleetConfig, FleetSimulation, FleetStepReport, FleetVehicle,
-    TransportDropReason,
+    TransportDropReason, TrustGuardConfig,
 };
 use cooper_core::{AlignmentGuardConfig, CooperPipeline, PerfectChannel};
 use cooper_lidar_sim::{scenario, BeamModel, FaultPlan};
@@ -87,6 +88,22 @@ fn assert_drops_join(reports: &[FleetStepReport], trace: &ChromeTrace) {
                         .find(|e| e.name == stage::ALIGN_REJECTED)
                         .unwrap_or_else(|| panic!("{id}: no align_rejected in {chain:?}"));
                     assert_eq!(mark.detail, Some(u64::from(*residual_mm)));
+                }
+                TransportDropReason::Corrupted => {
+                    assert!(has_stage(stage::V2X_CORRUPTED), "{id}: {chain:?}");
+                }
+                TransportDropReason::IntegrityFailed => {
+                    assert!(has_stage(stage::INTEGRITY_FAILED), "{id}: {chain:?}");
+                }
+                TransportDropReason::Quarantined => {
+                    assert!(has_stage(stage::QUARANTINED), "{id}: {chain:?}");
+                }
+                TransportDropReason::ConsistencyRejected { ghost_points } => {
+                    let mark = chain
+                        .iter()
+                        .find(|e| e.name == stage::CONSISTENCY_REJECTED)
+                        .unwrap_or_else(|| panic!("{id}: no consistency_rejected in {chain:?}"));
+                    assert_eq!(mark.detail, Some(u64::from(*ghost_points)));
                 }
             }
         }
@@ -190,5 +207,82 @@ fn every_transfer_outcome_joins_to_a_terminal_trace_chain() {
             .iter()
             .any(|e| e.name == stage::ALIGN_REJECTED && e.terminal),
         "no terminal align_rejected mark"
+    );
+
+    // Regime 4 — adversarial: a corrupting channel plus a ghost-cluster
+    // sender under the trust guard. Corrupted frames, consistency
+    // rejections and quarantine skips are all reported drops, and each
+    // must still close its trace chain with the matching terminal.
+    let guarded = pipeline().with_alignment_guard(AlignmentGuardConfig::default());
+    let plan = FaultPlan::parse("2:ghost:3@0").expect("valid plan");
+    let ((reports, stats), trace) = traced(|| {
+        let mut medium = SharedMedium::new(DsrcChannel::new(DsrcConfig {
+            corruption_probability: 0.01,
+            ..DsrcConfig::default()
+        }))
+        .with_seed(5);
+        let scene = scenario::tj_scenario_1();
+        // Four vehicles on the two observer anchors (shifted ring by
+        // ring): receivers need vantage over the space the ghost
+        // clusters claim, or the consistency guard has no free-space
+        // evidence to convict on.
+        let vehicles: Vec<FleetVehicle> = (0..4usize)
+            .map(|i| {
+                let base = scene.observers[i % scene.observers.len()];
+                let ring = (i / scene.observers.len()) as f64;
+                let start = cooper_geometry::Pose::new(
+                    base.position + cooper_geometry::Vec3::new(3.0 * ring, 3.0 * ring, 0.0),
+                    base.attitude,
+                );
+                FleetVehicle {
+                    id: i as u32 + 1,
+                    trajectory: straight_trajectory(start, 0.5, 6),
+                    beams: BeamModel::vlp16().with_azimuth_steps(400),
+                }
+            })
+            .collect();
+        FleetSimulation::new(
+            scene.world.clone(),
+            vehicles,
+            FleetConfig {
+                seed: 2024,
+                threads: Some(2),
+                fault_plan: Some(plan),
+                trust: Some(TrustGuardConfig::default()),
+                ..FleetConfig::default()
+            },
+        )
+        .run_with_channel(&guarded, 6, &mut medium)
+    });
+    assert_drops_join(&reports, &trace);
+    let reason_count = |f: fn(&TransportDropReason) -> bool| {
+        reports
+            .iter()
+            .flat_map(|r| &r.transport_drops)
+            .filter(|d| f(&d.reason))
+            .count()
+    };
+    assert!(
+        reason_count(|r| matches!(r, TransportDropReason::Corrupted)) > 0,
+        "corrupting channel produced no corrupted drops"
+    );
+    assert!(
+        reason_count(|r| matches!(r, TransportDropReason::ConsistencyRejected { .. })) > 0,
+        "ghost sender was never consistency-rejected"
+    );
+    assert!(
+        reason_count(|r| matches!(r, TransportDropReason::Quarantined)) > 0,
+        "ghost sender was never quarantined"
+    );
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| e.name == stage::QUARANTINED && e.terminal),
+        "no terminal quarantined mark"
+    );
+    assert!(
+        stats.trust.values().any(|t| t.quarantines > 0),
+        "trust stats recorded no quarantine transitions"
     );
 }
